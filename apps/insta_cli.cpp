@@ -1,0 +1,232 @@
+// insta_cli — command-line front end to the library.
+//
+//   insta_cli generate --out d.inet [--gates N] [--ffs N] [--seed S]
+//                      [--violate F]        generate + tune + save a design
+//   insta_cli report --in d.inet [--paths N] [--hold] [--topk K]
+//                                            golden + INSTA timing summary
+//   insta_cli size --in d.inet --out o.inet [--method insta|baseline]
+//                                            run a sizer and save the result
+//   insta_cli buffer --in d.inet --out o.inet
+//                                            run INSTA-Buffer and save
+//   insta_cli selftest                       end-to-end smoke test (tmpfile)
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/engine.hpp"
+#include "gen/logic_block.hpp"
+#include "gen/tune.hpp"
+#include "io/design_io.hpp"
+#include "ref/golden_sta.hpp"
+#include "ref/report.hpp"
+#include "size/baseline_sizer.hpp"
+#include "size/insta_buffer.hpp"
+#include "size/insta_size.hpp"
+#include "timing/delay_calc.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace insta;
+
+/// Minimal --key value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      util::check(key.rfind("--", 0) == 0, "expected --option, got " + key);
+      util::check(i + 1 < argc, "missing value for " + key);
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double get_num(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Loads a design and prepares graph/delays/golden (hold optional).
+struct World {
+  io::LoadedDesign loaded;
+  std::unique_ptr<timing::TimingGraph> graph;
+  std::unique_ptr<timing::DelayCalculator> calc;
+  timing::ArcDelays delays;
+  std::unique_ptr<ref::GoldenSta> sta;
+
+  explicit World(const std::string& path, bool hold = false) {
+    loaded = io::load_design_file(path);
+    graph = std::make_unique<timing::TimingGraph>(
+        *loaded.design, loaded.constraints.clock_root);
+    calc = std::make_unique<timing::DelayCalculator>(*loaded.design, *graph);
+    calc->compute_all(delays);
+    ref::GoldenOptions opt;
+    opt.enable_hold = hold;
+    sta = std::make_unique<ref::GoldenSta>(*graph, loaded.constraints, delays,
+                                           opt);
+    sta->update_full();
+  }
+};
+
+int cmd_generate(const Args& args) {
+  util::check(args.has("out"), "generate: --out is required");
+  gen::LogicBlockSpec spec;
+  spec.name = args.get("name", "cli_design");
+  spec.seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
+  spec.num_gates = static_cast<int>(args.get_num("gates", 5000));
+  spec.num_ffs = static_cast<int>(args.get_num("ffs", 400));
+  spec.depth = static_cast<int>(args.get_num("depth", 20));
+  gen::GeneratedDesign gd = gen::build_logic_block(spec);
+  timing::TimingGraph graph(*gd.design, gd.constraints.clock_root);
+  timing::DelayCalculator calc(*gd.design, graph);
+  timing::ArcDelays delays;
+  calc.compute_all(delays);
+  gen::tune_clock_period(graph, gd.constraints, delays,
+                         args.get_num("violate", 0.1));
+  io::save_design_file(*gd.design, gd.constraints, args.get("out", ""));
+  std::printf("wrote %s: %zu cells, %zu nets, period %.1f ps\n",
+              args.get("out", "").c_str(), gd.design->num_cells(),
+              gd.design->num_nets(), gd.constraints.clock_period);
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  util::check(args.has("in"), "report: --in is required");
+  const bool hold = args.has("hold");
+  World w(args.get("in", ""), hold);
+  std::printf("design: %zu cells, %zu pins, %zu endpoints, period %.1f ps\n",
+              w.loaded.design->num_cells(), w.loaded.design->num_pins(),
+              w.graph->endpoints().size(), w.loaded.constraints.clock_period);
+  std::printf("reference: WNS %.2f ps, TNS %.2f ps, %d setup violations\n",
+              w.sta->wns(), w.sta->tns(), w.sta->num_violations());
+  if (hold) {
+    std::printf("hold:      WHS %.2f ps, THS %.2f ps, %d hold violations\n",
+                w.sta->whs(), w.sta->ths(), w.sta->num_hold_violations());
+  }
+
+  core::EngineOptions eopt;
+  eopt.top_k = static_cast<int>(args.get_num("topk", 32));
+  eopt.enable_hold = hold;
+  core::Engine engine(*w.sta, eopt);
+  engine.run_forward();
+  std::vector<double> a, b;
+  for (std::size_t e = 0; e < w.graph->endpoints().size(); ++e) {
+    const double g = w.sta->endpoint_slack(static_cast<timing::EndpointId>(e));
+    const float m = engine.endpoint_slack(static_cast<timing::EndpointId>(e));
+    if (std::isfinite(g) && std::isfinite(m)) {
+      a.push_back(g);
+      b.push_back(static_cast<double>(m));
+    }
+  }
+  std::printf("INSTA (TopK=%d): TNS %.2f ps, correlation %s\n", eopt.top_k,
+              engine.tns(), util::format_correlation(util::pearson(a, b)).c_str());
+
+  const int num_paths = static_cast<int>(args.get_num("paths", 1));
+  for (const auto& path : ref::worst_paths(*w.sta, num_paths)) {
+    std::printf("\n%s", ref::format_path(*w.sta, path).c_str());
+  }
+  return 0;
+}
+
+int cmd_size(const Args& args) {
+  util::check(args.has("in") && args.has("out"),
+              "size: --in and --out are required");
+  World w(args.get("in", ""));
+  const std::string method = args.get("method", "insta");
+  size::SizerResult r;
+  if (method == "insta") {
+    size::InstaSizer sizer(*w.loaded.design, *w.graph, *w.calc, *w.sta, {});
+    r = sizer.run();
+  } else if (method == "baseline") {
+    size::BaselineSizer sizer(*w.loaded.design, *w.graph, *w.calc, *w.sta, {});
+    r = sizer.run();
+  } else {
+    throw util::CheckError("size: unknown --method " + method);
+  }
+  std::printf("%s sizing: TNS %.2f -> %.2f ps, WNS %.2f -> %.2f ps, "
+              "%d cells sized, %.2f s\n",
+              method.c_str(), r.initial_tns, r.final_tns, r.initial_wns,
+              r.final_wns, r.cells_sized, r.runtime_sec);
+  io::save_design_file(*w.loaded.design, w.loaded.constraints,
+                       args.get("out", ""));
+  return 0;
+}
+
+int cmd_buffer(const Args& args) {
+  util::check(args.has("in") && args.has("out"),
+              "buffer: --in and --out are required");
+  World w(args.get("in", ""));
+  size::InstaBuffer buffering(*w.loaded.design, w.loaded.constraints, {});
+  const size::BufferResult r = buffering.run();
+  std::printf("INSTA-Buffer: TNS %.2f -> %.2f ps, %d buffers, %.2f s\n",
+              r.initial_tns, r.final_tns, r.buffers_inserted, r.runtime_sec);
+  io::save_design_file(*w.loaded.design, w.loaded.constraints,
+                       args.get("out", ""));
+  return 0;
+}
+
+int cmd_selftest() {
+  const std::string path = "/tmp/insta_cli_selftest.inet";
+  {
+    const char* argv[] = {"--out", path.c_str(), "--gates", "800", "--ffs",
+                          "64",    "--seed",     "3"};
+    Args args(8, const_cast<char**>(argv), 0);
+    util::check(cmd_generate(args) == 0, "selftest: generate failed");
+  }
+  {
+    const char* argv[] = {"--in", path.c_str(), "--paths", "2", "--hold", "1"};
+    Args args(6, const_cast<char**>(argv), 0);
+    util::check(cmd_report(args) == 0, "selftest: report failed");
+  }
+  {
+    const std::string out = "/tmp/insta_cli_selftest_sized.inet";
+    const char* argv[] = {"--in", path.c_str(), "--out", out.c_str()};
+    Args args(4, const_cast<char**>(argv), 0);
+    util::check(cmd_size(args) == 0, "selftest: size failed");
+  }
+  std::printf("selftest passed\n");
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: insta_cli <generate|report|size|buffer|selftest> "
+               "[--option value ...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(Args(argc, argv, 2));
+    if (cmd == "report") return cmd_report(Args(argc, argv, 2));
+    if (cmd == "size") return cmd_size(Args(argc, argv, 2));
+    if (cmd == "buffer") return cmd_buffer(Args(argc, argv, 2));
+    if (cmd == "selftest") return cmd_selftest();
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,79 @@
+#pragma once
+
+// Shared harness helpers for the table/figure benchmark binaries.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "gen/logic_block.hpp"
+#include "gen/tune.hpp"
+#include "ref/golden_sta.hpp"
+#include "timing/clock.hpp"
+#include "timing/delay_calc.hpp"
+#include "timing/graph.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace insta::bench {
+
+/// A fully prepared experiment bundle: generated design, timing graph,
+/// calculated delays, tuned clock period, and an updated golden engine.
+struct Bundle {
+  gen::GeneratedDesign gd;
+  std::unique_ptr<timing::TimingGraph> graph;
+  std::unique_ptr<timing::DelayCalculator> calc;
+  timing::ArcDelays delays;
+  std::unique_ptr<ref::GoldenSta> sta;
+  double gen_sec = 0.0;
+  double golden_update_sec = 0.0;  ///< one full golden update_timing
+};
+
+/// Builds a bundle from a logic-block spec. The golden engine uses the
+/// exact CPPR-safe pruning window (max credit * 1.5 + 10 ps) so reference
+/// results stay exact while propagation remains tractable.
+inline Bundle make_bundle(const gen::LogicBlockSpec& spec,
+                          double violate_fraction) {
+  Bundle b;
+  util::Stopwatch sw;
+  b.gd = gen::build_logic_block(spec);
+  b.graph = std::make_unique<timing::TimingGraph>(*b.gd.design,
+                                                  b.gd.constraints.clock_root);
+  b.calc = std::make_unique<timing::DelayCalculator>(*b.gd.design, *b.graph);
+  b.calc->compute_all(b.delays);
+  gen::tune_clock_period(*b.graph, b.gd.constraints, b.delays,
+                         violate_fraction);
+  b.gen_sec = sw.elapsed_sec();
+
+  const timing::ClockAnalysis probe(*b.graph, b.delays,
+                                    b.gd.constraints.nsigma);
+  ref::GoldenOptions gopt;
+  gopt.prune_window = probe.max_credit() * 1.5 + 10.0;
+  b.sta = std::make_unique<ref::GoldenSta>(*b.graph, b.gd.constraints,
+                                           b.delays, gopt);
+  util::Stopwatch usw;
+  b.sta->update_full();
+  b.golden_update_sec = usw.elapsed_sec();
+  return b;
+}
+
+/// "4M cells, 15M pins" style size string with k/M suffixes.
+inline std::string size_str(std::size_t n) {
+  char buf[32];
+  if (n >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(n) / 1e6);
+  } else if (n >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.0fk", static_cast<double>(n) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu", n);
+  }
+  return buf;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace insta::bench

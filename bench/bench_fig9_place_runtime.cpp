@@ -1,0 +1,105 @@
+// Reproduces Fig. 9: detailed per-phase runtime of a timing-update
+// iteration on the largest placement benchmark (superblue10), comparing
+// the net-weighting baseline's timer cost against INSTA-Place's pipeline:
+// timer update (OpenTimer's role) -> data transfer (INSTA initialization)
+// -> forward -> backward -> arc weighting. The paper reports a ~50%
+// overhead for INSTA-Place from the timer<->INSTA data transfer.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gen/placement_bench.hpp"
+#include "gen/tune.hpp"
+#include "place/placer.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace insta;
+
+place::PlaceResult run_mode(const gen::PlacementBenchSpec& spec, double period,
+                            place::TimingMode mode) {
+  gen::PlacementBench bench = gen::build_placement_bench(spec);
+  bench.gd.constraints.clock_period = period;
+  place::PlacerOptions opt;
+  opt.mode = mode;
+  place::GlobalPlacer placer(bench, opt);
+  return placer.run();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 9 reproduction: per-phase runtime of a timing-update iteration\n"
+      "on the largest benchmark (superblue10). Paper: INSTA-Place adds ~50%\n"
+      "over the net-weighting timer iteration, dominated by data transfer.");
+
+  const auto specs = gen::table3_superblue_specs();
+  const auto& spec = specs[5];  // superblue10, the largest
+  // Tune the period on the timing-oblivious placement, as Table III does.
+  double period;
+  {
+    gen::PlacementBench bench = gen::build_placement_bench(spec);
+    place::PlacerOptions opt;
+    opt.mode = place::TimingMode::kNone;
+    place::GlobalPlacer placer(bench, opt);
+    (void)placer.run();
+    timing::TimingGraph graph(*bench.gd.design, bench.gd.constraints.clock_root);
+    timing::DelayModelParams dm;
+    dm.use_placement = true;
+    timing::DelayCalculator calc(*bench.gd.design, graph, dm);
+    timing::ArcDelays delays;
+    calc.compute_all(delays);
+    period = gen::tune_clock_period(graph, bench.gd.constraints, delays,
+                                    bench.violate_fraction);
+    std::printf("superblue10: %zu cells, %zu pins, period %.0f ps\n",
+                bench.gd.design->num_cells(), bench.gd.design->num_pins(),
+                period);
+  }
+
+  const auto nw = run_mode(spec, period, place::TimingMode::kNetWeight);
+  const auto ip = run_mode(spec, period, place::TimingMode::kInstaPlace);
+
+  auto per_refresh = [](double sec, int refreshes) {
+    return refreshes > 0 ? sec / refreshes * 1e3 : 0.0;
+  };
+  util::Table table({"phase (ms per timing-update iteration)", "net-weighting",
+                     "INSTA-Place"});
+  table.add_row({"timer full update (OpenTimer role)",
+                 util::fmt("%.1f", per_refresh(nw.phases.timer_sec,
+                                               nw.phases.refreshes)),
+                 util::fmt("%.1f", per_refresh(ip.phases.timer_sec,
+                                               ip.phases.refreshes))});
+  table.add_row({"data transfer (INSTA initialization)", "-",
+                 util::fmt("%.1f", per_refresh(ip.phases.transfer_sec,
+                                               ip.phases.refreshes))});
+  table.add_row({"INSTA forward", "-",
+                 util::fmt("%.1f", per_refresh(ip.phases.forward_sec,
+                                               ip.phases.refreshes))});
+  table.add_row({"INSTA backward", "-",
+                 util::fmt("%.1f", per_refresh(ip.phases.backward_sec,
+                                               ip.phases.refreshes))});
+  table.add_row({"weighting bookkeeping",
+                 util::fmt("%.1f", per_refresh(nw.phases.weighting_sec,
+                                               nw.phases.refreshes)),
+                 util::fmt("%.1f", per_refresh(ip.phases.weighting_sec,
+                                               ip.phases.refreshes))});
+  std::fputs(table.str().c_str(), stdout);
+
+  const double nw_iter = per_refresh(
+      nw.phases.timer_sec + nw.phases.weighting_sec, nw.phases.refreshes);
+  const double ip_iter =
+      per_refresh(ip.phases.timer_sec + ip.phases.transfer_sec +
+                      ip.phases.forward_sec + ip.phases.backward_sec +
+                      ip.phases.weighting_sec,
+                  ip.phases.refreshes);
+  std::printf(
+      "\ntotal per timing-update iteration: net-weighting %.1f ms, "
+      "INSTA-Place %.1f ms (%.0f%% overhead; paper reports ~50%%)\n",
+      nw_iter, ip_iter, (ip_iter / nw_iter - 1.0) * 100.0);
+  std::printf("gradient-descent time over the whole run: NW %.2f s, "
+              "INSTA-Place %.2f s\n",
+              nw.phases.descent_sec, ip.phases.descent_sec);
+  return 0;
+}

@@ -1,0 +1,203 @@
+// Kernel microbenchmarks (google-benchmark):
+//   * the Section III-E ablation: fixed-size sorted list vs binary heap for
+//     the Top-K priority queue,
+//   * the O(K^2 * L) complexity claim: forward runtime vs Top-K,
+//   * backward-kernel cost,
+//   * golden full vs incremental update, and INSTA initialization (cloning).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "core/topk.hpp"
+#include "gen/changelist.hpp"
+#include "gen/presets.hpp"
+
+namespace {
+
+using namespace insta;
+
+/// One shared medium design for all engine-level benchmarks.
+bench::Bundle& shared_bundle() {
+  static bench::Bundle b = [] {
+    gen::LogicBlockSpec spec;
+    spec.name = "kernel-bench";
+    spec.seed = 7;
+    spec.num_gates = 20000;
+    spec.num_ffs = 1800;
+    spec.depth = 24;
+    spec.num_inputs = 64;
+    spec.num_outputs = 64;
+    return bench::make_bundle(spec, 0.08);
+  }();
+  return b;
+}
+
+// ---- Top-K queue ablation (Section III-E) -----------------------------------
+
+struct InsertStream {
+  std::vector<float> arr;
+  std::vector<std::int32_t> sp;
+  InsertStream() {
+    std::mt19937 rng(42);
+    std::uniform_real_distribution<float> val(0.0f, 1000.0f);
+    std::uniform_int_distribution<std::int32_t> spd(0, 63);
+    for (int i = 0; i < 4096; ++i) {
+      arr.push_back(val(rng));
+      sp.push_back(spd(rng));
+    }
+  }
+};
+
+void BM_TopKInsert_SortedList(benchmark::State& state) {
+  static const InsertStream stream;
+  const auto k = static_cast<std::int32_t>(state.range(0));
+  std::vector<float> a(static_cast<std::size_t>(k)), m(a.size()), s(a.size());
+  std::vector<std::int32_t> sp(a.size());
+  std::int32_t count = 0;
+  for (auto _ : state) {
+    count = 0;
+    const core::TopKView v{a.data(), m.data(), s.data(), sp.data(), k, &count};
+    for (std::size_t i = 0; i < stream.arr.size(); ++i) {
+      core::topk_insert(v, stream.arr[i], stream.arr[i], 1.0f, stream.sp[i]);
+    }
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.arr.size()));
+}
+BENCHMARK(BM_TopKInsert_SortedList)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_TopKInsert_Heap(benchmark::State& state) {
+  static const InsertStream stream;
+  const auto k = static_cast<std::int32_t>(state.range(0));
+  std::vector<float> a(static_cast<std::size_t>(k)), m(a.size()), s(a.size());
+  std::vector<std::int32_t> sp(a.size());
+  std::int32_t count = 0;
+  for (auto _ : state) {
+    count = 0;
+    const core::TopKView v{a.data(), m.data(), s.data(), sp.data(), k, &count};
+    for (std::size_t i = 0; i < stream.arr.size(); ++i) {
+      core::topk_insert_heap(v, stream.arr[i], stream.arr[i], 1.0f,
+                             stream.sp[i]);
+    }
+    core::topk_heap_finalize(v);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.arr.size()));
+}
+BENCHMARK(BM_TopKInsert_Heap)->Arg(8)->Arg(32)->Arg(128);
+
+// ---- forward kernel: O(K^2 * L) sweep -----------------------------------------
+
+void BM_ForwardTopK(benchmark::State& state) {
+  bench::Bundle& b = shared_bundle();
+  core::EngineOptions opt;
+  opt.top_k = static_cast<int>(state.range(0));
+  core::Engine engine(*b.sta, opt);
+  for (auto _ : state) {
+    engine.run_forward();
+    benchmark::DoNotOptimize(engine.endpoint_slacks().data());
+  }
+  state.counters["levels"] =
+      static_cast<double>(engine.num_levels());
+  state.counters["pins"] = static_cast<double>(b.gd.design->num_pins());
+}
+BENCHMARK(BM_ForwardTopK)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForwardHeapQueue(benchmark::State& state) {
+  bench::Bundle& b = shared_bundle();
+  core::EngineOptions opt;
+  opt.top_k = static_cast<int>(state.range(0));
+  opt.use_heap_queue = true;
+  core::Engine engine(*b.sta, opt);
+  for (auto _ : state) {
+    engine.run_forward();
+    benchmark::DoNotOptimize(engine.endpoint_slacks().data());
+  }
+}
+BENCHMARK(BM_ForwardHeapQueue)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// ---- backward kernel ------------------------------------------------------------
+
+void BM_ForwardIncrementalEco(benchmark::State& state) {
+  // A single-cell ECO re-annotation followed by a level-windowed forward:
+  // the common inner-loop operation of the Fig. 7 evaluation flow.
+  bench::Bundle& b = shared_bundle();
+  core::EngineOptions opt;
+  opt.top_k = 16;
+  core::Engine engine(*b.sta, opt);
+  engine.run_forward();
+  util::Rng rng(4);
+  const auto changes = gen::random_changelist(*b.gd.design, *b.graph, rng, 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& ch = changes[i++ % changes.size()];
+    const auto deltas = b.calc->estimate_eco(ch.cell, ch.new_libcell);
+    engine.annotate(deltas);
+    engine.run_forward_incremental();
+    benchmark::DoNotOptimize(engine.endpoint_slacks().data());
+  }
+}
+BENCHMARK(BM_ForwardIncrementalEco)->Unit(benchmark::kMillisecond);
+
+void BM_BackwardTns(benchmark::State& state) {
+  bench::Bundle& b = shared_bundle();
+  core::EngineOptions opt;
+  opt.top_k = 16;
+  core::Engine engine(*b.sta, opt);
+  engine.run_forward();
+  for (auto _ : state) {
+    engine.run_backward(core::GradientMetric::kTns);
+    benchmark::DoNotOptimize(engine.arc_gradients().data());
+  }
+}
+BENCHMARK(BM_BackwardTns)->Unit(benchmark::kMillisecond);
+
+// ---- reference-engine costs -------------------------------------------------------
+
+void BM_GoldenFullUpdate(benchmark::State& state) {
+  bench::Bundle& b = shared_bundle();
+  for (auto _ : state) {
+    b.sta->update_full();
+  }
+}
+BENCHMARK(BM_GoldenFullUpdate)->Unit(benchmark::kMillisecond);
+
+void BM_GoldenIncrementalResize(benchmark::State& state) {
+  bench::Bundle& b = shared_bundle();
+  b.sta->update_full();
+  util::Rng rng(99);
+  const auto changes =
+      gen::random_changelist(*b.gd.design, *b.graph, rng, 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& ch = changes[i++ % changes.size()];
+    b.gd.design->resize_cell(ch.cell, ch.new_libcell);
+    const auto ids = b.calc->update_for_resize(ch.cell, b.sta->mutable_delays());
+    b.sta->update_incremental(ids);
+  }
+  state.counters["pins_touched"] =
+      static_cast<double>(b.sta->last_update_pin_count());
+}
+BENCHMARK(BM_GoldenIncrementalResize)->Unit(benchmark::kMillisecond);
+
+void BM_EngineInitialization(benchmark::State& state) {
+  bench::Bundle& b = shared_bundle();
+  b.sta->update_full();
+  for (auto _ : state) {
+    core::EngineOptions opt;
+    opt.top_k = 16;
+    core::Engine engine(*b.sta, opt);
+    benchmark::DoNotOptimize(&engine);
+  }
+}
+BENCHMARK(BM_EngineInitialization)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,752 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/topk.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace insta::core {
+
+using netlist::PinId;
+using netlist::RiseFall;
+using timing::ArcId;
+using timing::ArcRecord;
+using timing::ArcSense;
+using timing::EndpointId;
+using timing::StartpointId;
+using util::check;
+
+namespace {
+constexpr float kInf = std::numeric_limits<float>::infinity();
+}
+
+Engine::Engine(const ref::GoldenSta& reference, EngineOptions options)
+    : graph_(&reference.graph()),
+      options_(options),
+      exceptions_(reference.exceptions()) {
+  check(options_.top_k >= 1, "Engine: top_k must be >= 1");
+  nsigma_ = static_cast<float>(reference.constraints().nsigma);
+  num_pins_ = graph_->design().num_pins();
+
+  clone_structure(reference);
+  clone_delays(reference);
+  clone_sp_ep_attributes(reference);
+
+  const std::size_t k = static_cast<std::size_t>(options_.top_k);
+  tk_arr_.assign(num_pins_ * 2 * k, 0.0f);
+  tk_mu_.assign(num_pins_ * 2 * k, 0.0f);
+  tk_sig_.assign(num_pins_ * 2 * k, 0.0f);
+  tk_sp_.assign(num_pins_ * 2 * k, -1);
+  tk_cnt_.assign(num_pins_ * 2, 0);
+  if (options_.enable_hold) {
+    tk2_arr_.assign(num_pins_ * 2 * k, 0.0f);
+    tk2_mu_.assign(num_pins_ * 2 * k, 0.0f);
+    tk2_sig_.assign(num_pins_ * 2 * k, 0.0f);
+    tk2_sp_.assign(num_pins_ * 2 * k, -1);
+    tk2_cnt_.assign(num_pins_ * 2, 0);
+  }
+
+  const std::size_t slots = fi_from_.size();
+  for (auto& w : w_) w.assign(slots, 0.0f);
+  pin_grad_.assign(num_pins_ * 2, 0.0f);
+  slot_grad_.assign(slots, 0.0f);
+  arc_grad_.assign(graph_->num_arcs(), 0.0f);
+}
+
+void Engine::clone_structure(const ref::GoldenSta& reference) {
+  const auto& g = *graph_;
+  (void)reference;
+
+  level_start_.assign(g.num_levels() + 1, 0);
+  for (std::size_t l = 0; l < g.num_levels(); ++l) {
+    level_start_[l + 1] =
+        level_start_[l] + static_cast<std::int32_t>(g.level(l).size());
+  }
+  level_pins_.assign(g.level_order().begin(), g.level_order().end());
+
+  fi_start_.assign(num_pins_ + 1, 0);
+  slot_of_arc_.assign(g.num_arcs(), -1);
+  for (std::size_t p = 0; p < num_pins_; ++p) {
+    fi_start_[p + 1] =
+        fi_start_[p] +
+        static_cast<std::int32_t>(g.fanin(static_cast<PinId>(p)).size());
+  }
+  const std::size_t slots = static_cast<std::size_t>(fi_start_[num_pins_]);
+  fi_from_.resize(slots);
+  fi_neg_.resize(slots);
+  fi_arc_.resize(slots);
+  {
+    std::size_t s = 0;
+    for (std::size_t p = 0; p < num_pins_; ++p) {
+      for (const ArcId aid : g.fanin(static_cast<PinId>(p))) {
+        const ArcRecord& a = g.arc(aid);
+        fi_from_[s] = a.from;
+        fi_neg_[s] = (a.sense == ArcSense::kNegative) ? 1 : 0;
+        fi_arc_[s] = aid;
+        slot_of_arc_[static_cast<std::size_t>(aid)] = static_cast<std::int32_t>(s);
+        ++s;
+      }
+    }
+  }
+
+  fo_start_.assign(num_pins_ + 1, 0);
+  for (std::size_t p = 0; p < num_pins_; ++p) {
+    fo_start_[p + 1] =
+        fo_start_[p] +
+        static_cast<std::int32_t>(g.fanout(static_cast<PinId>(p)).size());
+  }
+  fo_slot_.resize(slots);
+  fo_to_.resize(slots);
+  {
+    std::size_t s = 0;
+    for (std::size_t p = 0; p < num_pins_; ++p) {
+      for (const ArcId aid : g.fanout(static_cast<PinId>(p))) {
+        const ArcRecord& a = g.arc(aid);
+        fo_slot_[s] = slot_of_arc_[static_cast<std::size_t>(aid)];
+        fo_to_[s] = a.to;
+        ++s;
+      }
+    }
+  }
+
+  sp_of_pin_.assign(num_pins_, -1);
+  for (std::size_t p = 0; p < num_pins_; ++p) {
+    sp_of_pin_[p] = g.startpoint_of_pin(static_cast<PinId>(p));
+  }
+}
+
+void Engine::clone_delays(const ref::GoldenSta& reference) {
+  const timing::ArcDelays& d = reference.delays();
+  const std::size_t slots = fi_from_.size();
+  for (const int rf : {0, 1}) {
+    amu_[static_cast<std::size_t>(rf)].resize(slots);
+    asig_[static_cast<std::size_t>(rf)].resize(slots);
+    for (std::size_t s = 0; s < slots; ++s) {
+      const auto arc = static_cast<std::size_t>(fi_arc_[s]);
+      amu_[static_cast<std::size_t>(rf)][s] = static_cast<float>(d.mu[rf][arc]);
+      asig_[static_cast<std::size_t>(rf)][s] =
+          static_cast<float>(d.sigma[rf][arc]);
+    }
+  }
+}
+
+void Engine::clone_sp_ep_attributes(const ref::GoldenSta& reference) {
+  const auto& g = *graph_;
+  const timing::ClockAnalysis& clock = reference.clock();
+
+  const std::size_t num_sps = g.startpoints().size();
+  for (const int rf : {0, 1}) {
+    sp_mu_[static_cast<std::size_t>(rf)].resize(num_sps);
+    sp_sig_[static_cast<std::size_t>(rf)].resize(num_sps);
+  }
+  sp_ck_mu_.assign(num_sps, 0.0f);
+  sp_ck_sig2_.assign(num_sps, 0.0f);
+  sp_node_.assign(num_sps, -1);
+  launch_sp_of_arc_.assign(g.num_arcs(), -1);
+  for (std::size_t s = 0; s < num_sps; ++s) {
+    const timing::Startpoint& sp = g.startpoints()[s];
+    const ref::GoldenSta::SpInit init =
+        reference.sp_init(static_cast<StartpointId>(s));
+    for (const int rf : {0, 1}) {
+      sp_mu_[static_cast<std::size_t>(rf)][s] =
+          static_cast<float>(init.mu[static_cast<std::size_t>(rf)]);
+      sp_sig_[static_cast<std::size_t>(rf)][s] =
+          static_cast<float>(init.sigma[static_cast<std::size_t>(rf)]);
+    }
+    if (sp.clocked) {
+      sp_node_[s] = clock.node_of_ff(sp.cell);
+      sp_ck_mu_[s] = static_cast<float>(clock.ck_mu(sp.cell));
+      sp_ck_sig2_[s] = static_cast<float>(clock.ck_sig2(sp.cell));
+      const auto [first, last] = g.cell_arcs(sp.cell);
+      check(last - first == 1, "Engine: FF must have one launch arc");
+      launch_sp_of_arc_[static_cast<std::size_t>(first)] =
+          static_cast<std::int32_t>(s);
+    }
+  }
+
+  const std::size_t num_eps = g.endpoints().size();
+  ep_pin_.resize(num_eps);
+  ep_base_req_.resize(num_eps);
+  ep_period_.resize(num_eps);
+  ep_node_.assign(num_eps, -1);
+  slack_.assign(num_eps, kInf);
+  ep_worst_rf_.assign(num_eps, 0);
+  if (options_.enable_hold) {
+    ep_hold_base_.assign(num_eps, std::numeric_limits<float>::quiet_NaN());
+    hold_slack_.assign(num_eps, kInf);
+  }
+  for (std::size_t e = 0; e < num_eps; ++e) {
+    const timing::Endpoint& ep = g.endpoints()[e];
+    ep_pin_[e] = ep.pin;
+    ep_base_req_[e] =
+        static_cast<float>(reference.ep_base_required(static_cast<EndpointId>(e)));
+    ep_period_[e] =
+        static_cast<float>(reference.ep_period(static_cast<EndpointId>(e)));
+    if (ep.clocked) {
+      ep_node_[e] = clock.node_of_ff(ep.cell);
+      if (options_.enable_hold) {
+        const netlist::LibCell& lc = g.design().libcell_of(ep.cell);
+        ep_hold_base_[e] =
+            static_cast<float>(clock.late_ck(ep.cell) + lc.hold);
+      }
+    }
+  }
+
+  ck_parent_.assign(clock.parents().begin(), clock.parents().end());
+  ck_depth_.assign(clock.depths().begin(), clock.depths().end());
+  ck_sig2_.resize(clock.node_sig2().size());
+  for (std::size_t n = 0; n < ck_sig2_.size(); ++n) {
+    ck_sig2_[n] = static_cast<float>(clock.node_sig2()[n]);
+  }
+}
+
+void Engine::annotate(std::span<const timing::ArcDelta> deltas) {
+  for (const timing::ArcDelta& d : deltas) {
+    const auto arc = static_cast<std::size_t>(d.arc);
+    const std::int32_t slot = slot_of_arc_[arc];
+    {
+      // Track the shallowest affected level for run_forward_incremental().
+      const int lvl = graph_->level_of(graph_->arc(d.arc).to);
+      if (lvl >= 0) {
+        dirty_level_ =
+            std::min(dirty_level_, static_cast<std::size_t>(lvl));
+      }
+    }
+    if (slot >= 0) {
+      for (const int rf : {0, 1}) {
+        amu_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(slot)] =
+            static_cast<float>(d.mu[static_cast<std::size_t>(rf)]);
+        asig_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(slot)] =
+            static_cast<float>(d.sigma[static_cast<std::size_t>(rf)]);
+      }
+      continue;
+    }
+    const std::int32_t sp = launch_sp_of_arc_[arc];
+    check(sp >= 0,
+          "Engine::annotate: arc is neither a data arc nor a launch arc "
+          "(clock-network arcs require re-initialization)");
+    for (const int rf : {0, 1}) {
+      const auto rfi = static_cast<std::size_t>(rf);
+      const auto spi = static_cast<std::size_t>(sp);
+      const auto dsig = static_cast<float>(d.sigma[rfi]);
+      sp_mu_[rfi][spi] = sp_ck_mu_[spi] + static_cast<float>(d.mu[rfi]);
+      sp_sig_[rfi][spi] = std::sqrt(sp_ck_sig2_[spi] + dsig * dsig);
+    }
+  }
+}
+
+timing::ArcDelta Engine::read_annotation(ArcId arc) const {
+  const std::int32_t slot = slot_of_arc_[static_cast<std::size_t>(arc)];
+  timing::ArcDelta d;
+  d.arc = arc;
+  if (slot >= 0) {
+    for (const int rf : {0, 1}) {
+      d.mu[static_cast<std::size_t>(rf)] = static_cast<double>(
+          amu_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(slot)]);
+      d.sigma[static_cast<std::size_t>(rf)] = static_cast<double>(
+          asig_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(slot)]);
+    }
+    return d;
+  }
+  const std::int32_t sp = launch_sp_of_arc_[static_cast<std::size_t>(arc)];
+  check(sp >= 0, "read_annotation: arc is neither a data arc nor a launch arc");
+  // Launch arcs are folded into the startpoint's initial arrival; undo that
+  // fold: mu = sp_mu - ck_mu, sigma^2 = sp_sigma^2 - ck_sigma^2.
+  const auto spi = static_cast<std::size_t>(sp);
+  for (const int rf : {0, 1}) {
+    const auto rfi = static_cast<std::size_t>(rf);
+    d.mu[rfi] = static_cast<double>(sp_mu_[rfi][spi] - sp_ck_mu_[spi]);
+    const float var =
+        sp_sig_[rfi][spi] * sp_sig_[rfi][spi] - sp_ck_sig2_[spi];
+    d.sigma[rfi] = std::sqrt(std::max(0.0, static_cast<double>(var)));
+  }
+  return d;
+}
+
+void Engine::process_pin(PinId pin) {
+  const auto p = static_cast<std::size_t>(pin);
+  const auto k = static_cast<std::int32_t>(options_.top_k);
+  const std::int32_t fs = fi_start_[p];
+  const std::int32_t fe = fi_start_[p + 1];
+
+  for (int rf = 0; rf < 2; ++rf) {
+    const std::size_t base = entry_base(pin, rf);
+    std::int32_t& cnt = tk_cnt_[p * 2 + static_cast<std::size_t>(rf)];
+    cnt = 0;
+    const TopKView view{&tk_arr_[base], &tk_mu_[base], &tk_sig_[base],
+                        &tk_sp_[base], k, &cnt};
+
+    if (fs == fe) {
+      const std::int32_t sp = sp_of_pin_[p];
+      if (sp < 0) continue;
+      const auto rfi = static_cast<std::size_t>(rf);
+      const float mu = sp_mu_[rfi][static_cast<std::size_t>(sp)];
+      const float sig = sp_sig_[rfi][static_cast<std::size_t>(sp)];
+      tk_arr_[base] = mu + nsigma_ * sig;
+      tk_mu_[base] = mu;
+      tk_sig_[base] = sig;
+      tk_sp_[base] = sp;
+      cnt = 1;
+      continue;
+    }
+
+    for (std::int32_t s = fs; s < fe; ++s) {
+      const auto si = static_cast<std::size_t>(s);
+      const int prf = rf ^ static_cast<int>(fi_neg_[si]);
+      const auto from = static_cast<std::size_t>(fi_from_[si]);
+      const std::int32_t pcnt = tk_cnt_[from * 2 + static_cast<std::size_t>(prf)];
+      const float am = amu_[static_cast<std::size_t>(rf)][si];
+      const float as = asig_[static_cast<std::size_t>(rf)][si];
+      const float as2 = as * as;
+      const std::size_t pbase =
+          entry_base(static_cast<PinId>(from), prf);
+      for (std::int32_t kk = 0; kk < pcnt; ++kk) {
+        const float pmu = tk_mu_[pbase + static_cast<std::size_t>(kk)];
+        const float psig = tk_sig_[pbase + static_cast<std::size_t>(kk)];
+        const float mu = pmu + am;
+        const float sig = std::sqrt(psig * psig + as2);
+        const float arrival = mu + nsigma_ * sig;
+        const std::int32_t sp = tk_sp_[pbase + static_cast<std::size_t>(kk)];
+        if (options_.use_heap_queue) {
+          topk_insert_heap(view, arrival, mu, sig, sp);
+        } else {
+          topk_insert(view, arrival, mu, sig, sp);
+        }
+      }
+    }
+    if (options_.use_heap_queue) topk_heap_finalize(view);
+  }
+}
+
+void Engine::process_pin_early(PinId pin) {
+  const auto p = static_cast<std::size_t>(pin);
+  const auto k = static_cast<std::int32_t>(options_.top_k);
+  const std::int32_t fs = fi_start_[p];
+  const std::int32_t fe = fi_start_[p + 1];
+
+  // tk2_arr_ stores *negated* early corners: the descending unique-SP list
+  // kernel then keeps the K smallest early arrivals.
+  for (int rf = 0; rf < 2; ++rf) {
+    const std::size_t base = entry_base(pin, rf);
+    std::int32_t& cnt = tk2_cnt_[p * 2 + static_cast<std::size_t>(rf)];
+    cnt = 0;
+    const TopKView view{&tk2_arr_[base], &tk2_mu_[base], &tk2_sig_[base],
+                        &tk2_sp_[base], k, &cnt};
+    if (fs == fe) {
+      const std::int32_t sp = sp_of_pin_[p];
+      if (sp < 0) continue;
+      const auto rfi = static_cast<std::size_t>(rf);
+      const float mu = sp_mu_[rfi][static_cast<std::size_t>(sp)];
+      const float sig = sp_sig_[rfi][static_cast<std::size_t>(sp)];
+      tk2_arr_[base] = -(mu - nsigma_ * sig);
+      tk2_mu_[base] = mu;
+      tk2_sig_[base] = sig;
+      tk2_sp_[base] = sp;
+      cnt = 1;
+      continue;
+    }
+    for (std::int32_t s = fs; s < fe; ++s) {
+      const auto si = static_cast<std::size_t>(s);
+      const int prf = rf ^ static_cast<int>(fi_neg_[si]);
+      const auto from = static_cast<std::size_t>(fi_from_[si]);
+      const std::int32_t pcnt = tk2_cnt_[from * 2 + static_cast<std::size_t>(prf)];
+      const float am = amu_[static_cast<std::size_t>(rf)][si];
+      const float as = asig_[static_cast<std::size_t>(rf)][si];
+      const float as2 = as * as;
+      const std::size_t pbase = entry_base(static_cast<PinId>(from), prf);
+      for (std::int32_t kk = 0; kk < pcnt; ++kk) {
+        const float pmu = tk2_mu_[pbase + static_cast<std::size_t>(kk)];
+        const float psig = tk2_sig_[pbase + static_cast<std::size_t>(kk)];
+        const float mu = pmu + am;
+        const float sig = std::sqrt(psig * psig + as2);
+        const float neg_arrival = -(mu - nsigma_ * sig);
+        const std::int32_t sp = tk2_sp_[pbase + static_cast<std::size_t>(kk)];
+        if (options_.use_heap_queue) {
+          topk_insert_heap(view, neg_arrival, mu, sig, sp);
+        } else {
+          topk_insert(view, neg_arrival, mu, sig, sp);
+        }
+      }
+    }
+    if (options_.use_heap_queue) topk_heap_finalize(view);
+  }
+}
+
+void Engine::forward_from(std::size_t first_level) {
+  auto& pool = util::ThreadPool::global();
+  const std::size_t num_levels = level_start_.size() - 1;
+  dirty_level_ = std::numeric_limits<std::size_t>::max();
+  for (std::size_t l = std::min(first_level, num_levels); l < num_levels; ++l) {
+    const std::size_t lo = static_cast<std::size_t>(level_start_[l]);
+    const std::size_t hi = static_cast<std::size_t>(level_start_[l + 1]);
+    auto run = [&](std::size_t a, std::size_t b) {
+      for (std::size_t i = a; i < b; ++i) {
+        process_pin(level_pins_[i]);
+        if (options_.enable_hold) process_pin_early(level_pins_[i]);
+      }
+    };
+    if (options_.parallel && hi - lo >= 512) {
+      pool.parallel_for_chunks(lo, hi, run, 128);
+    } else {
+      run(lo, hi);
+    }
+  }
+  const std::size_t num_eps = ep_pin_.size();
+  auto eval = [&](std::size_t a, std::size_t b) {
+    for (std::size_t e = a; e < b; ++e) {
+      evaluate_endpoint(static_cast<EndpointId>(e));
+      if (options_.enable_hold) {
+        evaluate_endpoint_hold(static_cast<EndpointId>(e));
+      }
+    }
+  };
+  if (options_.parallel && num_eps >= 512) {
+    pool.parallel_for_chunks(0, num_eps, eval, 256);
+  } else {
+    eval(0, num_eps);
+  }
+}
+
+void Engine::run_forward() { forward_from(0); }
+
+void Engine::run_forward_incremental() { forward_from(dirty_level_); }
+
+float Engine::credit(std::int32_t a, std::int32_t b) const {
+  if (a < 0 || b < 0) return 0.0f;
+  while (ck_depth_[static_cast<std::size_t>(a)] >
+         ck_depth_[static_cast<std::size_t>(b)]) {
+    a = ck_parent_[static_cast<std::size_t>(a)];
+  }
+  while (ck_depth_[static_cast<std::size_t>(b)] >
+         ck_depth_[static_cast<std::size_t>(a)]) {
+    b = ck_parent_[static_cast<std::size_t>(b)];
+  }
+  while (a != b) {
+    a = ck_parent_[static_cast<std::size_t>(a)];
+    b = ck_parent_[static_cast<std::size_t>(b)];
+  }
+  return 2.0f * nsigma_ * std::sqrt(ck_sig2_[static_cast<std::size_t>(a)]);
+}
+
+void Engine::evaluate_endpoint(EndpointId ep) {
+  const auto e = static_cast<std::size_t>(ep);
+  const auto pin = static_cast<std::size_t>(ep_pin_[e]);
+  const std::int32_t ep_node = ep_node_[e];
+  const float base = ep_base_req_[e];
+  float best = kInf;
+  std::uint8_t best_rf = 0;
+  const bool has_exceptions = exceptions_.size() != 0;
+  for (int rf = 0; rf < 2; ++rf) {
+    const std::size_t tbase = entry_base(static_cast<PinId>(pin), rf);
+    const std::int32_t cnt = tk_cnt_[pin * 2 + static_cast<std::size_t>(rf)];
+    for (std::int32_t kk = 0; kk < cnt; ++kk) {
+      const std::int32_t sp = tk_sp_[tbase + static_cast<std::size_t>(kk)];
+      if (has_exceptions && exceptions_.is_false_path(sp, ep)) continue;
+      float req = base + credit(sp_node_[static_cast<std::size_t>(sp)], ep_node);
+      if (has_exceptions) {
+        req += static_cast<float>(
+            exceptions_.required_shift(sp, ep, static_cast<double>(ep_period_[e])));
+      }
+      const float slack = req - tk_arr_[tbase + static_cast<std::size_t>(kk)];
+      if (slack < best) {
+        best = slack;
+        best_rf = static_cast<std::uint8_t>(rf);
+      }
+    }
+  }
+  slack_[e] = best;
+  ep_worst_rf_[e] = best_rf;
+}
+
+void Engine::evaluate_endpoint_hold(EndpointId ep) {
+  const auto e = static_cast<std::size_t>(ep);
+  const float base = ep_hold_base_[e];
+  if (std::isnan(base)) {  // unclocked endpoint: no hold check
+    hold_slack_[e] = kInf;
+    return;
+  }
+  const auto pin = static_cast<std::size_t>(ep_pin_[e]);
+  const std::int32_t ep_node = ep_node_[e];
+  float best = kInf;
+  const bool has_exceptions = exceptions_.size() != 0;
+  for (int rf = 0; rf < 2; ++rf) {
+    const std::size_t tbase = entry_base(static_cast<PinId>(pin), rf);
+    const std::int32_t cnt = tk2_cnt_[pin * 2 + static_cast<std::size_t>(rf)];
+    for (std::int32_t kk = 0; kk < cnt; ++kk) {
+      const std::int32_t sp = tk2_sp_[tbase + static_cast<std::size_t>(kk)];
+      if (has_exceptions && exceptions_.is_false_path(sp, ep)) continue;
+      const float req =
+          base - credit(sp_node_[static_cast<std::size_t>(sp)], ep_node);
+      const float early = -tk2_arr_[tbase + static_cast<std::size_t>(kk)];
+      best = std::min(best, early - req);
+    }
+  }
+  hold_slack_[e] = best;
+}
+
+double Engine::ths() const {
+  double t = 0.0;
+  for (const float s : hold_slack_) {
+    if (std::isfinite(s) && s < 0.0f) t += static_cast<double>(s);
+  }
+  return t;
+}
+
+double Engine::whs() const {
+  double w = 0.0;
+  bool any = false;
+  for (const float s : hold_slack_) {
+    if (!std::isfinite(s)) continue;
+    if (!any || static_cast<double>(s) < w) {
+      w = static_cast<double>(s);
+      any = true;
+    }
+  }
+  return any ? w : 0.0;
+}
+
+int Engine::num_hold_violations() const {
+  int n = 0;
+  for (const float s : hold_slack_) {
+    if (std::isfinite(s) && s < 0.0f) ++n;
+  }
+  return n;
+}
+
+double Engine::tns() const {
+  double t = 0.0;
+  for (const float s : slack_) {
+    if (std::isfinite(s) && s < 0.0f) t += static_cast<double>(s);
+  }
+  return t;
+}
+
+double Engine::wns() const {
+  double w = 0.0;
+  bool any = false;
+  for (const float s : slack_) {
+    if (!std::isfinite(s)) continue;
+    if (!any || static_cast<double>(s) < w) {
+      w = static_cast<double>(s);
+      any = true;
+    }
+  }
+  return any ? w : 0.0;
+}
+
+int Engine::num_violations() const {
+  int n = 0;
+  for (const float s : slack_) {
+    if (std::isfinite(s) && s < 0.0f) ++n;
+  }
+  return n;
+}
+
+void Engine::run_backward(GradientMetric metric) {
+  auto& pool = util::ThreadPool::global();
+  for (auto& w : w_) std::fill(w.begin(), w.end(), 0.0f);
+  std::fill(pin_grad_.begin(), pin_grad_.end(), 0.0f);
+  std::fill(slot_grad_.begin(), slot_grad_.end(), 0.0f);
+  std::fill(arc_grad_.begin(), arc_grad_.end(), 0.0f);
+  const float tau = std::max(options_.tau, 1e-4f);
+
+  // Phase 1: Eq. 6 softmax weights of every merge, from the parents' top-1
+  // arrivals. Each pin owns its fanin slots; fully parallel.
+  auto weights = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto p = static_cast<std::size_t>(level_pins_[i]);
+      const std::int32_t fs = fi_start_[p];
+      const std::int32_t fe = fi_start_[p + 1];
+      if (fs == fe) continue;
+      for (int rf = 0; rf < 2; ++rf) {
+        float m = -kInf;
+        for (std::int32_t s = fs; s < fe; ++s) {
+          const auto si = static_cast<std::size_t>(s);
+          const int prf = rf ^ static_cast<int>(fi_neg_[si]);
+          const auto from = static_cast<std::size_t>(fi_from_[si]);
+          if (tk_cnt_[from * 2 + static_cast<std::size_t>(prf)] == 0) continue;
+          const std::size_t pbase = entry_base(static_cast<PinId>(from), prf);
+          const float as = asig_[static_cast<std::size_t>(rf)][si];
+          const float cand =
+              tk_mu_[pbase] + amu_[static_cast<std::size_t>(rf)][si] +
+              nsigma_ * std::sqrt(tk_sig_[pbase] * tk_sig_[pbase] + as * as);
+          m = std::max(m, cand);
+        }
+        if (!std::isfinite(m)) continue;
+        float denom = 0.0f;
+        for (std::int32_t s = fs; s < fe; ++s) {
+          const auto si = static_cast<std::size_t>(s);
+          const int prf = rf ^ static_cast<int>(fi_neg_[si]);
+          const auto from = static_cast<std::size_t>(fi_from_[si]);
+          if (tk_cnt_[from * 2 + static_cast<std::size_t>(prf)] == 0) continue;
+          const std::size_t pbase = entry_base(static_cast<PinId>(from), prf);
+          const float as = asig_[static_cast<std::size_t>(rf)][si];
+          const float cand =
+              tk_mu_[pbase] + amu_[static_cast<std::size_t>(rf)][si] +
+              nsigma_ * std::sqrt(tk_sig_[pbase] * tk_sig_[pbase] + as * as);
+          const float e = std::exp((cand - m) / tau);
+          w_[static_cast<std::size_t>(rf)][si] = e;
+          denom += e;
+        }
+        if (denom <= 0.0f) continue;
+        const float inv = 1.0f / denom;
+        for (std::int32_t s = fs; s < fe; ++s) {
+          w_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(s)] *= inv;
+        }
+      }
+    }
+  };
+  if (options_.parallel) {
+    pool.parallel_for_chunks(0, level_pins_.size(), weights, 512);
+  } else {
+    weights(0, level_pins_.size());
+  }
+
+  // Phase 2: endpoint seeds of d(-metric)/d(arrival).
+  if (metric == GradientMetric::kTns) {
+    for (std::size_t e = 0; e < slack_.size(); ++e) {
+      const float s = slack_[e];
+      if (!std::isfinite(s) || s >= 0.0f) continue;
+      pin_grad_[static_cast<std::size_t>(ep_pin_[e]) * 2 + ep_worst_rf_[e]] +=
+          1.0f;
+    }
+  } else {
+    float smin = 0.0f;
+    bool any = false;
+    for (const float s : slack_) {
+      if (std::isfinite(s) && s < 0.0f && (!any || s < smin)) {
+        smin = s;
+        any = true;
+      }
+    }
+    if (any) {
+      const float wtau = std::max(options_.wns_tau, 1e-4f);
+      double denom = 0.0;
+      for (const float s : slack_) {
+        if (std::isfinite(s) && s < 0.0f) {
+          denom += std::exp(static_cast<double>((smin - s) / wtau));
+        }
+      }
+      for (std::size_t e = 0; e < slack_.size(); ++e) {
+        const float s = slack_[e];
+        if (!std::isfinite(s) || s >= 0.0f) continue;
+        const float seed = static_cast<float>(
+            std::exp(static_cast<double>((smin - s) / wtau)) / denom);
+        pin_grad_[static_cast<std::size_t>(ep_pin_[e]) * 2 + ep_worst_rf_[e]] +=
+            seed;
+      }
+    }
+  }
+
+  // Phase 3: reverse level-synchronous pull. Each pin gathers the weighted
+  // gradients of its fanout (already-final deeper levels) into itself and
+  // into the fanout arcs it owns.
+  const std::size_t num_levels = level_start_.size() - 1;
+  for (std::size_t l = num_levels; l-- > 0;) {
+    const std::size_t lo = static_cast<std::size_t>(level_start_[l]);
+    const std::size_t hi = static_cast<std::size_t>(level_start_[l + 1]);
+    auto pull = [&](std::size_t a, std::size_t b) {
+      for (std::size_t i = a; i < b; ++i) {
+        const auto p = static_cast<std::size_t>(level_pins_[i]);
+        const std::int32_t os = fo_start_[p];
+        const std::int32_t oe = fo_start_[p + 1];
+        for (std::int32_t o = os; o < oe; ++o) {
+          const auto slot = static_cast<std::size_t>(fo_slot_[o]);
+          const auto to = static_cast<std::size_t>(fo_to_[static_cast<std::size_t>(o)]);
+          for (int crf = 0; crf < 2; ++crf) {
+            const float wv = w_[static_cast<std::size_t>(crf)][slot];
+            if (wv == 0.0f) continue;
+            const float g = pin_grad_[to * 2 + static_cast<std::size_t>(crf)];
+            if (g == 0.0f) continue;
+            const float c = wv * g;
+            const int prf = crf ^ static_cast<int>(fi_neg_[slot]);
+            pin_grad_[p * 2 + static_cast<std::size_t>(prf)] += c;
+            slot_grad_[slot] += c;
+          }
+        }
+      }
+    };
+    if (options_.parallel && hi - lo >= 512) {
+      pool.parallel_for_chunks(lo, hi, pull, 256);
+    } else {
+      pull(lo, hi);
+    }
+  }
+
+  // Phase 4: scatter slot gradients onto graph arc ids.
+  for (std::size_t s = 0; s < slot_grad_.size(); ++s) {
+    arc_grad_[static_cast<std::size_t>(fi_arc_[s])] += slot_grad_[s];
+  }
+}
+
+float Engine::stage_gradient(netlist::CellId cell) const {
+  float g = 0.0f;
+  const auto [cfirst, clast] = graph_->cell_arcs(cell);
+  for (ArcId a = cfirst; a < clast; ++a) {
+    g += arc_grad_[static_cast<std::size_t>(a)];
+  }
+  const netlist::LibCell& lc = graph_->design().libcell_of(cell);
+  for (int i = 0; i < netlist::num_data_inputs(lc.func); ++i) {
+    const PinId pin = graph_->design().input_pin(cell, i);
+    for (const ArcId a : graph_->fanin(pin)) {
+      g += arc_grad_[static_cast<std::size_t>(a)];
+    }
+  }
+  return g;
+}
+
+std::vector<Engine::TopKEntry> Engine::arrivals(PinId pin,
+                                                RiseFall rf) const {
+  const std::size_t base = entry_base(pin, netlist::rf_index(rf));
+  const std::int32_t cnt =
+      tk_cnt_[static_cast<std::size_t>(pin) * 2 +
+              static_cast<std::size_t>(netlist::rf_index(rf))];
+  std::vector<TopKEntry> out;
+  out.reserve(static_cast<std::size_t>(cnt));
+  for (std::int32_t k = 0; k < cnt; ++k) {
+    TopKEntry e;
+    e.arr = tk_arr_[base + static_cast<std::size_t>(k)];
+    e.mu = tk_mu_[base + static_cast<std::size_t>(k)];
+    e.sig = tk_sig_[base + static_cast<std::size_t>(k)];
+    e.sp = tk_sp_[base + static_cast<std::size_t>(k)];
+    out.push_back(e);
+  }
+  return out;
+}
+
+float Engine::worst_arrival(PinId pin) const {
+  float worst = -kInf;
+  for (int rf = 0; rf < 2; ++rf) {
+    if (tk_cnt_[static_cast<std::size_t>(pin) * 2 + static_cast<std::size_t>(rf)] >
+        0) {
+      worst = std::max(worst, tk_arr_[entry_base(pin, rf)]);
+    }
+  }
+  return worst;
+}
+
+std::size_t Engine::memory_bytes() const {
+  std::size_t b = 0;
+  b += tk_arr_.capacity() * sizeof(float) * 3;  // arr, mu, sig
+  b += tk_sp_.capacity() * sizeof(std::int32_t);
+  b += tk_cnt_.capacity() * sizeof(std::int32_t);
+  b += fi_from_.capacity() * sizeof(PinId);
+  b += fi_neg_.capacity();
+  b += fi_arc_.capacity() * sizeof(ArcId);
+  b += (amu_[0].capacity() + amu_[1].capacity() + asig_[0].capacity() +
+        asig_[1].capacity()) *
+       sizeof(float);
+  b += (fo_slot_.capacity() + fo_to_.capacity()) * sizeof(std::int32_t);
+  b += (w_[0].capacity() + w_[1].capacity() + slot_grad_.capacity() +
+        pin_grad_.capacity() + arc_grad_.capacity()) *
+       sizeof(float);
+  b += (fi_start_.capacity() + fo_start_.capacity() + slot_of_arc_.capacity() +
+        sp_of_pin_.capacity() + launch_sp_of_arc_.capacity()) *
+       sizeof(std::int32_t);
+  return b;
+}
+
+}  // namespace insta::core

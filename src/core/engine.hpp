@@ -1,0 +1,257 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ref/golden_sta.hpp"
+#include "timing/constraints.hpp"
+#include "timing/graph.hpp"
+#include "timing/types.hpp"
+
+namespace insta::core {
+
+/// Configuration of the INSTA engine.
+struct EngineOptions {
+  /// Number of unique-startpoint arrivals kept per pin/transition.
+  /// K=1 disables CPPR handling (the left plot of Fig. 6); K >= the number
+  /// of distinct startpoints converging anywhere makes propagation exact.
+  int top_k = 32;
+  /// LSE temperature (ps) of the backward softmax of Eq. 6. Smaller values
+  /// approach the hard max; larger values spread gradient across
+  /// sub-critical paths.
+  float tau = 10.0f;
+  /// Soft-min temperature (ps) across endpoints used for WNS gradient seeds.
+  float wns_tau = 10.0f;
+  /// Use the binary-heap priority queue instead of the paper's fixed-size
+  /// sorted list (Section III-E ablation).
+  bool use_heap_queue = false;
+  /// Level-parallel execution on the global thread pool.
+  bool parallel = true;
+  /// Also propagate early (minimum) arrivals and evaluate hold checks.
+  /// Doubles the Top-K storage. The reference engine must have been built
+  /// with the matching GoldenOptions::enable_hold. Off by default: the
+  /// paper's experiments are setup-only.
+  bool enable_hold = false;
+};
+
+/// Global timing metric whose gradient run_backward computes.
+enum class GradientMetric { kTns, kWns };
+
+/// The INSTA engine: ultra-fast, differentiable, statistical timing
+/// propagation over a timing-graph image cloned from a reference engine.
+///
+/// Construction performs the paper's one-time initialization (Figure 2):
+/// it copies the levelized graph structure, per-arc delay distributions,
+/// startpoint arrival attributes, endpoint required-time attributes, the
+/// clock-tree CPPR tables, and the timing-exception table out of the golden
+/// reference engine into flat float structure-of-arrays storage — the CPU
+/// analogue of uploading initialization tensors to the GPU.
+///
+/// After initialization the engine is independent of the reference: it owns
+/// forward Top-K statistical propagation (Algorithms 1 + 2), endpoint slack
+/// evaluation with CPPR credits, incremental arc re-annotation, and the
+/// backward "timing gradient" pass (Eq. 6).
+class Engine {
+ public:
+  /// One-time initialization from a golden reference engine on which
+  /// update_full() has been run.
+  explicit Engine(const ref::GoldenSta& reference, EngineOptions options = {});
+
+  // ---- incremental re-annotation ------------------------------------------
+
+  /// Overwrites the delay distributions of the given arcs (e.g. with
+  /// estimate_eco output after a gate resize). Launch-arc deltas update the
+  /// corresponding startpoint's initial arrival. Cheap; call run_forward()
+  /// afterwards to refresh timing.
+  void annotate(std::span<const timing::ArcDelta> deltas);
+
+  /// Reads back the engine's current annotation of a data arc (used by
+  /// optimization loops to snapshot state before a tentative annotate() so
+  /// a rejected move can be rolled back exactly).
+  [[nodiscard]] timing::ArcDelta read_annotation(timing::ArcId arc) const;
+
+  // ---- forward: Top-K statistical propagation -------------------------------
+
+  /// Full-graph forward propagation: level-synchronous Top-K unique-
+  /// startpoint arrival merging, then endpoint slack evaluation.
+  void run_forward();
+
+  /// Level-windowed forward propagation: re-processes only levels at or
+  /// above the shallowest arc annotated since the last forward pass (all
+  /// earlier levels are provably unchanged), then re-evaluates endpoint
+  /// slacks. Identical results to run_forward() at a fraction of the cost
+  /// for late-level ECOs; falls back to a full pass after initialization.
+  void run_forward_incremental();
+
+  // ---- evaluation results ---------------------------------------------------
+
+  /// Slack of one endpoint, ps (+infinity if unconstrained).
+  [[nodiscard]] float endpoint_slack(timing::EndpointId ep) const {
+    return slack_[static_cast<std::size_t>(ep)];
+  }
+
+  /// All endpoint slacks, indexed by endpoint id.
+  [[nodiscard]] std::span<const float> endpoint_slacks() const { return slack_; }
+
+  /// Total negative slack, ps.
+  [[nodiscard]] double tns() const;
+
+  /// Worst negative slack, ps (0 if no endpoint violates).
+  [[nodiscard]] double wns() const;
+
+  /// Number of endpoints with negative slack.
+  [[nodiscard]] int num_violations() const;
+
+  // ---- hold (min-mode) results; valid when options.enable_hold -------------
+
+  /// Hold slack of one endpoint, ps (+infinity if unconstrained).
+  [[nodiscard]] float endpoint_hold_slack(timing::EndpointId ep) const {
+    return hold_slack_[static_cast<std::size_t>(ep)];
+  }
+
+  /// Total negative hold slack, ps.
+  [[nodiscard]] double ths() const;
+
+  /// Worst hold slack, ps (0 if nothing violates).
+  [[nodiscard]] double whs() const;
+
+  /// Number of endpoints with negative hold slack.
+  [[nodiscard]] int num_hold_violations() const;
+
+  // ---- backward: timing gradients -------------------------------------------
+
+  /// Backpropagates the chosen metric from the endpoints to every arc,
+  /// assigning each candidate path the softmax weight of Eq. 6. After the
+  /// call, arc_gradient(a) holds d(-metric)/d(mu_a) >= 0: the arc's
+  /// criticality, i.e. how much one ps of added delay on the arc would
+  /// degrade TNS (or WNS).
+  void run_backward(GradientMetric metric = GradientMetric::kTns);
+
+  /// Gradient of one arc from the last run_backward (graph arc id).
+  [[nodiscard]] float arc_gradient(timing::ArcId arc) const {
+    return arc_grad_[static_cast<std::size_t>(arc)];
+  }
+
+  /// All arc gradients, indexed by graph arc id.
+  [[nodiscard]] std::span<const float> arc_gradients() const { return arc_grad_; }
+
+  /// Stage gradient of a cell: the sum of its cell-arc gradients and its
+  /// driving net-arc gradients (Section III-H's sizing stage metric).
+  [[nodiscard]] float stage_gradient(netlist::CellId cell) const;
+
+  // ---- introspection ---------------------------------------------------------
+
+  /// One Top-K entry as stored in the engine.
+  struct TopKEntry {
+    float arr = 0.0f;
+    float mu = 0.0f;
+    float sig = 0.0f;
+    std::int32_t sp = -1;
+  };
+
+  /// Current Top-K arrivals at a pin/transition, descending by arrival.
+  [[nodiscard]] std::vector<TopKEntry> arrivals(netlist::PinId pin,
+                                                netlist::RiseFall rf) const;
+
+  /// The worst arrival corner at a pin over both transitions (-infinity if
+  /// nothing arrives).
+  [[nodiscard]] float worst_arrival(netlist::PinId pin) const;
+
+  /// Bytes held by the engine's flat arrays (the Table I memory column).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  [[nodiscard]] const timing::TimingGraph& graph() const { return *graph_; }
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t num_levels() const { return level_start_.size() - 1; }
+
+ private:
+  void clone_structure(const ref::GoldenSta& reference);
+  void clone_delays(const ref::GoldenSta& reference);
+  void clone_sp_ep_attributes(const ref::GoldenSta& reference);
+  void forward_from(std::size_t first_level);
+  void process_pin(netlist::PinId pin);
+  void process_pin_early(netlist::PinId pin);
+  void evaluate_endpoint(timing::EndpointId ep);
+  void evaluate_endpoint_hold(timing::EndpointId ep);
+  [[nodiscard]] float credit(std::int32_t sp_node, std::int32_t ep_node) const;
+  [[nodiscard]] std::size_t entry_base(netlist::PinId pin, int rf) const {
+    return (static_cast<std::size_t>(pin) * 2 + static_cast<std::size_t>(rf)) *
+           static_cast<std::size_t>(options_.top_k);
+  }
+
+  const timing::TimingGraph* graph_;
+  EngineOptions options_;
+  float nsigma_ = 3.0f;
+
+  std::size_t num_pins_ = 0;
+
+  // Levelized structure (cloned).
+  std::vector<std::int32_t> level_start_;
+  std::vector<netlist::PinId> level_pins_;
+
+  // Fanin CSR over data arcs; `slot` indexes all per-arc-instance arrays.
+  std::vector<std::int32_t> fi_start_;      // per pin, size P+1
+  std::vector<netlist::PinId> fi_from_;     // per slot
+  std::vector<std::uint8_t> fi_neg_;        // per slot: 1 if negative sense
+  std::vector<timing::ArcId> fi_arc_;       // per slot: graph arc id
+  std::array<std::vector<float>, 2> amu_;   // per slot, [rf]
+  std::array<std::vector<float>, 2> asig_;  // per slot, [rf]
+  std::vector<std::int32_t> slot_of_arc_;   // per graph arc, -1 if none
+
+  // Fanout CSR referencing the same slots (for the backward pull).
+  std::vector<std::int32_t> fo_start_;   // per pin, size P+1
+  std::vector<std::int32_t> fo_slot_;    // per entry: fanin slot id
+  std::vector<netlist::PinId> fo_to_;    // per entry: child pin
+
+  // Startpoints.
+  std::vector<std::int32_t> sp_of_pin_;      // per pin, -1 if none
+  std::array<std::vector<float>, 2> sp_mu_;  // init arrival mean per sp
+  std::array<std::vector<float>, 2> sp_sig_; // init arrival sigma per sp
+  std::vector<float> sp_ck_mu_;              // clock arrival mean (clocked SPs)
+  std::vector<float> sp_ck_sig2_;            // clock arrival variance
+  std::vector<std::int32_t> sp_node_;        // clock-tree node, -1 for PIs
+  std::vector<std::int32_t> launch_sp_of_arc_;  // per graph arc, -1 default
+
+  // Endpoints.
+  std::vector<netlist::PinId> ep_pin_;
+  std::vector<float> ep_base_req_;
+  std::vector<float> ep_period_;  ///< capture domain period per endpoint
+  std::vector<std::int32_t> ep_node_;     // capture clock-tree node, -1 at POs
+  std::vector<float> slack_;
+  std::vector<std::uint8_t> ep_worst_rf_;
+  timing::ExceptionTable exceptions_;
+
+  // Clock-tree CPPR tables (cloned).
+  std::vector<std::int32_t> ck_parent_;
+  std::vector<std::int32_t> ck_depth_;
+  std::vector<float> ck_sig2_;
+
+  // Top-K stores.
+  std::vector<float> tk_arr_;
+  std::vector<float> tk_mu_;
+  std::vector<float> tk_sig_;
+  std::vector<std::int32_t> tk_sp_;
+  std::vector<std::int32_t> tk_cnt_;  // per pin*2
+
+  // Early (min-mode) Top-K stores; tk2_arr_ holds *negated* early corners
+  // so the same descending-list kernel keeps the smallest arrivals.
+  std::vector<float> tk2_arr_;
+  std::vector<float> tk2_mu_;
+  std::vector<float> tk2_sig_;
+  std::vector<std::int32_t> tk2_sp_;
+  std::vector<std::int32_t> tk2_cnt_;
+  std::vector<float> ep_hold_base_;  ///< late capture clock + hold, per ep
+  std::vector<float> hold_slack_;
+
+  /// Shallowest level whose inputs changed since the last forward pass
+  /// (0 after construction; SIZE_MAX when timing is clean).
+  std::size_t dirty_level_ = 0;
+
+  // Backward state.
+  std::array<std::vector<float>, 2> w_;  // per slot, [rf]: Eq. 6 weights
+  std::vector<float> pin_grad_;          // per pin*2
+  std::vector<float> slot_grad_;         // per slot
+  std::vector<float> arc_grad_;          // per graph arc
+};
+
+}  // namespace insta::core

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace insta::core {
+
+/// A mutable view of one pin/transition's Top-K arrival store: four parallel
+/// arrays of capacity `k` plus an external count. This mirrors the paper's
+/// flat GPU layout (topK_{arrivals, means, stds, SPs}), where each CUDA
+/// thread owns the K-slot slice of its output pin.
+struct TopKView {
+  float* arr = nullptr;       ///< corner arrival times, descending
+  float* mu = nullptr;        ///< arrival means
+  float* sig = nullptr;       ///< arrival sigmas
+  std::int32_t* sp = nullptr; ///< startpoint tags (unique within the list)
+  std::int32_t k = 0;         ///< capacity (the K of Top-K)
+  std::int32_t* count = nullptr;  ///< current number of valid entries
+};
+
+/// Algorithm 2 of the paper: inserts a startpoint-tagged arrival into a
+/// fixed-size descending list while keeping startpoints unique.
+///
+/// Step 1 — if `new_sp` is already present, update it when the new arrival
+/// is larger (then bubble it up to restore descending order).
+/// Step 2 — otherwise insert in sorted position, shifting entries down and
+/// dropping the smallest when the list is full.
+///
+/// O(K) comparisons and shifts per call; with the K candidate entries of
+/// each fanin arc this gives the O(K^2) per-merge cost analysed in
+/// Section III-E.
+inline void topk_insert(const TopKView& v, float arr, float mu, float sig,
+                        std::int32_t sp) {
+  const std::int32_t n = *v.count;
+  // Step 1: startpoint uniqueness check.
+  for (std::int32_t j = 0; j < n; ++j) {
+    if (v.sp[j] != sp) continue;
+    if (arr > v.arr[j]) {
+      v.arr[j] = arr;
+      v.mu[j] = mu;
+      v.sig[j] = sig;
+      // Bubble up to restore descending order.
+      std::int32_t i = j;
+      while (i > 0 && v.arr[i - 1] < v.arr[i]) {
+        std::swap(v.arr[i - 1], v.arr[i]);
+        std::swap(v.mu[i - 1], v.mu[i]);
+        std::swap(v.sig[i - 1], v.sig[i]);
+        std::swap(v.sp[i - 1], v.sp[i]);
+        --i;
+      }
+    }
+    return;  // exit once the existing startpoint is found
+  }
+  // Step 2: insert as a new startpoint if it qualifies.
+  std::int32_t pos = n;
+  if (n == v.k) {
+    if (arr <= v.arr[n - 1]) return;  // smaller than the smallest kept entry
+    pos = n - 1;
+  } else {
+    *v.count = n + 1;
+  }
+  // Shift smaller entries down and place the new one in sorted position.
+  while (pos > 0 && v.arr[pos - 1] < arr) {
+    v.arr[pos] = v.arr[pos - 1];
+    v.mu[pos] = v.mu[pos - 1];
+    v.sig[pos] = v.sig[pos - 1];
+    v.sp[pos] = v.sp[pos - 1];
+    --pos;
+  }
+  v.arr[pos] = arr;
+  v.mu[pos] = mu;
+  v.sig[pos] = sig;
+  v.sp[pos] = sp;
+}
+
+/// Binary-min-heap variant of the Top-K store for the Section III-E
+/// "why not heaps?" ablation. The heap is keyed on the arrival time (root =
+/// smallest kept arrival); startpoint uniqueness still needs a linear scan.
+/// After propagation the list must be sorted with topk_heap_finalize before
+/// slack evaluation.
+inline void topk_insert_heap(const TopKView& v, float arr, float mu, float sig,
+                             std::int32_t sp) {
+  auto swap_at = [&](std::int32_t a, std::int32_t b) {
+    std::swap(v.arr[a], v.arr[b]);
+    std::swap(v.mu[a], v.mu[b]);
+    std::swap(v.sig[a], v.sig[b]);
+    std::swap(v.sp[a], v.sp[b]);
+  };
+  auto sift_down = [&](std::int32_t i, std::int32_t n) {
+    for (;;) {
+      const std::int32_t l = 2 * i + 1;
+      const std::int32_t r = 2 * i + 2;
+      std::int32_t smallest = i;
+      if (l < n && v.arr[l] < v.arr[smallest]) smallest = l;
+      if (r < n && v.arr[r] < v.arr[smallest]) smallest = r;
+      if (smallest == i) return;
+      swap_at(i, smallest);
+      i = smallest;
+    }
+  };
+  auto sift_up = [&](std::int32_t i) {
+    while (i > 0) {
+      const std::int32_t parent = (i - 1) / 2;
+      if (v.arr[parent] <= v.arr[i]) return;
+      swap_at(i, parent);
+      i = parent;
+    }
+  };
+
+  const std::int32_t n = *v.count;
+  for (std::int32_t j = 0; j < n; ++j) {
+    if (v.sp[j] != sp) continue;
+    if (arr > v.arr[j]) {
+      v.arr[j] = arr;
+      v.mu[j] = mu;
+      v.sig[j] = sig;
+      sift_down(j, n);  // key increased in a min-heap
+    }
+    return;
+  }
+  if (n < v.k) {
+    v.arr[n] = arr;
+    v.mu[n] = mu;
+    v.sig[n] = sig;
+    v.sp[n] = sp;
+    *v.count = n + 1;
+    sift_up(n);
+    return;
+  }
+  if (arr <= v.arr[0]) return;  // not better than the heap minimum
+  v.arr[0] = arr;
+  v.mu[0] = mu;
+  v.sig[0] = sig;
+  v.sp[0] = sp;
+  sift_down(0, n);
+}
+
+/// Sorts a heap-ordered Top-K store into the descending order the list
+/// variant maintains (insertion sort; K is small).
+inline void topk_heap_finalize(const TopKView& v) {
+  const std::int32_t n = *v.count;
+  for (std::int32_t i = 1; i < n; ++i) {
+    const float a = v.arr[i];
+    const float m = v.mu[i];
+    const float s = v.sig[i];
+    const std::int32_t p = v.sp[i];
+    std::int32_t j = i;
+    while (j > 0 && v.arr[j - 1] < a) {
+      v.arr[j] = v.arr[j - 1];
+      v.mu[j] = v.mu[j - 1];
+      v.sig[j] = v.sig[j - 1];
+      v.sp[j] = v.sp[j - 1];
+      --j;
+    }
+    v.arr[j] = a;
+    v.mu[j] = m;
+    v.sig[j] = s;
+    v.sp[j] = p;
+  }
+}
+
+}  // namespace insta::core

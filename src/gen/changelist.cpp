@@ -1,0 +1,45 @@
+#include "gen/changelist.hpp"
+
+#include "util/check.hpp"
+
+namespace insta::gen {
+
+using netlist::CellFunc;
+using netlist::CellId;
+using netlist::LibCellId;
+
+std::vector<Resize> random_changelist(const netlist::Design& design,
+                                      const timing::TimingGraph& graph,
+                                      util::Rng& rng, int count) {
+  std::vector<CellId> resizable;
+  for (std::size_t c = 0; c < design.num_cells(); ++c) {
+    const auto id = static_cast<CellId>(c);
+    const netlist::LibCell& lc = design.libcell_of(id);
+    if (netlist::is_sequential(lc.func) || !netlist::has_output(lc.func) ||
+        netlist::num_data_inputs(lc.func) == 0) {
+      continue;
+    }
+    if (graph.is_clock_cell(id)) continue;
+    if (design.library().family(lc.func).size() < 2) continue;
+    resizable.push_back(id);
+  }
+  util::check(!resizable.empty(), "random_changelist: nothing resizable");
+
+  std::vector<Resize> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const CellId cell = resizable[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(resizable.size()) - 1))];
+    const netlist::LibCell& lc = design.libcell_of(cell);
+    const auto family = design.library().family(lc.func);
+    LibCellId pick = lc.id;
+    while (pick == lc.id) {
+      pick = family[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(family.size()) - 1))];
+    }
+    out.push_back(Resize{cell, pick});
+  }
+  return out;
+}
+
+}  // namespace insta::gen

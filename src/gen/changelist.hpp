@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "timing/graph.hpp"
+#include "util/rng.hpp"
+
+namespace insta::gen {
+
+/// One gate-resize operation of a changelist.
+struct Resize {
+  netlist::CellId cell = netlist::kNullCell;
+  netlist::LibCellId new_libcell = netlist::kNullLibCell;
+};
+
+/// Samples `count` random gate resizes over the resizable cells of the
+/// design (combinational, non-clock-tree, with at least two drive options).
+/// The same changelist is replayed against every engine in the Fig. 7
+/// incremental-runtime study. Deterministic in `rng`.
+[[nodiscard]] std::vector<Resize> random_changelist(
+    const netlist::Design& design, const timing::TimingGraph& graph,
+    util::Rng& rng, int count);
+
+}  // namespace insta::gen

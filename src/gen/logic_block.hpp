@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "netlist/design.hpp"
+#include "timing/constraints.hpp"
+#include "util/rng.hpp"
+
+namespace insta::gen {
+
+/// Parameters of the synthetic clocked-logic-block generator.
+///
+/// The generator builds rank-structured random logic: gates in rank r draw
+/// their inputs mostly from rank r-1 with a geometric tail into earlier
+/// ranks, which produces the deep reconvergent cones (and multi-startpoint
+/// endpoints) that exercise CPPR. A buffered clock tree distributes the
+/// clock to all flip-flops so launch/capture pairs share varying amounts of
+/// common clock path.
+struct LogicBlockSpec {
+  std::string name = "block";
+  std::uint64_t seed = 1;
+  int num_gates = 20000;   ///< combinational gates
+  int num_ffs = 1500;      ///< flip-flops
+  int num_inputs = 64;     ///< primary data inputs
+  int num_outputs = 64;    ///< primary outputs
+  int depth = 24;          ///< combinational rank count (logic depth)
+  int clock_fanout = 6;    ///< branching factor of the clock tree
+  int ffs_per_clock_leaf = 16;  ///< FF clock pins per leaf buffer
+  /// Additional clock domains: each gets its own port, tree and a share of
+  /// the flip-flops (round-robin). 0 = single-clock (the paper's setting).
+  int num_extra_clocks = 0;
+  /// Period of each extra domain relative to the primary clock.
+  double extra_clock_ratio = 2.0;
+  double unused_bias = 0.6;     ///< probability of consuming an unused output
+  double prev_rank_bias = 0.6;  ///< probability an input comes from rank r-1
+  double net_length_mean = 25.0;   ///< um, lognormal base of length hints
+  double net_length_spread = 0.6;  ///< lognormal sigma of length hints
+  double false_path_frac = 0.01;   ///< false-path exceptions per endpoint
+  double multicycle_frac = 0.005;  ///< multicycle exceptions per endpoint
+  double input_arrival_mu = 10.0;  ///< ps
+  double input_arrival_sigma = 1.0;  ///< ps
+  double output_margin = 50.0;       ///< ps
+  /// Load-match gate drives after netlist construction (like synthesis
+  /// output): each gate gets the smallest drive whose electrical effort
+  /// (load / input cap) is at most `target_effort`. Without this the design
+  /// is grossly under-sized and any sizer trivially fixes all violations.
+  bool presize = true;
+  double target_effort = 4.0;
+};
+
+/// A generated design bundle: the library, the netlist and its constraints.
+/// (The design holds a pointer into the library, hence the unique_ptrs.)
+struct GeneratedDesign {
+  std::unique_ptr<netlist::Library> library;
+  std::unique_ptr<netlist::Design> design;
+  timing::Constraints constraints;
+  std::string name;
+};
+
+/// Builds a synthetic clocked logic block. Deterministic in spec.seed.
+/// constraints.clock_period is left at its default; use tune_clock_period()
+/// after delay calculation to set a period with a target violation rate.
+[[nodiscard]] GeneratedDesign build_logic_block(const LogicBlockSpec& spec);
+
+}  // namespace insta::gen

@@ -1,0 +1,114 @@
+#include "gen/placement_bench.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace insta::gen {
+
+using netlist::CellId;
+
+PlacementBench build_placement_bench(const PlacementBenchSpec& spec) {
+  PlacementBench out;
+  out.gd = build_logic_block(spec.logic);
+  out.row_height = spec.row_height;
+  out.violate_fraction = spec.violate_fraction;
+  netlist::Design& d = *out.gd.design;
+
+  const double area = d.total_area();
+  util::check(area > 0.0, "placement bench: zero cell area");
+  const double core_area = area / spec.target_density;
+  double side = std::sqrt(core_area);
+  out.num_rows = std::max(4, static_cast<int>(side / spec.row_height));
+  out.core_height = out.num_rows * spec.row_height;
+  out.core_width = core_area / out.core_height;
+  side = out.core_width;
+
+  util::Rng rng(spec.logic.seed ^ 0x9c0ffee5u);
+  // A coarse grid for the fixed clock buffers.
+  std::vector<CellId> clock_bufs;
+  for (std::size_t c = 0; c < d.num_cells(); ++c) {
+    const auto id = static_cast<CellId>(c);
+    const netlist::LibCell& lc = d.libcell_of(id);
+    if (lc.func == netlist::CellFunc::kBuf &&
+        d.cell(id).name.rfind("ckbuf", 0) == 0) {
+      clock_bufs.push_back(id);
+    }
+  }
+  const int grid = std::max(
+      1, static_cast<int>(std::ceil(std::sqrt(
+             static_cast<double>(clock_bufs.size())))));
+  for (std::size_t i = 0; i < clock_bufs.size(); ++i) {
+    netlist::Cell& cell = d.cell(clock_bufs[i]);
+    const auto gx = static_cast<double>(i % static_cast<std::size_t>(grid));
+    const auto gy = static_cast<double>(i / static_cast<std::size_t>(grid));
+    cell.x = (gx + 0.5) * out.core_width / grid;
+    cell.y = (gy + 0.5) * out.core_height / grid;
+    cell.fixed = true;
+  }
+
+  // IO ports around the periphery.
+  std::size_t io_index = 0;
+  const std::size_t num_ios =
+      d.input_ports().size() + d.output_ports().size();
+  auto place_io = [&](CellId id) {
+    netlist::Cell& cell = d.cell(id);
+    const double t = static_cast<double>(io_index++) /
+                     static_cast<double>(std::max<std::size_t>(1, num_ios));
+    const double perim = t * 4.0;
+    if (perim < 1.0) {
+      cell.x = perim * out.core_width;
+      cell.y = 0.0;
+    } else if (perim < 2.0) {
+      cell.x = out.core_width;
+      cell.y = (perim - 1.0) * out.core_height;
+    } else if (perim < 3.0) {
+      cell.x = (3.0 - perim) * out.core_width;
+      cell.y = out.core_height;
+    } else {
+      cell.x = 0.0;
+      cell.y = (4.0 - perim) * out.core_height;
+    }
+    cell.fixed = true;
+  };
+  for (const CellId id : d.input_ports()) place_io(id);
+  for (const CellId id : d.output_ports()) place_io(id);
+
+  // Movable cells: uniform random scatter.
+  for (std::size_t c = 0; c < d.num_cells(); ++c) {
+    netlist::Cell& cell = d.cell(static_cast<CellId>(c));
+    if (cell.fixed) continue;
+    cell.x = rng.uniform(0.05, 0.95) * out.core_width;
+    cell.y = rng.uniform(0.05, 0.95) * out.core_height;
+  }
+  return out;
+}
+
+std::vector<PlacementBenchSpec> table3_superblue_specs() {
+  auto mk = [](const std::string& name, std::uint64_t seed, int gates, int ffs,
+               int depth) {
+    PlacementBenchSpec s;
+    s.logic.name = name;
+    s.logic.seed = seed;
+    s.logic.num_gates = gates;
+    s.logic.num_ffs = ffs;
+    s.logic.depth = depth;
+    s.logic.num_inputs = 48;
+    s.logic.num_outputs = 48;
+    s.logic.false_path_frac = 0.0;
+    s.logic.multicycle_frac = 0.0;
+    return s;
+  };
+  return {
+      mk("superblue1", 101, 15000, 1600, 22),
+      mk("superblue3", 103, 13000, 1400, 20),
+      mk("superblue4", 104, 9000, 1000, 18),
+      mk("superblue5", 105, 11000, 1200, 20),
+      mk("superblue7", 107, 17000, 1800, 24),
+      mk("superblue10", 110, 22000, 2400, 26),
+      mk("superblue16", 116, 11000, 1200, 20),
+      mk("superblue18", 118, 8000, 900, 16),
+  };
+}
+
+}  // namespace insta::gen

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "gen/logic_block.hpp"
+
+namespace insta::gen {
+
+/// Parameters of a Superblue-like placement benchmark: a clocked logic
+/// block plus a row-based core with an initial random placement.
+struct PlacementBenchSpec {
+  LogicBlockSpec logic;           ///< the netlist to place
+  double row_height = 2.0;        ///< um
+  double target_density = 0.6;    ///< total cell area / core area
+  double violate_fraction = 0.25; ///< used by benches to tune the period
+};
+
+/// A generated placement benchmark. IO ports sit fixed on the core
+/// periphery, clock-tree buffers are fixed on a coarse interior grid (CTS
+/// is assumed done, as in the ICCAD-2015 contest), and all gates and FFs
+/// are movable, initially scattered at random.
+struct PlacementBench {
+  GeneratedDesign gd;
+  double core_width = 0.0;   ///< um
+  double core_height = 0.0;  ///< um
+  double row_height = 0.0;   ///< um
+  int num_rows = 0;
+  double violate_fraction = 0.25;
+};
+
+/// Builds a placement benchmark. Deterministic in spec.logic.seed.
+[[nodiscard]] PlacementBench build_placement_bench(
+    const PlacementBenchSpec& spec);
+
+/// Specs of the eight Table-III benchmarks, named after the ICCAD-2015
+/// Superblue designs they stand in for (scaled to CPU-friendly sizes, with
+/// Superblue10 the largest as in the paper).
+[[nodiscard]] std::vector<PlacementBenchSpec> table3_superblue_specs();
+
+}  // namespace insta::gen

@@ -1,0 +1,70 @@
+#include "gen/presets.hpp"
+
+namespace insta::gen {
+
+namespace {
+
+LogicBlockSpec block(const std::string& name, std::uint64_t seed, int gates,
+                     int ffs, int depth) {
+  LogicBlockSpec s;
+  s.name = name;
+  s.seed = seed;
+  s.num_gates = gates;
+  s.num_ffs = ffs;
+  s.depth = depth;
+  s.num_inputs = 96;
+  s.num_outputs = 96;
+  return s;
+}
+
+}  // namespace
+
+std::vector<LogicBlockSpec> table1_block_specs() {
+  // cells scaled ~40x below the paper's blocks; pin counts follow.
+  return {
+      block("block-1", 11, 90000, 8000, 40),
+      block("block-2", 12, 45000, 4000, 28),
+      block("block-3", 13, 68000, 6000, 34),
+      block("block-4", 14, 45000, 4500, 30),
+      block("block-5", 15, 45000, 3800, 26),
+  };
+}
+
+std::vector<LogicBlockSpec> table2_iwls_specs() {
+  // Sized after the IWLS designs used in Table II (pins in parentheses in
+  // the paper: aes_core 34k, cipher_top 50k, des 11k, mc_top 25k).
+  std::vector<LogicBlockSpec> specs = {
+      block("aes_core-like", 21, 10000, 530, 20),
+      block("cipher_top-like", 22, 15000, 1200, 22),
+      block("des-like", 23, 3400, 190, 16),
+      block("mc_top-like", 24, 7600, 460, 18),
+  };
+  for (auto& s : specs) {
+    s.num_inputs = 64;
+    s.num_outputs = 64;
+  }
+  return specs;
+}
+
+LogicBlockSpec fig7_block_spec() {
+  LogicBlockSpec s = block("block-2-like", 31, 30000, 2600, 26);
+  return s;
+}
+
+LogicBlockSpec tiny_spec(std::uint64_t seed) {
+  LogicBlockSpec s;
+  s.name = "tiny";
+  s.seed = seed;
+  s.num_gates = 220;
+  s.num_ffs = 24;
+  s.num_inputs = 8;
+  s.num_outputs = 8;
+  s.depth = 8;
+  s.ffs_per_clock_leaf = 4;
+  s.clock_fanout = 3;
+  s.false_path_frac = 0.1;
+  s.multicycle_frac = 0.1;
+  return s;
+}
+
+}  // namespace insta::gen

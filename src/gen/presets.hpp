@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gen/logic_block.hpp"
+
+namespace insta::gen {
+
+/// Specs of the five Table-I correlation blocks. These mirror the paper's
+/// industrial blocks 1-5 (4M/2M/3M/2M/2M cells) scaled down ~40x so the
+/// golden engine's exact per-startpoint reference propagation runs in
+/// seconds on a CPU; relative proportions between the blocks are preserved.
+[[nodiscard]] std::vector<LogicBlockSpec> table1_block_specs();
+
+/// Specs of the four Table-II sizing designs, sized after the paper's IWLS
+/// benchmarks (aes_core ~34k pins, cipher_top ~50k, des ~11k, mc_top ~25k).
+[[nodiscard]] std::vector<LogicBlockSpec> table2_iwls_specs();
+
+/// The spec used by the Fig. 7 / Fig. 8 incremental-evaluation study
+/// (block-2-like).
+[[nodiscard]] LogicBlockSpec fig7_block_spec();
+
+/// A small spec for unit/property tests (hundreds of cells).
+[[nodiscard]] LogicBlockSpec tiny_spec(std::uint64_t seed);
+
+}  // namespace insta::gen

@@ -1,0 +1,45 @@
+#include "gen/tune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "timing/clock.hpp"
+#include "util/check.hpp"
+
+namespace insta::gen {
+
+double tune_clock_period(const timing::TimingGraph& graph,
+                         timing::Constraints& constraints,
+                         timing::ArcDelays& delays, double violate_fraction) {
+  util::check(violate_fraction >= 0.0 && violate_fraction < 1.0,
+              "tune_clock_period: fraction must be in [0, 1)");
+  timing::Constraints probe = constraints;
+  probe.clock_period = 0.0;
+  // The CPPR-safe pruning window keeps the probe update exact yet fast
+  // (see DESIGN.md §6): only entries within the maximum possible credit of
+  // a pin's best corner can decide an endpoint slack.
+  const timing::ClockAnalysis clock_probe(graph, delays, constraints.nsigma);
+  ref::GoldenOptions gopt;
+  gopt.prune_window = clock_probe.max_credit() * 1.5 + 10.0;
+  ref::GoldenSta sta(graph, probe, delays, gopt);
+  sta.update_full();
+
+  // With period 0, slack(e) = -x_e where x_e is period-independent;
+  // at period T the slack becomes T - x_e. Violating fraction q means
+  // T below the (1-q) quantile of x.
+  std::vector<double> x;
+  x.reserve(sta.endpoint_slacks().size());
+  for (const double s : sta.endpoint_slacks()) {
+    if (std::isfinite(s)) x.push_back(-s);
+  }
+  util::check(!x.empty(), "tune_clock_period: no constrained endpoints");
+  std::sort(x.begin(), x.end());
+  const auto idx = static_cast<std::size_t>(
+      std::clamp((1.0 - violate_fraction) * static_cast<double>(x.size()),
+                 0.0, static_cast<double>(x.size() - 1)));
+  constraints.clock_period = x[idx];
+  return constraints.clock_period;
+}
+
+}  // namespace insta::gen

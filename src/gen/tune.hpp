@@ -1,0 +1,21 @@
+#pragma once
+
+#include "ref/golden_sta.hpp"
+#include "timing/constraints.hpp"
+
+namespace insta::gen {
+
+/// Chooses a clock period so that approximately `violate_fraction` of the
+/// constrained endpoints have negative slack, and writes it into
+/// `constraints`. Runs one full golden timing update at period 0 to measure
+/// the period-independent part of every endpoint slack, then picks the
+/// matching quantile. (Multicycle-path shifts scale with the period, so the
+/// resulting fraction is approximate for designs with such exceptions.)
+///
+/// Returns the chosen period (ps). The caller must re-run update_full() on
+/// any engine bound to these constraints.
+double tune_clock_period(const timing::TimingGraph& graph,
+                         timing::Constraints& constraints,
+                         timing::ArcDelays& delays, double violate_fraction);
+
+}  // namespace insta::gen

@@ -1,0 +1,255 @@
+#include "io/design_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace insta::io {
+
+using netlist::CellFunc;
+using netlist::CellId;
+using netlist::LibCell;
+using netlist::NetId;
+using netlist::PinId;
+using util::check;
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+const char* func_token(CellFunc f) { return netlist::func_name(f); }
+
+CellFunc parse_func(const std::string& tok) {
+  for (int i = 0; i <= static_cast<int>(CellFunc::kPortOut); ++i) {
+    const auto f = static_cast<CellFunc>(i);
+    if (tok == netlist::func_name(f)) return f;
+  }
+  throw util::CheckError("design_io: unknown cell function: " + tok);
+}
+
+}  // namespace
+
+void save_design(const netlist::Design& design,
+                 const timing::Constraints& constraints, std::ostream& os) {
+  os << std::setprecision(17);
+  os << "inet " << kFormatVersion << "\n";
+
+  const netlist::Library& lib = design.library();
+  os << "library " << lib.size() << "\n";
+  for (const LibCell& c : lib.cells()) {
+    os << "libcell " << c.name << ' ' << func_token(c.func) << ' ' << c.drive
+       << ' ' << c.area << ' ' << c.leakage << ' ' << c.input_cap;
+    for (const int rf : {0, 1}) os << ' ' << c.intrinsic[rf];
+    for (const int rf : {0, 1}) os << ' ' << c.drive_res[rf];
+    for (const int rf : {0, 1}) os << ' ' << c.slew_intrinsic[rf];
+    for (const int rf : {0, 1}) os << ' ' << c.slew_res[rf];
+    os << ' ' << c.slew_sens << ' ' << c.sigma_ratio << ' ' << c.setup
+       << ' ' << c.hold;
+    for (const int rf : {0, 1}) os << ' ' << c.clk2q[rf];
+    os << "\n";
+  }
+
+  os << "cells " << design.num_cells() << "\n";
+  for (std::size_t ci = 0; ci < design.num_cells(); ++ci) {
+    const netlist::Cell& c = design.cell(static_cast<CellId>(ci));
+    os << "cell " << c.name << ' ' << lib.cell(c.libcell).name << ' ' << c.x
+       << ' ' << c.y << ' ' << (c.fixed ? 1 : 0) << "\n";
+  }
+
+  os << "nets " << design.num_nets() << "\n";
+  for (std::size_t ni = 0; ni < design.num_nets(); ++ni) {
+    const netlist::Net& n = design.net(static_cast<NetId>(ni));
+    os << "net " << n.name << ' ' << n.length_hint << ' ' << n.driver << ' '
+       << n.sinks.size();
+    for (const PinId s : n.sinks) os << ' ' << s;
+    os << ' ' << n.sink_lengths.size();
+    for (const double l : n.sink_lengths) os << ' ' << l;
+    os << "\n";
+  }
+
+  os << "constraints " << constraints.clock_period << ' '
+     << constraints.clock_root << ' ' << constraints.input_arrival_mu << ' '
+     << constraints.input_arrival_sigma << ' ' << constraints.output_margin
+     << ' ' << constraints.nsigma << ' ' << constraints.exceptions.size()
+     << ' ' << constraints.extra_clocks.size() << "\n";
+  for (const timing::ExtraClock& c : constraints.extra_clocks) {
+    os << "xclk " << c.root << ' ' << c.period_ratio << "\n";
+  }
+  for (const timing::TimingException& e : constraints.exceptions) {
+    os << "exception "
+       << (e.kind == timing::ExceptionKind::kFalsePath ? "fp" : "mcp") << ' '
+       << e.sp_pin << ' ' << e.ep_pin << ' ' << e.cycles << "\n";
+  }
+  os << "end\n";
+}
+
+LoadedDesign load_design(std::istream& is) {
+  auto next_line = [&is](const char* what) {
+    std::string line;
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '#') return line;
+    }
+    throw util::CheckError(std::string("design_io: unexpected EOF before ") +
+                           what);
+  };
+  auto expect_tag = [](std::istringstream& ss, const char* tag) {
+    std::string tok;
+    ss >> tok;
+    check(tok == tag, std::string("design_io: expected '") + tag + "', got '" +
+                          tok + "'");
+  };
+
+  {
+    std::istringstream ss(next_line("header"));
+    expect_tag(ss, "inet");
+    int version = 0;
+    ss >> version;
+    check(version == kFormatVersion, "design_io: unsupported format version");
+  }
+
+  LoadedDesign out;
+  out.library = std::make_unique<netlist::Library>();
+  {
+    std::istringstream ss(next_line("library"));
+    expect_tag(ss, "library");
+    std::size_t count = 0;
+    ss >> count;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::istringstream ls(next_line("libcell"));
+      expect_tag(ls, "libcell");
+      LibCell c;
+      std::string func;
+      ls >> c.name >> func >> c.drive >> c.area >> c.leakage >> c.input_cap;
+      c.func = parse_func(func);
+      for (const int rf : {0, 1}) ls >> c.intrinsic[rf];
+      for (const int rf : {0, 1}) ls >> c.drive_res[rf];
+      for (const int rf : {0, 1}) ls >> c.slew_intrinsic[rf];
+      for (const int rf : {0, 1}) ls >> c.slew_res[rf];
+      ls >> c.slew_sens >> c.sigma_ratio >> c.setup >> c.hold;
+      for (const int rf : {0, 1}) ls >> c.clk2q[rf];
+      check(static_cast<bool>(ls), "design_io: malformed libcell line");
+      out.library->add(std::move(c));
+    }
+  }
+
+  // Library lookup by name (names are unique in the default library).
+  auto find_libcell = [&](const std::string& name) {
+    for (const LibCell& c : out.library->cells()) {
+      if (c.name == name) return c.id;
+    }
+    throw util::CheckError("design_io: unknown libcell: " + name);
+  };
+
+  out.design = std::make_unique<netlist::Design>(*out.library);
+  {
+    std::istringstream ss(next_line("cells"));
+    expect_tag(ss, "cells");
+    std::size_t count = 0;
+    ss >> count;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::istringstream ls(next_line("cell"));
+      expect_tag(ls, "cell");
+      std::string name, libname;
+      double x = 0, y = 0;
+      int fixed = 0;
+      ls >> name >> libname >> x >> y >> fixed;
+      check(static_cast<bool>(ls), "design_io: malformed cell line");
+      const CellId id = out.design->add_cell(name, find_libcell(libname));
+      netlist::Cell& cell = out.design->cell(id);
+      cell.x = x;
+      cell.y = y;
+      cell.fixed = fixed != 0;
+    }
+  }
+  {
+    std::istringstream ss(next_line("nets"));
+    expect_tag(ss, "nets");
+    std::size_t count = 0;
+    ss >> count;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::istringstream ls(next_line("net"));
+      expect_tag(ls, "net");
+      std::string name;
+      double hint = 0;
+      PinId driver = netlist::kNullPin;
+      std::size_t nsinks = 0;
+      ls >> name >> hint >> driver >> nsinks;
+      const NetId net = out.design->add_net(name);
+      out.design->net(net).length_hint = hint;
+      if (driver != netlist::kNullPin) out.design->connect_driver(net, driver);
+      for (std::size_t s = 0; s < nsinks; ++s) {
+        PinId sink = netlist::kNullPin;
+        ls >> sink;
+        out.design->connect_sink(net, sink);
+      }
+      std::size_t noverrides = 0;
+      ls >> noverrides;
+      check(noverrides == 0 || noverrides == nsinks,
+            "design_io: sink-length override count mismatch");
+      if (noverrides > 0) {
+        auto& rec = out.design->net(net);
+        rec.sink_lengths.resize(noverrides);
+        for (std::size_t s = 0; s < noverrides; ++s) ls >> rec.sink_lengths[s];
+      }
+      check(static_cast<bool>(ls), "design_io: malformed net line");
+    }
+  }
+  {
+    std::istringstream ss(next_line("constraints"));
+    expect_tag(ss, "constraints");
+    std::size_t num_exceptions = 0;
+    std::size_t num_extra_clocks = 0;
+    ss >> out.constraints.clock_period >> out.constraints.clock_root >>
+        out.constraints.input_arrival_mu >>
+        out.constraints.input_arrival_sigma >> out.constraints.output_margin >>
+        out.constraints.nsigma >> num_exceptions >> num_extra_clocks;
+    check(static_cast<bool>(ss), "design_io: malformed constraints line");
+    for (std::size_t i = 0; i < num_extra_clocks; ++i) {
+      std::istringstream ls(next_line("xclk"));
+      expect_tag(ls, "xclk");
+      timing::ExtraClock c;
+      ls >> c.root >> c.period_ratio;
+      check(static_cast<bool>(ls), "design_io: malformed xclk line");
+      out.constraints.extra_clocks.push_back(c);
+    }
+    for (std::size_t i = 0; i < num_exceptions; ++i) {
+      std::istringstream ls(next_line("exception"));
+      expect_tag(ls, "exception");
+      std::string kind;
+      timing::TimingException e;
+      ls >> kind >> e.sp_pin >> e.ep_pin >> e.cycles;
+      check(static_cast<bool>(ls), "design_io: malformed exception line");
+      check(kind == "fp" || kind == "mcp", "design_io: bad exception kind");
+      e.kind = (kind == "fp") ? timing::ExceptionKind::kFalsePath
+                              : timing::ExceptionKind::kMulticycle;
+      out.constraints.exceptions.push_back(e);
+    }
+  }
+  {
+    std::istringstream ss(next_line("end"));
+    expect_tag(ss, "end");
+  }
+  out.design->validate();
+  return out;
+}
+
+void save_design_file(const netlist::Design& design,
+                      const timing::Constraints& constraints,
+                      const std::string& path) {
+  std::ofstream os(path);
+  check(os.good(), "design_io: cannot open for write: " + path);
+  save_design(design, constraints, os);
+  check(os.good(), "design_io: write failed: " + path);
+}
+
+LoadedDesign load_design_file(const std::string& path) {
+  std::ifstream is(path);
+  check(is.good(), "design_io: cannot open for read: " + path);
+  return load_design(is);
+}
+
+}  // namespace insta::io

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "netlist/design.hpp"
+#include "timing/constraints.hpp"
+
+namespace insta::io {
+
+/// A deserialized design bundle (the library must outlive the design, hence
+/// the paired ownership).
+struct LoadedDesign {
+  std::unique_ptr<netlist::Library> library;
+  std::unique_ptr<netlist::Design> design;
+  timing::Constraints constraints;
+};
+
+/// Writes the library, netlist, placement and constraints as a
+/// line-oriented text format (".inet"). The format is self-contained: a
+/// round trip reproduces identical timing results. Cell and pin identifiers
+/// are positional, so the writer and reader must agree on creation order
+/// (they do: cells in id order).
+void save_design(const netlist::Design& design,
+                 const timing::Constraints& constraints, std::ostream& os);
+
+/// Parses a stream written by save_design. Throws util::CheckError on any
+/// malformed content.
+[[nodiscard]] LoadedDesign load_design(std::istream& is);
+
+/// Convenience file wrappers.
+void save_design_file(const netlist::Design& design,
+                      const timing::Constraints& constraints,
+                      const std::string& path);
+[[nodiscard]] LoadedDesign load_design_file(const std::string& path);
+
+}  // namespace insta::io

@@ -1,0 +1,228 @@
+#include "netlist/design.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace insta::netlist {
+
+using util::check;
+
+CellId Design::add_cell(std::string name, LibCellId libcell) {
+  const LibCell& lc = library_->cell(libcell);
+  const auto id = static_cast<CellId>(cells_.size());
+  Cell c;
+  c.name = std::move(name);
+  c.libcell = libcell;
+  c.first_pin = static_cast<PinId>(pins_.size());
+
+  const int n_in = num_data_inputs(lc.func);
+  for (int i = 0; i < n_in; ++i) {
+    Pin p;
+    p.cell = id;
+    p.dir = PinDir::kInput;
+    p.role = PinRole::kData;
+    p.input_index = static_cast<std::uint8_t>(i);
+    pins_.push_back(p);
+  }
+  if (is_sequential(lc.func)) {
+    Pin p;
+    p.cell = id;
+    p.dir = PinDir::kInput;
+    p.role = PinRole::kClock;
+    pins_.push_back(p);
+  }
+  if (has_output(lc.func)) {
+    Pin p;
+    p.cell = id;
+    p.dir = PinDir::kOutput;
+    pins_.push_back(p);
+  }
+  c.num_pins = static_cast<std::uint8_t>(pins_.size() - c.first_pin);
+  check(c.num_pins > 0, "add_cell: function has no pins");
+
+  if (lc.func == CellFunc::kPortIn) inputs_.push_back(id);
+  if (lc.func == CellFunc::kPortOut) outputs_.push_back(id);
+  if (is_sequential(lc.func)) ffs_.push_back(id);
+  if (lc.func == CellFunc::kPortIn || lc.func == CellFunc::kPortOut) {
+    c.fixed = true;
+  }
+  cells_.push_back(std::move(c));
+  return id;
+}
+
+CellId Design::add_input_port(std::string name) {
+  const auto family = library_->family(CellFunc::kPortIn);
+  check(!family.empty(), "library has no kPortIn pseudo-cell");
+  return add_cell(std::move(name), family.front());
+}
+
+CellId Design::add_output_port(std::string name) {
+  const auto family = library_->family(CellFunc::kPortOut);
+  check(!family.empty(), "library has no kPortOut pseudo-cell");
+  return add_cell(std::move(name), family.front());
+}
+
+NetId Design::add_net(std::string name) {
+  const auto id = static_cast<NetId>(nets_.size());
+  Net n;
+  n.name = std::move(name);
+  nets_.push_back(std::move(n));
+  return id;
+}
+
+void Design::connect_driver(NetId net_id, PinId pin_id) {
+  Net& n = net(net_id);
+  check(n.driver == kNullPin, "connect_driver: net already driven");
+  Pin& p = pins_.at(static_cast<std::size_t>(pin_id));
+  check(p.dir == PinDir::kOutput, "connect_driver: pin is not an output");
+  check(p.net == kNullNet, "connect_driver: pin already connected");
+  n.driver = pin_id;
+  p.net = net_id;
+}
+
+void Design::connect_sink(NetId net_id, PinId pin_id) {
+  Net& n = net(net_id);
+  Pin& p = pins_.at(static_cast<std::size_t>(pin_id));
+  check(p.dir == PinDir::kInput, "connect_sink: pin is not an input");
+  check(p.net == kNullNet, "connect_sink: pin already connected");
+  n.sinks.push_back(pin_id);
+  if (!n.sink_lengths.empty()) n.sink_lengths.push_back(-1.0);
+  p.net = net_id;
+}
+
+void Design::set_sink_length(NetId net_id, PinId pin_id, double length) {
+  Net& n = net(net_id);
+  const auto it = std::find(n.sinks.begin(), n.sinks.end(), pin_id);
+  check(it != n.sinks.end(), "set_sink_length: pin not a sink of net");
+  if (n.sink_lengths.size() != n.sinks.size()) {
+    n.sink_lengths.assign(n.sinks.size(), -1.0);
+  }
+  n.sink_lengths[static_cast<std::size_t>(it - n.sinks.begin())] = length;
+}
+
+void Design::disconnect_sink(NetId net_id, PinId pin_id) {
+  Net& n = net(net_id);
+  Pin& p = pins_.at(static_cast<std::size_t>(pin_id));
+  check(p.net == net_id, "disconnect_sink: pin not on this net");
+  check(p.dir == PinDir::kInput, "disconnect_sink: pin is not an input");
+  const auto it = std::find(n.sinks.begin(), n.sinks.end(), pin_id);
+  check(it != n.sinks.end(), "disconnect_sink: pin not in sink list");
+  if (n.sink_lengths.size() == n.sinks.size()) {
+    n.sink_lengths.erase(n.sink_lengths.begin() + (it - n.sinks.begin()));
+  }
+  n.sinks.erase(it);
+  p.net = kNullNet;
+}
+
+void Design::resize_cell(CellId cell_id, LibCellId new_libcell) {
+  Cell& c = cell(cell_id);
+  const LibCell& old_lc = library_->cell(c.libcell);
+  const LibCell& new_lc = library_->cell(new_libcell);
+  check(old_lc.func == new_lc.func, "resize_cell: function mismatch");
+  c.libcell = new_libcell;
+}
+
+PinId Design::output_pin(CellId cell_id) const {
+  const Cell& c = cell(cell_id);
+  const LibCell& lc = library_->cell(c.libcell);
+  if (!has_output(lc.func)) return kNullPin;
+  return c.first_pin + c.num_pins - 1;
+}
+
+PinId Design::input_pin(CellId cell_id, int index) const {
+  const Cell& c = cell(cell_id);
+  const LibCell& lc = library_->cell(c.libcell);
+  check(index >= 0 && index < num_data_inputs(lc.func),
+        "input_pin: index out of range");
+  return c.first_pin + index;
+}
+
+PinId Design::clock_pin(CellId cell_id) const {
+  const Cell& c = cell(cell_id);
+  const LibCell& lc = library_->cell(c.libcell);
+  if (!is_sequential(lc.func)) return kNullPin;
+  return c.first_pin + num_data_inputs(lc.func);
+}
+
+std::pair<PinId, int> Design::pin_range(CellId cell_id) const {
+  const Cell& c = cell(cell_id);
+  return {c.first_pin, static_cast<int>(c.num_pins)};
+}
+
+std::string Design::pin_name(PinId pin_id) const {
+  const Pin& p = pin(pin_id);
+  const Cell& c = cell(p.cell);
+  if (p.dir == PinDir::kOutput) return c.name + "/Y";
+  if (p.role == PinRole::kClock) return c.name + "/CK";
+  return c.name + "/A" + std::to_string(p.input_index);
+}
+
+const Cell& Design::cell(CellId id) const {
+  check(id >= 0 && static_cast<std::size_t>(id) < cells_.size(),
+        "Design::cell: bad id");
+  return cells_[static_cast<std::size_t>(id)];
+}
+
+Cell& Design::cell(CellId id) {
+  check(id >= 0 && static_cast<std::size_t>(id) < cells_.size(),
+        "Design::cell: bad id");
+  return cells_[static_cast<std::size_t>(id)];
+}
+
+const Net& Design::net(NetId id) const {
+  check(id >= 0 && static_cast<std::size_t>(id) < nets_.size(),
+        "Design::net: bad id");
+  return nets_[static_cast<std::size_t>(id)];
+}
+
+Net& Design::net(NetId id) {
+  check(id >= 0 && static_cast<std::size_t>(id) < nets_.size(),
+        "Design::net: bad id");
+  return nets_[static_cast<std::size_t>(id)];
+}
+
+const Pin& Design::pin(PinId id) const {
+  check(id >= 0 && static_cast<std::size_t>(id) < pins_.size(),
+        "Design::pin: bad id");
+  return pins_[static_cast<std::size_t>(id)];
+}
+
+const LibCell& Design::libcell_of(CellId id) const {
+  return library_->cell(cell(id).libcell);
+}
+
+void Design::validate() const {
+  for (std::size_t ni = 0; ni < nets_.size(); ++ni) {
+    const Net& n = nets_[ni];
+    check(n.driver != kNullPin, "validate: net without driver: " + n.name);
+    check(pin(n.driver).net == static_cast<NetId>(ni),
+          "validate: driver pin net mismatch: " + n.name);
+    for (const PinId s : n.sinks) {
+      check(pin(s).net == static_cast<NetId>(ni),
+            "validate: sink pin net mismatch: " + n.name);
+      check(pin(s).dir == PinDir::kInput, "validate: sink is not input");
+    }
+  }
+  for (std::size_t pi = 0; pi < pins_.size(); ++pi) {
+    const Pin& p = pins_[pi];
+    if (p.dir == PinDir::kInput) {
+      check(p.net != kNullNet,
+            "validate: unconnected input pin: " + pin_name(static_cast<PinId>(pi)));
+    }
+  }
+}
+
+double Design::total_area() const {
+  double a = 0.0;
+  for (const Cell& c : cells_) a += library_->cell(c.libcell).area;
+  return a;
+}
+
+double Design::total_leakage() const {
+  double a = 0.0;
+  for (const Cell& c : cells_) a += library_->cell(c.libcell).leakage;
+  return a;
+}
+
+}  // namespace insta::netlist

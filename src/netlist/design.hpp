@@ -1,0 +1,174 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/liberty.hpp"
+
+namespace insta::netlist {
+
+using CellId = std::int32_t;
+using NetId = std::int32_t;
+using PinId = std::int32_t;
+inline constexpr CellId kNullCell = -1;
+inline constexpr NetId kNullNet = -1;
+inline constexpr PinId kNullPin = -1;
+
+/// Direction of a pin as seen from its cell.
+enum class PinDir : std::uint8_t { kInput, kOutput };
+
+/// Functional role of an input pin.
+enum class PinRole : std::uint8_t { kData, kClock };
+
+/// One pin instance. Pins of a cell are stored contiguously in the design:
+/// data inputs first (in input-index order), then the clock pin (DFF only),
+/// then the output pin (if the function has one).
+struct Pin {
+  CellId cell = kNullCell;
+  NetId net = kNullNet;
+  PinDir dir = PinDir::kInput;
+  PinRole role = PinRole::kData;
+  std::uint8_t input_index = 0;  ///< position among the cell's data inputs
+};
+
+/// One cell instance (including the port pseudo-cells at the boundary).
+struct Cell {
+  std::string name;
+  LibCellId libcell = kNullLibCell;
+  PinId first_pin = kNullPin;
+  std::uint8_t num_pins = 0;
+  double x = 0.0;  ///< placement location, um
+  double y = 0.0;
+  bool fixed = false;  ///< immovable during placement (ports, clock tree)
+};
+
+/// One net: a single driver pin and its sink pins.
+struct Net {
+  std::string name;
+  PinId driver = kNullPin;
+  std::vector<PinId> sinks;
+  double length_hint = 0.0;  ///< um; used when the design is not placed
+  /// Optional per-sink wire lengths (um), parallel to `sinks`; negative
+  /// entries fall back to length_hint. Structural transforms (buffer
+  /// insertion) use these to model a genuine wire split on one branch.
+  std::vector<double> sink_lengths;
+
+  /// Wire length of the branch to sinks[index].
+  [[nodiscard]] double sink_length(std::size_t index) const {
+    if (index < sink_lengths.size() && sink_lengths[index] >= 0.0) {
+      return sink_lengths[index];
+    }
+    return length_hint;
+  }
+};
+
+/// The design database: cells, nets and pins over a Library.
+///
+/// The Design owns topology and placement only; all timing data (arc delays,
+/// arrivals, slacks) lives in the timing/ref/core modules, so that several
+/// timing views (golden reference, INSTA clone) can share one netlist.
+class Design {
+ public:
+  /// Creates an empty design over `library`, which must outlive the design.
+  explicit Design(const Library& library) : library_(&library) {}
+
+  /// Adds a cell of the given library cell; creates its pins. Returns its id.
+  CellId add_cell(std::string name, LibCellId libcell);
+
+  /// Adds a primary input (a kPortIn pseudo-cell). Returns the cell id.
+  CellId add_input_port(std::string name);
+
+  /// Adds a primary output (a kPortOut pseudo-cell). Returns the cell id.
+  CellId add_output_port(std::string name);
+
+  /// Adds an empty net.
+  NetId add_net(std::string name);
+
+  /// Sets `pin` as the single driver of `net`. The pin must be an output pin
+  /// and not already connected.
+  void connect_driver(NetId net, PinId pin);
+
+  /// Adds `pin` as a sink of `net`. The pin must be an input pin and not
+  /// already connected.
+  void connect_sink(NetId net, PinId pin);
+
+  /// Replaces the library cell of `cell` with another cell of the same
+  /// function (a gate resize). Pin topology is unchanged.
+  void resize_cell(CellId cell, LibCellId new_libcell);
+
+  /// Removes `pin` from the sinks of `net` and marks it unconnected. The
+  /// pin must currently be a sink of exactly this net. Used by structural
+  /// transforms (buffer insertion) before rewiring the pin elsewhere.
+  void disconnect_sink(NetId net, PinId pin);
+
+  /// Sets a per-sink wire length for `pin` on `net` (see Net::sink_lengths).
+  void set_sink_length(NetId net, PinId pin, double length);
+
+  // ---- pin lookup -------------------------------------------------------
+
+  /// The output pin of `cell`; kNullPin if the function has none.
+  [[nodiscard]] PinId output_pin(CellId cell) const;
+
+  /// The `index`-th data input pin of `cell`.
+  [[nodiscard]] PinId input_pin(CellId cell, int index) const;
+
+  /// The clock pin of a DFF `cell`; kNullPin for other functions.
+  [[nodiscard]] PinId clock_pin(CellId cell) const;
+
+  /// All pins of `cell` as a contiguous id range [first, first+num).
+  [[nodiscard]] std::pair<PinId, int> pin_range(CellId cell) const;
+
+  /// Hierarchical-ish display name of a pin, e.g. "u42/A1" or "u42/Y".
+  [[nodiscard]] std::string pin_name(PinId pin) const;
+
+  // ---- accessors --------------------------------------------------------
+
+  [[nodiscard]] const Library& library() const { return *library_; }
+  [[nodiscard]] const Cell& cell(CellId id) const;
+  [[nodiscard]] Cell& cell(CellId id);
+  [[nodiscard]] const Net& net(NetId id) const;
+  [[nodiscard]] Net& net(NetId id);
+  [[nodiscard]] const Pin& pin(PinId id) const;
+  [[nodiscard]] const LibCell& libcell_of(CellId id) const;
+
+  [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
+  [[nodiscard]] std::size_t num_nets() const { return nets_.size(); }
+  [[nodiscard]] std::size_t num_pins() const { return pins_.size(); }
+
+  [[nodiscard]] std::span<const Cell> cells() const { return cells_; }
+  [[nodiscard]] std::span<const Net> nets() const { return nets_; }
+  [[nodiscard]] std::span<const Pin> pins() const { return pins_; }
+
+  /// Ids of all kPortIn cells, in creation order.
+  [[nodiscard]] std::span<const CellId> input_ports() const { return inputs_; }
+
+  /// Ids of all kPortOut cells, in creation order.
+  [[nodiscard]] std::span<const CellId> output_ports() const { return outputs_; }
+
+  /// Ids of all DFF cells, in creation order.
+  [[nodiscard]] std::span<const CellId> flip_flops() const { return ffs_; }
+
+  /// Verifies structural integrity: every net has a driver, every input pin
+  /// is connected to exactly the net that lists it, pin directions match.
+  /// Throws CheckError with a description of the first violation.
+  void validate() const;
+
+  /// Total cell area (placement widths), um^2.
+  [[nodiscard]] double total_area() const;
+
+  /// Total leakage of all cells, arbitrary units.
+  [[nodiscard]] double total_leakage() const;
+
+ private:
+  const Library* library_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<Pin> pins_;
+  std::vector<CellId> inputs_;
+  std::vector<CellId> outputs_;
+  std::vector<CellId> ffs_;
+};
+
+}  // namespace insta::netlist

@@ -1,0 +1,197 @@
+#include "netlist/liberty.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace insta::netlist {
+
+int num_data_inputs(CellFunc func) {
+  switch (func) {
+    case CellFunc::kInv:
+    case CellFunc::kBuf:
+      return 1;
+    case CellFunc::kNand2:
+    case CellFunc::kNor2:
+    case CellFunc::kAnd2:
+    case CellFunc::kOr2:
+    case CellFunc::kXor2:
+    case CellFunc::kXnor2:
+      return 2;
+    case CellFunc::kNand3:
+    case CellFunc::kAoi21:
+      return 3;
+    case CellFunc::kDff:
+      return 1;  // D only; CK is tracked as the clock pin
+    case CellFunc::kPortIn:
+      return 0;
+    case CellFunc::kPortOut:
+      return 1;
+  }
+  return 0;
+}
+
+bool has_output(CellFunc func) { return func != CellFunc::kPortOut; }
+
+Unateness unateness(CellFunc func) {
+  switch (func) {
+    case CellFunc::kInv:
+    case CellFunc::kNand2:
+    case CellFunc::kNor2:
+    case CellFunc::kNand3:
+    case CellFunc::kAoi21:
+      return Unateness::kNegative;
+    case CellFunc::kBuf:
+    case CellFunc::kAnd2:
+    case CellFunc::kOr2:
+      return Unateness::kPositive;
+    case CellFunc::kXor2:
+    case CellFunc::kXnor2:
+      return Unateness::kNonUnate;
+    case CellFunc::kDff:
+    case CellFunc::kPortIn:
+    case CellFunc::kPortOut:
+      return Unateness::kPositive;
+  }
+  return Unateness::kPositive;
+}
+
+bool is_sequential(CellFunc func) { return func == CellFunc::kDff; }
+
+const char* func_name(CellFunc func) {
+  switch (func) {
+    case CellFunc::kInv:     return "inv";
+    case CellFunc::kBuf:     return "buf";
+    case CellFunc::kNand2:   return "nand2";
+    case CellFunc::kNor2:    return "nor2";
+    case CellFunc::kAnd2:    return "and2";
+    case CellFunc::kOr2:     return "or2";
+    case CellFunc::kXor2:    return "xor2";
+    case CellFunc::kXnor2:   return "xnor2";
+    case CellFunc::kNand3:   return "nand3";
+    case CellFunc::kAoi21:   return "aoi21";
+    case CellFunc::kDff:     return "dff";
+    case CellFunc::kPortIn:  return "port_in";
+    case CellFunc::kPortOut: return "port_out";
+  }
+  return "unknown";
+}
+
+namespace {
+constexpr int kNumFuncs = static_cast<int>(CellFunc::kPortOut) + 1;
+}  // namespace
+
+LibCellId Library::add(LibCell cell) {
+  if (families_.empty()) families_.resize(kNumFuncs);
+  const auto id = static_cast<LibCellId>(cells_.size());
+  cell.id = id;
+  auto& family = families_[static_cast<int>(cell.func)];
+  family.push_back(id);
+  cells_.push_back(std::move(cell));
+  std::sort(family.begin(), family.end(), [this](LibCellId a, LibCellId b) {
+    return cells_[static_cast<std::size_t>(a)].drive <
+           cells_[static_cast<std::size_t>(b)].drive;
+  });
+  return id;
+}
+
+const LibCell& Library::cell(LibCellId id) const {
+  util::check(id >= 0 && static_cast<std::size_t>(id) < cells_.size(),
+              "Library::cell: bad id");
+  return cells_[static_cast<std::size_t>(id)];
+}
+
+std::span<const LibCellId> Library::family(CellFunc func) const {
+  if (families_.empty()) return {};
+  return families_[static_cast<int>(func)];
+}
+
+LibCellId Library::find(CellFunc func, int drive) const {
+  for (const LibCellId id : family(func)) {
+    if (cells_[static_cast<std::size_t>(id)].drive == drive) return id;
+  }
+  return kNullLibCell;
+}
+
+namespace {
+
+/// Relative "logical effort"-style complexity factors per function: more
+/// complex gates are slower and heavier than an inverter at equal drive.
+struct FuncFactors {
+  double res;    ///< drive resistance multiplier
+  double cap;    ///< input cap multiplier
+  double intr;   ///< intrinsic delay multiplier
+  double area;   ///< area multiplier
+};
+
+FuncFactors factors(CellFunc func) {
+  switch (func) {
+    case CellFunc::kInv:   return {1.00, 1.00, 1.0, 1.0};
+    case CellFunc::kBuf:   return {1.00, 1.05, 1.8, 1.6};
+    case CellFunc::kNand2: return {1.25, 1.20, 1.3, 1.5};
+    case CellFunc::kNor2:  return {1.45, 1.25, 1.4, 1.5};
+    case CellFunc::kAnd2:  return {1.25, 1.20, 2.0, 2.0};
+    case CellFunc::kOr2:   return {1.45, 1.25, 2.1, 2.0};
+    case CellFunc::kXor2:  return {1.70, 1.60, 2.4, 2.6};
+    case CellFunc::kXnor2: return {1.70, 1.60, 2.5, 2.6};
+    case CellFunc::kNand3: return {1.45, 1.30, 1.6, 1.9};
+    case CellFunc::kAoi21: return {1.60, 1.35, 1.7, 2.1};
+    case CellFunc::kDff:   return {1.30, 1.40, 3.0, 5.0};
+    default:               return {1.0, 1.0, 1.0, 1.0};
+  }
+}
+
+}  // namespace
+
+Library make_default_library(const DefaultLibraryParams& p) {
+  Library lib;
+  const CellFunc funcs[] = {
+      CellFunc::kInv,   CellFunc::kBuf,   CellFunc::kNand2, CellFunc::kNor2,
+      CellFunc::kAnd2,  CellFunc::kOr2,   CellFunc::kXor2,  CellFunc::kXnor2,
+      CellFunc::kNand3, CellFunc::kAoi21, CellFunc::kDff};
+  for (const CellFunc func : funcs) {
+    for (const int drive : p.drives) {
+      const FuncFactors f = factors(func);
+      const double d = static_cast<double>(drive);
+      LibCell c;
+      c.name = std::string(func_name(func)) + "_x" + std::to_string(drive);
+      c.func = func;
+      c.drive = drive;
+      c.area = f.area * d * 0.9;
+      c.leakage = f.area * std::pow(d, 1.15);
+      c.input_cap = p.base_cap * f.cap * d;
+      for (const int rf : {0, 1}) {
+        // Falling output transitions are slightly faster (NMOS pulldown).
+        const double rf_skew = (rf == 0) ? 1.06 : 0.94;
+        c.intrinsic[rf] = p.base_intrinsic * f.intr * rf_skew;
+        c.drive_res[rf] = p.base_res * f.res * rf_skew / d;
+        c.slew_intrinsic[rf] = 0.6 * p.base_intrinsic * f.intr * rf_skew;
+        c.slew_res[rf] = 0.8 * p.base_res * f.res * rf_skew / d;
+      }
+      c.slew_sens = p.slew_sens;
+      c.sigma_ratio = p.sigma_ratio;
+      if (func == CellFunc::kDff) {
+        c.setup = 12.0 + 6.0 / d;
+        c.hold = 3.0 + 2.0 / d;
+        c.clk2q = {p.base_intrinsic * 2.5, p.base_intrinsic * 2.3};
+      }
+      lib.add(std::move(c));
+    }
+  }
+  // Boundary pseudo-cells: zero-delay, tiny cap, single drive strength.
+  for (const CellFunc func : {CellFunc::kPortIn, CellFunc::kPortOut}) {
+    LibCell c;
+    c.name = func_name(func);
+    c.func = func;
+    c.drive = 1;
+    c.area = 0.0;
+    c.leakage = 0.0;
+    c.input_cap = (func == CellFunc::kPortOut) ? 2.0 : 0.0;
+    c.sigma_ratio = 0.0;
+    lib.add(std::move(c));
+  }
+  return lib;
+}
+
+}  // namespace insta::netlist

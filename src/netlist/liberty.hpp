@@ -1,0 +1,142 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace insta::netlist {
+
+/// Logic function of a library cell.
+///
+/// kPort is a pseudo-function used for primary inputs/outputs so that the
+/// whole design, including its boundary, is expressed with one cell concept.
+enum class CellFunc : std::uint8_t {
+  kInv,
+  kBuf,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kXnor2,
+  kNand3,
+  kAoi21,
+  kDff,
+  kPortIn,   ///< primary input: one output pin
+  kPortOut,  ///< primary output: one input pin
+};
+
+/// Timing sense of the input-to-output arcs of a function.
+enum class Unateness : std::uint8_t { kPositive, kNegative, kNonUnate };
+
+/// Number of data input pins of a function (DFF counts only D; its clock pin
+/// is tracked separately).
+[[nodiscard]] int num_data_inputs(CellFunc func);
+
+/// Whether cells of this function have an output pin.
+[[nodiscard]] bool has_output(CellFunc func);
+
+/// Timing sense of the function's input-to-output arcs.
+[[nodiscard]] Unateness unateness(CellFunc func);
+
+/// Whether the function is sequential (currently only DFF).
+[[nodiscard]] bool is_sequential(CellFunc func);
+
+/// Short lowercase name of the function (e.g. "nand2").
+[[nodiscard]] const char* func_name(CellFunc func);
+
+/// Index of a transition direction at a pin; used to address per-rise/fall
+/// arrays everywhere in the repository.
+enum class RiseFall : std::uint8_t { kRise = 0, kFall = 1 };
+
+/// Both transition directions, for range-for loops.
+inline constexpr std::array<RiseFall, 2> kBothTransitions = {RiseFall::kRise,
+                                                             RiseFall::kFall};
+
+/// Integer index of a transition (kRise -> 0, kFall -> 1).
+[[nodiscard]] constexpr int rf_index(RiseFall rf) { return static_cast<int>(rf); }
+
+/// The opposite transition (used by negative-unate arcs).
+[[nodiscard]] constexpr RiseFall opposite(RiseFall rf) {
+  return rf == RiseFall::kRise ? RiseFall::kFall : RiseFall::kRise;
+}
+
+using LibCellId = std::int32_t;
+inline constexpr LibCellId kNullLibCell = -1;
+
+/// One characterized library cell.
+///
+/// The delay model is a compact NLDM-style analytic form (units: ps, fF, kΩ):
+///   cell arc delay(rf) = intrinsic[rf] + drive_res[rf] * load + slew_sens * input_slew
+///   output slew(rf)    = slew_intrinsic[rf] + slew_res[rf] * load
+///   POCV sigma         = sigma_ratio * nominal delay
+/// Larger drive strengths have lower drive_res/slew_res but higher input_cap,
+/// area and leakage, giving the classic sizing trade-off.
+struct LibCell {
+  LibCellId id = kNullLibCell;
+  std::string name;
+  CellFunc func = CellFunc::kBuf;
+  int drive = 1;          ///< relative drive strength (1, 2, 4, ...)
+  double area = 1.0;      ///< um^2 (also used as placement width)
+  double leakage = 1.0;   ///< leakage power, arbitrary units
+  double input_cap = 1.0; ///< fF per data input pin (and clock pin for DFF)
+
+  std::array<double, 2> intrinsic{0.0, 0.0};      ///< ps, indexed by RiseFall
+  std::array<double, 2> drive_res{0.0, 0.0};      ///< ps/fF
+  std::array<double, 2> slew_intrinsic{0.0, 0.0}; ///< ps
+  std::array<double, 2> slew_res{0.0, 0.0};       ///< ps/fF
+  double slew_sens = 0.0;   ///< delay ps added per ps of input slew
+  double sigma_ratio = 0.0; ///< POCV sigma as a fraction of nominal delay
+
+  // Sequential-only attributes (ignored for combinational cells):
+  double setup = 0.0;               ///< ps, setup requirement at D
+  double hold = 0.0;                ///< ps, hold requirement at D
+  std::array<double, 2> clk2q{0.0, 0.0}; ///< ps, intrinsic clock-to-Q
+};
+
+/// A cell library: an indexed collection of LibCells with size-family lookup
+/// (all drive strengths of one function form a family, sorted by drive).
+class Library {
+ public:
+  /// Adds a cell; its id is assigned and returned.
+  LibCellId add(LibCell cell);
+
+  /// The cell with the given id. Throws CheckError on a bad id.
+  [[nodiscard]] const LibCell& cell(LibCellId id) const;
+
+  /// All drive strengths of `func`, sorted ascending by drive.
+  [[nodiscard]] std::span<const LibCellId> family(CellFunc func) const;
+
+  /// The library cell with exactly this function and drive, or kNullLibCell.
+  [[nodiscard]] LibCellId find(CellFunc func, int drive) const;
+
+  /// Number of cells in the library.
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+  /// All cells, in id order.
+  [[nodiscard]] std::span<const LibCell> cells() const { return cells_; }
+
+ private:
+  std::vector<LibCell> cells_;
+  std::vector<std::vector<LibCellId>> families_;  // indexed by CellFunc
+};
+
+/// Parameters of the procedurally generated default library.
+struct DefaultLibraryParams {
+  std::vector<int> drives = {1, 2, 4, 8, 16};
+  double base_res = 8.0;        ///< drive_res of an X1 inverter, ps/fF
+  double base_cap = 1.2;        ///< input_cap of an X1 inverter, fF
+  double base_intrinsic = 8.0;  ///< intrinsic delay of an X1 inverter, ps
+  double sigma_ratio = 0.05;    ///< POCV sigma / nominal delay
+  double slew_sens = 0.12;      ///< delay ps per ps of input slew
+};
+
+/// Builds the default synthetic library: INV/BUF/NAND2/NOR2/AND2/OR2/XOR2/
+/// XNOR2/NAND3/AOI21/DFF in all requested drive strengths, plus the two port
+/// pseudo-cells (always drive 1).
+[[nodiscard]] Library make_default_library(
+    const DefaultLibraryParams& params = {});
+
+}  // namespace insta::netlist

@@ -1,0 +1,30 @@
+#include "place/hpwl.hpp"
+
+#include <algorithm>
+
+namespace insta::place {
+
+double net_hpwl(const netlist::Design& design, netlist::NetId net_id) {
+  const netlist::Net& n = design.net(net_id);
+  if (n.driver == netlist::kNullPin) return 0.0;
+  const netlist::Cell& d = design.cell(design.pin(n.driver).cell);
+  double xmin = d.x, xmax = d.x, ymin = d.y, ymax = d.y;
+  for (const netlist::PinId s : n.sinks) {
+    const netlist::Cell& c = design.cell(design.pin(s).cell);
+    xmin = std::min(xmin, c.x);
+    xmax = std::max(xmax, c.x);
+    ymin = std::min(ymin, c.y);
+    ymax = std::max(ymax, c.y);
+  }
+  return (xmax - xmin) + (ymax - ymin);
+}
+
+double total_hpwl(const netlist::Design& design) {
+  double total = 0.0;
+  for (std::size_t n = 0; n < design.num_nets(); ++n) {
+    total += net_hpwl(design, static_cast<netlist::NetId>(n));
+  }
+  return total;
+}
+
+}  // namespace insta::place

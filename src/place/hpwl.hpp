@@ -1,0 +1,15 @@
+#pragma once
+
+#include "netlist/design.hpp"
+
+namespace insta::place {
+
+/// Half-perimeter wirelength of one net from the current cell placement
+/// (cells are treated as points at their centers), um.
+[[nodiscard]] double net_hpwl(const netlist::Design& design,
+                              netlist::NetId net);
+
+/// Total HPWL over all nets, um (the Table III HPWL metric).
+[[nodiscard]] double total_hpwl(const netlist::Design& design);
+
+}  // namespace insta::place

@@ -1,0 +1,104 @@
+#include "place/legalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace insta::place {
+
+using netlist::CellId;
+
+namespace {
+
+/// Placement footprint width of a cell: area spread over one row height.
+double cell_width(const netlist::Design& d, CellId id, double row_height) {
+  return std::max(0.2, d.libcell_of(id).area / row_height);
+}
+
+}  // namespace
+
+double legalize_rows(netlist::Design& design, const CoreGeometry& core) {
+  util::check(core.num_rows > 0 && core.row_height > 0.0 && core.width > 0.0,
+              "legalize_rows: bad core geometry");
+  struct Item {
+    CellId id;
+    double x, y, w;
+  };
+  std::vector<Item> items;
+  double total_width = 0.0;
+  for (std::size_t c = 0; c < design.num_cells(); ++c) {
+    const auto id = static_cast<CellId>(c);
+    const netlist::Cell& cell = design.cell(id);
+    if (cell.fixed || design.libcell_of(id).area <= 0.0) continue;
+    const double w = cell_width(design, id, core.row_height);
+    items.push_back({id, cell.x, cell.y, w});
+    total_width += w;
+  }
+  util::check(total_width <= 0.98 * core.width * core.num_rows,
+              "legalize_rows: design does not fit the core");
+
+  // Phase 1: geometric row assignment with capacity rebalancing. Every cell
+  // starts in the row containing its y; overloaded rows shed their cells
+  // nearest the neighbouring row in alternating upward/downward sweeps.
+  // Global utilization is below the per-row cap, so the sweeps terminate
+  // with every row within capacity — the algorithm cannot overflow.
+  std::vector<std::vector<Item>> rows(static_cast<std::size_t>(core.num_rows));
+  std::vector<double> width(static_cast<std::size_t>(core.num_rows), 0.0);
+  for (const Item& it : items) {
+    const int r = std::clamp(static_cast<int>(it.y / core.row_height), 0,
+                             core.num_rows - 1);
+    rows[static_cast<std::size_t>(r)].push_back(it);
+    width[static_cast<std::size_t>(r)] += it.w;
+  }
+  const double cap = 0.97 * core.width;
+  auto shed = [&](int from, int to, bool take_max_y) {
+    auto& row = rows[static_cast<std::size_t>(from)];
+    std::sort(row.begin(), row.end(),
+              [](const Item& a, const Item& b) { return a.y < b.y; });
+    while (width[static_cast<std::size_t>(from)] > cap && !row.empty()) {
+      const Item moved = take_max_y ? row.back() : row.front();
+      if (take_max_y) {
+        row.pop_back();
+      } else {
+        row.erase(row.begin());
+      }
+      width[static_cast<std::size_t>(from)] -= moved.w;
+      rows[static_cast<std::size_t>(to)].push_back(moved);
+      width[static_cast<std::size_t>(to)] += moved.w;
+    }
+  };
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (int r = 0; r + 1 < core.num_rows; ++r) shed(r, r + 1, true);
+    for (int r = core.num_rows - 1; r > 0; --r) shed(r, r - 1, false);
+  }
+
+  // Phase 2: within each row, pack in ascending-x order. A cell may keep a
+  // gap to its left only if the remaining cells still fit to its right
+  // (budget cap), so the row always packs.
+  double displacement = 0.0;
+  for (int r = 0; r < core.num_rows; ++r) {
+    auto& row = rows[static_cast<std::size_t>(r)];
+    std::sort(row.begin(), row.end(),
+              [](const Item& a, const Item& b) { return a.x < b.x; });
+    double suffix = 0.0;
+    for (const Item& it : row) suffix += it.w;
+    const double row_y = (r + 0.5) * core.row_height;
+    double cursor = 0.0;
+    for (const Item& it : row) {
+      const double cap = core.width - suffix;  // rightmost legal left edge
+      const double px = std::clamp(it.x - it.w * 0.5, cursor, std::max(cursor, cap));
+      netlist::Cell& cell = design.cell(it.id);
+      displacement += std::abs(px + it.w * 0.5 - it.x) + std::abs(row_y - it.y);
+      cell.x = px + it.w * 0.5;
+      cell.y = row_y;
+      cursor = px + it.w;
+      suffix -= it.w;
+    }
+  }
+  return displacement;
+}
+
+}  // namespace insta::place

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "netlist/design.hpp"
+
+namespace insta::place {
+
+/// Core geometry of a row-based placement region.
+struct CoreGeometry {
+  double width = 0.0;       ///< um
+  double height = 0.0;      ///< um
+  double row_height = 0.0;  ///< um
+  int num_rows = 0;
+};
+
+/// Greedy row-based ("Tetris") legalization: processes movable cells in
+/// ascending-x order, assigns each to the row minimizing displacement given
+/// the rows' current fill, and packs it at the first legal position. Fixed
+/// cells are untouched. The result is overlap-free per row and fully inside
+/// the core (this repository's ABCDPlace stand-in).
+///
+/// Returns the total displacement (um) the legalizer introduced.
+double legalize_rows(netlist::Design& design, const CoreGeometry& core);
+
+}  // namespace insta::place

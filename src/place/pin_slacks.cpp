@@ -1,0 +1,63 @@
+#include "place/pin_slacks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace insta::place {
+
+using netlist::PinId;
+using timing::ArcId;
+using timing::ArcRecord;
+
+std::vector<double> compute_pin_slacks(const ref::GoldenSta& sta) {
+  const timing::TimingGraph& g = sta.graph();
+  const double nsigma = sta.constraints().nsigma;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> required(g.design().num_pins(), kInf);
+
+  // Endpoint required = arrival + slack (recovers the CPPR-credited
+  // required of the endpoint's worst startpoint).
+  for (std::size_t e = 0; e < g.endpoints().size(); ++e) {
+    const timing::Endpoint& ep = g.endpoints()[e];
+    const double slack = sta.endpoint_slack(static_cast<timing::EndpointId>(e));
+    const double arr = sta.worst_arrival(ep.pin);
+    if (std::isfinite(slack) && std::isfinite(arr)) {
+      required[static_cast<std::size_t>(ep.pin)] = arr + slack;
+    }
+  }
+
+  // Backward min-propagation in reverse level order.
+  const auto order = g.level_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const PinId p = *it;
+    double r = required[static_cast<std::size_t>(p)];
+    for (const ArcId aid : g.fanout(p)) {
+      const ArcRecord& a = g.arc(aid);
+      const double rt = required[static_cast<std::size_t>(a.to)];
+      if (!std::isfinite(rt)) continue;
+      double corner = 0.0;
+      for (const int rf : {0, 1}) {
+        corner = std::max(
+            corner,
+            sta.delays().mu[rf][static_cast<std::size_t>(aid)] +
+                nsigma * sta.delays().sigma[rf][static_cast<std::size_t>(aid)]);
+      }
+      r = std::min(r, rt - corner);
+    }
+    required[static_cast<std::size_t>(p)] = r;
+  }
+
+  std::vector<double> slack(g.design().num_pins(), kInf);
+  for (const PinId p : order) {
+    const double arr = sta.worst_arrival(p);
+    if (std::isfinite(arr) &&
+        std::isfinite(required[static_cast<std::size_t>(p)])) {
+      slack[static_cast<std::size_t>(p)] =
+          required[static_cast<std::size_t>(p)] - arr;
+    }
+  }
+  return slack;
+}
+
+}  // namespace insta::place

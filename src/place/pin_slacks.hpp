@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "ref/golden_sta.hpp"
+
+namespace insta::place {
+
+/// Scalar graph-based pin slacks computed from the golden engine's arrival
+/// state: required times are propagated backward from the endpoints with
+/// worst-corner arc delays, and slack(pin) = required - worst arrival.
+///
+/// This plays the role OpenTimer plays for the net-weighting baseline [19]:
+/// a conventional slack view with no notion of per-arc criticality — exactly
+/// the information deficit INSTA-Place's arc gradients fix.
+///
+/// Endpoint-pin slacks equal the engine's endpoint slacks exactly; slacks at
+/// intermediate pins are pessimistic (corner delays add along the backward
+/// walk while the forward arrival RSSes sigmas), which is the usual
+/// behaviour of a scalar slack view over a statistical engine.
+///
+/// Pins nothing arrives at get +infinity. Indexed by design pin id.
+[[nodiscard]] std::vector<double> compute_pin_slacks(const ref::GoldenSta& sta);
+
+}  // namespace insta::place

@@ -1,0 +1,166 @@
+#include "ref/brute_force.hpp"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "timing/clock.hpp"
+#include "util/check.hpp"
+
+namespace insta::ref {
+
+using netlist::PinId;
+using netlist::RiseFall;
+using timing::ArcId;
+using timing::ArcKind;
+using timing::ArcRecord;
+using timing::ArcSense;
+using timing::EndpointId;
+using timing::StartpointId;
+
+namespace {
+
+struct Walker {
+  const timing::TimingGraph& graph;
+  const timing::Constraints& cx;
+  const timing::ArcDelays& delays;
+  StartpointId sp = timing::kNullStartpoint;
+  // best corner arrival per (endpoint, startpoint)
+  std::unordered_map<std::uint64_t, double>& best;
+  bool early = false;  ///< track minima of mu - nsigma*sigma instead
+
+  static std::uint64_t key(EndpointId ep, StartpointId sp) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ep)) << 32) |
+           static_cast<std::uint32_t>(sp);
+  }
+
+  void dfs(PinId pin, RiseFall rf, double mu, double sig2) {
+    const EndpointId ep = graph.endpoint_of_pin(pin);
+    if (ep != timing::kNullEndpoint) {
+      const double corner =
+          mu + (early ? -1.0 : 1.0) * cx.nsigma * std::sqrt(sig2);
+      auto [it, inserted] = best.try_emplace(key(ep, sp), corner);
+      if (!inserted && (early ? corner < it->second : corner > it->second)) {
+        it->second = corner;
+      }
+    }
+    for (const ArcId aid : graph.fanout(pin)) {
+      const ArcRecord& a = graph.arc(aid);
+      const RiseFall crf =
+          (a.sense == ArcSense::kPositive) ? rf : netlist::opposite(rf);
+      const int crfi = netlist::rf_index(crf);
+      const double amu = delays.mu[crfi][static_cast<std::size_t>(aid)];
+      const double asig = delays.sigma[crfi][static_cast<std::size_t>(aid)];
+      dfs(a.to, crf, mu + amu, sig2 + asig * asig);
+    }
+  }
+};
+
+}  // namespace
+
+namespace {
+
+/// Shared path enumeration: fills per-(ep, sp) best corners (late or early).
+std::unordered_map<std::uint64_t, double> enumerate_corners(
+    const timing::TimingGraph& graph, const timing::Constraints& cx,
+    const timing::ArcDelays& delays, const timing::ClockAnalysis& clock,
+    bool early) {
+  std::unordered_map<std::uint64_t, double> best;
+  for (std::size_t s = 0; s < graph.startpoints().size(); ++s) {
+    const timing::Startpoint& sp = graph.startpoints()[s];
+    Walker w{graph, cx, delays, static_cast<StartpointId>(s), best, early};
+    for (const RiseFall rf : netlist::kBothTransitions) {
+      double mu = cx.input_arrival_mu;
+      double sig2 = cx.input_arrival_sigma * cx.input_arrival_sigma;
+      if (sp.clocked) {
+        const auto [first, last] = graph.cell_arcs(sp.cell);
+        util::check(last - first == 1, "brute force: bad FF launch arcs");
+        const int rfi = netlist::rf_index(rf);
+        const double lmu = delays.mu[rfi][static_cast<std::size_t>(first)];
+        const double lsig = delays.sigma[rfi][static_cast<std::size_t>(first)];
+        mu = clock.ck_mu(sp.cell) + lmu;
+        sig2 = clock.ck_sig2(sp.cell) + lsig * lsig;
+      }
+      w.dfs(sp.pin, rf, mu, sig2);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<double> brute_force_hold_slacks(
+    const timing::TimingGraph& graph, const timing::Constraints& cx,
+    const timing::ArcDelays& delays) {
+  const timing::ClockAnalysis clock(graph, delays, cx.nsigma);
+  const timing::ExceptionTable exceptions(graph, cx.exceptions);
+  const auto best = enumerate_corners(graph, cx, delays, clock, /*early=*/true);
+
+  std::vector<double> slack(graph.endpoints().size(),
+                            std::numeric_limits<double>::infinity());
+  for (std::size_t e = 0; e < graph.endpoints().size(); ++e) {
+    const timing::Endpoint& ep = graph.endpoints()[e];
+    if (!ep.clocked) continue;
+    const netlist::LibCell& lc = graph.design().libcell_of(ep.cell);
+    const double base = clock.ck_mu(ep.cell) +
+                        cx.nsigma * std::sqrt(clock.ck_sig2(ep.cell)) +
+                        lc.hold;
+    for (std::size_t s = 0; s < graph.startpoints().size(); ++s) {
+      const auto it = best.find(Walker::key(static_cast<EndpointId>(e),
+                                            static_cast<StartpointId>(s)));
+      if (it == best.end()) continue;
+      if (exceptions.is_false_path(static_cast<StartpointId>(s),
+                                   static_cast<EndpointId>(e))) {
+        continue;
+      }
+      const timing::Startpoint& sp = graph.startpoints()[s];
+      const netlist::CellId launch = sp.clocked ? sp.cell : netlist::kNullCell;
+      const double req = base - clock.credit(launch, ep.cell);
+      slack[e] = std::min(slack[e], it->second - req);
+    }
+  }
+  return slack;
+}
+
+std::vector<double> brute_force_endpoint_slacks(
+    const timing::TimingGraph& graph, const timing::Constraints& cx,
+    const timing::ArcDelays& delays) {
+  const timing::ClockAnalysis clock(graph, delays, cx.nsigma);
+  const timing::ExceptionTable exceptions(graph, cx.exceptions);
+
+  const auto best =
+      enumerate_corners(graph, cx, delays, clock, /*early=*/false);
+
+  std::vector<double> slack(graph.endpoints().size(),
+                            std::numeric_limits<double>::infinity());
+  for (std::size_t e = 0; e < graph.endpoints().size(); ++e) {
+    const timing::Endpoint& ep = graph.endpoints()[e];
+    double ep_period = cx.clock_period;
+    double base = cx.clock_period - cx.output_margin;
+    if (ep.clocked) {
+      const netlist::LibCell& lc = graph.design().libcell_of(ep.cell);
+      ep_period = cx.period_of_domain(clock.domain_of_ff(ep.cell));
+      base = ep_period + clock.early_ck(ep.cell) - lc.setup;
+    }
+    for (std::size_t s = 0; s < graph.startpoints().size(); ++s) {
+      const auto it = best.find(Walker::key(static_cast<EndpointId>(e),
+                                            static_cast<StartpointId>(s)));
+      if (it == best.end()) continue;
+      if (exceptions.is_false_path(static_cast<StartpointId>(s),
+                                   static_cast<EndpointId>(e))) {
+        continue;
+      }
+      const timing::Startpoint& sp = graph.startpoints()[s];
+      const netlist::CellId launch = sp.clocked ? sp.cell : netlist::kNullCell;
+      const netlist::CellId capture = ep.clocked ? ep.cell : netlist::kNullCell;
+      double req = base + clock.credit(launch, capture) +
+                   exceptions.required_shift(static_cast<StartpointId>(s),
+                                             static_cast<EndpointId>(e),
+                                             ep_period);
+      slack[e] = std::min(slack[e], req - it->second);
+    }
+  }
+  return slack;
+}
+
+}  // namespace insta::ref

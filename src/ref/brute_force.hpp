@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "timing/constraints.hpp"
+#include "timing/graph.hpp"
+#include "timing/types.hpp"
+
+namespace insta::ref {
+
+/// Exhaustive path-enumeration STA oracle for tests.
+///
+/// Walks every path from every startpoint, tracking the full (mu, sigma^2)
+/// distribution per path, and evaluates endpoint slacks with exact per-pair
+/// CPPR credits and exceptions. Exponential in reconvergence depth — use
+/// only on small designs. Deliberately shares no propagation code with
+/// GoldenSta so the two implementations check each other.
+[[nodiscard]] std::vector<double> brute_force_endpoint_slacks(
+    const timing::TimingGraph& graph, const timing::Constraints& constraints,
+    const timing::ArcDelays& delays);
+
+/// Exhaustive hold-check oracle: enumerates every path tracking the full
+/// distribution, takes the per-(endpoint, startpoint) *earliest* corner
+/// (mu - nsigma*sigma), and evaluates hold slacks against the late capture
+/// clock with LCA CPPR credit. Small designs only.
+[[nodiscard]] std::vector<double> brute_force_hold_slacks(
+    const timing::TimingGraph& graph, const timing::Constraints& constraints,
+    const timing::ArcDelays& delays);
+
+}  // namespace insta::ref

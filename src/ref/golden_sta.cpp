@@ -1,0 +1,383 @@
+#include "ref/golden_sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace insta::ref {
+
+using netlist::kNullPin;
+using netlist::PinId;
+using netlist::RiseFall;
+using timing::ArcDelta;
+using timing::ArcId;
+using timing::ArcKind;
+using timing::ArcRecord;
+using timing::ArcSense;
+using timing::EndpointId;
+using timing::StartpointId;
+using util::check;
+
+GoldenSta::GoldenSta(const timing::TimingGraph& graph,
+                     const timing::Constraints& constraints,
+                     timing::ArcDelays& delays, GoldenOptions options)
+    : graph_(&graph),
+      constraints_(&constraints),
+      delays_(&delays),
+      options_(options),
+      exceptions_(graph, constraints.exceptions) {
+  check(delays.size() == graph.num_arcs(),
+        "GoldenSta: delays not computed for this graph");
+  arr_.assign(graph.design().num_pins() * 2, {});
+  arr_early_.assign(graph.design().num_pins() * 2, {});
+  slack_.assign(graph.endpoints().size(), kNoArrivalSlack);
+  hold_slack_.assign(graph.endpoints().size(), kNoArrivalSlack);
+}
+
+GoldenSta::SpInit GoldenSta::sp_init(StartpointId sp_id) const {
+  const timing::Startpoint& sp =
+      graph_->startpoints()[static_cast<std::size_t>(sp_id)];
+  SpInit init;
+  if (!sp.clocked) {
+    init.mu = {constraints_->input_arrival_mu, constraints_->input_arrival_mu};
+    init.sigma = {constraints_->input_arrival_sigma,
+                  constraints_->input_arrival_sigma};
+    return init;
+  }
+  check(clock_ != nullptr, "sp_init: clock analysis not ready");
+  const auto [first, last] = graph_->cell_arcs(sp.cell);
+  check(last - first == 1 && graph_->arc(first).kind == ArcKind::kLaunch,
+        "sp_init: FF must have exactly one launch arc");
+  const double ck_mu = clock_->ck_mu(sp.cell);
+  const double ck_sig2 = clock_->ck_sig2(sp.cell);
+  for (const int rf : {0, 1}) {
+    const double lmu = delays_->mu[rf][static_cast<std::size_t>(first)];
+    const double lsig = delays_->sigma[rf][static_cast<std::size_t>(first)];
+    init.mu[static_cast<std::size_t>(rf)] = ck_mu + lmu;
+    init.sigma[static_cast<std::size_t>(rf)] = std::sqrt(ck_sig2 + lsig * lsig);
+  }
+  return init;
+}
+
+double GoldenSta::ep_period(EndpointId ep_id) const {
+  const timing::Endpoint& ep =
+      graph_->endpoints()[static_cast<std::size_t>(ep_id)];
+  if (!ep.clocked) return constraints_->clock_period;
+  check(clock_ != nullptr, "ep_period: clock analysis not ready");
+  return constraints_->period_of_domain(clock_->domain_of_ff(ep.cell));
+}
+
+double GoldenSta::ep_base_required(EndpointId ep_id) const {
+  const timing::Endpoint& ep =
+      graph_->endpoints()[static_cast<std::size_t>(ep_id)];
+  if (!ep.clocked) {
+    return constraints_->clock_period - constraints_->output_margin;
+  }
+  check(clock_ != nullptr, "ep_base_required: clock analysis not ready");
+  const netlist::LibCell& lc = graph_->design().libcell_of(ep.cell);
+  return ep_period(ep_id) + clock_->early_ck(ep.cell) - lc.setup;
+}
+
+void GoldenSta::finalize_entries(std::vector<ArrivalEntry>& entries,
+                                 bool early) const {
+  if (entries.empty()) return;
+  // Unique per startpoint, keeping the worst corner (maximum for late mode,
+  // minimum for early mode); ties broken totally so that full and
+  // incremental updates produce bit-identical sets.
+  const double dir = early ? -1.0 : 1.0;
+  auto total_less = [dir](const ArrivalEntry& a, const ArrivalEntry& b) {
+    if (a.sp != b.sp) return a.sp < b.sp;
+    if (a.corner != b.corner) return dir * a.corner > dir * b.corner;
+    if (a.mu != b.mu) return dir * a.mu > dir * b.mu;
+    return dir * a.sigma > dir * b.sigma;
+  };
+  std::sort(entries.begin(), entries.end(), total_less);
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const ArrivalEntry& a, const ArrivalEntry& b) {
+                              return a.sp == b.sp;
+                            }),
+                entries.end());
+  auto corner_less = [dir](const ArrivalEntry& a, const ArrivalEntry& b) {
+    if (a.corner != b.corner) return dir * a.corner > dir * b.corner;
+    return a.sp < b.sp;
+  };
+  std::sort(entries.begin(), entries.end(), corner_less);
+  if (std::isfinite(options_.prune_window)) {
+    const double floor = dir * entries.front().corner - options_.prune_window;
+    while (!entries.empty() && dir * entries.back().corner < floor) {
+      entries.pop_back();
+    }
+  }
+  if (entries.size() > options_.max_entries) entries.resize(options_.max_entries);
+}
+
+void GoldenSta::recompute_pin(PinId pin, RiseFall rf, bool early,
+                              std::vector<ArrivalEntry>& out) const {
+  out.clear();
+  const double nsig = (early ? -1.0 : 1.0) * constraints_->nsigma;
+  const auto& source = early ? arr_early_ : arr_;
+  const auto fanin = graph_->fanin(pin);
+  if (fanin.empty()) {
+    const StartpointId sp = graph_->startpoint_of_pin(pin);
+    if (sp == timing::kNullStartpoint) return;
+    const SpInit init = sp_init(sp);
+    const int rfi = netlist::rf_index(rf);
+    ArrivalEntry e;
+    e.sp = sp;
+    e.mu = init.mu[static_cast<std::size_t>(rfi)];
+    e.sigma = init.sigma[static_cast<std::size_t>(rfi)];
+    e.corner = e.mu + nsig * e.sigma;
+    out.push_back(e);
+    return;
+  }
+  const int rfi = netlist::rf_index(rf);
+  for (const ArcId aid : fanin) {
+    const ArcRecord& a = graph_->arc(aid);
+    const RiseFall prf = (a.sense == ArcSense::kPositive) ? rf : opposite(rf);
+    const double amu = delays_->mu[rfi][static_cast<std::size_t>(aid)];
+    const double asig = delays_->sigma[rfi][static_cast<std::size_t>(aid)];
+    for (const ArrivalEntry& p : source[slot(a.from, prf)]) {
+      ArrivalEntry e;
+      e.sp = p.sp;
+      e.mu = p.mu + amu;
+      e.sigma = std::sqrt(p.sigma * p.sigma + asig * asig);
+      e.corner = e.mu + nsig * e.sigma;
+      out.push_back(e);
+    }
+  }
+  finalize_entries(out, early);
+}
+
+void GoldenSta::update_full() {
+  clock_ = std::make_unique<timing::ClockAnalysis>(*graph_, *delays_,
+                                                   constraints_->nsigma);
+  last_pins_ = 0;
+  auto& pool = util::ThreadPool::global();
+  for (std::size_t l = 0; l < graph_->num_levels(); ++l) {
+    const auto pins = graph_->level(l);
+    last_pins_ += pins.size();
+    auto process = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const PinId p = pins[i];
+        for (const RiseFall rf : netlist::kBothTransitions) {
+          recompute_pin(p, rf, /*early=*/false, arr_[slot(p, rf)]);
+          if (options_.enable_hold) {
+            recompute_pin(p, rf, /*early=*/true, arr_early_[slot(p, rf)]);
+          }
+        }
+      }
+    };
+    if (options_.parallel) {
+      pool.parallel_for_chunks(0, pins.size(), process, 64);
+    } else {
+      process(0, pins.size());
+    }
+  }
+  for (std::size_t e = 0; e < graph_->endpoints().size(); ++e) {
+    compute_slack(static_cast<EndpointId>(e));
+    if (options_.enable_hold) compute_hold_slack(static_cast<EndpointId>(e));
+  }
+}
+
+void GoldenSta::update_incremental(std::span<const ArcId> changed) {
+  check(clock_ != nullptr, "update_incremental: call update_full first");
+  const std::size_t num_levels = graph_->num_levels();
+  std::vector<std::vector<PinId>> buckets(num_levels);
+  std::vector<char> queued(graph_->design().num_pins(), 0);
+
+  auto push = [&](PinId p) {
+    const int lvl = graph_->level_of(p);
+    check(lvl >= 0, "update_incremental: clock pin in data cone");
+    if (queued[static_cast<std::size_t>(p)]) return;
+    queued[static_cast<std::size_t>(p)] = 1;
+    buckets[static_cast<std::size_t>(lvl)].push_back(p);
+  };
+
+  for (const ArcId aid : changed) {
+    const ArcRecord& a = graph_->arc(aid);
+    if (graph_->is_clock_network(a.from) || graph_->is_clock_network(a.to)) {
+      // Clock arrivals (and so required times and CPPR) changed: full update.
+      update_full();
+      return;
+    }
+    push(a.to);
+  }
+
+  last_pins_ = 0;
+  std::vector<ArrivalEntry> scratch;
+  std::vector<EndpointId> touched_eps;
+  for (std::size_t l = 0; l < num_levels; ++l) {
+    for (const PinId p : buckets[l]) {
+      ++last_pins_;
+      bool changed_pin = false;
+      auto same = [](const ArrivalEntry& a, const ArrivalEntry& b) {
+        return a.sp == b.sp && a.mu == b.mu && a.sigma == b.sigma;
+      };
+      for (const RiseFall rf : netlist::kBothTransitions) {
+        recompute_pin(p, rf, /*early=*/false, scratch);
+        auto& cur = arr_[slot(p, rf)];
+        if (scratch.size() != cur.size() ||
+            !std::equal(scratch.begin(), scratch.end(), cur.begin(), same)) {
+          cur = scratch;
+          changed_pin = true;
+        }
+        if (options_.enable_hold) {
+          recompute_pin(p, rf, /*early=*/true, scratch);
+          auto& cur_early = arr_early_[slot(p, rf)];
+          if (scratch.size() != cur_early.size() ||
+              !std::equal(scratch.begin(), scratch.end(), cur_early.begin(),
+                          same)) {
+            cur_early = scratch;
+            changed_pin = true;
+          }
+        }
+      }
+      if (!changed_pin) continue;
+      const EndpointId ep = graph_->endpoint_of_pin(p);
+      if (ep != timing::kNullEndpoint) touched_eps.push_back(ep);
+      for (const ArcId aid : graph_->fanout(p)) push(graph_->arc(aid).to);
+    }
+  }
+  for (const EndpointId ep : touched_eps) {
+    compute_slack(ep);
+    if (options_.enable_hold) compute_hold_slack(ep);
+  }
+}
+
+void GoldenSta::annotate_and_update(std::span<const ArcDelta> deltas) {
+  std::vector<ArcId> ids;
+  ids.reserve(deltas.size());
+  for (const ArcDelta& d : deltas) {
+    for (const int rf : {0, 1}) {
+      delays_->mu[rf][static_cast<std::size_t>(d.arc)] =
+          d.mu[static_cast<std::size_t>(rf)];
+      delays_->sigma[rf][static_cast<std::size_t>(d.arc)] =
+          d.sigma[static_cast<std::size_t>(rf)];
+    }
+    ids.push_back(d.arc);
+  }
+  update_incremental(ids);
+}
+
+void GoldenSta::compute_slack(EndpointId ep_id) {
+  const timing::Endpoint& ep =
+      graph_->endpoints()[static_cast<std::size_t>(ep_id)];
+  const double base = ep_base_required(ep_id);
+  const netlist::CellId cap_cell = ep.clocked ? ep.cell : netlist::kNullCell;
+  double slack = kNoArrivalSlack;
+  for (const RiseFall rf : netlist::kBothTransitions) {
+    for (const ArrivalEntry& e : arr_[slot(ep.pin, rf)]) {
+      if (exceptions_.size() != 0) {
+        if (exceptions_.is_false_path(e.sp, ep_id)) continue;
+      }
+      const timing::Startpoint& sp =
+          graph_->startpoints()[static_cast<std::size_t>(e.sp)];
+      const netlist::CellId launch_cell =
+          sp.clocked ? sp.cell : netlist::kNullCell;
+      double req = base + clock_->credit(launch_cell, cap_cell);
+      if (exceptions_.size() != 0) {
+        req += exceptions_.required_shift(e.sp, ep_id, ep_period(ep_id));
+      }
+      slack = std::min(slack, req - e.corner);
+    }
+  }
+  slack_[static_cast<std::size_t>(ep_id)] = slack;
+}
+
+void GoldenSta::compute_hold_slack(EndpointId ep_id) {
+  const timing::Endpoint& ep =
+      graph_->endpoints()[static_cast<std::size_t>(ep_id)];
+  double slack = kNoArrivalSlack;
+  if (ep.clocked) {
+    // Hold check: the earliest same-cycle data arrival must not beat the
+    // capture clock's late corner plus the hold requirement; common clock
+    // path pessimism is removed just as for setup.
+    const netlist::LibCell& lc = graph_->design().libcell_of(ep.cell);
+    const double base = clock_->late_ck(ep.cell) + lc.hold;
+    for (const RiseFall rf : netlist::kBothTransitions) {
+      for (const ArrivalEntry& e : arr_early_[slot(ep.pin, rf)]) {
+        if (exceptions_.size() != 0 && exceptions_.is_false_path(e.sp, ep_id)) {
+          continue;
+        }
+        const timing::Startpoint& sp =
+            graph_->startpoints()[static_cast<std::size_t>(e.sp)];
+        const netlist::CellId launch =
+            sp.clocked ? sp.cell : netlist::kNullCell;
+        const double req = base - clock_->credit(launch, ep.cell);
+        slack = std::min(slack, e.corner - req);
+      }
+    }
+  }
+  hold_slack_[static_cast<std::size_t>(ep_id)] = slack;
+}
+
+double GoldenSta::whs() const {
+  double w = 0.0;
+  bool any = false;
+  for (const double s : hold_slack_) {
+    if (!std::isfinite(s)) continue;
+    if (!any || s < w) {
+      w = s;
+      any = true;
+    }
+  }
+  return any ? w : 0.0;
+}
+
+double GoldenSta::ths() const {
+  double t = 0.0;
+  for (const double s : hold_slack_) {
+    if (std::isfinite(s) && s < 0.0) t += s;
+  }
+  return t;
+}
+
+int GoldenSta::num_hold_violations() const {
+  int n = 0;
+  for (const double s : hold_slack_) {
+    if (std::isfinite(s) && s < 0.0) ++n;
+  }
+  return n;
+}
+
+double GoldenSta::wns() const {
+  double w = 0.0;
+  bool any = false;
+  for (const double s : slack_) {
+    if (!std::isfinite(s)) continue;
+    if (!any || s < w) {
+      w = s;
+      any = true;
+    }
+  }
+  return any ? w : 0.0;
+}
+
+double GoldenSta::tns() const {
+  double t = 0.0;
+  for (const double s : slack_) {
+    if (std::isfinite(s) && s < 0.0) t += s;
+  }
+  return t;
+}
+
+int GoldenSta::num_violations() const {
+  int n = 0;
+  for (const double s : slack_) {
+    if (std::isfinite(s) && s < 0.0) ++n;
+  }
+  return n;
+}
+
+double GoldenSta::worst_arrival(PinId pin) const {
+  double worst = -std::numeric_limits<double>::infinity();
+  for (const RiseFall rf : netlist::kBothTransitions) {
+    const auto& v = arr_[slot(pin, rf)];
+    if (!v.empty()) worst = std::max(worst, v.front().corner);
+  }
+  return worst;
+}
+
+}  // namespace insta::ref

@@ -1,0 +1,302 @@
+#include "ref/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace insta::ref {
+
+using netlist::PinId;
+using netlist::RiseFall;
+using timing::ArcId;
+using timing::ArcRecord;
+using timing::ArcSense;
+using timing::EndpointId;
+using timing::StartpointId;
+using util::check;
+
+namespace {
+
+/// Backward value-matching walk shared by setup and hold tracing: at each
+/// pin, find the fanin arc and parent entry (same startpoint) whose
+/// propagation reproduces this entry's (mu, sigma) exactly.
+std::vector<PathStage> walk_back(const GoldenSta& sta, PinId pin, RiseFall rf,
+                                 double mu, double sigma, StartpointId sp,
+                                 bool early) {
+  const timing::TimingGraph& g = sta.graph();
+  const double nsig =
+      (early ? -1.0 : 1.0) * sta.constraints().nsigma;
+  auto entries = [&](PinId p, RiseFall r) {
+    return early ? sta.early_arrivals(p, r) : sta.arrivals(p, r);
+  };
+  std::vector<PathStage> reversed;
+  for (;;) {
+    const auto fanin = g.fanin(pin);
+    if (fanin.empty()) break;
+    bool found = false;
+    for (const ArcId aid : fanin) {
+      const ArcRecord& a = g.arc(aid);
+      const RiseFall prf =
+          (a.sense == ArcSense::kPositive) ? rf : netlist::opposite(rf);
+      const int rfi = netlist::rf_index(rf);
+      const double amu = sta.delays().mu[rfi][static_cast<std::size_t>(aid)];
+      const double asig =
+          sta.delays().sigma[rfi][static_cast<std::size_t>(aid)];
+      for (const ArrivalEntry& pe : entries(a.from, prf)) {
+        if (pe.sp != sp) continue;
+        const double want_mu = pe.mu + amu;
+        const double want_sig = std::sqrt(pe.sigma * pe.sigma + asig * asig);
+        if (std::abs(want_mu - mu) < 1e-6 &&
+            std::abs(want_sig - sigma) < 1e-6) {
+          PathStage st;
+          st.arc = aid;
+          st.pin = pin;
+          st.rf = rf;
+          st.incr_mu = amu;
+          st.incr_sigma = asig;
+          st.arrival = mu + nsig * sigma;
+          reversed.push_back(st);
+          pin = a.from;
+          rf = prf;
+          mu = pe.mu;
+          sigma = pe.sigma;
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    check(found, "walk_back: no predecessor reproduces the arrival");
+  }
+  PathStage sp_stage;
+  sp_stage.pin = pin;
+  sp_stage.rf = rf;
+  sp_stage.arrival = mu + nsig * sigma;
+  reversed.push_back(sp_stage);
+  return {reversed.rbegin(), reversed.rend()};
+}
+
+}  // namespace
+
+TimingPath trace_worst_hold_path(const GoldenSta& sta, EndpointId ep_id) {
+  const timing::TimingGraph& g = sta.graph();
+  const timing::Endpoint& ep = g.endpoints()[static_cast<std::size_t>(ep_id)];
+  TimingPath path;
+  path.endpoint = ep_id;
+  path.hold = true;
+  if (!ep.clocked) return path;
+  const netlist::LibCell& lc = g.design().libcell_of(ep.cell);
+  path.base_required = sta.clock().late_ck(ep.cell) + lc.hold;
+
+  double best = kNoArrivalSlack;
+  RiseFall best_rf = RiseFall::kRise;
+  ArrivalEntry best_entry;
+  double best_credit = 0.0;
+  for (const RiseFall rf : netlist::kBothTransitions) {
+    for (const ArrivalEntry& e : sta.early_arrivals(ep.pin, rf)) {
+      if (sta.exceptions().is_false_path(e.sp, ep_id)) continue;
+      const timing::Startpoint& sp =
+          g.startpoints()[static_cast<std::size_t>(e.sp)];
+      const double credit = sta.clock().credit(
+          sp.clocked ? sp.cell : netlist::kNullCell, ep.cell);
+      const double slack = e.corner - (path.base_required - credit);
+      if (slack < best) {
+        best = slack;
+        best_rf = rf;
+        best_entry = e;
+        best_credit = credit;
+      }
+    }
+  }
+  if (!std::isfinite(best)) return path;
+  path.slack = best;
+  path.arrival = best_entry.corner;
+  path.cppr_credit = best_credit;
+  path.startpoint = best_entry.sp;
+  path.stages = walk_back(sta, ep.pin, best_rf, best_entry.mu,
+                          best_entry.sigma, best_entry.sp, /*early=*/true);
+  return path;
+}
+
+TimingPath trace_worst_path(const GoldenSta& sta, EndpointId ep_id) {
+  const timing::TimingGraph& g = sta.graph();
+  const timing::Constraints& cx = sta.constraints();
+  const timing::Endpoint& ep =
+      g.endpoints()[static_cast<std::size_t>(ep_id)];
+
+  TimingPath path;
+  path.endpoint = ep_id;
+  path.base_required = sta.ep_base_required(ep_id);
+
+  // Replicate the slack evaluation to find the deciding (rf, entry) pair.
+  const netlist::CellId cap_cell = ep.clocked ? ep.cell : netlist::kNullCell;
+  double best = kNoArrivalSlack;
+  RiseFall best_rf = RiseFall::kRise;
+  ArrivalEntry best_entry;
+  double best_credit = 0.0, best_shift = 0.0;
+  for (const RiseFall rf : netlist::kBothTransitions) {
+    for (const ArrivalEntry& e : sta.arrivals(ep.pin, rf)) {
+      if (sta.exceptions().is_false_path(e.sp, ep_id)) continue;
+      const timing::Startpoint& sp =
+          g.startpoints()[static_cast<std::size_t>(e.sp)];
+      const double credit = sta.clock().credit(
+          sp.clocked ? sp.cell : netlist::kNullCell, cap_cell);
+      const double shift =
+          sta.exceptions().required_shift(e.sp, ep_id, cx.clock_period);
+      const double slack = path.base_required + credit + shift - e.corner;
+      if (slack < best) {
+        best = slack;
+        best_rf = rf;
+        best_entry = e;
+        best_credit = credit;
+        best_shift = shift;
+      }
+    }
+  }
+  if (!std::isfinite(best)) return path;  // unconstrained
+
+  path.slack = best;
+  path.arrival = best_entry.corner;
+  path.cppr_credit = best_credit;
+  path.exception_shift = best_shift;
+  path.startpoint = best_entry.sp;
+
+  path.stages = walk_back(sta, ep.pin, best_rf, best_entry.mu,
+                          best_entry.sigma, best_entry.sp, /*early=*/false);
+  return path;
+}
+
+std::vector<TimingPath> trace_paths(const GoldenSta& sta, EndpointId ep_id,
+                                    int nworst) {
+  const timing::TimingGraph& g = sta.graph();
+  const timing::Constraints& cx = sta.constraints();
+  const timing::Endpoint& ep = g.endpoints()[static_cast<std::size_t>(ep_id)];
+  const double base = sta.ep_base_required(ep_id);
+  const netlist::CellId cap_cell = ep.clocked ? ep.cell : netlist::kNullCell;
+
+  struct Cand {
+    double slack;
+    RiseFall rf;
+    ArrivalEntry entry;
+    double credit;
+    double shift;
+  };
+  std::vector<Cand> cands;
+  for (const RiseFall rf : netlist::kBothTransitions) {
+    for (const ArrivalEntry& e : sta.arrivals(ep.pin, rf)) {
+      if (sta.exceptions().is_false_path(e.sp, ep_id)) continue;
+      const timing::Startpoint& sp =
+          g.startpoints()[static_cast<std::size_t>(e.sp)];
+      const double credit = sta.clock().credit(
+          sp.clocked ? sp.cell : netlist::kNullCell, cap_cell);
+      const double shift =
+          sta.exceptions().required_shift(e.sp, ep_id, cx.clock_period);
+      cands.push_back(Cand{base + credit + shift - e.corner, rf, e, credit,
+                           shift});
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.slack < b.slack; });
+  if (cands.size() > static_cast<std::size_t>(nworst)) {
+    cands.resize(static_cast<std::size_t>(nworst));
+  }
+  std::vector<TimingPath> paths;
+  paths.reserve(cands.size());
+  for (const Cand& c : cands) {
+    TimingPath path;
+    path.endpoint = ep_id;
+    path.startpoint = c.entry.sp;
+    path.slack = c.slack;
+    path.arrival = c.entry.corner;
+    path.base_required = base;
+    path.cppr_credit = c.credit;
+    path.exception_shift = c.shift;
+    path.stages = walk_back(sta, ep.pin, c.rf, c.entry.mu, c.entry.sigma,
+                            c.entry.sp, /*early=*/false);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::vector<TimingPath> worst_paths(const GoldenSta& sta, int count) {
+  const timing::TimingGraph& g = sta.graph();
+  std::vector<std::pair<double, EndpointId>> order;
+  for (std::size_t e = 0; e < g.endpoints().size(); ++e) {
+    const double s = sta.endpoint_slack(static_cast<EndpointId>(e));
+    if (std::isfinite(s)) order.emplace_back(s, static_cast<EndpointId>(e));
+  }
+  std::sort(order.begin(), order.end());
+  if (order.size() > static_cast<std::size_t>(count)) {
+    order.resize(static_cast<std::size_t>(count));
+  }
+  std::vector<TimingPath> paths;
+  paths.reserve(order.size());
+  for (const auto& [slack, ep] : order) {
+    paths.push_back(trace_worst_path(sta, ep));
+  }
+  return paths;
+}
+
+std::string format_path(const GoldenSta& sta, const TimingPath& path) {
+  const timing::TimingGraph& g = sta.graph();
+  const netlist::Design& d = g.design();
+  std::string out;
+  char line[256];
+  if (path.stages.empty()) {
+    return "  (unconstrained endpoint)\n";
+  }
+  const timing::Startpoint& sp =
+      g.startpoints()[static_cast<std::size_t>(path.startpoint)];
+  const timing::Endpoint& ep =
+      g.endpoints()[static_cast<std::size_t>(path.endpoint)];
+  std::snprintf(line, sizeof(line), "Startpoint: %s (%s)\n",
+                d.cell(sp.cell).name.c_str(),
+                sp.clocked ? "FF launch" : "input port");
+  out += line;
+  std::snprintf(line, sizeof(line), "Endpoint:   %s (%s)\n",
+                d.pin_name(ep.pin).c_str(),
+                path.hold ? "hold check"
+                          : (ep.clocked ? "setup check" : "output port"));
+  out += line;
+  out += "  point                                        incr    arrival\n";
+  for (const PathStage& st : path.stages) {
+    std::string what = d.pin_name(st.pin);
+    if (st.arc == timing::kNullArc) {
+      what += " (startpoint)";
+    } else if (g.arc(st.arc).kind == timing::ArcKind::kNet) {
+      what += " (net)";
+    } else {
+      what += " (" + d.libcell_of(g.arc(st.arc).cell).name + ")";
+    }
+    std::snprintf(line, sizeof(line), "  %-42s %7.2f  %9.2f %c\n",
+                  what.c_str(), st.incr_mu, st.arrival,
+                  st.rf == RiseFall::kRise ? 'r' : 'f');
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  data arrival                                        %10.2f\n",
+                path.arrival);
+  out += line;
+  if (path.hold) {
+    std::snprintf(line, sizeof(line),
+                  "  required: base %.2f - CPPR credit %.2f = %.2f "
+                  "(hold: arrival must exceed required)\n",
+                  path.base_required, path.cppr_credit,
+                  path.base_required - path.cppr_credit);
+  } else {
+    std::snprintf(line, sizeof(line),
+                  "  required: base %.2f + CPPR credit %.2f + exception %.2f "
+                  "= %.2f\n",
+                  path.base_required, path.cppr_credit, path.exception_shift,
+                  path.base_required + path.cppr_credit +
+                      path.exception_shift);
+  }
+  out += line;
+  std::snprintf(line, sizeof(line), "  slack %s %35.2f\n",
+                path.slack < 0 ? "(VIOLATED)" : "(MET)     ", path.slack);
+  out += line;
+  return out;
+}
+
+}  // namespace insta::ref

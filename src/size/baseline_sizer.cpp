@@ -1,0 +1,173 @@
+#include "size/baseline_sizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/timer.hpp"
+
+namespace insta::size {
+
+using netlist::CellId;
+using netlist::LibCellId;
+using netlist::PinId;
+using timing::ArcId;
+using timing::ArcRecord;
+using timing::EndpointId;
+
+BaselineSizer::BaselineSizer(netlist::Design& design,
+                             const timing::TimingGraph& graph,
+                             timing::DelayCalculator& calc, ref::GoldenSta& sta,
+                             BaselineSizerOptions options)
+    : design_(&design),
+      graph_(&graph),
+      calc_(&calc),
+      sta_(&sta),
+      options_(options) {}
+
+bool BaselineSizer::resizable(CellId cell) const {
+  const netlist::LibCell& lc = design_->libcell_of(cell);
+  if (netlist::is_sequential(lc.func) || !netlist::has_output(lc.func) ||
+      netlist::num_data_inputs(lc.func) == 0) {
+    return false;
+  }
+  if (graph_->is_clock_cell(cell)) return false;
+  return design_->library().family(lc.func).size() >= 2;
+}
+
+std::vector<CellId> BaselineSizer::trace_critical_cells(PinId pin) const {
+  // Walk the worst-arrival path backward, collecting the cells of the cell
+  // arcs it passes through together with their stage (arc corner) delays.
+  std::vector<std::pair<double, CellId>> stages;
+  const double nsigma = sta_->constraints().nsigma;
+  PinId cur = pin;
+  for (;;) {
+    const auto fanin = graph_->fanin(cur);
+    if (fanin.empty()) break;
+    double best_val = -std::numeric_limits<double>::infinity();
+    ArcId best_arc = timing::kNullArc;
+    double best_delay = 0.0;
+    for (const ArcId aid : fanin) {
+      const ArcRecord& a = graph_->arc(aid);
+      double corner = 0.0;
+      for (const int rf : {0, 1}) {
+        corner = std::max(
+            corner, sta_->delays().mu[rf][static_cast<std::size_t>(aid)] +
+                        nsigma *
+                            sta_->delays().sigma[rf][static_cast<std::size_t>(aid)]);
+      }
+      const double val = sta_->worst_arrival(a.from) + corner;
+      if (val > best_val) {
+        best_val = val;
+        best_arc = aid;
+        best_delay = corner;
+      }
+    }
+    if (best_arc == timing::kNullArc) break;
+    const ArcRecord& a = graph_->arc(best_arc);
+    if (a.kind == timing::ArcKind::kCell && resizable(a.cell)) {
+      stages.emplace_back(best_delay, a.cell);
+    }
+    cur = a.from;
+  }
+  std::sort(stages.begin(), stages.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+  std::vector<CellId> cells;
+  std::unordered_set<CellId> seen;
+  for (const auto& [delay, cell] : stages) {
+    if (seen.insert(cell).second) cells.push_back(cell);
+    if (static_cast<int>(cells.size()) >= options_.max_cells_per_path) break;
+  }
+  return cells;
+}
+
+SizerResult BaselineSizer::run() {
+  SizerResult res;
+  res.initial_wns = sta_->wns();
+  res.initial_tns = sta_->tns();
+  res.initial_violations = sta_->num_violations();
+  util::Stopwatch sw;
+
+  std::unordered_set<CellId> committed;
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    // Worst violating endpoints first.
+    std::vector<std::pair<double, EndpointId>> worst;
+    for (std::size_t e = 0; e < graph_->endpoints().size(); ++e) {
+      const double s = sta_->endpoint_slack(static_cast<EndpointId>(e));
+      if (std::isfinite(s) && s < 0.0) {
+        worst.emplace_back(s, static_cast<EndpointId>(e));
+      }
+    }
+    std::sort(worst.begin(), worst.end());
+    if (worst.size() > static_cast<std::size_t>(options_.endpoints_per_pass)) {
+      worst.resize(static_cast<std::size_t>(options_.endpoints_per_pass));
+    }
+
+    int moves = 0;
+    for (const auto& [slack0, ep] : worst) {
+      const double cur_slack = sta_->endpoint_slack(ep);
+      if (cur_slack >= 0.0) continue;
+      const PinId ep_pin =
+          graph_->endpoints()[static_cast<std::size_t>(ep)].pin;
+      bool fixed_this_ep = false;
+      for (const CellId cell : trace_critical_cells(ep_pin)) {
+        const double base_wns = sta_->wns();
+        const double base_ep = sta_->endpoint_slack(ep);
+        const LibCellId orig = design_->cell(cell).libcell;
+        const auto family =
+            design_->library().family(design_->libcell_of(cell).func);
+
+        LibCellId best = netlist::kNullLibCell;
+        double best_ep = base_ep;
+        // Signoff-style local moves: only the adjacent drive strengths are
+        // tried (one step up or down), as incremental ECO fixing does.
+        std::vector<LibCellId> candidates;
+        for (std::size_t fi = 0; fi < family.size(); ++fi) {
+          if (family[fi] != orig) continue;
+          if (fi + 1 < family.size()) candidates.push_back(family[fi + 1]);
+          if (fi > 0) candidates.push_back(family[fi - 1]);
+          break;
+        }
+        for (const LibCellId cand : candidates) {
+          design_->resize_cell(cell, cand);
+          const auto changed = calc_->update_for_resize(cell, sta_->mutable_delays());
+          sta_->update_incremental(changed);
+          const double new_ep = sta_->endpoint_slack(ep);
+          const double new_wns = sta_->wns();
+          if (new_ep > best_ep + 1e-9 &&
+              new_wns >= base_wns - options_.wns_tolerance) {
+            best_ep = new_ep;
+            best = cand;
+          }
+          // Revert before trying the next candidate.
+          design_->resize_cell(cell, orig);
+          const auto reverted = calc_->update_for_resize(cell, sta_->mutable_delays());
+          sta_->update_incremental(reverted);
+        }
+        if (best != netlist::kNullLibCell) {
+          design_->resize_cell(cell, best);
+          const auto changed = calc_->update_for_resize(cell, sta_->mutable_delays());
+          sta_->update_incremental(changed);
+          committed.insert(cell);
+          ++moves;
+          fixed_this_ep = true;
+          // Keep walking the path: signoff fixing typically touches several
+          // stages of a violating path (this is why the baseline sizes more
+          // cells than INSTA-Size in Table II).
+          if (sta_->endpoint_slack(ep) >= 0.0) break;
+        }
+      }
+      (void)fixed_this_ep;
+    }
+    if (moves == 0) break;
+  }
+
+  res.final_wns = sta_->wns();
+  res.final_tns = sta_->tns();
+  res.final_violations = sta_->num_violations();
+  res.cells_sized = static_cast<int>(committed.size());
+  res.runtime_sec = sw.elapsed_sec();
+  return res;
+}
+
+}  // namespace insta::size

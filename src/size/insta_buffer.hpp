@@ -1,0 +1,77 @@
+#pragma once
+
+#include "netlist/design.hpp"
+#include "timing/constraints.hpp"
+
+namespace insta::size {
+
+/// Options of INSTA-Buffer.
+struct InstaBufferOptions {
+  int max_passes = 4;
+  int max_buffers_per_pass = 16;
+  /// Net arcs need at least this gradient to be buffering candidates.
+  float grad_threshold = 0.05f;
+  /// Net arcs shorter than this (um) are not worth buffering.
+  double min_length = 40.0;
+  /// Drive strength of inserted buffers. Moderate drives keep the input-cap
+  /// penalty on the original net small.
+  int buffer_drive = 4;
+  /// Fraction of the original wire length assigned to the buffered stub.
+  double stub_fraction = 0.25;
+  /// A pass is kept only if it improves TNS by at least this much (ps).
+  double min_tns_gain = 1.0;
+  int top_k = 16;     ///< Top-K of the in-loop INSTA engine
+  float tau = 10.0f;  ///< LSE temperature of the backward pass
+};
+
+/// Result of one buffering run.
+struct BufferResult {
+  double initial_wns = 0.0;
+  double initial_tns = 0.0;
+  int initial_violations = 0;
+  double final_wns = 0.0;
+  double final_tns = 0.0;
+  int final_violations = 0;
+  int buffers_inserted = 0;
+  int passes_kept = 0;
+  double runtime_sec = 0.0;
+};
+
+/// Splits the connection to `sink` off `net` through a freshly inserted
+/// buffer: driver -> (old net) -> buffer -> (new stub net) -> sink. The
+/// critical sink is insulated behind the buffer and the driver sees the
+/// buffer's pin cap instead of the sink's. Returns the new buffer cell.
+/// If the design is placed, the buffer lands at the driver/sink midpoint;
+/// otherwise the stub gets `stub_fraction` of the old net's length hint.
+netlist::CellId insert_buffer(netlist::Design& design, netlist::NetId net,
+                              netlist::PinId sink,
+                              netlist::LibCellId buffer_libcell,
+                              double stub_fraction);
+
+/// INSTA-Buffer: gradient-guided buffer insertion — the buffering direction
+/// named as future work in the paper's Section V, built on the same "timing
+/// gradient" machinery as INSTA-Size.
+///
+/// Each pass initializes an INSTA engine from a fresh golden update, runs
+/// one backward pass on TNS, and ranks *net arcs* by gradient x predicted
+/// local delay gain. The top candidates get a buffer splitting the critical
+/// sink off the net. Structural edits invalidate the timing graph, so each
+/// pass rebuilds it (INSTA requires re-initialization after netlist
+/// surgery); a pass that fails to improve TNS is rolled back wholesale from
+/// a design snapshot.
+class InstaBuffer {
+ public:
+  /// Binds to a design and its constraints. The design is edited in place.
+  InstaBuffer(netlist::Design& design, const timing::Constraints& constraints,
+              InstaBufferOptions options = {});
+
+  /// Runs the optimization and reports before/after metrics.
+  BufferResult run();
+
+ private:
+  netlist::Design* design_;
+  const timing::Constraints* constraints_;
+  InstaBufferOptions options_;
+};
+
+}  // namespace insta::size

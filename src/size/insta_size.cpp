@@ -1,0 +1,200 @@
+#include "size/insta_size.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/timer.hpp"
+
+namespace insta::size {
+
+using netlist::CellId;
+using netlist::LibCellId;
+using netlist::PinId;
+using timing::ArcDelta;
+
+InstaSizer::InstaSizer(netlist::Design& design,
+                       const timing::TimingGraph& graph,
+                       timing::DelayCalculator& calc, ref::GoldenSta& sta,
+                       InstaSizeOptions options)
+    : design_(&design),
+      graph_(&graph),
+      calc_(&calc),
+      sta_(&sta),
+      options_(options) {}
+
+bool InstaSizer::resizable(CellId cell) const {
+  const netlist::LibCell& lc = design_->libcell_of(cell);
+  if (netlist::is_sequential(lc.func) || !netlist::has_output(lc.func) ||
+      netlist::num_data_inputs(lc.func) == 0) {
+    return false;
+  }
+  if (graph_->is_clock_cell(cell)) return false;
+  return design_->library().family(lc.func).size() >= 2;
+}
+
+void InstaSizer::block_neighborhood(CellId root,
+                                    std::vector<char>& blocked) const {
+  std::deque<std::pair<CellId, int>> frontier;
+  frontier.emplace_back(root, 0);
+  blocked[static_cast<std::size_t>(root)] = 1;
+  while (!frontier.empty()) {
+    const auto [cell, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth >= options_.block_hops) continue;
+    const auto [first_pin, num_pins] = design_->pin_range(cell);
+    for (int i = 0; i < num_pins; ++i) {
+      const netlist::Pin& p = design_->pin(first_pin + i);
+      if (p.net == netlist::kNullNet) continue;
+      const netlist::Net& net = design_->net(p.net);
+      auto visit = [&](PinId q) {
+        const CellId c = design_->pin(q).cell;
+        if (blocked[static_cast<std::size_t>(c)]) return;
+        blocked[static_cast<std::size_t>(c)] = 1;
+        frontier.emplace_back(c, depth + 1);
+      };
+      if (net.driver != netlist::kNullPin) visit(net.driver);
+      for (const PinId s : net.sinks) visit(s);
+    }
+  }
+}
+
+SizerResult InstaSizer::run() {
+  SizerResult res;
+  res.initial_wns = sta_->wns();
+  res.initial_tns = sta_->tns();
+  res.initial_violations = sta_->num_violations();
+  util::Stopwatch total;
+
+  core::EngineOptions eopt;
+  eopt.tau = options_.tau;
+  eopt.top_k = 16;
+  core::Engine engine(*sta_, eopt);
+  engine.run_forward();
+
+  std::unordered_set<CellId> committed;
+  std::vector<timing::ArcId> pass_changed;
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    util::Stopwatch bsw;
+    engine.run_backward(options_.metric);
+    res.backward_sec += bsw.elapsed_sec();
+
+    // Rank stages by gradient magnitude (Section III-H). The threshold is
+    // relative to the strongest stage so only genuinely critical stages are
+    // candidates.
+    float gmax = 0.0f;
+    for (std::size_t c = 0; c < design_->num_cells(); ++c) {
+      const auto cell = static_cast<CellId>(c);
+      if (!resizable(cell)) continue;
+      gmax = std::max(gmax, engine.stage_gradient(cell));
+    }
+    const float threshold =
+        std::max(options_.grad_threshold, 0.03f * gmax);
+    std::vector<std::pair<float, CellId>> ranked;
+    for (std::size_t c = 0; c < design_->num_cells(); ++c) {
+      const auto cell = static_cast<CellId>(c);
+      if (!resizable(cell)) continue;
+      const float g = engine.stage_gradient(cell);
+      if (g > threshold) ranked.emplace_back(g, cell);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+
+    std::vector<char> blocked(design_->num_cells(), 0);
+    int commits = 0;
+    double cur_tns = engine.tns();
+    for (const auto& [grad, cell] : ranked) {
+      if (blocked[static_cast<std::size_t>(cell)]) continue;
+      if (commits >= options_.max_commits_per_pass) break;
+
+      // estimate_eco picks the library cell with the best local delay
+      // improvement for this stage.
+      const LibCellId orig = design_->cell(cell).libcell;
+      const auto family =
+          design_->library().family(design_->libcell_of(cell).func);
+      LibCellId best = netlist::kNullLibCell;
+      double best_gain = 1e-6;
+      std::vector<ArcDelta> best_deltas;
+      for (const LibCellId cand : family) {
+        if (cand == orig) continue;
+        auto deltas = calc_->estimate_eco(cell, cand);
+        // "Gradients as sensitivities": weight each arc's predicted delay
+        // change by its timing gradient, so a candidate that speeds up the
+        // stage but slows a *more critical* driver arc scores negatively.
+        double gain = 0.0;
+        for (const ArcDelta& d : deltas) {
+          const double g = std::max(
+              static_cast<double>(engine.arc_gradient(d.arc)), 1e-3);
+          for (const int rf : {0, 1}) {
+            gain += g *
+                    (sta_->delays().mu[rf][static_cast<std::size_t>(d.arc)] -
+                     d.mu[static_cast<std::size_t>(rf)]);
+          }
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = cand;
+          best_deltas = std::move(deltas);
+        }
+      }
+      if (best == netlist::kNullLibCell) continue;
+
+      // Tentatively annotate INSTA with the estimate_eco deltas and check TNS.
+      std::vector<ArcDelta> saved;
+      saved.reserve(best_deltas.size());
+      for (const ArcDelta& d : best_deltas) {
+        saved.push_back(engine.read_annotation(d.arc));
+      }
+      engine.annotate(best_deltas);
+      engine.run_forward();
+      const double new_tns = engine.tns();
+      if (new_tns < cur_tns + options_.min_tns_gain) {  // not worth a commit
+        engine.annotate(saved);
+        engine.run_forward();
+        continue;
+      }
+      // Commit: update the netlist and the golden-side delays exactly.
+      design_->resize_cell(cell, best);
+      const auto exact = calc_->update_for_resize(cell, sta_->mutable_delays());
+      pass_changed.insert(pass_changed.end(), exact.begin(), exact.end());
+      cur_tns = new_tns;
+      ++commits;
+      committed.insert(cell);
+      block_neighborhood(cell, blocked);
+    }
+    if (commits == 0) break;
+
+    // Per-pass re-sync: replace the pass's estimate_eco annotations with the
+    // exact committed delays so drift does not accumulate across passes
+    // (the cheap form of the paper's re-synchronization).
+    std::sort(pass_changed.begin(), pass_changed.end());
+    pass_changed.erase(std::unique(pass_changed.begin(), pass_changed.end()),
+                       pass_changed.end());
+    std::vector<ArcDelta> exact_deltas;
+    exact_deltas.reserve(pass_changed.size());
+    for (const timing::ArcId a : pass_changed) {
+      ArcDelta d;
+      d.arc = a;
+      for (const int rf : {0, 1}) {
+        d.mu[static_cast<std::size_t>(rf)] =
+            sta_->delays().mu[rf][static_cast<std::size_t>(a)];
+        d.sigma[static_cast<std::size_t>(rf)] =
+            sta_->delays().sigma[rf][static_cast<std::size_t>(a)];
+      }
+      exact_deltas.push_back(d);
+    }
+    pass_changed.clear();
+    engine.annotate(exact_deltas);
+    engine.run_forward();
+  }
+
+  sta_->update_full();
+  res.final_wns = sta_->wns();
+  res.final_tns = sta_->tns();
+  res.final_violations = sta_->num_violations();
+  res.cells_sized = static_cast<int>(committed.size());
+  res.runtime_sec = total.elapsed_sec();
+  return res;
+}
+
+}  // namespace insta::size

@@ -1,0 +1,70 @@
+#pragma once
+
+#include "core/engine.hpp"
+#include "ref/golden_sta.hpp"
+#include "size/baseline_sizer.hpp"
+#include "timing/delay_calc.hpp"
+
+namespace insta::size {
+
+/// Options of INSTA-Size.
+struct InstaSizeOptions {
+  int max_passes = 24;
+  /// Stages with |timing gradient| above this threshold are candidates.
+  float grad_threshold = 0.02f;
+  /// Maximum commits per pass (the ranking goes stale as moves land).
+  int max_commits_per_pass = 40;
+  /// Radius (in cell hops) blocked around a committed stage, mirroring the
+  /// estimate_eco interference mitigation of Section III-H.
+  int block_hops = 3;
+  /// LSE temperature (ps) used for the backward pass (tau of Eq. 4).
+  float tau = 1.0f;
+  /// Minimum TNS improvement (ps) a tentative move must show on INSTA's
+  /// evaluation to be committed; filters marginal moves so the cell count
+  /// stays low (the paper's -35..68% sizing-footprint reduction).
+  double min_tns_gain = 0.5;
+  /// Metric whose gradient ranks the stages: kTns spreads effort over every
+  /// violating endpoint; kWns focuses the soft-min on the worst path.
+  /// Commit acceptance always checks TNS (so WNS mode cannot wreck TNS).
+  core::GradientMetric metric = core::GradientMetric::kTns;
+};
+
+/// INSTA-Size (Section III-H): a gradient-based gate sizer.
+///
+/// Flow per pass: one INSTA forward + backward on TNS yields the timing
+/// gradient of every stage (cell arc + driving net arcs). Stages are ranked
+/// by gradient magnitude; for each, PrimeTime's estimate_eco stand-in
+/// proposes the library cell with the best local delay improvement. The
+/// move is committed into the netlist (with an exact golden-side delay
+/// update) and INSTA is re-annotated with the estimate_eco deltas — then
+/// rolled back if INSTA's TNS degrades. Committed stages block their 3-hop
+/// neighbourhood for the rest of the pass.
+///
+/// Because INSTA runs on estimate_eco annotations while the golden engine
+/// tracks exact delays, the two drift slightly over a run — the effect
+/// measured in Fig. 8. Final Table II metrics always come from a full
+/// golden update.
+class InstaSizer {
+ public:
+  InstaSizer(netlist::Design& design, const timing::TimingGraph& graph,
+             timing::DelayCalculator& calc, ref::GoldenSta& sta,
+             InstaSizeOptions options = {});
+
+  /// Runs the optimization; the golden engine is left fully updated.
+  SizerResult run();
+
+ private:
+  [[nodiscard]] bool resizable(netlist::CellId cell) const;
+
+  /// Collects all cells within `hops` net-hops of `cell` (including it).
+  void block_neighborhood(netlist::CellId cell,
+                          std::vector<char>& blocked) const;
+
+  netlist::Design* design_;
+  const timing::TimingGraph* graph_;
+  timing::DelayCalculator* calc_;
+  ref::GoldenSta* sta_;
+  InstaSizeOptions options_;
+};
+
+}  // namespace insta::size

@@ -1,0 +1,140 @@
+#include "size/power_recovery.hpp"
+
+#include <algorithm>
+
+#include "util/timer.hpp"
+
+namespace insta::size {
+
+using netlist::CellId;
+using netlist::LibCellId;
+using timing::ArcDelta;
+
+PowerRecovery::PowerRecovery(netlist::Design& design,
+                             const timing::TimingGraph& graph,
+                             timing::DelayCalculator& calc, ref::GoldenSta& sta,
+                             PowerRecoveryOptions options)
+    : design_(&design),
+      graph_(&graph),
+      calc_(&calc),
+      sta_(&sta),
+      options_(options) {}
+
+bool PowerRecovery::resizable(CellId cell) const {
+  const netlist::LibCell& lc = design_->libcell_of(cell);
+  if (netlist::is_sequential(lc.func) || !netlist::has_output(lc.func) ||
+      netlist::num_data_inputs(lc.func) == 0) {
+    return false;
+  }
+  return !graph_->is_clock_cell(cell);
+}
+
+PowerRecoveryResult PowerRecovery::run() {
+  PowerRecoveryResult res;
+  res.initial_leakage = design_->total_leakage();
+  res.initial_area = design_->total_area();
+  res.initial_tns = sta_->tns();
+  res.initial_wns = sta_->wns();
+  util::Stopwatch total;
+
+  core::EngineOptions eopt;
+  eopt.top_k = 16;
+  eopt.tau = options_.tau;
+  core::Engine engine(*sta_, eopt);
+  engine.run_forward();
+
+  int downsized = 0;
+  std::vector<timing::ArcId> pass_changed;
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    engine.run_backward(core::GradientMetric::kTns);
+
+    // Candidates: gradient-free stages with a smaller drive available,
+    // ranked by the leakage a one-step downsize saves.
+    struct Candidate {
+      double saving;
+      CellId cell;
+      LibCellId smaller;
+    };
+    std::vector<Candidate> cands;
+    for (std::size_t c = 0; c < design_->num_cells(); ++c) {
+      const auto cell = static_cast<CellId>(c);
+      if (!resizable(cell)) continue;
+      if (engine.stage_gradient(cell) > options_.grad_epsilon) continue;
+      const netlist::LibCell& lc = design_->libcell_of(cell);
+      const auto family = design_->library().family(lc.func);
+      LibCellId smaller = netlist::kNullLibCell;
+      for (std::size_t fi = 1; fi < family.size(); ++fi) {
+        if (family[fi] == lc.id) smaller = family[fi - 1];
+      }
+      if (smaller == netlist::kNullLibCell) continue;
+      const double saving =
+          lc.leakage - design_->library().cell(smaller).leakage;
+      if (saving <= 0.0) continue;
+      cands.push_back(Candidate{saving, cell, smaller});
+    }
+    if (cands.empty()) break;
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.saving > b.saving;
+              });
+
+    const double tns_floor = engine.tns() - options_.tns_tolerance;
+    const double wns_floor = engine.wns() - options_.wns_tolerance;
+    int commits = 0;
+    for (const Candidate& cand : cands) {
+      if (commits >= options_.max_commits_per_pass) break;
+      const auto deltas = calc_->estimate_eco(cand.cell, cand.smaller);
+      std::vector<ArcDelta> saved;
+      saved.reserve(deltas.size());
+      for (const ArcDelta& d : deltas) {
+        saved.push_back(engine.read_annotation(d.arc));
+      }
+      engine.annotate(deltas);
+      engine.run_forward_incremental();
+      if (engine.tns() < tns_floor || engine.wns() < wns_floor) {
+        engine.annotate(saved);
+        engine.run_forward_incremental();
+        continue;
+      }
+      design_->resize_cell(cand.cell, cand.smaller);
+      const auto exact = calc_->update_for_resize(cand.cell,
+                                                  sta_->mutable_delays());
+      pass_changed.insert(pass_changed.end(), exact.begin(), exact.end());
+      ++commits;
+      ++downsized;
+    }
+    if (commits == 0) break;
+
+    // Re-sync INSTA with the exact committed delays (as INSTA-Size does).
+    std::sort(pass_changed.begin(), pass_changed.end());
+    pass_changed.erase(std::unique(pass_changed.begin(), pass_changed.end()),
+                       pass_changed.end());
+    std::vector<ArcDelta> exact_deltas;
+    exact_deltas.reserve(pass_changed.size());
+    for (const timing::ArcId a : pass_changed) {
+      ArcDelta d;
+      d.arc = a;
+      for (const int rf : {0, 1}) {
+        d.mu[static_cast<std::size_t>(rf)] =
+            sta_->delays().mu[rf][static_cast<std::size_t>(a)];
+        d.sigma[static_cast<std::size_t>(rf)] =
+            sta_->delays().sigma[rf][static_cast<std::size_t>(a)];
+      }
+      exact_deltas.push_back(d);
+    }
+    pass_changed.clear();
+    engine.annotate(exact_deltas);
+    engine.run_forward_incremental();
+  }
+
+  sta_->update_full();
+  res.final_leakage = design_->total_leakage();
+  res.final_area = design_->total_area();
+  res.final_tns = sta_->tns();
+  res.final_wns = sta_->wns();
+  res.cells_downsized = downsized;
+  res.runtime_sec = total.elapsed_sec();
+  return res;
+}
+
+}  // namespace insta::size

@@ -1,0 +1,69 @@
+#pragma once
+
+#include "core/engine.hpp"
+#include "ref/golden_sta.hpp"
+#include "timing/delay_calc.hpp"
+
+namespace insta::size {
+
+/// Options of the gradient-guarded power-recovery pass.
+struct PowerRecoveryOptions {
+  int max_passes = 6;
+  /// Stages whose timing gradient exceeds this are frozen (they carry TNS).
+  float grad_epsilon = 1e-3f;
+  /// Commits per pass (rankings go stale as loads shift).
+  int max_commits_per_pass = 64;
+  /// A tentative downsize is rolled back if INSTA's TNS degrades by more
+  /// than this (ps).
+  double tns_tolerance = 0.5;
+  /// And if WNS degrades by more than this (ps).
+  double wns_tolerance = 0.5;
+  /// LSE temperature of the backward pass; larger values mark near-critical
+  /// stages as unsafe too.
+  float tau = 25.0f;
+};
+
+/// Result of one power-recovery run.
+struct PowerRecoveryResult {
+  double initial_leakage = 0.0;
+  double final_leakage = 0.0;
+  double initial_area = 0.0;
+  double final_area = 0.0;
+  double initial_tns = 0.0;
+  double final_tns = 0.0;
+  double initial_wns = 0.0;
+  double final_wns = 0.0;
+  int cells_downsized = 0;
+  double runtime_sec = 0.0;
+};
+
+/// Timing-constrained power recovery — the flow context of the paper's
+/// Application 1 ("a commercial gate sizing flow for timing-constrained
+/// power optimization"): downsize gates that the timing gradients prove
+/// irrelevant to TNS, validating every move on INSTA's fast evaluation and
+/// committing exact delays on the reference side.
+///
+/// The timing gradient is the safety certificate: a zero-gradient stage is
+/// off every violating path's softmax support, so slowing it (within the
+/// LSE temperature's horizon) cannot move TNS. Candidates are ranked by
+/// leakage saved.
+class PowerRecovery {
+ public:
+  PowerRecovery(netlist::Design& design, const timing::TimingGraph& graph,
+                timing::DelayCalculator& calc, ref::GoldenSta& sta,
+                PowerRecoveryOptions options = {});
+
+  /// Runs the recovery; the golden engine is left fully updated.
+  PowerRecoveryResult run();
+
+ private:
+  [[nodiscard]] bool resizable(netlist::CellId cell) const;
+
+  netlist::Design* design_;
+  const timing::TimingGraph* graph_;
+  timing::DelayCalculator* calc_;
+  ref::GoldenSta* sta_;
+  PowerRecoveryOptions options_;
+};
+
+}  // namespace insta::size

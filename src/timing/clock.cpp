@@ -1,0 +1,157 @@
+#include "timing/clock.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace insta::timing {
+
+using netlist::CellId;
+using netlist::kNullCell;
+using netlist::kNullPin;
+using netlist::PinId;
+using netlist::RiseFall;
+using util::check;
+
+ClockAnalysis::ClockAnalysis(const TimingGraph& graph, const ArcDelays& delays,
+                             double nsigma)
+    : nsigma_(nsigma) {
+  const netlist::Design& d = graph.design();
+  node_of_pin_.assign(d.num_pins(), -1);
+  ff_node_.assign(d.num_cells(), -1);
+  if (graph.clock_roots().empty()) return;
+
+  auto add_node = [&](PinId pin, std::int32_t parent, std::int32_t domain,
+                      double mu, double sig2) {
+    const auto node = static_cast<std::int32_t>(pin_of_node_.size());
+    node_of_pin_[static_cast<std::size_t>(pin)] = node;
+    pin_of_node_.push_back(pin);
+    parent_.push_back(parent);
+    depth_.push_back(parent < 0 ? 0 : depth_[static_cast<std::size_t>(parent)] + 1);
+    domain_.push_back(domain);
+    mu_.push_back(mu);
+    sig2_.push_back(sig2);
+    return node;
+  };
+
+  // Edge polarity at each node: the clock's active (rising) edge may flip
+  // through inverters; delays are taken at the propagated polarity.
+  std::vector<std::uint8_t> edge_of_node;
+
+  std::deque<PinId> frontier;  // driver pins whose net is yet to be expanded
+  for (std::size_t r = 0; r < graph.clock_roots().size(); ++r) {
+    const PinId root_pin = d.output_pin(graph.clock_roots()[r]);
+    add_node(root_pin, -1, static_cast<std::int32_t>(r), 0.0, 0.0);
+    edge_of_node.push_back(0);  // rising
+    frontier.push_back(root_pin);
+  }
+
+  while (!frontier.empty()) {
+    const PinId drv = frontier.front();
+    frontier.pop_front();
+    const std::int32_t drv_node = node_of_pin_[static_cast<std::size_t>(drv)];
+    const int drv_edge = edge_of_node[static_cast<std::size_t>(drv_node)];
+    const std::int32_t domain = domain_[static_cast<std::size_t>(drv_node)];
+    const netlist::NetId net = d.pin(drv).net;
+    if (net == netlist::kNullNet) continue;
+
+    const auto [first, last] = graph.net_arcs(net);
+    for (ArcId aid = first; aid < last; ++aid) {
+      const ArcRecord& a = graph.arc(aid);
+      const double amu = delays.mu[drv_edge][static_cast<std::size_t>(aid)];
+      const double asig = delays.sigma[drv_edge][static_cast<std::size_t>(aid)];
+      const std::int32_t sink_node =
+          add_node(a.to, drv_node, domain,
+                   mu_[static_cast<std::size_t>(drv_node)] + amu,
+                   sig2_[static_cast<std::size_t>(drv_node)] + asig * asig);
+      edge_of_node.push_back(static_cast<std::uint8_t>(drv_edge));
+
+      const netlist::Pin& sink = d.pin(a.to);
+      if (sink.role == netlist::PinRole::kClock) {
+        ff_node_[static_cast<std::size_t>(sink.cell)] = sink_node;
+        continue;
+      }
+      // Clock buffer/inverter: continue through its single cell arc.
+      const auto [cfirst, clast] = graph.cell_arcs(sink.cell);
+      check(clast - cfirst == 1, "clock cell must have exactly one arc");
+      const ArcRecord& ca = graph.arc(cfirst);
+      const int out_edge =
+          (ca.sense == ArcSense::kPositive) ? drv_edge : 1 - drv_edge;
+      const double cmu = delays.mu[out_edge][static_cast<std::size_t>(cfirst)];
+      const double csig = delays.sigma[out_edge][static_cast<std::size_t>(cfirst)];
+      add_node(ca.to, sink_node, domain,
+               mu_[static_cast<std::size_t>(sink_node)] + cmu,
+               sig2_[static_cast<std::size_t>(sink_node)] + csig * csig);
+      edge_of_node.push_back(static_cast<std::uint8_t>(out_edge));
+      frontier.push_back(ca.to);
+    }
+  }
+}
+
+std::int32_t ClockAnalysis::node_of_ff(CellId ff) const {
+  if (ff == kNullCell) return -1;
+  return ff_node_[static_cast<std::size_t>(ff)];
+}
+
+double ClockAnalysis::ck_mu(CellId ff) const {
+  const std::int32_t n = node_of_ff(ff);
+  check(n >= 0, "ck_mu: cell has no clock arrival");
+  return mu_[static_cast<std::size_t>(n)];
+}
+
+double ClockAnalysis::ck_sig2(CellId ff) const {
+  const std::int32_t n = node_of_ff(ff);
+  check(n >= 0, "ck_sig2: cell has no clock arrival");
+  return sig2_[static_cast<std::size_t>(n)];
+}
+
+double ClockAnalysis::late_ck(CellId ff) const {
+  return ck_mu(ff) + nsigma_ * std::sqrt(ck_sig2(ff));
+}
+
+double ClockAnalysis::early_ck(CellId ff) const {
+  return ck_mu(ff) - nsigma_ * std::sqrt(ck_sig2(ff));
+}
+
+double ClockAnalysis::credit(CellId launch_ff, CellId capture_ff) const {
+  const std::int32_t a = node_of_ff(launch_ff);
+  const std::int32_t b = node_of_ff(capture_ff);
+  if (a < 0 || b < 0) return 0.0;
+  // Distinct clock domains share no common path: no pessimism to remove.
+  if (domain_[static_cast<std::size_t>(a)] !=
+      domain_[static_cast<std::size_t>(b)]) {
+    return 0.0;
+  }
+  const std::int32_t c = lca(a, b);
+  return 2.0 * nsigma_ * std::sqrt(sig2_[static_cast<std::size_t>(c)]);
+}
+
+std::int32_t ClockAnalysis::domain_of_ff(CellId ff) const {
+  const std::int32_t n = node_of_ff(ff);
+  return n < 0 ? -1 : domain_[static_cast<std::size_t>(n)];
+}
+
+double ClockAnalysis::max_credit() const {
+  double worst = 0.0;
+  for (const double s2 : sig2_) {
+    worst = std::max(worst, 2.0 * nsigma_ * std::sqrt(s2));
+  }
+  return worst;
+}
+
+std::int32_t ClockAnalysis::lca(std::int32_t a, std::int32_t b) const {
+  while (depth_[static_cast<std::size_t>(a)] > depth_[static_cast<std::size_t>(b)]) {
+    a = parent_[static_cast<std::size_t>(a)];
+  }
+  while (depth_[static_cast<std::size_t>(b)] > depth_[static_cast<std::size_t>(a)]) {
+    b = parent_[static_cast<std::size_t>(b)];
+  }
+  while (a != b) {
+    a = parent_[static_cast<std::size_t>(a)];
+    b = parent_[static_cast<std::size_t>(b)];
+  }
+  return a;
+}
+
+}  // namespace insta::timing

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "timing/graph.hpp"
+#include "timing/types.hpp"
+
+namespace insta::timing {
+
+/// Statistical clock-network analysis: per-flip-flop clock arrival
+/// distributions and CPPR (Common Path Pessimism Removal) credits.
+///
+/// The clock network is a tree (each net has one driver, clock cells are
+/// buffers/inverters), so the common path of any launch/capture pair is the
+/// root prefix up to their lowest common ancestor (LCA). With POCV, the
+/// pessimism removed is the late-minus-early spread accumulated on that
+/// prefix: credit = 2 * N_sigma * sigma(LCA).
+///
+/// This class is rebuilt from the current ArcDelays whenever clock-arc
+/// delays may have changed (e.g. after a placement update); gate resizes in
+/// the data network never touch it.
+class ClockAnalysis {
+ public:
+  /// Analyzes the clock cone of `graph` using the given delays.
+  ClockAnalysis(const TimingGraph& graph, const ArcDelays& delays,
+                double nsigma);
+
+  /// True if the design has a clock tree.
+  [[nodiscard]] bool has_clock() const { return !pin_of_node_.empty(); }
+
+  /// Clock arrival mean at the FF's clock pin, ps.
+  [[nodiscard]] double ck_mu(netlist::CellId ff) const;
+
+  /// Clock arrival variance (sigma^2) at the FF's clock pin, ps^2.
+  [[nodiscard]] double ck_sig2(netlist::CellId ff) const;
+
+  /// Late corner of the clock arrival: mu + nsigma*sigma.
+  [[nodiscard]] double late_ck(netlist::CellId ff) const;
+
+  /// Early corner of the clock arrival: mu - nsigma*sigma.
+  [[nodiscard]] double early_ck(netlist::CellId ff) const;
+
+  /// CPPR credit between a launch FF and a capture FF; 0 if either id is
+  /// kNullCell (unclocked startpoint/endpoint) or there is no clock.
+  [[nodiscard]] double credit(netlist::CellId launch_ff,
+                              netlist::CellId capture_ff) const;
+
+  /// Upper bound on any CPPR credit in the design: 2*nsigma*max node sigma.
+  /// Used to size the golden engine's exact pruning window (DESIGN.md §6).
+  [[nodiscard]] double max_credit() const;
+
+  // ---- raw tables (cloned by the INSTA engine at initialization) ---------
+
+  /// Clock-tree node index of a FF's clock pin; -1 if not clocked.
+  [[nodiscard]] std::int32_t node_of_ff(netlist::CellId ff) const;
+
+  /// Clock-domain index of a FF (position of its tree's root in the graph's
+  /// clock_roots() order); -1 if not clocked.
+  [[nodiscard]] std::int32_t domain_of_ff(netlist::CellId ff) const;
+
+  /// Domain index of a clock-tree node.
+  [[nodiscard]] std::span<const std::int32_t> node_domains() const {
+    return domain_;
+  }
+
+  /// Parent node of each clock-tree node (-1 at the root).
+  [[nodiscard]] std::span<const std::int32_t> parents() const { return parent_; }
+
+  /// Depth of each node (root = 0).
+  [[nodiscard]] std::span<const std::int32_t> depths() const { return depth_; }
+
+  /// Cumulative arrival variance at each node, ps^2.
+  [[nodiscard]] std::span<const double> node_sig2() const { return sig2_; }
+
+  /// Cumulative arrival mean at each node, ps.
+  [[nodiscard]] std::span<const double> node_mu() const { return mu_; }
+
+  /// Number of clock-tree nodes.
+  [[nodiscard]] std::size_t num_nodes() const { return pin_of_node_.size(); }
+
+ private:
+  [[nodiscard]] std::int32_t lca(std::int32_t a, std::int32_t b) const;
+
+  double nsigma_;
+  std::vector<std::int32_t> node_of_pin_;  // per design pin, -1 if not clock
+  std::vector<netlist::PinId> pin_of_node_;
+  std::vector<std::int32_t> parent_;
+  std::vector<std::int32_t> depth_;
+  std::vector<std::int32_t> domain_;  // per node: clock-domain index
+  std::vector<double> mu_;
+  std::vector<double> sig2_;
+  std::vector<std::int32_t> ff_node_;  // per design cell, -1 default
+};
+
+}  // namespace insta::timing

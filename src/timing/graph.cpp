@@ -1,0 +1,310 @@
+#include "timing/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace insta::timing {
+
+using netlist::CellFunc;
+using netlist::CellId;
+using netlist::kNullCell;
+using netlist::kNullPin;
+using netlist::NetId;
+using netlist::PinDir;
+using netlist::PinId;
+using netlist::PinRole;
+using util::check;
+
+TimingGraph::TimingGraph(const netlist::Design& design, CellId clock_root)
+    : TimingGraph(design,
+                  clock_root == kNullCell
+                      ? std::vector<CellId>{}
+                      : std::vector<CellId>{clock_root}) {}
+
+TimingGraph::TimingGraph(const netlist::Design& design,
+                         std::vector<CellId> clock_roots)
+    : design_(&design), clock_roots_(std::move(clock_roots)) {
+  build_arcs();
+  mark_clock_network();
+  collect_endpoints();
+  build_csr();
+  levelize();
+}
+
+void TimingGraph::build_arcs() {
+  const auto& d = *design_;
+  cell_arc_start_.assign(d.num_cells() + 1, 0);
+
+  for (std::size_t ci = 0; ci < d.num_cells(); ++ci) {
+    const auto cell_id = static_cast<CellId>(ci);
+    cell_arc_start_[ci] = static_cast<ArcId>(arcs_.size());
+    const netlist::LibCell& lc = d.libcell_of(cell_id);
+    if (!netlist::has_output(lc.func)) continue;
+    const PinId out = d.output_pin(cell_id);
+    if (netlist::is_sequential(lc.func)) {
+      ArcRecord a;
+      a.from = d.clock_pin(cell_id);
+      a.to = out;
+      a.cell = cell_id;
+      a.kind = ArcKind::kLaunch;
+      a.sense = ArcSense::kPositive;
+      arcs_.push_back(a);
+      continue;
+    }
+    const int n_in = netlist::num_data_inputs(lc.func);
+    for (int i = 0; i < n_in; ++i) {
+      const netlist::Unateness u = netlist::unateness(lc.func);
+      ArcRecord a;
+      a.from = d.input_pin(cell_id, i);
+      a.to = out;
+      a.cell = cell_id;
+      a.kind = ArcKind::kCell;
+      if (u == netlist::Unateness::kNonUnate) {
+        a.sense = ArcSense::kPositive;
+        arcs_.push_back(a);
+        a.sense = ArcSense::kNegative;
+        arcs_.push_back(a);
+      } else {
+        a.sense = (u == netlist::Unateness::kPositive) ? ArcSense::kPositive
+                                                       : ArcSense::kNegative;
+        arcs_.push_back(a);
+      }
+    }
+  }
+  cell_arc_start_[d.num_cells()] = static_cast<ArcId>(arcs_.size());
+
+  net_arc_start_.assign(d.num_nets() + 1, 0);
+  for (std::size_t ni = 0; ni < d.num_nets(); ++ni) {
+    net_arc_start_[ni] = static_cast<ArcId>(arcs_.size());
+    const netlist::Net& n = d.net(static_cast<NetId>(ni));
+    for (const PinId sink : n.sinks) {
+      ArcRecord a;
+      a.from = n.driver;
+      a.to = sink;
+      a.net = static_cast<NetId>(ni);
+      a.kind = ArcKind::kNet;
+      a.sense = ArcSense::kPositive;
+      arcs_.push_back(a);
+    }
+  }
+  net_arc_start_[d.num_nets()] = static_cast<ArcId>(arcs_.size());
+}
+
+std::pair<ArcId, ArcId> TimingGraph::cell_arcs(CellId cell) const {
+  return {cell_arc_start_[static_cast<std::size_t>(cell)],
+          cell_arc_start_[static_cast<std::size_t>(cell) + 1]};
+}
+
+std::pair<ArcId, ArcId> TimingGraph::net_arcs(NetId net) const {
+  return {net_arc_start_[static_cast<std::size_t>(net)],
+          net_arc_start_[static_cast<std::size_t>(net) + 1]};
+}
+
+void TimingGraph::mark_clock_network() {
+  const auto& d = *design_;
+  clock_network_.assign(d.num_pins(), 0);
+  clock_cell_.assign(d.num_cells(), 0);
+
+  std::deque<PinId> frontier;  // output pins of clock-tree cells
+  for (const CellId root : clock_roots_) {
+    check(d.libcell_of(root).func == CellFunc::kPortIn,
+          "clock root must be an input port");
+    clock_cell_[static_cast<std::size_t>(root)] = 1;
+    const PinId root_pin = d.output_pin(root);
+    clock_network_[static_cast<std::size_t>(root_pin)] = 1;
+    frontier.push_back(root_pin);
+  }
+
+  while (!frontier.empty()) {
+    const PinId drv = frontier.front();
+    frontier.pop_front();
+    const NetId net = d.pin(drv).net;
+    if (net == netlist::kNullNet) continue;
+    for (const PinId sink : d.net(net).sinks) {
+      clock_network_[static_cast<std::size_t>(sink)] = 1;
+      const netlist::Pin& sp = d.pin(sink);
+      if (sp.role == PinRole::kClock) continue;  // FF clock pin: a leaf
+      const CellFunc func = d.libcell_of(sp.cell).func;
+      check(func == CellFunc::kBuf || func == CellFunc::kInv,
+            "clock network may contain only buffers/inverters; reached " +
+                d.pin_name(sink));
+      if (clock_cell_[static_cast<std::size_t>(sp.cell)]) continue;
+      clock_cell_[static_cast<std::size_t>(sp.cell)] = 1;
+      const PinId out = d.output_pin(sp.cell);
+      clock_network_[static_cast<std::size_t>(out)] = 1;
+      frontier.push_back(out);
+    }
+  }
+}
+
+void TimingGraph::collect_endpoints() {
+  const auto& d = *design_;
+  sp_of_pin_.assign(d.num_pins(), kNullStartpoint);
+  ep_of_pin_.assign(d.num_pins(), kNullEndpoint);
+
+  for (const CellId port : d.input_ports()) {
+    if (std::find(clock_roots_.begin(), clock_roots_.end(), port) !=
+        clock_roots_.end()) {
+      continue;
+    }
+    Startpoint sp;
+    sp.pin = d.output_pin(port);
+    sp.cell = port;
+    sp.clocked = false;
+    sp_of_pin_[static_cast<std::size_t>(sp.pin)] =
+        static_cast<StartpointId>(startpoints_.size());
+    startpoints_.push_back(sp);
+  }
+  for (const CellId ff : d.flip_flops()) {
+    Startpoint sp;
+    sp.pin = d.output_pin(ff);
+    sp.cell = ff;
+    sp.clocked = true;
+    sp_of_pin_[static_cast<std::size_t>(sp.pin)] =
+        static_cast<StartpointId>(startpoints_.size());
+    startpoints_.push_back(sp);
+  }
+  for (const CellId ff : d.flip_flops()) {
+    Endpoint ep;
+    ep.pin = d.input_pin(ff, 0);  // D
+    ep.cell = ff;
+    ep.clocked = true;
+    ep_of_pin_[static_cast<std::size_t>(ep.pin)] =
+        static_cast<EndpointId>(endpoints_.size());
+    endpoints_.push_back(ep);
+  }
+  for (const CellId port : d.output_ports()) {
+    Endpoint ep;
+    ep.pin = d.input_pin(port, 0);
+    ep.cell = port;
+    ep.clocked = false;
+    ep_of_pin_[static_cast<std::size_t>(ep.pin)] =
+        static_cast<EndpointId>(endpoints_.size());
+    endpoints_.push_back(ep);
+  }
+}
+
+StartpointId TimingGraph::startpoint_of_pin(PinId pin) const {
+  return sp_of_pin_[static_cast<std::size_t>(pin)];
+}
+
+EndpointId TimingGraph::endpoint_of_pin(PinId pin) const {
+  return ep_of_pin_[static_cast<std::size_t>(pin)];
+}
+
+void TimingGraph::build_csr() {
+  const auto& d = *design_;
+  const std::size_t num_pins = d.num_pins();
+
+  auto is_data_arc = [&](const ArcRecord& a) {
+    if (a.kind == ArcKind::kLaunch) return false;
+    return !clock_network_[static_cast<std::size_t>(a.from)] &&
+           !clock_network_[static_cast<std::size_t>(a.to)];
+  };
+
+  fanin_start_.assign(num_pins + 1, 0);
+  fanout_start_.assign(num_pins + 1, 0);
+  for (const ArcRecord& a : arcs_) {
+    if (!is_data_arc(a)) continue;
+    ++fanin_start_[static_cast<std::size_t>(a.to) + 1];
+    ++fanout_start_[static_cast<std::size_t>(a.from) + 1];
+  }
+  for (std::size_t p = 0; p < num_pins; ++p) {
+    fanin_start_[p + 1] += fanin_start_[p];
+    fanout_start_[p + 1] += fanout_start_[p];
+  }
+  fanin_arcs_.resize(static_cast<std::size_t>(fanin_start_[num_pins]));
+  fanout_arcs_.resize(static_cast<std::size_t>(fanout_start_[num_pins]));
+  std::vector<std::int32_t> in_fill(fanin_start_.begin(), fanin_start_.end() - 1);
+  std::vector<std::int32_t> out_fill(fanout_start_.begin(), fanout_start_.end() - 1);
+  for (std::size_t ai = 0; ai < arcs_.size(); ++ai) {
+    const ArcRecord& a = arcs_[ai];
+    if (!is_data_arc(a)) continue;
+    fanin_arcs_[static_cast<std::size_t>(in_fill[static_cast<std::size_t>(a.to)]++)] =
+        static_cast<ArcId>(ai);
+    fanout_arcs_[static_cast<std::size_t>(out_fill[static_cast<std::size_t>(a.from)]++)] =
+        static_cast<ArcId>(ai);
+  }
+
+  max_fanin_ = 0;
+  for (std::size_t p = 0; p < num_pins; ++p) {
+    max_fanin_ = std::max(
+        max_fanin_, static_cast<std::size_t>(fanin_start_[p + 1] - fanin_start_[p]));
+  }
+}
+
+std::span<const ArcId> TimingGraph::fanin(PinId pin) const {
+  const auto p = static_cast<std::size_t>(pin);
+  return {fanin_arcs_.data() + fanin_start_[p],
+          static_cast<std::size_t>(fanin_start_[p + 1] - fanin_start_[p])};
+}
+
+std::span<const ArcId> TimingGraph::fanout(PinId pin) const {
+  const auto p = static_cast<std::size_t>(pin);
+  return {fanout_arcs_.data() + fanout_start_[p],
+          static_cast<std::size_t>(fanout_start_[p + 1] - fanout_start_[p])};
+}
+
+void TimingGraph::levelize() {
+  const auto& d = *design_;
+  const std::size_t num_pins = d.num_pins();
+  level_of_.assign(num_pins, 0);
+  std::vector<std::int32_t> indeg(num_pins, 0);
+
+  std::vector<PinId> frontier;
+  std::size_t processed = 0;
+  std::size_t num_data_pins = 0;
+  for (std::size_t p = 0; p < num_pins; ++p) {
+    if (clock_network_[p]) {
+      level_of_[p] = -1;
+      continue;
+    }
+    ++num_data_pins;
+    indeg[p] = static_cast<std::int32_t>(fanin(static_cast<PinId>(p)).size());
+    if (indeg[p] == 0) frontier.push_back(static_cast<PinId>(p));
+  }
+
+  std::vector<PinId> topo;
+  topo.reserve(num_data_pins);
+  while (!frontier.empty()) {
+    const PinId p = frontier.back();
+    frontier.pop_back();
+    topo.push_back(p);
+    ++processed;
+    for (const ArcId aid : fanout(p)) {
+      const ArcRecord& a = arc(aid);
+      const auto t = static_cast<std::size_t>(a.to);
+      level_of_[t] = std::max(level_of_[t], level_of_[static_cast<std::size_t>(p)] + 1);
+      if (--indeg[t] == 0) frontier.push_back(a.to);
+    }
+  }
+  check(processed == num_data_pins,
+        "levelize: combinational loop detected in data graph");
+
+  int max_level = 0;
+  for (std::size_t p = 0; p < num_pins; ++p) {
+    if (level_of_[p] > max_level) max_level = level_of_[p];
+  }
+  const std::size_t num_levels = static_cast<std::size_t>(max_level) + 1;
+  level_start_.assign(num_levels + 1, 0);
+  for (std::size_t p = 0; p < num_pins; ++p) {
+    if (level_of_[p] >= 0) ++level_start_[static_cast<std::size_t>(level_of_[p]) + 1];
+  }
+  for (std::size_t l = 0; l < num_levels; ++l) level_start_[l + 1] += level_start_[l];
+  level_order_.resize(num_data_pins);
+  std::vector<std::int32_t> fill(level_start_.begin(), level_start_.end() - 1);
+  for (std::size_t p = 0; p < num_pins; ++p) {
+    if (level_of_[p] < 0) continue;
+    level_order_[static_cast<std::size_t>(
+        fill[static_cast<std::size_t>(level_of_[p])]++)] = static_cast<PinId>(p);
+  }
+}
+
+std::span<const netlist::PinId> TimingGraph::level(std::size_t l) const {
+  return {level_order_.data() + level_start_[l],
+          static_cast<std::size_t>(level_start_[l + 1] - level_start_[l])};
+}
+
+}  // namespace insta::timing

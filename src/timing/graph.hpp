@@ -1,0 +1,163 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "timing/types.hpp"
+
+namespace insta::timing {
+
+/// A timing startpoint: a flip-flop launch (at its Q pin) or a primary
+/// input (at the port's output pin).
+struct Startpoint {
+  netlist::PinId pin = netlist::kNullPin;   ///< Q pin or PI output pin
+  netlist::CellId cell = netlist::kNullCell; ///< FF cell or port cell
+  bool clocked = false;                      ///< true for FF launches
+};
+
+/// A timing endpoint: a flip-flop D pin (setup check) or a primary output.
+struct Endpoint {
+  netlist::PinId pin = netlist::kNullPin;    ///< D pin or PO input pin
+  netlist::CellId cell = netlist::kNullCell; ///< FF cell or port cell
+  bool clocked = false;                      ///< true for FF captures
+};
+
+/// The levelized pin-level timing graph of a design.
+///
+/// Construction performs, in the vocabulary of the paper's Figure 2, the
+/// "timing graph construction + levelization" step of INSTA's one-time
+/// initialization: it enumerates all timing arcs, separates the clock
+/// network from the data network, identifies startpoints/endpoints, and
+/// topologically sorts the data pins into levels so that pins within one
+/// level can be processed in parallel.
+///
+/// Arc ordering: all cell arcs first (contiguous per cell, including DFF
+/// launch arcs and both polarities of non-unate arcs), then all net arcs
+/// (contiguous per net, in sink order). This makes "arcs of cell c" and
+/// "arcs of net n" O(1) range lookups, which the incremental delay
+/// calculator and estimate_eco rely on.
+class TimingGraph {
+ public:
+  /// Builds the graph. `clock_root` is the primary input that drives the
+  /// clock tree (kNullCell for purely combinational designs). The design
+  /// must already validate().
+  TimingGraph(const netlist::Design& design, netlist::CellId clock_root);
+
+  /// Multi-domain variant: one clock tree per root (Constraints::clock_roots
+  /// order). All trees together form the clock network.
+  TimingGraph(const netlist::Design& design,
+              std::vector<netlist::CellId> clock_roots);
+
+  // ---- arcs -------------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_arcs() const { return arcs_.size(); }
+  [[nodiscard]] const ArcRecord& arc(ArcId id) const { return arcs_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] std::span<const ArcRecord> arcs() const { return arcs_; }
+
+  /// Arc-id range [first, last) of all cell arcs of `cell` (including the
+  /// launch arc for DFFs). Empty for cells without an output.
+  [[nodiscard]] std::pair<ArcId, ArcId> cell_arcs(netlist::CellId cell) const;
+
+  /// Arc-id range [first, last) of all net arcs of `net`, in sink order.
+  [[nodiscard]] std::pair<ArcId, ArcId> net_arcs(netlist::NetId net) const;
+
+  // ---- data-graph connectivity (CSR) -------------------------------------
+
+  /// Data arcs that end at `pin` (its fanin). Launch arcs and clock-network
+  /// arcs are excluded: the data graph starts at startpoint pins.
+  [[nodiscard]] std::span<const ArcId> fanin(netlist::PinId pin) const;
+
+  /// Data arcs that start at `pin` (its fanout).
+  [[nodiscard]] std::span<const ArcId> fanout(netlist::PinId pin) const;
+
+  // ---- levelization -------------------------------------------------------
+
+  /// Number of topological levels of the data graph.
+  [[nodiscard]] std::size_t num_levels() const { return level_start_.size() - 1; }
+
+  /// Pins of level `l` (all mutually independent). Level 0 holds the
+  /// startpoint pins and any unconnected sources.
+  [[nodiscard]] std::span<const netlist::PinId> level(std::size_t l) const;
+
+  /// Topological level of a data pin; -1 for clock-network pins.
+  [[nodiscard]] int level_of(netlist::PinId pin) const { return level_of_[static_cast<std::size_t>(pin)]; }
+
+  /// All data pins in level order (concatenation of all levels).
+  [[nodiscard]] std::span<const netlist::PinId> level_order() const { return level_order_; }
+
+  // ---- startpoints / endpoints -------------------------------------------
+
+  [[nodiscard]] std::span<const Startpoint> startpoints() const { return startpoints_; }
+  [[nodiscard]] std::span<const Endpoint> endpoints() const { return endpoints_; }
+
+  /// Startpoint id whose source is `pin`, or kNullStartpoint.
+  [[nodiscard]] StartpointId startpoint_of_pin(netlist::PinId pin) const;
+
+  /// Endpoint id at `pin`, or kNullEndpoint.
+  [[nodiscard]] EndpointId endpoint_of_pin(netlist::PinId pin) const;
+
+  // ---- clock network -------------------------------------------------------
+
+  /// True if the pin belongs to the clock distribution network (the clock
+  /// root port, clock buffers and their pins, and FF clock pins).
+  [[nodiscard]] bool is_clock_network(netlist::PinId pin) const {
+    return clock_network_[static_cast<std::size_t>(pin)];
+  }
+
+  /// True if the cell is part of the clock tree (clock root or clock buffer).
+  [[nodiscard]] bool is_clock_cell(netlist::CellId cell) const {
+    return clock_cell_[static_cast<std::size_t>(cell)];
+  }
+
+  /// The primary clock root port cell (kNullCell if the design has no clock).
+  [[nodiscard]] netlist::CellId clock_root() const {
+    return clock_roots_.empty() ? netlist::kNullCell : clock_roots_.front();
+  }
+
+  /// All clock roots, primary first.
+  [[nodiscard]] std::span<const netlist::CellId> clock_roots() const {
+    return clock_roots_;
+  }
+
+  [[nodiscard]] const netlist::Design& design() const { return *design_; }
+
+  /// Maximum fanin arc count over all data pins (the K·fanin candidate bound
+  /// of the merge kernel).
+  [[nodiscard]] std::size_t max_fanin() const { return max_fanin_; }
+
+ private:
+  void build_arcs();
+  void mark_clock_network();
+  void collect_endpoints();
+  void build_csr();
+  void levelize();
+
+  const netlist::Design* design_;
+  std::vector<netlist::CellId> clock_roots_;
+
+  std::vector<ArcRecord> arcs_;
+  std::vector<ArcId> cell_arc_start_;  // size C+1
+  std::vector<ArcId> net_arc_start_;   // size N+1
+
+  std::vector<char> clock_network_;  // per pin
+  std::vector<char> clock_cell_;     // per cell
+
+  std::vector<Startpoint> startpoints_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<StartpointId> sp_of_pin_;  // per pin, kNullStartpoint default
+  std::vector<EndpointId> ep_of_pin_;    // per pin
+
+  // fanin/fanout CSR over data arcs
+  std::vector<std::int32_t> fanin_start_;
+  std::vector<ArcId> fanin_arcs_;
+  std::vector<std::int32_t> fanout_start_;
+  std::vector<ArcId> fanout_arcs_;
+
+  std::vector<int> level_of_;
+  std::vector<netlist::PinId> level_order_;
+  std::vector<std::int32_t> level_start_;
+  std::size_t max_fanin_ = 0;
+};
+
+}  // namespace insta::timing

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/design.hpp"
+
+namespace insta::timing {
+
+using ArcId = std::int32_t;
+using StartpointId = std::int32_t;
+using EndpointId = std::int32_t;
+inline constexpr ArcId kNullArc = -1;
+inline constexpr StartpointId kNullStartpoint = -1;
+inline constexpr EndpointId kNullEndpoint = -1;
+
+/// Kind of a timing arc.
+enum class ArcKind : std::uint8_t {
+  kNet,    ///< net arc: driver output pin -> sink input pin
+  kCell,   ///< cell arc: data input pin -> output pin
+  kLaunch, ///< DFF clock pin -> Q pin (used to seed startpoint arrivals)
+};
+
+/// Timing sense of an arc: how an input transition maps to the output
+/// transition. Non-unate cell arcs are represented as two arc records,
+/// one of each sense, with independently annotated delays.
+enum class ArcSense : std::uint8_t { kPositive, kNegative };
+
+/// One timing arc record (structure only; delays live in ArcDelays).
+struct ArcRecord {
+  netlist::PinId from = netlist::kNullPin;
+  netlist::PinId to = netlist::kNullPin;
+  netlist::CellId cell = netlist::kNullCell;  ///< owning cell (kNullCell for net arcs)
+  netlist::NetId net = netlist::kNullNet;     ///< owning net (kNullNet for cell arcs)
+  ArcKind kind = ArcKind::kNet;
+  ArcSense sense = ArcSense::kPositive;
+};
+
+/// Per-arc statistical delays: mean and sigma for each output transition.
+/// Indexed as mu[rf][arc]. Units: ps.
+struct ArcDelays {
+  std::array<std::vector<double>, 2> mu;
+  std::array<std::vector<double>, 2> sigma;
+
+  /// Resizes all four arrays to `n` arcs (zero-filled on growth).
+  void resize(std::size_t n) {
+    for (auto& v : mu) v.resize(n, 0.0);
+    for (auto& v : sigma) v.resize(n, 0.0);
+  }
+
+  [[nodiscard]] std::size_t size() const { return mu[0].size(); }
+};
+
+/// A re-annotation record: new delay values for one arc (both transitions).
+/// This is the currency of PrimeTime's estimate_eco in this reproduction:
+/// the reference engine produces ArcDelta lists, and both the golden engine
+/// and the INSTA engine consume them.
+struct ArcDelta {
+  ArcId arc = kNullArc;
+  std::array<double, 2> mu{0.0, 0.0};
+  std::array<double, 2> sigma{0.0, 0.0};
+};
+
+}  // namespace insta::timing

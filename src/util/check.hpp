@@ -1,0 +1,30 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace insta::util {
+
+/// Error type thrown by all invariant checks in the library.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Throws CheckError with source location when `cond` is false.
+///
+/// Used for precondition and invariant checks on public API boundaries.
+/// Unlike assert(), stays active in release builds: an STA engine silently
+/// propagating through a corrupt graph is worse than a crash.
+inline void check(bool cond, std::string_view msg,
+                  std::source_location loc = std::source_location::current()) {
+  if (!cond) {
+    throw CheckError(std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": check failed: " +
+                     std::string(msg));
+  }
+}
+
+}  // namespace insta::util

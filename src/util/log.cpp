@@ -1,0 +1,54 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace insta::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now();
+  const auto secs = std::chrono::time_point_cast<std::chrono::seconds>(now);
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - secs).count();
+  const std::time_t t = Clock::to_time_t(now);
+  std::tm tm{};
+  localtime_r(&t, &tm);
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%02d:%02d:%02d.%03d] [%s] %.*s\n", tm.tm_hour, tm.tm_min,
+               tm.tm_sec, static_cast<int>(ms), tag(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+void log_debug(std::string_view msg) { log(LogLevel::kDebug, msg); }
+void log_info(std::string_view msg) { log(LogLevel::kInfo, msg); }
+void log_warn(std::string_view msg) { log(LogLevel::kWarn, msg); }
+void log_error(std::string_view msg) { log(LogLevel::kError, msg); }
+
+}  // namespace insta::util

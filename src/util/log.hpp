@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string_view>
+
+namespace insta::util {
+
+/// Severity levels for the library logger, ordered by verbosity.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum severity that is emitted. Thread-safe.
+void set_log_level(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel log_level();
+
+/// Emits one log line (with timestamp and severity tag) to stderr if
+/// `level` is at or above the global threshold. Thread-safe.
+void log(LogLevel level, std::string_view msg);
+
+/// Convenience wrappers for the common severities.
+void log_debug(std::string_view msg);
+void log_info(std::string_view msg);
+void log_warn(std::string_view msg);
+void log_error(std::string_view msg);
+
+}  // namespace insta::util

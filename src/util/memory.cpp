@@ -1,0 +1,40 @@
+#include "util/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace insta::util {
+
+namespace {
+
+/// Reads a "VmXXX:  <kB> kB" field from /proc/self/status; returns bytes.
+std::size_t read_status_field(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t bytes = 0;
+  const std::size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + field_len, " %llu", &kb) == 1) {
+        bytes = static_cast<std::size_t>(kb) * 1024;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace
+
+std::size_t current_rss_bytes() { return read_status_field("VmRSS:"); }
+
+std::size_t peak_rss_bytes() { return read_status_field("VmHWM:"); }
+
+double to_gib(std::size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0);
+}
+
+}  // namespace insta::util

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstddef>
+
+namespace insta::util {
+
+/// Current resident set size of this process in bytes (0 if unavailable).
+[[nodiscard]] std::size_t current_rss_bytes();
+
+/// Peak resident set size of this process in bytes (0 if unavailable).
+[[nodiscard]] std::size_t peak_rss_bytes();
+
+/// Converts a byte count to gibibytes.
+[[nodiscard]] double to_gib(std::size_t bytes);
+
+}  // namespace insta::util

@@ -1,0 +1,95 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace insta::util {
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  check(xs.size() == ys.size(), "pearson: size mismatch");
+  const std::size_t n = xs.size();
+  if (n == 0) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return std::equal(xs.begin(), xs.end(), ys.begin()) ? 1.0 : 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double r_squared_identity(std::span<const double> xs, std::span<const double> ys) {
+  check(xs.size() == ys.size(), "r_squared_identity: size mismatch");
+  const std::size_t n = xs.size();
+  if (n == 0) return 0.0;
+  double my = 0.0;
+  for (const double y : ys) my += y;
+  my /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ss_res += (ys[i] - xs[i]) * (ys[i] - xs[i]);
+    ss_tot += (ys[i] - my) * (ys[i] - my);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+MismatchStats mismatch(std::span<const double> ref, std::span<const double> test) {
+  check(ref.size() == test.size(), "mismatch: size mismatch");
+  MismatchStats out;
+  if (ref.empty()) return out;
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double d = std::abs(ref[i] - test[i]);
+    sum += d;
+    sum_sq += d * d;
+    if (d > out.max_abs) {
+      out.max_abs = d;
+      out.max_index = i;
+    }
+  }
+  out.avg_abs = sum / static_cast<double>(ref.size());
+  out.rmse = std::sqrt(sum_sq / static_cast<double>(ref.size()));
+  return out;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary out;
+  if (xs.empty()) return out;
+  out.min = xs[0];
+  out.max = xs[0];
+  double sum = 0.0;
+  for (const double x : xs) {
+    out.min = std::min(out.min, x);
+    out.max = std::max(out.max, x);
+    sum += x;
+  }
+  out.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - out.mean) * (x - out.mean);
+  out.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  return out;
+}
+
+std::string format_correlation(double corr) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.5f", corr);
+  return buf;
+}
+
+}  // namespace insta::util

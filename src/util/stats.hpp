@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace insta::util {
+
+/// Pearson correlation coefficient between two equal-length series.
+/// Returns 1.0 for degenerate (zero-variance) inputs that are identical,
+/// and 0.0 for other degenerate cases.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Coefficient of determination (R^2) of predicting ys by xs on the
+/// 45-degree line (i.e. 1 - SS_res/SS_tot with prediction y_hat = x).
+[[nodiscard]] double r_squared_identity(std::span<const double> xs,
+                                        std::span<const double> ys);
+
+/// Elementwise-mismatch summary between a reference and a test series.
+struct MismatchStats {
+  double avg_abs = 0.0;   ///< mean |ref - test|
+  double max_abs = 0.0;   ///< worst |ref - test|
+  std::size_t max_index = 0;  ///< index of the worst mismatch
+  double rmse = 0.0;      ///< root-mean-square error
+};
+
+/// Computes avg/worst absolute mismatch and RMSE between two series.
+[[nodiscard]] MismatchStats mismatch(std::span<const double> ref,
+                                     std::span<const double> test);
+
+/// Simple descriptive statistics of one series.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes min/max/mean/stddev (population stddev) of a series.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Formats a correlation with the paper's "top 5 digits" convention,
+/// e.g. 0.999943 -> "0.99994".
+[[nodiscard]] std::string format_correlation(double corr);
+
+}  // namespace insta::util

@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace insta::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  check(!headers_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  check(cells.size() == headers_.size(), "Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "|";
+  for (const std::size_t w : widths) sep += std::string(w + 2, '-') + "|";
+  sep += "\n";
+
+  std::string out = render_row(headers_);
+  out += sep;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string fmt(const char* spec, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, value);
+  return buf;
+}
+
+}  // namespace insta::util

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace insta::util {
+
+/// Minimal ASCII table builder used by the benchmark harnesses to print
+/// rows in the same shape as the paper's tables.
+///
+/// Example:
+///   Table t({"design", "corr", "runtime (s)"});
+///   t.add_row({"block-1", "0.99994", "0.39"});
+///   std::fputs(t.str().c_str(), stdout);
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same number of cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns and a header separator.
+  [[nodiscard]] std::string str() const;
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helper ("%.3f" etc.) returning std::string.
+[[nodiscard]] std::string fmt(const char* spec, double value);
+
+}  // namespace insta::util

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace insta::util {
+
+/// Fixed-size worker-thread pool with a blocking parallel_for.
+///
+/// This is the CPU stand-in for the paper's CUDA grid: `parallel_for` over
+/// the pins of one timing level plays the role of one kernel launch, with
+/// each index corresponding to one CUDA thread. Work items within a level are
+/// independent by construction (level-synchronous propagation), so results
+/// are deterministic regardless of the number of workers.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 means hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers. Outstanding tasks complete first.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for every i in [begin, end), distributing contiguous
+  /// chunks across workers, and blocks until all iterations finish.
+  /// `grain` is the minimum chunk size (prevents over-splitting tiny loops;
+  /// loops smaller than `grain` run inline on the calling thread).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 256);
+
+  /// Like parallel_for but hands each worker a [chunk_begin, chunk_end)
+  /// range, which avoids per-index std::function overhead in hot kernels.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      std::size_t grain = 256);
+
+  /// Process-wide pool sized to the hardware. Used by the engines by default.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace insta::util

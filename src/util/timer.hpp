@@ -1,0 +1,37 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace insta::util {
+
+/// Monotonic wall-clock stopwatch with millisecond/second readouts.
+///
+/// Example:
+///   Stopwatch sw;
+///   run_forward();
+///   log_info("forward took " + std::to_string(sw.elapsed_ms()) + " ms");
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  [[nodiscard]] double elapsed_sec() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds since construction or last reset().
+  [[nodiscard]] double elapsed_ms() const { return elapsed_sec() * 1e3; }
+
+  /// Elapsed time in microseconds since construction or last reset().
+  [[nodiscard]] double elapsed_us() const { return elapsed_sec() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace insta::util

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/changelist.hpp"
+#include "gen/logic_block.hpp"
+#include "gen/placement_bench.hpp"
+#include "gen/presets.hpp"
+#include "gen/tune.hpp"
+#include "ref/golden_sta.hpp"
+#include "timing/delay_calc.hpp"
+
+namespace insta {
+namespace {
+
+TEST(Generators, DeterministicPerSeed) {
+  const gen::GeneratedDesign a = gen::build_logic_block(gen::tiny_spec(5));
+  const gen::GeneratedDesign b = gen::build_logic_block(gen::tiny_spec(5));
+  ASSERT_EQ(a.design->num_cells(), b.design->num_cells());
+  ASSERT_EQ(a.design->num_nets(), b.design->num_nets());
+  for (std::size_t c = 0; c < a.design->num_cells(); ++c) {
+    const auto id = static_cast<netlist::CellId>(c);
+    EXPECT_EQ(a.design->cell(id).libcell, b.design->cell(id).libcell);
+    EXPECT_EQ(a.design->cell(id).name, b.design->cell(id).name);
+  }
+  for (std::size_t n = 0; n < a.design->num_nets(); ++n) {
+    const auto id = static_cast<netlist::NetId>(n);
+    EXPECT_EQ(a.design->net(id).driver, b.design->net(id).driver);
+    EXPECT_EQ(a.design->net(id).sinks, b.design->net(id).sinks);
+    EXPECT_DOUBLE_EQ(a.design->net(id).length_hint,
+                     b.design->net(id).length_hint);
+  }
+  EXPECT_EQ(a.constraints.exceptions.size(), b.constraints.exceptions.size());
+
+  const gen::GeneratedDesign c = gen::build_logic_block(gen::tiny_spec(6));
+  EXPECT_NE(a.design->cell(50).libcell == c.design->cell(50).libcell &&
+                a.design->net(20).sinks == c.design->net(20).sinks,
+            true)
+      << "different seeds should differ somewhere";
+}
+
+TEST(Generators, RequestedStructureIsDelivered) {
+  gen::LogicBlockSpec spec = gen::tiny_spec(9);
+  spec.num_gates = 500;
+  spec.num_ffs = 40;
+  spec.num_inputs = 12;
+  spec.num_outputs = 10;
+  const gen::GeneratedDesign gd = gen::build_logic_block(spec);
+  EXPECT_EQ(gd.design->flip_flops().size(), 40u);
+  EXPECT_EQ(gd.design->input_ports().size(), 13u);  // + clock root
+  EXPECT_EQ(gd.design->output_ports().size(), 10u);
+  gd.design->validate();
+  // The clock root is an input port and referenced by the constraints.
+  EXPECT_EQ(gd.design->libcell_of(gd.constraints.clock_root).func,
+            netlist::CellFunc::kPortIn);
+}
+
+TEST(Generators, PresizeBoundsElectricalEffort) {
+  gen::LogicBlockSpec spec = gen::tiny_spec(10);
+  spec.num_gates = 800;
+  spec.presize = true;
+  spec.target_effort = 4.0;
+  const gen::GeneratedDesign gd = gen::build_logic_block(spec);
+  const timing::TimingGraph graph(*gd.design, gd.constraints.clock_root);
+  timing::DelayCalculator calc(*gd.design, graph);
+  timing::ArcDelays delays;
+  calc.compute_all(delays);
+
+  int checked = 0, overloaded = 0;
+  for (std::size_t c = 0; c < gd.design->num_cells(); ++c) {
+    const auto id = static_cast<netlist::CellId>(c);
+    const auto& lc = gd.design->libcell_of(id);
+    if (netlist::is_sequential(lc.func) || !netlist::has_output(lc.func) ||
+        netlist::num_data_inputs(lc.func) == 0 || graph.is_clock_cell(id)) {
+      continue;
+    }
+    const auto out_net = gd.design->pin(gd.design->output_pin(id)).net;
+    if (out_net == netlist::kNullNet) continue;
+    const auto family = gd.design->library().family(lc.func);
+    const double cap_x1 =
+        gd.design->library().cell(family.front()).input_cap;
+    const double effort = calc.load(out_net) / (cap_x1 * lc.drive);
+    ++checked;
+    // Cells at the max drive may still exceed the target; everything else
+    // must be within it (that is what presize promises).
+    if (effort > spec.target_effort + 1e-9 && lc.id != family.back()) {
+      ++overloaded;
+    }
+  }
+  EXPECT_GT(checked, 100);
+  EXPECT_EQ(overloaded, 0);
+}
+
+TEST(Generators, PlacementBenchGeometry) {
+  gen::PlacementBenchSpec spec;
+  spec.logic = gen::tiny_spec(11);
+  spec.logic.num_gates = 600;
+  spec.logic.num_ffs = 60;
+  const gen::PlacementBench bench = gen::build_placement_bench(spec);
+  const auto& d = *bench.gd.design;
+  EXPECT_GT(bench.core_width, 0.0);
+  EXPECT_NEAR(bench.core_height, bench.num_rows * bench.row_height, 1e-9);
+  // The core fits the design at the requested density.
+  EXPECT_NEAR(bench.core_width * bench.core_height,
+              d.total_area() / spec.target_density,
+              d.total_area() * 0.05);
+  for (std::size_t c = 0; c < d.num_cells(); ++c) {
+    const auto& cell = d.cell(static_cast<netlist::CellId>(c));
+    EXPECT_GE(cell.x, -1e-9);
+    EXPECT_LE(cell.x, bench.core_width + 1e-9);
+    EXPECT_GE(cell.y, -1e-9);
+    EXPECT_LE(cell.y, bench.core_height + 1e-9);
+  }
+  // Ports and clock buffers fixed, gates and FFs movable.
+  for (const auto id : d.input_ports()) EXPECT_TRUE(d.cell(id).fixed);
+  for (const auto id : d.flip_flops()) EXPECT_FALSE(d.cell(id).fixed);
+  int fixed_bufs = 0;
+  for (std::size_t c = 0; c < d.num_cells(); ++c) {
+    const auto id = static_cast<netlist::CellId>(c);
+    if (d.cell(id).name.rfind("ckbuf", 0) == 0) {
+      EXPECT_TRUE(d.cell(id).fixed);
+      ++fixed_bufs;
+    }
+  }
+  EXPECT_GT(fixed_bufs, 0);
+}
+
+TEST(Generators, TuneHitsViolationTarget) {
+  gen::GeneratedDesign gd = gen::build_logic_block(gen::tiny_spec(12));
+  const timing::TimingGraph graph(*gd.design, gd.constraints.clock_root);
+  timing::DelayCalculator calc(*gd.design, graph);
+  timing::ArcDelays delays;
+  calc.compute_all(delays);
+  const double period =
+      gen::tune_clock_period(graph, gd.constraints, delays, 0.2);
+  EXPECT_EQ(period, gd.constraints.clock_period);
+  ref::GoldenSta sta(graph, gd.constraints, delays);
+  sta.update_full();
+  int finite = 0;
+  for (const double s : sta.endpoint_slacks()) {
+    if (std::isfinite(s)) ++finite;
+  }
+  const double frac =
+      static_cast<double>(sta.num_violations()) / std::max(1, finite);
+  // Exceptions make the quantile approximate; accept a generous band.
+  EXPECT_GT(frac, 0.08);
+  EXPECT_LT(frac, 0.35);
+}
+
+TEST(Generators, ChangelistIsLegalAndDeterministic) {
+  gen::GeneratedDesign gd = gen::build_logic_block(gen::tiny_spec(13));
+  const timing::TimingGraph graph(*gd.design, gd.constraints.clock_root);
+  util::Rng rng_a(3), rng_b(3);
+  const auto a = gen::random_changelist(*gd.design, graph, rng_a, 40);
+  const auto b = gen::random_changelist(*gd.design, graph, rng_b, 40);
+  ASSERT_EQ(a.size(), 40u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cell, b[i].cell);
+    EXPECT_EQ(a[i].new_libcell, b[i].new_libcell);
+    const auto& lc = gd.design->libcell_of(a[i].cell);
+    const auto& nl = gd.design->library().cell(a[i].new_libcell);
+    EXPECT_EQ(lc.func, nl.func);
+    EXPECT_NE(lc.id, nl.id);
+    EXPECT_FALSE(graph.is_clock_cell(a[i].cell));
+    EXPECT_FALSE(netlist::is_sequential(lc.func));
+  }
+}
+
+TEST(Generators, PresetRostersHaveExpectedShapes) {
+  EXPECT_EQ(gen::table1_block_specs().size(), 5u);
+  EXPECT_EQ(gen::table2_iwls_specs().size(), 4u);
+  EXPECT_EQ(gen::table3_superblue_specs().size(), 8u);
+  // Block-1 is the largest Table-I block; superblue10 the largest bench.
+  const auto blocks = gen::table1_block_specs();
+  for (const auto& s : blocks) {
+    EXPECT_LE(s.num_gates, blocks[0].num_gates);
+  }
+  const auto sb = gen::table3_superblue_specs();
+  for (const auto& s : sb) {
+    EXPECT_LE(s.logic.num_gates, sb[5].logic.num_gates);
+  }
+}
+
+}  // namespace
+}  // namespace insta

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/logic_block.hpp"
+#include "gen/presets.hpp"
+#include "gen/tune.hpp"
+#include "ref/golden_sta.hpp"
+#include "timing/clock.hpp"
+#include "timing/delay_calc.hpp"
+
+namespace insta {
+namespace {
+
+/// The CPPR-safe pruning window (max credit * 1.5 + margin) must leave
+/// every endpoint slack bit-identical to the unpruned engine: only entries
+/// within the maximum possible credit of a pin's best corner can decide a
+/// slack (DESIGN.md §6). This is the property that lets the benchmark
+/// harness run the exact reference engine on 100k-cell blocks.
+class GoldenWindow : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GoldenWindow, WindowedEqualsExact) {
+  gen::LogicBlockSpec spec = gen::tiny_spec(GetParam());
+  spec.num_gates = 2500;
+  spec.num_ffs = 250;
+  spec.depth = 14;
+  gen::GeneratedDesign gd = gen::build_logic_block(spec);
+  timing::TimingGraph graph(*gd.design, gd.constraints.clock_root);
+  timing::DelayCalculator calc(*gd.design, graph);
+  timing::ArcDelays delays;
+  calc.compute_all(delays);
+  gen::tune_clock_period(graph, gd.constraints, delays, 0.1);
+
+  ref::GoldenSta exact(graph, gd.constraints, delays);
+  exact.update_full();
+
+  const timing::ClockAnalysis probe(graph, delays, gd.constraints.nsigma);
+  ref::GoldenOptions windowed_opts;
+  windowed_opts.prune_window = probe.max_credit() * 1.5 + 10.0;
+  ref::GoldenSta windowed(graph, gd.constraints, delays, windowed_opts);
+  windowed.update_full();
+
+  for (std::size_t e = 0; e < graph.endpoints().size(); ++e) {
+    const double a = exact.endpoint_slack(static_cast<timing::EndpointId>(e));
+    const double b = windowed.endpoint_slack(static_cast<timing::EndpointId>(e));
+    if (!std::isfinite(a)) {
+      EXPECT_FALSE(std::isfinite(b));
+      continue;
+    }
+    EXPECT_DOUBLE_EQ(a, b) << "endpoint " << e;
+  }
+
+  // The window genuinely prunes (otherwise the test proves nothing).
+  std::size_t exact_entries = 0, windowed_entries = 0;
+  for (std::size_t p = 0; p < gd.design->num_pins(); ++p) {
+    for (const auto rf : netlist::kBothTransitions) {
+      exact_entries += exact.arrivals(static_cast<netlist::PinId>(p), rf).size();
+      windowed_entries +=
+          windowed.arrivals(static_cast<netlist::PinId>(p), rf).size();
+    }
+  }
+  EXPECT_LT(windowed_entries, exact_entries);
+}
+
+/// A max_entries cap (a lossy setting) can only make slacks optimistic or
+/// equal, never more pessimistic: dropped entries can only remove slack
+/// minima.
+TEST_P(GoldenWindow, EntryCapIsOptimisticOrExact) {
+  gen::GeneratedDesign gd = gen::build_logic_block(gen::tiny_spec(GetParam()));
+  timing::TimingGraph graph(*gd.design, gd.constraints.clock_root);
+  timing::DelayCalculator calc(*gd.design, graph);
+  timing::ArcDelays delays;
+  calc.compute_all(delays);
+  gen::tune_clock_period(graph, gd.constraints, delays, 0.1);
+
+  ref::GoldenSta exact(graph, gd.constraints, delays);
+  exact.update_full();
+  ref::GoldenOptions capped_opts;
+  capped_opts.max_entries = 2;
+  ref::GoldenSta capped(graph, gd.constraints, delays, capped_opts);
+  capped.update_full();
+
+  for (std::size_t e = 0; e < graph.endpoints().size(); ++e) {
+    const double a = exact.endpoint_slack(static_cast<timing::EndpointId>(e));
+    const double b = capped.endpoint_slack(static_cast<timing::EndpointId>(e));
+    if (!std::isfinite(a)) continue;
+    EXPECT_GE(b, a - 1e-9) << "endpoint " << e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GoldenWindow, ::testing::Values(81u, 82u, 83u));
+
+}  // namespace
+}  // namespace insta

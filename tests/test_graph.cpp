@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "gen/logic_block.hpp"
+#include "gen/presets.hpp"
+#include "timing/graph.hpp"
+#include "util/check.hpp"
+
+namespace insta {
+namespace {
+
+using netlist::CellFunc;
+using netlist::CellId;
+using netlist::Library;
+using netlist::NetId;
+using netlist::PinId;
+using timing::ArcId;
+using timing::ArcKind;
+using timing::ArcRecord;
+using timing::ArcSense;
+using timing::TimingGraph;
+
+TEST(Graph, ArcEnumerationPerFunction) {
+  Library lib = netlist::make_default_library();
+  netlist::Design d(lib);
+  const CellId a = d.add_input_port("a");
+  const CellId b = d.add_input_port("b");
+  const CellId x = d.add_cell("x", lib.find(CellFunc::kXor2, 1));
+  const CellId n = d.add_cell("n", lib.find(CellFunc::kNand2, 1));
+  const CellId out = d.add_output_port("o");
+  auto wire = [&](PinId drv, std::initializer_list<PinId> sinks) {
+    const NetId net = d.add_net("w" + std::to_string(d.num_nets()));
+    d.connect_driver(net, drv);
+    for (const PinId s : sinks) d.connect_sink(net, s);
+  };
+  wire(d.output_pin(a), {d.input_pin(x, 0), d.input_pin(n, 0)});
+  wire(d.output_pin(b), {d.input_pin(x, 1), d.input_pin(n, 1)});
+  wire(d.output_pin(x), {d.input_pin(out, 0)});
+  d.validate();
+
+  const TimingGraph g(d, netlist::kNullCell);
+  // XOR contributes 2 inputs x 2 senses = 4 cell arcs; NAND2 2 negative
+  // arcs; 5 net arcs.
+  const auto [xf, xl] = g.cell_arcs(x);
+  EXPECT_EQ(xl - xf, 4);
+  int pos = 0, neg = 0;
+  for (ArcId aid = xf; aid < xl; ++aid) {
+    (g.arc(aid).sense == ArcSense::kPositive ? pos : neg) += 1;
+    EXPECT_EQ(g.arc(aid).kind, ArcKind::kCell);
+    EXPECT_EQ(g.arc(aid).cell, x);
+  }
+  EXPECT_EQ(pos, 2);
+  EXPECT_EQ(neg, 2);
+  const auto [nf, nl] = g.cell_arcs(n);
+  EXPECT_EQ(nl - nf, 2);
+  for (ArcId aid = nf; aid < nl; ++aid) {
+    EXPECT_EQ(g.arc(aid).sense, ArcSense::kNegative);
+  }
+  int net_arcs = 0;
+  for (const ArcRecord& rec : g.arcs()) {
+    if (rec.kind == ArcKind::kNet) ++net_arcs;
+  }
+  EXPECT_EQ(net_arcs, 5);
+  // Startpoints: a and b; endpoints: the output port pin.
+  EXPECT_EQ(g.startpoints().size(), 2u);
+  EXPECT_EQ(g.endpoints().size(), 1u);
+}
+
+TEST(Graph, CombinationalLoopDetected) {
+  Library lib = netlist::make_default_library();
+  netlist::Design d(lib);
+  const CellId i1 = d.add_cell("i1", lib.find(CellFunc::kInv, 1));
+  const CellId i2 = d.add_cell("i2", lib.find(CellFunc::kInv, 1));
+  const NetId n1 = d.add_net("n1");
+  const NetId n2 = d.add_net("n2");
+  d.connect_driver(n1, d.output_pin(i1));
+  d.connect_sink(n1, d.input_pin(i2, 0));
+  d.connect_driver(n2, d.output_pin(i2));
+  d.connect_sink(n2, d.input_pin(i1, 0));
+  EXPECT_THROW(TimingGraph(d, netlist::kNullCell), util::CheckError);
+}
+
+class GraphOnGenerated : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    gd_ = gen::build_logic_block(gen::tiny_spec(GetParam()));
+    graph_ = std::make_unique<TimingGraph>(*gd_.design,
+                                           gd_.constraints.clock_root);
+  }
+  gen::GeneratedDesign gd_;
+  std::unique_ptr<TimingGraph> graph_;
+};
+
+TEST_P(GraphOnGenerated, LevelsAreTopological) {
+  const auto& g = *graph_;
+  for (const ArcRecord& rec : g.arcs()) {
+    if (rec.kind == ArcKind::kLaunch) continue;
+    if (g.is_clock_network(rec.from) || g.is_clock_network(rec.to)) continue;
+    EXPECT_LT(g.level_of(rec.from), g.level_of(rec.to));
+  }
+  // Levels partition exactly the non-clock pins.
+  std::size_t in_levels = 0;
+  for (std::size_t l = 0; l < g.num_levels(); ++l) in_levels += g.level(l).size();
+  std::size_t data_pins = 0;
+  for (std::size_t p = 0; p < gd_.design->num_pins(); ++p) {
+    if (!g.is_clock_network(static_cast<PinId>(p))) ++data_pins;
+  }
+  EXPECT_EQ(in_levels, data_pins);
+  EXPECT_EQ(g.level_order().size(), data_pins);
+}
+
+TEST_P(GraphOnGenerated, FaninFanoutAreConsistent) {
+  const auto& g = *graph_;
+  std::size_t fanin_total = 0, fanout_total = 0;
+  for (std::size_t p = 0; p < gd_.design->num_pins(); ++p) {
+    for (const ArcId aid : g.fanin(static_cast<PinId>(p))) {
+      EXPECT_EQ(g.arc(aid).to, static_cast<PinId>(p));
+      ++fanin_total;
+    }
+    for (const ArcId aid : g.fanout(static_cast<PinId>(p))) {
+      EXPECT_EQ(g.arc(aid).from, static_cast<PinId>(p));
+      ++fanout_total;
+    }
+  }
+  EXPECT_EQ(fanin_total, fanout_total);
+  EXPECT_GT(fanin_total, 0u);
+}
+
+TEST_P(GraphOnGenerated, ClockConeIsBuffersAndClockPins) {
+  const auto& g = *graph_;
+  const auto& d = *gd_.design;
+  // Every FF clock pin is in the clock network; no FF D pin or Q pin is.
+  for (const CellId ff : d.flip_flops()) {
+    EXPECT_TRUE(g.is_clock_network(d.clock_pin(ff)));
+    EXPECT_FALSE(g.is_clock_network(d.input_pin(ff, 0)));
+    EXPECT_FALSE(g.is_clock_network(d.output_pin(ff)));
+  }
+  // Clock cells are the root port plus buffers only.
+  for (std::size_t c = 0; c < d.num_cells(); ++c) {
+    if (!g.is_clock_cell(static_cast<CellId>(c))) continue;
+    const CellFunc f = d.libcell_of(static_cast<CellId>(c)).func;
+    EXPECT_TRUE(f == CellFunc::kBuf || f == CellFunc::kInv ||
+                f == CellFunc::kPortIn);
+  }
+}
+
+TEST_P(GraphOnGenerated, StartpointsAndEndpointsComplete) {
+  const auto& g = *graph_;
+  const auto& d = *gd_.design;
+  // Every FF is both a startpoint (at Q) and an endpoint (at D); every data
+  // PI is a startpoint; every PO is an endpoint; the clock root is neither.
+  EXPECT_EQ(g.startpoints().size(),
+            d.flip_flops().size() + d.input_ports().size() - 1);
+  EXPECT_EQ(g.endpoints().size(),
+            d.flip_flops().size() + d.output_ports().size());
+  for (const CellId ff : d.flip_flops()) {
+    EXPECT_NE(g.startpoint_of_pin(d.output_pin(ff)), timing::kNullStartpoint);
+    EXPECT_NE(g.endpoint_of_pin(d.input_pin(ff, 0)), timing::kNullEndpoint);
+  }
+  EXPECT_EQ(g.startpoint_of_pin(d.output_pin(g.clock_root())),
+            timing::kNullStartpoint);
+}
+
+TEST_P(GraphOnGenerated, CellAndNetArcRangesCoverAllArcs) {
+  const auto& g = *graph_;
+  const auto& d = *gd_.design;
+  std::unordered_set<ArcId> seen;
+  for (std::size_t c = 0; c < d.num_cells(); ++c) {
+    const auto [f, l] = g.cell_arcs(static_cast<CellId>(c));
+    for (ArcId a = f; a < l; ++a) EXPECT_TRUE(seen.insert(a).second);
+  }
+  for (std::size_t n = 0; n < d.num_nets(); ++n) {
+    const auto [f, l] = g.net_arcs(static_cast<NetId>(n));
+    for (ArcId a = f; a < l; ++a) EXPECT_TRUE(seen.insert(a).second);
+  }
+  EXPECT_EQ(seen.size(), g.num_arcs());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphOnGenerated,
+                         ::testing::Values(61u, 62u, 63u, 64u));
+
+}  // namespace
+}  // namespace insta

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "gen/changelist.hpp"
+#include "gen/logic_block.hpp"
+#include "gen/presets.hpp"
+#include "gen/tune.hpp"
+#include "ref/golden_sta.hpp"
+#include "timing/delay_calc.hpp"
+
+namespace insta {
+namespace {
+
+class IncrementalForward : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    gd_ = gen::build_logic_block(gen::tiny_spec(GetParam()));
+    graph_ = std::make_unique<timing::TimingGraph>(*gd_.design,
+                                                   gd_.constraints.clock_root);
+    calc_ = std::make_unique<timing::DelayCalculator>(*gd_.design, *graph_);
+    calc_->compute_all(delays_);
+    gen::tune_clock_period(*graph_, gd_.constraints, delays_, 0.1);
+    sta_ = std::make_unique<ref::GoldenSta>(*graph_, gd_.constraints, delays_);
+    sta_->update_full();
+  }
+  gen::GeneratedDesign gd_;
+  std::unique_ptr<timing::TimingGraph> graph_;
+  std::unique_ptr<timing::DelayCalculator> calc_;
+  timing::ArcDelays delays_;
+  std::unique_ptr<ref::GoldenSta> sta_;
+};
+
+/// After any sequence of annotations, run_forward_incremental() must leave
+/// the engine in exactly the state run_forward() would.
+TEST_P(IncrementalForward, MatchesFullForwardAfterAnnotations) {
+  core::Engine inc(*sta_, {});
+  core::Engine full(*sta_, {});
+  inc.run_forward();
+  full.run_forward();
+
+  util::Rng rng(GetParam() * 3 + 1);
+  const auto changes = gen::random_changelist(*gd_.design, *graph_, rng, 30);
+  for (const auto& ch : changes) {
+    const auto deltas = calc_->estimate_eco(ch.cell, ch.new_libcell);
+    inc.annotate(deltas);
+    full.annotate(deltas);
+    inc.run_forward_incremental();
+    full.run_forward();
+    for (std::size_t e = 0; e < graph_->endpoints().size(); ++e) {
+      const float a = inc.endpoint_slack(static_cast<timing::EndpointId>(e));
+      const float b = full.endpoint_slack(static_cast<timing::EndpointId>(e));
+      if (!std::isfinite(b)) {
+        EXPECT_FALSE(std::isfinite(a));
+      } else {
+        EXPECT_EQ(a, b) << "endpoint " << e;
+      }
+    }
+  }
+}
+
+/// With nothing annotated, the incremental pass re-processes no levels but
+/// still produces valid (unchanged) slacks.
+TEST_P(IncrementalForward, CleanIncrementalIsIdempotent) {
+  core::Engine engine(*sta_, {});
+  engine.run_forward();
+  const std::vector<float> before(engine.endpoint_slacks().begin(),
+                                  engine.endpoint_slacks().end());
+  engine.run_forward_incremental();  // nothing dirty
+  for (std::size_t e = 0; e < before.size(); ++e) {
+    const float after = engine.endpoint_slack(static_cast<timing::EndpointId>(e));
+    if (std::isfinite(before[e])) {
+      EXPECT_EQ(before[e], after);
+    } else {
+      EXPECT_FALSE(std::isfinite(after));
+    }
+  }
+}
+
+/// The first forward pass after construction must be full even if called
+/// through the incremental entry point (everything starts dirty).
+TEST_P(IncrementalForward, FirstPassIsFull) {
+  core::Engine a(*sta_, {});
+  a.run_forward_incremental();
+  core::Engine b(*sta_, {});
+  b.run_forward();
+  for (std::size_t e = 0; e < graph_->endpoints().size(); ++e) {
+    const float sa = a.endpoint_slack(static_cast<timing::EndpointId>(e));
+    const float sb = b.endpoint_slack(static_cast<timing::EndpointId>(e));
+    if (std::isfinite(sb)) {
+      EXPECT_EQ(sa, sb);
+    } else {
+      EXPECT_FALSE(std::isfinite(sa));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalForward,
+                         ::testing::Values(131u, 132u, 133u));
+
+}  // namespace
+}  // namespace insta

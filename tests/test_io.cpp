@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "gen/logic_block.hpp"
+#include "gen/presets.hpp"
+#include "gen/tune.hpp"
+#include "io/design_io.hpp"
+#include "ref/golden_sta.hpp"
+#include "timing/delay_calc.hpp"
+#include "util/check.hpp"
+
+namespace insta {
+namespace {
+
+class DesignIo : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DesignIo, RoundTripPreservesTiming) {
+  gen::GeneratedDesign gd = gen::build_logic_block(gen::tiny_spec(GetParam()));
+  {
+    timing::TimingGraph graph(*gd.design, gd.constraints.clock_root);
+    timing::DelayCalculator calc(*gd.design, graph);
+    timing::ArcDelays delays;
+    calc.compute_all(delays);
+    gen::tune_clock_period(graph, gd.constraints, delays, 0.1);
+  }
+
+  std::stringstream ss;
+  io::save_design(*gd.design, gd.constraints, ss);
+  io::LoadedDesign loaded = io::load_design(ss);
+
+  ASSERT_EQ(loaded.design->num_cells(), gd.design->num_cells());
+  ASSERT_EQ(loaded.design->num_nets(), gd.design->num_nets());
+  ASSERT_EQ(loaded.design->num_pins(), gd.design->num_pins());
+  EXPECT_EQ(loaded.constraints.clock_root, gd.constraints.clock_root);
+  EXPECT_DOUBLE_EQ(loaded.constraints.clock_period,
+                   gd.constraints.clock_period);
+  EXPECT_EQ(loaded.constraints.exceptions.size(),
+            gd.constraints.exceptions.size());
+
+  auto slacks = [](const netlist::Design& d, const timing::Constraints& cx) {
+    timing::TimingGraph graph(d, cx.clock_root);
+    timing::DelayCalculator calc(d, graph);
+    timing::ArcDelays delays;
+    calc.compute_all(delays);
+    ref::GoldenSta sta(graph, cx, delays);
+    sta.update_full();
+    return std::vector<double>(sta.endpoint_slacks().begin(),
+                               sta.endpoint_slacks().end());
+  };
+  const auto original = slacks(*gd.design, gd.constraints);
+  const auto reloaded = slacks(*loaded.design, loaded.constraints);
+  ASSERT_EQ(original.size(), reloaded.size());
+  for (std::size_t e = 0; e < original.size(); ++e) {
+    if (!std::isfinite(original[e])) {
+      EXPECT_FALSE(std::isfinite(reloaded[e]));
+    } else {
+      EXPECT_DOUBLE_EQ(original[e], reloaded[e]) << "endpoint " << e;
+    }
+  }
+}
+
+TEST_P(DesignIo, RoundTripPreservesPlacementAndFixedness) {
+  gen::GeneratedDesign gd = gen::build_logic_block(gen::tiny_spec(GetParam()));
+  gd.design->cell(3).x = 123.5;
+  gd.design->cell(3).y = 42.25;
+  gd.design->cell(3).fixed = true;
+  std::stringstream ss;
+  io::save_design(*gd.design, gd.constraints, ss);
+  const io::LoadedDesign loaded = io::load_design(ss);
+  EXPECT_DOUBLE_EQ(loaded.design->cell(3).x, 123.5);
+  EXPECT_DOUBLE_EQ(loaded.design->cell(3).y, 42.25);
+  EXPECT_TRUE(loaded.design->cell(3).fixed);
+  EXPECT_EQ(loaded.design->cell(3).name, gd.design->cell(3).name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DesignIo, ::testing::Values(111u, 112u));
+
+TEST(DesignIoErrors, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(io::load_design(empty), util::CheckError);
+
+  std::stringstream bad_header("hello 1\n");
+  EXPECT_THROW(io::load_design(bad_header), util::CheckError);
+
+  std::stringstream bad_version("inet 99\n");
+  EXPECT_THROW(io::load_design(bad_version), util::CheckError);
+
+  std::stringstream truncated("inet 1\nlibrary 2\nlibcell x inv 1 1 1 1\n");
+  EXPECT_THROW(io::load_design(truncated), util::CheckError);
+}
+
+TEST(DesignIoErrors, RejectsUnknownLibcellReference) {
+  gen::GeneratedDesign gd = gen::build_logic_block(gen::tiny_spec(1));
+  std::stringstream ss;
+  io::save_design(*gd.design, gd.constraints, ss);
+  std::string text = ss.str();
+  const auto pos = text.find("cell g0 ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 8, "cell g0x");  // mangles the libcell name field
+  std::stringstream mangled(text);
+  EXPECT_THROW(io::load_design(mangled), util::CheckError);
+}
+
+TEST(DesignIoErrors, CommentsAreIgnored) {
+  gen::GeneratedDesign gd = gen::build_logic_block(gen::tiny_spec(2));
+  std::stringstream ss;
+  ss << "# a comment before the header\n";
+  io::save_design(*gd.design, gd.constraints, ss);
+  EXPECT_NO_THROW(io::load_design(ss));
+}
+
+}  // namespace
+}  // namespace insta

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "netlist/design.hpp"
+#include "netlist/liberty.hpp"
+#include "util/check.hpp"
+
+namespace insta::netlist {
+namespace {
+
+TEST(Liberty, FunctionMetadata) {
+  EXPECT_EQ(num_data_inputs(CellFunc::kInv), 1);
+  EXPECT_EQ(num_data_inputs(CellFunc::kNand3), 3);
+  EXPECT_EQ(num_data_inputs(CellFunc::kDff), 1);
+  EXPECT_EQ(num_data_inputs(CellFunc::kPortIn), 0);
+  EXPECT_TRUE(has_output(CellFunc::kPortIn));
+  EXPECT_FALSE(has_output(CellFunc::kPortOut));
+  EXPECT_EQ(unateness(CellFunc::kNand2), Unateness::kNegative);
+  EXPECT_EQ(unateness(CellFunc::kAnd2), Unateness::kPositive);
+  EXPECT_EQ(unateness(CellFunc::kXor2), Unateness::kNonUnate);
+  EXPECT_TRUE(is_sequential(CellFunc::kDff));
+  EXPECT_FALSE(is_sequential(CellFunc::kBuf));
+  EXPECT_EQ(opposite(RiseFall::kRise), RiseFall::kFall);
+  EXPECT_EQ(rf_index(RiseFall::kFall), 1);
+}
+
+TEST(Liberty, DefaultLibraryFamilies) {
+  const Library lib = make_default_library();
+  const auto invs = lib.family(CellFunc::kInv);
+  ASSERT_EQ(invs.size(), 5u);  // drives 1, 2, 4, 8, 16
+  // Sorted ascending by drive; resistance falls, cap rises with drive.
+  for (std::size_t i = 1; i < invs.size(); ++i) {
+    const LibCell& lo = lib.cell(invs[i - 1]);
+    const LibCell& hi = lib.cell(invs[i]);
+    EXPECT_LT(lo.drive, hi.drive);
+    EXPECT_GT(lo.drive_res[0], hi.drive_res[0]);
+    EXPECT_LT(lo.input_cap, hi.input_cap);
+    EXPECT_LT(lo.area, hi.area);
+    EXPECT_LT(lo.leakage, hi.leakage);
+  }
+  EXPECT_EQ(lib.find(CellFunc::kNand2, 4),
+            lib.family(CellFunc::kNand2)[2]);
+  EXPECT_EQ(lib.find(CellFunc::kNand2, 3), kNullLibCell);
+  // DFFs carry sequential attributes.
+  const LibCell& dff = lib.cell(lib.find(CellFunc::kDff, 1));
+  EXPECT_GT(dff.setup, 0.0);
+  EXPECT_GT(dff.clk2q[0], 0.0);
+}
+
+struct Mini {
+  Library lib = make_default_library();
+  Design d{lib};
+};
+
+TEST(Design, PinLayoutPerFunction) {
+  Mini m;
+  const CellId nand = m.d.add_cell("n1", m.lib.find(CellFunc::kNand2, 1));
+  EXPECT_EQ(m.d.cell(nand).num_pins, 3);
+  EXPECT_EQ(m.d.pin(m.d.input_pin(nand, 0)).dir, PinDir::kInput);
+  EXPECT_EQ(m.d.pin(m.d.input_pin(nand, 1)).input_index, 1);
+  EXPECT_EQ(m.d.pin(m.d.output_pin(nand)).dir, PinDir::kOutput);
+  EXPECT_EQ(m.d.clock_pin(nand), kNullPin);
+
+  const CellId ff = m.d.add_cell("f1", m.lib.find(CellFunc::kDff, 1));
+  EXPECT_EQ(m.d.cell(ff).num_pins, 3);  // D, CK, Q
+  EXPECT_EQ(m.d.pin(m.d.clock_pin(ff)).role, PinRole::kClock);
+  EXPECT_EQ(m.d.pin_name(m.d.clock_pin(ff)), "f1/CK");
+  EXPECT_EQ(m.d.pin_name(m.d.output_pin(ff)), "f1/Y");
+  EXPECT_EQ(m.d.pin_name(m.d.input_pin(ff, 0)), "f1/A0");
+}
+
+TEST(Design, ConnectivityRules) {
+  Mini m;
+  const CellId a = m.d.add_input_port("a");
+  const CellId inv = m.d.add_cell("i1", m.lib.find(CellFunc::kInv, 1));
+  const NetId n = m.d.add_net("n");
+  m.d.connect_driver(n, m.d.output_pin(a));
+  m.d.connect_sink(n, m.d.input_pin(inv, 0));
+  // Double-driving or re-connecting must fail loudly.
+  EXPECT_THROW(m.d.connect_driver(n, m.d.output_pin(inv)), util::CheckError);
+  EXPECT_THROW(m.d.connect_sink(n, m.d.input_pin(inv, 0)), util::CheckError);
+  // Direction misuse must fail.
+  const NetId n2 = m.d.add_net("n2");
+  EXPECT_THROW(m.d.connect_driver(n2, m.d.input_pin(inv, 0)), util::CheckError);
+  EXPECT_THROW(m.d.connect_sink(n2, m.d.output_pin(a)), util::CheckError);
+}
+
+TEST(Design, ValidateCatchesDanglingInput) {
+  Mini m;
+  m.d.add_cell("i1", m.lib.find(CellFunc::kInv, 1));  // input unconnected
+  EXPECT_THROW(m.d.validate(), util::CheckError);
+}
+
+TEST(Design, ValidateCatchesDriverlessNet) {
+  Mini m;
+  const CellId inv = m.d.add_cell("i1", m.lib.find(CellFunc::kInv, 1));
+  const NetId n = m.d.add_net("n");
+  m.d.connect_sink(n, m.d.input_pin(inv, 0));
+  EXPECT_THROW(m.d.validate(), util::CheckError);
+}
+
+TEST(Design, ResizeKeepsFunction) {
+  Mini m;
+  const CellId inv = m.d.add_cell("i1", m.lib.find(CellFunc::kInv, 1));
+  m.d.resize_cell(inv, m.lib.find(CellFunc::kInv, 8));
+  EXPECT_EQ(m.d.libcell_of(inv).drive, 8);
+  EXPECT_THROW(m.d.resize_cell(inv, m.lib.find(CellFunc::kBuf, 1)),
+               util::CheckError);
+}
+
+TEST(Design, PortsAndRosterTracking) {
+  Mini m;
+  const CellId in = m.d.add_input_port("in");
+  const CellId out = m.d.add_output_port("out");
+  const CellId ff = m.d.add_cell("ff", m.lib.find(CellFunc::kDff, 2));
+  EXPECT_EQ(m.d.input_ports().size(), 1u);
+  EXPECT_EQ(m.d.output_ports().size(), 1u);
+  EXPECT_EQ(m.d.flip_flops().size(), 1u);
+  EXPECT_EQ(m.d.input_ports()[0], in);
+  EXPECT_EQ(m.d.output_ports()[0], out);
+  EXPECT_EQ(m.d.flip_flops()[0], ff);
+  EXPECT_TRUE(m.d.cell(in).fixed);   // ports are placement-fixed
+  EXPECT_FALSE(m.d.cell(ff).fixed);
+}
+
+TEST(Design, AreaAndLeakageTotals) {
+  Mini m;
+  m.d.add_cell("i1", m.lib.find(CellFunc::kInv, 1));
+  m.d.add_cell("i2", m.lib.find(CellFunc::kInv, 2));
+  const double expect = m.lib.cell(m.lib.find(CellFunc::kInv, 1)).area +
+                        m.lib.cell(m.lib.find(CellFunc::kInv, 2)).area;
+  EXPECT_DOUBLE_EQ(m.d.total_area(), expect);
+  EXPECT_GT(m.d.total_leakage(), 0.0);
+}
+
+}  // namespace
+}  // namespace insta::netlist

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "gen/placement_bench.hpp"
+#include "gen/presets.hpp"
+#include "gen/tune.hpp"
+#include "place/hpwl.hpp"
+#include "place/legalizer.hpp"
+#include "place/pin_slacks.hpp"
+#include "place/placer.hpp"
+#include "timing/delay_calc.hpp"
+
+namespace insta {
+namespace {
+
+gen::PlacementBenchSpec small_spec(std::uint64_t seed) {
+  gen::PlacementBenchSpec spec;
+  spec.logic = gen::tiny_spec(seed);
+  spec.logic.num_gates = 800;
+  spec.logic.num_ffs = 80;
+  spec.logic.false_path_frac = 0.0;
+  spec.logic.multicycle_frac = 0.0;
+  return spec;
+}
+
+void tune_bench(gen::PlacementBench& bench, double violate_frac) {
+  timing::TimingGraph graph(*bench.gd.design, bench.gd.constraints.clock_root);
+  timing::DelayModelParams dm;
+  dm.use_placement = true;
+  timing::DelayCalculator calc(*bench.gd.design, graph, dm);
+  timing::ArcDelays delays;
+  calc.compute_all(delays);
+  gen::tune_clock_period(graph, bench.gd.constraints, delays, violate_frac);
+}
+
+class Placer : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Placer, LegalizerProducesLegalRows) {
+  gen::PlacementBench bench = gen::build_placement_bench(small_spec(GetParam()));
+  netlist::Design& d = *bench.gd.design;
+  const place::CoreGeometry core{bench.core_width, bench.core_height,
+                                 bench.row_height, bench.num_rows};
+  place::legalize_rows(d, core);
+
+  // Every movable cell sits on a row center and inside the core; per-row
+  // intervals do not overlap.
+  std::unordered_map<int, std::vector<std::pair<double, double>>> rows;
+  for (std::size_t c = 0; c < d.num_cells(); ++c) {
+    const auto id = static_cast<netlist::CellId>(c);
+    const netlist::Cell& cell = d.cell(id);
+    if (cell.fixed || d.libcell_of(id).area <= 0.0) continue;
+    const double w = std::max(0.2, d.libcell_of(id).area / bench.row_height);
+    EXPECT_GE(cell.x - w * 0.5, -1e-6);
+    EXPECT_LE(cell.x + w * 0.5, bench.core_width + 1e-6);
+    const double row_f = cell.y / bench.row_height - 0.5;
+    const int row = static_cast<int>(std::lround(row_f));
+    EXPECT_NEAR(row_f, row, 1e-9) << "cell not on a row center";
+    rows[row].emplace_back(cell.x - w * 0.5, cell.x + w * 0.5);
+  }
+  for (auto& [row, spans] : rows) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second - 1e-9)
+          << "overlap in row " << row;
+    }
+  }
+}
+
+TEST_P(Placer, PinSlacksMatchEndpointSlacks) {
+  gen::PlacementBench bench = gen::build_placement_bench(small_spec(GetParam()));
+  tune_bench(bench, 0.1);
+  timing::TimingGraph graph(*bench.gd.design, bench.gd.constraints.clock_root);
+  timing::DelayModelParams dm;
+  dm.use_placement = true;
+  timing::DelayCalculator calc(*bench.gd.design, graph, dm);
+  timing::ArcDelays delays;
+  calc.compute_all(delays);
+  ref::GoldenSta sta(graph, bench.gd.constraints, delays);
+  sta.update_full();
+  const auto slacks = place::compute_pin_slacks(sta);
+  for (std::size_t e = 0; e < graph.endpoints().size(); ++e) {
+    const double eps = sta.endpoint_slack(static_cast<timing::EndpointId>(e));
+    const double pin = slacks[static_cast<std::size_t>(graph.endpoints()[e].pin)];
+    if (!std::isfinite(eps)) continue;
+    EXPECT_NEAR(eps, pin, 1e-9) << "endpoint " << e;
+  }
+  // The scalar backward view adds corner delays while the forward arrival
+  // RSSes sigmas, so intermediate pin slacks are pessimistic: the global
+  // minimum pin slack can only be at or below the WNS, never above it.
+  double min_slack = std::numeric_limits<double>::infinity();
+  for (const netlist::PinId p : graph.level_order()) {
+    min_slack = std::min(min_slack, slacks[static_cast<std::size_t>(p)]);
+  }
+  EXPECT_LE(min_slack, sta.wns() + 1e-6);
+}
+
+TEST_P(Placer, PlacementReducesHpwl) {
+  gen::PlacementBench bench = gen::build_placement_bench(small_spec(GetParam()));
+  tune_bench(bench, 0.1);
+  const double initial = place::total_hpwl(*bench.gd.design);
+  place::PlacerOptions opt;
+  opt.iterations = 120;
+  place::GlobalPlacer placer(bench, opt);
+  const place::PlaceResult res = placer.run();
+  EXPECT_LT(res.hpwl, initial) << "placement should beat a random scatter";
+  EXPECT_GT(res.hpwl, 0.0);
+}
+
+TEST_P(Placer, DensityForceSpreadsClumps) {
+  gen::PlacementBench bench = gen::build_placement_bench(small_spec(GetParam()));
+  tune_bench(bench, 0.1);
+  place::PlacerOptions opt;
+  opt.iterations = 150;
+  place::GlobalPlacer placer(bench, opt);
+  (void)placer.run();
+
+  // After placement + legalization, no density bin may hold a gross clump:
+  // max bin utilization stays within a small multiple of the average.
+  constexpr int kBins = 8;
+  const double bw = bench.core_width / kBins;
+  const double bh = bench.core_height / kBins;
+  std::vector<double> area(kBins * kBins, 0.0);
+  double total = 0.0;
+  const netlist::Design& d = *bench.gd.design;
+  for (std::size_t c = 0; c < d.num_cells(); ++c) {
+    const auto id = static_cast<netlist::CellId>(c);
+    const double a = d.libcell_of(id).area;
+    if (a <= 0.0) continue;
+    const int bx = std::clamp(static_cast<int>(d.cell(id).x / bw), 0, kBins - 1);
+    const int by = std::clamp(static_cast<int>(d.cell(id).y / bh), 0, kBins - 1);
+    area[static_cast<std::size_t>(by * kBins + bx)] += a;
+    total += a;
+  }
+  const double avg = total / (kBins * kBins);
+  double worst = 0.0;
+  for (const double a : area) worst = std::max(worst, a);
+  EXPECT_LT(worst, 4.0 * avg) << "placement left a gross density clump";
+}
+
+TEST_P(Placer, InstaPlaceModeRunsAndRecordsPhases) {
+  gen::PlacementBench bench = gen::build_placement_bench(small_spec(GetParam()));
+  tune_bench(bench, 0.1);
+  place::PlacerOptions opt;
+  opt.iterations = 60;
+  opt.mode = place::TimingMode::kInstaPlace;
+  place::GlobalPlacer placer(bench, opt);
+  const place::PlaceResult res = placer.run();
+  EXPECT_GT(res.phases.refreshes, 0);
+  EXPECT_GT(res.phases.timer_sec, 0.0);
+  EXPECT_GT(res.phases.transfer_sec, 0.0);
+  EXPECT_GT(res.phases.backward_sec, 0.0);
+  EXPECT_GT(res.hpwl, 0.0);
+}
+
+TEST_P(Placer, NetWeightModeRuns) {
+  gen::PlacementBench bench = gen::build_placement_bench(small_spec(GetParam()));
+  tune_bench(bench, 0.1);
+  place::PlacerOptions opt;
+  opt.iterations = 60;
+  opt.mode = place::TimingMode::kNetWeight;
+  place::GlobalPlacer placer(bench, opt);
+  const place::PlaceResult res = placer.run();
+  EXPECT_GT(res.phases.refreshes, 0);
+  EXPECT_GT(res.hpwl, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Placer, ::testing::Values(51u, 52u, 53u));
+
+}  // namespace
+}  // namespace insta

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "gen/logic_block.hpp"
+#include "gen/presets.hpp"
+#include "gen/tune.hpp"
+#include "ref/golden_sta.hpp"
+#include "size/power_recovery.hpp"
+#include "timing/delay_calc.hpp"
+
+namespace insta {
+namespace {
+
+struct Fixture {
+  gen::GeneratedDesign gd;
+  std::unique_ptr<timing::TimingGraph> graph;
+  std::unique_ptr<timing::DelayCalculator> calc;
+  timing::ArcDelays delays;
+  std::unique_ptr<ref::GoldenSta> sta;
+
+  explicit Fixture(std::uint64_t seed, double violate) {
+    gen::LogicBlockSpec spec = gen::tiny_spec(seed);
+    spec.num_gates = 800;
+    spec.num_ffs = 64;
+    spec.false_path_frac = 0.0;
+    spec.multicycle_frac = 0.0;
+    gd = gen::build_logic_block(spec);
+    graph = std::make_unique<timing::TimingGraph>(*gd.design,
+                                                  gd.constraints.clock_root);
+    calc = std::make_unique<timing::DelayCalculator>(*gd.design, *graph);
+    calc->compute_all(delays);
+    gen::tune_clock_period(*graph, gd.constraints, delays, violate);
+    sta = std::make_unique<ref::GoldenSta>(*graph, gd.constraints, delays);
+    sta->update_full();
+  }
+};
+
+class PowerRecovery : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PowerRecovery, RecoversLeakageWithoutTimingDamage) {
+  Fixture f(GetParam(), 0.05);
+  size::PowerRecovery recovery(*f.gd.design, *f.graph, *f.calc, *f.sta, {});
+  const size::PowerRecoveryResult r = recovery.run();
+  EXPECT_GT(r.cells_downsized, 0);
+  EXPECT_LT(r.final_leakage, r.initial_leakage);
+  EXPECT_LE(r.final_area, r.initial_area);
+  // Timing-constrained: WNS/TNS must not materially degrade. Individual
+  // moves were validated on INSTA (float, estimate_eco); allow a small
+  // double-vs-float + eco-drift band on the final exact measurement.
+  EXPECT_GE(r.final_tns, r.initial_tns - 5.0);
+  EXPECT_GE(r.final_wns, r.initial_wns - 5.0);
+  // The golden engine reflects the committed netlist exactly.
+  timing::ArcDelays fresh_delays;
+  timing::DelayCalculator fresh_calc(*f.gd.design, *f.graph);
+  fresh_calc.compute_all(fresh_delays);
+  ref::GoldenSta fresh(*f.graph, f.gd.constraints, fresh_delays);
+  fresh.update_full();
+  EXPECT_NEAR(fresh.tns(), f.sta->tns(), 1e-6);
+}
+
+TEST_P(PowerRecovery, FrozenWhenEverythingIsCritical) {
+  // With a period that violates everywhere, every stage carries gradient
+  // and nothing may be downsized.
+  Fixture f(GetParam(), 0.05);
+  timing::Constraints brutal = f.gd.constraints;
+  brutal.clock_period *= 0.3;
+  ref::GoldenSta sta2(*f.graph, brutal, f.delays);
+  sta2.update_full();
+  size::PowerRecoveryOptions opt;
+  opt.tau = 50.0f;
+  size::PowerRecovery recovery(*f.gd.design, *f.graph, *f.calc, sta2, opt);
+  const size::PowerRecoveryResult r = recovery.run();
+  // Downsizing may still find gradient-free corners, but the TNS guard must
+  // hold them harmless.
+  EXPECT_GE(r.final_tns, r.initial_tns - 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PowerRecovery,
+                         ::testing::Values(141u, 142u, 143u));
+
+}  // namespace
+}  // namespace insta

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "gen/logic_block.hpp"
+#include "gen/presets.hpp"
+#include "gen/tune.hpp"
+#include "ref/golden_sta.hpp"
+#include "size/baseline_sizer.hpp"
+#include "size/insta_size.hpp"
+#include "timing/delay_calc.hpp"
+
+namespace insta {
+namespace {
+
+struct Fixture {
+  gen::GeneratedDesign gd;
+  std::unique_ptr<timing::TimingGraph> graph;
+  std::unique_ptr<timing::DelayCalculator> calc;
+  timing::ArcDelays delays;
+  std::unique_ptr<ref::GoldenSta> sta;
+
+  explicit Fixture(std::uint64_t seed) {
+    gen::LogicBlockSpec spec = gen::tiny_spec(seed);
+    spec.num_gates = 600;
+    spec.num_ffs = 60;
+    spec.false_path_frac = 0.0;
+    spec.multicycle_frac = 0.0;
+    gd = gen::build_logic_block(spec);
+    graph = std::make_unique<timing::TimingGraph>(*gd.design,
+                                                  gd.constraints.clock_root);
+    calc = std::make_unique<timing::DelayCalculator>(*gd.design, *graph);
+    calc->compute_all(delays);
+    gen::tune_clock_period(*graph, gd.constraints, delays, 0.12);
+    sta = std::make_unique<ref::GoldenSta>(*graph, gd.constraints, delays);
+    sta->update_full();
+  }
+};
+
+class Sizers : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Sizers, InstaSizeImprovesTns) {
+  Fixture f(GetParam());
+  size::InstaSizeOptions opt;
+  opt.max_passes = 6;
+  size::InstaSizer sizer(*f.gd.design, *f.graph, *f.calc, *f.sta, opt);
+  const size::SizerResult r = sizer.run();
+  EXPECT_LT(r.initial_tns, 0.0);
+  EXPECT_GT(r.final_tns, r.initial_tns) << "INSTA-Size should improve TNS";
+  EXPECT_GT(r.cells_sized, 0);
+  EXPECT_GT(r.backward_sec, 0.0);
+  // The golden engine was left consistent with the committed netlist.
+  ref::GoldenSta fresh(*f.graph, f.gd.constraints, f.delays);
+  fresh.update_full();
+  EXPECT_DOUBLE_EQ(fresh.tns(), f.sta->tns());
+}
+
+TEST_P(Sizers, BaselineSizerReducesViolations) {
+  Fixture f(GetParam());
+  size::BaselineSizerOptions opt;
+  opt.max_passes = 6;
+  size::BaselineSizer sizer(*f.gd.design, *f.graph, *f.calc, *f.sta, opt);
+  const size::SizerResult r = sizer.run();
+  EXPECT_GT(r.cells_sized, 0);
+  // WNS-first acceptance: WNS never degrades.
+  EXPECT_GE(r.final_wns, r.initial_wns - 1e-6);
+}
+
+TEST_P(Sizers, BothSizersProduceConsistentState) {
+  // The paper's Table II comparison (fewer cells, better TNS) is a
+  // benchmark-scale property measured by bench_table2_sizing; at unit-test
+  // scale we assert the integrity both flows must uphold: identical initial
+  // state, TNS not degraded by INSTA-Size, and a golden engine left exactly
+  // in sync with the committed netlists.
+  Fixture fa(GetParam());
+  size::InstaSizer a(*fa.gd.design, *fa.graph, *fa.calc, *fa.sta, {});
+  const auto ra = a.run();
+
+  Fixture fb(GetParam());
+  size::BaselineSizer b(*fb.gd.design, *fb.graph, *fb.calc, *fb.sta, {});
+  const auto rb = b.run();
+
+  EXPECT_DOUBLE_EQ(ra.initial_tns, rb.initial_tns);
+  EXPECT_GE(ra.final_tns, ra.initial_tns);
+  EXPECT_GE(rb.final_wns, rb.initial_wns - 1e-6);
+
+  for (auto* f : {&fa, &fb}) {
+    timing::ArcDelays fresh_delays;
+    timing::DelayCalculator fresh_calc(*f->gd.design, *f->graph);
+    fresh_calc.compute_all(fresh_delays);
+    ref::GoldenSta fresh(*f->graph, f->gd.constraints, fresh_delays);
+    fresh.update_full();
+    EXPECT_NEAR(fresh.tns(), f->sta->tns(), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Sizers, ::testing::Values(41u, 42u, 43u));
+
+}  // namespace
+}  // namespace insta

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/topk.hpp"
+#include "util/rng.hpp"
+
+namespace insta {
+namespace {
+
+/// A test harness around one Top-K store.
+struct Store {
+  std::vector<float> arr, mu, sig;
+  std::vector<std::int32_t> sp;
+  std::int32_t count = 0;
+  std::int32_t k;
+
+  explicit Store(std::int32_t k_in) : k(k_in) {
+    arr.resize(static_cast<std::size_t>(k));
+    mu.resize(static_cast<std::size_t>(k));
+    sig.resize(static_cast<std::size_t>(k));
+    sp.resize(static_cast<std::size_t>(k));
+  }
+  core::TopKView view() {
+    return {arr.data(), mu.data(), sig.data(), sp.data(), k, &count};
+  }
+  void insert(float a, std::int32_t s) {
+    core::topk_insert(view(), a, a - 1.0f, 1.0f, s);
+  }
+};
+
+TEST(TopK, InsertIntoEmpty) {
+  Store st(4);
+  st.insert(10.0f, 7);
+  EXPECT_EQ(st.count, 1);
+  EXPECT_EQ(st.arr[0], 10.0f);
+  EXPECT_EQ(st.sp[0], 7);
+}
+
+TEST(TopK, MaintainsDescendingOrder) {
+  Store st(4);
+  st.insert(5.0f, 1);
+  st.insert(9.0f, 2);
+  st.insert(7.0f, 3);
+  ASSERT_EQ(st.count, 3);
+  EXPECT_EQ(st.arr[0], 9.0f);
+  EXPECT_EQ(st.arr[1], 7.0f);
+  EXPECT_EQ(st.arr[2], 5.0f);
+  EXPECT_EQ(st.sp[0], 2);
+  EXPECT_EQ(st.sp[1], 3);
+  EXPECT_EQ(st.sp[2], 1);
+}
+
+TEST(TopK, DuplicateStartpointKeepsMax) {
+  Store st(4);
+  st.insert(5.0f, 1);
+  st.insert(9.0f, 1);  // same SP, larger: replaces and bubbles up
+  st.insert(3.0f, 1);  // same SP, smaller: ignored
+  EXPECT_EQ(st.count, 1);
+  EXPECT_EQ(st.arr[0], 9.0f);
+}
+
+TEST(TopK, DuplicateStartpointBubblesUp) {
+  Store st(4);
+  st.insert(9.0f, 1);
+  st.insert(5.0f, 2);
+  st.insert(4.0f, 3);
+  st.insert(12.0f, 3);  // SP 3 jumps to the front
+  ASSERT_EQ(st.count, 3);
+  EXPECT_EQ(st.sp[0], 3);
+  EXPECT_EQ(st.arr[0], 12.0f);
+  EXPECT_EQ(st.sp[1], 1);
+  EXPECT_EQ(st.sp[2], 2);
+}
+
+TEST(TopK, FullListDropsSmallest) {
+  Store st(2);
+  st.insert(5.0f, 1);
+  st.insert(9.0f, 2);
+  st.insert(7.0f, 3);  // evicts 5.0 (SP 1)
+  ASSERT_EQ(st.count, 2);
+  EXPECT_EQ(st.arr[0], 9.0f);
+  EXPECT_EQ(st.arr[1], 7.0f);
+  st.insert(1.0f, 4);  // smaller than the smallest kept: rejected
+  EXPECT_EQ(st.arr[1], 7.0f);
+}
+
+TEST(TopK, K1DegeneratesToMax) {
+  Store st(1);
+  for (const float v : {3.0f, 8.0f, 5.0f, 11.0f, 2.0f}) {
+    st.insert(v, static_cast<std::int32_t>(v));
+  }
+  EXPECT_EQ(st.count, 1);
+  EXPECT_EQ(st.arr[0], 11.0f);
+}
+
+/// Oracle: per startpoint keep the max arrival; then the Top-K list must be
+/// exactly the K largest of those, in descending order.
+class TopKOracle : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TopKOracle, MatchesMapOracle) {
+  const auto [k, num_sps] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed);
+    Store list(k);
+    Store heap(k);
+    std::map<std::int32_t, float> oracle;
+    for (int i = 0; i < 500; ++i) {
+      const auto sp = static_cast<std::int32_t>(rng.uniform_int(0, num_sps - 1));
+      const auto a = static_cast<float>(rng.uniform(0.0, 100.0));
+      list.insert(a, sp);
+      core::topk_insert_heap(heap.view(), a, a - 1.0f, 1.0f, sp);
+      auto [it, inserted] = oracle.try_emplace(sp, a);
+      if (!inserted && a > it->second) it->second = a;
+    }
+    core::topk_heap_finalize(heap.view());
+
+    std::vector<std::pair<float, std::int32_t>> expect;
+    for (const auto& [sp, a] : oracle) expect.emplace_back(a, sp);
+    std::sort(expect.begin(), expect.end(), std::greater<>());
+    if (expect.size() > static_cast<std::size_t>(k)) {
+      expect.resize(static_cast<std::size_t>(k));
+    }
+
+    ASSERT_EQ(list.count, static_cast<std::int32_t>(expect.size()));
+    ASSERT_EQ(heap.count, static_cast<std::int32_t>(expect.size()));
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(list.arr[i], expect[i].first) << "seed " << seed << " i " << i;
+      EXPECT_EQ(list.sp[i], expect[i].second);
+      EXPECT_EQ(heap.arr[i], expect[i].first);
+      EXPECT_EQ(heap.sp[i], expect[i].second);
+    }
+    // The auxiliary mu/sig payloads travel with their entry.
+    for (std::int32_t i = 0; i < list.count; ++i) {
+      EXPECT_EQ(list.mu[static_cast<std::size_t>(i)],
+                list.arr[static_cast<std::size_t>(i)] - 1.0f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopKOracle,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 32),
+                       ::testing::Values(3, 16, 64)));
+
+/// With K large enough to hold every startpoint, the list is exactly the
+/// per-SP maxima (the property the K >= #startpoints engine tests rely on).
+TEST(TopKOracle, ExactWhenKCoversAllStartpoints) {
+  util::Rng rng(99);
+  Store st(64);
+  std::map<std::int32_t, float> oracle;
+  for (int i = 0; i < 2000; ++i) {
+    const auto sp = static_cast<std::int32_t>(rng.uniform_int(0, 49));
+    const auto a = static_cast<float>(rng.uniform(0.0, 1000.0));
+    st.insert(a, sp);
+    auto [it, inserted] = oracle.try_emplace(sp, a);
+    if (!inserted && a > it->second) it->second = a;
+  }
+  ASSERT_EQ(st.count, static_cast<std::int32_t>(oracle.size()));
+  for (std::int32_t i = 0; i < st.count; ++i) {
+    EXPECT_EQ(st.arr[static_cast<std::size_t>(i)],
+              oracle.at(st.sp[static_cast<std::size_t>(i)]));
+  }
+}
+
+}  // namespace
+}  // namespace insta

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/memory.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace insta::util {
+namespace {
+
+TEST(Check, ThrowsWithLocation) {
+  EXPECT_NO_THROW(check(true, "fine"));
+  try {
+    check(false, "boom");
+    FAIL() << "check(false) must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Stats, PearsonPerfectAndAnti) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonKnownValue) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {1, 3, 2, 4};
+  // Hand-computed: cov = 1.0, var_x = var_y = 1.25 -> r = 1.0/1.25 = 0.8.
+  EXPECT_NEAR(pearson(xs, ys), 0.8, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  const std::vector<double> xs = {3, 3, 3};
+  EXPECT_EQ(pearson(xs, xs), 1.0);
+  const std::vector<double> ys = {1, 2, 3};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+  EXPECT_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Stats, Mismatch) {
+  const std::vector<double> ref = {1, 2, 3};
+  const std::vector<double> test = {1.5, 2, 1};
+  const MismatchStats mm = mismatch(ref, test);
+  EXPECT_NEAR(mm.avg_abs, (0.5 + 0 + 2) / 3.0, 1e-12);
+  EXPECT_EQ(mm.max_abs, 2.0);
+  EXPECT_EQ(mm.max_index, 2u);
+  EXPECT_NEAR(mm.rmse, std::sqrt((0.25 + 0 + 4) / 3.0), 1e-12);
+}
+
+TEST(Stats, Summary) {
+  const std::vector<double> xs = {2, 4, 6, 8};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.min, 2);
+  EXPECT_EQ(s.max, 8);
+  EXPECT_EQ(s.mean, 5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0), 1e-12);
+}
+
+TEST(Stats, RSquaredIdentity) {
+  const std::vector<double> xs = {1, 2, 3};
+  EXPECT_EQ(r_squared_identity(xs, xs), 1.0);
+  const std::vector<double> ys = {1.1, 2.0, 2.9};
+  EXPECT_GT(r_squared_identity(xs, ys), 0.97);
+}
+
+TEST(Stats, FormatCorrelation) {
+  EXPECT_EQ(format_correlation(0.999943), "0.99994");
+  EXPECT_EQ(format_correlation(1.0), "1.00000");
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    // Different seeds diverge almost surely.
+  }
+  EXPECT_NE(a(), c());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); }, 16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksSum) {
+  ThreadPool pool(3);
+  std::atomic<long long> total{0};
+  pool.parallel_for_chunks(1, 1001, [&](std::size_t lo, std::size_t hi) {
+    long long local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += static_cast<long long>(i);
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), 500500);  // [1, 1001) covers 1..1000 inclusive
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  ThreadPool pool(2);
+  int runs = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++runs; });
+  EXPECT_EQ(runs, 0);
+  std::atomic<int> small{0};
+  pool.parallel_for(0, 3, [&](std::size_t) { small.fetch_add(1); });
+  EXPECT_EQ(small.load(), 3);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"a", "long-header"});
+  t.add_row({"xx", "1"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| a  | long-header |"), std::string::npos);
+  EXPECT_NE(s.find("| xx | 1           |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Memory, RssIsPositiveAndOrdered) {
+  EXPECT_GT(current_rss_bytes(), 0u);
+  EXPECT_GE(peak_rss_bytes(), current_rss_bytes() / 2);
+  EXPECT_NEAR(to_gib(1ull << 30), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace insta::util
