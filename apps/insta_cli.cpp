@@ -8,6 +8,12 @@
 //                                            run a sizer and save the result
 //   insta_cli buffer --in d.inet --out o.inet
 //                                            run INSTA-Buffer and save
+//   insta_cli lint --in d.inet [--max-reports N] [--strict 1] [--audit 1]
+//                                            static design/graph checks;
+//                                            exit 1 on errors (--strict:
+//                                            also on warnings; --audit: run
+//                                            the engines and audit Top-K
+//                                            invariants post-propagation)
 //   insta_cli selftest                       end-to-end smoke test (tmpfile)
 
 #include <cmath>
@@ -16,6 +22,8 @@
 #include <map>
 #include <string>
 
+#include "analysis/engine_audit.hpp"
+#include "analysis/linter.hpp"
 #include "core/engine.hpp"
 #include "gen/logic_block.hpp"
 #include "gen/tune.hpp"
@@ -180,6 +188,73 @@ int cmd_buffer(const Args& args) {
   return 0;
 }
 
+int cmd_lint(const Args& args) {
+  util::check(args.has("in"), "lint: --in is required");
+  io::LoadedDesign loaded;
+  try {
+    // Skip the loader's validate(): it throws on the *first* structural
+    // violation, while the linter reports them all as diagnostics.
+    loaded = io::load_design_file(args.get("in", ""), /*validate=*/false);
+  } catch (const util::CheckError& e) {
+    analysis::LintReport report;
+    analysis::Diagnostic d;
+    d.rule = "design-load";
+    d.severity = analysis::Severity::kError;
+    d.message = std::string("design failed to load: ") + e.what();
+    report.add(std::move(d));
+    std::printf("%s", report.str().c_str());
+    return 1;
+  }
+
+  analysis::LintOptions opt;
+  opt.max_reports_per_rule =
+      static_cast<std::size_t>(args.get_num("max-reports", 20));
+  analysis::Linter linter(*loaded.design);
+  linter.with_constraints(loaded.constraints).with_options(opt);
+
+  // Design-stage rules run first. Graph construction and the delay
+  // calculator assume a structurally valid design (the loader's validate()
+  // was skipped above), so they only run once the design-stage report is
+  // error-free; a CheckError during construction still becomes a diagnostic.
+  analysis::LintReport report = linter.run();
+
+  std::unique_ptr<timing::TimingGraph> graph;
+  std::unique_ptr<timing::DelayCalculator> calc;
+  timing::ArcDelays delays;
+  if (!report.has_errors()) {
+    try {
+      graph = std::make_unique<timing::TimingGraph>(
+          *loaded.design, loaded.constraints.clock_roots());
+      calc = std::make_unique<timing::DelayCalculator>(*loaded.design, *graph);
+      calc->compute_all(delays);
+      linter.with_graph(*graph).with_delays(delays);
+      report = linter.run();
+    } catch (const util::CheckError& e) {
+      graph.reset();
+      analysis::Diagnostic d;
+      d.rule = "graph-construction";
+      d.severity = analysis::Severity::kError;
+      d.message = std::string("timing graph construction failed: ") + e.what();
+      report.add(std::move(d));
+    }
+  }
+
+  if (args.has("audit") && graph != nullptr && !report.has_errors()) {
+    ref::GoldenSta sta(*graph, loaded.constraints, delays, {});
+    sta.update_full();
+    core::Engine engine(sta, {});
+    engine.run_forward();
+    report.merge(analysis::audit_engine(engine));
+  }
+
+  std::printf("%s", report.str().c_str());
+  if (report.has_errors()) return 1;
+  if (args.has("strict") && report.count(analysis::Severity::kWarning) > 0) {
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_selftest() {
   const std::string path = "/tmp/insta_cli_selftest.inet";
   {
@@ -199,13 +274,18 @@ int cmd_selftest() {
     Args args(4, const_cast<char**>(argv), 0);
     util::check(cmd_size(args) == 0, "selftest: size failed");
   }
+  {
+    const char* argv[] = {"--in", path.c_str(), "--audit", "1"};
+    Args args(4, const_cast<char**>(argv), 0);
+    util::check(cmd_lint(args) == 0, "selftest: lint failed");
+  }
   std::printf("selftest passed\n");
   return 0;
 }
 
 void usage() {
   std::fprintf(stderr,
-               "usage: insta_cli <generate|report|size|buffer|selftest> "
+               "usage: insta_cli <generate|report|size|buffer|lint|selftest> "
                "[--option value ...]\n");
 }
 
@@ -222,6 +302,7 @@ int main(int argc, char** argv) {
     if (cmd == "report") return cmd_report(Args(argc, argv, 2));
     if (cmd == "size") return cmd_size(Args(argc, argv, 2));
     if (cmd == "buffer") return cmd_buffer(Args(argc, argv, 2));
+    if (cmd == "lint") return cmd_lint(Args(argc, argv, 2));
     if (cmd == "selftest") return cmd_selftest();
     usage();
     return 2;

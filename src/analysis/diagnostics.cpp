@@ -1,0 +1,86 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+
+namespace insta::analysis {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string out = severity_name(severity);
+  out += "[";
+  out += rule;
+  out += "]";
+  if (!where.empty()) {
+    out += " ";
+    out += where;
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void LintReport::add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+void LintReport::add_suppressed(std::string_view rule, std::size_t n) {
+  if (n == 0) return;
+  const auto it = std::find_if(
+      suppressed_.begin(), suppressed_.end(),
+      [&](const Suppressed& s) { return s.rule == rule; });
+  if (it != suppressed_.end()) {
+    it->count += n;
+  } else {
+    suppressed_.push_back({std::string(rule), n});
+  }
+}
+
+std::size_t LintReport::count(Severity s) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::size_t LintReport::count_rule(std::string_view rule) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.rule == rule) ++n;
+  }
+  for (const Suppressed& s : suppressed_) {
+    if (s.rule == rule) n += s.count;
+  }
+  return n;
+}
+
+std::string LintReport::str() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.str();
+    out += "\n";
+  }
+  for (const Suppressed& s : suppressed_) {
+    out += "note[" + s.rule + "]: " + std::to_string(s.count) +
+           " further finding(s) suppressed\n";
+  }
+  out += "lint: " + std::to_string(count(Severity::kError)) + " error(s), " +
+         std::to_string(count(Severity::kWarning)) + " warning(s), " +
+         std::to_string(count(Severity::kInfo)) + " info\n";
+  return out;
+}
+
+void LintReport::merge(const LintReport& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+  for (const Suppressed& s : other.suppressed_) {
+    add_suppressed(s.rule, s.count);
+  }
+}
+
+}  // namespace insta::analysis

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace insta::analysis {
+
+/// Severity of a lint diagnostic.
+///
+/// kError   — the design/graph violates an invariant an engine relies on;
+///            propagation would throw, hang, or silently produce garbage.
+/// kWarning — legal but almost certainly unintended (an endpoint nothing
+///            can reach, a net that drives nothing).
+/// kInfo    — observations useful when debugging a design.
+enum class Severity : std::uint8_t { kInfo, kWarning, kError };
+
+/// Short lowercase name of a severity ("error", "warning", "info").
+[[nodiscard]] const char* severity_name(Severity s);
+
+/// Kind of design object a diagnostic points at.
+enum class ObjectKind : std::uint8_t {
+  kNone,     ///< design-wide finding, no single location
+  kPin,
+  kNet,
+  kCell,
+  kLibCell,
+  kArc,      ///< timing-graph arc id
+  kEndpoint, ///< timing-graph endpoint id
+};
+
+/// One structured lint finding: a stable rule id, a severity, a location
+/// (object kind + id + display name) and a human-readable message.
+struct Diagnostic {
+  std::string rule;              ///< stable rule id, e.g. "combinational-loop"
+  Severity severity = Severity::kError;
+  ObjectKind kind = ObjectKind::kNone;
+  std::int32_t object = -1;      ///< id within the kind's id space; -1 none
+  std::string where;             ///< display name, e.g. "u42/A1" or "net n17"
+  std::string message;
+
+  /// One-line rendering: "error[combinational-loop] u42/A1: message".
+  [[nodiscard]] std::string str() const;
+};
+
+/// The result of a lint run: the collected diagnostics plus per-rule
+/// overflow counts (rules cap how many diagnostics they emit so a
+/// pathological design cannot produce millions of lines; the counts are
+/// still exact).
+class LintReport {
+ public:
+  /// Appends a diagnostic.
+  void add(Diagnostic d);
+
+  /// Records `n` further findings of `rule` that were elided by the
+  /// per-rule reporting cap.
+  void add_suppressed(std::string_view rule, std::size_t n);
+
+  [[nodiscard]] std::span<const Diagnostic> diagnostics() const {
+    return diags_;
+  }
+
+  /// Number of reported diagnostics with the given severity.
+  [[nodiscard]] std::size_t count(Severity s) const;
+
+  /// Number of reported diagnostics of one rule (suppressed ones included).
+  [[nodiscard]] std::size_t count_rule(std::string_view rule) const;
+
+  [[nodiscard]] bool has_errors() const { return count(Severity::kError) > 0; }
+  [[nodiscard]] bool empty() const { return diags_.empty(); }
+  [[nodiscard]] std::size_t size() const { return diags_.size(); }
+
+  /// Multi-line listing of every diagnostic plus a one-line summary.
+  [[nodiscard]] std::string str() const;
+
+  /// Merges another report into this one (diagnostics and overflow counts).
+  void merge(const LintReport& other);
+
+ private:
+  struct Suppressed {
+    std::string rule;
+    std::size_t count = 0;
+  };
+  std::vector<Diagnostic> diags_;
+  std::vector<Suppressed> suppressed_;
+};
+
+}  // namespace insta::analysis

@@ -1,0 +1,94 @@
+#include "analysis/engine_audit.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace insta::analysis {
+
+namespace {
+
+void emit(LintReport& out, const std::string& where, std::string message) {
+  Diagnostic d;
+  d.rule = "topk-invariant";
+  d.severity = Severity::kError;
+  d.kind = ObjectKind::kPin;
+  d.where = where;
+  d.message = std::move(message);
+  out.add(std::move(d));
+}
+
+}  // namespace
+
+void audit_topk_entries(std::span<const core::Engine::TopKEntry> entries,
+                        int k, const std::string& where, LintReport& out) {
+  if (entries.size() > static_cast<std::size_t>(k)) {
+    emit(out, where,
+         "Top-K list holds " + std::to_string(entries.size()) +
+             " entries, capacity " + std::to_string(k));
+  }
+  std::unordered_set<std::int32_t> seen;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const core::Engine::TopKEntry& e = entries[i];
+    if (!std::isfinite(e.arr) || !std::isfinite(e.mu) ||
+        !std::isfinite(e.sig)) {
+      emit(out, where,
+           "entry " + std::to_string(i) + " has NaN/Inf arrival values");
+    }
+    if (e.sig < 0.0f) {
+      emit(out, where,
+           "entry " + std::to_string(i) + " has negative sigma " +
+               std::to_string(e.sig));
+    }
+    if (e.sp < 0) {
+      emit(out, where,
+           "entry " + std::to_string(i) + " has invalid startpoint tag " +
+               std::to_string(e.sp));
+    } else if (!seen.insert(e.sp).second) {
+      emit(out, where,
+           "duplicate startpoint " + std::to_string(e.sp) +
+               " in Top-K list (uniqueness invariant of Algorithm 2)");
+    }
+    if (i > 0 && entries[i - 1].arr < e.arr) {
+      emit(out, where,
+           "arrivals not sorted descending at entry " + std::to_string(i) +
+               " (" + std::to_string(entries[i - 1].arr) + " < " +
+               std::to_string(e.arr) + ")");
+    }
+  }
+}
+
+LintReport audit_engine(const core::Engine& engine) {
+  LintReport report;
+  const netlist::Design& design = engine.graph().design();
+  const int k = engine.options().top_k;
+  for (std::size_t pi = 0; pi < design.num_pins(); ++pi) {
+    const auto pin = static_cast<netlist::PinId>(pi);
+    if (engine.graph().level_of(pin) < 0) continue;  // clock network
+    for (const netlist::RiseFall rf : netlist::kBothTransitions) {
+      const std::vector<core::Engine::TopKEntry> entries =
+          engine.arrivals(pin, rf);
+      if (entries.empty()) continue;
+      audit_topk_entries(entries, k,
+                         design.pin_name(pin) +
+                             (rf == netlist::RiseFall::kRise ? " (rise)"
+                                                             : " (fall)"),
+                         report);
+    }
+  }
+  const std::span<const float> slacks = engine.endpoint_slacks();
+  for (std::size_t e = 0; e < slacks.size(); ++e) {
+    if (!std::isnan(slacks[e])) continue;
+    Diagnostic d;
+    d.rule = "topk-invariant";
+    d.severity = Severity::kError;
+    d.kind = ObjectKind::kEndpoint;
+    d.object = static_cast<std::int32_t>(e);
+    d.where = design.pin_name(
+        engine.graph().endpoints()[e].pin);
+    d.message = "endpoint slack is NaN after propagation";
+    report.add(std::move(d));
+  }
+  return report;
+}
+
+}  // namespace insta::analysis

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "analysis/diagnostics.hpp"
+#include "core/engine.hpp"
+
+namespace insta::analysis {
+
+/// Audits one pin/transition's Top-K arrival list against the invariants
+/// Algorithm 2 maintains: at most `k` entries, corner arrivals sorted
+/// descending, startpoint tags unique and non-negative, all values finite,
+/// sigmas non-negative. Emits "topk-invariant" diagnostics into `out`.
+/// Exposed separately from audit_engine so tests can feed crafted lists.
+void audit_topk_entries(std::span<const core::Engine::TopKEntry> entries,
+                        int k, const std::string& where, LintReport& out);
+
+/// Post-propagation audit hook: sweeps every pin/transition Top-K store of
+/// an Engine on which run_forward() has completed, plus the endpoint slack
+/// array (NaN slacks). Cheap relative to propagation; run it after forward
+/// passes in debug flows to catch merge-kernel corruption at the source.
+[[nodiscard]] LintReport audit_engine(const core::Engine& engine);
+
+}  // namespace insta::analysis

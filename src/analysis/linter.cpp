@@ -1,0 +1,44 @@
+#include "analysis/linter.hpp"
+
+namespace insta::analysis {
+
+Linter::Linter(const netlist::Design& design) : rules_(default_rules()) {
+  ctx_.design = &design;
+}
+
+Linter& Linter::with_constraints(const timing::Constraints& constraints) {
+  ctx_.constraints = &constraints;
+  return *this;
+}
+
+Linter& Linter::with_graph(const timing::TimingGraph& graph) {
+  ctx_.graph = &graph;
+  return *this;
+}
+
+Linter& Linter::with_delays(const timing::ArcDelays& delays) {
+  ctx_.delays = &delays;
+  return *this;
+}
+
+Linter& Linter::with_options(const LintOptions& options) {
+  options_ = options;
+  return *this;
+}
+
+Linter& Linter::add_rule(std::unique_ptr<Rule> rule) {
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+LintReport Linter::run() const {
+  LintContext ctx = ctx_;
+  ctx.max_reports_per_rule = options_.max_reports_per_rule;
+  LintReport report;
+  for (const auto& rule : rules_) {
+    rule->run(ctx, report);
+  }
+  return report;
+}
+
+}  // namespace insta::analysis

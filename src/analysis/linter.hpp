@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/rules.hpp"
+
+namespace insta::analysis {
+
+/// Options of a lint run.
+struct LintOptions {
+  /// Reporting cap per rule; findings beyond it are counted, not listed.
+  std::size_t max_reports_per_rule = 20;
+};
+
+/// The timing-graph linter: statically checks a Design (and, when bound, its
+/// Constraints / TimingGraph / ArcDelays) against the invariants the timing
+/// engines rely on, and emits structured diagnostics instead of throwing on
+/// the first violation the way the engines' own precondition checks do.
+///
+/// Usage:
+///   analysis::Linter linter(design);
+///   linter.with_constraints(constraints).with_graph(graph);
+///   analysis::LintReport report = linter.run();
+///   if (report.has_errors()) { ... }
+///
+/// Design-stage rules always run. Graph- and delay-stage rules run only when
+/// the corresponding object is bound — a design with errors often cannot
+/// build a graph at all, which is exactly when a linter is most useful.
+class Linter {
+ public:
+  explicit Linter(const netlist::Design& design);
+
+  /// Binds optional inputs (all must outlive run()).
+  Linter& with_constraints(const timing::Constraints& constraints);
+  Linter& with_graph(const timing::TimingGraph& graph);
+  Linter& with_delays(const timing::ArcDelays& delays);
+  Linter& with_options(const LintOptions& options);
+
+  /// Appends a custom rule after the default set.
+  Linter& add_rule(std::unique_ptr<Rule> rule);
+
+  /// Runs every rule and returns the collected diagnostics.
+  [[nodiscard]] LintReport run() const;
+
+ private:
+  LintContext ctx_;
+  LintOptions options_;
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+}  // namespace insta::analysis

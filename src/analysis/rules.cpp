@@ -1,0 +1,475 @@
+#include "analysis/rules.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace insta::analysis {
+
+using netlist::CellFunc;
+using netlist::CellId;
+using netlist::kNullCell;
+using netlist::kNullNet;
+using netlist::kNullPin;
+using netlist::NetId;
+using netlist::Pin;
+using netlist::PinDir;
+using netlist::PinId;
+using netlist::PinRole;
+
+namespace {
+
+/// True if any of the given values is NaN or infinite.
+bool any_nonfinite(std::initializer_list<double> xs) {
+  return std::any_of(xs.begin(), xs.end(),
+                     [](double x) { return !std::isfinite(x); });
+}
+
+std::string net_where(const netlist::Design& d, NetId n) {
+  return "net " + d.net(n).name;
+}
+
+/// Forward data-edge walk used by the loop and reachability rules:
+/// calls `visit(to)` for every connectivity successor of `pin`.
+/// Edges: combinational cell data-input -> output (DFFs deliberately break
+/// the walk at D and CK), and net driver -> sinks.
+template <typename Fn>
+void for_each_successor(const netlist::Design& d, PinId pin_id, Fn&& visit) {
+  const Pin& p = d.pin(pin_id);
+  if (p.dir == PinDir::kInput) {
+    if (p.role == PinRole::kClock) return;
+    const CellFunc func = d.libcell_of(p.cell).func;
+    if (netlist::is_sequential(func) || !netlist::has_output(func)) return;
+    visit(d.output_pin(p.cell));
+    return;
+  }
+  if (p.net == kNullNet) return;
+  for (const PinId sink : d.net(p.net).sinks) visit(sink);
+}
+
+/// Number of connectivity predecessors of a pin under for_each_successor's
+/// edge relation (0 or 1 in a well-formed design).
+int predecessor_count(const netlist::Design& d, PinId pin_id) {
+  const Pin& p = d.pin(pin_id);
+  if (p.dir == PinDir::kInput) {
+    // Predecessor: the driver of its net, if any.
+    if (p.net == kNullNet) return 0;
+    return d.net(p.net).driver == kNullPin ? 0 : 1;
+  }
+  // Output pin: its cell's data inputs (combinational only).
+  const CellFunc func = d.libcell_of(p.cell).func;
+  if (netlist::is_sequential(func)) return 0;
+  return netlist::num_data_inputs(func);
+}
+
+}  // namespace
+
+// ---- LibertyValuesRule ------------------------------------------------------
+
+void LibertyValuesRule::run(const LintContext& ctx, LintReport& out) const {
+  RuleEmitter e(id(), ctx.max_reports_per_rule, out);
+  const netlist::Library& lib = ctx.design->library();
+  for (const netlist::LibCell& lc : lib.cells()) {
+    if (any_nonfinite({lc.area, lc.leakage, lc.input_cap, lc.slew_sens,
+                       lc.sigma_ratio, lc.setup, lc.hold, lc.intrinsic[0],
+                       lc.intrinsic[1], lc.drive_res[0], lc.drive_res[1],
+                       lc.slew_intrinsic[0], lc.slew_intrinsic[1],
+                       lc.slew_res[0], lc.slew_res[1], lc.clk2q[0],
+                       lc.clk2q[1]})) {
+      e.emit(Severity::kError, ObjectKind::kLibCell, lc.id, lc.name,
+             "library cell has NaN/Inf characterization values");
+      continue;
+    }
+    if (lc.sigma_ratio < 0.0) {
+      e.emit(Severity::kError, ObjectKind::kLibCell, lc.id, lc.name,
+             "negative POCV sigma_ratio " + std::to_string(lc.sigma_ratio));
+    }
+    if (lc.input_cap < 0.0 || lc.area < 0.0 || lc.drive_res[0] < 0.0 ||
+        lc.drive_res[1] < 0.0 || lc.slew_res[0] < 0.0 ||
+        lc.slew_res[1] < 0.0) {
+      e.emit(Severity::kWarning, ObjectKind::kLibCell, lc.id, lc.name,
+             "negative capacitance/area/resistance characterization");
+    }
+  }
+}
+
+// ---- UndrivenPinRule --------------------------------------------------------
+
+void UndrivenPinRule::run(const LintContext& ctx, LintReport& out) const {
+  RuleEmitter e(id(), ctx.max_reports_per_rule, out);
+  const netlist::Design& d = *ctx.design;
+  for (std::size_t pi = 0; pi < d.num_pins(); ++pi) {
+    const Pin& p = d.pins()[pi];
+    if (p.dir != PinDir::kInput || p.net != kNullNet) continue;
+    e.emit(Severity::kError, ObjectKind::kPin, static_cast<std::int32_t>(pi),
+           d.pin_name(static_cast<PinId>(pi)),
+           "input pin is not connected to any net");
+  }
+  for (std::size_t ni = 0; ni < d.num_nets(); ++ni) {
+    const netlist::Net& n = d.nets()[ni];
+    if (n.driver != kNullPin) continue;
+    e.emit(Severity::kError, ObjectKind::kNet, static_cast<std::int32_t>(ni),
+           net_where(d, static_cast<NetId>(ni)),
+           "net has no driver; its " + std::to_string(n.sinks.size()) +
+               " sink(s) float");
+  }
+}
+
+// ---- MultiDriverRule --------------------------------------------------------
+
+void MultiDriverRule::run(const LintContext& ctx, LintReport& out) const {
+  RuleEmitter e(id(), ctx.max_reports_per_rule, out);
+  const netlist::Design& d = *ctx.design;
+  // Count how many net connection lists reference each pin. In a well-formed
+  // design every pin appears at most once across all drivers and sink lists.
+  std::vector<std::int32_t> refs(d.num_pins(), 0);
+  for (std::size_t ni = 0; ni < d.num_nets(); ++ni) {
+    const netlist::Net& n = d.nets()[ni];
+    if (n.driver != kNullPin) {
+      ++refs[static_cast<std::size_t>(n.driver)];
+    }
+    for (const PinId s : n.sinks) {
+      ++refs[static_cast<std::size_t>(s)];
+      if (s == n.driver) {
+        e.emit(Severity::kError, ObjectKind::kNet,
+               static_cast<std::int32_t>(ni),
+               net_where(d, static_cast<NetId>(ni)),
+               "net lists its own driver " + d.pin_name(s) + " as a sink");
+      } else if (d.pin(s).dir == PinDir::kOutput) {
+        e.emit(Severity::kError, ObjectKind::kNet,
+               static_cast<std::int32_t>(ni),
+               net_where(d, static_cast<NetId>(ni)),
+               "output pin " + d.pin_name(s) +
+                   " appears in the sink list (second driver?)");
+      }
+    }
+  }
+  for (std::size_t pi = 0; pi < d.num_pins(); ++pi) {
+    if (refs[pi] <= 1) continue;
+    e.emit(Severity::kError, ObjectKind::kPin, static_cast<std::int32_t>(pi),
+           d.pin_name(static_cast<PinId>(pi)),
+           "pin is referenced by " + std::to_string(refs[pi]) +
+               " net connections (must be exactly one)");
+  }
+}
+
+// ---- PinNetMismatchRule -----------------------------------------------------
+
+void PinNetMismatchRule::run(const LintContext& ctx, LintReport& out) const {
+  RuleEmitter e(id(), ctx.max_reports_per_rule, out);
+  const netlist::Design& d = *ctx.design;
+  for (std::size_t ni = 0; ni < d.num_nets(); ++ni) {
+    const netlist::Net& n = d.nets()[ni];
+    const auto net_id = static_cast<NetId>(ni);
+    if (n.driver != kNullPin) {
+      const Pin& p = d.pin(n.driver);
+      if (p.dir != PinDir::kOutput) {
+        e.emit(Severity::kError, ObjectKind::kNet,
+               static_cast<std::int32_t>(ni), net_where(d, net_id),
+               "driver " + d.pin_name(n.driver) + " is not an output pin");
+      }
+      if (p.net != net_id) {
+        e.emit(Severity::kError, ObjectKind::kNet,
+               static_cast<std::int32_t>(ni), net_where(d, net_id),
+               "driver " + d.pin_name(n.driver) +
+                   " back-links to a different net");
+      }
+    }
+    for (const PinId s : n.sinks) {
+      const Pin& p = d.pin(s);
+      if (p.dir == PinDir::kInput && p.net != net_id) {
+        e.emit(Severity::kError, ObjectKind::kNet,
+               static_cast<std::int32_t>(ni), net_where(d, net_id),
+               "sink " + d.pin_name(s) + " back-links to a different net");
+      }
+    }
+  }
+}
+
+// ---- CombinationalLoopRule --------------------------------------------------
+
+void CombinationalLoopRule::run(const LintContext& ctx,
+                                LintReport& out) const {
+  RuleEmitter e(id(), ctx.max_reports_per_rule, out);
+  const netlist::Design& d = *ctx.design;
+  const std::size_t num_pins = d.num_pins();
+
+  // Kahn's algorithm over the connectivity; whatever survives lies on or
+  // downstream of a cycle.
+  std::vector<std::int32_t> indeg(num_pins, 0);
+  std::deque<PinId> frontier;
+  for (std::size_t pi = 0; pi < num_pins; ++pi) {
+    indeg[pi] = predecessor_count(d, static_cast<PinId>(pi));
+    if (indeg[pi] == 0) frontier.push_back(static_cast<PinId>(pi));
+  }
+  std::size_t processed = 0;
+  while (!frontier.empty()) {
+    const PinId p = frontier.front();
+    frontier.pop_front();
+    ++processed;
+    for_each_successor(d, p, [&](PinId to) {
+      if (--indeg[static_cast<std::size_t>(to)] == 0) frontier.push_back(to);
+    });
+  }
+  if (processed == num_pins) return;
+
+  // Extract one representative cycle per strongly-connected remainder:
+  // follow successors within the remaining set until a pin repeats.
+  std::vector<char> remaining(num_pins, 0);
+  for (std::size_t pi = 0; pi < num_pins; ++pi) {
+    remaining[pi] = indeg[pi] > 0 ? 1 : 0;
+  }
+  std::vector<char> reported(num_pins, 0);
+  for (std::size_t pi = 0; pi < num_pins; ++pi) {
+    if (!remaining[pi] || reported[pi]) continue;
+    // Walk within the remaining set until revisiting a pin of this walk.
+    std::vector<PinId> path;
+    std::vector<std::int32_t> pos_in_path(num_pins, -1);
+    PinId cur = static_cast<PinId>(pi);
+    while (pos_in_path[static_cast<std::size_t>(cur)] < 0) {
+      pos_in_path[static_cast<std::size_t>(cur)] =
+          static_cast<std::int32_t>(path.size());
+      path.push_back(cur);
+      PinId next = kNullPin;
+      for_each_successor(d, cur, [&](PinId to) {
+        if (next == kNullPin && remaining[static_cast<std::size_t>(to)] &&
+            !reported[static_cast<std::size_t>(to)]) {
+          next = to;
+        }
+      });
+      if (next == kNullPin) break;  // walk dead-ends into a reported cycle
+      cur = next;
+    }
+    const std::int32_t start = pos_in_path[static_cast<std::size_t>(cur)];
+    if (start < 0 || path.empty() || path.back() == cur) {
+      // Dead-ended without closing a new cycle; mark the walk as seen so the
+      // scan terminates.
+      for (const PinId p : path) reported[static_cast<std::size_t>(p)] = 1;
+      continue;
+    }
+    std::string msg = "combinational cycle: ";
+    constexpr std::size_t kMaxNamed = 8;
+    for (std::size_t i = static_cast<std::size_t>(start);
+         i < path.size(); ++i) {
+      reported[static_cast<std::size_t>(path[i])] = 1;
+      if (i - static_cast<std::size_t>(start) < kMaxNamed) {
+        msg += d.pin_name(path[i]) + " -> ";
+      }
+    }
+    if (path.size() - static_cast<std::size_t>(start) > kMaxNamed) {
+      msg += "... -> ";
+    }
+    msg += d.pin_name(path[static_cast<std::size_t>(start)]);
+    e.emit(Severity::kError, ObjectKind::kPin,
+           static_cast<std::int32_t>(path[static_cast<std::size_t>(start)]),
+           d.pin_name(path[static_cast<std::size_t>(start)]), std::move(msg));
+    // Mark the rest of this walk handled too.
+    for (const PinId p : path) reported[static_cast<std::size_t>(p)] = 1;
+  }
+}
+
+// ---- UnconstrainedEndpointRule ----------------------------------------------
+
+void UnconstrainedEndpointRule::run(const LintContext& ctx,
+                                    LintReport& out) const {
+  RuleEmitter e(id(), ctx.max_reports_per_rule, out);
+  const netlist::Design& d = *ctx.design;
+  std::vector<char> reached(d.num_pins(), 0);
+  std::deque<PinId> frontier;
+  auto seed = [&](PinId p) {
+    if (p == kNullPin || reached[static_cast<std::size_t>(p)]) return;
+    reached[static_cast<std::size_t>(p)] = 1;
+    frontier.push_back(p);
+  };
+  for (const CellId port : d.input_ports()) seed(d.output_pin(port));
+  for (const CellId ff : d.flip_flops()) seed(d.output_pin(ff));
+  while (!frontier.empty()) {
+    const PinId p = frontier.front();
+    frontier.pop_front();
+    for_each_successor(d, p, [&](PinId to) { seed(to); });
+  }
+  auto check_endpoint = [&](PinId ep) {
+    if (reached[static_cast<std::size_t>(ep)]) return;
+    e.emit(Severity::kWarning, ObjectKind::kPin, ep, d.pin_name(ep),
+           "no startpoint reaches this endpoint; its slack is unconstrained "
+           "(+inf) and it escapes all timing optimization");
+  };
+  for (const CellId ff : d.flip_flops()) check_endpoint(d.input_pin(ff, 0));
+  for (const CellId port : d.output_ports()) {
+    check_endpoint(d.input_pin(port, 0));
+  }
+}
+
+// ---- ClockDomainRule --------------------------------------------------------
+
+void ClockDomainRule::run(const LintContext& ctx, LintReport& out) const {
+  if (ctx.constraints == nullptr) return;
+  const netlist::Design& d = *ctx.design;
+  RuleEmitter e(id(), ctx.max_reports_per_rule, out);
+  RuleEmitter topo("clock-tree-topology", ctx.max_reports_per_rule, out);
+
+  const std::vector<CellId> roots = ctx.constraints->clock_roots();
+  if (roots.empty()) {
+    if (!d.flip_flops().empty()) {
+      e.emit(Severity::kError, ObjectKind::kNone, -1, "",
+             "design has " + std::to_string(d.flip_flops().size()) +
+                 " flip-flops but the constraints declare no clock root");
+    }
+    return;
+  }
+
+  // Tolerant re-implementation of TimingGraph::mark_clock_network: instead
+  // of throwing on a non-buffer in the tree, report it and stop descending.
+  std::vector<char> clock_pin(d.num_pins(), 0);
+  std::deque<PinId> frontier;
+  for (const CellId root : roots) {
+    if (root < 0 || static_cast<std::size_t>(root) >= d.num_cells() ||
+        d.libcell_of(root).func != CellFunc::kPortIn) {
+      topo.emit(Severity::kError, ObjectKind::kCell, root,
+                root >= 0 && static_cast<std::size_t>(root) < d.num_cells()
+                    ? d.cell(root).name
+                    : std::string("<bad id>"),
+                "constraint clock root is not a primary input port");
+      continue;
+    }
+    const PinId root_pin = d.output_pin(root);
+    clock_pin[static_cast<std::size_t>(root_pin)] = 1;
+    frontier.push_back(root_pin);
+  }
+  while (!frontier.empty()) {
+    const PinId drv = frontier.front();
+    frontier.pop_front();
+    const NetId net = d.pin(drv).net;
+    if (net == kNullNet) continue;
+    for (const PinId sink : d.net(net).sinks) {
+      if (clock_pin[static_cast<std::size_t>(sink)]) continue;
+      clock_pin[static_cast<std::size_t>(sink)] = 1;
+      const Pin& sp = d.pin(sink);
+      if (sp.role == PinRole::kClock) continue;  // FF clock pin: a leaf
+      const CellFunc func = d.libcell_of(sp.cell).func;
+      if (func != CellFunc::kBuf && func != CellFunc::kInv) {
+        topo.emit(Severity::kError, ObjectKind::kPin, sink, d.pin_name(sink),
+                  "clock tree reaches a non-buffer/inverter cell (" +
+                      std::string(netlist::func_name(func)) +
+                      "); the graph builder rejects this topology");
+        continue;
+      }
+      const PinId out_pin = d.output_pin(sp.cell);
+      if (out_pin == kNullPin ||
+          clock_pin[static_cast<std::size_t>(out_pin)]) {
+        continue;
+      }
+      clock_pin[static_cast<std::size_t>(out_pin)] = 1;
+      frontier.push_back(out_pin);
+    }
+  }
+
+  for (const CellId ff : d.flip_flops()) {
+    const PinId ck = d.clock_pin(ff);
+    if (ck != kNullPin && clock_pin[static_cast<std::size_t>(ck)]) continue;
+    e.emit(Severity::kError, ObjectKind::kPin, ck, d.pin_name(ck),
+           "flip-flop clock pin is not reached by any constraint clock "
+           "tree; its endpoint has no capturing clock");
+  }
+}
+
+// ---- LevelConsistencyRule ---------------------------------------------------
+
+std::vector<std::size_t> find_level_inversions(
+    std::span<const std::pair<int, int>> edges) {
+  std::vector<std::size_t> bad;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto [from, to] = edges[i];
+    if (from < 0 || to < 0 || to <= from) bad.push_back(i);
+  }
+  return bad;
+}
+
+void LevelConsistencyRule::run(const LintContext& ctx,
+                               LintReport& out) const {
+  if (ctx.graph == nullptr) return;
+  const timing::TimingGraph& g = *ctx.graph;
+  const netlist::Design& d = *ctx.design;
+  RuleEmitter e(id(), ctx.max_reports_per_rule, out);
+
+  // Every data arc must climb strictly level-to-higher-level: this is the
+  // independence invariant Algorithm 1's level-parallel kernel relies on.
+  for (std::size_t pi = 0; pi < d.num_pins(); ++pi) {
+    for (const timing::ArcId aid : g.fanin(static_cast<PinId>(pi))) {
+      const timing::ArcRecord& a = g.arc(aid);
+      const int lf = g.level_of(a.from);
+      const int lt = g.level_of(a.to);
+      if (lf >= 0 && lt > lf) continue;
+      e.emit(Severity::kError, ObjectKind::kArc, aid,
+             d.pin_name(a.from) + " -> " + d.pin_name(a.to),
+             "data arc does not climb levels (" + std::to_string(lf) +
+                 " -> " + std::to_string(lt) +
+                 "); level-parallel propagation would race");
+    }
+  }
+  // The level buckets must agree with the per-pin level map.
+  for (std::size_t l = 0; l < g.num_levels(); ++l) {
+    for (const PinId p : g.level(l)) {
+      if (g.level_of(p) == static_cast<int>(l)) continue;
+      e.emit(Severity::kError, ObjectKind::kPin, p, d.pin_name(p),
+             "pin listed in level " + std::to_string(l) +
+                 " but level_of says " + std::to_string(g.level_of(p)));
+    }
+  }
+}
+
+// ---- DelayValuesRule --------------------------------------------------------
+
+void DelayValuesRule::run(const LintContext& ctx, LintReport& out) const {
+  if (ctx.delays == nullptr) return;
+  const timing::ArcDelays& delays = *ctx.delays;
+  RuleEmitter e(id(), ctx.max_reports_per_rule, out);
+
+  auto arc_where = [&](std::size_t arc) {
+    if (ctx.graph != nullptr && arc < ctx.graph->num_arcs()) {
+      const timing::ArcRecord& a =
+          ctx.graph->arc(static_cast<timing::ArcId>(arc));
+      return ctx.design->pin_name(a.from) + " -> " +
+             ctx.design->pin_name(a.to);
+    }
+    return "arc " + std::to_string(arc);
+  };
+
+  for (std::size_t arc = 0; arc < delays.size(); ++arc) {
+    for (const int rf : {0, 1}) {
+      const double mu = delays.mu[static_cast<std::size_t>(rf)][arc];
+      const double sigma = delays.sigma[static_cast<std::size_t>(rf)][arc];
+      if (!std::isfinite(mu)) {
+        e.emit(Severity::kError, ObjectKind::kArc,
+               static_cast<std::int32_t>(arc), arc_where(arc),
+               "arc delay mean is NaN/Inf");
+      } else if (mu < 0.0) {
+        e.emit(Severity::kWarning, ObjectKind::kArc,
+               static_cast<std::int32_t>(arc), arc_where(arc),
+               "negative arc delay mean " + std::to_string(mu));
+      }
+      if (!std::isfinite(sigma) || sigma < 0.0) {
+        e.emit(Severity::kError, ObjectKind::kArc,
+               static_cast<std::int32_t>(arc), arc_where(arc),
+               "arc POCV sigma is NaN/Inf or negative");
+      }
+    }
+  }
+}
+
+std::vector<std::unique_ptr<Rule>> default_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<LibertyValuesRule>());
+  rules.push_back(std::make_unique<UndrivenPinRule>());
+  rules.push_back(std::make_unique<MultiDriverRule>());
+  rules.push_back(std::make_unique<PinNetMismatchRule>());
+  rules.push_back(std::make_unique<CombinationalLoopRule>());
+  rules.push_back(std::make_unique<UnconstrainedEndpointRule>());
+  rules.push_back(std::make_unique<ClockDomainRule>());
+  rules.push_back(std::make_unique<LevelConsistencyRule>());
+  rules.push_back(std::make_unique<DelayValuesRule>());
+  return rules;
+}
+
+}  // namespace insta::analysis

@@ -1,0 +1,185 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "netlist/design.hpp"
+#include "timing/constraints.hpp"
+#include "timing/graph.hpp"
+#include "timing/types.hpp"
+
+namespace insta::analysis {
+
+/// Everything a rule may look at. Only `design` is mandatory; rules that
+/// need constraints, the timing graph or annotated delays no-op when the
+/// corresponding pointer is null (the Linter runs design-stage rules before
+/// the graph exists, because a broken design often cannot build a graph).
+struct LintContext {
+  const netlist::Design* design = nullptr;
+  const timing::Constraints* constraints = nullptr;
+  const timing::TimingGraph* graph = nullptr;
+  const timing::ArcDelays* delays = nullptr;
+  /// Reporting cap per rule; findings beyond it are counted, not listed.
+  std::size_t max_reports_per_rule = 20;
+};
+
+/// Emission helper that enforces the per-rule reporting cap and records the
+/// overflow count into the report when destroyed.
+class RuleEmitter {
+ public:
+  RuleEmitter(std::string_view rule, std::size_t cap, LintReport& out)
+      : rule_(rule), cap_(cap), out_(&out) {}
+  RuleEmitter(const RuleEmitter&) = delete;
+  RuleEmitter& operator=(const RuleEmitter&) = delete;
+  ~RuleEmitter() { out_->add_suppressed(rule_, overflow_); }
+
+  void emit(Severity sev, ObjectKind kind, std::int32_t object,
+            std::string where, std::string message) {
+    if (count_ >= cap_) {
+      ++overflow_;
+      return;
+    }
+    ++count_;
+    Diagnostic d;
+    d.rule = std::string(rule_);
+    d.severity = sev;
+    d.kind = kind;
+    d.object = object;
+    d.where = std::move(where);
+    d.message = std::move(message);
+    out_->add(std::move(d));
+  }
+
+  [[nodiscard]] std::size_t emitted() const { return count_; }
+
+ private:
+  std::string_view rule_;
+  std::size_t cap_ = 0;
+  std::size_t count_ = 0;
+  std::size_t overflow_ = 0;
+  LintReport* out_;
+};
+
+/// A composable static check. Each rule owns one (occasionally two closely
+/// related) stable rule id(s) and appends findings to the report.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  /// Primary stable rule id, e.g. "combinational-loop".
+  [[nodiscard]] virtual std::string_view id() const = 0;
+  virtual void run(const LintContext& ctx, LintReport& out) const = 0;
+};
+
+// ---- design-stage rules ----------------------------------------------------
+
+/// "liberty-value": NaN/Inf in any characterized LibCell field, negative
+/// sigma_ratio / resistances / capacitances (errors and warnings).
+class LibertyValuesRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "liberty-value"; }
+  void run(const LintContext& ctx, LintReport& out) const override;
+};
+
+/// "undriven-pin": input pins connected to nothing, and nets without a
+/// driver (every sink of such a net floats).
+class UndrivenPinRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "undriven-pin"; }
+  void run(const LintContext& ctx, LintReport& out) const override;
+};
+
+/// "multi-driver": an output pin claimed as driver by more than one net,
+/// an output pin appearing in a sink list, or a pin referenced by several
+/// nets' connection lists.
+class MultiDriverRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "multi-driver"; }
+  void run(const LintContext& ctx, LintReport& out) const override;
+};
+
+/// "pin-net-mismatch": a net's driver/sink list names a pin whose own
+/// `Pin::net` back-link disagrees, or a connection with the wrong direction.
+class PinNetMismatchRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "pin-net-mismatch";
+  }
+  void run(const LintContext& ctx, LintReport& out) const override;
+};
+
+/// "combinational-loop": a cycle through combinational cell input->output
+/// and net driver->sink edges. Each independent cycle is reported once with
+/// a sample of the pins on it. Such a design cannot be levelized
+/// (TimingGraph construction throws), so this rule is the structured
+/// pre-graph replacement for that failure.
+class CombinationalLoopRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "combinational-loop";
+  }
+  void run(const LintContext& ctx, LintReport& out) const override;
+};
+
+/// "unconstrained-endpoint": an endpoint pin (FF D or primary-output input)
+/// that no startpoint (primary input or FF Q) reaches through the
+/// connectivity; its slack would be reported as +infinity and it would
+/// silently escape all timing optimization.
+class UnconstrainedEndpointRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "unconstrained-endpoint";
+  }
+  void run(const LintContext& ctx, LintReport& out) const override;
+};
+
+/// "no-capture-clock" (+ "clock-tree-topology"): flip-flops whose clock pin
+/// the constraint clock trees never reach — their endpoints have no
+/// capturing clock — and clock trees that run through cells other than
+/// buffers/inverters. Needs ctx.constraints; no-ops without them.
+class ClockDomainRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "no-capture-clock";
+  }
+  void run(const LintContext& ctx, LintReport& out) const override;
+};
+
+// ---- graph/delay-stage rules ----------------------------------------------
+
+/// "level-inversion": a data arc of the timing graph whose head does not sit
+/// at a strictly higher topological level than its tail. Level-synchronous
+/// propagation (Algorithm 1) assumes this; a violation means pins within one
+/// level are not independent. Needs ctx.graph.
+class LevelConsistencyRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "level-inversion";
+  }
+  void run(const LintContext& ctx, LintReport& out) const override;
+};
+
+/// "delay-value": NaN/Inf arc-delay means, NaN or negative POCV sigmas in
+/// an annotated ArcDelays store (errors), negative means (warning). Needs
+/// ctx.delays; pin names use ctx.graph when available.
+class DelayValuesRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "delay-value"; }
+  void run(const LintContext& ctx, LintReport& out) const override;
+};
+
+/// Testable core of LevelConsistencyRule: returns the indices of `edges`
+/// (from-level, to-level pairs) that violate strict monotonicity, i.e.
+/// from < 0, to < 0, or to <= from.
+[[nodiscard]] std::vector<std::size_t> find_level_inversions(
+    std::span<const std::pair<int, int>> edges);
+
+/// The default rule set, design-stage rules first.
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> default_rules();
+
+}  // namespace insta::analysis

@@ -205,6 +205,12 @@ void Engine::clone_sp_ep_attributes(const ref::GoldenSta& reference) {
 
 void Engine::annotate(std::span<const timing::ArcDelta> deltas) {
   for (const timing::ArcDelta& d : deltas) {
+    INSTA_DCHECK(d.arc >= 0 && static_cast<std::size_t>(d.arc) <
+                                   slot_of_arc_.size(),
+                 "Engine::annotate: arc id out of range");
+    INSTA_DCHECK(std::isfinite(d.mu[0]) && std::isfinite(d.mu[1]) &&
+                     d.sigma[0] >= 0.0 && d.sigma[1] >= 0.0,
+                 "Engine::annotate: non-finite mean or negative sigma");
     const auto arc = static_cast<std::size_t>(d.arc);
     const std::int32_t slot = slot_of_arc_[arc];
     {
@@ -318,6 +324,9 @@ void Engine::process_pin(PinId pin) {
       }
     }
     if (options_.use_heap_queue) topk_heap_finalize(view);
+    INSTA_DCHECK(cnt <= k, "process_pin: Top-K count exceeds capacity");
+    INSTA_DCHECK(cnt == 0 || std::isfinite(tk_arr_[base]),
+                 "process_pin: non-finite worst arrival");
   }
 }
 
@@ -378,6 +387,20 @@ void Engine::process_pin_early(PinId pin) {
 void Engine::forward_from(std::size_t first_level) {
   auto& pool = util::ThreadPool::global();
   const std::size_t num_levels = level_start_.size() - 1;
+  // Level-synchronous independence invariant (Algorithm 1): a pin's fanin
+  // sources must all sit at strictly lower levels, otherwise the parallel
+  // per-level kernel below reads a Top-K store while another worker writes
+  // it. Compiled out in release; the analysis::Linter checks the same
+  // property ("level-inversion") as a reportable diagnostic.
+#ifndef NDEBUG
+  for (std::size_t s = 0; s < fi_from_.size(); ++s) {
+    const PinId from = fi_from_[s];
+    const timing::ArcId arc = fi_arc_[s];
+    INSTA_DCHECK(graph_->level_of(from) <
+                     graph_->level_of(graph_->arc(arc).to),
+                 "forward_from: fanin arc does not climb levels");
+  }
+#endif
   dirty_level_ = std::numeric_limits<std::size_t>::max();
   for (std::size_t l = std::min(first_level, num_levels); l < num_levels; ++l) {
     const std::size_t lo = static_cast<std::size_t>(level_start_[l]);
@@ -427,6 +450,9 @@ float Engine::credit(std::int32_t a, std::int32_t b) const {
   while (a != b) {
     a = ck_parent_[static_cast<std::size_t>(a)];
     b = ck_parent_[static_cast<std::size_t>(b)];
+    // Nodes of distinct clock trees climb past their roots without meeting:
+    // no common path, zero credit (matches ClockAnalysis::credit).
+    if (a < 0 || b < 0) return 0.0f;
   }
   return 2.0f * nsigma_ * std::sqrt(ck_sig2_[static_cast<std::size_t>(a)]);
 }

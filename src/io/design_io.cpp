@@ -87,7 +87,7 @@ void save_design(const netlist::Design& design,
   os << "end\n";
 }
 
-LoadedDesign load_design(std::istream& is) {
+LoadedDesign load_design(std::istream& is, bool validate) {
   auto next_line = [&is](const char* what) {
     std::string line;
     while (std::getline(is, line)) {
@@ -233,7 +233,7 @@ LoadedDesign load_design(std::istream& is) {
     std::istringstream ss(next_line("end"));
     expect_tag(ss, "end");
   }
-  out.design->validate();
+  if (validate) out.design->validate();
   return out;
 }
 
@@ -246,10 +246,10 @@ void save_design_file(const netlist::Design& design,
   check(os.good(), "design_io: write failed: " + path);
 }
 
-LoadedDesign load_design_file(const std::string& path) {
+LoadedDesign load_design_file(const std::string& path, bool validate) {
   std::ifstream is(path);
   check(is.good(), "design_io: cannot open for read: " + path);
-  return load_design(is);
+  return load_design(is, validate);
 }
 
 }  // namespace insta::io

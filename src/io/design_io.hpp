@@ -25,13 +25,17 @@ void save_design(const netlist::Design& design,
                  const timing::Constraints& constraints, std::ostream& os);
 
 /// Parses a stream written by save_design. Throws util::CheckError on any
-/// malformed content.
-[[nodiscard]] LoadedDesign load_design(std::istream& is);
+/// malformed content. With `validate` false the structural integrity check
+/// (Design::validate) is skipped, so a structurally broken design can still
+/// be loaded for inspection — the analysis::Linter reports every violation
+/// where validate() throws on the first.
+[[nodiscard]] LoadedDesign load_design(std::istream& is, bool validate = true);
 
 /// Convenience file wrappers.
 void save_design_file(const netlist::Design& design,
                       const timing::Constraints& constraints,
                       const std::string& path);
-[[nodiscard]] LoadedDesign load_design_file(const std::string& path);
+[[nodiscard]] LoadedDesign load_design_file(const std::string& path,
+                                            bool validate = true);
 
 }  // namespace insta::io

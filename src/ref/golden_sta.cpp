@@ -111,6 +111,16 @@ void GoldenSta::finalize_entries(std::vector<ArrivalEntry>& entries,
     }
   }
   if (entries.size() > options_.max_entries) entries.resize(options_.max_entries);
+#ifndef NDEBUG
+  // Algorithm 1 invariant: after finalize the set is unique per startpoint and
+  // sorted by corner (worst first). The Top-K engine's seeding relies on this.
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    INSTA_DCHECK(entries[i - 1].sp != entries[i].sp,
+                 "finalize_entries: duplicate startpoint survived dedup");
+    INSTA_DCHECK(dir * entries[i - 1].corner >= dir * entries[i].corner,
+                 "finalize_entries: corners not sorted worst-first");
+  }
+#endif
 }
 
 void GoldenSta::recompute_pin(PinId pin, RiseFall rf, bool early,
@@ -138,6 +148,8 @@ void GoldenSta::recompute_pin(PinId pin, RiseFall rf, bool early,
     const RiseFall prf = (a.sense == ArcSense::kPositive) ? rf : opposite(rf);
     const double amu = delays_->mu[rfi][static_cast<std::size_t>(aid)];
     const double asig = delays_->sigma[rfi][static_cast<std::size_t>(aid)];
+    INSTA_DCHECK(std::isfinite(amu) && asig >= 0.0,
+                 "recompute_pin: non-finite mu or negative sigma on arc");
     for (const ArrivalEntry& p : source[slot(a.from, prf)]) {
       ArrivalEntry e;
       e.sp = p.sp;

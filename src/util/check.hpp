@@ -13,18 +13,57 @@ class CheckError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+namespace detail {
+
+/// Out-of-line failure path shared by check() and the INSTA_CHECK macros;
+/// keeps the throw machinery off the callers' fast path.
+[[noreturn]] inline void check_fail(std::string_view msg,
+                                    std::source_location loc) {
+  throw CheckError(std::string(loc.file_name()) + ":" +
+                   std::to_string(loc.line()) + ": check failed: " +
+                   std::string(msg));
+}
+
+}  // namespace detail
+
 /// Throws CheckError with source location when `cond` is false.
 ///
 /// Used for precondition and invariant checks on public API boundaries.
 /// Unlike assert(), stays active in release builds: an STA engine silently
 /// propagating through a corrupt graph is worse than a crash.
+///
+/// Note that `msg` is evaluated by the caller even when the check passes;
+/// on hot paths prefer INSTA_CHECK, which only builds the message on
+/// failure, or INSTA_DCHECK, which compiles out entirely in NDEBUG builds.
 inline void check(bool cond, std::string_view msg,
                   std::source_location loc = std::source_location::current()) {
-  if (!cond) {
-    throw CheckError(std::string(loc.file_name()) + ":" +
-                     std::to_string(loc.line()) + ": check failed: " +
-                     std::string(msg));
-  }
+  if (!cond) detail::check_fail(msg, loc);
 }
 
 }  // namespace insta::util
+
+/// Always-on invariant check. `cond` is evaluated exactly once; `msg` is
+/// evaluated only when the check fails, so an expensive message expression
+/// (string concatenation, pin_name lookups) costs nothing on the pass path.
+#define INSTA_CHECK(cond, msg)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::insta::util::detail::check_fail(                             \
+          (msg), ::std::source_location::current());                 \
+    }                                                                \
+  } while (false)
+
+/// Debug-only invariant check for hot kernels. In NDEBUG (release) builds
+/// neither argument is evaluated — both are only type-checked through
+/// unevaluated sizeof operands — so arguments with side effects behave
+/// identically whether or not the check is compiled in (they must not rely
+/// on being evaluated). In debug builds it behaves like INSTA_CHECK.
+#ifdef NDEBUG
+#define INSTA_DCHECK(cond, msg)                  \
+  do {                                           \
+    static_cast<void>(sizeof((cond) ? 1 : 0));   \
+    static_cast<void>(sizeof(msg));              \
+  } while (false)
+#else
+#define INSTA_DCHECK(cond, msg) INSTA_CHECK(cond, msg)
+#endif

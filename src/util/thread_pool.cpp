@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <exception>
 
 namespace insta::util {
 
@@ -64,12 +65,21 @@ void ThreadPool::parallel_for_chunks(
   std::atomic<std::size_t> remaining{num_chunks};
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  // First exception thrown by any chunk; rethrown on the calling thread once
+  // every chunk has finished (an exception escaping a worker thread would
+  // otherwise std::terminate the process). Later exceptions are dropped.
+  std::exception_ptr first_error;
 
   for (std::size_t c = 0; c < num_chunks; ++c) {
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     enqueue([&, lo, hi] {
-      fn(lo, hi);
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         const std::lock_guard<std::mutex> lock(done_mutex);
         done_cv.notify_one();
@@ -78,6 +88,7 @@ void ThreadPool::parallel_for_chunks(
   }
   std::unique_lock<std::mutex> lock(done_mutex);
   done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,

@@ -35,12 +35,16 @@ class ThreadPool {
   /// chunks across workers, and blocks until all iterations finish.
   /// `grain` is the minimum chunk size (prevents over-splitting tiny loops;
   /// loops smaller than `grain` run inline on the calling thread).
+  /// If any iteration throws, the first exception is captured and rethrown
+  /// on the calling thread after all chunks have drained; the pool stays
+  /// usable afterwards.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 256);
 
   /// Like parallel_for but hands each worker a [chunk_begin, chunk_end)
   /// range, which avoids per-index std::function overhead in hot kernels.
+  /// Same exception contract as parallel_for.
   void parallel_for_chunks(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& fn,

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 #include "util/check.hpp"
 #include "util/memory.hpp"
@@ -143,6 +144,79 @@ TEST(ThreadPool, EmptyAndTinyRanges) {
   std::atomic<int> small{0};
   pool.parallel_for(0, 3, [&](std::size_t) { small.fetch_add(1); });
   EXPECT_EQ(small.load(), 3);
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionFromWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  // Large range + small grain forces the enqueued (worker-thread) path; the
+  // exception must resurface on the calling thread, not std::terminate.
+  EXPECT_THROW(
+      pool.parallel_for(
+          0, 10000,
+          [&](std::size_t i) {
+            ran.fetch_add(1);
+            if (i % 1000 == 17) throw std::runtime_error("task failed");
+          },
+          16),
+      std::runtime_error);
+  EXPECT_GT(ran.load(), 0);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for_chunks(
+                   0, 5000,
+                   [](std::size_t, std::size_t) {
+                     throw CheckError("chunk failed");
+                   },
+                   8),
+               CheckError);
+  // The pool must survive the failed launch and run later work normally.
+  std::atomic<int> hits{0};
+  pool.parallel_for(0, 2000, [&](std::size_t) { hits.fetch_add(1); }, 16);
+  EXPECT_EQ(hits.load(), 2000);
+}
+
+TEST(ThreadPool, ExceptionOnInlinePath) {
+  // Ranges at or below the grain run inline on the caller; exceptions take
+  // the ordinary path there too.
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   0, 4, [](std::size_t) { throw CheckError("inline"); }, 256),
+               CheckError);
+}
+
+TEST(CheckMacros, InstaCheckEvaluatesOnce) {
+  int evals = 0;
+  INSTA_CHECK(++evals > 0, "must pass");
+  EXPECT_EQ(evals, 1);
+  EXPECT_THROW(INSTA_CHECK(evals == 99, "nope"), CheckError);
+}
+
+TEST(CheckMacros, InstaCheckMessageHasLocation) {
+  try {
+    INSTA_CHECK(false, "macro boom");
+    FAIL() << "INSTA_CHECK(false) must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("macro boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(CheckMacros, InstaDcheckSideEffectFree) {
+  int evals = 0;
+#ifdef NDEBUG
+  // Compiled out: the condition must not be evaluated at all.
+  INSTA_DCHECK(++evals > 0, "unused");
+  INSTA_DCHECK(false, "never throws in release");
+  EXPECT_EQ(evals, 0);
+#else
+  // Debug: behaves exactly like INSTA_CHECK (single evaluation, throws).
+  INSTA_DCHECK(++evals > 0, "must pass");
+  EXPECT_EQ(evals, 1);
+  EXPECT_THROW(INSTA_DCHECK(false, "throws in debug"), CheckError);
+#endif
 }
 
 TEST(Table, RendersAlignedRows) {
