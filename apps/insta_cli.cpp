@@ -14,18 +14,32 @@
 //                                            also on warnings; --audit: run
 //                                            the engines and audit Top-K
 //                                            invariants post-propagation)
+//   insta_cli profile [--preset tiny|block-1..5|fig7] [--iters N]
+//                     [--topk K] [--resizes N]
+//                                            timed end-to-end run with a
+//                                            per-phase breakdown table
 //   insta_cli selftest                       end-to-end smoke test (tmpfile)
+//
+// Global options (every subcommand):
+//   --metrics-json <path>   write the telemetry metrics snapshot on exit
+//   --trace <path>          record and write a Chrome trace_event JSON
+//   --log-level <level>     debug|info|warn|error|off (overrides
+//                           INSTA_LOG_LEVEL)
 
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "analysis/engine_audit.hpp"
 #include "analysis/linter.hpp"
 #include "core/engine.hpp"
+#include "gen/changelist.hpp"
 #include "gen/logic_block.hpp"
+#include "gen/presets.hpp"
 #include "gen/tune.hpp"
 #include "io/design_io.hpp"
 #include "ref/golden_sta.hpp"
@@ -33,9 +47,14 @@
 #include "size/baseline_sizer.hpp"
 #include "size/insta_buffer.hpp"
 #include "size/insta_size.hpp"
+#include "telemetry/telemetry.hpp"
 #include "timing/delay_calc.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
 #include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -68,6 +87,42 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Applies the global flags every subcommand honours: --log-level (falls
+/// back to INSTA_LOG_LEVEL) and --trace (arms the tracer before the
+/// subcommand runs; the file is written by finish_telemetry on exit).
+void apply_global_flags(const Args& args) {
+  if (args.has("log-level")) {
+    const std::string text = args.get("log-level", "");
+    const auto level = util::parse_log_level(text);
+    util::check(level.has_value(), "unknown --log-level " + text);
+    util::set_log_level(*level);
+  } else {
+    util::init_log_level_from_env();
+  }
+  if (args.has("trace")) telemetry::Tracer::global().set_enabled(true);
+}
+
+/// Writes the telemetry artifacts requested via the global flags. Pool
+/// gauges are published first so the snapshot includes utilization.
+void finish_telemetry(const Args& args) {
+  if (args.has("metrics-json")) {
+    util::ThreadPool::global().publish_metrics();
+    const std::string path = args.get("metrics-json", "");
+    std::ofstream f(path, std::ios::binary);
+    util::check(static_cast<bool>(f), "cannot write " + path);
+    f << telemetry::MetricsRegistry::global().snapshot().to_json();
+    util::check(f.good(), "short write to " + path);
+    std::printf("wrote metrics snapshot to %s\n", path.c_str());
+  }
+  if (args.has("trace")) {
+    const std::string path = args.get("trace", "");
+    util::check(telemetry::Tracer::global().write_chrome_trace(path),
+                "cannot write " + path);
+    std::printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n",
+                path.c_str());
+  }
+}
 
 /// Loads a design and prepares graph/delays/golden (hold optional).
 struct World {
@@ -245,6 +300,9 @@ int cmd_lint(const Args& args) {
     core::Engine engine(sta, {});
     engine.run_forward();
     report.merge(analysis::audit_engine(engine));
+    util::ThreadPool::global().publish_metrics();
+    report.merge(analysis::audit_metrics(
+        telemetry::MetricsRegistry::global().snapshot()));
   }
 
   std::printf("%s", report.str().c_str());
@@ -252,6 +310,124 @@ int cmd_lint(const Args& args) {
   if (args.has("strict") && report.count(analysis::Severity::kWarning) > 0) {
     return 1;
   }
+  return 0;
+}
+
+/// Resolves a --preset name to a generator spec. "tiny" is a sub-second
+/// smoke preset; "block-1".."block-5" are the Table-I correlation blocks;
+/// "fig7" is the incremental-study block.
+gen::LogicBlockSpec resolve_preset(const std::string& name) {
+  if (name == "tiny") return gen::tiny_spec(7);
+  if (name == "fig7") return gen::fig7_block_spec();
+  if (name.rfind("block-", 0) == 0) {
+    const std::vector<gen::LogicBlockSpec> specs = gen::table1_block_specs();
+    const int idx = std::atoi(name.c_str() + 6);
+    util::check(idx >= 1 && idx <= static_cast<int>(specs.size()),
+                "profile: --preset block-N with N in 1.." +
+                    std::to_string(specs.size()));
+    return specs[static_cast<std::size_t>(idx - 1)];
+  }
+  throw util::CheckError("profile: unknown --preset " + name +
+                         " (tiny|block-1..5|fig7)");
+}
+
+int cmd_profile(const Args& args) {
+  const std::string preset = args.get("preset", "tiny");
+  const int iters = std::max(1, static_cast<int>(args.get_num("iters", 3)));
+  const int resizes = std::max(1, static_cast<int>(args.get_num("resizes", 8)));
+  const gen::LogicBlockSpec spec = resolve_preset(preset);
+
+  struct Phase {
+    const char* name;
+    int calls;
+    double sec;
+  };
+  std::vector<Phase> phases;
+  const auto time_phase = [&phases](const char* name, int calls, auto&& fn) {
+    const telemetry::TraceSpan span(name);
+    util::Stopwatch sw;
+    fn();
+    phases.push_back({name, calls, sw.elapsed_sec()});
+  };
+
+  std::printf("profile: preset %s, %d iterations\n", preset.c_str(), iters);
+  util::Stopwatch wall;
+
+  gen::GeneratedDesign gd;
+  std::unique_ptr<timing::TimingGraph> graph;
+  time_phase("profile.generate", 1, [&] {
+    gd = gen::build_logic_block(spec);
+    graph = std::make_unique<timing::TimingGraph>(*gd.design,
+                                                  gd.constraints.clock_root);
+  });
+  std::printf("design: %zu cells, %zu pins, %zu endpoints\n",
+              gd.design->num_cells(), gd.design->num_pins(),
+              graph->endpoints().size());
+
+  std::unique_ptr<timing::DelayCalculator> calc;
+  timing::ArcDelays delays;
+  time_phase("profile.delay_calc", 1, [&] {
+    calc = std::make_unique<timing::DelayCalculator>(*gd.design, *graph);
+    calc->compute_all(delays);
+    gen::tune_clock_period(*graph, gd.constraints, delays, 0.08);
+  });
+
+  std::unique_ptr<ref::GoldenSta> sta;
+  time_phase("profile.golden_full", 1, [&] {
+    sta = std::make_unique<ref::GoldenSta>(*graph, gd.constraints, delays,
+                                           ref::GoldenOptions{});
+    sta->update_full();
+  });
+
+  core::EngineOptions eopt;
+  eopt.top_k = static_cast<int>(args.get_num("topk", 8));
+  std::unique_ptr<core::Engine> engine;
+  time_phase("profile.engine_init", 1,
+             [&] { engine = std::make_unique<core::Engine>(*sta, eopt); });
+
+  time_phase("profile.forward", iters, [&] {
+    for (int i = 0; i < iters; ++i) engine->run_forward();
+  });
+
+  util::Rng rng(2029);
+  const std::vector<gen::Resize> changes =
+      gen::random_changelist(*gd.design, *graph, rng, iters * resizes);
+  time_phase("profile.incremental", iters, [&] {
+    for (int it = 0; it < iters; ++it) {
+      for (int i = 0; i < resizes; ++i) {
+        const gen::Resize& rz =
+            changes[static_cast<std::size_t>(it * resizes + i)];
+        engine->annotate(calc->estimate_eco(rz.cell, rz.new_libcell));
+        gd.design->resize_cell(rz.cell, rz.new_libcell);
+        calc->update_for_resize(rz.cell, sta->mutable_delays());
+      }
+      engine->run_forward_incremental();
+    }
+  });
+
+  time_phase("profile.backward", iters, [&] {
+    for (int i = 0; i < iters; ++i) {
+      engine->run_backward(core::GradientMetric::kTns);
+    }
+  });
+
+  const double wall_sec = wall.elapsed_sec();
+  double accounted = 0.0;
+  for (const Phase& p : phases) accounted += p.sec;
+
+  util::Table table({"phase", "calls", "total (ms)", "avg (ms)", "% wall"});
+  for (const Phase& p : phases) {
+    table.add_row({p.name, std::to_string(p.calls),
+                   util::fmt("%.2f", p.sec * 1e3),
+                   util::fmt("%.2f", p.sec * 1e3 / p.calls),
+                   util::fmt("%.1f", 100.0 * p.sec / wall_sec)});
+  }
+  table.add_row({"(accounted)", "", util::fmt("%.2f", accounted * 1e3), "",
+                 util::fmt("%.1f", 100.0 * accounted / wall_sec)});
+  table.add_row({"(wall)", "", util::fmt("%.2f", wall_sec * 1e3), "", "100.0"});
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("TNS %.2f ps, WNS %.2f ps (TopK=%d)\n", engine->tns(),
+              engine->wns(), eopt.top_k);
   return 0;
 }
 
@@ -279,14 +455,22 @@ int cmd_selftest() {
     Args args(4, const_cast<char**>(argv), 0);
     util::check(cmd_lint(args) == 0, "selftest: lint failed");
   }
+  {
+    const char* argv[] = {"--preset", "tiny", "--iters", "1"};
+    Args args(4, const_cast<char**>(argv), 0);
+    util::check(cmd_profile(args) == 0, "selftest: profile failed");
+  }
   std::printf("selftest passed\n");
   return 0;
 }
 
 void usage() {
   std::fprintf(stderr,
-               "usage: insta_cli <generate|report|size|buffer|lint|selftest> "
-               "[--option value ...]\n");
+               "usage: insta_cli "
+               "<generate|report|size|buffer|lint|profile|selftest> "
+               "[--option value ...]\n"
+               "global: [--metrics-json m.json] [--trace t.json] "
+               "[--log-level debug|info|warn|error|off]\n");
 }
 
 }  // namespace
@@ -298,14 +482,29 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   try {
-    if (cmd == "generate") return cmd_generate(Args(argc, argv, 2));
-    if (cmd == "report") return cmd_report(Args(argc, argv, 2));
-    if (cmd == "size") return cmd_size(Args(argc, argv, 2));
-    if (cmd == "buffer") return cmd_buffer(Args(argc, argv, 2));
-    if (cmd == "lint") return cmd_lint(Args(argc, argv, 2));
-    if (cmd == "selftest") return cmd_selftest();
-    usage();
-    return 2;
+    const Args args(argc, argv, 2);
+    apply_global_flags(args);
+    int rc;
+    if (cmd == "generate") {
+      rc = cmd_generate(args);
+    } else if (cmd == "report") {
+      rc = cmd_report(args);
+    } else if (cmd == "size") {
+      rc = cmd_size(args);
+    } else if (cmd == "buffer") {
+      rc = cmd_buffer(args);
+    } else if (cmd == "lint") {
+      rc = cmd_lint(args);
+    } else if (cmd == "profile") {
+      rc = cmd_profile(args);
+    } else if (cmd == "selftest") {
+      rc = cmd_selftest();
+    } else {
+      usage();
+      return 2;
+    }
+    finish_telemetry(args);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

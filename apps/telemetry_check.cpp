@@ -1,0 +1,83 @@
+// telemetry_check — structural validator for the JSON artifacts the
+// telemetry subsystem emits. CI runs it against the files produced by
+// `insta_cli ... --metrics-json m.json --trace t.json`.
+//
+//   telemetry_check [--trace t.json] [--metrics m.json]
+//
+// Exit 0 when every given file validates, 1 on any violation (each is
+// printed), 2 on usage/IO errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/validate.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return f.good() || f.eof();
+}
+
+int report(const char* kind, const std::string& path,
+           const insta::telemetry::ValidationResult& r, std::size_t events) {
+  if (r.ok) {
+    if (events > 0) {
+      std::printf("%s %s: OK (%zu events)\n", kind, path.c_str(), events);
+    } else {
+      std::printf("%s %s: OK\n", kind, path.c_str());
+    }
+    return 0;
+  }
+  for (const std::string& e : r.errors) {
+    std::fprintf(stderr, "%s %s: %s\n", kind, path.c_str(), e.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rc = 0;
+  bool did_anything = false;
+  for (int i = 1; i < argc; ++i) {
+    const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
+    const bool is_metrics = std::strcmp(argv[i], "--metrics") == 0;
+    if ((!is_trace && !is_metrics) || i + 1 >= argc) {
+      std::fprintf(stderr,
+                   "usage: telemetry_check [--trace t.json] "
+                   "[--metrics m.json]\n");
+      return 2;
+    }
+    const std::string path = argv[++i];
+    std::string text;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "telemetry_check: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    did_anything = true;
+    if (is_trace) {
+      std::size_t events = 0;
+      const insta::telemetry::ValidationResult r =
+          insta::telemetry::validate_chrome_trace(text, &events);
+      rc |= report("trace", path, r, events);
+    } else {
+      rc |= report("metrics", path,
+                   insta::telemetry::validate_metrics_json(text), 0);
+    }
+  }
+  if (!did_anything) {
+    std::fprintf(stderr,
+                 "usage: telemetry_check [--trace t.json] "
+                 "[--metrics m.json]\n");
+    return 2;
+  }
+  return rc;
+}

@@ -2,20 +2,60 @@
 
 // Shared harness helpers for the table/figure benchmark binaries.
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gen/logic_block.hpp"
 #include "gen/tune.hpp"
 #include "ref/golden_sta.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
 #include "timing/clock.hpp"
 #include "timing/delay_calc.hpp"
 #include "timing/graph.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace insta::bench {
+
+/// Wall-clock statistics of `reps` runs of one operation. Median is the
+/// headline number (robust to one-off scheduler hiccups); min approximates
+/// the noise-free cost; mean shows drift across repetitions.
+struct TimingStats {
+  double median_sec = 0.0;
+  double min_sec = 0.0;
+  double mean_sec = 0.0;
+  int reps = 0;
+};
+
+/// Times `fn` `reps` times (no warm-up — add your own if the first run
+/// amortizes setup).
+inline TimingStats time_repeated(int reps, const std::function<void()>& fn) {
+  TimingStats ts;
+  ts.reps = std::max(reps, 1);
+  std::vector<double> secs;
+  secs.reserve(static_cast<std::size_t>(ts.reps));
+  for (int i = 0; i < ts.reps; ++i) {
+    util::Stopwatch sw;
+    fn();
+    secs.push_back(sw.elapsed_sec());
+  }
+  std::sort(secs.begin(), secs.end());
+  ts.min_sec = secs.front();
+  const std::size_t n = secs.size();
+  ts.median_sec =
+      (n % 2 == 1) ? secs[n / 2] : 0.5 * (secs[n / 2 - 1] + secs[n / 2]);
+  for (const double s : secs) ts.mean_sec += s;
+  ts.mean_sec /= static_cast<double>(n);
+  return ts;
+}
 
 /// A fully prepared experiment bundle: generated design, timing graph,
 /// calculated delays, tuned clock period, and an updated golden engine.
@@ -26,14 +66,18 @@ struct Bundle {
   timing::ArcDelays delays;
   std::unique_ptr<ref::GoldenSta> sta;
   double gen_sec = 0.0;
-  double golden_update_sec = 0.0;  ///< one full golden update_timing
+  double golden_update_sec = 0.0;      ///< median full golden update_timing
+  double golden_update_min_sec = 0.0;  ///< fastest repetition
+  int golden_update_reps = 0;          ///< repetitions behind the numbers
 };
 
 /// Builds a bundle from a logic-block spec. The golden engine uses the
 /// exact CPPR-safe pruning window (max credit * 1.5 + 10 ps) so reference
 /// results stay exact while propagation remains tractable.
+/// `update_reps` full golden updates are timed (median + min reported);
+/// the default of 1 keeps large-block bundles affordable.
 inline Bundle make_bundle(const gen::LogicBlockSpec& spec,
-                          double violate_fraction) {
+                          double violate_fraction, int update_reps = 1) {
   Bundle b;
   util::Stopwatch sw;
   b.gd = gen::build_logic_block(spec);
@@ -51,11 +95,67 @@ inline Bundle make_bundle(const gen::LogicBlockSpec& spec,
   gopt.prune_window = probe.max_credit() * 1.5 + 10.0;
   b.sta = std::make_unique<ref::GoldenSta>(*b.graph, b.gd.constraints,
                                            b.delays, gopt);
-  util::Stopwatch usw;
-  b.sta->update_full();
-  b.golden_update_sec = usw.elapsed_sec();
+  const TimingStats ts =
+      time_repeated(update_reps, [&] { b.sta->update_full(); });
+  b.golden_update_sec = ts.median_sec;
+  b.golden_update_min_sec = ts.min_sec;
+  b.golden_update_reps = ts.reps;
   return b;
 }
+
+/// Machine-readable benchmark output: named rows of numeric results, each
+/// embedding the telemetry snapshot taken when the row was added. write()
+/// produces BENCH_<name>.json next to the working directory so CI and
+/// notebooks can diff runs without scraping the ASCII tables.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Adds one result row. Thread-compatible (call from the main thread).
+  void add_row(const std::string& label,
+               const std::vector<std::pair<std::string, double>>& values) {
+    util::ThreadPool::global().publish_metrics();
+    Row row;
+    row.label = label;
+    row.values = values;
+    row.metrics_json = telemetry::MetricsRegistry::global().snapshot().to_json();
+    rows_.push_back(std::move(row));
+  }
+
+  /// Writes BENCH_<name>.json into `dir` ("." by default). Returns false on
+  /// I/O failure.
+  bool write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream f(path, std::ios::binary);
+    if (!f) return false;
+    f << "{\n  \"bench\": \"" << telemetry::json_escape(name_)
+      << "\",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      f << (i == 0 ? "\n" : ",\n") << "    {\"label\": \""
+        << telemetry::json_escape(r.label) << "\"";
+      for (const auto& [key, value] : r.values) {
+        f << ", \"" << telemetry::json_escape(key)
+          << "\": " << telemetry::json_number(value);
+      }
+      f << ", \"metrics\": " << r.metrics_json << "    }";
+    }
+    f << "\n  ]\n}\n";
+    if (f.good()) {
+      std::printf("wrote %s\n", path.c_str());
+    }
+    return f.good();
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> values;
+    std::string metrics_json;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 /// "4M cells, 15M pins" style size string with k/M suffixes.
 inline std::string size_str(std::size_t n) {

@@ -57,6 +57,7 @@ int main() {
 
   util::Table table({"iter", "reference full (ms)", "in-house incr (ms)",
                      "INSTA eco+forward (ms)", "|dTNS| INSTA vs ref (ps)"});
+  bench::BenchReport report("fig7_incremental");
   double sum_full = 0.0, sum_incr = 0.0, sum_insta = 0.0;
   for (int it = 0; it < kIterations; ++it) {
     const auto* batch = &changes[static_cast<std::size_t>(it * kResizesPerIter)];
@@ -116,8 +117,16 @@ int main() {
                    util::fmt("%.1f", t_incr * 1e3),
                    util::fmt("%.1f", t_insta * 1e3),
                    util::fmt("%.2f", std::abs(engine.tns() - full.sta->tns()))});
+    report.add_row("iter " + std::to_string(it),
+                   {{"reference_full_ms", t_full * 1e3},
+                    {"inhouse_incremental_ms", t_incr * 1e3},
+                    {"insta_eco_forward_ms", t_insta * 1e3},
+                    {"abs_dtns_ps", std::abs(engine.tns() - full.sta->tns())},
+                    {"golden_update_reps",
+                     static_cast<double>(full.golden_update_reps)}});
   }
   std::fputs(table.str().c_str(), stdout);
+  report.write();
   std::printf(
       "\naverages: reference full %.1f ms | in-house incremental %.1f ms | "
       "INSTA %.1f ms\n",

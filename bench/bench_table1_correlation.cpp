@@ -17,7 +17,8 @@ namespace {
 
 using namespace insta;
 
-void run_block(const gen::LogicBlockSpec& spec, util::Table& table) {
+void run_block(const gen::LogicBlockSpec& spec, util::Table& table,
+               bench::BenchReport& report) {
   bench::Bundle b = bench::make_bundle(spec, 0.08);
 
   util::Stopwatch init_sw;
@@ -26,14 +27,11 @@ void run_block(const gen::LogicBlockSpec& spec, util::Table& table) {
   core::Engine engine(*b.sta, opt);
   const double init_sec = init_sw.elapsed_sec();
 
-  // Warm-up, then best-of-3 forward timing.
+  // Warm-up, then median/min-of-3 forward timing.
   engine.run_forward();
-  double fwd_sec = 1e30;
-  for (int i = 0; i < 3; ++i) {
-    util::Stopwatch sw;
-    engine.run_forward();
-    fwd_sec = std::min(fwd_sec, sw.elapsed_sec());
-  }
+  const bench::TimingStats fwd =
+      bench::time_repeated(3, [&] { engine.run_forward(); });
+  const double fwd_sec = fwd.min_sec;
 
   std::vector<double> ref, test;
   for (std::size_t e = 0; e < b.graph->endpoints().size(); ++e) {
@@ -56,6 +54,18 @@ void run_block(const gen::LogicBlockSpec& spec, util::Table& table) {
   table.add_row({name, util::format_correlation(corr),
                  util::fmt("%.4f", fwd_sec),
                  util::fmt("%.3f", util::to_gib(engine.memory_bytes())), mmbuf});
+  report.add_row(spec.name,
+                 {{"correlation", corr},
+                  {"forward_median_sec", fwd.median_sec},
+                  {"forward_min_sec", fwd.min_sec},
+                  {"forward_reps", static_cast<double>(fwd.reps)},
+                  {"golden_update_median_sec", b.golden_update_sec},
+                  {"golden_update_min_sec", b.golden_update_min_sec},
+                  {"golden_update_reps",
+                   static_cast<double>(b.golden_update_reps)},
+                  {"memory_gib", util::to_gib(engine.memory_bytes())},
+                  {"mismatch_avg_ps", mm.avg_abs},
+                  {"mismatch_max_ps", mm.max_abs}});
   std::printf("  %-14s endpoints=%zu levels=%zu init=%.2fs\n",
               spec.name.c_str(), ref.size(), engine.num_levels(), init_sec);
 }
@@ -71,10 +81,12 @@ int main() {
       "worst 3-17 ps.");
   util::Table table({"design (#cells, #pins, UT)", "ep slack corr",
                      "runtime (s)", "memory (GB)", "ep mismatch (avg, wst) ps"});
+  insta::bench::BenchReport report("table1_correlation");
   for (const auto& spec : insta::gen::table1_block_specs()) {
-    run_block(spec, table);
+    run_block(spec, table, report);
   }
   std::fputs(table.str().c_str(), stdout);
+  report.write();
   std::printf("\npeak RSS: %.2f GB\n", insta::util::to_gib(
                                            insta::util::peak_rss_bytes()));
   return 0;

@@ -1,6 +1,7 @@
 #include "analysis/engine_audit.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <unordered_set>
 
 namespace insta::analysis {
@@ -87,6 +88,69 @@ LintReport audit_engine(const core::Engine& engine) {
         engine.graph().endpoints()[e].pin);
     d.message = "endpoint slack is NaN after propagation";
     report.add(std::move(d));
+  }
+  return report;
+}
+
+namespace {
+
+void emit_anomaly(LintReport& out, std::string message) {
+  Diagnostic d;
+  d.rule = "telemetry-anomaly";
+  d.severity = Severity::kInfo;
+  d.kind = ObjectKind::kNone;
+  d.message = std::move(message);
+  out.add(std::move(d));
+}
+
+}  // namespace
+
+LintReport audit_metrics(const telemetry::MetricsSnapshot& snapshot) {
+  LintReport report;
+  if (snapshot.empty()) return report;
+
+  const std::uint64_t forward = snapshot.counter_or("engine.forward_passes", 0);
+  const std::uint64_t pins = snapshot.counter_or("engine.pins_processed", 0);
+  const std::uint64_t merges = snapshot.counter_or("engine.merge_ops", 0);
+  const std::uint64_t prunes = snapshot.counter_or("engine.prune_hits", 0);
+  const std::uint64_t endpoints =
+      snapshot.counter_or("engine.endpoints_evaluated", 0);
+  const std::uint64_t lookups = snapshot.counter_or("engine.cppr_lookups", 0);
+
+  if (forward > 0 && pins == 0) {
+    emit_anomaly(report,
+                 "forward pass ran but processed zero pins (empty level "
+                 "order or graph not built)");
+  }
+  // A healthy Top-K filter prunes once lists saturate; no prunes over a
+  // large merge volume means every candidate was kept (top_k at or above
+  // the startpoint count, so the filter does no work).
+  if (merges >= 10000 && prunes == 0) {
+    emit_anomaly(report,
+                 "no Top-K prune hits across " + std::to_string(merges) +
+                     " merge ops (top_k likely exceeds the per-pin "
+                     "startpoint diversity)");
+  }
+  if (endpoints > 0 && lookups == 0) {
+    emit_anomaly(report,
+                 "endpoints evaluated without any CPPR credit lookups "
+                 "(no valid Top-K entries reached the endpoints)");
+  }
+
+  const double busy = snapshot.gauge_or("pool.busy_sec", 0.0);
+  const double idle = snapshot.gauge_or("pool.idle_sec", 0.0);
+  const double workers = snapshot.gauge_or("pool.workers", 0.0);
+  // Ignore short runs: idle dominates trivially when the pool barely ran.
+  if (workers > 1.0 && busy + idle > 1.0 && idle > busy) {
+    const double idle_pct = 100.0 * idle / (busy + idle);
+    if (idle_pct > 50.0) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "thread pool idle %.1f%% of its time (%g workers; "
+                    "levels may be too small to parallelize)",
+                    idle_pct, workers);
+      emit_anomaly(report, buf);
+    }
   }
   return report;
 }

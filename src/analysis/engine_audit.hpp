@@ -5,6 +5,7 @@
 
 #include "analysis/diagnostics.hpp"
 #include "core/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace insta::analysis {
 
@@ -21,5 +22,15 @@ void audit_topk_entries(std::span<const core::Engine::TopKEntry> entries,
 /// array (NaN slacks). Cheap relative to propagation; run it after forward
 /// passes in debug flows to catch merge-kernel corruption at the source.
 [[nodiscard]] LintReport audit_engine(const core::Engine& engine);
+
+/// Audits a telemetry snapshot for runtime anomalies: a forward pass that
+/// processed no pins, merge kernels whose Top-K filter never pruned,
+/// endpoint evaluation without a single CPPR lookup, and thread-pool
+/// workers idle more than half the time. Emits "telemetry-anomaly"
+/// diagnostics at Severity::kInfo — these flag performance or
+/// configuration oddities, not correctness violations, and must not trip
+/// strict lint gates. No-op on an empty snapshot (telemetry compiled out).
+[[nodiscard]] LintReport audit_metrics(
+    const telemetry::MetricsSnapshot& snapshot);
 
 }  // namespace insta::analysis

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/topk.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -21,7 +22,42 @@ using util::check;
 
 namespace {
 constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Registered-once handles for the engine's hot-path counters. With
+/// telemetry compiled out every handle is an empty no-op stub.
+struct EngineMetrics {
+  telemetry::Counter forward_passes;
+  telemetry::Counter incremental_passes;
+  telemetry::Counter backward_passes;
+  telemetry::Counter levels;
+  telemetry::Counter pins;
+  telemetry::Counter arcs;
+  telemetry::Counter merges;
+  telemetry::Counter prunes;
+  telemetry::Counter endpoints;
+  telemetry::Counter cppr_lookups;
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics m = [] {
+    auto& r = telemetry::MetricsRegistry::global();
+    EngineMetrics em;
+    em.forward_passes = r.counter("engine.forward_passes");
+    em.incremental_passes = r.counter("engine.incremental_passes");
+    em.backward_passes = r.counter("engine.backward_passes");
+    em.levels = r.counter("engine.levels_processed");
+    em.pins = r.counter("engine.pins_processed");
+    em.arcs = r.counter("engine.arcs_traversed");
+    em.merges = r.counter("engine.merge_ops");
+    em.prunes = r.counter("engine.prune_hits");
+    em.endpoints = r.counter("engine.endpoints_evaluated");
+    em.cppr_lookups = r.counter("engine.cppr_lookups");
+    return em;
+  }();
+  return m;
 }
+
+}  // namespace
 
 Engine::Engine(const ref::GoldenSta& reference, EngineOptions options)
     : graph_(&reference.graph()),
@@ -272,11 +308,12 @@ timing::ArcDelta Engine::read_annotation(ArcId arc) const {
   return d;
 }
 
-void Engine::process_pin(PinId pin) {
+void Engine::process_pin(PinId pin, ForwardCounters& fc) {
   const auto p = static_cast<std::size_t>(pin);
   const auto k = static_cast<std::int32_t>(options_.top_k);
   const std::int32_t fs = fi_start_[p];
   const std::int32_t fe = fi_start_[p + 1];
+  ++fc.pins;
 
   for (int rf = 0; rf < 2; ++rf) {
     const std::size_t base = entry_base(pin, rf);
@@ -309,6 +346,8 @@ void Engine::process_pin(PinId pin) {
       const float as2 = as * as;
       const std::size_t pbase =
           entry_base(static_cast<PinId>(from), prf);
+      ++fc.arcs;
+      fc.merges += static_cast<std::uint64_t>(pcnt);
       for (std::int32_t kk = 0; kk < pcnt; ++kk) {
         const float pmu = tk_mu_[pbase + static_cast<std::size_t>(kk)];
         const float psig = tk_sig_[pbase + static_cast<std::size_t>(kk)];
@@ -317,9 +356,11 @@ void Engine::process_pin(PinId pin) {
         const float arrival = mu + nsigma_ * sig;
         const std::int32_t sp = tk_sp_[pbase + static_cast<std::size_t>(kk)];
         if (options_.use_heap_queue) {
-          topk_insert_heap(view, arrival, mu, sig, sp);
+          fc.prunes += static_cast<std::uint64_t>(
+              topk_insert_heap(view, arrival, mu, sig, sp));
         } else {
-          topk_insert(view, arrival, mu, sig, sp);
+          fc.prunes += static_cast<std::uint64_t>(
+              topk_insert(view, arrival, mu, sig, sp));
         }
       }
     }
@@ -330,11 +371,12 @@ void Engine::process_pin(PinId pin) {
   }
 }
 
-void Engine::process_pin_early(PinId pin) {
+void Engine::process_pin_early(PinId pin, ForwardCounters& fc) {
   const auto p = static_cast<std::size_t>(pin);
   const auto k = static_cast<std::int32_t>(options_.top_k);
   const std::int32_t fs = fi_start_[p];
   const std::int32_t fe = fi_start_[p + 1];
+  ++fc.pins;
 
   // tk2_arr_ stores *negated* early corners: the descending unique-SP list
   // kernel then keeps the K smallest early arrivals.
@@ -366,6 +408,8 @@ void Engine::process_pin_early(PinId pin) {
       const float as = asig_[static_cast<std::size_t>(rf)][si];
       const float as2 = as * as;
       const std::size_t pbase = entry_base(static_cast<PinId>(from), prf);
+      ++fc.arcs;
+      fc.merges += static_cast<std::uint64_t>(pcnt);
       for (std::int32_t kk = 0; kk < pcnt; ++kk) {
         const float pmu = tk2_mu_[pbase + static_cast<std::size_t>(kk)];
         const float psig = tk2_sig_[pbase + static_cast<std::size_t>(kk)];
@@ -374,9 +418,11 @@ void Engine::process_pin_early(PinId pin) {
         const float neg_arrival = -(mu - nsigma_ * sig);
         const std::int32_t sp = tk2_sp_[pbase + static_cast<std::size_t>(kk)];
         if (options_.use_heap_queue) {
-          topk_insert_heap(view, neg_arrival, mu, sig, sp);
+          fc.prunes += static_cast<std::uint64_t>(
+              topk_insert_heap(view, neg_arrival, mu, sig, sp));
         } else {
-          topk_insert(view, neg_arrival, mu, sig, sp);
+          fc.prunes += static_cast<std::uint64_t>(
+              topk_insert(view, neg_arrival, mu, sig, sp));
         }
       }
     }
@@ -385,6 +431,14 @@ void Engine::process_pin_early(PinId pin) {
 }
 
 void Engine::forward_from(std::size_t first_level) {
+  INSTA_TRACE_SCOPE("engine.forward",
+                    static_cast<std::int64_t>(first_level));
+  EngineMetrics& em = engine_metrics();
+  if (first_level == 0) {
+    em.forward_passes.inc();
+  } else {
+    em.incremental_passes.inc();
+  }
   auto& pool = util::ThreadPool::global();
   const std::size_t num_levels = level_start_.size() - 1;
   // Level-synchronous independence invariant (Algorithm 1): a pin's fanin
@@ -403,13 +457,20 @@ void Engine::forward_from(std::size_t first_level) {
 #endif
   dirty_level_ = std::numeric_limits<std::size_t>::max();
   for (std::size_t l = std::min(first_level, num_levels); l < num_levels; ++l) {
+    INSTA_TRACE_SCOPE("engine.level", static_cast<std::int64_t>(l));
+    em.levels.inc();
     const std::size_t lo = static_cast<std::size_t>(level_start_[l]);
     const std::size_t hi = static_cast<std::size_t>(level_start_[l + 1]);
     auto run = [&](std::size_t a, std::size_t b) {
+      ForwardCounters fc;
       for (std::size_t i = a; i < b; ++i) {
-        process_pin(level_pins_[i]);
-        if (options_.enable_hold) process_pin_early(level_pins_[i]);
+        process_pin(level_pins_[i], fc);
+        if (options_.enable_hold) process_pin_early(level_pins_[i], fc);
       }
+      em.pins.add(fc.pins);
+      em.arcs.add(fc.arcs);
+      em.merges.add(fc.merges);
+      em.prunes.add(fc.prunes);
     };
     if (options_.parallel && hi - lo >= 512) {
       pool.parallel_for_chunks(lo, hi, run, 128);
@@ -418,13 +479,18 @@ void Engine::forward_from(std::size_t first_level) {
     }
   }
   const std::size_t num_eps = ep_pin_.size();
+  INSTA_TRACE_SCOPE("engine.endpoints",
+                    static_cast<std::int64_t>(num_eps));
   auto eval = [&](std::size_t a, std::size_t b) {
+    std::uint64_t lookups = 0;
     for (std::size_t e = a; e < b; ++e) {
-      evaluate_endpoint(static_cast<EndpointId>(e));
+      lookups += evaluate_endpoint(static_cast<EndpointId>(e));
       if (options_.enable_hold) {
-        evaluate_endpoint_hold(static_cast<EndpointId>(e));
+        lookups += evaluate_endpoint_hold(static_cast<EndpointId>(e));
       }
     }
+    em.endpoints.add(b - a);
+    em.cppr_lookups.add(lookups);
   };
   if (options_.parallel && num_eps >= 512) {
     pool.parallel_for_chunks(0, num_eps, eval, 256);
@@ -457,13 +523,14 @@ float Engine::credit(std::int32_t a, std::int32_t b) const {
   return 2.0f * nsigma_ * std::sqrt(ck_sig2_[static_cast<std::size_t>(a)]);
 }
 
-void Engine::evaluate_endpoint(EndpointId ep) {
+std::uint64_t Engine::evaluate_endpoint(EndpointId ep) {
   const auto e = static_cast<std::size_t>(ep);
   const auto pin = static_cast<std::size_t>(ep_pin_[e]);
   const std::int32_t ep_node = ep_node_[e];
   const float base = ep_base_req_[e];
   float best = kInf;
   std::uint8_t best_rf = 0;
+  std::uint64_t lookups = 0;
   const bool has_exceptions = exceptions_.size() != 0;
   for (int rf = 0; rf < 2; ++rf) {
     const std::size_t tbase = entry_base(static_cast<PinId>(pin), rf);
@@ -471,6 +538,7 @@ void Engine::evaluate_endpoint(EndpointId ep) {
     for (std::int32_t kk = 0; kk < cnt; ++kk) {
       const std::int32_t sp = tk_sp_[tbase + static_cast<std::size_t>(kk)];
       if (has_exceptions && exceptions_.is_false_path(sp, ep)) continue;
+      ++lookups;
       float req = base + credit(sp_node_[static_cast<std::size_t>(sp)], ep_node);
       if (has_exceptions) {
         req += static_cast<float>(
@@ -485,18 +553,20 @@ void Engine::evaluate_endpoint(EndpointId ep) {
   }
   slack_[e] = best;
   ep_worst_rf_[e] = best_rf;
+  return lookups;
 }
 
-void Engine::evaluate_endpoint_hold(EndpointId ep) {
+std::uint64_t Engine::evaluate_endpoint_hold(EndpointId ep) {
   const auto e = static_cast<std::size_t>(ep);
   const float base = ep_hold_base_[e];
   if (std::isnan(base)) {  // unclocked endpoint: no hold check
     hold_slack_[e] = kInf;
-    return;
+    return 0;
   }
   const auto pin = static_cast<std::size_t>(ep_pin_[e]);
   const std::int32_t ep_node = ep_node_[e];
   float best = kInf;
+  std::uint64_t lookups = 0;
   const bool has_exceptions = exceptions_.size() != 0;
   for (int rf = 0; rf < 2; ++rf) {
     const std::size_t tbase = entry_base(static_cast<PinId>(pin), rf);
@@ -504,6 +574,7 @@ void Engine::evaluate_endpoint_hold(EndpointId ep) {
     for (std::int32_t kk = 0; kk < cnt; ++kk) {
       const std::int32_t sp = tk2_sp_[tbase + static_cast<std::size_t>(kk)];
       if (has_exceptions && exceptions_.is_false_path(sp, ep)) continue;
+      ++lookups;
       const float req =
           base - credit(sp_node_[static_cast<std::size_t>(sp)], ep_node);
       const float early = -tk2_arr_[tbase + static_cast<std::size_t>(kk)];
@@ -511,6 +582,7 @@ void Engine::evaluate_endpoint_hold(EndpointId ep) {
     }
   }
   hold_slack_[e] = best;
+  return lookups;
 }
 
 double Engine::ths() const {
@@ -572,6 +644,8 @@ int Engine::num_violations() const {
 }
 
 void Engine::run_backward(GradientMetric metric) {
+  INSTA_TRACE_SCOPE("engine.backward");
+  engine_metrics().backward_passes.inc();
   auto& pool = util::ThreadPool::global();
   for (auto& w : w_) std::fill(w.begin(), w.end(), 0.0f);
   std::fill(pin_grad_.begin(), pin_grad_.end(), 0.0f);
@@ -625,10 +699,13 @@ void Engine::run_backward(GradientMetric metric) {
       }
     }
   };
-  if (options_.parallel) {
-    pool.parallel_for_chunks(0, level_pins_.size(), weights, 512);
-  } else {
-    weights(0, level_pins_.size());
+  {
+    INSTA_TRACE_SCOPE("engine.backward.weights");
+    if (options_.parallel) {
+      pool.parallel_for_chunks(0, level_pins_.size(), weights, 512);
+    } else {
+      weights(0, level_pins_.size());
+    }
   }
 
   // Phase 2: endpoint seeds of d(-metric)/d(arrival).
@@ -670,6 +747,7 @@ void Engine::run_backward(GradientMetric metric) {
   // Phase 3: reverse level-synchronous pull. Each pin gathers the weighted
   // gradients of its fanout (already-final deeper levels) into itself and
   // into the fanout arcs it owns.
+  INSTA_TRACE_SCOPE("engine.backward.pull");
   const std::size_t num_levels = level_start_.size() - 1;
   for (std::size_t l = num_levels; l-- > 0;) {
     const std::size_t lo = static_cast<std::size_t>(level_start_[l]);

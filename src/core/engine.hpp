@@ -168,11 +168,21 @@ class Engine {
   void clone_structure(const ref::GoldenSta& reference);
   void clone_delays(const ref::GoldenSta& reference);
   void clone_sp_ep_attributes(const ref::GoldenSta& reference);
+  /// Per-chunk instrumentation accumulator: plain integers bumped inline in
+  /// the merge kernels, flushed to the metrics registry once per chunk.
+  struct ForwardCounters {
+    std::uint64_t pins = 0;    ///< pins processed (per transition pass)
+    std::uint64_t arcs = 0;    ///< fanin arcs traversed
+    std::uint64_t merges = 0;  ///< Top-K insert attempts
+    std::uint64_t prunes = 0;  ///< inserts rejected by the full-list filter
+  };
+
   void forward_from(std::size_t first_level);
-  void process_pin(netlist::PinId pin);
-  void process_pin_early(netlist::PinId pin);
-  void evaluate_endpoint(timing::EndpointId ep);
-  void evaluate_endpoint_hold(timing::EndpointId ep);
+  void process_pin(netlist::PinId pin, ForwardCounters& fc);
+  void process_pin_early(netlist::PinId pin, ForwardCounters& fc);
+  /// Returns the number of CPPR credit lookups performed.
+  std::uint64_t evaluate_endpoint(timing::EndpointId ep);
+  std::uint64_t evaluate_endpoint_hold(timing::EndpointId ep);
   [[nodiscard]] float credit(std::int32_t sp_node, std::int32_t ep_node) const;
   [[nodiscard]] std::size_t entry_base(netlist::PinId pin, int rf) const {
     return (static_cast<std::size_t>(pin) * 2 + static_cast<std::size_t>(rf)) *

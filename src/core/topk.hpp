@@ -29,7 +29,11 @@ struct TopKView {
 /// O(K) comparisons and shifts per call; with the K candidate entries of
 /// each fanin arc this gives the O(K^2) per-merge cost analysed in
 /// Section III-E.
-inline void topk_insert(const TopKView& v, float arr, float mu, float sig,
+///
+/// Returns true when the candidate was pruned: the list was full and the
+/// arrival did not beat the smallest kept entry (the Top-K filtering the
+/// paper relies on for sub-linear growth of merge work).
+inline bool topk_insert(const TopKView& v, float arr, float mu, float sig,
                         std::int32_t sp) {
   const std::int32_t n = *v.count;
   // Step 1: startpoint uniqueness check.
@@ -49,12 +53,12 @@ inline void topk_insert(const TopKView& v, float arr, float mu, float sig,
         --i;
       }
     }
-    return;  // exit once the existing startpoint is found
+    return false;  // exit once the existing startpoint is found
   }
   // Step 2: insert as a new startpoint if it qualifies.
   std::int32_t pos = n;
   if (n == v.k) {
-    if (arr <= v.arr[n - 1]) return;  // smaller than the smallest kept entry
+    if (arr <= v.arr[n - 1]) return true;  // below the smallest kept entry
     pos = n - 1;
   } else {
     *v.count = n + 1;
@@ -71,14 +75,15 @@ inline void topk_insert(const TopKView& v, float arr, float mu, float sig,
   v.mu[pos] = mu;
   v.sig[pos] = sig;
   v.sp[pos] = sp;
+  return false;
 }
 
 /// Binary-min-heap variant of the Top-K store for the Section III-E
 /// "why not heaps?" ablation. The heap is keyed on the arrival time (root =
 /// smallest kept arrival); startpoint uniqueness still needs a linear scan.
 /// After propagation the list must be sorted with topk_heap_finalize before
-/// slack evaluation.
-inline void topk_insert_heap(const TopKView& v, float arr, float mu, float sig,
+/// slack evaluation. Same prune-hit return convention as topk_insert.
+inline bool topk_insert_heap(const TopKView& v, float arr, float mu, float sig,
                              std::int32_t sp) {
   auto swap_at = [&](std::int32_t a, std::int32_t b) {
     std::swap(v.arr[a], v.arr[b]);
@@ -116,7 +121,7 @@ inline void topk_insert_heap(const TopKView& v, float arr, float mu, float sig,
       v.sig[j] = sig;
       sift_down(j, n);  // key increased in a min-heap
     }
-    return;
+    return false;
   }
   if (n < v.k) {
     v.arr[n] = arr;
@@ -125,14 +130,15 @@ inline void topk_insert_heap(const TopKView& v, float arr, float mu, float sig,
     v.sp[n] = sp;
     *v.count = n + 1;
     sift_up(n);
-    return;
+    return false;
   }
-  if (arr <= v.arr[0]) return;  // not better than the heap minimum
+  if (arr <= v.arr[0]) return true;  // not better than the heap minimum
   v.arr[0] = arr;
   v.mu[0] = mu;
   v.sig[0] = sig;
   v.sp[0] = sp;
   sift_down(0, n);
+  return false;
 }
 
 /// Sorts a heap-ordered Top-K store into the descending order the list

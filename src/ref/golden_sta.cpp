@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -163,8 +164,17 @@ void GoldenSta::recompute_pin(PinId pin, RiseFall rf, bool early,
 }
 
 void GoldenSta::update_full() {
-  clock_ = std::make_unique<timing::ClockAnalysis>(*graph_, *delays_,
-                                                   constraints_->nsigma);
+  INSTA_TRACE_SCOPE("golden.update_full");
+  static telemetry::Counter full_updates =
+      telemetry::MetricsRegistry::global().counter("golden.full_updates");
+  static telemetry::Counter pins_propagated =
+      telemetry::MetricsRegistry::global().counter("golden.pins_propagated");
+  full_updates.inc();
+  {
+    INSTA_TRACE_SCOPE("golden.clock");
+    clock_ = std::make_unique<timing::ClockAnalysis>(*graph_, *delays_,
+                                                     constraints_->nsigma);
+  }
   last_pins_ = 0;
   auto& pool = util::ThreadPool::global();
   for (std::size_t l = 0; l < graph_->num_levels(); ++l) {
@@ -187,6 +197,8 @@ void GoldenSta::update_full() {
       process(0, pins.size());
     }
   }
+  pins_propagated.add(last_pins_);
+  INSTA_TRACE_SCOPE("golden.slacks");
   for (std::size_t e = 0; e < graph_->endpoints().size(); ++e) {
     compute_slack(static_cast<EndpointId>(e));
     if (options_.enable_hold) compute_hold_slack(static_cast<EndpointId>(e));
@@ -194,6 +206,20 @@ void GoldenSta::update_full() {
 }
 
 void GoldenSta::update_incremental(std::span<const ArcId> changed) {
+  INSTA_TRACE_SCOPE("golden.update_incremental",
+                    static_cast<std::int64_t>(changed.size()));
+  static telemetry::Counter incr_updates =
+      telemetry::MetricsRegistry::global().counter(
+          "golden.incremental_updates");
+  static telemetry::Counter invalidated =
+      telemetry::MetricsRegistry::global().counter("golden.invalidated_pins");
+  static telemetry::Counter eps_recomputed =
+      telemetry::MetricsRegistry::global().counter(
+          "golden.endpoints_recomputed");
+  static telemetry::Counter full_fallbacks =
+      telemetry::MetricsRegistry::global().counter(
+          "golden.incremental.full_fallbacks");
+  incr_updates.inc();
   check(clock_ != nullptr, "update_incremental: call update_full first");
   const std::size_t num_levels = graph_->num_levels();
   std::vector<std::vector<PinId>> buckets(num_levels);
@@ -211,6 +237,7 @@ void GoldenSta::update_incremental(std::span<const ArcId> changed) {
     const ArcRecord& a = graph_->arc(aid);
     if (graph_->is_clock_network(a.from) || graph_->is_clock_network(a.to)) {
       // Clock arrivals (and so required times and CPPR) changed: full update.
+      full_fallbacks.inc();
       update_full();
       return;
     }
@@ -252,6 +279,8 @@ void GoldenSta::update_incremental(std::span<const ArcId> changed) {
       for (const ArcId aid : graph_->fanout(p)) push(graph_->arc(aid).to);
     }
   }
+  invalidated.add(last_pins_);
+  eps_recomputed.add(touched_eps.size());
   for (const EndpointId ep : touched_eps) {
     compute_slack(ep);
     if (options_.enable_hold) compute_hold_slack(ep);

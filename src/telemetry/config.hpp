@@ -1,0 +1,27 @@
+#pragma once
+
+// Compile-time gate for the telemetry subsystem.
+//
+// The build defines INSTA_TELEMETRY_ENABLED to 1 (default) or 0 via the
+// INSTA_TELEMETRY CMake option. When 0, every recording class in
+// src/telemetry compiles to an empty inline stub and the instrumentation
+// macros below expand to nothing, so instrumented code carries no
+// measurable cost (no atomics, no clock reads, no thread-local lookups).
+// JSON serialization, parsing and the trace/metrics validators stay
+// available in both modes so tools keep working against disabled builds.
+#ifndef INSTA_TELEMETRY_ENABLED
+#define INSTA_TELEMETRY_ENABLED 1
+#endif
+
+// Statement gate: INSTA_TM(x.add(n)); compiles to `x.add(n);` when
+// telemetry is enabled and to an empty statement when it is not. Use it for
+// instrumentation whose *arguments* would still cost cycles as stub calls
+// (local accumulator flushes, stats reads), not for plain stub-class calls.
+#if INSTA_TELEMETRY_ENABLED
+#define INSTA_TM(...) __VA_ARGS__
+#else
+#define INSTA_TM(...)
+#endif
+
+#define INSTA_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define INSTA_TELEMETRY_CONCAT(a, b) INSTA_TELEMETRY_CONCAT_INNER(a, b)

@@ -1,0 +1,278 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace insta::telemetry {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // %.17g round-trips doubles; trim to %g style output for readability of
+  // exact integers (counts, bucket totals).
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser state over the input text.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string& error)
+      : text_(text), error_(&error) {}
+
+  bool parse_document(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& msg) {
+    *error_ = msg + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return fail("invalid literal");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (at_end() || peek() != '"') return fail("expected string");
+    ++pos_;
+    out.clear();
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (at_end()) return fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4U;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("bad \\u escape digit");
+              }
+            }
+            // Validator use only: encode BMP code points as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6U));
+              out += static_cast<char>(0x80 | (code & 0x3FU));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12U));
+              out += static_cast<char>(0x80 | ((code >> 6U) & 0x3FU));
+              out += static_cast<char>(0x80 | (code & 0x3FU));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      return fail("expected digit");
+    }
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        return fail("expected fraction digit");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        return fail("expected exponent digit");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::strtod(token.c_str(), nullptr);
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': {
+        ++pos_;
+        out.type = JsonValue::Type::kObject;
+        skip_ws();
+        if (!at_end() && peek() == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (at_end() || peek() != ':') return fail("expected ':'");
+          ++pos_;
+          skip_ws();
+          JsonValue child;
+          if (!parse_value(child, depth + 1)) return false;
+          out.object.emplace_back(std::move(key), std::move(child));
+          skip_ws();
+          if (at_end()) return fail("unterminated object");
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          if (peek() == '}') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos_;
+        out.type = JsonValue::Type::kArray;
+        skip_ws();
+        if (!at_end() && peek() == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          JsonValue child;
+          if (!parse_value(child, depth + 1)) return false;
+          out.array.push_back(std::move(child));
+          skip_ws();
+          if (at_end()) return fail("unterminated array");
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          if (peek() == ']') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return parse_string(out.string);
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        return consume_literal("true");
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        return consume_literal("false");
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        return consume_literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_parse(std::string_view text, JsonValue& out, std::string& error) {
+  out = JsonValue{};
+  Parser p(text, error);
+  return p.parse_document(out);
+}
+
+}  // namespace insta::telemetry

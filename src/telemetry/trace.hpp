@@ -1,0 +1,154 @@
+#pragma once
+
+// Phase-scoped tracing with Chrome trace_event export.
+//
+// TraceSpan is an RAII scope: construction samples the monotonic clock,
+// destruction records a {name, begin, end, depth, arg} span into the
+// calling thread's ring buffer. Rings are fixed-capacity and overwrite
+// their oldest spans, so tracing never allocates on the hot path after the
+// first span of a thread and long runs keep the most recent window.
+//
+// chrome_trace_json() renders everything recorded so far as a Chrome
+// "trace_event" JSON document (balanced B/E duration events plus thread
+// metadata), loadable in chrome://tracing and https://ui.perfetto.dev.
+//
+// Tracing is off until set_enabled(true); a disabled TraceSpan costs one
+// relaxed atomic load. With INSTA_TELEMETRY_ENABLED == 0 everything here is
+// an empty stub (chrome_trace_json() still returns a valid empty trace).
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "telemetry/config.hpp"
+
+#if INSTA_TELEMETRY_ENABLED
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+#endif
+
+namespace insta::telemetry {
+
+/// Sentinel for "span has no numeric argument".
+inline constexpr std::int64_t kNoTraceArg =
+    std::numeric_limits<std::int64_t>::min();
+
+#if INSTA_TELEMETRY_ENABLED
+
+class TraceSpan;
+
+class Tracer {
+ public:
+  /// Spans retained per thread; older spans are overwritten.
+  static constexpr std::size_t kRingCapacity = 1U << 15U;
+
+  /// Process-wide tracer used by TraceSpan and the INSTA_TRACE_SCOPE macro.
+  static Tracer& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Discards all recorded spans (ring buffers stay allocated).
+  void clear();
+
+  /// Number of spans lost to ring-buffer overwrite since the last clear().
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Renders the recorded spans as a Chrome trace_event JSON document.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Writes chrome_trace_json() to a file; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  friend class TraceSpan;
+
+  struct SpanRecord {
+    const char* name = nullptr;  ///< must point at a string literal
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::int64_t arg = kNoTraceArg;
+    std::int32_t depth = 0;
+  };
+
+  struct Ring {
+    mutable std::mutex mutex;
+    std::vector<SpanRecord> spans;  ///< capacity kRingCapacity once touched
+    std::uint64_t total = 0;        ///< spans ever recorded
+    int tid = 0;
+  };
+
+  Tracer() = default;
+
+  /// Monotonic nanoseconds since the first use of the tracer.
+  [[nodiscard]] static std::uint64_t now_ns();
+
+  Ring* ring();
+  void record(const SpanRecord& rec);
+
+  inline static thread_local Ring* t_ring_ = nullptr;
+
+  mutable std::mutex mutex_;  ///< guards rings_
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII trace scope. `name` must be a string literal (it is stored by
+/// pointer). The optional `arg` is exported as args.v (e.g. a level index).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::int64_t arg = kNoTraceArg);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t begin_ns_ = 0;
+  std::int64_t arg_ = kNoTraceArg;
+  std::int32_t depth_ = 0;
+  bool active_ = false;
+};
+
+#else  // !INSTA_TELEMETRY_ENABLED
+
+class Tracer {
+ public:
+  static Tracer& global() {
+    static Tracer t;
+    return t;
+  }
+  void set_enabled(bool) {}
+  [[nodiscard]] bool enabled() const { return false; }
+  void clear() {}
+  [[nodiscard]] std::uint64_t dropped() const { return 0; }
+  [[nodiscard]] std::string chrome_trace_json() const {
+    return "{\"traceEvents\": []}\n";
+  }
+  bool write_chrome_trace(const std::string& path) const;
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*, std::int64_t = kNoTraceArg) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() = default;
+};
+
+#endif  // INSTA_TELEMETRY_ENABLED
+
+}  // namespace insta::telemetry
+
+/// Declares an RAII trace span covering the rest of the enclosing scope.
+/// Usage: INSTA_TRACE_SCOPE("engine.forward");
+///        INSTA_TRACE_SCOPE("engine.level", static_cast<std::int64_t>(l));
+#define INSTA_TRACE_SCOPE(...)                                        \
+  const ::insta::telemetry::TraceSpan INSTA_TELEMETRY_CONCAT(         \
+      insta_trace_span_, __LINE__) {                                  \
+    __VA_ARGS__                                                       \
+  }

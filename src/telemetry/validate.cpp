@@ -1,0 +1,200 @@
+#include "telemetry/validate.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "telemetry/json.hpp"
+
+namespace insta::telemetry {
+
+namespace {
+
+bool is_nonneg_integer(const JsonValue& v) {
+  return v.is_number() && v.number >= 0.0 && v.number == std::floor(v.number);
+}
+
+}  // namespace
+
+ValidationResult validate_chrome_trace(std::string_view text,
+                                       std::size_t* num_events) {
+  ValidationResult res;
+  if (num_events != nullptr) *num_events = 0;
+
+  JsonValue doc;
+  std::string error;
+  if (!json_parse(text, doc, error)) {
+    res.fail("trace is not valid JSON: " + error);
+    return res;
+  }
+  const JsonValue* events = nullptr;
+  if (doc.is_array()) {
+    events = &doc;  // the JSON-array flavor of the format
+  } else if (doc.is_object()) {
+    events = doc.find("traceEvents");
+  }
+  if (events == nullptr || !events->is_array()) {
+    res.fail("document has no traceEvents array");
+    return res;
+  }
+  if (num_events != nullptr) *num_events = events->array.size();
+
+  struct Lane {
+    std::vector<std::string> stack;  ///< open span names
+    double last_ts = -1.0;
+  };
+  std::map<std::pair<double, double>, Lane> lanes;
+
+  std::size_t idx = 0;
+  for (const JsonValue& ev : events->array) {
+    const std::string where = "event " + std::to_string(idx++);
+    if (!ev.is_object()) {
+      res.fail(where + ": not an object");
+      continue;
+    }
+    const JsonValue* ph = ev.find("ph");
+    const JsonValue* pid = ev.find("pid");
+    const JsonValue* tid = ev.find("tid");
+    const JsonValue* ts = ev.find("ts");
+    const JsonValue* name = ev.find("name");
+    if (ph == nullptr || !ph->is_string() || ph->string.size() != 1) {
+      res.fail(where + ": missing or malformed ph");
+      continue;
+    }
+    if (pid == nullptr || !pid->is_number() || tid == nullptr ||
+        !tid->is_number()) {
+      res.fail(where + ": missing pid/tid");
+      continue;
+    }
+    if (name == nullptr || !name->is_string()) {
+      res.fail(where + ": missing name");
+      continue;
+    }
+    const char kind = ph->string[0];
+    if (kind == 'M') continue;  // metadata events carry no timestamp order
+    if (ts == nullptr || !ts->is_number() || ts->number < 0.0) {
+      res.fail(where + ": missing or negative ts");
+      continue;
+    }
+    Lane& lane = lanes[{pid->number, tid->number}];
+    if (ts->number < lane.last_ts) {
+      res.fail(where + ": ts decreases within its (pid, tid) lane");
+    }
+    lane.last_ts = ts->number;
+    if (kind == 'B') {
+      lane.stack.push_back(name->string);
+    } else if (kind == 'E') {
+      if (lane.stack.empty()) {
+        res.fail(where + ": E event with no open B span");
+      } else {
+        if (lane.stack.back() != name->string) {
+          res.fail(where + ": E name '" + name->string +
+                   "' does not match open span '" + lane.stack.back() + "'");
+        }
+        lane.stack.pop_back();
+      }
+    } else if (kind != 'X' && kind != 'i' && kind != 'C') {
+      res.fail(where + ": unsupported ph '" + ph->string + "'");
+    }
+  }
+  for (const auto& [key, lane] : lanes) {
+    if (!lane.stack.empty()) {
+      res.fail("lane tid " + json_number(key.second) + " has " +
+               std::to_string(lane.stack.size()) +
+               " unclosed span(s), first: '" + lane.stack.front() + "'");
+    }
+  }
+  return res;
+}
+
+ValidationResult validate_metrics_json(std::string_view text) {
+  ValidationResult res;
+
+  JsonValue doc;
+  std::string error;
+  if (!json_parse(text, doc, error)) {
+    res.fail("metrics file is not valid JSON: " + error);
+    return res;
+  }
+  if (!doc.is_object()) {
+    res.fail("top level is not an object");
+    return res;
+  }
+  const JsonValue* counters = doc.find("counters");
+  const JsonValue* gauges = doc.find("gauges");
+  const JsonValue* histograms = doc.find("histograms");
+  if (counters == nullptr || !counters->is_object()) {
+    res.fail("missing counters object");
+  } else {
+    for (const auto& [name, v] : counters->object) {
+      if (!is_nonneg_integer(v)) {
+        res.fail("counter '" + name + "' is not a non-negative integer");
+      }
+    }
+  }
+  if (gauges == nullptr || !gauges->is_object()) {
+    res.fail("missing gauges object");
+  } else {
+    for (const auto& [name, v] : gauges->object) {
+      if (!v.is_number() && v.type != JsonValue::Type::kNull) {
+        res.fail("gauge '" + name + "' is not a number");
+      }
+    }
+  }
+  if (histograms == nullptr || !histograms->is_object()) {
+    res.fail("missing histograms object");
+    return res;
+  }
+  for (const auto& [name, h] : histograms->object) {
+    const std::string where = "histogram '" + name + "'";
+    if (!h.is_object()) {
+      res.fail(where + ": not an object");
+      continue;
+    }
+    const JsonValue* count = h.find("count");
+    const JsonValue* sum = h.find("sum");
+    const JsonValue* bounds = h.find("bounds");
+    const JsonValue* buckets = h.find("buckets");
+    if (count == nullptr || !is_nonneg_integer(*count)) {
+      res.fail(where + ": missing or malformed count");
+      continue;
+    }
+    if (sum == nullptr ||
+        (!sum->is_number() && sum->type != JsonValue::Type::kNull)) {
+      res.fail(where + ": missing sum");
+    }
+    if (bounds == nullptr || !bounds->is_array() || buckets == nullptr ||
+        !buckets->is_array()) {
+      res.fail(where + ": missing bounds/buckets arrays");
+      continue;
+    }
+    if (buckets->array.size() != bounds->array.size() + 1) {
+      res.fail(where + ": buckets.size() != bounds.size() + 1");
+    }
+    double prev = -std::numeric_limits<double>::infinity();
+    for (const JsonValue& b : bounds->array) {
+      if (!b.is_number() || b.number <= prev) {
+        res.fail(where + ": bounds not strictly ascending");
+        break;
+      }
+      prev = b.number;
+    }
+    double total = 0.0;
+    bool buckets_ok = true;
+    for (const JsonValue& b : buckets->array) {
+      if (!is_nonneg_integer(b)) {
+        res.fail(where + ": bucket is not a non-negative integer");
+        buckets_ok = false;
+        break;
+      }
+      total += b.number;
+    }
+    if (buckets_ok && total != count->number) {
+      res.fail(where + ": count does not equal the sum of buckets");
+    }
+  }
+  return res;
+}
+
+}  // namespace insta::telemetry

@@ -1,0 +1,38 @@
+#pragma once
+
+// Structural validators for the two JSON artifacts the telemetry subsystem
+// emits: Chrome trace_event documents (--trace) and metrics snapshots
+// (--metrics-json). Used by the telemetry_check CLI tool in CI and by the
+// unit tests. Always compiled regardless of INSTA_TELEMETRY_ENABLED.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace insta::telemetry {
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string msg) {
+    ok = false;
+    errors.push_back(std::move(msg));
+  }
+};
+
+/// Checks that `text` is a valid Chrome trace_event JSON document: parses,
+/// has a traceEvents array, every event carries ph/pid/tid/ts/name, and for
+/// each (pid, tid) lane the B/E events are balanced (stack discipline) with
+/// non-decreasing timestamps. Fills `num_events` with the event count.
+ValidationResult validate_chrome_trace(std::string_view text,
+                                       std::size_t* num_events = nullptr);
+
+/// Checks that `text` matches the MetricsSnapshot::to_json schema: top-level
+/// counters/gauges/histograms objects, integral non-negative counters, and
+/// for each histogram strictly ascending bounds, buckets.size() ==
+/// bounds.size() + 1, and count == sum(buckets).
+ValidationResult validate_metrics_json(std::string_view text);
+
+}  // namespace insta::telemetry

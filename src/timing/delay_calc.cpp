@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace insta::timing {
@@ -124,9 +125,14 @@ void DelayCalculator::compute_sink_slews(NetId net_id) {
 namespace {
 
 /// Cell/launch arc delay from explicit inputs (shared by the exact path and
-/// by estimate_eco's frozen-neighbourhood evaluation).
+/// by estimate_eco's frozen-neighbourhood evaluation). Each call is one
+/// NLDM-style table evaluation, counted as delay_calc.cell_arc_evals.
 ArcVals eval_cell_arc(const ArcRecord& a, const LibCell& lc, double load,
                       const std::array<double, 2>& from_slew) {
+  static telemetry::Counter evals =
+      telemetry::MetricsRegistry::global().counter(
+          "delay_calc.cell_arc_evals");
+  evals.inc();
   ArcVals v;
   for (const int rf : {0, 1}) {
     const int in_rf = (a.sense == ArcSense::kPositive) ? rf : 1 - rf;
@@ -159,6 +165,10 @@ void DelayCalculator::compute_cell_arc(ArcId arc_id, ArcDelays& delays) const {
 }
 
 void DelayCalculator::compute_net_arc(ArcId arc_id, ArcDelays& delays) const {
+  static telemetry::Counter evals =
+      telemetry::MetricsRegistry::global().counter(
+          "delay_calc.net_arc_evals");
+  evals.inc();
   const ArcRecord& a = graph_->arc(arc_id);
   const netlist::Net& n = design_->net(a.net);
   const double len = sink_length(n, a.to);
@@ -173,6 +183,11 @@ void DelayCalculator::compute_net_arc(ArcId arc_id, ArcDelays& delays) const {
 }
 
 void DelayCalculator::compute_all(ArcDelays& delays) {
+  INSTA_TRACE_SCOPE("delay_calc.compute_all");
+  static telemetry::Counter full_computes =
+      telemetry::MetricsRegistry::global().counter(
+          "delay_calc.full_computes");
+  full_computes.inc();
   delays.resize(graph_->num_arcs());
   for (std::size_t n = 0; n < design_->num_nets(); ++n) {
     compute_net_load(static_cast<NetId>(n));
@@ -195,6 +210,11 @@ void DelayCalculator::compute_all(ArcDelays& delays) {
 
 std::vector<ArcId> DelayCalculator::update_for_resize(CellId cell_id,
                                                       ArcDelays& delays) {
+  INSTA_TRACE_SCOPE("delay_calc.update_for_resize");
+  static telemetry::Counter resize_updates =
+      telemetry::MetricsRegistry::global().counter(
+          "delay_calc.resize_updates");
+  resize_updates.inc();
   const LibCell& lc = design_->libcell_of(cell_id);
   check(!netlist::is_sequential(lc.func) && netlist::has_output(lc.func) &&
             netlist::num_data_inputs(lc.func) > 0,
@@ -284,6 +304,11 @@ std::vector<ArcId> DelayCalculator::update_for_resize(CellId cell_id,
 
 std::vector<ArcDelta> DelayCalculator::estimate_eco(
     CellId cell_id, netlist::LibCellId new_libcell) const {
+  INSTA_TRACE_SCOPE("delay_calc.estimate_eco");
+  static telemetry::Counter eco_estimates =
+      telemetry::MetricsRegistry::global().counter(
+          "delay_calc.eco_estimates");
+  eco_estimates.inc();
   const LibCell& old_lc = design_->libcell_of(cell_id);
   const LibCell& new_lc = design_->library().cell(new_libcell);
   check(old_lc.func == new_lc.func, "estimate_eco: function mismatch");

@@ -1,8 +1,11 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
 #include <string>
 
@@ -11,7 +14,8 @@ namespace insta::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+std::mutex g_mutex;  ///< serializes sink writes and guards g_sink
+std::shared_ptr<LogSink> g_sink;  ///< null means the default stderr sink
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -30,7 +34,45 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void init_log_level_from_env() {
+  static const bool applied = [] {
+    const char* env = std::getenv("INSTA_LOG_LEVEL");
+    if (env == nullptr) return false;
+    const std::optional<LogLevel> level = parse_log_level(env);
+    if (!level.has_value()) {
+      std::fprintf(stderr,
+                   "[INSTA] ignoring unrecognized INSTA_LOG_LEVEL='%s'\n", env);
+      return false;
+    }
+    set_log_level(*level);
+    return true;
+  }();
+  (void)applied;
+}
+
+std::shared_ptr<LogSink> set_log_sink(std::shared_ptr<LogSink> sink) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::shared_ptr<LogSink> prev = std::move(g_sink);
+  g_sink = std::move(sink);
+  return prev;
+}
+
 void log(LogLevel level, std::string_view msg) {
+  init_log_level_from_env();
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   using Clock = std::chrono::system_clock;
   const auto now = Clock::now();
@@ -40,10 +82,19 @@ void log(LogLevel level, std::string_view msg) {
   const std::time_t t = Clock::to_time_t(now);
   std::tm tm{};
   localtime_r(&t, &tm);
+  char prefix[40];
+  std::snprintf(prefix, sizeof(prefix), "[%02d:%02d:%02d.%03d] [%s] ",
+                tm.tm_hour, tm.tm_min, tm.tm_sec, static_cast<int>(ms),
+                tag(level));
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%02d:%02d:%02d.%03d] [%s] %.*s\n", tm.tm_hour, tm.tm_min,
-               tm.tm_sec, static_cast<int>(ms), tag(level),
-               static_cast<int>(msg.size()), msg.data());
+  if (g_sink != nullptr) {
+    std::string line = prefix;
+    line.append(msg);
+    g_sink->write(level, line);
+    return;
+  }
+  std::fprintf(stderr, "%s%.*s\n", prefix, static_cast<int>(msg.size()),
+               msg.data());
 }
 
 void log_debug(std::string_view msg) { log(LogLevel::kDebug, msg); }

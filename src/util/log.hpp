@@ -1,6 +1,12 @@
 #pragma once
 
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace insta::util {
 
@@ -13,8 +19,56 @@ void set_log_level(LogLevel level);
 /// Returns the current global minimum severity.
 LogLevel log_level();
 
-/// Emits one log line (with timestamp and severity tag) to stderr if
-/// `level` is at or above the global threshold. Thread-safe.
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive;
+/// "warning" accepted). Returns nullopt on anything else.
+std::optional<LogLevel> parse_log_level(std::string_view text);
+
+/// Applies the INSTA_LOG_LEVEL environment variable, if set and parseable.
+/// Idempotent: the environment is consulted only on the first call, so a CLI
+/// flag that calls set_log_level afterwards is not overridden later.
+void init_log_level_from_env();
+
+/// Destination for formatted log lines. The logger serializes write() calls
+/// under its own mutex, so implementations need no locking of their own
+/// against the logger (CaptureLogSink still locks because tests read it
+/// concurrently).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  /// `line` is the fully formatted log line, without trailing newline.
+  virtual void write(LogLevel level, std::string_view line) = 0;
+};
+
+/// Replaces the global sink (nullptr restores the default stderr sink).
+/// Returns the previous sink (nullptr if it was the default) so tests can
+/// restore it. Thread-safe.
+std::shared_ptr<LogSink> set_log_sink(std::shared_ptr<LogSink> sink);
+
+/// Test sink that captures every line it receives.
+class CaptureLogSink : public LogSink {
+ public:
+  void write(LogLevel level, std::string_view line) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    lines_.emplace_back(level, std::string(line));
+  }
+
+  [[nodiscard]] std::vector<std::pair<LogLevel, std::string>> lines() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    lines_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<LogLevel, std::string>> lines_;
+};
+
+/// Emits one log line (with timestamp and severity tag) to the active sink
+/// if `level` is at or above the global threshold. Thread-safe.
 void log(LogLevel level, std::string_view msg);
 
 /// Convenience wrappers for the common severities.

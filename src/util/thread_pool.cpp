@@ -2,18 +2,35 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 
+#include "telemetry/telemetry.hpp"
+
 namespace insta::util {
+
+namespace {
+
+#if INSTA_TELEMETRY_ENABLED
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+#endif
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  counters_ = std::make_unique<WorkerCounters[]>(num_threads);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -26,26 +43,74 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t widx) {
+  WorkerCounters& wc = counters_[widx];
+  (void)wc;
   for (;;) {
     std::function<void()> task;
     {
+      INSTA_TM(const auto wait_start = std::chrono::steady_clock::now();)
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      INSTA_TM(wc.idle_ns.fetch_add(elapsed_ns(wait_start),
+                                    std::memory_order_relaxed);)
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    INSTA_TM(const auto task_start = std::chrono::steady_clock::now();)
     task();
+    INSTA_TM(wc.busy_ns.fetch_add(elapsed_ns(task_start),
+                                  std::memory_order_relaxed);)
+    INSTA_TM(wc.tasks.fetch_add(1, std::memory_order_relaxed);)
   }
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  INSTA_TM(tasks_queued_.fetch_add(1, std::memory_order_relaxed);)
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
   }
   cv_.notify_one();
+}
+
+ThreadPool::PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.workers = workers_.size();
+#if INSTA_TELEMETRY_ENABLED
+  s.tasks_queued = tasks_queued_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const WorkerCounters& wc = counters_[i];
+    const auto busy = wc.busy_ns.load(std::memory_order_relaxed);
+    const auto idle = wc.idle_ns.load(std::memory_order_relaxed);
+    s.tasks_executed += wc.tasks.load(std::memory_order_relaxed);
+    s.busy_sec += static_cast<double>(busy) * 1e-9;
+    s.idle_sec += static_cast<double>(idle) * 1e-9;
+    if (busy + idle > 0) {
+      const double idle_pct = 100.0 * static_cast<double>(idle) /
+                              static_cast<double>(busy + idle);
+      s.max_worker_idle_pct = std::max(s.max_worker_idle_pct, idle_pct);
+    }
+  }
+#endif
+  return s;
+}
+
+void ThreadPool::publish_metrics() const {
+#if INSTA_TELEMETRY_ENABLED
+  const PoolStats s = stats();
+  auto& reg = telemetry::MetricsRegistry::global();
+  reg.gauge("pool.workers").set(static_cast<double>(s.workers));
+  reg.gauge("pool.tasks_queued").set(static_cast<double>(s.tasks_queued));
+  reg.gauge("pool.tasks_executed").set(static_cast<double>(s.tasks_executed));
+  reg.gauge("pool.busy_sec").set(s.busy_sec);
+  reg.gauge("pool.idle_sec").set(s.idle_sec);
+  reg.gauge("pool.max_worker_idle_pct").set(s.max_worker_idle_pct);
+  const double total = s.busy_sec + s.idle_sec;
+  reg.gauge("pool.utilization_pct")
+      .set(total > 0.0 ? 100.0 * s.busy_sec / total : 0.0);
+#endif
 }
 
 void ThreadPool::parallel_for_chunks(
@@ -62,6 +127,25 @@ void ThreadPool::parallel_for_chunks(
   const std::size_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
   const std::size_t num_chunks = (n + chunk - 1) / chunk;
 
+#if INSTA_TELEMETRY_ENABLED
+  static telemetry::Counter pf_calls =
+      telemetry::MetricsRegistry::global().counter("pool.parallel_for_calls");
+  static telemetry::Counter pf_chunks =
+      telemetry::MetricsRegistry::global().counter("pool.chunks");
+  static telemetry::Histogram chunk_us =
+      telemetry::MetricsRegistry::global().histogram(
+          "pool.chunk_us", telemetry::HistogramSpec{1.0, 2.0});
+  // Spread between the slowest and fastest chunk of one parallel_for, as a
+  // percent of the slowest — 0 means perfectly balanced chunks.
+  static telemetry::Histogram imbalance =
+      telemetry::MetricsRegistry::global().histogram(
+          "pool.chunk_imbalance_pct", telemetry::HistogramSpec{1.0, 1.6});
+  pf_calls.inc();
+  pf_chunks.add(num_chunks);
+  // Slot per chunk, each written by exactly one task, read after the wait.
+  std::vector<std::uint64_t> chunk_ns(num_chunks, 0);
+#endif
+
   std::atomic<std::size_t> remaining{num_chunks};
   std::mutex done_mutex;
   std::condition_variable done_cv;
@@ -73,9 +157,13 @@ void ThreadPool::parallel_for_chunks(
   for (std::size_t c = 0; c < num_chunks; ++c) {
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
-    enqueue([&, lo, hi] {
+    enqueue([&, lo, hi, c] {
+      (void)c;
       try {
+        INSTA_TRACE_SCOPE("pool.chunk", static_cast<std::int64_t>(hi - lo));
+        INSTA_TM(const auto chunk_start = std::chrono::steady_clock::now();)
         fn(lo, hi);
+        INSTA_TM(chunk_ns[c] = elapsed_ns(chunk_start);)
       } catch (...) {
         const std::lock_guard<std::mutex> lock(done_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -89,6 +177,20 @@ void ThreadPool::parallel_for_chunks(
   std::unique_lock<std::mutex> lock(done_mutex);
   done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
   if (first_error) std::rethrow_exception(first_error);
+
+#if INSTA_TELEMETRY_ENABLED
+  std::uint64_t mn = chunk_ns[0];
+  std::uint64_t mx = chunk_ns[0];
+  for (const std::uint64_t ns : chunk_ns) {
+    chunk_us.observe(static_cast<double>(ns) * 1e-3);
+    mn = std::min(mn, ns);
+    mx = std::max(mx, ns);
+  }
+  if (mx > 0) {
+    imbalance.observe(100.0 * static_cast<double>(mx - mn) /
+                      static_cast<double>(mx));
+  }
+#endif
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,

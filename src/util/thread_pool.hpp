@@ -1,8 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -19,6 +22,18 @@ namespace insta::util {
 /// are deterministic regardless of the number of workers.
 class ThreadPool {
  public:
+  /// Point-in-time utilization numbers, cumulative since construction.
+  /// All zero when telemetry is compiled out.
+  struct PoolStats {
+    std::size_t workers = 0;
+    std::uint64_t tasks_queued = 0;
+    std::uint64_t tasks_executed = 0;
+    double busy_sec = 0.0;  ///< summed across workers
+    double idle_sec = 0.0;  ///< summed across workers (time blocked in wait)
+    /// Idle share of the most idle worker, in percent of its busy+idle time.
+    double max_worker_idle_pct = 0.0;
+  };
+
   /// Creates `num_threads` workers (0 means hardware_concurrency, min 1).
   explicit ThreadPool(std::size_t num_threads = 0);
 
@@ -50,14 +65,30 @@ class ThreadPool {
       const std::function<void(std::size_t, std::size_t)>& fn,
       std::size_t grain = 256);
 
+  /// Aggregates the per-worker counters (racy but monotone reads).
+  [[nodiscard]] PoolStats stats() const;
+
+  /// Writes stats() into MetricsRegistry::global() as "pool.*" gauges.
+  /// Gauges (not counters) so repeated publication is idempotent.
+  void publish_metrics() const;
+
   /// Process-wide pool sized to the hardware. Used by the engines by default.
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  /// One cache line per worker so counter updates never false-share.
+  struct alignas(64) WorkerCounters {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+  };
+
+  void worker_loop(std::size_t widx);
   void enqueue(std::function<void()> task);
 
   std::vector<std::thread> workers_;
+  std::unique_ptr<WorkerCounters[]> counters_;  ///< size workers_.size()
+  std::atomic<std::uint64_t> tasks_queued_{0};
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -1,0 +1,361 @@
+// Tests for the telemetry subsystem: metrics registry (concurrency,
+// histogram bucketing, snapshot consistency), trace export (JSON validity,
+// B/E balance, nesting across parallel_for), the JSON parser/validators,
+// and the pluggable log sink.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/validate.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace insta {
+namespace {
+
+#if INSTA_TELEMETRY_ENABLED
+
+TEST(Metrics, CounterBasics) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Counter c = reg.counter("test.basic");
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(reg.snapshot().counter_or("test.basic", 0), 42u);
+  EXPECT_EQ(reg.snapshot().counter_or("test.missing", 7), 7u);
+
+  // Registration is idempotent: the same name maps to the same counter.
+  telemetry::Counter c2 = reg.counter("test.basic");
+  c2.inc();
+  EXPECT_EQ(reg.snapshot().counter_or("test.basic", 0), 43u);
+
+  reg.reset();
+  EXPECT_EQ(reg.snapshot().counter_or("test.basic", 0), 0u);
+}
+
+TEST(Metrics, DefaultHandlesAreNoOps) {
+  telemetry::Counter c;
+  telemetry::Gauge g;
+  telemetry::Histogram h;
+  c.inc();
+  g.set(1.0);
+  h.observe(1.0);  // must not crash
+}
+
+TEST(Metrics, ConcurrentIncrementsSumExactly) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Counter c = reg.counter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c]() mutable {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.snapshot().counter_or("test.concurrent", 0),
+            kThreads * kPerThread);
+}
+
+TEST(Metrics, ConcurrentIncrementsFromPoolSumExactly) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Counter c = reg.counter("test.pool");
+  constexpr std::size_t kItems = 200000;
+  util::ThreadPool::global().parallel_for_chunks(
+      0, kItems,
+      [c](std::size_t lo, std::size_t hi) mutable {
+        for (std::size_t i = lo; i < hi; ++i) c.inc();
+      },
+      64);
+  EXPECT_EQ(reg.snapshot().counter_or("test.pool", 0), kItems);
+}
+
+TEST(Metrics, GaugeSetAndMax) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Gauge g = reg.gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauge_or("test.gauge", 0.0), 2.5);
+  g.set_max(1.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauge_or("test.gauge", 0.0), 2.5);
+  g.set_max(9.0);  // higher: taken
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauge_or("test.gauge", 0.0), 9.0);
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  telemetry::MetricsRegistry reg;
+  // base 1, growth 2: bucket 0 <= 1, bucket 1 (1, 2], bucket 2 (2, 4], ...
+  telemetry::Histogram h = reg.histogram("test.hist", {1.0, 2.0});
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (inclusive upper bound)
+  h.observe(1.5);   // bucket 1
+  h.observe(2.0);   // bucket 1 (boundary lands in the lower bucket)
+  h.observe(2.001); // bucket 2
+  h.observe(4.0);   // bucket 2
+  h.observe(1e30);  // clamped into the last (unbounded) bucket
+
+  const telemetry::HistogramSnapshot hs =
+      reg.snapshot().histograms.at("test.hist");
+  ASSERT_EQ(hs.buckets.size(),
+            static_cast<std::size_t>(telemetry::MetricsRegistry::kNumBuckets));
+  ASSERT_EQ(hs.bounds.size(), hs.buckets.size() - 1);
+  EXPECT_EQ(hs.buckets[0], 2u);
+  EXPECT_EQ(hs.buckets[1], 2u);
+  EXPECT_EQ(hs.buckets[2], 2u);
+  EXPECT_EQ(hs.buckets.back(), 1u);
+  EXPECT_EQ(hs.count, 7u);
+  EXPECT_DOUBLE_EQ(hs.min, 0.5);
+  EXPECT_DOUBLE_EQ(hs.max, 1e30);
+  EXPECT_DOUBLE_EQ(hs.bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(hs.bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(hs.bounds[2], 4.0);
+
+  // Re-registering with a different spec is an error.
+  EXPECT_THROW(reg.histogram("test.hist", {1.0, 3.0}), std::runtime_error);
+}
+
+TEST(Metrics, SnapshotWhileWritingIsConsistent) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Histogram h = reg.histogram("test.live", {1.0, 2.0});
+  std::atomic<bool> stop{false};
+  std::thread writer([h, &stop]() mutable {
+    double v = 0.1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      h.observe(v);
+      v = v > 1e6 ? 0.1 : v * 1.7;
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const telemetry::MetricsSnapshot snap = reg.snapshot();
+    const telemetry::HistogramSnapshot& hs = snap.histograms.at("test.live");
+    std::uint64_t sum = 0;
+    for (const std::uint64_t b : hs.buckets) sum += b;
+    // The invariant the JSON checker enforces: count is derived from the
+    // buckets, never torn against them.
+    EXPECT_EQ(hs.count, sum);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(Metrics, SnapshotJsonValidates) {
+  telemetry::MetricsRegistry reg;
+  reg.counter("c.one").add(3);
+  reg.gauge("g.one").set(1.25);
+  reg.histogram("h.one", {1.0, 2.0}).observe(5.0);
+  const std::string json = reg.snapshot().to_json();
+  const telemetry::ValidationResult r = telemetry::validate_metrics_json(json);
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors.front());
+}
+
+TEST(Trace, ExportIsValidAndBalanced) {
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    telemetry::TraceSpan outer("test.outer", 7);
+    telemetry::TraceSpan inner("test.inner");
+    { INSTA_TRACE_SCOPE("test.leaf", 42); }
+  }
+  tracer.set_enabled(false);
+
+  const std::string json = tracer.chrome_trace_json();
+  std::size_t events = 0;
+  const telemetry::ValidationResult r =
+      telemetry::validate_chrome_trace(json, &events);
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors.front());
+  // 3 spans -> 3 B + 3 E, plus one thread_name metadata event.
+  EXPECT_EQ(events, 7u);
+
+  telemetry::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(telemetry::json_parse(json, doc, error)) << error;
+  const telemetry::JsonValue* evs = doc.find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  int balance = 0;
+  bool saw_arg = false;
+  for (const telemetry::JsonValue& ev : evs->array) {
+    const std::string& ph = ev.find("ph")->string;
+    if (ph == "B") {
+      ++balance;
+      const telemetry::JsonValue* a = ev.find("args");
+      if (a != nullptr && ev.find("name")->string == "test.leaf") {
+        saw_arg = a->find("v")->number == 42.0;
+      }
+    } else if (ph == "E") {
+      ASSERT_GT(balance, 0);
+      --balance;
+    }
+  }
+  EXPECT_EQ(balance, 0);
+  EXPECT_TRUE(saw_arg);
+  tracer.clear();
+}
+
+TEST(Trace, SpansNestAcrossParallelFor) {
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    INSTA_TRACE_SCOPE("test.parallel_phase");
+    util::ThreadPool::global().parallel_for_chunks(
+        0, 10000,
+        [](std::size_t lo, std::size_t hi) {
+          INSTA_TRACE_SCOPE("test.chunk",
+                            static_cast<std::int64_t>(hi - lo));
+          volatile double sink = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) sink = sink + 1.0;
+        },
+        8);
+  }
+  tracer.set_enabled(false);
+
+  const std::string json = tracer.chrome_trace_json();
+  std::size_t events = 0;
+  const telemetry::ValidationResult r =
+      telemetry::validate_chrome_trace(json, &events);
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors.front());
+
+  telemetry::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(telemetry::json_parse(json, doc, error)) << error;
+  int chunks = 0;
+  bool saw_phase = false;
+  for (const telemetry::JsonValue& ev : doc.find("traceEvents")->array) {
+    if (ev.find("ph")->string != "B") continue;
+    const std::string& name = ev.find("name")->string;
+    if (name == "test.chunk") ++chunks;
+    if (name == "test.parallel_phase") saw_phase = true;
+  }
+  EXPECT_TRUE(saw_phase);
+  EXPECT_GT(chunks, 0);  // worker threads recorded their own spans
+  tracer.clear();
+}
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(false);
+  { INSTA_TRACE_SCOPE("test.invisible"); }
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_EQ(json.find("test.invisible"), std::string::npos);
+}
+
+#else  // !INSTA_TELEMETRY_ENABLED
+
+TEST(Metrics, StubsCompileAndReturnEmpty) {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  reg.counter("x").inc();
+  reg.gauge("y").set(1.0);
+  reg.histogram("z").observe(2.0);
+  EXPECT_TRUE(reg.snapshot().empty());
+  EXPECT_TRUE(telemetry::validate_metrics_json(reg.snapshot().to_json()).ok);
+}
+
+TEST(Trace, StubEmitsEmptyValidTrace) {
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  tracer.set_enabled(true);  // no-op
+  { INSTA_TRACE_SCOPE("test.invisible"); }
+  const telemetry::ValidationResult r =
+      telemetry::validate_chrome_trace(tracer.chrome_trace_json());
+  EXPECT_TRUE(r.ok);
+}
+
+#endif  // INSTA_TELEMETRY_ENABLED
+
+TEST(JsonParse, RoundTripsBasics) {
+  telemetry::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(telemetry::json_parse(
+      R"({"a": [1, 2.5, -3e2], "b": {"c": "x\ny"}, "d": true, "e": null})",
+      doc, error))
+      << error;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.find("a")->array[2].number, -300.0);
+  EXPECT_EQ(doc.find("b")->find("c")->string, "x\ny");
+  EXPECT_FALSE(telemetry::json_parse("{broken", doc, error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Validate, RejectsMalformedTraces) {
+  EXPECT_FALSE(telemetry::validate_chrome_trace("not json").ok);
+  EXPECT_FALSE(telemetry::validate_chrome_trace(R"({"x": 1})").ok);
+  // E without a matching B.
+  EXPECT_FALSE(
+      telemetry::validate_chrome_trace(
+          R"({"traceEvents": [{"ph": "E", "pid": 1, "tid": 1, "ts": 0,)"
+          R"( "name": "x"}]})")
+          .ok);
+  // Unclosed B.
+  EXPECT_FALSE(
+      telemetry::validate_chrome_trace(
+          R"({"traceEvents": [{"ph": "B", "pid": 1, "tid": 1, "ts": 0,)"
+          R"( "name": "x"}]})")
+          .ok);
+  EXPECT_TRUE(telemetry::validate_chrome_trace(R"({"traceEvents": []})").ok);
+}
+
+TEST(Validate, RejectsMalformedMetrics) {
+  EXPECT_FALSE(telemetry::validate_metrics_json("[]").ok);
+  EXPECT_FALSE(
+      telemetry::validate_metrics_json(
+          R"({"counters": {"c": -1}, "gauges": {}, "histograms": {}})")
+          .ok);
+  // count != sum(buckets).
+  EXPECT_FALSE(
+      telemetry::validate_metrics_json(
+          R"({"counters": {}, "gauges": {}, "histograms": {"h":)"
+          R"( {"bounds": [1.0], "buckets": [1, 2], "count": 4,)"
+          R"( "sum": 3.0, "min": 0.5, "max": 2.0}}})")
+          .ok);
+  EXPECT_TRUE(
+      telemetry::validate_metrics_json(
+          R"({"counters": {"c": 3}, "gauges": {"g": 1.5}, "histograms": {}})")
+          .ok);
+}
+
+TEST(LogSink, CaptureSinkReceivesLines) {
+  auto capture = std::make_shared<util::CaptureLogSink>();
+  std::shared_ptr<util::LogSink> previous = util::set_log_sink(capture);
+  const util::LogLevel old_level = util::log_level();
+  util::set_log_level(util::LogLevel::kDebug);
+
+  util::log(util::LogLevel::kInfo, "hello 42");
+  util::log(util::LogLevel::kWarn, "watch out");
+  util::set_log_level(util::LogLevel::kError);
+  util::log(util::LogLevel::kInfo, "filtered away");
+
+  const auto lines = capture->lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].first, util::LogLevel::kInfo);
+  EXPECT_NE(lines[0].second.find("hello 42"), std::string::npos);
+  EXPECT_NE(lines[0].second.find("INFO"), std::string::npos);
+  EXPECT_EQ(lines[1].first, util::LogLevel::kWarn);
+  EXPECT_NE(lines[1].second.find("watch out"), std::string::npos);
+
+  capture->clear();
+  EXPECT_TRUE(capture->lines().empty());
+
+  util::set_log_level(old_level);
+  util::set_log_sink(std::move(previous));
+}
+
+TEST(LogSink, ParseLogLevel) {
+  EXPECT_EQ(util::parse_log_level("debug"), util::LogLevel::kDebug);
+  EXPECT_EQ(util::parse_log_level("INFO"), util::LogLevel::kInfo);
+  EXPECT_EQ(util::parse_log_level("Warn"), util::LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("warning"), util::LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("error"), util::LogLevel::kError);
+  EXPECT_EQ(util::parse_log_level("off"), util::LogLevel::kOff);
+  EXPECT_EQ(util::parse_log_level("none"), util::LogLevel::kOff);
+  EXPECT_FALSE(util::parse_log_level("loud").has_value());
+}
+
+}  // namespace
+}  // namespace insta
