@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <random>
 
 #include "bench_common.hpp"
@@ -144,6 +145,46 @@ void BM_ForwardIncrementalEco(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForwardIncrementalEco)->Unit(benchmark::kMillisecond);
+
+void BM_ForwardGrainSweep(benchmark::State& state) {
+  // Sweep of the parallel chunk grain of the per-level pin kernel (an
+  // EngineOptions knob): too small pays ticket-dispatch overhead per tiny
+  // chunk, too large starves workers on shallow levels.
+  bench::Bundle& b = shared_bundle();
+  core::EngineOptions opt;
+  opt.top_k = 16;
+  opt.parallel_grain = static_cast<int>(state.range(0));
+  core::Engine engine(*b.sta, opt);
+  for (auto _ : state) {
+    engine.run_forward();
+    benchmark::DoNotOptimize(engine.endpoint_slacks().data());
+  }
+  state.counters["grain"] = static_cast<double>(opt.parallel_grain);
+}
+BENCHMARK(BM_ForwardGrainSweep)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- thread-pool dispatch -------------------------------------------------------
+
+void BM_PoolLaunchOverhead(benchmark::State& state) {
+  // Cost of one parallel_for_chunks launch with near-zero work per chunk:
+  // measures the ticket-dispatch handshake (publish, wake, join, drain)
+  // that is paid once per timing level.
+  auto& pool = util::ThreadPool::global();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for_chunks(
+        std::size_t{0}, n,
+        [&](std::size_t lo, std::size_t hi) {
+          sink.fetch_add(hi - lo, std::memory_order_relaxed);
+        },
+        64);
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PoolLaunchOverhead)->Arg(512)->Arg(4096)->Arg(65536);
 
 void BM_BackwardTns(benchmark::State& state) {
   bench::Bundle& b = shared_bundle();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <tuple>
+#include <utility>
 
 #include "core/topk.hpp"
 #include "telemetry/telemetry.hpp"
@@ -36,6 +38,10 @@ struct EngineMetrics {
   telemetry::Counter prunes;
   telemetry::Counter endpoints;
   telemetry::Counter cppr_lookups;
+  // Frontier-sparse incremental pass counters.
+  telemetry::Counter frontier_pins;
+  telemetry::Counter early_terminations;
+  telemetry::Counter endpoints_skipped;
 };
 
 EngineMetrics& engine_metrics() {
@@ -52,10 +58,33 @@ EngineMetrics& engine_metrics() {
     em.prunes = r.counter("engine.prune_hits");
     em.endpoints = r.counter("engine.endpoints_evaluated");
     em.cppr_lookups = r.counter("engine.cppr_lookups");
+    em.frontier_pins = r.counter("engine.frontier_pins");
+    em.early_terminations = r.counter("engine.early_terminations");
+    em.endpoints_skipped = r.counter("engine.endpoints_skipped");
     return em;
   }();
   return m;
 }
+
+/// Thread-local re-merge destination of the sparse pass: each worker
+/// re-merges a pin into this scratch, compares against the live store, and
+/// commits only on change. Amortized allocation; sized to the largest
+/// top_k seen on this thread.
+struct TopKScratch {
+  std::vector<float> arr, mu, sig;
+  std::vector<std::int32_t> sp;
+  std::int32_t cnt = 0;
+  void ensure(std::int32_t k) {
+    if (static_cast<std::int32_t>(arr.size()) < k) {
+      const auto n = static_cast<std::size_t>(k);
+      arr.resize(n);
+      mu.resize(n);
+      sig.resize(n);
+      sp.resize(n);
+    }
+  }
+};
+thread_local TopKScratch tls_scratch;
 
 }  // namespace
 
@@ -64,12 +93,20 @@ Engine::Engine(const ref::GoldenSta& reference, EngineOptions options)
       options_(options),
       exceptions_(reference.exceptions()) {
   check(options_.top_k >= 1, "Engine: top_k must be >= 1");
+  check(options_.parallel_threshold >= 0,
+        "Engine: parallel_threshold must be >= 0");
+  check(options_.parallel_grain >= 1, "Engine: parallel_grain must be >= 1");
+  check(options_.endpoint_grain >= 1, "Engine: endpoint_grain must be >= 1");
   nsigma_ = static_cast<float>(reference.constraints().nsigma);
   num_pins_ = graph_->design().num_pins();
 
   clone_structure(reference);
   clone_delays(reference);
   clone_sp_ep_attributes(reference);
+
+  dirty_pin_.assign(num_pins_, 0);
+  frontier_.resize(level_start_.size() - 1);
+  recompute_aggregates();
 
   const std::size_t k = static_cast<std::size_t>(options_.top_k);
   tk_arr_.assign(num_pins_ * 2 * k, 0.0f);
@@ -214,9 +251,13 @@ void Engine::clone_sp_ep_attributes(const ref::GoldenSta& reference) {
     ep_hold_base_.assign(num_eps, std::numeric_limits<float>::quiet_NaN());
     hold_slack_.assign(num_eps, kInf);
   }
+  ep_of_pin_.assign(num_pins_, -1);
   for (std::size_t e = 0; e < num_eps; ++e) {
     const timing::Endpoint& ep = g.endpoints()[e];
     ep_pin_[e] = ep.pin;
+    check(ep_of_pin_[static_cast<std::size_t>(ep.pin)] < 0,
+          "Engine: endpoint pins must be unique (sparse endpoint lookup)");
+    ep_of_pin_[static_cast<std::size_t>(ep.pin)] = static_cast<std::int32_t>(e);
     ep_base_req_[e] =
         static_cast<float>(reference.ep_base_required(static_cast<EndpointId>(e)));
     ep_period_[e] =
@@ -250,12 +291,11 @@ void Engine::annotate(std::span<const timing::ArcDelta> deltas) {
     const auto arc = static_cast<std::size_t>(d.arc);
     const std::int32_t slot = slot_of_arc_[arc];
     {
-      // Track the shallowest affected level for run_forward_incremental().
-      const int lvl = graph_->level_of(graph_->arc(d.arc).to);
-      if (lvl >= 0) {
-        dirty_level_ =
-            std::min(dirty_level_, static_cast<std::size_t>(lvl));
-      }
+      // Seed the sparse frontier at the arc's sink pin. For launch arcs the
+      // sink is the FF output pin, whose fanin-less merge re-reads the
+      // startpoint attributes updated below.
+      const PinId to = graph_->arc(d.arc).to;
+      mark_dirty(to, graph_->level_of(to));
     }
     if (slot >= 0) {
       for (const int rf : {0, 1}) {
@@ -308,63 +348,82 @@ timing::ArcDelta Engine::read_annotation(ArcId arc) const {
   return d;
 }
 
+/// The Algorithm 1+2 merge of one pin/transition, writing into `dst` —
+/// either the pin's live Top-K slice (dense pass) or thread-local scratch
+/// (sparse pass). Both passes share this single kernel, so recomputing a
+/// pin from unchanged inputs reproduces bit-identical results: that is the
+/// exactness guarantee of the value-change early termination.
+///
+/// kEarly selects the min-mode (tk2_*) parent stores, whose arr slots hold
+/// *negated* early corners so the same descending unique-SP list keeps the
+/// K smallest early arrivals.
+template <bool kEarly>
+void Engine::merge_pin_rf(PinId pin, int rf, const TopKView& dst,
+                          ForwardCounters& fc) {
+  const auto p = static_cast<std::size_t>(pin);
+  const std::int32_t fs = fi_start_[p];
+  const std::int32_t fe = fi_start_[p + 1];
+  const auto& par_mu = kEarly ? tk2_mu_ : tk_mu_;
+  const auto& par_sig = kEarly ? tk2_sig_ : tk_sig_;
+  const auto& par_sp = kEarly ? tk2_sp_ : tk_sp_;
+  const auto& par_cnt = kEarly ? tk2_cnt_ : tk_cnt_;
+
+  *dst.count = 0;
+  if (fs == fe) {
+    const std::int32_t sp = sp_of_pin_[p];
+    if (sp < 0) return;
+    const auto rfi = static_cast<std::size_t>(rf);
+    const float mu = sp_mu_[rfi][static_cast<std::size_t>(sp)];
+    const float sig = sp_sig_[rfi][static_cast<std::size_t>(sp)];
+    dst.arr[0] = kEarly ? -(mu - nsigma_ * sig) : (mu + nsigma_ * sig);
+    dst.mu[0] = mu;
+    dst.sig[0] = sig;
+    dst.sp[0] = sp;
+    *dst.count = 1;
+    return;
+  }
+
+  for (std::int32_t s = fs; s < fe; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    const int prf = rf ^ static_cast<int>(fi_neg_[si]);
+    const auto from = static_cast<std::size_t>(fi_from_[si]);
+    const std::int32_t pcnt = par_cnt[from * 2 + static_cast<std::size_t>(prf)];
+    const float am = amu_[static_cast<std::size_t>(rf)][si];
+    const float as = asig_[static_cast<std::size_t>(rf)][si];
+    const float as2 = as * as;
+    const std::size_t pbase = entry_base(static_cast<PinId>(from), prf);
+    ++fc.arcs;
+    fc.merges += static_cast<std::uint64_t>(pcnt);
+    for (std::int32_t kk = 0; kk < pcnt; ++kk) {
+      const float pmu = par_mu[pbase + static_cast<std::size_t>(kk)];
+      const float psig = par_sig[pbase + static_cast<std::size_t>(kk)];
+      const float mu = pmu + am;
+      const float sig = std::sqrt(psig * psig + as2);
+      const float arrival =
+          kEarly ? -(mu - nsigma_ * sig) : (mu + nsigma_ * sig);
+      const std::int32_t sp = par_sp[pbase + static_cast<std::size_t>(kk)];
+      if (options_.use_heap_queue) {
+        fc.prunes += static_cast<std::uint64_t>(
+            topk_insert_heap(dst, arrival, mu, sig, sp));
+      } else {
+        fc.prunes += static_cast<std::uint64_t>(
+            topk_insert(dst, arrival, mu, sig, sp));
+      }
+    }
+  }
+  if (options_.use_heap_queue) topk_heap_finalize(dst);
+}
+
 void Engine::process_pin(PinId pin, ForwardCounters& fc) {
   const auto p = static_cast<std::size_t>(pin);
   const auto k = static_cast<std::int32_t>(options_.top_k);
-  const std::int32_t fs = fi_start_[p];
-  const std::int32_t fe = fi_start_[p + 1];
   ++fc.pins;
-
   for (int rf = 0; rf < 2; ++rf) {
     const std::size_t base = entry_base(pin, rf);
     std::int32_t& cnt = tk_cnt_[p * 2 + static_cast<std::size_t>(rf)];
-    cnt = 0;
     const TopKView view{&tk_arr_[base], &tk_mu_[base], &tk_sig_[base],
                         &tk_sp_[base], k, &cnt};
-
-    if (fs == fe) {
-      const std::int32_t sp = sp_of_pin_[p];
-      if (sp < 0) continue;
-      const auto rfi = static_cast<std::size_t>(rf);
-      const float mu = sp_mu_[rfi][static_cast<std::size_t>(sp)];
-      const float sig = sp_sig_[rfi][static_cast<std::size_t>(sp)];
-      tk_arr_[base] = mu + nsigma_ * sig;
-      tk_mu_[base] = mu;
-      tk_sig_[base] = sig;
-      tk_sp_[base] = sp;
-      cnt = 1;
-      continue;
-    }
-
-    for (std::int32_t s = fs; s < fe; ++s) {
-      const auto si = static_cast<std::size_t>(s);
-      const int prf = rf ^ static_cast<int>(fi_neg_[si]);
-      const auto from = static_cast<std::size_t>(fi_from_[si]);
-      const std::int32_t pcnt = tk_cnt_[from * 2 + static_cast<std::size_t>(prf)];
-      const float am = amu_[static_cast<std::size_t>(rf)][si];
-      const float as = asig_[static_cast<std::size_t>(rf)][si];
-      const float as2 = as * as;
-      const std::size_t pbase =
-          entry_base(static_cast<PinId>(from), prf);
-      ++fc.arcs;
-      fc.merges += static_cast<std::uint64_t>(pcnt);
-      for (std::int32_t kk = 0; kk < pcnt; ++kk) {
-        const float pmu = tk_mu_[pbase + static_cast<std::size_t>(kk)];
-        const float psig = tk_sig_[pbase + static_cast<std::size_t>(kk)];
-        const float mu = pmu + am;
-        const float sig = std::sqrt(psig * psig + as2);
-        const float arrival = mu + nsigma_ * sig;
-        const std::int32_t sp = tk_sp_[pbase + static_cast<std::size_t>(kk)];
-        if (options_.use_heap_queue) {
-          fc.prunes += static_cast<std::uint64_t>(
-              topk_insert_heap(view, arrival, mu, sig, sp));
-        } else {
-          fc.prunes += static_cast<std::uint64_t>(
-              topk_insert(view, arrival, mu, sig, sp));
-        }
-      }
-    }
-    if (options_.use_heap_queue) topk_heap_finalize(view);
+    merge_pin_rf<false>(pin, rf, view, fc);
     INSTA_DCHECK(cnt <= k, "process_pin: Top-K count exceeds capacity");
     INSTA_DCHECK(cnt == 0 || std::isfinite(tk_arr_[base]),
                  "process_pin: non-finite worst arrival");
@@ -374,73 +433,72 @@ void Engine::process_pin(PinId pin, ForwardCounters& fc) {
 void Engine::process_pin_early(PinId pin, ForwardCounters& fc) {
   const auto p = static_cast<std::size_t>(pin);
   const auto k = static_cast<std::int32_t>(options_.top_k);
-  const std::int32_t fs = fi_start_[p];
-  const std::int32_t fe = fi_start_[p + 1];
   ++fc.pins;
-
-  // tk2_arr_ stores *negated* early corners: the descending unique-SP list
-  // kernel then keeps the K smallest early arrivals.
   for (int rf = 0; rf < 2; ++rf) {
     const std::size_t base = entry_base(pin, rf);
     std::int32_t& cnt = tk2_cnt_[p * 2 + static_cast<std::size_t>(rf)];
-    cnt = 0;
     const TopKView view{&tk2_arr_[base], &tk2_mu_[base], &tk2_sig_[base],
                         &tk2_sp_[base], k, &cnt};
-    if (fs == fe) {
-      const std::int32_t sp = sp_of_pin_[p];
-      if (sp < 0) continue;
-      const auto rfi = static_cast<std::size_t>(rf);
-      const float mu = sp_mu_[rfi][static_cast<std::size_t>(sp)];
-      const float sig = sp_sig_[rfi][static_cast<std::size_t>(sp)];
-      tk2_arr_[base] = -(mu - nsigma_ * sig);
-      tk2_mu_[base] = mu;
-      tk2_sig_[base] = sig;
-      tk2_sp_[base] = sp;
-      cnt = 1;
-      continue;
+    merge_pin_rf<true>(pin, rf, view, fc);
+  }
+}
+
+bool Engine::reprocess_pin_sparse(PinId pin, ForwardCounters& fc) {
+  const auto p = static_cast<std::size_t>(pin);
+  const auto k = static_cast<std::int32_t>(options_.top_k);
+  TopKScratch& sc = tls_scratch;
+  sc.ensure(k);
+  const TopKView scratch{sc.arr.data(), sc.mu.data(), sc.sig.data(),
+                         sc.sp.data(), k, &sc.cnt};
+  bool changed = false;
+
+  ++fc.pins;
+  for (int rf = 0; rf < 2; ++rf) {
+    merge_pin_rf<false>(pin, rf, scratch, fc);
+    const std::size_t base = entry_base(pin, rf);
+    std::int32_t& cnt = tk_cnt_[p * 2 + static_cast<std::size_t>(rf)];
+    const TopKView live{&tk_arr_[base], &tk_mu_[base], &tk_sig_[base],
+                        &tk_sp_[base], k, &cnt};
+    if (!topk_equal(scratch, live)) {
+      topk_copy(live, scratch);
+      changed = true;
     }
-    for (std::int32_t s = fs; s < fe; ++s) {
-      const auto si = static_cast<std::size_t>(s);
-      const int prf = rf ^ static_cast<int>(fi_neg_[si]);
-      const auto from = static_cast<std::size_t>(fi_from_[si]);
-      const std::int32_t pcnt = tk2_cnt_[from * 2 + static_cast<std::size_t>(prf)];
-      const float am = amu_[static_cast<std::size_t>(rf)][si];
-      const float as = asig_[static_cast<std::size_t>(rf)][si];
-      const float as2 = as * as;
-      const std::size_t pbase = entry_base(static_cast<PinId>(from), prf);
-      ++fc.arcs;
-      fc.merges += static_cast<std::uint64_t>(pcnt);
-      for (std::int32_t kk = 0; kk < pcnt; ++kk) {
-        const float pmu = tk2_mu_[pbase + static_cast<std::size_t>(kk)];
-        const float psig = tk2_sig_[pbase + static_cast<std::size_t>(kk)];
-        const float mu = pmu + am;
-        const float sig = std::sqrt(psig * psig + as2);
-        const float neg_arrival = -(mu - nsigma_ * sig);
-        const std::int32_t sp = tk2_sp_[pbase + static_cast<std::size_t>(kk)];
-        if (options_.use_heap_queue) {
-          fc.prunes += static_cast<std::uint64_t>(
-              topk_insert_heap(view, neg_arrival, mu, sig, sp));
-        } else {
-          fc.prunes += static_cast<std::uint64_t>(
-              topk_insert(view, neg_arrival, mu, sig, sp));
-        }
+  }
+  if (options_.enable_hold) {
+    ++fc.pins;
+    for (int rf = 0; rf < 2; ++rf) {
+      merge_pin_rf<true>(pin, rf, scratch, fc);
+      const std::size_t base = entry_base(pin, rf);
+      std::int32_t& cnt = tk2_cnt_[p * 2 + static_cast<std::size_t>(rf)];
+      const TopKView live{&tk2_arr_[base], &tk2_mu_[base], &tk2_sig_[base],
+                          &tk2_sp_[base], k, &cnt};
+      if (!topk_equal(scratch, live)) {
+        topk_copy(live, scratch);
+        changed = true;
       }
     }
-    if (options_.use_heap_queue) topk_heap_finalize(view);
   }
+  return changed;
+}
+
+void Engine::mark_dirty(PinId pin, int lvl) {
+  if (lvl < 0) return;
+  const auto p = static_cast<std::size_t>(pin);
+  if (dirty_pin_[p] != 0) return;
+  dirty_pin_[p] = 1;
+  frontier_[static_cast<std::size_t>(lvl)].push_back(pin);
+  dirty_level_ = std::min(dirty_level_, static_cast<std::size_t>(lvl));
 }
 
 void Engine::forward_from(std::size_t first_level) {
   INSTA_TRACE_SCOPE("engine.forward",
                     static_cast<std::int64_t>(first_level));
   EngineMetrics& em = engine_metrics();
-  if (first_level == 0) {
-    em.forward_passes.inc();
-  } else {
-    em.incremental_passes.inc();
-  }
+  em.forward_passes.inc();
   auto& pool = util::ThreadPool::global();
   const std::size_t num_levels = level_start_.size() - 1;
+  const auto threshold = static_cast<std::size_t>(options_.parallel_threshold);
+  const auto grain = static_cast<std::size_t>(options_.parallel_grain);
   // Level-synchronous independence invariant (Algorithm 1): a pin's fanin
   // sources must all sit at strictly lower levels, otherwise the parallel
   // per-level kernel below reads a Top-K store while another worker writes
@@ -455,7 +513,6 @@ void Engine::forward_from(std::size_t first_level) {
                  "forward_from: fanin arc does not climb levels");
   }
 #endif
-  dirty_level_ = std::numeric_limits<std::size_t>::max();
   for (std::size_t l = std::min(first_level, num_levels); l < num_levels; ++l) {
     INSTA_TRACE_SCOPE("engine.level", static_cast<std::int64_t>(l));
     em.levels.inc();
@@ -472,8 +529,8 @@ void Engine::forward_from(std::size_t first_level) {
       em.merges.add(fc.merges);
       em.prunes.add(fc.prunes);
     };
-    if (options_.parallel && hi - lo >= 512) {
-      pool.parallel_for_chunks(lo, hi, run, 128);
+    if (options_.parallel && hi - lo >= threshold) {
+      pool.parallel_for_chunks(lo, hi, run, grain);
     } else {
       run(lo, hi);
     }
@@ -492,16 +549,161 @@ void Engine::forward_from(std::size_t first_level) {
     em.endpoints.add(b - a);
     em.cppr_lookups.add(lookups);
   };
-  if (options_.parallel && num_eps >= 512) {
-    pool.parallel_for_chunks(0, num_eps, eval, 256);
+  if (options_.parallel && num_eps >= threshold) {
+    pool.parallel_for_chunks(0, num_eps, eval,
+                             static_cast<std::size_t>(options_.endpoint_grain));
   } else {
     eval(0, num_eps);
   }
+
+  // Everything is now fresh: drop any queued frontier state and rebuild the
+  // delta-maintained aggregates from scratch, so a full pass always resets
+  // accumulated floating-point drift exactly.
+  for (std::vector<PinId>& fr : frontier_) {
+    for (const PinId pin : fr) dirty_pin_[static_cast<std::size_t>(pin)] = 0;
+    fr.clear();
+  }
+  dirty_eps_.clear();
+  dirty_level_ = std::numeric_limits<std::size_t>::max();
+  full_dirty_ = false;
+  recompute_aggregates();
+  last_pass_ = SparseStats{};
+  last_pass_.sparse = false;
+  last_pass_.levels_touched = num_levels - std::min(first_level, num_levels);
+  last_pass_.frontier_pins = level_pins_.size();
+  last_pass_.endpoints_evaluated = num_eps;
+}
+
+void Engine::run_forward_sparse() {
+  INSTA_TRACE_SCOPE("engine.forward_sparse",
+                    static_cast<std::int64_t>(dirty_level_));
+  EngineMetrics& em = engine_metrics();
+  em.incremental_passes.inc();
+  auto& pool = util::ThreadPool::global();
+  const std::size_t num_levels = level_start_.size() - 1;
+  const auto threshold = static_cast<std::size_t>(options_.parallel_threshold);
+  const auto grain = static_cast<std::size_t>(options_.parallel_grain);
+
+  last_pass_ = SparseStats{};
+  last_pass_.sparse = true;
+  dirty_eps_.clear();
+
+  for (std::size_t l = std::min(dirty_level_, num_levels); l < num_levels;
+       ++l) {
+    std::vector<PinId>& fr = frontier_[l];
+    if (fr.empty()) continue;
+    INSTA_TRACE_SCOPE("engine.sparse_level",
+                      static_cast<std::int64_t>(fr.size()));
+    em.levels.inc();
+    ++last_pass_.levels_touched;
+
+    // Phase 1 (parallel): re-merge every dirty pin of this level into
+    // thread-local scratch, committing only changed stores. Each chunk
+    // writes a disjoint changed_flags_ range; no shared mutable state.
+    changed_flags_.assign(fr.size(), 0);
+    auto run = [&](std::size_t a, std::size_t b) {
+      ForwardCounters fc;
+      for (std::size_t i = a; i < b; ++i) {
+        changed_flags_[i] = reprocess_pin_sparse(fr[i], fc) ? 1 : 0;
+      }
+      em.pins.add(fc.pins);
+      em.arcs.add(fc.arcs);
+      em.merges.add(fc.merges);
+      em.prunes.add(fc.prunes);
+    };
+    if (options_.parallel && fr.size() >= threshold) {
+      pool.parallel_for_chunks(std::size_t{0}, fr.size(), run, grain);
+    } else {
+      run(0, fr.size());
+    }
+
+    // Phase 2 (serial scatter): a changed pin dirties its fanout (always at
+    // strictly deeper levels) and queues its endpoint; an unchanged pin
+    // terminates the ripple here. Serial keeps the frontier order
+    // deterministic and the dirty flags race-free.
+    std::uint64_t early = 0;
+    for (std::size_t i = 0; i < fr.size(); ++i) {
+      const auto p = static_cast<std::size_t>(fr[i]);
+      dirty_pin_[p] = 0;
+      if (changed_flags_[i] == 0) {
+        ++early;
+        continue;
+      }
+      if (ep_of_pin_[p] >= 0) {
+        dirty_eps_.push_back(static_cast<EndpointId>(ep_of_pin_[p]));
+      }
+      const std::int32_t os = fo_start_[p];
+      const std::int32_t oe = fo_start_[p + 1];
+      for (std::int32_t o = os; o < oe; ++o) {
+        const PinId child = fo_to_[static_cast<std::size_t>(o)];
+        if (dirty_pin_[static_cast<std::size_t>(child)] != 0) continue;
+        mark_dirty(child, graph_->level_of(child));
+      }
+    }
+    last_pass_.frontier_pins += fr.size();
+    last_pass_.early_terminations += early;
+    em.frontier_pins.add(fr.size());
+    em.early_terminations.add(early);
+    fr.clear();
+  }
+  dirty_level_ = std::numeric_limits<std::size_t>::max();
+
+  // Phase 3: delta endpoint evaluation — only the endpoints the frontier
+  // actually reached. Old slacks are snapshotted so the change can be
+  // folded into the TNS/WNS caches.
+  const std::size_t nd = dirty_eps_.size();
+  const std::size_t num_eps = ep_pin_.size();
+  INSTA_TRACE_SCOPE("engine.sparse_endpoints",
+                    static_cast<std::int64_t>(nd));
+  if (nd != 0) {
+    old_slack_scratch_.resize(nd);
+    if (options_.enable_hold) old_hold_scratch_.resize(nd);
+    for (std::size_t i = 0; i < nd; ++i) {
+      const auto e = static_cast<std::size_t>(dirty_eps_[i]);
+      old_slack_scratch_[i] = slack_[e];
+      if (options_.enable_hold) old_hold_scratch_[i] = hold_slack_[e];
+    }
+    auto eval = [&](std::size_t a, std::size_t b) {
+      std::uint64_t lookups = 0;
+      for (std::size_t i = a; i < b; ++i) {
+        lookups += evaluate_endpoint(dirty_eps_[i]);
+        if (options_.enable_hold) {
+          lookups += evaluate_endpoint_hold(dirty_eps_[i]);
+        }
+      }
+      em.endpoints.add(b - a);
+      em.cppr_lookups.add(lookups);
+    };
+    if (options_.parallel && nd >= threshold) {
+      pool.parallel_for_chunks(
+          std::size_t{0}, nd, eval,
+          static_cast<std::size_t>(options_.endpoint_grain));
+    } else {
+      eval(0, nd);
+    }
+    for (std::size_t i = 0; i < nd; ++i) {
+      const auto e = static_cast<std::size_t>(dirty_eps_[i]);
+      apply_setup_delta(old_slack_scratch_[i], slack_[e]);
+      if (options_.enable_hold) {
+        apply_hold_delta(old_hold_scratch_[i], hold_slack_[e]);
+      }
+    }
+  }
+  dirty_eps_.clear();
+  last_pass_.endpoints_evaluated = nd;
+  last_pass_.endpoints_skipped = num_eps - nd;
+  em.endpoints_skipped.add(num_eps - nd);
 }
 
 void Engine::run_forward() { forward_from(0); }
 
-void Engine::run_forward_incremental() { forward_from(dirty_level_); }
+void Engine::run_forward_incremental() {
+  if (full_dirty_) {
+    forward_from(0);
+    return;
+  }
+  run_forward_sparse();
+}
 
 float Engine::credit(std::int32_t a, std::int32_t b) const {
   if (a < 0 || b < 0) return 0.0f;
@@ -585,63 +787,108 @@ std::uint64_t Engine::evaluate_endpoint_hold(EndpointId ep) {
   return lookups;
 }
 
-double Engine::ths() const {
-  double t = 0.0;
-  for (const float s : hold_slack_) {
-    if (std::isfinite(s) && s < 0.0f) t += static_cast<double>(s);
+namespace {
+/// Scans a slack array into (worst, any) — shared by the lazy wns/whs
+/// rebuilds and recompute_aggregates.
+std::pair<float, bool> worst_of(const std::vector<float>& slacks) {
+  float w = 0.0f;
+  bool any = false;
+  for (const float s : slacks) {
+    if (!std::isfinite(s)) continue;
+    if (!any || s < w) {
+      w = s;
+      any = true;
+    }
   }
-  return t;
+  return {w, any};
 }
+}  // namespace
+
+void Engine::recompute_aggregates() {
+  tns_cache_ = 0.0;
+  nviol_cache_ = 0;
+  for (const float s : slack_) {
+    if (std::isfinite(s) && s < 0.0f) {
+      tns_cache_ += static_cast<double>(s);
+      ++nviol_cache_;
+    }
+  }
+  std::tie(wns_cache_, wns_any_) = worst_of(slack_);
+  wns_valid_ = true;
+  ths_cache_ = 0.0;
+  nhold_viol_cache_ = 0;
+  for (const float s : hold_slack_) {
+    if (std::isfinite(s) && s < 0.0f) {
+      ths_cache_ += static_cast<double>(s);
+      ++nhold_viol_cache_;
+    }
+  }
+  std::tie(whs_cache_, whs_any_) = worst_of(hold_slack_);
+  whs_valid_ = true;
+}
+
+void Engine::apply_setup_delta(float oldv, float newv) {
+  if (oldv == newv) return;
+  if (std::isfinite(oldv) && oldv < 0.0f) {
+    tns_cache_ -= static_cast<double>(oldv);
+    --nviol_cache_;
+  }
+  if (std::isfinite(newv) && newv < 0.0f) {
+    tns_cache_ += static_cast<double>(newv);
+    ++nviol_cache_;
+  }
+  if (!wns_valid_) return;
+  if (std::isfinite(newv) && (!wns_any_ || newv <= wns_cache_)) {
+    wns_cache_ = newv;
+    wns_any_ = true;
+  } else if (wns_any_ && std::isfinite(oldv) && oldv <= wns_cache_) {
+    // The cached minimum may have just improved; rebuild lazily on read.
+    wns_valid_ = false;
+  }
+}
+
+void Engine::apply_hold_delta(float oldv, float newv) {
+  if (oldv == newv) return;
+  if (std::isfinite(oldv) && oldv < 0.0f) {
+    ths_cache_ -= static_cast<double>(oldv);
+    --nhold_viol_cache_;
+  }
+  if (std::isfinite(newv) && newv < 0.0f) {
+    ths_cache_ += static_cast<double>(newv);
+    ++nhold_viol_cache_;
+  }
+  if (!whs_valid_) return;
+  if (std::isfinite(newv) && (!whs_any_ || newv <= whs_cache_)) {
+    whs_cache_ = newv;
+    whs_any_ = true;
+  } else if (whs_any_ && std::isfinite(oldv) && oldv <= whs_cache_) {
+    whs_valid_ = false;
+  }
+}
+
+double Engine::ths() const { return ths_cache_; }
 
 double Engine::whs() const {
-  double w = 0.0;
-  bool any = false;
-  for (const float s : hold_slack_) {
-    if (!std::isfinite(s)) continue;
-    if (!any || static_cast<double>(s) < w) {
-      w = static_cast<double>(s);
-      any = true;
-    }
+  if (!whs_valid_) {
+    std::tie(whs_cache_, whs_any_) = worst_of(hold_slack_);
+    whs_valid_ = true;
   }
-  return any ? w : 0.0;
+  return whs_any_ ? static_cast<double>(whs_cache_) : 0.0;
 }
 
-int Engine::num_hold_violations() const {
-  int n = 0;
-  for (const float s : hold_slack_) {
-    if (std::isfinite(s) && s < 0.0f) ++n;
-  }
-  return n;
-}
+int Engine::num_hold_violations() const { return nhold_viol_cache_; }
 
-double Engine::tns() const {
-  double t = 0.0;
-  for (const float s : slack_) {
-    if (std::isfinite(s) && s < 0.0f) t += static_cast<double>(s);
-  }
-  return t;
-}
+double Engine::tns() const { return tns_cache_; }
 
 double Engine::wns() const {
-  double w = 0.0;
-  bool any = false;
-  for (const float s : slack_) {
-    if (!std::isfinite(s)) continue;
-    if (!any || static_cast<double>(s) < w) {
-      w = static_cast<double>(s);
-      any = true;
-    }
+  if (!wns_valid_) {
+    std::tie(wns_cache_, wns_any_) = worst_of(slack_);
+    wns_valid_ = true;
   }
-  return any ? w : 0.0;
+  return wns_any_ ? static_cast<double>(wns_cache_) : 0.0;
 }
 
-int Engine::num_violations() const {
-  int n = 0;
-  for (const float s : slack_) {
-    if (std::isfinite(s) && s < 0.0f) ++n;
-  }
-  return n;
-}
+int Engine::num_violations() const { return nviol_cache_; }
 
 void Engine::run_backward(GradientMetric metric) {
   INSTA_TRACE_SCOPE("engine.backward");
@@ -848,8 +1095,12 @@ std::size_t Engine::memory_bytes() const {
         pin_grad_.capacity() + arc_grad_.capacity()) *
        sizeof(float);
   b += (fi_start_.capacity() + fo_start_.capacity() + slot_of_arc_.capacity() +
-        sp_of_pin_.capacity() + launch_sp_of_arc_.capacity()) *
+        sp_of_pin_.capacity() + launch_sp_of_arc_.capacity() +
+        ep_of_pin_.capacity()) *
        sizeof(std::int32_t);
+  b += dirty_pin_.capacity() + changed_flags_.capacity();
+  for (const auto& fr : frontier_) b += fr.capacity() * sizeof(PinId);
+  b += dirty_eps_.capacity() * sizeof(EndpointId);
   return b;
 }
 

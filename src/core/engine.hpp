@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -9,6 +11,8 @@
 #include "timing/types.hpp"
 
 namespace insta::core {
+
+struct TopKView;  // core/topk.hpp
 
 /// Configuration of the INSTA engine.
 struct EngineOptions {
@@ -27,6 +31,14 @@ struct EngineOptions {
   bool use_heap_queue = false;
   /// Level-parallel execution on the global thread pool.
   bool parallel = true;
+  /// Minimum number of work items (level pins, frontier pins, endpoints)
+  /// before a loop is offloaded to the thread pool; smaller loops run
+  /// inline on the calling thread.
+  int parallel_threshold = 512;
+  /// Minimum chunk size handed to one worker in the per-level pin kernels.
+  int parallel_grain = 128;
+  /// Minimum chunk size for endpoint slack evaluation.
+  int endpoint_grain = 256;
   /// Also propagate early (minimum) arrivals and evaluate hold checks.
   /// Doubles the Top-K storage. The reference engine must have been built
   /// with the matching GoldenOptions::enable_hold. Off by default: the
@@ -76,12 +88,37 @@ class Engine {
   /// startpoint arrival merging, then endpoint slack evaluation.
   void run_forward();
 
-  /// Level-windowed forward propagation: re-processes only levels at or
-  /// above the shallowest arc annotated since the last forward pass (all
-  /// earlier levels are provably unchanged), then re-evaluates endpoint
-  /// slacks. Identical results to run_forward() at a fraction of the cost
-  /// for late-level ECOs; falls back to a full pass after initialization.
+  /// Frontier-sparse forward propagation: annotate() seeds a dirty-pin
+  /// worklist; each level re-merges only its dirty pins, and a pin whose
+  /// Top-K list is bit-identical after the re-merge does not dirty its
+  /// fanout (value-change early termination), so ECO ripples die out
+  /// instead of sweeping the whole cone. Only the endpoints actually
+  /// reached by the frontier are re-evaluated, with TNS/WNS maintained by
+  /// delta. Results are bit-identical to run_forward(); falls back to a
+  /// full pass on the first call after initialization.
   void run_forward_incremental();
+
+  /// Work accounting of the most recent forward pass (full or sparse).
+  /// Deterministic and independent of the telemetry build — used by the
+  /// equivalence tests and the Fig. 7 bench.
+  struct SparseStats {
+    bool sparse = false;  ///< false when the pass ran (or fell back to) dense
+    std::uint64_t levels_touched = 0;
+    std::uint64_t frontier_pins = 0;       ///< pins re-merged
+    std::uint64_t early_terminations = 0;  ///< re-merged pins left unchanged
+    std::uint64_t endpoints_evaluated = 0;
+    std::uint64_t endpoints_skipped = 0;
+  };
+  [[nodiscard]] const SparseStats& last_pass_stats() const {
+    return last_pass_;
+  }
+
+  /// True when no annotation is pending (an incremental pass would be a
+  /// no-op). Exposed for dirty-bookkeeping tests.
+  [[nodiscard]] bool timing_clean() const {
+    return !full_dirty_ &&
+           dirty_level_ == std::numeric_limits<std::size_t>::max();
+  }
 
   // ---- evaluation results ---------------------------------------------------
 
@@ -178,8 +215,28 @@ class Engine {
   };
 
   void forward_from(std::size_t first_level);
+  /// The sparse worklist pass behind run_forward_incremental().
+  void run_forward_sparse();
+  /// Re-merges one pin of both modes into thread-local scratch and commits
+  /// the result only when it differs bitwise from the live store. Returns
+  /// true when anything changed (the pin's fanout must be dirtied).
+  bool reprocess_pin_sparse(netlist::PinId pin, ForwardCounters& fc);
+  /// Queues `pin` (at graph level `lvl`) on the dirty frontier.
+  void mark_dirty(netlist::PinId pin, int lvl);
+  /// Rebuilds the TNS/WNS/violation caches from slack_ / hold_slack_.
+  void recompute_aggregates();
+  /// Folds one endpoint's setup-slack change into the delta-maintained
+  /// aggregates (and similarly for hold).
+  void apply_setup_delta(float oldv, float newv);
+  void apply_hold_delta(float oldv, float newv);
   void process_pin(netlist::PinId pin, ForwardCounters& fc);
   void process_pin_early(netlist::PinId pin, ForwardCounters& fc);
+  /// The Algorithm 1+2 merge kernel of one pin/transition into `dst`
+  /// (either the live store or sparse scratch). kEarly selects the
+  /// min-mode (negated-corner) stores.
+  template <bool kEarly>
+  void merge_pin_rf(netlist::PinId pin, int rf, const TopKView& dst,
+                    ForwardCounters& fc);
   /// Returns the number of CPPR credit lookups performed.
   std::uint64_t evaluate_endpoint(timing::EndpointId ep);
   std::uint64_t evaluate_endpoint_hold(timing::EndpointId ep);
@@ -253,9 +310,37 @@ class Engine {
   std::vector<float> ep_hold_base_;  ///< late capture clock + hold, per ep
   std::vector<float> hold_slack_;
 
-  /// Shallowest level whose inputs changed since the last forward pass
-  /// (0 after construction; SIZE_MAX when timing is clean).
-  std::size_t dirty_level_ = 0;
+  // ---- frontier-sparse incremental state -----------------------------------
+
+  /// Shallowest level with a queued dirty pin (SIZE_MAX when clean).
+  std::size_t dirty_level_ = std::numeric_limits<std::size_t>::max();
+  /// True until the first full forward pass: every pin is implicitly dirty
+  /// and run_forward_incremental() falls back to the dense sweep.
+  bool full_dirty_ = true;
+  std::vector<std::int32_t> ep_of_pin_;  ///< per pin: endpoint id or -1
+  std::vector<std::uint8_t> dirty_pin_;  ///< per pin: queued on the frontier
+  /// Per-level compact worklists of dirty pins. Vectors keep their capacity
+  /// across passes, so steady-state sparse passes allocate nothing.
+  std::vector<std::vector<netlist::PinId>> frontier_;
+  std::vector<timing::EndpointId> dirty_eps_;   ///< endpoints to re-evaluate
+  std::vector<std::uint8_t> changed_flags_;     ///< per frontier slot scratch
+  std::vector<float> old_slack_scratch_;        ///< pre-eval setup slacks
+  std::vector<float> old_hold_scratch_;         ///< pre-eval hold slacks
+  SparseStats last_pass_;
+
+  // Delta-maintained global metrics (exactly rebuilt by every full pass).
+  double tns_cache_ = 0.0;
+  int nviol_cache_ = 0;
+  double ths_cache_ = 0.0;
+  int nhold_viol_cache_ = 0;
+  /// wns/whs caches are lazily rebuilt when the endpoint holding the
+  /// minimum may have improved (wns_valid_ == false).
+  mutable float wns_cache_ = 0.0f;
+  mutable bool wns_any_ = false;
+  mutable bool wns_valid_ = true;
+  mutable float whs_cache_ = 0.0f;
+  mutable bool whs_any_ = false;
+  mutable bool whs_valid_ = true;
 
   // Backward state.
   std::array<std::vector<float>, 2> w_;  // per slot, [rf]: Eq. 6 weights

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <utility>
 
 namespace insta::core {
@@ -163,6 +164,37 @@ inline void topk_heap_finalize(const TopKView& v) {
     v.sig[j] = s;
     v.sp[j] = p;
   }
+}
+
+/// Bitwise equality of two Top-K stores: same count and byte-identical
+/// entries. This is the value-change test of the frontier-sparse
+/// incremental pass — a pin whose re-merged list compares equal cannot
+/// change anything downstream, so its fanout is not re-dirtied. Bitwise
+/// (not epsilon) comparison is what keeps the sparse pass provably
+/// identical to a full re-sweep: the merge kernel is deterministic, so
+/// unchanged inputs reproduce the exact same bytes.
+inline bool topk_equal(const TopKView& a, const TopKView& b) {
+  const std::int32_t n = *a.count;
+  if (n != *b.count) return false;
+  const auto fb = static_cast<std::size_t>(n) * sizeof(float);
+  const auto ib = static_cast<std::size_t>(n) * sizeof(std::int32_t);
+  return std::memcmp(a.arr, b.arr, fb) == 0 &&
+         std::memcmp(a.mu, b.mu, fb) == 0 &&
+         std::memcmp(a.sig, b.sig, fb) == 0 &&
+         std::memcmp(a.sp, b.sp, ib) == 0;
+}
+
+/// Copies the valid entries (and count) of `src` into `dst`. Capacities
+/// must match; only the first *src.count slots are written.
+inline void topk_copy(const TopKView& dst, const TopKView& src) {
+  const std::int32_t n = *src.count;
+  const auto fb = static_cast<std::size_t>(n) * sizeof(float);
+  const auto ib = static_cast<std::size_t>(n) * sizeof(std::int32_t);
+  std::memcpy(dst.arr, src.arr, fb);
+  std::memcpy(dst.mu, src.mu, fb);
+  std::memcpy(dst.sig, src.sig, fb);
+  std::memcpy(dst.sp, src.sp, ib);
+  *dst.count = n;
 }
 
 }  // namespace insta::core

@@ -4,11 +4,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <exception>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace insta::util {
@@ -20,6 +20,15 @@ namespace insta::util {
 /// each index corresponding to one CUDA thread. Work items within a level are
 /// independent by construction (level-synchronous propagation), so results
 /// are deterministic regardless of the number of workers.
+///
+/// Dispatch is zero-allocation ticket-pulling: a launch publishes one raw
+/// function pointer + context into a shared slot, workers pull contiguous
+/// chunk indices off a single atomic ticket counter, and the caller both
+/// participates in the work and spin-waits for the last chunk. No
+/// std::function heap traffic, no queue, and no mutex on the hot path; the
+/// sleep mutex/condvar is touched only when workers have been idle long
+/// enough to block. Per-level launch cost is what used to dominate the many
+/// small levels of a levelized timing graph.
 class ThreadPool {
  public:
   /// Point-in-time utilization numbers, cumulative since construction.
@@ -34,13 +43,16 @@ class ThreadPool {
     double max_worker_idle_pct = 0.0;
   };
 
+  /// Type-erased chunk callback of the ticket-dispatch path.
+  using ChunkFn = void (*)(void* ctx, std::size_t lo, std::size_t hi);
+
   /// Creates `num_threads` workers (0 means hardware_concurrency, min 1).
   explicit ThreadPool(std::size_t num_threads = 0);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Joins all workers. Outstanding tasks complete first.
+  /// Joins all workers. The pool must be quiescent (no launch in flight).
   ~ThreadPool();
 
   /// Number of worker threads.
@@ -52,18 +64,44 @@ class ThreadPool {
   /// loops smaller than `grain` run inline on the calling thread).
   /// If any iteration throws, the first exception is captured and rethrown
   /// on the calling thread after all chunks have drained; the pool stays
-  /// usable afterwards.
-  void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& fn,
-                    std::size_t grain = 256);
+  /// usable afterwards. Routed through the same ticket-dispatch path as
+  /// parallel_for_chunks (no per-index std::function, no queue).
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, F&& fn,
+                    std::size_t grain = 256) {
+    using Fn = std::remove_reference_t<F>;
+    run_chunked(
+        begin, end,
+        [](void* ctx, std::size_t lo, std::size_t hi) {
+          Fn& f = *static_cast<Fn*>(ctx);
+          for (std::size_t i = lo; i < hi; ++i) f(i);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+        grain);
+  }
 
   /// Like parallel_for but hands each worker a [chunk_begin, chunk_end)
-  /// range, which avoids per-index std::function overhead in hot kernels.
+  /// range, which avoids per-index call overhead in hot kernels.
   /// Same exception contract as parallel_for.
-  void parallel_for_chunks(
-      std::size_t begin, std::size_t end,
-      const std::function<void(std::size_t, std::size_t)>& fn,
-      std::size_t grain = 256);
+  template <typename F>
+  void parallel_for_chunks(std::size_t begin, std::size_t end, F&& fn,
+                           std::size_t grain = 256) {
+    using Fn = std::remove_reference_t<F>;
+    run_chunked(
+        begin, end,
+        [](void* ctx, std::size_t lo, std::size_t hi) {
+          (*static_cast<Fn*>(ctx))(lo, hi);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+        grain);
+  }
+
+  /// The type-erased core of parallel_for/parallel_for_chunks. Splits
+  /// [begin, end) into chunks of at least `grain` indices and dispatches
+  /// them through the ticket slot. Nested launches (from inside a chunk) and
+  /// launches racing another thread's launch run inline on the caller.
+  void run_chunked(std::size_t begin, std::size_t end, ChunkFn fn, void* ctx,
+                   std::size_t grain);
 
   /// Aggregates the per-worker counters (racy but monotone reads).
   [[nodiscard]] PoolStats stats() const;
@@ -77,6 +115,7 @@ class ThreadPool {
 
  private:
   /// One cache line per worker so counter updates never false-share.
+  /// Slot workers_.size() belongs to the launching (caller) thread.
   struct alignas(64) WorkerCounters {
     std::atomic<std::uint64_t> tasks{0};
     std::atomic<std::uint64_t> busy_ns{0};
@@ -84,15 +123,47 @@ class ThreadPool {
   };
 
   void worker_loop(std::size_t widx);
-  void enqueue(std::function<void()> task);
+  /// Pulls tickets of the current launch until exhausted.
+  void execute_tickets(WorkerCounters& wc);
+  void run_one_chunk(std::size_t lo, std::size_t hi, WorkerCounters& wc);
 
   std::vector<std::thread> workers_;
-  std::unique_ptr<WorkerCounters[]> counters_;  ///< size workers_.size()
+  std::unique_ptr<WorkerCounters[]> counters_;  ///< size workers_.size() + 1
   std::atomic<std::uint64_t> tasks_queued_{0};
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+
+  // ---- launch slot (one launch active at a time; claim_ serializes) -------
+  // Plain fields: written only while `sync_` holds an odd epoch with zero
+  // joiners (the writer phase), read only by threads joined via `sync_`.
+  ChunkFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t begin_ = 0;
+  std::size_t end_ = 0;
+  std::size_t chunk_ = 0;
+  std::size_t num_chunks_ = 0;
+  std::atomic<std::size_t> next_ticket_{0};
+  std::atomic<std::size_t> remaining_{0};
+  /// First exception thrown by any chunk of the current launch; written
+  /// under error_mutex_, read by the launcher after the launch drains.
+  std::exception_ptr first_error_;
+  std::mutex error_mutex_;
+  /// Per-launch chunk-duration extremes for the imbalance histogram.
+  std::atomic<std::uint64_t> launch_min_ns_{0};
+  std::atomic<std::uint64_t> launch_max_ns_{0};
+
+  /// Epoch/join word: (epoch << 32) | joiner_count. An odd epoch means a
+  /// launcher is writing the slot fields; workers join a stable (even, new)
+  /// epoch by CAS-incrementing the joiner count, which blocks the next
+  /// writer until they leave. This makes the plain launch fields data-race
+  /// free without making them atomic.
+  std::atomic<std::uint64_t> sync_{0};
+  /// Serializes launchers; a failed claim falls back to inline execution.
+  std::atomic<bool> claim_{false};
+
+  // ---- worker parking (cold path only) ------------------------------------
+  std::atomic<std::uint32_t> sleepers_{0};
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<bool> stop_{false};
 };
 
 }  // namespace insta::util

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "util/check.hpp"
 #include "util/memory.hpp"
@@ -185,6 +187,89 @@ TEST(ThreadPool, ExceptionOnInlinePath) {
   EXPECT_THROW(pool.parallel_for(
                    0, 4, [](std::size_t) { throw CheckError("inline"); }, 256),
                CheckError);
+}
+
+TEST(ThreadPool, NestedLaunchesRunInline) {
+  // A launch from inside a chunk cannot claim the (already claimed) ticket
+  // slot; it must fall back to inline execution instead of deadlocking, and
+  // every index must still be covered exactly once.
+  ThreadPool pool(4);
+  std::atomic<long long> total{0};
+  pool.parallel_for_chunks(
+      0, 2048,
+      [&](std::size_t lo, std::size_t hi) {
+        pool.parallel_for(
+            lo, hi,
+            [&](std::size_t i) {
+              total.fetch_add(static_cast<long long>(i),
+                              std::memory_order_relaxed);
+            },
+            1);
+      },
+      64);
+  EXPECT_EQ(total.load(), 2048LL * 2047 / 2);
+}
+
+TEST(ThreadPool, ConcurrentLaunchesFromExternalThreads) {
+  // Racing launchers: one wins the claim and uses the pool, the rest run
+  // inline. All must complete with full coverage.
+  ThreadPool pool(4);
+  constexpr int kThreads = 4;
+  constexpr int kReps = 50;
+  constexpr std::size_t kN = 4096;
+  std::array<std::atomic<long long>, kThreads> counts{};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        pool.parallel_for(
+            0, kN,
+            [&](std::size_t) {
+              counts[static_cast<std::size_t>(t)].fetch_add(
+                  1, std::memory_order_relaxed);
+            },
+            16);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), static_cast<long long>(kReps) * kN);
+  }
+}
+
+TEST(ThreadPool, ManyRepeatedSmallLaunches) {
+  // Back-to-back launches stress the epoch handshake (worker wake, join,
+  // drain, re-park) without ever tearing the shared launch fields.
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> total{0};
+  for (int rep = 0; rep < 2000; ++rep) {
+    pool.parallel_for_chunks(
+        0, 600,
+        [&](std::size_t lo, std::size_t hi) {
+          total.fetch_add(hi - lo, std::memory_order_relaxed);
+        },
+        1);
+  }
+  EXPECT_EQ(total.load(), 2000ull * 600ull);
+}
+
+TEST(ThreadPool, ExceptionFromEveryChunkRethrowsOnce) {
+  // With a single worker the caller executes a share of the chunks itself;
+  // a throw from a caller-executed chunk must follow the same capture-and-
+  // rethrow path as a worker throw.
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for_chunks(
+                   0, 1000,
+                   [](std::size_t, std::size_t) {
+                     throw CheckError("chunk boom");
+                   },
+                   1),
+               CheckError);
+  std::atomic<int> hits{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { hits.fetch_add(1); }, 1);
+  EXPECT_EQ(hits.load(), 100);
 }
 
 TEST(CheckMacros, InstaCheckEvaluatesOnce) {
