@@ -18,6 +18,19 @@
 //                     [--topk K] [--resizes N]
 //                                            timed end-to-end run with a
 //                                            per-phase breakdown table
+//   insta_cli whatif --in d.inet [--scenarios s.json | --sample N]
+//                    [--seed S] [--hold 1] [--topk K] [--out results.json]
+//                                            batch-evaluate what-if delta
+//                                            scenarios without mutating the
+//                                            engine; prints one summary row
+//                                            per scenario. The scenarios
+//                                            file is {"scenarios": [{"label":
+//                                            ..., "deltas": [{"arc": N,
+//                                            "mu": [r, f], "sigma": [r, f]}
+//                                            ...]} ...]} (or a top-level
+//                                            array); without --scenarios,
+//                                            --sample N random resizes are
+//                                            evaluated instead
 //   insta_cli selftest                       end-to-end smoke test (tmpfile)
 //
 // Global options (every subcommand):
@@ -31,12 +44,14 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/engine_audit.hpp"
 #include "analysis/linter.hpp"
 #include "core/engine.hpp"
+#include "core/scenario_batch.hpp"
 #include "gen/changelist.hpp"
 #include "gen/logic_block.hpp"
 #include "gen/presets.hpp"
@@ -47,7 +62,9 @@
 #include "size/baseline_sizer.hpp"
 #include "size/insta_buffer.hpp"
 #include "size/insta_size.hpp"
+#include "telemetry/json.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/validate.hpp"
 #include "timing/delay_calc.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -196,8 +213,9 @@ int cmd_report(const Args& args) {
       b.push_back(static_cast<double>(m));
     }
   }
+  const core::SlackSummary s = engine.summary(core::Mode::kSetup);
   std::printf("INSTA (TopK=%d): TNS %.2f ps, correlation %s\n", eopt.top_k,
-              engine.tns(), util::format_correlation(util::pearson(a, b)).c_str());
+              s.tns, util::format_correlation(util::pearson(a, b)).c_str());
 
   const int num_paths = static_cast<int>(args.get_num("paths", 1));
   for (const auto& path : ref::worst_paths(*w.sta, num_paths)) {
@@ -426,8 +444,188 @@ int cmd_profile(const Args& args) {
                  util::fmt("%.1f", 100.0 * accounted / wall_sec)});
   table.add_row({"(wall)", "", util::fmt("%.2f", wall_sec * 1e3), "", "100.0"});
   std::fputs(table.str().c_str(), stdout);
-  std::printf("TNS %.2f ps, WNS %.2f ps (TopK=%d)\n", engine->tns(),
-              engine->wns(), eopt.top_k);
+  const core::SlackSummary s = engine->summary(core::Mode::kSetup);
+  std::printf("TNS %.2f ps, WNS %.2f ps (TopK=%d)\n", s.tns, s.wns,
+              eopt.top_k);
+  return 0;
+}
+
+/// Parses the whatif scenarios document: {"scenarios": [...]} or a
+/// top-level array, each scenario {"label": ..., "deltas": [{"arc": N,
+/// "mu": [rise, fall], "sigma": [rise, fall]} ...]} with mu/sigma optional
+/// (missing means 0). Arc-id semantics are validated later by
+/// Engine::check_deltas; this only enforces document shape.
+void parse_whatif_scenarios(
+    const std::string& text,
+    std::vector<std::vector<timing::ArcDelta>>& scenarios,
+    std::vector<std::string>& labels) {
+  telemetry::JsonValue doc;
+  std::string error;
+  util::check(telemetry::json_parse(text, doc, error),
+              "whatif: scenarios file is not valid JSON: " + error);
+  const telemetry::JsonValue* arr =
+      doc.is_array() ? &doc : doc.find("scenarios");
+  util::check(arr != nullptr && arr->is_array(),
+              "whatif: expected a top-level array or {\"scenarios\": [...]}");
+  const auto rf_pair = [](const telemetry::JsonValue* v,
+                          const std::string& where,
+                          std::array<double, 2>& out) {
+    if (v == nullptr) return;
+    util::check(v->is_array() && v->array.size() == 2 &&
+                    v->array[0].is_number() && v->array[1].is_number(),
+                where + " must be a [rise, fall] number pair");
+    out = {v->array[0].number, v->array[1].number};
+  };
+  for (std::size_t i = 0; i < arr->array.size(); ++i) {
+    const telemetry::JsonValue& s = arr->array[i];
+    const std::string where = "whatif: scenario " + std::to_string(i);
+    util::check(s.is_object(), where + " is not an object");
+    const telemetry::JsonValue* label = s.find("label");
+    labels.push_back(label != nullptr && label->is_string()
+                         ? label->string
+                         : "scenario-" + std::to_string(i));
+    const telemetry::JsonValue* deltas = s.find("deltas");
+    util::check(deltas != nullptr && deltas->is_array(),
+                where + " has no deltas array");
+    std::vector<timing::ArcDelta> ds;
+    ds.reserve(deltas->array.size());
+    for (std::size_t j = 0; j < deltas->array.size(); ++j) {
+      const telemetry::JsonValue& d = deltas->array[j];
+      const std::string dw = where + " delta " + std::to_string(j);
+      util::check(d.is_object(), dw + " is not an object");
+      const telemetry::JsonValue* arc = d.find("arc");
+      util::check(arc != nullptr && arc->is_number() &&
+                      arc->number == std::floor(arc->number),
+                  dw + " has no integral arc id");
+      timing::ArcDelta ad;
+      ad.arc = static_cast<timing::ArcId>(arc->number);
+      rf_pair(d.find("mu"), dw + ".mu", ad.mu);
+      rf_pair(d.find("sigma"), dw + ".sigma", ad.sigma);
+      ds.push_back(ad);
+    }
+    scenarios.push_back(std::move(ds));
+  }
+}
+
+/// Emits one summary as a whatif-schema JSON object body.
+std::string summary_json(const core::SlackSummary& s) {
+  return "{\"tns\": " + telemetry::json_number(s.tns) +
+         ", \"wns\": " + telemetry::json_number(s.wns) +
+         ", \"violations\": " + std::to_string(s.violations) + "}";
+}
+
+int cmd_whatif(const Args& args) {
+  util::check(args.has("in"), "whatif: --in is required");
+  const bool hold = args.has("hold");
+  World w(args.get("in", ""), hold);
+
+  core::EngineOptions eopt;
+  eopt.top_k = static_cast<int>(args.get_num("topk", 32));
+  eopt.enable_hold = hold;
+  // CLI-sourced options go through the validation gate so every problem is
+  // reported at once instead of dying on the first constructor check.
+  const std::vector<std::string> problems = eopt.validate();
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "whatif: %s\n", p.c_str());
+  }
+  util::check(problems.empty(), "whatif: invalid engine options");
+  core::Engine engine(*w.sta, eopt);
+  engine.run_forward();
+
+  std::vector<std::vector<timing::ArcDelta>> scenarios;
+  std::vector<std::string> labels;
+  if (args.has("scenarios")) {
+    const std::string path = args.get("scenarios", "");
+    std::ifstream f(path, std::ios::binary);
+    util::check(static_cast<bool>(f), "whatif: cannot read " + path);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    parse_whatif_scenarios(ss.str(), scenarios, labels);
+  } else {
+    // Smoke mode (used by selftest and CI): sample random single-cell
+    // resizes and evaluate their estimate_eco deltas as scenarios.
+    const int n = std::max(1, static_cast<int>(args.get_num("sample", 8)));
+    util::Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 1)));
+    const std::vector<gen::Resize> changes =
+        gen::random_changelist(*w.loaded.design, *w.graph, rng, n);
+    for (std::size_t i = 0; i < changes.size(); ++i) {
+      scenarios.push_back(
+          w.calc->estimate_eco(changes[i].cell, changes[i].new_libcell));
+      labels.push_back("resize-" + std::to_string(i));
+    }
+  }
+
+  // The scenarios file is a trust boundary: run the structured delta
+  // validation up front and report every diagnostic (ScenarioBatch would
+  // otherwise throw on the first bad scenario).
+  analysis::LintReport report;
+  for (const std::vector<timing::ArcDelta>& s : scenarios) {
+    report.merge(engine.check_deltas(s));
+  }
+  if (report.count(analysis::Severity::kWarning) > 0 || report.has_errors()) {
+    std::printf("%s", report.str().c_str());
+  }
+  if (report.has_errors()) return 1;
+
+  const core::SlackSummary base = engine.summary(core::Mode::kSetup);
+  std::printf("baseline: TNS %.2f ps, WNS %.2f ps, %d violations\n", base.tns,
+              base.wns, base.violations);
+
+  core::ScenarioBatch batch(engine);
+  util::Stopwatch sw;
+  const std::vector<core::ScenarioResult> results = batch.evaluate(scenarios);
+  const double sec = sw.elapsed_sec();
+
+  std::vector<std::string> cols = {"scenario", "deltas",   "TNS (ps)",
+                                   "WNS (ps)", "viol",     "frontier",
+                                   "overlay (B)"};
+  if (hold) cols.insert(cols.begin() + 5, {"THS (ps)", "hold viol"});
+  util::Table table(cols);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::ScenarioResult& r = results[i];
+    std::vector<std::string> row = {
+        labels[i],
+        std::to_string(scenarios[i].size()),
+        util::fmt("%.2f", r.setup.tns),
+        util::fmt("%.2f", r.setup.wns),
+        std::to_string(r.setup.violations),
+        std::to_string(r.frontier_pins),
+        std::to_string(r.overlay_bytes)};
+    if (hold) {
+      row.insert(row.begin() + 5,
+                 {util::fmt("%.2f", r.hold.tns),
+                  std::to_string(r.hold.violations)});
+    }
+    table.add_row(row);
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("%zu scenarios in %.2f ms (%.0f scenarios/sec)\n",
+              results.size(), sec * 1e3,
+              static_cast<double>(results.size()) / sec);
+
+  if (args.has("out")) {
+    std::ostringstream out;
+    out << "{\n  \"scenarios\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const core::ScenarioResult& r = results[i];
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    {\"label\": \"" << telemetry::json_escape(labels[i])
+          << "\", \"num_deltas\": " << scenarios[i].size()
+          << ", \"setup\": " << summary_json(r.setup);
+      if (hold) out << ", \"hold\": " << summary_json(r.hold);
+      out << ", \"frontier_pins\": " << r.frontier_pins
+          << ", \"early_terminations\": " << r.early_terminations
+          << ", \"endpoints_evaluated\": " << r.endpoints_evaluated
+          << ", \"overlay_bytes\": " << r.overlay_bytes << "}";
+    }
+    out << "\n  ]\n}\n";
+    const std::string path = args.get("out", "");
+    std::ofstream f(path, std::ios::binary);
+    util::check(static_cast<bool>(f), "whatif: cannot write " + path);
+    f << out.str();
+    util::check(f.good(), "whatif: short write to " + path);
+    std::printf("wrote %s\n", path.c_str());
+  }
   return 0;
 }
 
@@ -460,6 +658,22 @@ int cmd_selftest() {
     Args args(4, const_cast<char**>(argv), 0);
     util::check(cmd_profile(args) == 0, "selftest: profile failed");
   }
+  {
+    const std::string out = "/tmp/insta_cli_selftest_whatif.json";
+    const char* argv[] = {"--in",   path.c_str(), "--sample", "4",
+                          "--hold", "1",          "--out",    out.c_str()};
+    Args args(8, const_cast<char**>(argv), 0);
+    util::check(cmd_whatif(args) == 0, "selftest: whatif failed");
+    std::ifstream f(out, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    const telemetry::ValidationResult vr =
+        telemetry::validate_whatif_json(ss.str());
+    for (const std::string& e : vr.errors) {
+      std::fprintf(stderr, "selftest: whatif schema: %s\n", e.c_str());
+    }
+    util::check(vr.ok, "selftest: whatif output failed schema validation");
+  }
   std::printf("selftest passed\n");
   return 0;
 }
@@ -467,7 +681,7 @@ int cmd_selftest() {
 void usage() {
   std::fprintf(stderr,
                "usage: insta_cli "
-               "<generate|report|size|buffer|lint|profile|selftest> "
+               "<generate|report|size|buffer|lint|profile|whatif|selftest> "
                "[--option value ...]\n"
                "global: [--metrics-json m.json] [--trace t.json] "
                "[--log-level debug|info|warn|error|off]\n");
@@ -497,6 +711,8 @@ int main(int argc, char** argv) {
       rc = cmd_lint(args);
     } else if (cmd == "profile") {
       rc = cmd_profile(args);
+    } else if (cmd == "whatif") {
+      rc = cmd_whatif(args);
     } else if (cmd == "selftest") {
       rc = cmd_selftest();
     } else {

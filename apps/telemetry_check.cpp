@@ -2,7 +2,7 @@
 // telemetry subsystem emits. CI runs it against the files produced by
 // `insta_cli ... --metrics-json m.json --trace t.json`.
 //
-//   telemetry_check [--trace t.json] [--metrics m.json]
+//   telemetry_check [--trace t.json] [--metrics m.json] [--whatif w.json]
 //
 // Exit 0 when every given file validates, 1 on any violation (each is
 // printed), 2 on usage/IO errors.
@@ -27,10 +27,11 @@ bool read_file(const std::string& path, std::string& out) {
 }
 
 int report(const char* kind, const std::string& path,
-           const insta::telemetry::ValidationResult& r, std::size_t events) {
+           const insta::telemetry::ValidationResult& r, std::size_t items,
+           const char* noun = "events") {
   if (r.ok) {
-    if (events > 0) {
-      std::printf("%s %s: OK (%zu events)\n", kind, path.c_str(), events);
+    if (items > 0) {
+      std::printf("%s %s: OK (%zu %s)\n", kind, path.c_str(), items, noun);
     } else {
       std::printf("%s %s: OK\n", kind, path.c_str());
     }
@@ -50,10 +51,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
     const bool is_metrics = std::strcmp(argv[i], "--metrics") == 0;
-    if ((!is_trace && !is_metrics) || i + 1 >= argc) {
+    const bool is_whatif = std::strcmp(argv[i], "--whatif") == 0;
+    if ((!is_trace && !is_metrics && !is_whatif) || i + 1 >= argc) {
       std::fprintf(stderr,
                    "usage: telemetry_check [--trace t.json] "
-                   "[--metrics m.json]\n");
+                   "[--metrics m.json] [--whatif w.json]\n");
       return 2;
     }
     const std::string path = argv[++i];
@@ -68,6 +70,11 @@ int main(int argc, char** argv) {
       const insta::telemetry::ValidationResult r =
           insta::telemetry::validate_chrome_trace(text, &events);
       rc |= report("trace", path, r, events);
+    } else if (is_whatif) {
+      std::size_t scenarios = 0;
+      const insta::telemetry::ValidationResult r =
+          insta::telemetry::validate_whatif_json(text, &scenarios);
+      rc |= report("whatif", path, r, scenarios, "scenarios");
     } else {
       rc |= report("metrics", path,
                    insta::telemetry::validate_metrics_json(text), 0);
@@ -76,7 +83,7 @@ int main(int argc, char** argv) {
   if (!did_anything) {
     std::fprintf(stderr,
                  "usage: telemetry_check [--trace t.json] "
-                 "[--metrics m.json]\n");
+                 "[--metrics m.json] [--whatif w.json]\n");
     return 2;
   }
   return rc;

@@ -1,0 +1,184 @@
+// Batched what-if scenarios vs the sequential Transaction loop.
+//
+// The workload is the sizing inner loop's question: "which of these B
+// candidate ECOs is best?" The sequential evaluator answers it the way the
+// sizers did before ScenarioBatch — begin_edit / annotate / sparse pass /
+// read summary / rollback per candidate (the rollback's restoring sparse
+// pass is part of the honest sequential cost). The batched evaluator
+// answers all B at once over copy-on-write overlays, scenario-parallel
+// across the thread pool.
+//
+// Every iteration is also a correctness gate: each scenario's SlackSummary
+// must compare == (bitwise doubles) against its sequential Transaction
+// reference, and the binary exits non-zero on any mismatch. CI runs it
+// with --small.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "core/scenario_batch.hpp"
+#include "gen/changelist.hpp"
+#include "gen/presets.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace insta;
+
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) small = true;
+  }
+
+  bench::print_header(
+      "Batched what-if scenarios vs the sequential Transaction loop\n"
+      "B candidate ECOs evaluated (a) one at a time through begin_edit/\n"
+      "annotate/run_forward_incremental/rollback, (b) in one\n"
+      "ScenarioBatch::evaluate call. Every scenario is gated bitwise\n"
+      "against its sequential reference.");
+
+  gen::LogicBlockSpec spec = gen::fig7_block_spec();
+  if (small) {
+    spec.name = "block-2-small";
+    spec.num_gates = 6000;
+    spec.num_ffs = 600;
+    spec.depth = 14;
+  }
+  bench::Bundle world = bench::make_bundle(spec, 0.08);
+  std::printf("design: %zu cells, %zu pins%s\n", world.gd.design->num_cells(),
+              world.gd.design->num_pins(), small ? " (--small preset)" : "");
+
+  core::EngineOptions eopt;
+  eopt.top_k = 8;
+  core::Engine engine(*world.sta, eopt);
+  engine.run_forward();
+
+  const int kReps = small ? 3 : 5;
+  const std::vector<std::size_t> batch_sizes = {1, 8, 64};
+
+  util::Rng rng(2028);
+  const auto changes = gen::random_changelist(
+      *world.gd.design, *world.graph, rng,
+      static_cast<int>(batch_sizes.back()));
+  std::vector<std::vector<timing::ArcDelta>> all_scenarios;
+  all_scenarios.reserve(changes.size());
+  for (const auto& ch : changes) {
+    all_scenarios.push_back(world.calc->estimate_eco(ch.cell, ch.new_libcell));
+  }
+  // Top up by repetition if the design ran out of resizable cells.
+  for (std::size_t i = 0; all_scenarios.size() < batch_sizes.back(); ++i) {
+    all_scenarios.push_back(all_scenarios[i % changes.size()]);
+  }
+
+  core::ScenarioBatch batch(engine);
+
+  util::Table table({"B", "sequential (ms)", "batch (ms)", "speedup",
+                     "scenarios/sec", "mean frontier", "mean overlay (KiB)",
+                     "mismatches"});
+  bench::BenchReport report("scenario_batch");
+  std::size_t total_mismatches = 0;
+  double speedup_b64 = 0.0;
+
+  for (const std::size_t b : batch_sizes) {
+    const std::vector<std::vector<timing::ArcDelta>> scenarios(
+        all_scenarios.begin(),
+        all_scenarios.begin() + static_cast<std::ptrdiff_t>(b));
+
+    // Correctness pass (untimed): sequential references, then both batch
+    // strategies gated summary-by-summary.
+    std::vector<core::SlackSummary> ref;
+    ref.reserve(b);
+    for (const auto& deltas : scenarios) {
+      auto tx = engine.begin_edit();
+      tx.annotate(deltas);
+      engine.run_forward_incremental();
+      ref.push_back(engine.summary(core::Mode::kSetup));
+      tx.rollback();
+    }
+    std::size_t mismatches = 0;
+    for (const core::ScenarioStrategy strat :
+         {core::ScenarioStrategy::kScenarioParallel,
+          core::ScenarioStrategy::kLevelParallel}) {
+      core::ScenarioBatchOptions opt;
+      opt.strategy = strat;
+      core::ScenarioBatch check(engine, opt);
+      const auto results = check.evaluate(scenarios);
+      for (std::size_t i = 0; i < b; ++i) {
+        if (!(results[i].setup == ref[i])) {
+          std::printf("ERROR: B=%zu scenario %zu (%s): batch summary "
+                      "differs from sequential reference\n",
+                      b, i,
+                      strat == core::ScenarioStrategy::kScenarioParallel
+                          ? "scenario-parallel"
+                          : "level-parallel");
+          ++mismatches;
+        }
+      }
+    }
+    total_mismatches += mismatches;
+
+    // Timed: sequential Transaction loop.
+    const bench::TimingStats seq = bench::time_repeated(kReps, [&] {
+      for (const auto& deltas : scenarios) {
+        auto tx = engine.begin_edit();
+        tx.annotate(deltas);
+        engine.run_forward_incremental();
+        (void)engine.summary(core::Mode::kSetup);
+        tx.rollback();
+      }
+    });
+
+    // Timed: one batched evaluate (kAuto picks the dispatch). The batch
+    // object is reused so workspace allocation amortizes like it does in
+    // the sizers.
+    std::vector<core::ScenarioResult> results;
+    const bench::TimingStats bat = bench::time_repeated(
+        kReps, [&] { results = batch.evaluate(scenarios); });
+
+    double frontier = 0.0, overlay = 0.0;
+    for (const core::ScenarioResult& r : results) {
+      frontier += static_cast<double>(r.frontier_pins);
+      overlay += static_cast<double>(r.overlay_bytes);
+    }
+    frontier /= static_cast<double>(b);
+    overlay /= static_cast<double>(b);
+
+    const double speedup =
+        bat.median_sec > 0.0 ? seq.median_sec / bat.median_sec : 0.0;
+    const double per_sec =
+        bat.median_sec > 0.0 ? static_cast<double>(b) / bat.median_sec : 0.0;
+    if (b == 64) speedup_b64 = speedup;
+    table.add_row({std::to_string(b), util::fmt("%.2f", seq.median_sec * 1e3),
+                   util::fmt("%.2f", bat.median_sec * 1e3),
+                   util::fmt("%.2fx", speedup), util::fmt("%.0f", per_sec),
+                   util::fmt("%.0f", frontier),
+                   util::fmt("%.1f", overlay / 1024.0),
+                   std::to_string(mismatches)});
+    report.add_row("B=" + std::to_string(b),
+                   {{"batch_size", static_cast<double>(b)},
+                    {"sequential_ms", seq.median_sec * 1e3},
+                    {"batch_ms", bat.median_sec * 1e3},
+                    {"speedup_x", speedup},
+                    {"scenarios_per_sec", per_sec},
+                    {"mean_frontier_pins", frontier},
+                    {"mean_overlay_bytes", overlay},
+                    {"mismatches", static_cast<double>(mismatches)}});
+  }
+
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\nspeedup at B=64: %.2fx (target >= 2x over the sequential "
+              "Transaction loop)\n",
+              speedup_b64);
+  report.write();
+
+  if (total_mismatches != 0) {
+    std::printf("\nFAILED: %zu scenario summaries differ from their "
+                "sequential references\n",
+                total_mismatches);
+    return 1;
+  }
+  return 0;
+}

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <tuple>
+#include <unordered_set>
 #include <utility>
 
+#include "analysis/diagnostics.hpp"
 #include "core/topk.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
@@ -88,15 +90,37 @@ thread_local TopKScratch tls_scratch;
 
 }  // namespace
 
+std::vector<std::string> EngineOptions::validate() const {
+  std::vector<std::string> problems;
+  if (top_k < 1) problems.emplace_back("top_k must be >= 1");
+  if (!std::isfinite(tau) || tau <= 0.0f) {
+    problems.emplace_back("tau must be finite and > 0");
+  }
+  if (!std::isfinite(wns_tau) || wns_tau <= 0.0f) {
+    problems.emplace_back("wns_tau must be finite and > 0");
+  }
+  if (parallel_threshold < 0) {
+    problems.emplace_back("parallel_threshold must be >= 0");
+  }
+  if (parallel_grain < 1) problems.emplace_back("parallel_grain must be >= 1");
+  if (endpoint_grain < 1) problems.emplace_back("endpoint_grain must be >= 1");
+  return problems;
+}
+
 Engine::Engine(const ref::GoldenSta& reference, EngineOptions options)
     : graph_(&reference.graph()),
       options_(options),
       exceptions_(reference.exceptions()) {
-  check(options_.top_k >= 1, "Engine: top_k must be >= 1");
-  check(options_.parallel_threshold >= 0,
-        "Engine: parallel_threshold must be >= 0");
-  check(options_.parallel_grain >= 1, "Engine: parallel_grain must be >= 1");
-  check(options_.endpoint_grain >= 1, "Engine: endpoint_grain must be >= 1");
+  if (const std::vector<std::string> problems = options_.validate();
+      !problems.empty()) {
+    std::string msg = "Engine: invalid EngineOptions:";
+    for (const std::string& p : problems) {
+      msg += ' ';
+      msg += p;
+      msg += ';';
+    }
+    check(false, msg);
+  }
   nsigma_ = static_cast<float>(reference.constraints().nsigma);
   num_pins_ = graph_->design().num_pins();
 
@@ -282,9 +306,14 @@ void Engine::clone_sp_ep_attributes(const ref::GoldenSta& reference) {
 
 void Engine::annotate(std::span<const timing::ArcDelta> deltas) {
   for (const timing::ArcDelta& d : deltas) {
-    INSTA_DCHECK(d.arc >= 0 && static_cast<std::size_t>(d.arc) <
-                                   slot_of_arc_.size(),
-                 "Engine::annotate: arc id out of range");
+    // Always-on range check: an out-of-range arc id would scribble over the
+    // flat stores in Release. Full structured validation (clock-network
+    // arcs, non-finite values, duplicates) is annotate_checked()'s job.
+    INSTA_CHECK(d.arc >= 0 && static_cast<std::size_t>(d.arc) <
+                                  slot_of_arc_.size(),
+                "Engine::annotate: arc id " + std::to_string(d.arc) +
+                    " out of range (use annotate_checked for structured "
+                    "diagnostics)");
     INSTA_DCHECK(std::isfinite(d.mu[0]) && std::isfinite(d.mu[1]) &&
                      d.sigma[0] >= 0.0 && d.sigma[1] >= 0.0,
                  "Engine::annotate: non-finite mean or negative sigma");
@@ -348,70 +377,275 @@ timing::ArcDelta Engine::read_annotation(ArcId arc) const {
   return d;
 }
 
-/// The Algorithm 1+2 merge of one pin/transition, writing into `dst` —
-/// either the pin's live Top-K slice (dense pass) or thread-local scratch
-/// (sparse pass). Both passes share this single kernel, so recomputing a
-/// pin from unchanged inputs reproduces bit-identical results: that is the
-/// exactness guarantee of the value-change early termination.
-///
-/// kEarly selects the min-mode (tk2_*) parent stores, whose arr slots hold
-/// *negated* early corners so the same descending unique-SP list keeps the
-/// K smallest early arrivals.
-template <bool kEarly>
-void Engine::merge_pin_rf(PinId pin, int rf, const TopKView& dst,
-                          ForwardCounters& fc) {
-  const auto p = static_cast<std::size_t>(pin);
-  const std::int32_t fs = fi_start_[p];
-  const std::int32_t fe = fi_start_[p + 1];
-  const auto& par_mu = kEarly ? tk2_mu_ : tk_mu_;
-  const auto& par_sig = kEarly ? tk2_sig_ : tk_sig_;
-  const auto& par_sp = kEarly ? tk2_sp_ : tk_sp_;
-  const auto& par_cnt = kEarly ? tk2_cnt_ : tk_cnt_;
-
-  *dst.count = 0;
-  if (fs == fe) {
-    const std::int32_t sp = sp_of_pin_[p];
-    if (sp < 0) return;
+namespace {
+/// Per-delta validity predicate shared by check_deltas and annotate_checked:
+/// true when annotate() can apply the delta without throwing or corrupting
+/// state. `num_arcs` bounds the id space; slot/launch lookups classify the
+/// arc kind.
+bool delta_is_error_free(const timing::ArcDelta& d, std::size_t num_arcs,
+                         const std::vector<std::int32_t>& slot_of_arc,
+                         const std::vector<std::int32_t>& launch_sp_of_arc) {
+  if (d.arc < 0 || static_cast<std::size_t>(d.arc) >= num_arcs) return false;
+  const auto arc = static_cast<std::size_t>(d.arc);
+  if (slot_of_arc[arc] < 0 && launch_sp_of_arc[arc] < 0) return false;
+  for (const int rf : {0, 1}) {
     const auto rfi = static_cast<std::size_t>(rf);
-    const float mu = sp_mu_[rfi][static_cast<std::size_t>(sp)];
-    const float sig = sp_sig_[rfi][static_cast<std::size_t>(sp)];
-    dst.arr[0] = kEarly ? -(mu - nsigma_ * sig) : (mu + nsigma_ * sig);
-    dst.mu[0] = mu;
-    dst.sig[0] = sig;
-    dst.sp[0] = sp;
-    *dst.count = 1;
-    return;
+    if (!std::isfinite(d.mu[rfi])) return false;
+    if (!std::isfinite(d.sigma[rfi]) || d.sigma[rfi] < 0.0) return false;
   }
+  return true;
+}
+}  // namespace
 
-  for (std::int32_t s = fs; s < fe; ++s) {
-    const auto si = static_cast<std::size_t>(s);
-    const int prf = rf ^ static_cast<int>(fi_neg_[si]);
-    const auto from = static_cast<std::size_t>(fi_from_[si]);
-    const std::int32_t pcnt = par_cnt[from * 2 + static_cast<std::size_t>(prf)];
-    const float am = amu_[static_cast<std::size_t>(rf)][si];
-    const float as = asig_[static_cast<std::size_t>(rf)][si];
-    const float as2 = as * as;
-    const std::size_t pbase = entry_base(static_cast<PinId>(from), prf);
-    ++fc.arcs;
-    fc.merges += static_cast<std::uint64_t>(pcnt);
-    for (std::int32_t kk = 0; kk < pcnt; ++kk) {
-      const float pmu = par_mu[pbase + static_cast<std::size_t>(kk)];
-      const float psig = par_sig[pbase + static_cast<std::size_t>(kk)];
-      const float mu = pmu + am;
-      const float sig = std::sqrt(psig * psig + as2);
-      const float arrival =
-          kEarly ? -(mu - nsigma_ * sig) : (mu + nsigma_ * sig);
-      const std::int32_t sp = par_sp[pbase + static_cast<std::size_t>(kk)];
-      if (options_.use_heap_queue) {
-        fc.prunes += static_cast<std::uint64_t>(
-            topk_insert_heap(dst, arrival, mu, sig, sp));
-      } else {
-        fc.prunes += static_cast<std::uint64_t>(
-            topk_insert(dst, arrival, mu, sig, sp));
+analysis::LintReport Engine::check_deltas(
+    std::span<const timing::ArcDelta> deltas) const {
+  analysis::LintReport report;
+  // Per-rule reporting cap, linter-style: a garbage input file should not
+  // produce a million diagnostics, but the counts stay exact.
+  constexpr std::size_t kCap = 32;
+  struct RuleCount {
+    const char* rule;
+    std::size_t n = 0;
+  };
+  RuleCount range{"delta-arc-range"};
+  RuleCount clock{"delta-clock-arc"};
+  RuleCount value{"delta-bad-value"};
+  RuleCount dup{"delta-duplicate-arc"};
+  auto add = [&report](RuleCount& rc, analysis::Severity sev, timing::ArcId arc,
+                       std::string message) {
+    if (++rc.n > kCap) return;
+    analysis::Diagnostic d;
+    d.rule = rc.rule;
+    d.severity = sev;
+    d.kind = analysis::ObjectKind::kArc;
+    d.object = arc;
+    d.where = "arc " + std::to_string(arc);
+    d.message = std::move(message);
+    report.add(std::move(d));
+  };
+
+  std::unordered_set<timing::ArcId> seen;
+  seen.reserve(deltas.size());
+  const std::size_t num_arcs = slot_of_arc_.size();
+  for (const timing::ArcDelta& d : deltas) {
+    if (d.arc < 0 || static_cast<std::size_t>(d.arc) >= num_arcs) {
+      add(range, analysis::Severity::kError, d.arc,
+          "arc id out of range [0, " + std::to_string(num_arcs) + ")");
+      continue;
+    }
+    if (!seen.insert(d.arc).second) {
+      add(dup, analysis::Severity::kWarning, d.arc,
+          "arc annotated more than once in this delta-set (last write wins)");
+    }
+    const auto arc = static_cast<std::size_t>(d.arc);
+    if (slot_of_arc_[arc] < 0 && launch_sp_of_arc_[arc] < 0) {
+      add(clock, analysis::Severity::kError, d.arc,
+          "arc is neither a data arc nor a launch arc (clock-network arcs "
+          "require re-initialization)");
+      continue;
+    }
+    for (const int rf : {0, 1}) {
+      const auto rfi = static_cast<std::size_t>(rf);
+      if (!std::isfinite(d.mu[rfi]) || !std::isfinite(d.sigma[rfi]) ||
+          d.sigma[rfi] < 0.0) {
+        add(value, analysis::Severity::kError, d.arc,
+            "non-finite mean or negative sigma");
+        break;
       }
     }
   }
-  if (options_.use_heap_queue) topk_heap_finalize(dst);
+  for (const RuleCount* rc : {&range, &clock, &value, &dup}) {
+    if (rc->n > kCap) report.add_suppressed(rc->rule, rc->n - kCap);
+  }
+  return report;
+}
+
+analysis::LintReport Engine::annotate_checked(
+    std::span<const timing::ArcDelta> deltas) {
+  analysis::LintReport report = check_deltas(deltas);
+  if (!report.has_errors()) {
+    annotate(deltas);
+    return report;
+  }
+  // Apply the clean subset in input order; erroneous entries are skipped so
+  // one bad delta in a what-if file does not poison the rest.
+  std::vector<timing::ArcDelta> valid;
+  valid.reserve(deltas.size());
+  for (const timing::ArcDelta& d : deltas) {
+    if (delta_is_error_free(d, slot_of_arc_.size(), slot_of_arc_,
+                            launch_sp_of_arc_)) {
+      valid.push_back(d);
+    }
+  }
+  annotate(valid);
+  return report;
+}
+
+// ---- Transaction ------------------------------------------------------------
+
+Engine::Transaction::Transaction(Engine& engine) : engine_(&engine) {
+  tns_ = engine.tns_cache_;
+  nviol_ = engine.nviol_cache_;
+  ths_ = engine.ths_cache_;
+  nhold_viol_ = engine.nhold_viol_cache_;
+  wns_ = engine.wns_cache_;
+  wns_any_ = engine.wns_any_;
+  wns_valid_ = engine.wns_valid_;
+  whs_ = engine.whs_cache_;
+  whs_any_ = engine.whs_any_;
+  whs_valid_ = engine.whs_valid_;
+}
+
+Engine::Transaction::Transaction(Transaction&& other) noexcept
+    : engine_(other.engine_),
+      undo_(std::move(other.undo_)),
+      tns_(other.tns_),
+      nviol_(other.nviol_),
+      ths_(other.ths_),
+      nhold_viol_(other.nhold_viol_),
+      wns_(other.wns_),
+      wns_any_(other.wns_any_),
+      wns_valid_(other.wns_valid_),
+      whs_(other.whs_),
+      whs_any_(other.whs_any_),
+      whs_valid_(other.whs_valid_) {
+  other.engine_ = nullptr;
+}
+
+Engine::Transaction::~Transaction() {
+  if (engine_ != nullptr) rollback();
+}
+
+void Engine::Transaction::record(std::span<const timing::ArcDelta> deltas) {
+  Engine& e = *engine_;
+  for (const timing::ArcDelta& d : deltas) {
+    // Entries annotate() will reject are not recorded; delta-sets are small
+    // (ECO-sized), so the first-touch dedup is a linear scan.
+    if (d.arc < 0 || static_cast<std::size_t>(d.arc) >= e.slot_of_arc_.size()) {
+      continue;
+    }
+    bool seen = false;
+    for (const Undo& u : undo_) {
+      if (u.arc == d.arc) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    const auto arc = static_cast<std::size_t>(d.arc);
+    Undo u;
+    u.arc = d.arc;
+    u.sink = e.graph_->arc(d.arc).to;
+    const std::int32_t slot = e.slot_of_arc_[arc];
+    if (slot >= 0) {
+      u.slot = slot;
+      for (const int rf : {0, 1}) {
+        const auto rfi = static_cast<std::size_t>(rf);
+        u.mu[rfi] = e.amu_[rfi][static_cast<std::size_t>(slot)];
+        u.sig[rfi] = e.asig_[rfi][static_cast<std::size_t>(slot)];
+      }
+    } else {
+      const std::int32_t sp = e.launch_sp_of_arc_[arc];
+      if (sp < 0) continue;  // clock-network arc: annotate() throws below
+      u.sp = sp;
+      for (const int rf : {0, 1}) {
+        const auto rfi = static_cast<std::size_t>(rf);
+        u.mu[rfi] = e.sp_mu_[rfi][static_cast<std::size_t>(sp)];
+        u.sig[rfi] = e.sp_sig_[rfi][static_cast<std::size_t>(sp)];
+      }
+    }
+    undo_.push_back(u);
+  }
+}
+
+void Engine::Transaction::annotate(std::span<const timing::ArcDelta> deltas) {
+  check(engine_ != nullptr,
+        "Transaction::annotate: transaction already committed or rolled back");
+  record(deltas);
+  engine_->annotate(deltas);
+}
+
+void Engine::Transaction::commit() {
+  check(engine_ != nullptr,
+        "Transaction::commit: transaction already committed or rolled back");
+  engine_->txn_active_ = false;
+  engine_ = nullptr;
+  undo_.clear();
+}
+
+void Engine::Transaction::rollback() {
+  check(engine_ != nullptr,
+        "Transaction::rollback: transaction already committed or rolled back");
+  Engine& e = *engine_;
+  if (!undo_.empty()) {
+    // Restore the raw delay floats (not read_annotation round-trips: the
+    // launch-arc sigma fold does not invert exactly in float) and seed the
+    // frontier at each touched sink, exactly as annotate() would.
+    for (const Undo& u : undo_) {
+      for (const int rf : {0, 1}) {
+        const auto rfi = static_cast<std::size_t>(rf);
+        if (u.slot >= 0) {
+          e.amu_[rfi][static_cast<std::size_t>(u.slot)] = u.mu[rfi];
+          e.asig_[rfi][static_cast<std::size_t>(u.slot)] = u.sig[rfi];
+        } else {
+          e.sp_mu_[rfi][static_cast<std::size_t>(u.sp)] = u.mu[rfi];
+          e.sp_sig_[rfi][static_cast<std::size_t>(u.sp)] = u.sig[rfi];
+        }
+      }
+      e.mark_dirty(u.sink, e.graph_->level_of(u.sink));
+    }
+    e.run_forward_incremental();
+    // The sparse pass restored every slack bitwise; restoring the cache
+    // snapshot on top also undoes the float drift of delta folding, so
+    // aggregates come back exactly.
+    e.tns_cache_ = tns_;
+    e.nviol_cache_ = nviol_;
+    e.ths_cache_ = ths_;
+    e.nhold_viol_cache_ = nhold_viol_;
+    e.wns_cache_ = wns_;
+    e.wns_any_ = wns_any_;
+    e.wns_valid_ = wns_valid_;
+    e.whs_cache_ = whs_;
+    e.whs_any_ = whs_any_;
+    e.whs_valid_ = whs_valid_;
+    undo_.clear();
+  }
+  e.txn_active_ = false;
+  engine_ = nullptr;
+}
+
+Engine::Transaction Engine::begin_edit() {
+  check(!txn_active_,
+        "Engine::begin_edit: a Transaction is already active on this engine");
+  check(timing_clean(),
+        "Engine::begin_edit: timing must be clean (run run_forward() or "
+        "run_forward_incremental() first)");
+  txn_active_ = true;
+  return Transaction(*this);
+}
+
+// Deprecated compatibility shims; suppress the self-referential warnings
+// their definitions would otherwise emit.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+std::vector<timing::ArcDelta> Engine::checkpoint(
+    std::span<const timing::ArcId> arcs) const {
+  std::vector<timing::ArcDelta> saved;
+  saved.reserve(arcs.size());
+  for (const ArcId arc : arcs) saved.push_back(read_annotation(arc));
+  return saved;
+}
+
+void Engine::restore(std::span<const timing::ArcDelta> saved) {
+  annotate(saved);
+  run_forward_incremental();
+}
+#pragma GCC diagnostic pop
+
+template <bool kEarly>
+void Engine::merge_pin_rf(PinId pin, int rf, const TopKView& dst,
+                          ForwardCounters& fc) {
+  merge_pin_values<kEarly>(LiveValues{*this}, pin, rf, dst, fc);
 }
 
 void Engine::process_pin(PinId pin, ForwardCounters& fc) {
@@ -726,65 +960,17 @@ float Engine::credit(std::int32_t a, std::int32_t b) const {
 }
 
 std::uint64_t Engine::evaluate_endpoint(EndpointId ep) {
+  const SetupEval ev = evaluate_endpoint_values(LiveValues{*this}, ep);
   const auto e = static_cast<std::size_t>(ep);
-  const auto pin = static_cast<std::size_t>(ep_pin_[e]);
-  const std::int32_t ep_node = ep_node_[e];
-  const float base = ep_base_req_[e];
-  float best = kInf;
-  std::uint8_t best_rf = 0;
-  std::uint64_t lookups = 0;
-  const bool has_exceptions = exceptions_.size() != 0;
-  for (int rf = 0; rf < 2; ++rf) {
-    const std::size_t tbase = entry_base(static_cast<PinId>(pin), rf);
-    const std::int32_t cnt = tk_cnt_[pin * 2 + static_cast<std::size_t>(rf)];
-    for (std::int32_t kk = 0; kk < cnt; ++kk) {
-      const std::int32_t sp = tk_sp_[tbase + static_cast<std::size_t>(kk)];
-      if (has_exceptions && exceptions_.is_false_path(sp, ep)) continue;
-      ++lookups;
-      float req = base + credit(sp_node_[static_cast<std::size_t>(sp)], ep_node);
-      if (has_exceptions) {
-        req += static_cast<float>(
-            exceptions_.required_shift(sp, ep, static_cast<double>(ep_period_[e])));
-      }
-      const float slack = req - tk_arr_[tbase + static_cast<std::size_t>(kk)];
-      if (slack < best) {
-        best = slack;
-        best_rf = static_cast<std::uint8_t>(rf);
-      }
-    }
-  }
-  slack_[e] = best;
-  ep_worst_rf_[e] = best_rf;
-  return lookups;
+  slack_[e] = ev.slack;
+  ep_worst_rf_[e] = ev.worst_rf;
+  return ev.lookups;
 }
 
 std::uint64_t Engine::evaluate_endpoint_hold(EndpointId ep) {
-  const auto e = static_cast<std::size_t>(ep);
-  const float base = ep_hold_base_[e];
-  if (std::isnan(base)) {  // unclocked endpoint: no hold check
-    hold_slack_[e] = kInf;
-    return 0;
-  }
-  const auto pin = static_cast<std::size_t>(ep_pin_[e]);
-  const std::int32_t ep_node = ep_node_[e];
-  float best = kInf;
-  std::uint64_t lookups = 0;
-  const bool has_exceptions = exceptions_.size() != 0;
-  for (int rf = 0; rf < 2; ++rf) {
-    const std::size_t tbase = entry_base(static_cast<PinId>(pin), rf);
-    const std::int32_t cnt = tk2_cnt_[pin * 2 + static_cast<std::size_t>(rf)];
-    for (std::int32_t kk = 0; kk < cnt; ++kk) {
-      const std::int32_t sp = tk2_sp_[tbase + static_cast<std::size_t>(kk)];
-      if (has_exceptions && exceptions_.is_false_path(sp, ep)) continue;
-      ++lookups;
-      const float req =
-          base - credit(sp_node_[static_cast<std::size_t>(sp)], ep_node);
-      const float early = -tk2_arr_[tbase + static_cast<std::size_t>(kk)];
-      best = std::min(best, early - req);
-    }
-  }
-  hold_slack_[e] = best;
-  return lookups;
+  const HoldEval ev = evaluate_endpoint_hold_values(LiveValues{*this}, ep);
+  hold_slack_[static_cast<std::size_t>(ep)] = ev.slack;
+  return ev.lookups;
 }
 
 namespace {
@@ -889,6 +1075,15 @@ double Engine::wns() const {
 }
 
 int Engine::num_violations() const { return nviol_cache_; }
+
+SlackSummary Engine::summary(Mode mode) const {
+  if (mode == Mode::kSetup) {
+    return SlackSummary{tns(), wns(), num_violations()};
+  }
+  check(options_.enable_hold,
+        "Engine::summary(Mode::kHold): engine was built without enable_hold");
+  return SlackSummary{ths(), whs(), num_hold_violations()};
+}
 
 void Engine::run_backward(GradientMetric metric) {
   INSTA_TRACE_SCOPE("engine.backward");

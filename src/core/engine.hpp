@@ -1,18 +1,26 @@
 #pragma once
 
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "core/topk.hpp"
 #include "ref/golden_sta.hpp"
 #include "timing/constraints.hpp"
 #include "timing/graph.hpp"
 #include "timing/types.hpp"
 
+namespace insta::analysis {
+class LintReport;  // analysis/diagnostics.hpp
+}  // namespace insta::analysis
+
 namespace insta::core {
 
-struct TopKView;  // core/topk.hpp
+class ScenarioBatch;  // core/scenario_batch.hpp
 
 /// Configuration of the INSTA engine.
 struct EngineOptions {
@@ -44,10 +52,31 @@ struct EngineOptions {
   /// with the matching GoldenOptions::enable_hold. Off by default: the
   /// paper's experiments are setup-only.
   bool enable_hold = false;
+
+  /// Returns one message per invalid field (empty when the options are
+  /// usable). Engine's constructor rejects invalid options with the same
+  /// messages, so callers that build options from external input (CLI
+  /// flags, JSON) can report every problem at once instead of hitting the
+  /// first constructor check.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 /// Global timing metric whose gradient run_backward computes.
 enum class GradientMetric { kTns, kWns };
+
+/// Analysis mode of a slack query: late/setup or early/hold.
+enum class Mode : std::uint8_t { kSetup, kHold };
+
+/// Aggregate slack metrics of one analysis mode. This is the unit of
+/// reporting everywhere: Engine::summary(), ScenarioBatch results, the CLI
+/// tables. Comparable with == (the engine's bit-identity guarantees make
+/// exact comparison meaningful).
+struct SlackSummary {
+  double tns = 0.0;      ///< total negative slack, ps
+  double wns = 0.0;      ///< worst negative slack, ps (0 if nothing violates)
+  int violations = 0;    ///< endpoints with negative slack
+  friend bool operator==(const SlackSummary&, const SlackSummary&) = default;
+};
 
 /// The INSTA engine: ultra-fast, differentiable, statistical timing
 /// propagation over a timing-graph image cloned from a reference engine.
@@ -74,13 +103,129 @@ class Engine {
   /// Overwrites the delay distributions of the given arcs (e.g. with
   /// estimate_eco output after a gate resize). Launch-arc deltas update the
   /// corresponding startpoint's initial arrival. Cheap; call run_forward()
-  /// afterwards to refresh timing.
+  /// afterwards to refresh timing. Arc ids are range-checked even in
+  /// Release (out-of-range would corrupt the flat stores); full structured
+  /// validation is annotate_checked()'s job.
   void annotate(std::span<const timing::ArcDelta> deltas);
+
+  /// Validating annotate for trust boundaries (CLI flags, JSON what-if
+  /// input): runs check_deltas(), applies every clean delta, skips the
+  /// erroneous ones, and returns the diagnostics. Prefer the raw
+  /// annotate() inside optimization loops that generate their own deltas.
+  analysis::LintReport annotate_checked(std::span<const timing::ArcDelta> deltas);
+
+  /// Validates a delta-set without applying it. Errors (rule ids
+  /// "delta-arc-range", "delta-clock-arc", "delta-bad-value") mark deltas
+  /// annotate() would reject or corrupt on; duplicates within the span are
+  /// reported as warnings ("delta-duplicate-arc") since annotate() applies
+  /// them last-wins. Reuses the analysis diagnostic types so reports can
+  /// be rendered and merged like linter output.
+  [[nodiscard]] analysis::LintReport check_deltas(
+      std::span<const timing::ArcDelta> deltas) const;
 
   /// Reads back the engine's current annotation of a data arc (used by
   /// optimization loops to snapshot state before a tentative annotate() so
   /// a rejected move can be rolled back exactly).
   [[nodiscard]] timing::ArcDelta read_annotation(timing::ArcId arc) const;
+
+  // ---- transactional editing ----------------------------------------------
+
+  /// RAII speculative-edit scope: the first-class replacement for the
+  /// checkpoint/annotate/restore dance. A Transaction records the raw
+  /// pre-edit stores of every arc it touches (first touch wins), so
+  /// rollback() restores delays, Top-K stores, endpoint slacks, and the
+  /// delta-maintained TNS/WNS caches to their exact pre-transaction bytes —
+  /// including launch arcs, whose startpoint fold does not round-trip
+  /// through read_annotation()/annotate() exactly.
+  ///
+  ///   auto tx = engine.begin_edit();
+  ///   tx.annotate(deltas);
+  ///   engine.run_forward_incremental();
+  ///   if (engine.summary(Mode::kSetup).tns >= floor) tx.commit();
+  ///   else tx.rollback();   // also implied by ~Transaction
+  ///
+  /// One Transaction may be active per engine at a time; mutating the
+  /// engine through anything other than the active Transaction's annotate()
+  /// leaves those edits outside its undo log.
+  class Transaction {
+   public:
+    Transaction(Transaction&& other) noexcept;
+    Transaction(const Transaction&) = delete;
+    Transaction& operator=(Transaction&&) = delete;
+    Transaction& operator=(const Transaction&) = delete;
+    /// Rolls back if neither commit() nor rollback() was called.
+    ~Transaction();
+
+    /// annotate() on the parent engine, snapshotting first-touched arcs.
+    void annotate(std::span<const timing::ArcDelta> deltas);
+
+    /// Keeps the edits; the transaction becomes inactive. Timing refresh
+    /// (run_forward_incremental) stays the caller's responsibility, same
+    /// as after a plain annotate().
+    void commit();
+
+    /// Restores every touched arc's raw delay floats, re-propagates
+    /// incrementally (bit-identical slack restoration), and restores the
+    /// aggregate caches from the begin_edit() snapshot. The engine is
+    /// timing-clean afterwards.
+    void rollback();
+
+    /// False once commit()/rollback() ran (or the transaction was moved).
+    [[nodiscard]] bool active() const { return engine_ != nullptr; }
+
+   private:
+    friend class Engine;
+    explicit Transaction(Engine& engine);
+
+    /// Raw first-touch snapshot of one arc's delay storage: either a data
+    /// arc's amu_/asig_ slot or a launch arc's folded startpoint floats.
+    struct Undo {
+      timing::ArcId arc = timing::kNullArc;
+      std::int32_t slot = -1;  ///< data-arc slot; -1 for launch arcs
+      std::int32_t sp = -1;    ///< startpoint id for launch arcs
+      netlist::PinId sink = netlist::kNullPin;  ///< rollback frontier seed
+      std::array<float, 2> mu{};
+      std::array<float, 2> sig{};
+    };
+    void record(std::span<const timing::ArcDelta> deltas);
+
+    Engine* engine_ = nullptr;
+    std::vector<Undo> undo_;
+    // Aggregate-cache snapshot taken at begin_edit(); restored verbatim on
+    // rollback (the slack stores themselves restore bit-identically through
+    // the sparse pass, so the snapshot stays consistent with them).
+    double tns_ = 0.0;
+    int nviol_ = 0;
+    double ths_ = 0.0;
+    int nhold_viol_ = 0;
+    float wns_ = 0.0f;
+    bool wns_any_ = false;
+    bool wns_valid_ = true;
+    float whs_ = 0.0f;
+    bool whs_any_ = false;
+    bool whs_valid_ = true;
+  };
+
+  /// Opens a Transaction. Requires clean timing (run a forward pass first)
+  /// so the snapshot is consistent; throws if a Transaction is already
+  /// active on this engine.
+  [[nodiscard]] Transaction begin_edit();
+
+  /// @deprecated Compatibility shim for the old hand-rolled rollback dance:
+  /// reads back the current annotation of each arc. Migrate to
+  ///   auto tx = engine.begin_edit(); tx.annotate(...); ... tx.rollback();
+  /// which also restores launch arcs and aggregate caches exactly.
+  /// Kept for one PR; will be removed.
+  [[deprecated("use Engine::begin_edit()/Transaction; checkpoint() does not "
+               "round-trip launch arcs exactly")]] [[nodiscard]]
+  std::vector<timing::ArcDelta> checkpoint(
+      std::span<const timing::ArcId> arcs) const;
+
+  /// @deprecated Compatibility shim: annotate(saved) followed by
+  /// run_forward_incremental(). Migrate to Transaction::rollback().
+  /// Kept for one PR; will be removed.
+  [[deprecated("use Engine::begin_edit()/Transaction::rollback() instead")]]
+  void restore(std::span<const timing::ArcDelta> saved);
 
   // ---- forward: Top-K statistical propagation -------------------------------
 
@@ -122,6 +267,10 @@ class Engine {
 
   // ---- evaluation results ---------------------------------------------------
 
+  /// Aggregate slack metrics of one analysis mode — the primary reporting
+  /// accessor. Mode::kHold requires EngineOptions::enable_hold.
+  [[nodiscard]] SlackSummary summary(Mode mode) const;
+
   /// Slack of one endpoint, ps (+infinity if unconstrained).
   [[nodiscard]] float endpoint_slack(timing::EndpointId ep) const {
     return slack_[static_cast<std::size_t>(ep)];
@@ -129,6 +278,10 @@ class Engine {
 
   /// All endpoint slacks, indexed by endpoint id.
   [[nodiscard]] std::span<const float> endpoint_slacks() const { return slack_; }
+
+  // Single-field aggregate reads. summary(Mode) is the preferred reporting
+  // call; these remain for hot loops that want one field without settling
+  // the lazy WNS cache.
 
   /// Total negative slack, ps.
   [[nodiscard]] double tns() const;
@@ -202,6 +355,11 @@ class Engine {
   [[nodiscard]] std::size_t num_levels() const { return level_start_.size() - 1; }
 
  private:
+  /// ScenarioBatch runs the engine's own kernels against copy-on-write
+  /// overlays of the flat stores; it is a read-only friend of everything
+  /// the forward pass reads.
+  friend class ScenarioBatch;
+
   void clone_structure(const ref::GoldenSta& reference);
   void clone_delays(const ref::GoldenSta& reference);
   void clone_sp_ep_attributes(const ref::GoldenSta& reference);
@@ -212,6 +370,50 @@ class Engine {
     std::uint64_t arcs = 0;    ///< fanin arcs traversed
     std::uint64_t merges = 0;  ///< Top-K insert attempts
     std::uint64_t prunes = 0;  ///< inserts rejected by the full-list filter
+  };
+
+  /// Value-access adapter of the shared kernels below, reading the engine's
+  /// live stores. ScenarioBatch supplies an overlay-first twin with the
+  /// same interface; the kernels' instruction sequences are identical under
+  /// both, which is what makes scenario results bit-identical to sequential
+  /// passes.
+  struct LiveValues {
+    const Engine& e;
+    [[nodiscard]] TopKConstView parent(std::size_t pin, int rf,
+                                       bool early) const {
+      const auto& arr = early ? e.tk2_arr_ : e.tk_arr_;
+      const auto& mu = early ? e.tk2_mu_ : e.tk_mu_;
+      const auto& sig = early ? e.tk2_sig_ : e.tk_sig_;
+      const auto& sp = early ? e.tk2_sp_ : e.tk_sp_;
+      const auto& cnt = early ? e.tk2_cnt_ : e.tk_cnt_;
+      const std::size_t base =
+          e.entry_base(static_cast<netlist::PinId>(pin), rf);
+      return {&arr[base], &mu[base], &sig[base], &sp[base],
+              cnt[pin * 2 + static_cast<std::size_t>(rf)]};
+    }
+    [[nodiscard]] float arc_mu(std::size_t slot, int rf) const {
+      return e.amu_[static_cast<std::size_t>(rf)][slot];
+    }
+    [[nodiscard]] float arc_sig(std::size_t slot, int rf) const {
+      return e.asig_[static_cast<std::size_t>(rf)][slot];
+    }
+    [[nodiscard]] float sp_mu(std::int32_t sp, int rf) const {
+      return e.sp_mu_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(sp)];
+    }
+    [[nodiscard]] float sp_sig(std::int32_t sp, int rf) const {
+      return e.sp_sig_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(sp)];
+    }
+  };
+
+  /// Result of the value-parameterized endpoint evaluations.
+  struct SetupEval {
+    float slack = std::numeric_limits<float>::infinity();
+    std::uint8_t worst_rf = 0;
+    std::uint64_t lookups = 0;
+  };
+  struct HoldEval {
+    float slack = std::numeric_limits<float>::infinity();
+    std::uint64_t lookups = 0;
   };
 
   void forward_from(std::size_t first_level);
@@ -233,13 +435,25 @@ class Engine {
   void process_pin_early(netlist::PinId pin, ForwardCounters& fc);
   /// The Algorithm 1+2 merge kernel of one pin/transition into `dst`
   /// (either the live store or sparse scratch). kEarly selects the
-  /// min-mode (negated-corner) stores.
+  /// min-mode (negated-corner) stores. Thin wrapper over merge_pin_values
+  /// with LiveValues.
   template <bool kEarly>
   void merge_pin_rf(netlist::PinId pin, int rf, const TopKView& dst,
                     ForwardCounters& fc);
+  /// Value-parameterized Algorithm 1+2 merge; defined below the class.
+  template <bool kEarly, typename Values>
+  void merge_pin_values(const Values& vals, netlist::PinId pin, int rf,
+                        const TopKView& dst, ForwardCounters& fc) const;
   /// Returns the number of CPPR credit lookups performed.
   std::uint64_t evaluate_endpoint(timing::EndpointId ep);
   std::uint64_t evaluate_endpoint_hold(timing::EndpointId ep);
+  /// Value-parameterized endpoint evaluations; defined below the class.
+  template <typename Values>
+  [[nodiscard]] SetupEval evaluate_endpoint_values(const Values& vals,
+                                                   timing::EndpointId ep) const;
+  template <typename Values>
+  [[nodiscard]] HoldEval evaluate_endpoint_hold_values(
+      const Values& vals, timing::EndpointId ep) const;
   [[nodiscard]] float credit(std::int32_t sp_node, std::int32_t ep_node) const;
   [[nodiscard]] std::size_t entry_base(netlist::PinId pin, int rf) const {
     return (static_cast<std::size_t>(pin) * 2 + static_cast<std::size_t>(rf)) *
@@ -328,6 +542,10 @@ class Engine {
   std::vector<float> old_hold_scratch_;         ///< pre-eval hold slacks
   SparseStats last_pass_;
 
+  /// One Transaction active at a time; set by begin_edit, cleared by
+  /// commit/rollback.
+  bool txn_active_ = false;
+
   // Delta-maintained global metrics (exactly rebuilt by every full pass).
   double tns_cache_ = 0.0;
   int nviol_cache_ = 0;
@@ -348,5 +566,128 @@ class Engine {
   std::vector<float> slot_grad_;         // per slot
   std::vector<float> arc_grad_;          // per graph arc
 };
+
+// ---- shared value-parameterized kernels -------------------------------------
+//
+// The dense pass, the frontier-sparse pass, and ScenarioBatch's copy-on-write
+// overlays all execute these exact instruction sequences; only the Values
+// adapter differs (live stores vs overlay-first reads). A single body is what
+// turns "scenario results are bit-identical to sequential passes" from a
+// testing aspiration into a structural property.
+
+/// The Algorithm 1+2 merge of one pin/transition, writing into `dst` —
+/// the pin's live Top-K slice (dense pass), thread-local scratch (sparse
+/// pass), or a scenario's overlay slab. kEarly selects the min-mode
+/// parent stores, whose arr slots hold *negated* early corners so the same
+/// descending unique-SP list keeps the K smallest early arrivals.
+template <bool kEarly, typename Values>
+void Engine::merge_pin_values(const Values& vals, netlist::PinId pin, int rf,
+                              const TopKView& dst, ForwardCounters& fc) const {
+  const auto p = static_cast<std::size_t>(pin);
+  const std::int32_t fs = fi_start_[p];
+  const std::int32_t fe = fi_start_[p + 1];
+
+  *dst.count = 0;
+  if (fs == fe) {
+    const std::int32_t sp = sp_of_pin_[p];
+    if (sp < 0) return;
+    const float mu = vals.sp_mu(sp, rf);
+    const float sig = vals.sp_sig(sp, rf);
+    dst.arr[0] = kEarly ? -(mu - nsigma_ * sig) : (mu + nsigma_ * sig);
+    dst.mu[0] = mu;
+    dst.sig[0] = sig;
+    dst.sp[0] = sp;
+    *dst.count = 1;
+    return;
+  }
+
+  for (std::int32_t s = fs; s < fe; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    const int prf = rf ^ static_cast<int>(fi_neg_[si]);
+    const auto from = static_cast<std::size_t>(fi_from_[si]);
+    const TopKConstView par = vals.parent(from, prf, kEarly);
+    const float am = vals.arc_mu(si, rf);
+    const float as = vals.arc_sig(si, rf);
+    const float as2 = as * as;
+    ++fc.arcs;
+    fc.merges += static_cast<std::uint64_t>(par.cnt);
+    for (std::int32_t kk = 0; kk < par.cnt; ++kk) {
+      const float pmu = par.mu[kk];
+      const float psig = par.sig[kk];
+      const float mu = pmu + am;
+      const float sig = std::sqrt(psig * psig + as2);
+      const float arrival =
+          kEarly ? -(mu - nsigma_ * sig) : (mu + nsigma_ * sig);
+      const std::int32_t sp = par.sp[kk];
+      if (options_.use_heap_queue) {
+        fc.prunes += static_cast<std::uint64_t>(
+            topk_insert_heap(dst, arrival, mu, sig, sp));
+      } else {
+        fc.prunes += static_cast<std::uint64_t>(
+            topk_insert(dst, arrival, mu, sig, sp));
+      }
+    }
+  }
+  if (options_.use_heap_queue) topk_heap_finalize(dst);
+}
+
+/// Setup slack of one endpoint over the visible Top-K store (live or
+/// overlay): min over both transitions and every kept unique-startpoint
+/// arrival of required - arrival, with CPPR credit and timing exceptions.
+template <typename Values>
+Engine::SetupEval Engine::evaluate_endpoint_values(const Values& vals,
+                                                   timing::EndpointId ep) const {
+  const auto e = static_cast<std::size_t>(ep);
+  const auto pin = static_cast<std::size_t>(ep_pin_[e]);
+  const std::int32_t ep_node = ep_node_[e];
+  const float base = ep_base_req_[e];
+  SetupEval out;
+  const bool has_exceptions = exceptions_.size() != 0;
+  for (int rf = 0; rf < 2; ++rf) {
+    const TopKConstView view = vals.parent(pin, rf, /*early=*/false);
+    for (std::int32_t kk = 0; kk < view.cnt; ++kk) {
+      const std::int32_t sp = view.sp[kk];
+      if (has_exceptions && exceptions_.is_false_path(sp, ep)) continue;
+      ++out.lookups;
+      float req = base + credit(sp_node_[static_cast<std::size_t>(sp)], ep_node);
+      if (has_exceptions) {
+        req += static_cast<float>(
+            exceptions_.required_shift(sp, ep, static_cast<double>(ep_period_[e])));
+      }
+      const float slack = req - view.arr[kk];
+      if (slack < out.slack) {
+        out.slack = slack;
+        out.worst_rf = static_cast<std::uint8_t>(rf);
+      }
+    }
+  }
+  return out;
+}
+
+/// Hold slack of one endpoint over the visible early-mode store.
+template <typename Values>
+Engine::HoldEval Engine::evaluate_endpoint_hold_values(
+    const Values& vals, timing::EndpointId ep) const {
+  const auto e = static_cast<std::size_t>(ep);
+  const float base = ep_hold_base_[e];
+  HoldEval out;
+  if (std::isnan(base)) return out;  // unclocked endpoint: no hold check
+  const auto pin = static_cast<std::size_t>(ep_pin_[e]);
+  const std::int32_t ep_node = ep_node_[e];
+  const bool has_exceptions = exceptions_.size() != 0;
+  for (int rf = 0; rf < 2; ++rf) {
+    const TopKConstView view = vals.parent(pin, rf, /*early=*/true);
+    for (std::int32_t kk = 0; kk < view.cnt; ++kk) {
+      const std::int32_t sp = view.sp[kk];
+      if (has_exceptions && exceptions_.is_false_path(sp, ep)) continue;
+      ++out.lookups;
+      const float req =
+          base - credit(sp_node_[static_cast<std::size_t>(sp)], ep_node);
+      const float early = -view.arr[kk];
+      out.slack = std::min(out.slack, early - req);
+    }
+  }
+  return out;
+}
 
 }  // namespace insta::core

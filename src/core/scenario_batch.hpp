@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "timing/types.hpp"
+
+namespace insta::core {
+
+/// How ScenarioBatch::evaluate maps scenarios onto the global thread pool.
+enum class ScenarioStrategy : std::uint8_t {
+  /// Scenario-parallel for B >= 4 (many small ECOs), level-parallel
+  /// otherwise (few large ones).
+  kAuto,
+  /// One worker per scenario; each scenario propagates serially. Best when
+  /// B is large and frontiers are small: every core retires whole
+  /// scenarios with zero synchronization between levels.
+  kScenarioParallel,
+  /// Scenarios evaluated one at a time; each borrows the engine's
+  /// level-parallel kernels for its own frontier. Best when B is small and
+  /// the frontiers are wide enough to split.
+  kLevelParallel,
+};
+
+struct ScenarioBatchOptions {
+  ScenarioStrategy strategy = ScenarioStrategy::kAuto;
+  /// Also record each re-evaluated endpoint's scenario slack in
+  /// ScenarioResult::endpoint_changes (the sparse analogue of
+  /// Engine::endpoint_slacks for a hypothetical child engine).
+  bool collect_endpoints = false;
+};
+
+/// Scenario slack of one endpoint the scenario's frontier reached.
+struct EndpointSlackChange {
+  timing::EndpointId ep = timing::kNullEndpoint;
+  float setup = 0.0f;
+  /// +infinity when the engine was built without enable_hold.
+  float hold = std::numeric_limits<float>::infinity();
+};
+
+/// Everything evaluate() reports about one scenario.
+struct ScenarioResult {
+  SlackSummary setup;
+  /// Zeros when the engine was built without enable_hold.
+  SlackSummary hold;
+  std::uint64_t frontier_pins = 0;       ///< pins re-merged on overlays
+  std::uint64_t early_terminations = 0;  ///< re-merged pins left unchanged
+  std::uint64_t endpoints_evaluated = 0;
+  /// Copy-on-write overlay footprint of this scenario: private Top-K
+  /// slots, delay overrides, startpoint overrides.
+  std::size_t overlay_bytes = 0;
+  /// Filled when ScenarioBatchOptions::collect_endpoints.
+  std::vector<EndpointSlackChange> endpoint_changes;
+};
+
+/// Batched what-if evaluator: answers B independent "what if I applied this
+/// delta-set?" queries against one parent Engine without ever mutating it.
+///
+/// Each scenario runs the engine's frontier-sparse kernel against a
+/// copy-on-write overlay of the Top-K stores: a pin whose merged list
+/// changes gets a private overlay slot; every clean pin reads the shared
+/// baseline arrays. Memory is O(baseline + sum of scenario frontiers)
+/// instead of B full engine clones, and per-scenario results — TNS, WNS,
+/// violation counts, endpoint slacks — are bit-identical to sequentially
+/// annotating the parent and calling run_forward_incremental() (the merge
+/// and evaluation kernels are literally the same templates, and the delta
+/// folds replay in the same order).
+///
+///   ScenarioBatch batch(engine);
+///   std::vector<ScenarioResult> r = batch.evaluate(candidate_delta_sets);
+///
+/// The parent engine must be timing-clean for the duration of evaluate().
+/// Workspaces are pooled and reused across evaluate() calls, so a batch
+/// object held across an optimization loop allocates only on high-water
+/// growth.
+class ScenarioBatch {
+ public:
+  explicit ScenarioBatch(const Engine& engine,
+                         ScenarioBatchOptions options = {});
+  ~ScenarioBatch();
+  ScenarioBatch(const ScenarioBatch&) = delete;
+  ScenarioBatch& operator=(const ScenarioBatch&) = delete;
+
+  /// Evaluates B delta-sets; result i corresponds to scenarios[i]. Every
+  /// delta-set is validated up front (Engine::check_deltas) and the first
+  /// error aborts the batch with a CheckError naming the scenario.
+  [[nodiscard]] std::vector<ScenarioResult> evaluate(
+      std::span<const std::span<const timing::ArcDelta>> scenarios);
+
+  /// Convenience overload for owning containers.
+  [[nodiscard]] std::vector<ScenarioResult> evaluate(
+      const std::vector<std::vector<timing::ArcDelta>>& scenarios);
+
+  [[nodiscard]] const Engine& engine() const { return *engine_; }
+  [[nodiscard]] const ScenarioBatchOptions& options() const {
+    return options_;
+  }
+
+ private:
+  struct Workspace;
+  struct OverlayValues;
+
+  Workspace& acquire_workspace();
+  void release_workspace(Workspace& ws);
+  void run_scenario(std::span<const timing::ArcDelta> deltas, Workspace& ws,
+                    bool level_parallel, ScenarioResult& out) const;
+
+  const Engine* engine_;
+  ScenarioBatchOptions options_;
+  /// Workspace pool: scenario workers check one out per chunk. All owned
+  /// here; free_list_ holds the idle ones.
+  std::mutex pool_mutex_;
+  std::vector<std::unique_ptr<Workspace>> workspaces_;
+  std::vector<Workspace*> free_list_;
+};
+
+}  // namespace insta::core

@@ -19,6 +19,31 @@ struct TopKView {
   std::int32_t* count = nullptr;  ///< current number of valid entries
 };
 
+/// A read-only snapshot view of one pin/transition's Top-K store with its
+/// count resolved: what the value-parameterized merge/eval kernels consume,
+/// whether the entries live in the engine's flat arrays or in a
+/// ScenarioBatch copy-on-write overlay.
+struct TopKConstView {
+  const float* arr = nullptr;
+  const float* mu = nullptr;
+  const float* sig = nullptr;
+  const std::int32_t* sp = nullptr;
+  std::int32_t cnt = 0;
+};
+
+/// topk_equal between a freshly merged store and a const snapshot view:
+/// same count and byte-identical entries.
+inline bool topk_equal_const(const TopKView& a, const TopKConstView& b) {
+  const std::int32_t n = *a.count;
+  if (n != b.cnt) return false;
+  const auto fb = static_cast<std::size_t>(n) * sizeof(float);
+  const auto ib = static_cast<std::size_t>(n) * sizeof(std::int32_t);
+  return std::memcmp(a.arr, b.arr, fb) == 0 &&
+         std::memcmp(a.mu, b.mu, fb) == 0 &&
+         std::memcmp(a.sig, b.sig, fb) == 0 &&
+         std::memcmp(a.sp, b.sp, ib) == 0;
+}
+
 /// Algorithm 2 of the paper: inserts a startpoint-tagged arrival into a
 /// fixed-size descending list while keeping startpoints unique.
 ///

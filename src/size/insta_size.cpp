@@ -4,6 +4,7 @@
 #include <deque>
 #include <unordered_set>
 
+#include "core/scenario_batch.hpp"
 #include "util/timer.hpp"
 
 namespace insta::size {
@@ -71,6 +72,9 @@ SizerResult InstaSizer::run() {
   eopt.top_k = 16;
   core::Engine engine(*sta_, eopt);
   engine.run_forward();
+  // Candidate sizes are scored through batched what-if scenarios: one
+  // evaluator reused across all passes, so workspaces amortize.
+  core::ScenarioBatch batch(engine);
 
   std::unordered_set<CellId> committed;
   std::vector<timing::ArcId> pass_changed;
@@ -103,58 +107,42 @@ SizerResult InstaSizer::run() {
     std::vector<char> blocked(design_->num_cells(), 0);
     int commits = 0;
     double cur_tns = engine.tns();
+    std::vector<std::vector<ArcDelta>> cand_deltas;
+    std::vector<LibCellId> cand_libcells;
     for (const auto& [grad, cell] : ranked) {
       if (blocked[static_cast<std::size_t>(cell)]) continue;
       if (commits >= options_.max_commits_per_pass) break;
 
-      // estimate_eco picks the library cell with the best local delay
-      // improvement for this stage.
       const LibCellId orig = design_->cell(cell).libcell;
       const auto family =
           design_->library().family(design_->libcell_of(cell).func);
-      LibCellId best = netlist::kNullLibCell;
-      double best_gain = 1e-6;
-      std::vector<ArcDelta> best_deltas;
+      cand_deltas.clear();
+      cand_libcells.clear();
       for (const LibCellId cand : family) {
         if (cand == orig) continue;
-        auto deltas = calc_->estimate_eco(cell, cand);
-        // "Gradients as sensitivities": weight each arc's predicted delay
-        // change by its timing gradient, so a candidate that speeds up the
-        // stage but slows a *more critical* driver arc scores negatively.
-        double gain = 0.0;
-        for (const ArcDelta& d : deltas) {
-          const double g = std::max(
-              static_cast<double>(engine.arc_gradient(d.arc)), 1e-3);
-          for (const int rf : {0, 1}) {
-            gain += g *
-                    (sta_->delays().mu[rf][static_cast<std::size_t>(d.arc)] -
-                     d.mu[static_cast<std::size_t>(rf)]);
-          }
-        }
-        if (gain > best_gain) {
-          best_gain = gain;
-          best = cand;
-          best_deltas = std::move(deltas);
-        }
+        cand_deltas.push_back(calc_->estimate_eco(cell, cand));
+        cand_libcells.push_back(cand);
       }
-      if (best == netlist::kNullLibCell) continue;
+      if (cand_deltas.empty()) continue;
 
-      // Tentatively annotate INSTA with the estimate_eco deltas and check TNS.
-      std::vector<ArcDelta> saved;
-      saved.reserve(best_deltas.size());
-      for (const ArcDelta& d : best_deltas) {
-        saved.push_back(engine.read_annotation(d.arc));
+      // Batch-evaluate every candidate size of this cell in one what-if
+      // call: each scenario reports the exact TNS the engine would reach
+      // after annotating that candidate's estimate_eco deltas, without
+      // mutating the engine. This replaces the old gradient-weighted local
+      // score plus tentative annotate/run_forward/undo round-trip.
+      const auto results = batch.evaluate(cand_deltas);
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < results.size(); ++i) {
+        if (results[i].setup.tns > results[best].setup.tns) best = i;
       }
-      engine.annotate(best_deltas);
-      engine.run_forward();
-      const double new_tns = engine.tns();
-      if (new_tns < cur_tns + options_.min_tns_gain) {  // not worth a commit
-        engine.annotate(saved);
-        engine.run_forward();
-        continue;
-      }
-      // Commit: update the netlist and the golden-side delays exactly.
-      design_->resize_cell(cell, best);
+      const double new_tns = results[best].setup.tns;
+      if (new_tns < cur_tns + options_.min_tns_gain) continue;  // no commit
+
+      // Commit the winning scenario for real (bit-identical to its what-if
+      // result), then update the netlist and the golden-side delays.
+      engine.annotate(cand_deltas[best]);
+      engine.run_forward_incremental();
+      design_->resize_cell(cell, cand_libcells[best]);
       const auto exact = calc_->update_for_resize(cell, sta_->mutable_delays());
       pass_changed.insert(pass_changed.end(), exact.begin(), exact.end());
       cur_tns = new_tns;

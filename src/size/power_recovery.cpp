@@ -84,18 +84,16 @@ PowerRecoveryResult PowerRecovery::run() {
     for (const Candidate& cand : cands) {
       if (commits >= options_.max_commits_per_pass) break;
       const auto deltas = calc_->estimate_eco(cand.cell, cand.smaller);
-      std::vector<ArcDelta> saved;
-      saved.reserve(deltas.size());
-      for (const ArcDelta& d : deltas) {
-        saved.push_back(engine.read_annotation(d.arc));
-      }
-      engine.annotate(deltas);
+      // Speculative downsize inside a Transaction: rollback restores delays,
+      // slacks, and the TNS/WNS caches to their exact pre-edit bytes.
+      auto tx = engine.begin_edit();
+      tx.annotate(deltas);
       engine.run_forward_incremental();
       if (engine.tns() < tns_floor || engine.wns() < wns_floor) {
-        engine.annotate(saved);
-        engine.run_forward_incremental();
+        tx.rollback();
         continue;
       }
+      tx.commit();
       design_->resize_cell(cand.cell, cand.smaller);
       const auto exact = calc_->update_for_resize(cand.cell,
                                                   sta_->mutable_delays());

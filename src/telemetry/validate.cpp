@@ -197,4 +197,85 @@ ValidationResult validate_metrics_json(std::string_view text) {
   return res;
 }
 
+namespace {
+
+/// One SlackSummary object of the whatif schema.
+void check_summary(const JsonValue& v, const std::string& where,
+                   ValidationResult& res) {
+  if (!v.is_object()) {
+    res.fail(where + ": not an object");
+    return;
+  }
+  const JsonValue* tns = v.find("tns");
+  const JsonValue* wns = v.find("wns");
+  const JsonValue* violations = v.find("violations");
+  if (tns == nullptr || !tns->is_number()) {
+    res.fail(where + ": missing or malformed tns");
+  } else if (tns->number > 0.0) {
+    res.fail(where + ": tns is positive (must be a sum of negative slacks)");
+  }
+  if (wns == nullptr || !wns->is_number()) {
+    res.fail(where + ": missing or malformed wns");
+  }
+  if (violations == nullptr || !is_nonneg_integer(*violations)) {
+    res.fail(where + ": missing or malformed violations");
+  }
+}
+
+}  // namespace
+
+ValidationResult validate_whatif_json(std::string_view text,
+                                      std::size_t* num_scenarios) {
+  ValidationResult res;
+  if (num_scenarios != nullptr) *num_scenarios = 0;
+
+  JsonValue doc;
+  std::string error;
+  if (!json_parse(text, doc, error)) {
+    res.fail("whatif file is not valid JSON: " + error);
+    return res;
+  }
+  if (!doc.is_object()) {
+    res.fail("top level is not an object");
+    return res;
+  }
+  const JsonValue* scenarios = doc.find("scenarios");
+  if (scenarios == nullptr || !scenarios->is_array()) {
+    res.fail("missing scenarios array");
+    return res;
+  }
+  if (num_scenarios != nullptr) *num_scenarios = scenarios->array.size();
+
+  std::size_t idx = 0;
+  for (const JsonValue& s : scenarios->array) {
+    const std::string where = "scenario " + std::to_string(idx++);
+    if (!s.is_object()) {
+      res.fail(where + ": not an object");
+      continue;
+    }
+    const JsonValue* label = s.find("label");
+    if (label == nullptr || !label->is_string()) {
+      res.fail(where + ": missing or malformed label");
+    }
+    const JsonValue* setup = s.find("setup");
+    if (setup == nullptr) {
+      res.fail(where + ": missing setup summary");
+    } else {
+      check_summary(*setup, where + ".setup", res);
+    }
+    if (const JsonValue* hold = s.find("hold"); hold != nullptr) {
+      check_summary(*hold, where + ".hold", res);
+    }
+    for (const char* key : {"num_deltas", "frontier_pins",
+                            "early_terminations", "endpoints_evaluated",
+                            "overlay_bytes"}) {
+      const JsonValue* v = s.find(key);
+      if (v == nullptr || !is_nonneg_integer(*v)) {
+        res.fail(where + ": missing or malformed " + key);
+      }
+    }
+  }
+  return res;
+}
+
 }  // namespace insta::telemetry

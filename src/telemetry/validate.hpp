@@ -35,4 +35,14 @@ ValidationResult validate_chrome_trace(std::string_view text,
 /// bounds.size() + 1, and count == sum(buckets).
 ValidationResult validate_metrics_json(std::string_view text);
 
+/// Checks that `text` matches the `insta_cli whatif --out` schema: a
+/// top-level object with a scenarios array; each scenario carries a string
+/// label, a non-negative integral num_deltas, a setup summary object
+/// (numeric tns <= 0, numeric wns, non-negative integral violations), an
+/// optional hold summary of the same shape, and non-negative integral
+/// frontier_pins / early_terminations / endpoints_evaluated / overlay_bytes.
+/// Fills `num_scenarios` with the scenario count.
+ValidationResult validate_whatif_json(std::string_view text,
+                                      std::size_t* num_scenarios = nullptr);
+
 }  // namespace insta::telemetry

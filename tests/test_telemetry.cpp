@@ -320,6 +320,49 @@ TEST(Validate, RejectsMalformedMetrics) {
           .ok);
 }
 
+TEST(Validate, WhatifSchema) {
+  // A complete scenario with setup + hold summaries validates.
+  const char* good =
+      R"({"scenarios": [{"label": "resize-0", "num_deltas": 4,)"
+      R"( "frontier_pins": 12, "early_terminations": 3,)"
+      R"( "endpoints_evaluated": 5, "overlay_bytes": 2048,)"
+      R"( "setup": {"tns": -12.5, "wns": -3.25, "violations": 4},)"
+      R"( "hold": {"tns": 0.0, "wns": 0.0, "violations": 0}}]})";
+  std::size_t n = 0;
+  EXPECT_TRUE(telemetry::validate_whatif_json(good, &n).ok);
+  EXPECT_EQ(n, 1u);
+
+  // Hold is optional; an empty batch is legal.
+  EXPECT_TRUE(
+      telemetry::validate_whatif_json(R"({"scenarios": []})", &n).ok);
+  EXPECT_EQ(n, 0u);
+
+  EXPECT_FALSE(telemetry::validate_whatif_json("not json").ok);
+  EXPECT_FALSE(telemetry::validate_whatif_json("[]").ok);
+  EXPECT_FALSE(telemetry::validate_whatif_json(R"({"x": 1})").ok);
+  // Positive TNS contradicts "sum of negative slacks".
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(
+          R"({"scenarios": [{"label": "s", "num_deltas": 0,)"
+          R"( "frontier_pins": 0, "early_terminations": 0,)"
+          R"( "endpoints_evaluated": 0, "overlay_bytes": 0,)"
+          R"( "setup": {"tns": 5.0, "wns": 0.0, "violations": 0}}]})")
+          .ok);
+  // Missing counters and fractional violation counts are structural errors.
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(
+          R"({"scenarios": [{"label": "s",)"
+          R"( "setup": {"tns": 0.0, "wns": 0.0, "violations": 0}}]})")
+          .ok);
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(
+          R"({"scenarios": [{"label": "s", "num_deltas": 0,)"
+          R"( "frontier_pins": 0, "early_terminations": 0,)"
+          R"( "endpoints_evaluated": 0, "overlay_bytes": 0,)"
+          R"( "setup": {"tns": 0.0, "wns": 0.0, "violations": 1.5}}]})")
+          .ok);
+}
+
 TEST(LogSink, CaptureSinkReceivesLines) {
   auto capture = std::make_shared<util::CaptureLogSink>();
   std::shared_ptr<util::LogSink> previous = util::set_log_sink(capture);
