@@ -31,6 +31,16 @@
 //                                            array); without --scenarios,
 //                                            --sample N random resizes are
 //                                            evaluated instead
+//   insta_cli serve --in d.inet [--socket /path.sock | --host H --port P]
+//                   [--hold 1] [--topk K] [--batch-window-us U]
+//                   [--max-batch N] [--max-queue N] [--max-inflight N]
+//                   [--max-sessions N] [--max-connections N] [--endpoints 1]
+//                   [--max-seconds S]
+//                                            run the timing-query server
+//                                            (newline-delimited JSON over a
+//                                            Unix or TCP socket) until a
+//                                            client sends {"op":"shutdown"}
+//                                            or --max-seconds elapses
 //   insta_cli selftest                       end-to-end smoke test (tmpfile)
 //
 // Global options (every subcommand):
@@ -39,13 +49,17 @@
 //   --log-level <level>     debug|info|warn|error|off (overrides
 //                           INSTA_LOG_LEVEL)
 
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/engine_audit.hpp"
@@ -59,6 +73,9 @@
 #include "io/design_io.hpp"
 #include "ref/golden_sta.hpp"
 #include "ref/report.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
 #include "size/baseline_sizer.hpp"
 #include "size/insta_buffer.hpp"
 #include "size/insta_size.hpp"
@@ -450,61 +467,37 @@ int cmd_profile(const Args& args) {
   return 0;
 }
 
-/// Parses the whatif scenarios document: {"scenarios": [...]} or a
-/// top-level array, each scenario {"label": ..., "deltas": [{"arc": N,
-/// "mu": [rise, fall], "sigma": [rise, fall]} ...]} with mu/sigma optional
-/// (missing means 0). Arc-id semantics are validated later by
-/// Engine::check_deltas; this only enforces document shape.
-void parse_whatif_scenarios(
-    const std::string& text,
+/// Parses a whatif scenarios file through the serve-layer parser (one
+/// schema for files and the wire). Every JSON or shape problem becomes a
+/// structured diagnostic in `report` instead of a thrown CheckError: the
+/// file is untrusted input, so the caller prints the report and exits
+/// nonzero rather than aborting mid-stack.
+bool parse_whatif_scenarios_file(
+    const std::string& path,
     std::vector<std::vector<timing::ArcDelta>>& scenarios,
-    std::vector<std::string>& labels) {
+    std::vector<std::string>& labels, analysis::LintReport& report) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    analysis::Diagnostic d;
+    d.rule = "whatif-json";
+    d.severity = analysis::Severity::kError;
+    d.message = "cannot read scenarios file " + path;
+    report.add(std::move(d));
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
   telemetry::JsonValue doc;
   std::string error;
-  util::check(telemetry::json_parse(text, doc, error),
-              "whatif: scenarios file is not valid JSON: " + error);
-  const telemetry::JsonValue* arr =
-      doc.is_array() ? &doc : doc.find("scenarios");
-  util::check(arr != nullptr && arr->is_array(),
-              "whatif: expected a top-level array or {\"scenarios\": [...]}");
-  const auto rf_pair = [](const telemetry::JsonValue* v,
-                          const std::string& where,
-                          std::array<double, 2>& out) {
-    if (v == nullptr) return;
-    util::check(v->is_array() && v->array.size() == 2 &&
-                    v->array[0].is_number() && v->array[1].is_number(),
-                where + " must be a [rise, fall] number pair");
-    out = {v->array[0].number, v->array[1].number};
-  };
-  for (std::size_t i = 0; i < arr->array.size(); ++i) {
-    const telemetry::JsonValue& s = arr->array[i];
-    const std::string where = "whatif: scenario " + std::to_string(i);
-    util::check(s.is_object(), where + " is not an object");
-    const telemetry::JsonValue* label = s.find("label");
-    labels.push_back(label != nullptr && label->is_string()
-                         ? label->string
-                         : "scenario-" + std::to_string(i));
-    const telemetry::JsonValue* deltas = s.find("deltas");
-    util::check(deltas != nullptr && deltas->is_array(),
-                where + " has no deltas array");
-    std::vector<timing::ArcDelta> ds;
-    ds.reserve(deltas->array.size());
-    for (std::size_t j = 0; j < deltas->array.size(); ++j) {
-      const telemetry::JsonValue& d = deltas->array[j];
-      const std::string dw = where + " delta " + std::to_string(j);
-      util::check(d.is_object(), dw + " is not an object");
-      const telemetry::JsonValue* arc = d.find("arc");
-      util::check(arc != nullptr && arc->is_number() &&
-                      arc->number == std::floor(arc->number),
-                  dw + " has no integral arc id");
-      timing::ArcDelta ad;
-      ad.arc = static_cast<timing::ArcId>(arc->number);
-      rf_pair(d.find("mu"), dw + ".mu", ad.mu);
-      rf_pair(d.find("sigma"), dw + ".sigma", ad.sigma);
-      ds.push_back(ad);
-    }
-    scenarios.push_back(std::move(ds));
+  if (!telemetry::json_parse(ss.str(), doc, error)) {
+    analysis::Diagnostic d;
+    d.rule = "whatif-json";
+    d.severity = analysis::Severity::kError;
+    d.message = "scenarios file " + path + " is not valid JSON: " + error;
+    report.add(std::move(d));
+    return false;
   }
+  return serve::parse_scenarios_json(doc, scenarios, labels, report);
 }
 
 /// Emits one summary as a whatif-schema JSON object body.
@@ -535,12 +528,12 @@ int cmd_whatif(const Args& args) {
   std::vector<std::vector<timing::ArcDelta>> scenarios;
   std::vector<std::string> labels;
   if (args.has("scenarios")) {
-    const std::string path = args.get("scenarios", "");
-    std::ifstream f(path, std::ios::binary);
-    util::check(static_cast<bool>(f), "whatif: cannot read " + path);
-    std::ostringstream ss;
-    ss << f.rdbuf();
-    parse_whatif_scenarios(ss.str(), scenarios, labels);
+    analysis::LintReport parse_report;
+    if (!parse_whatif_scenarios_file(args.get("scenarios", ""), scenarios,
+                                     labels, parse_report)) {
+      std::printf("%s", parse_report.str().c_str());
+      return 1;
+    }
   } else {
     // Smoke mode (used by selftest and CI): sample random single-cell
     // resizes and evaluate their estimate_eco deltas as scenarios.
@@ -629,6 +622,95 @@ int cmd_whatif(const Args& args) {
   return 0;
 }
 
+/// Starts the timing-query server on a design and blocks until a client
+/// sends a shutdown op (or --max-seconds elapses). All knob sets that cross
+/// the CLI trust boundary (engine, service, server) go through their
+/// validate() gates so every bad flag is reported at once.
+int cmd_serve(const Args& args) {
+  util::check(args.has("in"), "serve: --in is required");
+  const bool hold = args.has("hold");
+  World w(args.get("in", ""), hold);
+
+  core::EngineOptions eopt;
+  eopt.top_k = static_cast<int>(args.get_num("topk", 32));
+  eopt.enable_hold = hold;
+
+  serve::ServiceOptions sopt;
+  sopt.batch_window_us = static_cast<int>(args.get_num("batch-window-us", 200));
+  sopt.max_batch = static_cast<int>(args.get_num("max-batch", 64));
+  sopt.max_queue = static_cast<int>(args.get_num("max-queue", 256));
+  sopt.max_inflight_per_session =
+      static_cast<int>(args.get_num("max-inflight", 8));
+  sopt.max_sessions = static_cast<int>(args.get_num("max-sessions", 64));
+  sopt.collect_endpoints = args.has("endpoints");
+
+  serve::ServerOptions nopt;
+  nopt.unix_path = args.get("socket", "");
+  nopt.host = args.get("host", "127.0.0.1");
+  nopt.port = static_cast<int>(args.get_num("port", 0));
+  nopt.max_connections = static_cast<int>(args.get_num("max-connections", 32));
+
+  std::vector<std::string> problems = eopt.validate();
+  for (const std::string& p : sopt.validate()) problems.push_back(p);
+  for (const std::string& p : nopt.validate()) problems.push_back(p);
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "serve: %s\n", p.c_str());
+  }
+  util::check(problems.empty(), "serve: invalid options");
+
+  core::Engine engine(*w.sta, eopt);
+  engine.run_forward();
+  serve::TimingService service(engine, sopt);
+  serve::Server server(service, nopt);
+  server.start();
+  // The endpoint line is the startup handshake scripts wait for; flush so a
+  // pipe-reading supervisor sees it before the first client connects.
+  std::printf("serving on %s (%zu endpoints, snapshot v%llu)\n",
+              server.endpoint().c_str(), w.graph->endpoints().size(),
+              static_cast<unsigned long long>(service.snapshot()->version));
+  std::fflush(stdout);
+
+  // --max-seconds arms a watchdog so unattended runs (CI smoke jobs) cannot
+  // hang forever if no client ever sends the shutdown op.
+  const double max_sec = args.get_num("max-seconds", 0);
+  std::mutex wd_mu;
+  std::condition_variable wd_cv;
+  bool finished = false;
+  std::thread watchdog;
+  if (max_sec > 0) {
+    watchdog = std::thread([&] {
+      std::unique_lock<std::mutex> lk(wd_mu);
+      if (!wd_cv.wait_for(lk, std::chrono::duration<double>(max_sec),
+                          [&] { return finished; })) {
+        std::fprintf(stderr, "serve: --max-seconds %.1f elapsed, stopping\n",
+                     max_sec);
+        server.stop();
+      }
+    });
+  }
+
+  server.wait();
+  server.stop();
+  if (watchdog.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lk(wd_mu);
+      finished = true;
+    }
+    wd_cv.notify_all();
+    watchdog.join();
+  }
+
+  const serve::ServiceStats st = service.stats();
+  std::printf("served %llu what-if requests (%llu scenarios, %llu batches, "
+              "%llu shed), %llu commits\n",
+              static_cast<unsigned long long>(st.whatif_requests),
+              static_cast<unsigned long long>(st.whatif_scenarios),
+              static_cast<unsigned long long>(st.batches),
+              static_cast<unsigned long long>(st.shed),
+              static_cast<unsigned long long>(st.commits));
+  return 0;
+}
+
 int cmd_selftest() {
   const std::string path = "/tmp/insta_cli_selftest.inet";
   {
@@ -681,7 +763,8 @@ int cmd_selftest() {
 void usage() {
   std::fprintf(stderr,
                "usage: insta_cli "
-               "<generate|report|size|buffer|lint|profile|whatif|selftest> "
+               "<generate|report|size|buffer|lint|profile|whatif|serve|"
+               "selftest> "
                "[--option value ...]\n"
                "global: [--metrics-json m.json] [--trace t.json] "
                "[--log-level debug|info|warn|error|off]\n");
@@ -713,6 +796,8 @@ int main(int argc, char** argv) {
       rc = cmd_profile(args);
     } else if (cmd == "whatif") {
       rc = cmd_whatif(args);
+    } else if (cmd == "serve") {
+      rc = cmd_serve(args);
     } else if (cmd == "selftest") {
       rc = cmd_selftest();
     } else {

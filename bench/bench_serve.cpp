@@ -1,0 +1,207 @@
+// Closed-loop load generator for the timing-query service layer.
+//
+// C client threads each run a closed loop of single-scenario what-if
+// queries against one TimingService (in-process: no sockets, so the
+// numbers isolate the batcher + snapshot machinery from kernel I/O). The
+// sweep crosses client count with the micro-batcher's collection window:
+// window 0 approximates one-batch-per-request dispatch, larger windows
+// trade per-request latency for bigger ScenarioBatch::evaluate calls.
+//
+// Every reply is also a correctness gate: with no concurrent edits the
+// service must return bit-identical SlackSummary values to a direct
+// ScenarioBatch evaluation of the same scenario, and the binary exits
+// non-zero on any mismatch. CI runs it with --small.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "core/scenario_batch.hpp"
+#include "gen/changelist.hpp"
+#include "gen/presets.hpp"
+#include "serve/service.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  const auto idx = static_cast<std::size_t>(
+      std::min(n - 1.0, std::max(0.0, p * n - 0.5)));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace insta;
+
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) small = true;
+  }
+
+  bench::print_header(
+      "Timing-query service throughput vs client count and batch window\n"
+      "C closed-loop clients issue single-scenario what-if queries against\n"
+      "one TimingService; the micro-batcher coalesces concurrent requests\n"
+      "into ScenarioBatch::evaluate calls. Every reply is gated bitwise\n"
+      "against a direct in-process evaluation.");
+
+  gen::LogicBlockSpec spec = gen::fig7_block_spec();
+  if (small) {
+    spec.name = "block-2-small";
+    spec.num_gates = 6000;
+    spec.num_ffs = 600;
+    spec.depth = 14;
+  }
+  bench::Bundle world = bench::make_bundle(spec, 0.08);
+  std::printf("design: %zu cells, %zu pins%s\n", world.gd.design->num_cells(),
+              world.gd.design->num_pins(), small ? " (--small preset)" : "");
+
+  core::EngineOptions eopt;
+  eopt.top_k = 8;
+  core::Engine engine(*world.sta, eopt);
+  engine.run_forward();
+
+  // Scenario pool + its direct-evaluation ground truth (computed once; the
+  // service never commits an edit here, so the baseline stays fixed).
+  constexpr std::size_t kPool = 32;
+  util::Rng rng(2029);
+  const auto changes = gen::random_changelist(*world.gd.design, *world.graph,
+                                              rng, static_cast<int>(kPool));
+  std::vector<std::vector<timing::ArcDelta>> pool;
+  for (const auto& ch : changes) {
+    pool.push_back(world.calc->estimate_eco(ch.cell, ch.new_libcell));
+  }
+  for (std::size_t i = 0; pool.size() < kPool && !pool.empty(); ++i) {
+    pool.push_back(pool[i % changes.size()]);
+  }
+  core::ScenarioBatch direct(engine);
+  std::vector<core::ScenarioResult> ref;
+  for (const auto& deltas : pool) {
+    ref.push_back(direct.evaluate({deltas})[0]);
+  }
+
+  const std::vector<int> client_counts = small ? std::vector<int>{1, 4}
+                                               : std::vector<int>{1, 2, 4, 8};
+  const std::vector<int> windows_us = small ? std::vector<int>{0, 200}
+                                            : std::vector<int>{0, 100, 500};
+  const int requests_per_client = small ? 40 : 150;
+
+  util::Table table({"clients", "window (us)", "q/s", "p50 (ms)", "p95 (ms)",
+                     "p99 (ms)", "max (ms)", "batches", "mean batch",
+                     "mismatches"});
+  bench::BenchReport report("serve");
+  std::size_t total_mismatches = 0;
+
+  for (const int window : windows_us) {
+    for (const int clients : client_counts) {
+      serve::ServiceOptions sopt;
+      sopt.batch_window_us = window;
+      sopt.max_batch = 64;
+      sopt.max_queue = 256;
+      sopt.max_sessions = clients + 2;
+      serve::TimingService service(engine, sopt);
+
+      std::vector<std::vector<double>> latencies(
+          static_cast<std::size_t>(clients));
+      std::atomic<std::size_t> mismatches{0};
+      std::atomic<std::size_t> shed{0};
+
+      util::Stopwatch wall;
+      std::vector<std::thread> threads;
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          serve::SessionId sid = -1;
+          if (!service.open_session(sid).ok()) {
+            mismatches.fetch_add(1);
+            return;
+          }
+          util::Rng pick(7000 + static_cast<std::uint64_t>(c));
+          auto& lat = latencies[static_cast<std::size_t>(c)];
+          lat.reserve(static_cast<std::size_t>(requests_per_client));
+          for (int r = 0; r < requests_per_client; ++r) {
+            const std::size_t which =
+                static_cast<std::size_t>(pick() % pool.size());
+            serve::TimingService::WhatifReply reply;
+            util::Stopwatch sw;
+            const serve::Error err = service.whatif(sid, {pool[which]}, reply);
+            if (!err.ok()) {
+              // Shedding is legal under load but excluded from latency.
+              if (err.code == serve::ErrorCode::kOverloaded) {
+                shed.fetch_add(1);
+              } else {
+                mismatches.fetch_add(1);
+              }
+              continue;
+            }
+            lat.push_back(sw.elapsed_sec() * 1e3);
+            if (!(reply.results[0].setup == ref[which].setup)) {
+              mismatches.fetch_add(1);
+            }
+          }
+          (void)service.close_session(sid);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const double wall_sec = wall.elapsed_sec();
+
+      std::vector<double> all;
+      for (const auto& lat : latencies) {
+        all.insert(all.end(), lat.begin(), lat.end());
+      }
+      std::sort(all.begin(), all.end());
+      const double qps =
+          wall_sec > 0.0 ? static_cast<double>(all.size()) / wall_sec : 0.0;
+      const serve::ServiceStats st = service.stats();
+      const double mean_batch =
+          st.batches > 0 ? static_cast<double>(st.whatif_scenarios) /
+                               static_cast<double>(st.batches)
+                         : 0.0;
+      total_mismatches += mismatches.load();
+
+      table.add_row(
+          {std::to_string(clients), std::to_string(window),
+           util::fmt("%.0f", qps), util::fmt("%.2f", percentile(all, 0.50)),
+           util::fmt("%.2f", percentile(all, 0.95)),
+           util::fmt("%.2f", percentile(all, 0.99)),
+           util::fmt("%.2f", all.empty() ? 0.0 : all.back()),
+           std::to_string(st.batches), util::fmt("%.1f", mean_batch),
+           std::to_string(mismatches.load())});
+      report.add_row(
+          "C=" + std::to_string(clients) + ",W=" + std::to_string(window),
+          {{"clients", static_cast<double>(clients)},
+           {"batch_window_us", static_cast<double>(window)},
+           {"queries_per_sec", qps},
+           {"p50_ms", percentile(all, 0.50)},
+           {"p95_ms", percentile(all, 0.95)},
+           {"p99_ms", percentile(all, 0.99)},
+           {"max_ms", all.empty() ? 0.0 : all.back()},
+           {"batches", static_cast<double>(st.batches)},
+           {"mean_batch_occupancy", mean_batch},
+           {"shed", static_cast<double>(shed.load())},
+           {"mismatches", static_cast<double>(mismatches.load())}});
+    }
+  }
+
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\nlarger windows trade per-request latency for batch "
+              "occupancy; window 0 dispatches near one batch per request\n");
+  report.write();
+
+  if (total_mismatches != 0) {
+    std::printf("\nFAILED: %zu service replies differ from direct "
+                "ScenarioBatch evaluation\n",
+                total_mismatches);
+    return 1;
+  }
+  return 0;
+}

@@ -624,24 +624,6 @@ Engine::Transaction Engine::begin_edit() {
   return Transaction(*this);
 }
 
-// Deprecated compatibility shims; suppress the self-referential warnings
-// their definitions would otherwise emit.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-std::vector<timing::ArcDelta> Engine::checkpoint(
-    std::span<const timing::ArcId> arcs) const {
-  std::vector<timing::ArcDelta> saved;
-  saved.reserve(arcs.size());
-  for (const ArcId arc : arcs) saved.push_back(read_annotation(arc));
-  return saved;
-}
-
-void Engine::restore(std::span<const timing::ArcDelta> saved) {
-  annotate(saved);
-  run_forward_incremental();
-}
-#pragma GCC diagnostic pop
-
 template <bool kEarly>
 void Engine::merge_pin_rf(PinId pin, int rf, const TopKView& dst,
                           ForwardCounters& fc) {
@@ -929,14 +911,18 @@ void Engine::run_forward_sparse() {
   em.endpoints_skipped.add(num_eps - nd);
 }
 
-void Engine::run_forward() { forward_from(0); }
+void Engine::run_forward() {
+  forward_from(0);
+  ++generation_;
+}
 
 void Engine::run_forward_incremental() {
   if (full_dirty_) {
     forward_from(0);
-    return;
+  } else {
+    run_forward_sparse();
   }
-  run_forward_sparse();
+  ++generation_;
 }
 
 float Engine::credit(std::int32_t a, std::int32_t b) const {

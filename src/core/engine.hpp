@@ -211,22 +211,6 @@ class Engine {
   /// active on this engine.
   [[nodiscard]] Transaction begin_edit();
 
-  /// @deprecated Compatibility shim for the old hand-rolled rollback dance:
-  /// reads back the current annotation of each arc. Migrate to
-  ///   auto tx = engine.begin_edit(); tx.annotate(...); ... tx.rollback();
-  /// which also restores launch arcs and aggregate caches exactly.
-  /// Kept for one PR; will be removed.
-  [[deprecated("use Engine::begin_edit()/Transaction; checkpoint() does not "
-               "round-trip launch arcs exactly")]] [[nodiscard]]
-  std::vector<timing::ArcDelta> checkpoint(
-      std::span<const timing::ArcId> arcs) const;
-
-  /// @deprecated Compatibility shim: annotate(saved) followed by
-  /// run_forward_incremental(). Migrate to Transaction::rollback().
-  /// Kept for one PR; will be removed.
-  [[deprecated("use Engine::begin_edit()/Transaction::rollback() instead")]]
-  void restore(std::span<const timing::ArcDelta> saved);
-
   // ---- forward: Top-K statistical propagation -------------------------------
 
   /// Full-graph forward propagation: level-synchronous Top-K unique-
@@ -264,6 +248,12 @@ class Engine {
     return !full_dirty_ &&
            dirty_level_ == std::numeric_limits<std::size_t>::max();
   }
+
+  /// Monotonic count of completed forward passes (full or sparse). Two
+  /// reads of the engine's timing state made under the same generation with
+  /// timing_clean() are guaranteed to describe the same committed timing;
+  /// the serve layer uses it as the published-snapshot version.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
   // ---- evaluation results ---------------------------------------------------
 
@@ -545,6 +535,9 @@ class Engine {
   /// One Transaction active at a time; set by begin_edit, cleared by
   /// commit/rollback.
   bool txn_active_ = false;
+
+  /// Completed forward passes (see generation()).
+  std::uint64_t generation_ = 0;
 
   // Delta-maintained global metrics (exactly rebuilt by every full pass).
   double tns_cache_ = 0.0;

@@ -1,0 +1,464 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+namespace insta::serve {
+
+using analysis::Diagnostic;
+using analysis::LintReport;
+using analysis::Severity;
+using telemetry::JsonValue;
+using timing::ArcDelta;
+
+namespace {
+
+void add_error(LintReport& report, const char* rule, std::string message) {
+  Diagnostic d;
+  d.rule = rule;
+  d.severity = Severity::kError;
+  d.message = std::move(message);
+  report.add(std::move(d));
+}
+
+/// Integral-number member fetch; false (with a diagnostic) on wrong type.
+bool get_int(const JsonValue& obj, const char* key, std::int64_t& out,
+             const char* rule, LintReport& report) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;  // absent is fine; caller keeps the default
+  if (!v->is_number() || v->number != std::floor(v->number)) {
+    add_error(report, rule,
+              std::string("\"") + key + "\" must be an integral number");
+    return false;
+  }
+  out = static_cast<std::int64_t>(v->number);
+  return true;
+}
+
+/// Parses one {"arc", "mu"?, "sigma"?} delta object.
+bool parse_delta(const JsonValue& d, const std::string& where, ArcDelta& out,
+                 const char* rule, LintReport& report) {
+  if (!d.is_object()) {
+    add_error(report, rule, where + " is not an object");
+    return false;
+  }
+  const JsonValue* arc = d.find("arc");
+  if (arc == nullptr || !arc->is_number() ||
+      arc->number != std::floor(arc->number)) {
+    add_error(report, rule, where + " has no integral \"arc\" id");
+    return false;
+  }
+  out.arc = static_cast<timing::ArcId>(arc->number);
+  const auto rf_pair = [&](const char* key, std::array<double, 2>& dst) {
+    const JsonValue* v = d.find(key);
+    if (v == nullptr) return true;
+    if (!v->is_array() || v->array.size() != 2 || !v->array[0].is_number() ||
+        !v->array[1].is_number()) {
+      add_error(report, rule,
+                where + "." + key + " must be a [rise, fall] number pair");
+      return false;
+    }
+    dst = {v->array[0].number, v->array[1].number};
+    return true;
+  };
+  return rf_pair("mu", out.mu) && rf_pair("sigma", out.sigma);
+}
+
+}  // namespace
+
+bool parse_scenarios_json(const JsonValue& doc,
+                          std::vector<std::vector<ArcDelta>>& scenarios,
+                          std::vector<std::string>& labels,
+                          LintReport& report) {
+  constexpr const char* kRule = "whatif-shape";
+  const JsonValue* arr = doc.is_array() ? &doc : doc.find("scenarios");
+  if (arr == nullptr || !arr->is_array()) {
+    add_error(report, kRule,
+              "expected a top-level array or {\"scenarios\": [...]}");
+    return false;
+  }
+  bool ok = true;
+  for (std::size_t i = 0; i < arr->array.size(); ++i) {
+    const JsonValue& s = arr->array[i];
+    const std::string where = "scenario " + std::to_string(i);
+    if (!s.is_object()) {
+      add_error(report, kRule, where + " is not an object");
+      ok = false;
+      continue;
+    }
+    const JsonValue* label = s.find("label");
+    labels.push_back(label != nullptr && label->is_string()
+                         ? label->string
+                         : "scenario-" + std::to_string(i));
+    const JsonValue* deltas = s.find("deltas");
+    if (deltas == nullptr || !deltas->is_array()) {
+      add_error(report, kRule, where + " has no deltas array");
+      ok = false;
+      continue;
+    }
+    std::vector<ArcDelta> ds;
+    ds.reserve(deltas->array.size());
+    for (std::size_t j = 0; j < deltas->array.size(); ++j) {
+      ArcDelta ad;
+      if (parse_delta(deltas->array[j],
+                      where + " delta " + std::to_string(j), ad, kRule,
+                      report)) {
+        ds.push_back(ad);
+      } else {
+        ok = false;
+      }
+    }
+    scenarios.push_back(std::move(ds));
+  }
+  return ok;
+}
+
+bool parse_request(std::string_view line, Request& out, LintReport& report) {
+  JsonValue doc;
+  std::string error;
+  if (!telemetry::json_parse(line, doc, error)) {
+    add_error(report, "req-json", "request is not valid JSON: " + error);
+    return false;
+  }
+  constexpr const char* kRule = "req-shape";
+  if (!doc.is_object()) {
+    add_error(report, kRule, "request must be a JSON object");
+    return false;
+  }
+  std::int64_t id = 0;
+  if (!get_int(doc, "id", id, kRule, report)) return false;
+  out.id = id;
+  const JsonValue* op = doc.find("op");
+  if (op == nullptr || !op->is_string() || op->string.empty()) {
+    add_error(report, kRule, "request has no \"op\" string");
+    return false;
+  }
+  out.op = op->string;
+  std::int64_t session = -1;
+  if (!get_int(doc, "session", session, kRule, report)) return false;
+  out.session = session;
+  std::int64_t worst = 0;
+  if (!get_int(doc, "worst", worst, kRule, report)) return false;
+  if (worst < 0) {
+    add_error(report, kRule, "\"worst\" must be >= 0");
+    return false;
+  }
+  out.worst = static_cast<int>(worst);
+
+  if (const JsonValue* ids = doc.find("ids"); ids != nullptr) {
+    if (!ids->is_array()) {
+      add_error(report, kRule, "\"ids\" must be an array");
+      return false;
+    }
+    for (std::size_t i = 0; i < ids->array.size(); ++i) {
+      const JsonValue& v = ids->array[i];
+      if (!v.is_number() || v.number != std::floor(v.number)) {
+        add_error(report, kRule,
+                  "ids[" + std::to_string(i) + "] must be an integral number");
+        return false;
+      }
+      out.endpoint_ids.push_back(static_cast<std::int64_t>(v.number));
+    }
+  }
+
+  if (const JsonValue* scen = doc.find("scenarios"); scen != nullptr) {
+    if (!parse_scenarios_json(*scen, out.scenarios, out.labels, report)) {
+      return false;
+    }
+  }
+
+  if (const JsonValue* deltas = doc.find("deltas"); deltas != nullptr) {
+    if (!deltas->is_array()) {
+      add_error(report, kRule, "\"deltas\" must be an array");
+      return false;
+    }
+    for (std::size_t j = 0; j < deltas->array.size(); ++j) {
+      ArcDelta ad;
+      if (!parse_delta(deltas->array[j], "delta " + std::to_string(j), ad,
+                       kRule, report)) {
+        return false;
+      }
+      out.deltas.push_back(ad);
+    }
+  }
+  return true;
+}
+
+// ---- reply builders ---------------------------------------------------------
+
+std::string ok_reply(std::int64_t id, std::string_view body) {
+  std::string s = "{\"id\": " + std::to_string(id) + ", \"ok\": true";
+  if (!body.empty()) {
+    s += ", \"result\": ";
+    s += body;
+  }
+  s += "}";
+  return s;
+}
+
+std::string error_reply(std::int64_t id, ErrorCode code,
+                        std::string_view message,
+                        const LintReport* diagnostics) {
+  std::string s = "{\"id\": " + std::to_string(id) +
+                  ", \"ok\": false, \"error\": {\"code\": \"" +
+                  error_code_name(code) + "\", \"message\": \"" +
+                  telemetry::json_escape(message) + "\"";
+  if (diagnostics != nullptr && !diagnostics->empty()) {
+    s += ", \"diagnostics\": [";
+    bool first = true;
+    for (const Diagnostic& d : diagnostics->diagnostics()) {
+      if (!first) s += ", ";
+      first = false;
+      s += "{\"rule\": \"" + telemetry::json_escape(d.rule) +
+           "\", \"severity\": \"" + analysis::severity_name(d.severity) +
+           "\", \"message\": \"" + telemetry::json_escape(d.message) + "\"}";
+    }
+    s += "]";
+  }
+  s += "}}";
+  return s;
+}
+
+std::string summary_body(const core::SlackSummary& s) {
+  return "{\"tns\": " + telemetry::json_number(s.tns) +
+         ", \"wns\": " + telemetry::json_number(s.wns) +
+         ", \"violations\": " + std::to_string(s.violations) + "}";
+}
+
+std::string stats_body(const ServiceStats& s) {
+  return "{\"sessions_opened\": " + std::to_string(s.sessions_opened) +
+         ", \"whatif_requests\": " + std::to_string(s.whatif_requests) +
+         ", \"whatif_scenarios\": " + std::to_string(s.whatif_scenarios) +
+         ", \"batches\": " + std::to_string(s.batches) +
+         ", \"max_batch_occupancy\": " +
+         std::to_string(s.max_batch_occupancy) +
+         ", \"shed\": " + std::to_string(s.shed) +
+         ", \"commits\": " + std::to_string(s.commits) +
+         ", \"rollbacks\": " + std::to_string(s.rollbacks) +
+         ", \"snapshots_published\": " +
+         std::to_string(s.snapshots_published) + "}";
+}
+
+// ---- dispatcher -------------------------------------------------------------
+
+Dispatcher::Dispatcher(TimingService& service) : service_(&service) {}
+
+Dispatcher::~Dispatcher() {
+  // Close everything this connection opened; an in-flight request on the
+  // session cannot exist here (the connection thread is the one request
+  // path), but close defensively and ignore failures.
+  for (const SessionId sid : owned_) {
+    (void)service_->close_session(sid);
+  }
+}
+
+bool Dispatcher::resolve_session(const Request& req, SessionId& out,
+                                 Error& err) {
+  if (req.session >= 0) {
+    out = req.session;
+    return true;
+  }
+  if (implicit_ < 0) {
+    err = service_->open_session(implicit_);
+    if (!err.ok()) return false;
+    owned_.push_back(implicit_);
+  }
+  out = implicit_;
+  return true;
+}
+
+std::string Dispatcher::dispatch(std::string_view line, bool* shutdown) {
+  Request req;
+  LintReport report;
+  if (!parse_request(line, req, report)) {
+    return error_reply(req.id, ErrorCode::kBadRequest, "malformed request",
+                       &report);
+  }
+  const std::string& op = req.op;
+
+  if (op == "ping") return ok_reply(req.id, "{\"pong\": true}");
+
+  if (op == "shutdown") {
+    if (shutdown != nullptr) *shutdown = true;
+    return ok_reply(req.id, "{\"shutting_down\": true}");
+  }
+
+  if (op == "info") {
+    const core::Engine& e = service_->engine();
+    const auto snap = service_->snapshot();
+    return ok_reply(
+        req.id,
+        "{\"version\": " + std::to_string(snap->version) +
+            ", \"endpoints\": " + std::to_string(snap->slack.size()) +
+            ", \"arcs\": " + std::to_string(e.graph().num_arcs()) +
+            ", \"hold\": " + (snap->has_hold ? "true" : "false") + "}");
+  }
+
+  if (op == "summary") {
+    const auto snap = service_->snapshot();
+    std::string body = "{\"version\": " + std::to_string(snap->version) +
+                       ", \"setup\": " + summary_body(snap->setup);
+    if (snap->has_hold) body += ", \"hold\": " + summary_body(snap->hold);
+    body += "}";
+    return ok_reply(req.id, body);
+  }
+
+  if (op == "endpoints") {
+    const auto snap = service_->snapshot();
+    std::vector<std::int64_t> ids;
+    if (req.worst > 0) {
+      // N worst-slack endpoints of the snapshot (ascending slack).
+      std::vector<std::int64_t> order(snap->slack.size());
+      std::iota(order.begin(), order.end(), std::int64_t{0});
+      const auto n = std::min<std::size_t>(
+          static_cast<std::size_t>(req.worst), order.size());
+      std::partial_sort(order.begin(),
+                        order.begin() + static_cast<std::ptrdiff_t>(n),
+                        order.end(), [&](std::int64_t a, std::int64_t b) {
+                          return snap->slack[static_cast<std::size_t>(a)] <
+                                 snap->slack[static_cast<std::size_t>(b)];
+                        });
+      order.resize(n);
+      ids = std::move(order);
+    } else {
+      for (const std::int64_t id : req.endpoint_ids) {
+        if (id < 0 || static_cast<std::size_t>(id) >= snap->slack.size()) {
+          return error_reply(req.id, ErrorCode::kBadRequest,
+                             "endpoint id " + std::to_string(id) +
+                                 " out of range [0, " +
+                                 std::to_string(snap->slack.size()) + ")");
+        }
+        ids.push_back(id);
+      }
+    }
+    std::string body = "{\"version\": " + std::to_string(snap->version) +
+                       ", \"endpoints\": [";
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const auto e = static_cast<std::size_t>(ids[i]);
+      if (i != 0) body += ", ";
+      body += "{\"ep\": " + std::to_string(ids[i]) + ", \"slack\": " +
+              telemetry::json_number(static_cast<double>(snap->slack[e]));
+      if (snap->has_hold) {
+        body += ", \"hold_slack\": " +
+                telemetry::json_number(
+                    static_cast<double>(snap->hold_slack[e]));
+      }
+      body += "}";
+    }
+    body += "]}";
+    return ok_reply(req.id, body);
+  }
+
+  if (op == "open") {
+    SessionId sid = -1;
+    const Error err = service_->open_session(sid);
+    if (!err.ok()) return error_reply(req.id, err.code, err.message);
+    owned_.push_back(sid);
+    return ok_reply(req.id, "{\"session\": " + std::to_string(sid) + "}");
+  }
+
+  if (op == "close") {
+    SessionId sid = -1;
+    Error err;
+    if (!resolve_session(req, sid, err)) {
+      return error_reply(req.id, err.code, err.message);
+    }
+    err = service_->close_session(sid);
+    if (!err.ok()) return error_reply(req.id, err.code, err.message);
+    owned_.erase(std::remove(owned_.begin(), owned_.end(), sid),
+                 owned_.end());
+    if (sid == implicit_) implicit_ = -1;
+    return ok_reply(req.id, "{\"closed\": " + std::to_string(sid) + "}");
+  }
+
+  if (op == "whatif") {
+    SessionId sid = -1;
+    Error err;
+    if (!resolve_session(req, sid, err)) {
+      return error_reply(req.id, err.code, err.message);
+    }
+    TimingService::WhatifReply reply;
+    err = service_->whatif(sid, req.scenarios, reply);
+    if (!err.ok()) {
+      return error_reply(req.id, err.code, err.message, &err.diagnostics);
+    }
+    std::string body = "{\"version\": " + std::to_string(reply.version) +
+                       ", \"results\": [";
+    for (std::size_t i = 0; i < reply.results.size(); ++i) {
+      const core::ScenarioResult& r = reply.results[i];
+      if (i != 0) body += ", ";
+      body += "{\"label\": \"" + telemetry::json_escape(req.labels[i]) +
+              "\", \"setup\": " + summary_body(r.setup);
+      if (service_->engine().options().enable_hold) {
+        body += ", \"hold\": " + summary_body(r.hold);
+      }
+      body += ", \"frontier_pins\": " + std::to_string(r.frontier_pins) +
+              ", \"early_terminations\": " +
+              std::to_string(r.early_terminations) +
+              ", \"endpoints_evaluated\": " +
+              std::to_string(r.endpoints_evaluated) +
+              ", \"overlay_bytes\": " + std::to_string(r.overlay_bytes);
+      if (!r.endpoint_changes.empty()) {
+        body += ", \"endpoint_changes\": [";
+        for (std::size_t c = 0; c < r.endpoint_changes.size(); ++c) {
+          const core::EndpointSlackChange& ch = r.endpoint_changes[c];
+          if (c != 0) body += ", ";
+          body += "{\"ep\": " + std::to_string(ch.ep) + ", \"setup\": " +
+                  telemetry::json_number(static_cast<double>(ch.setup)) +
+                  ", \"hold\": " +
+                  telemetry::json_number(static_cast<double>(ch.hold)) + "}";
+        }
+        body += "]";
+      }
+      body += "}";
+    }
+    body += "]}";
+    return ok_reply(req.id, body);
+  }
+
+  if (op == "begin_edit" || op == "annotate" || op == "commit" ||
+      op == "rollback") {
+    SessionId sid = -1;
+    Error err;
+    if (!resolve_session(req, sid, err)) {
+      return error_reply(req.id, err.code, err.message);
+    }
+    if (op == "begin_edit") {
+      err = service_->begin_edit(sid);
+      if (!err.ok()) return error_reply(req.id, err.code, err.message);
+      return ok_reply(req.id, "{\"editing\": true}");
+    }
+    if (op == "annotate") {
+      err = service_->annotate(sid, req.deltas);
+      if (!err.ok()) {
+        return error_reply(req.id, err.code, err.message, &err.diagnostics);
+      }
+      return ok_reply(
+          req.id, "{\"buffered\": " + std::to_string(req.deltas.size()) + "}");
+    }
+    if (op == "commit") {
+      TimingService::CommitReply reply;
+      err = service_->commit(sid, reply);
+      if (!err.ok()) return error_reply(req.id, err.code, err.message);
+      std::string body = "{\"version\": " + std::to_string(reply.version) +
+                         ", \"setup\": " + summary_body(reply.setup);
+      if (service_->engine().options().enable_hold) {
+        body += ", \"hold\": " + summary_body(reply.hold);
+      }
+      body += "}";
+      return ok_reply(req.id, body);
+    }
+    err = service_->rollback(sid);
+    if (!err.ok()) return error_reply(req.id, err.code, err.message);
+    return ok_reply(req.id, "{\"rolled_back\": true}");
+  }
+
+  if (op == "stats") return ok_reply(req.id, stats_body(service_->stats()));
+
+  return error_reply(req.id, ErrorCode::kBadRequest, "unknown op \"" +
+                                                         op + "\"");
+}
+
+}  // namespace insta::serve

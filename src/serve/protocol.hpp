@@ -1,0 +1,110 @@
+#pragma once
+
+// The newline-delimited-JSON wire protocol of the timing-query service.
+//
+// One request per line, one reply line per request, in order:
+//
+//   -> {"id": 1, "op": "summary"}
+//   <- {"id": 1, "ok": true, "result": {"version": 3, "setup": {...}}}
+//   -> {"id": 2, "op": "whatif", "scenarios": [{"deltas": [{"arc": 7,
+//        "mu": [1.5, 1.5]}]}]}
+//   <- {"id": 2, "ok": true, "result": {"version": 3, "results": [...]}}
+//   -> {"id": 3, "op": "nope"}
+//   <- {"id": 3, "ok": false, "error": {"code": "bad-request",
+//        "message": "...", "diagnostics": [...]}}
+//
+// Ops: ping, info, summary, endpoints (ids | worst N), open, close, whatif,
+// begin_edit, annotate, commit, rollback, stats, shutdown. The scenarios
+// document reuses the `insta_cli whatif --scenarios` schema, so one parser
+// (parse_scenarios_json) serves both the file-based CLI path and the wire.
+//
+// Every parse/shape failure is reported as structured analysis::Diagnostic
+// entries with stable rule ids ("req-json", "req-shape", "whatif-json",
+// "whatif-shape") — the same machinery the linter and Engine::check_deltas
+// use — so clients and humans get one diagnostic vocabulary everywhere.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "serve/service.hpp"
+#include "telemetry/json.hpp"
+#include "timing/types.hpp"
+
+namespace insta::serve {
+
+/// One decoded request line.
+struct Request {
+  std::int64_t id = 0;
+  std::string op;
+  SessionId session = -1;  ///< -1: use the connection's implicit session
+  int worst = 0;           ///< endpoints op: N worst-slack endpoints
+  std::vector<std::int64_t> endpoint_ids;  ///< endpoints op: explicit ids
+  std::vector<std::vector<timing::ArcDelta>> scenarios;  ///< whatif op
+  std::vector<std::string> labels;                       ///< whatif op
+  std::vector<timing::ArcDelta> deltas;                  ///< annotate op
+};
+
+/// Parses one request line. On failure returns false and adds diagnostics
+/// (rule "req-json" for parse errors via the telemetry JSON parser, rule
+/// "req-shape" for structural violations).
+bool parse_request(std::string_view line, Request& out,
+                   analysis::LintReport& report);
+
+/// Parses a scenarios document — {"scenarios": [...]} or a top-level array,
+/// each scenario {"label"?: s, "deltas": [{"arc": N, "mu"?: [r, f],
+/// "sigma"?: [r, f]}]} — into delta-set lists. Shared by `insta_cli whatif
+/// --scenarios` and the wire protocol's whatif op. Returns false and adds
+/// diagnostics (rule "whatif-shape") on structural violations; arc-id
+/// semantics are left to Engine::check_deltas.
+bool parse_scenarios_json(const telemetry::JsonValue& doc,
+                          std::vector<std::vector<timing::ArcDelta>>& scenarios,
+                          std::vector<std::string>& labels,
+                          analysis::LintReport& report);
+
+// ---- reply builders ---------------------------------------------------------
+
+/// {"id": N, "ok": true, "result": <body>}
+[[nodiscard]] std::string ok_reply(std::int64_t id, std::string_view body);
+
+/// {"id": N, "ok": false, "error": {"code", "message", "diagnostics"?}}
+[[nodiscard]] std::string error_reply(std::int64_t id, ErrorCode code,
+                                      std::string_view message,
+                                      const analysis::LintReport* diagnostics =
+                                          nullptr);
+
+/// {"tns": x, "wns": y, "violations": n} — the whatif-schema summary body.
+[[nodiscard]] std::string summary_body(const core::SlackSummary& s);
+
+/// Serializes ServiceStats as a flat JSON object.
+[[nodiscard]] std::string stats_body(const ServiceStats& s);
+
+/// One connection's protocol state machine. dispatch() turns a request
+/// line into exactly one reply line (no trailing newline). Sessions the
+/// dispatcher opened implicitly or via the open op are closed when it is
+/// destroyed, so a dropped connection cannot leak the edit slot.
+class Dispatcher {
+ public:
+  explicit Dispatcher(TimingService& service);
+  ~Dispatcher();
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Handles one request line. Sets *shutdown to true when the line was a
+  /// shutdown op (the reply must still be delivered before closing).
+  [[nodiscard]] std::string dispatch(std::string_view line,
+                                     bool* shutdown = nullptr);
+
+ private:
+  /// The session a request addresses: its explicit one, or the
+  /// connection's implicit session (opened on first use).
+  bool resolve_session(const Request& req, SessionId& out, Error& err);
+
+  TimingService* service_;
+  std::vector<SessionId> owned_;
+  SessionId implicit_ = -1;
+};
+
+}  // namespace insta::serve

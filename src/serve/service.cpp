@@ -1,0 +1,506 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "telemetry/metrics.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace insta::serve {
+
+using timing::ArcDelta;
+using util::check;
+
+namespace {
+
+/// Registered-once service counters (no-op stubs when telemetry is off).
+struct ServeMetrics {
+  telemetry::Counter requests;
+  telemetry::Counter scenarios;
+  telemetry::Counter batches;
+  telemetry::Counter shed;
+  telemetry::Counter commits;
+  telemetry::Counter rollbacks;
+  telemetry::Counter snapshots;
+  telemetry::Histogram batch_occupancy;
+  telemetry::Histogram eval_us;
+  telemetry::Histogram whatif_latency_us;
+  telemetry::Gauge queue_depth;
+  telemetry::Gauge sessions;
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics m = [] {
+    auto& r = telemetry::MetricsRegistry::global();
+    ServeMetrics sm;
+    sm.requests = r.counter("serve.whatif_requests");
+    sm.scenarios = r.counter("serve.whatif_scenarios");
+    sm.batches = r.counter("serve.batches");
+    sm.shed = r.counter("serve.shed");
+    sm.commits = r.counter("serve.commits");
+    sm.rollbacks = r.counter("serve.rollbacks");
+    sm.snapshots = r.counter("serve.snapshots_published");
+    sm.batch_occupancy = r.histogram("serve.batch_occupancy");
+    sm.eval_us = r.histogram("serve.eval_us");
+    sm.whatif_latency_us = r.histogram("serve.whatif_latency_us");
+    sm.queue_depth = r.gauge("serve.queue_depth");
+    sm.sessions = r.gauge("serve.open_sessions");
+    return sm;
+  }();
+  return m;
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "ok";
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kBadSession: return "bad-session";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kEditConflict: return "edit-conflict";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> ServiceOptions::validate() const {
+  std::vector<std::string> problems;
+  if (batch_window_us < 0 || batch_window_us > 10'000'000) {
+    problems.emplace_back("batch_window_us must be in [0, 10000000]");
+  }
+  if (max_batch < 1) problems.emplace_back("max_batch must be >= 1");
+  if (max_queue < 1) problems.emplace_back("max_queue must be >= 1");
+  if (max_queue < max_batch) {
+    problems.emplace_back("max_queue must be >= max_batch");
+  }
+  if (max_inflight_per_session < 1) {
+    problems.emplace_back("max_inflight_per_session must be >= 1");
+  }
+  if (max_sessions < 1) problems.emplace_back("max_sessions must be >= 1");
+  return problems;
+}
+
+TimingService::TimingService(core::Engine& engine, ServiceOptions options)
+    : engine_(&engine),
+      options_(options),
+      batch_(engine, core::ScenarioBatchOptions{
+                         .strategy = core::ScenarioStrategy::kAuto,
+                         .collect_endpoints = options.collect_endpoints}) {
+  if (const std::vector<std::string> problems = options_.validate();
+      !problems.empty()) {
+    std::string msg = "TimingService: invalid ServiceOptions:";
+    for (const std::string& p : problems) {
+      msg += ' ';
+      msg += p;
+      msg += ';';
+    }
+    check(false, msg);
+  }
+  check(engine.timing_clean(),
+        "TimingService: engine has pending annotations (run run_forward() "
+        "before constructing the service)");
+  publish_snapshot();
+}
+
+TimingService::~TimingService() = default;
+
+void TimingService::publish_snapshot() {
+  auto snap = std::make_shared<TimingSnapshot>();
+  snap->version = engine_->generation();
+  snap->has_hold = engine_->options().enable_hold;
+  snap->setup = engine_->summary(core::Mode::kSetup);
+  snap->slack.assign(engine_->endpoint_slacks().begin(),
+                     engine_->endpoint_slacks().end());
+  if (snap->has_hold) {
+    snap->hold = engine_->summary(core::Mode::kHold);
+    const std::size_t n = engine_->graph().endpoints().size();
+    snap->hold_slack.reserve(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      snap->hold_slack.push_back(
+          engine_->endpoint_hold_slack(static_cast<timing::EndpointId>(e)));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> sl(snap_mu_);
+    snap_ = std::move(snap);
+  }
+  serve_metrics().snapshots.inc();
+  std::lock_guard<std::mutex> sl(state_mu_);
+  ++stats_.snapshots_published;
+}
+
+// ---- sessions ---------------------------------------------------------------
+
+Error TimingService::open_session(SessionId& out) {
+  std::lock_guard<std::mutex> sl(state_mu_);
+  if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
+    ++stats_.shed;
+    serve_metrics().shed.inc();
+    return Error::make(ErrorCode::kOverloaded,
+                       "session limit reached (" +
+                           std::to_string(options_.max_sessions) + ")");
+  }
+  out = next_session_++;
+  sessions_.emplace(out, Session{});
+  ++stats_.sessions_opened;
+  serve_metrics().sessions.set(static_cast<double>(sessions_.size()));
+  return Error::success();
+}
+
+Error TimingService::close_session(SessionId session) {
+  std::lock_guard<std::mutex> sl(state_mu_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Error::make(ErrorCode::kBadSession,
+                       "unknown session " + std::to_string(session));
+  }
+  if (it->second.inflight > 0) {
+    return Error::make(ErrorCode::kBadSession,
+                       "session " + std::to_string(session) +
+                           " has in-flight requests");
+  }
+  if (it->second.editing) {
+    editor_ = -1;
+    ++stats_.rollbacks;
+    serve_metrics().rollbacks.inc();
+  }
+  sessions_.erase(it);
+  serve_metrics().sessions.set(static_cast<double>(sessions_.size()));
+  return Error::success();
+}
+
+// ---- what-if batching -------------------------------------------------------
+
+Error TimingService::validate_scenarios(
+    const std::vector<std::vector<ArcDelta>>& scenarios) {
+  std::shared_lock<std::shared_mutex> el(engine_mu_);
+  Error err;
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const analysis::LintReport report = engine_->check_deltas(scenarios[s]);
+    if (report.has_errors()) {
+      err.code = ErrorCode::kBadRequest;
+      err.message = "scenario " + std::to_string(s) + " has invalid deltas";
+    }
+    // Warnings (duplicate arcs) are carried along but do not reject: the
+    // evaluator applies them last-wins, same as a sequential annotate.
+    if (!report.empty()) err.diagnostics.merge(report);
+  }
+  return err;
+}
+
+Error TimingService::whatif(
+    SessionId session, const std::vector<std::vector<ArcDelta>>& scenarios,
+    WhatifReply& out) {
+  ServeMetrics& sm = serve_metrics();
+  if (scenarios.empty()) {
+    return Error::make(ErrorCode::kBadRequest, "whatif: empty scenario list");
+  }
+  {
+    std::lock_guard<std::mutex> sl(state_mu_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      return Error::make(ErrorCode::kBadSession,
+                         "unknown session " + std::to_string(session));
+    }
+    if (it->second.inflight >= options_.max_inflight_per_session) {
+      ++stats_.shed;
+      sm.shed.inc();
+      return Error::make(
+          ErrorCode::kOverloaded,
+          "session " + std::to_string(session) + " already has " +
+              std::to_string(it->second.inflight) + " requests in flight");
+    }
+    ++it->second.inflight;
+  }
+  // The session's inflight slot is held from here on; every exit path must
+  // release it.
+  const auto release = [this, session] {
+    std::lock_guard<std::mutex> sl(state_mu_);
+    --sessions_.find(session)->second.inflight;
+  };
+
+  if (Error err = validate_scenarios(scenarios); !err.ok()) {
+    release();
+    return err;
+  }
+
+  util::Stopwatch sw;
+  PendingWhatif req;
+  req.scenarios = &scenarios;
+  req.reply = &out;
+  {
+    std::unique_lock<std::mutex> ql(queue_mu_);
+    if (queued_scenarios_ + scenarios.size() >
+        static_cast<std::size_t>(options_.max_queue)) {
+      ql.unlock();
+      release();
+      std::lock_guard<std::mutex> sl(state_mu_);
+      ++stats_.shed;
+      sm.shed.inc();
+      return Error::make(ErrorCode::kOverloaded,
+                         "what-if queue full (" +
+                             std::to_string(options_.max_queue) +
+                             " scenarios)");
+    }
+    queue_.push_back(&req);
+    queued_scenarios_ += scenarios.size();
+    sm.queue_depth.set(static_cast<double>(queued_scenarios_));
+    if (!collecting_) {
+      collecting_ = true;
+      req.leader = true;
+    } else if (queued_scenarios_ >=
+               static_cast<std::size_t>(options_.max_batch)) {
+      queue_cv_.notify_all();  // batch is full: wake the leader early
+    }
+  }
+  {
+    std::lock_guard<std::mutex> sl(state_mu_);
+    ++stats_.whatif_requests;
+  }
+  sm.requests.inc();
+
+  if (req.leader) {
+    run_batch_leader(req);
+  } else {
+    std::unique_lock<std::mutex> ql(queue_mu_);
+    done_cv_.wait(ql, [&req] { return req.done; });
+  }
+  sm.whatif_latency_us.observe(sw.elapsed_sec() * 1e6);
+  release();
+  return req.error;
+}
+
+void TimingService::run_batch_leader(PendingWhatif& self) {
+  std::vector<PendingWhatif*> reqs;
+  {
+    std::unique_lock<std::mutex> ql(queue_mu_);
+    if (options_.batch_window_us > 0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.batch_window_us);
+      queue_cv_.wait_until(ql, deadline, [this] {
+        return queued_scenarios_ >=
+               static_cast<std::size_t>(options_.max_batch);
+      });
+    }
+    reqs.swap(queue_);
+    queued_scenarios_ = 0;
+    serve_metrics().queue_depth.set(0.0);
+    // Collection of the next batch may begin while this one evaluates.
+    collecting_ = false;
+  }
+
+  evaluate_requests(reqs);
+
+  {
+    std::lock_guard<std::mutex> ql(queue_mu_);
+    for (PendingWhatif* r : reqs) r->done = true;
+  }
+  done_cv_.notify_all();
+  (void)self;  // self is one of reqs; kept for signature clarity
+}
+
+void TimingService::evaluate_requests(std::vector<PendingWhatif*>& reqs) {
+  ServeMetrics& sm = serve_metrics();
+  // Flatten the drained requests into (request, scenario) order, then
+  // evaluate in max_batch-sized chunks under one shared engine lock so the
+  // whole drain sees a single baseline version.
+  struct Item {
+    PendingWhatif* req;
+    std::size_t index;  ///< scenario index within the request
+  };
+  std::vector<Item> items;
+  for (PendingWhatif* r : reqs) {
+    r->reply->results.clear();
+    r->reply->results.resize(r->scenarios->size());
+    for (std::size_t i = 0; i < r->scenarios->size(); ++i) {
+      items.push_back({r, i});
+    }
+  }
+
+  std::lock_guard<std::mutex> evl(eval_mu_);
+  std::shared_lock<std::shared_mutex> el(engine_mu_);
+  const std::uint64_t version = engine_->generation();
+  util::Stopwatch sw;
+  const auto chunk_cap = static_cast<std::size_t>(options_.max_batch);
+  std::uint64_t num_batches = 0;
+  std::uint64_t max_occupancy = 0;
+  for (std::size_t lo = 0; lo < items.size(); lo += chunk_cap) {
+    const std::size_t hi = std::min(items.size(), lo + chunk_cap);
+    std::vector<std::span<const ArcDelta>> spans;
+    spans.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      spans.push_back((*items[i].req->scenarios)[items[i].index]);
+    }
+    try {
+      std::vector<core::ScenarioResult> results = batch_.evaluate(spans);
+      for (std::size_t i = lo; i < hi; ++i) {
+        items[i].req->reply->results[items[i].index] =
+            std::move(results[i - lo]);
+      }
+    } catch (const util::CheckError& e) {
+      // Scenarios were pre-validated, so this is an engine-side failure;
+      // fail every request in the chunk with the same diagnosis.
+      for (std::size_t i = lo; i < hi; ++i) {
+        items[i].req->error = Error::make(
+            ErrorCode::kInternal,
+            std::string("scenario batch evaluation failed: ") + e.what());
+      }
+    }
+    ++num_batches;
+    max_occupancy =
+        std::max(max_occupancy, static_cast<std::uint64_t>(hi - lo));
+    sm.batch_occupancy.observe(static_cast<double>(hi - lo));
+  }
+  for (PendingWhatif* r : reqs) r->reply->version = version;
+  sm.eval_us.observe(sw.elapsed_sec() * 1e6);
+  sm.batches.add(num_batches);
+  sm.scenarios.add(items.size());
+
+  std::lock_guard<std::mutex> sl(state_mu_);
+  stats_.batches += num_batches;
+  stats_.whatif_scenarios += items.size();
+  stats_.max_batch_occupancy =
+      std::max(stats_.max_batch_occupancy, max_occupancy);
+}
+
+// ---- exclusive edits --------------------------------------------------------
+
+Error TimingService::begin_edit(SessionId session) {
+  std::lock_guard<std::mutex> sl(state_mu_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Error::make(ErrorCode::kBadSession,
+                       "unknown session " + std::to_string(session));
+  }
+  if (it->second.editing) {
+    return Error::make(ErrorCode::kBadSession,
+                       "session " + std::to_string(session) +
+                           " already has an open edit");
+  }
+  if (editor_ != -1) {
+    return Error::make(ErrorCode::kEditConflict,
+                       "session " + std::to_string(editor_) +
+                           " holds the edit slot");
+  }
+  editor_ = session;
+  it->second.editing = true;
+  it->second.pending.clear();
+  return Error::success();
+}
+
+Error TimingService::annotate(SessionId session,
+                              std::span<const ArcDelta> deltas) {
+  {
+    std::lock_guard<std::mutex> sl(state_mu_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      return Error::make(ErrorCode::kBadSession,
+                         "unknown session " + std::to_string(session));
+    }
+    if (!it->second.editing) {
+      return Error::make(ErrorCode::kBadSession,
+                         "session " + std::to_string(session) +
+                             " has no open edit (begin_edit first)");
+    }
+  }
+  {
+    std::shared_lock<std::shared_mutex> el(engine_mu_);
+    const analysis::LintReport report = engine_->check_deltas(deltas);
+    if (report.has_errors()) {
+      Error err = Error::make(ErrorCode::kBadRequest,
+                              "annotate: invalid deltas rejected");
+      err.diagnostics = report;
+      return err;
+    }
+  }
+  std::lock_guard<std::mutex> sl(state_mu_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end() || !it->second.editing) {
+    return Error::make(ErrorCode::kBadSession,
+                       "edit closed while validating deltas");
+  }
+  it->second.pending.insert(it->second.pending.end(), deltas.begin(),
+                            deltas.end());
+  return Error::success();
+}
+
+Error TimingService::commit(SessionId session, CommitReply& out) {
+  std::vector<ArcDelta> pending;
+  {
+    std::lock_guard<std::mutex> sl(state_mu_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      return Error::make(ErrorCode::kBadSession,
+                         "unknown session " + std::to_string(session));
+    }
+    if (!it->second.editing) {
+      return Error::make(ErrorCode::kBadSession,
+                         "session " + std::to_string(session) +
+                             " has no open edit to commit");
+    }
+    // Commit point: the edit slot is released here; a failure below still
+    // leaves the engine rolled back and the edit closed.
+    pending = std::move(it->second.pending);
+    it->second.pending.clear();
+    it->second.editing = false;
+    editor_ = -1;
+  }
+
+  {
+    std::unique_lock<std::shared_mutex> el(engine_mu_);
+    if (!pending.empty()) {
+      try {
+        core::Engine::Transaction tx = engine_->begin_edit();
+        tx.annotate(pending);
+        engine_->run_forward_incremental();
+        tx.commit();
+      } catch (const util::CheckError& e) {
+        // ~Transaction rolled the engine back to its pre-edit bytes.
+        return Error::make(ErrorCode::kInternal,
+                           std::string("commit failed: ") + e.what());
+      }
+      publish_snapshot();
+    }
+    out.version = engine_->generation();
+    out.setup = engine_->summary(core::Mode::kSetup);
+    if (engine_->options().enable_hold) {
+      out.hold = engine_->summary(core::Mode::kHold);
+    }
+  }
+  serve_metrics().commits.inc();
+  std::lock_guard<std::mutex> sl(state_mu_);
+  ++stats_.commits;
+  return Error::success();
+}
+
+Error TimingService::rollback(SessionId session) {
+  std::lock_guard<std::mutex> sl(state_mu_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Error::make(ErrorCode::kBadSession,
+                       "unknown session " + std::to_string(session));
+  }
+  if (!it->second.editing) {
+    return Error::make(ErrorCode::kBadSession,
+                       "session " + std::to_string(session) +
+                           " has no open edit to roll back");
+  }
+  it->second.pending.clear();
+  it->second.editing = false;
+  editor_ = -1;
+  ++stats_.rollbacks;
+  serve_metrics().rollbacks.inc();
+  return Error::success();
+}
+
+ServiceStats TimingService::stats() const {
+  std::lock_guard<std::mutex> sl(state_mu_);
+  return stats_;
+}
+
+}  // namespace insta::serve

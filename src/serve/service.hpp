@@ -1,0 +1,276 @@
+#pragma once
+
+// The timing-query service layer: one Engine, many concurrent clients.
+//
+// Three traffic classes, three isolation mechanisms:
+//
+//  * Read queries (summary, endpoint slacks, worst endpoints) never touch
+//    the engine. Every commit publishes an immutable TimingSnapshot through
+//    an RCU-style pointer swap behind a dedicated micro-mutex; readers copy
+//    the current shared_ptr in one tiny critical section (never contending
+//    with the engine lock) and keep it alive for as long as they like — a
+//    reader admitted before a commit keeps seeing its own consistent
+//    pre-commit world.
+//
+//  * Speculative what-if queries from any number of sessions are coalesced
+//    by a micro-batcher: the first arrival becomes the collection leader,
+//    waits up to ServiceOptions::batch_window_us for co-travellers, and
+//    drains the queue into a single ScenarioBatch::evaluate call over the
+//    shared baseline (copy-on-write overlays; the engine is never
+//    mutated). Collection of the next batch overlaps evaluation of the
+//    previous one.
+//
+//  * Exclusive edit sessions buffer deltas in the service and apply them
+//    under Engine::Transaction at commit(), serialized behind every
+//    in-flight what-if batch by a shared_mutex. A successful commit
+//    re-propagates incrementally and publishes the next snapshot.
+//
+// Admission control is structural, not advisory: a bounded what-if queue,
+// a per-session in-flight cap, and a session-count cap shed excess load
+// with structured Error replies (ErrorCode::kOverloaded) instead of
+// stalling or growing without bound.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "core/engine.hpp"
+#include "core/scenario_batch.hpp"
+#include "timing/types.hpp"
+
+namespace insta::serve {
+
+/// Client-visible session handle. Sessions are cheap; a socket connection
+/// typically owns one.
+using SessionId = std::int64_t;
+
+/// Stable machine-readable error codes of the service (and, spelled via
+/// error_code_name(), of the wire protocol).
+enum class ErrorCode : std::uint8_t {
+  kNone,          ///< success
+  kBadRequest,    ///< malformed or semantically invalid request
+  kBadSession,    ///< unknown, closed, or wrong-state session
+  kOverloaded,    ///< shed by admission control; retry later
+  kEditConflict,  ///< another session holds the edit lock
+  kUnsupported,   ///< known op not available (e.g. hold on a setup-only engine)
+  kInternal,      ///< engine-side failure; request-independent
+};
+
+/// Wire spelling of a code ("overloaded", "bad-request", ...).
+[[nodiscard]] const char* error_code_name(ErrorCode code);
+
+/// Structured failure report of one service call. Success is code kNone;
+/// everything else carries a message and, for validation failures, the
+/// per-delta diagnostics (rule ids "delta-arc-range", ...).
+struct Error {
+  ErrorCode code = ErrorCode::kNone;
+  std::string message;
+  analysis::LintReport diagnostics;
+
+  [[nodiscard]] bool ok() const { return code == ErrorCode::kNone; }
+
+  static Error success() { return {}; }
+  static Error make(ErrorCode code, std::string message) {
+    Error e;
+    e.code = code;
+    e.message = std::move(message);
+    return e;
+  }
+};
+
+/// Service tuning knobs. Everything here is a trust boundary (CLI flags),
+/// so validate() reports every bad field at once, mirroring
+/// EngineOptions::validate().
+struct ServiceOptions {
+  /// How long a what-if collection leader waits for co-travellers before
+  /// closing its batch, in microseconds. 0 disables coalescing (every
+  /// request evaluates alone).
+  int batch_window_us = 200;
+  /// Scenario cap of one ScenarioBatch::evaluate call; a drained queue
+  /// larger than this evaluates in successive chunks.
+  int max_batch = 64;
+  /// Bound on queued-but-not-yet-evaluated scenarios across all sessions.
+  /// Arrivals beyond it are shed with ErrorCode::kOverloaded.
+  int max_queue = 256;
+  /// Bound on one session's concurrently outstanding what-if requests.
+  int max_inflight_per_session = 8;
+  /// Bound on concurrently open sessions.
+  int max_sessions = 64;
+  /// Also report per-endpoint scenario slacks in what-if replies.
+  bool collect_endpoints = false;
+
+  /// One message per invalid field; empty when usable (the TimingService
+  /// constructor rejects invalid options with the same messages).
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// Immutable published view of the engine's committed timing. version is
+/// Engine::generation() at publication; slack vectors are indexed by
+/// endpoint id (hold_slack empty unless has_hold).
+struct TimingSnapshot {
+  std::uint64_t version = 0;
+  bool has_hold = false;
+  core::SlackSummary setup;
+  core::SlackSummary hold;
+  std::vector<float> slack;
+  std::vector<float> hold_slack;
+};
+
+/// Deterministic service counters, independent of the telemetry build
+/// (the serve.* metrics mirror these when telemetry is compiled in).
+struct ServiceStats {
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t whatif_requests = 0;   ///< admitted requests
+  std::uint64_t whatif_scenarios = 0;  ///< scenarios evaluated
+  std::uint64_t batches = 0;           ///< ScenarioBatch::evaluate calls
+  std::uint64_t max_batch_occupancy = 0;  ///< largest single batch
+  std::uint64_t shed = 0;              ///< requests rejected by admission
+  std::uint64_t commits = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t snapshots_published = 0;
+};
+
+/// The embeddable multi-client front end of one Engine. All public methods
+/// are thread-safe; blocking calls (whatif, commit) block only their own
+/// caller. The service assumes exclusive ownership of the engine for its
+/// lifetime: mutating the engine behind the service's back invalidates the
+/// published snapshot.
+class TimingService {
+ public:
+  /// The engine must be timing-clean (construction publishes snapshot v0
+  /// from its current state). Throws util::CheckError on invalid options.
+  explicit TimingService(core::Engine& engine, ServiceOptions options = {});
+  ~TimingService();
+  TimingService(const TimingService&) = delete;
+  TimingService& operator=(const TimingService&) = delete;
+
+  // ---- sessions -------------------------------------------------------------
+
+  Error open_session(SessionId& out);
+  /// Fails with kBadSession while the session has in-flight what-ifs; an
+  /// open edit is rolled back.
+  Error close_session(SessionId session);
+
+  // ---- reads (lock-free against the published snapshot) ---------------------
+
+  /// The current snapshot. Never null; safe to hold indefinitely.
+  [[nodiscard]] std::shared_ptr<const TimingSnapshot> snapshot() const {
+    std::lock_guard<std::mutex> sl(snap_mu_);
+    return snap_;
+  }
+
+  // ---- batched speculative what-ifs -----------------------------------------
+
+  struct WhatifReply {
+    std::uint64_t version = 0;  ///< snapshot version the batch ran against
+    std::vector<core::ScenarioResult> results;  ///< parallel to scenarios
+  };
+
+  /// Evaluates the session's scenarios against the shared baseline without
+  /// mutating it, coalescing with concurrent sessions' requests. Blocks
+  /// until the batch containing the request completes. Results are
+  /// bit-identical to sequentially annotating the engine and re-propagating
+  /// (ScenarioBatch's structural guarantee).
+  Error whatif(SessionId session,
+               const std::vector<std::vector<timing::ArcDelta>>& scenarios,
+               WhatifReply& out);
+
+  // ---- exclusive edits ------------------------------------------------------
+
+  struct CommitReply {
+    std::uint64_t version = 0;  ///< version of the newly published snapshot
+    core::SlackSummary setup;
+    core::SlackSummary hold;  ///< zeros unless the engine runs with hold
+  };
+
+  /// Claims the (single) edit slot. Deltas then buffer in the service via
+  /// annotate() and hit the engine only inside commit(), under
+  /// Engine::Transaction; preview a pending edit with whatif().
+  Error begin_edit(SessionId session);
+  /// Validates (Engine::check_deltas) and buffers deltas onto the
+  /// session's open edit. Validation errors reject the call as a whole.
+  Error annotate(SessionId session, std::span<const timing::ArcDelta> deltas);
+  /// Applies the buffered deltas transactionally, re-propagates, publishes
+  /// the next snapshot, and releases the edit slot.
+  Error commit(SessionId session, CommitReply& out);
+  /// Discards the buffered deltas and releases the edit slot.
+  Error rollback(SessionId session);
+
+  // ---- introspection --------------------------------------------------------
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+  [[nodiscard]] const core::Engine& engine() const { return *engine_; }
+
+ private:
+  /// One queued what-if request, owned by the caller's stack frame for the
+  /// duration of whatif().
+  struct PendingWhatif {
+    const std::vector<std::vector<timing::ArcDelta>>* scenarios = nullptr;
+    WhatifReply* reply = nullptr;
+    Error error;
+    bool done = false;
+    bool leader = false;
+  };
+
+  struct Session {
+    bool editing = false;
+    int inflight = 0;
+    std::vector<timing::ArcDelta> pending;  ///< buffered edit deltas
+  };
+
+  /// Rebuilds and atomically publishes the snapshot from the engine's
+  /// current state. Caller holds exclusive engine access.
+  void publish_snapshot();
+  /// Leader path: collect co-travellers, drain, evaluate, distribute.
+  void run_batch_leader(PendingWhatif& self);
+  /// Evaluates one drained request list (chunked to max_batch) and fills
+  /// every request's reply. Serialized by eval_mu_.
+  void evaluate_requests(std::vector<PendingWhatif*>& reqs);
+  [[nodiscard]] Error validate_scenarios(
+      const std::vector<std::vector<timing::ArcDelta>>& scenarios);
+
+  core::Engine* engine_;
+  ServiceOptions options_;
+  core::ScenarioBatch batch_;
+
+  /// RCU-published snapshot. The micro-mutex guards only the pointer swap
+  /// and copy (std::atomic<shared_ptr> would do, but libstdc++'s lock-bit
+  /// implementation trips ThreadSanitizer); snapshot contents are immutable
+  /// once published.
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<const TimingSnapshot> snap_;
+
+  /// Engine access: shared = what-if evaluation / delta validation (reads),
+  /// exclusive = commit (mutates + republishes).
+  std::shared_mutex engine_mu_;
+
+  /// Session table, edit slot, and deterministic stats.
+  mutable std::mutex state_mu_;
+  std::unordered_map<SessionId, Session> sessions_;
+  SessionId next_session_ = 1;
+  SessionId editor_ = -1;
+  ServiceStats stats_;
+
+  /// Micro-batcher state. queue_cv_ wakes the collecting leader early when
+  /// the queue fills; done_cv_ wakes waiters whose request completed.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable done_cv_;
+  std::vector<PendingWhatif*> queue_;
+  std::size_t queued_scenarios_ = 0;
+  bool collecting_ = false;
+
+  /// Serializes ScenarioBatch::evaluate calls (collection of batch N+1
+  /// overlaps evaluation of batch N, evaluation itself is sequential).
+  std::mutex eval_mu_;
+};
+
+}  // namespace insta::serve

@@ -398,9 +398,10 @@ TEST_P(ScenarioBatchTest, TransactionGuards) {
   tx.rollback();
 }
 
-/// The deprecated checkpoint()/restore() shims still round-trip data-arc
-/// edits exactly (they stay one more PR for out-of-tree callers).
-TEST_P(ScenarioBatchTest, DeprecatedCheckpointRestoreStillWorks) {
+/// The hand-rolled read_annotation/annotate rollback dance (what the removed
+/// checkpoint()/restore() shims wrapped) still round-trips data-arc edits
+/// exactly; Transaction is the first-class API, this guards the primitive.
+TEST_P(ScenarioBatchTest, ReadAnnotationRoundTripsDataArcEdits) {
   core::Engine engine(*sta_, {});
   engine.run_forward();
   const std::vector<float> slack_before(engine.endpoint_slacks().begin(),
@@ -408,16 +409,13 @@ TEST_P(ScenarioBatchTest, DeprecatedCheckpointRestoreStillWorks) {
   util::Rng rng(GetParam() * 53 + 29);
   const auto scen = make_scenarios(rng, 1);
   ASSERT_EQ(scen.size(), 1u);
-  std::vector<timing::ArcId> arcs;
-  for (const ArcDelta& d : scen[0]) arcs.push_back(d.arc);
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto saved = engine.checkpoint(arcs);
+  std::vector<ArcDelta> saved;
+  for (const ArcDelta& d : scen[0]) saved.push_back(engine.read_annotation(d.arc));
   engine.annotate(scen[0]);
   engine.run_forward_incremental();
-  engine.restore(saved);
-#pragma GCC diagnostic pop
+  engine.annotate(saved);
+  engine.run_forward_incremental();
 
   EXPECT_TRUE(engine.timing_clean());
   for (std::size_t e = 0; e < slack_before.size(); ++e) {

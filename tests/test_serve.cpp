@@ -1,0 +1,933 @@
+// Tests of the timing-query service layer: option validation at the CLI
+// trust boundary, protocol parse/serialize round-trips, snapshot-isolated
+// reads, what-if bit-identity against direct ScenarioBatch evaluation,
+// exclusive-edit workflow, admission control, a concurrent reader/what-if/
+// commit stress (the TSan target), and socket end-to-end equivalence.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "core/engine.hpp"
+#include "core/scenario_batch.hpp"
+#include "gen/changelist.hpp"
+#include "gen/logic_block.hpp"
+#include "gen/presets.hpp"
+#include "gen/tune.hpp"
+#include "ref/golden_sta.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "telemetry/json.hpp"
+#include "timing/delay_calc.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace insta {
+namespace {
+
+using core::Mode;
+using core::SlackSummary;
+using serve::ErrorCode;
+using serve::TimingService;
+using timing::ArcDelta;
+
+bool has_problem(const std::vector<std::string>& problems,
+                 const std::string& needle) {
+  for (const std::string& p : problems) {
+    if (p.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool has_rule(const analysis::LintReport& report, const std::string& rule) {
+  for (const analysis::Diagnostic& d : report.diagnostics()) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+// ---- options validation (the CLI trust boundary) ---------------------------
+
+TEST(ServeOptions, ServiceValidateReportsEveryProblemAtOnce) {
+  serve::ServiceOptions opt;
+  EXPECT_TRUE(opt.validate().empty());
+
+  opt.batch_window_us = -1;
+  opt.max_batch = 0;
+  opt.max_queue = 0;
+  opt.max_inflight_per_session = 0;
+  opt.max_sessions = 0;
+  const std::vector<std::string> problems = opt.validate();
+  EXPECT_TRUE(has_problem(problems, "batch_window_us"));
+  EXPECT_TRUE(has_problem(problems, "max_batch"));
+  EXPECT_TRUE(has_problem(problems, "max_queue"));
+  EXPECT_TRUE(has_problem(problems, "max_inflight_per_session"));
+  EXPECT_TRUE(has_problem(problems, "max_sessions"));
+  EXPECT_GE(problems.size(), 5u);
+}
+
+TEST(ServeOptions, ServiceValidateRejectsQueueSmallerThanBatch) {
+  serve::ServiceOptions opt;
+  opt.max_batch = 32;
+  opt.max_queue = 8;
+  EXPECT_TRUE(has_problem(opt.validate(), "max_queue must be >= max_batch"));
+  opt.max_queue = 32;
+  EXPECT_TRUE(opt.validate().empty());
+  opt.batch_window_us = 20'000'000;  // > 10 s window makes no sense
+  EXPECT_FALSE(opt.validate().empty());
+}
+
+TEST(ServeOptions, ServerValidateChecksEndpointAndConnectionKnobs) {
+  serve::ServerOptions opt;
+  EXPECT_TRUE(opt.validate().empty());
+  opt.port = 70000;
+  opt.max_connections = 0;
+  const std::vector<std::string> problems = opt.validate();
+  EXPECT_TRUE(has_problem(problems, "port"));
+  EXPECT_TRUE(has_problem(problems, "max_connections"));
+
+  serve::ServerOptions unix_opt;
+  unix_opt.unix_path = std::string(200, 'x');  // longer than sun_path
+  EXPECT_TRUE(has_problem(unix_opt.validate(), "unix_path"));
+}
+
+/// The engine knobs the serve CLI forwards (top_k etc.) are rejected with
+/// one message per bad field, not a first-failure abort.
+TEST(ServeOptions, EngineValidateRejectsBadKnobs) {
+  core::EngineOptions eopt;
+  EXPECT_TRUE(eopt.validate().empty());
+
+  eopt.top_k = 0;
+  eopt.tau = 0.0f;
+  eopt.wns_tau = std::numeric_limits<float>::infinity();
+  eopt.parallel_threshold = -1;
+  eopt.parallel_grain = 0;
+  eopt.endpoint_grain = 0;
+  const std::vector<std::string> problems = eopt.validate();
+  EXPECT_TRUE(has_problem(problems, "top_k"));
+  EXPECT_TRUE(has_problem(problems, "tau"));
+  EXPECT_TRUE(has_problem(problems, "wns_tau"));
+  EXPECT_TRUE(has_problem(problems, "parallel_threshold"));
+  EXPECT_TRUE(has_problem(problems, "parallel_grain"));
+  EXPECT_TRUE(has_problem(problems, "endpoint_grain"));
+  EXPECT_EQ(problems.size(), 6u);
+}
+
+// ---- protocol parsing ------------------------------------------------------
+
+TEST(Protocol, ParseRequestReportsJsonErrorsViaTelemetryParser) {
+  serve::Request req;
+  analysis::LintReport report;
+  EXPECT_FALSE(serve::parse_request("{not json", req, report));
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(has_rule(report, "req-json"));
+}
+
+TEST(Protocol, ParseRequestReportsShapeErrors) {
+  {
+    serve::Request req;
+    analysis::LintReport report;
+    EXPECT_FALSE(serve::parse_request("[1, 2]", req, report));
+    EXPECT_TRUE(has_rule(report, "req-shape"));
+  }
+  {
+    serve::Request req;
+    analysis::LintReport report;
+    EXPECT_FALSE(serve::parse_request(R"({"id": 1})", req, report));
+    EXPECT_TRUE(has_rule(report, "req-shape"));  // no op
+  }
+  {
+    serve::Request req;
+    analysis::LintReport report;
+    EXPECT_FALSE(serve::parse_request(
+        R"({"id": 1.5, "op": "summary"})", req, report));
+    EXPECT_TRUE(has_rule(report, "req-shape"));  // fractional id
+  }
+  {
+    serve::Request req;
+    analysis::LintReport report;
+    EXPECT_FALSE(serve::parse_request(
+        R"({"op": "endpoints", "worst": -3})", req, report));
+    EXPECT_TRUE(has_rule(report, "req-shape"));
+  }
+}
+
+TEST(Protocol, ParseRequestAcceptsFullWhatif) {
+  serve::Request req;
+  analysis::LintReport report;
+  ASSERT_TRUE(serve::parse_request(
+      R"({"id": 7, "op": "whatif", "session": 3, "scenarios":)"
+      R"( [{"label": "a", "deltas": [{"arc": 5, "mu": [1.5, 2.5],)"
+      R"( "sigma": [0.1, 0.2]}]}, {"deltas": []}]})",
+      req, report))
+      << report.str();
+  EXPECT_EQ(req.id, 7);
+  EXPECT_EQ(req.op, "whatif");
+  EXPECT_EQ(req.session, 3);
+  ASSERT_EQ(req.scenarios.size(), 2u);
+  ASSERT_EQ(req.labels.size(), 2u);
+  EXPECT_EQ(req.labels[0], "a");
+  EXPECT_EQ(req.labels[1], "scenario-1");
+  ASSERT_EQ(req.scenarios[0].size(), 1u);
+  EXPECT_EQ(req.scenarios[0][0].arc, 5);
+  EXPECT_EQ(req.scenarios[0][0].mu[1], 2.5);
+  EXPECT_EQ(req.scenarios[0][0].sigma[0], 0.1);
+  EXPECT_TRUE(req.scenarios[1].empty());
+}
+
+TEST(Protocol, ParseScenariosJsonFailureModes) {
+  const auto parse = [](const char* text, analysis::LintReport& report) {
+    telemetry::JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(telemetry::json_parse(text, doc, error)) << error;
+    std::vector<std::vector<ArcDelta>> scenarios;
+    std::vector<std::string> labels;
+    return serve::parse_scenarios_json(doc, scenarios, labels, report);
+  };
+  {
+    analysis::LintReport report;
+    EXPECT_FALSE(parse(R"({"no_scenarios": 1})", report));
+    EXPECT_TRUE(has_rule(report, "whatif-shape"));
+  }
+  {
+    analysis::LintReport report;
+    EXPECT_FALSE(parse(R"([42])", report));  // scenario is not an object
+    EXPECT_TRUE(has_rule(report, "whatif-shape"));
+  }
+  {
+    analysis::LintReport report;
+    EXPECT_FALSE(parse(R"([{"label": "x"}])", report));  // no deltas
+    EXPECT_TRUE(has_rule(report, "whatif-shape"));
+  }
+  {
+    analysis::LintReport report;
+    EXPECT_FALSE(parse(R"([{"deltas": [{"mu": [1, 2]}]}])", report));
+    EXPECT_TRUE(has_rule(report, "whatif-shape"));  // delta without arc
+  }
+  {
+    analysis::LintReport report;
+    EXPECT_FALSE(parse(R"([{"deltas": [{"arc": 1, "mu": [1]}]}])", report));
+    EXPECT_TRUE(has_rule(report, "whatif-shape"));  // mu is not a pair
+  }
+  {
+    // An empty scenario list is structurally fine (the service layer
+    // decides whether to reject it).
+    analysis::LintReport report;
+    EXPECT_TRUE(parse(R"({"scenarios": []})", report));
+    EXPECT_FALSE(report.has_errors());
+  }
+}
+
+TEST(Protocol, ReplyBuildersEmitParseableJson) {
+  {
+    telemetry::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(telemetry::json_parse(
+        serve::ok_reply(12, "{\"x\": 1}"), doc, error))
+        << error;
+    EXPECT_EQ(doc.find("id")->number, 12.0);
+    EXPECT_TRUE(doc.find("ok")->boolean);
+    EXPECT_EQ(doc.find("result")->find("x")->number, 1.0);
+  }
+  {
+    analysis::LintReport report;
+    analysis::Diagnostic d;
+    d.rule = "req-json";
+    d.severity = analysis::Severity::kError;
+    d.message = "broken \"quoted\" input";
+    report.add(std::move(d));
+    telemetry::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(telemetry::json_parse(
+        serve::error_reply(3, ErrorCode::kBadRequest, "malformed", &report),
+        doc, error))
+        << error;
+    EXPECT_FALSE(doc.find("ok")->boolean);
+    const telemetry::JsonValue* err = doc.find("error");
+    ASSERT_NE(err, nullptr);
+    EXPECT_EQ(err->find("code")->string, "bad-request");
+    ASSERT_NE(err->find("diagnostics"), nullptr);
+    ASSERT_EQ(err->find("diagnostics")->array.size(), 1u);
+    EXPECT_EQ(err->find("diagnostics")->array[0].find("rule")->string,
+              "req-json");
+  }
+}
+
+// ---- service fixture -------------------------------------------------------
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { build(7); }
+
+  void build(std::uint64_t seed) {
+    gd_ = gen::build_logic_block(gen::tiny_spec(seed));
+    graph_ = std::make_unique<timing::TimingGraph>(*gd_.design,
+                                                   gd_.constraints.clock_root);
+    calc_ = std::make_unique<timing::DelayCalculator>(*gd_.design, *graph_);
+    calc_->compute_all(delays_);
+    gen::tune_clock_period(*graph_, gd_.constraints, delays_, 0.1);
+    sta_ = std::make_unique<ref::GoldenSta>(*graph_, gd_.constraints, delays_);
+    sta_->update_full();
+  }
+
+  std::unique_ptr<core::Engine> make_engine(bool hold = false) {
+    core::EngineOptions eopt;
+    eopt.enable_hold = hold;
+    auto engine = std::make_unique<core::Engine>(*sta_, eopt);
+    engine->run_forward();
+    return engine;
+  }
+
+  std::vector<std::vector<ArcDelta>> make_scenarios(util::Rng& rng,
+                                                    std::size_t n) {
+    const auto changes = gen::random_changelist(*gd_.design, *graph_, rng,
+                                                static_cast<int>(n));
+    std::vector<std::vector<ArcDelta>> scen;
+    for (const auto& ch : changes) {
+      scen.push_back(calc_->estimate_eco(ch.cell, ch.new_libcell));
+    }
+    for (std::size_t i = 0; scen.size() < n && !scen.empty(); ++i) {
+      scen.push_back(scen[i % changes.size()]);
+    }
+    return scen;
+  }
+
+  gen::GeneratedDesign gd_;
+  std::unique_ptr<timing::TimingGraph> graph_;
+  std::unique_ptr<timing::DelayCalculator> calc_;
+  timing::ArcDelays delays_;
+  std::unique_ptr<ref::GoldenSta> sta_;
+};
+
+TEST_F(ServeTest, SnapshotMatchesEngineStateAndVersion) {
+  auto engine = make_engine(/*hold=*/true);
+  TimingService service(*engine);
+  const auto snap = service.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version, engine->generation());
+  EXPECT_TRUE(snap->has_hold);
+  EXPECT_EQ(snap->setup, engine->summary(Mode::kSetup));
+  EXPECT_EQ(snap->hold, engine->summary(Mode::kHold));
+  ASSERT_EQ(snap->slack.size(), graph_->endpoints().size());
+  ASSERT_EQ(snap->hold_slack.size(), graph_->endpoints().size());
+  for (std::size_t e = 0; e < snap->slack.size(); ++e) {
+    const auto ep = static_cast<timing::EndpointId>(e);
+    if (std::isfinite(engine->endpoint_slack(ep))) {
+      EXPECT_EQ(snap->slack[e], engine->endpoint_slack(ep));
+    }
+    if (std::isfinite(engine->endpoint_hold_slack(ep))) {
+      EXPECT_EQ(snap->hold_slack[e], engine->endpoint_hold_slack(ep));
+    }
+  }
+  EXPECT_EQ(service.stats().snapshots_published, 1u);
+}
+
+TEST_F(ServeTest, ConstructorRejectsInvalidOptionsAndDirtyEngine) {
+  auto engine = make_engine();
+  serve::ServiceOptions bad;
+  bad.max_batch = 0;
+  EXPECT_THROW(TimingService(*engine, bad), util::CheckError);
+
+  util::Rng rng(3);
+  const auto scen = make_scenarios(rng, 1);
+  ASSERT_FALSE(scen.empty());
+  engine->annotate(scen[0]);  // pending annotations → not timing-clean
+  EXPECT_THROW(TimingService{*engine}, util::CheckError);
+}
+
+/// The service's what-if replies must be exactly what a direct
+/// ScenarioBatch::evaluate over the same engine produces.
+TEST_F(ServeTest, WhatifMatchesDirectScenarioBatchExactly) {
+  auto engine = make_engine(/*hold=*/true);
+  util::Rng rng(11);
+  const auto scen = make_scenarios(rng, 6);
+  ASSERT_EQ(scen.size(), 6u);
+
+  core::ScenarioBatch direct(*engine);
+  const std::vector<core::ScenarioResult> expect = direct.evaluate(scen);
+
+  TimingService service(*engine);
+  serve::SessionId sid = -1;
+  ASSERT_TRUE(service.open_session(sid).ok());
+  TimingService::WhatifReply reply;
+  const serve::Error err = service.whatif(sid, scen, reply);
+  ASSERT_TRUE(err.ok()) << err.message;
+  EXPECT_EQ(reply.version, engine->generation());
+  ASSERT_EQ(reply.results.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(reply.results[i].setup, expect[i].setup) << "scenario " << i;
+    EXPECT_EQ(reply.results[i].hold, expect[i].hold) << "scenario " << i;
+  }
+  const serve::ServiceStats st = service.stats();
+  EXPECT_EQ(st.whatif_requests, 1u);
+  EXPECT_EQ(st.whatif_scenarios, 6u);
+  EXPECT_GE(st.batches, 1u);
+  EXPECT_TRUE(service.close_session(sid).ok());
+}
+
+TEST_F(ServeTest, WhatifRejectsBadInput) {
+  auto engine = make_engine();
+  TimingService service(*engine);
+  serve::SessionId sid = -1;
+  ASSERT_TRUE(service.open_session(sid).ok());
+
+  TimingService::WhatifReply reply;
+  EXPECT_EQ(service.whatif(sid, {}, reply).code, ErrorCode::kBadRequest);
+  EXPECT_EQ(service.whatif(sid + 999, {{ArcDelta{}}}, reply).code,
+            ErrorCode::kBadSession);
+
+  // An out-of-range arc is rejected before it can reach the evaluator, with
+  // the check_deltas diagnostics attached.
+  ArcDelta bad;
+  bad.arc = static_cast<timing::ArcId>(graph_->num_arcs() + 100);
+  const serve::Error err = service.whatif(sid, {{bad}}, reply);
+  EXPECT_EQ(err.code, ErrorCode::kBadRequest);
+  EXPECT_TRUE(has_rule(err.diagnostics, "delta-arc-range"));
+}
+
+TEST_F(ServeTest, CommitPublishesNewSnapshotAndOldOneStaysIsolated) {
+  auto engine = make_engine();
+  util::Rng rng(17);
+  const auto scen = make_scenarios(rng, 1);
+  ASSERT_EQ(scen.size(), 1u);
+
+  // Ground truth of the committed world: the same transactional edit run
+  // directly, summaries recorded, then rolled back to the pre-edit bytes.
+  SlackSummary committed_setup;
+  {
+    core::Engine::Transaction tx = engine->begin_edit();
+    tx.annotate(scen[0]);
+    engine->run_forward_incremental();
+    committed_setup = engine->summary(Mode::kSetup);
+    tx.rollback();
+  }
+  const SlackSummary baseline_setup = engine->summary(Mode::kSetup);
+
+  TimingService service(*engine);
+  const auto before = service.snapshot();
+  EXPECT_EQ(before->setup, baseline_setup);
+
+  serve::SessionId sid = -1;
+  ASSERT_TRUE(service.open_session(sid).ok());
+  ASSERT_TRUE(service.begin_edit(sid).ok());
+  ASSERT_TRUE(service.annotate(sid, scen[0]).ok());
+  // Buffered, not yet applied: readers still see the baseline.
+  EXPECT_EQ(service.snapshot()->setup, baseline_setup);
+
+  TimingService::CommitReply reply;
+  ASSERT_TRUE(service.commit(sid, reply).ok());
+  EXPECT_EQ(reply.setup, committed_setup);
+  EXPECT_GT(reply.version, before->version);
+
+  const auto after = service.snapshot();
+  EXPECT_EQ(after->version, reply.version);
+  EXPECT_EQ(after->setup, committed_setup);
+  // Snapshot isolation: the pre-commit snapshot still reads its own world.
+  EXPECT_EQ(before->setup, baseline_setup);
+  EXPECT_LT(before->version, after->version);
+  EXPECT_EQ(service.stats().commits, 1u);
+}
+
+TEST_F(ServeTest, EditSlotIsExclusiveAndRollbackReleasesIt) {
+  auto engine = make_engine();
+  TimingService service(*engine);
+  serve::SessionId a = -1, b = -1;
+  ASSERT_TRUE(service.open_session(a).ok());
+  ASSERT_TRUE(service.open_session(b).ok());
+
+  EXPECT_EQ(service.annotate(a, {}).code, ErrorCode::kBadSession);
+  TimingService::CommitReply creply;
+  EXPECT_EQ(service.commit(a, creply).code, ErrorCode::kBadSession);
+
+  ASSERT_TRUE(service.begin_edit(a).ok());
+  EXPECT_EQ(service.begin_edit(b).code, ErrorCode::kEditConflict);
+  EXPECT_EQ(service.begin_edit(a).code, ErrorCode::kBadSession);  // re-entry
+
+  // Invalid deltas are rejected as a whole with diagnostics; the edit
+  // stays open with nothing buffered.
+  ArcDelta bad;
+  bad.arc = -5;
+  const serve::Error err = service.annotate(a, std::vector<ArcDelta>{bad});
+  EXPECT_EQ(err.code, ErrorCode::kBadRequest);
+  EXPECT_TRUE(has_rule(err.diagnostics, "delta-arc-range"));
+
+  ASSERT_TRUE(service.rollback(a).ok());
+  EXPECT_EQ(service.rollback(a).code, ErrorCode::kBadSession);
+  ASSERT_TRUE(service.begin_edit(b).ok());  // slot was released
+
+  // Closing a session with an open edit rolls it back implicitly.
+  ASSERT_TRUE(service.close_session(b).ok());
+  EXPECT_EQ(service.stats().rollbacks, 2u);
+  ASSERT_TRUE(service.begin_edit(a).ok());
+  // A commit with no buffered deltas succeeds without republishing.
+  const std::uint64_t published = service.stats().snapshots_published;
+  ASSERT_TRUE(service.commit(a, creply).ok());
+  EXPECT_EQ(service.stats().snapshots_published, published);
+}
+
+TEST_F(ServeTest, AdmissionControlShedsWithStructuredErrors) {
+  auto engine = make_engine();
+  serve::ServiceOptions opt;
+  opt.max_sessions = 2;
+  opt.max_queue = 2;
+  opt.max_batch = 2;
+  opt.max_inflight_per_session = 1;
+  opt.batch_window_us = 0;
+  TimingService service(*engine, opt);
+
+  serve::SessionId a = -1, b = -1, c = -1;
+  ASSERT_TRUE(service.open_session(a).ok());
+  ASSERT_TRUE(service.open_session(b).ok());
+  const serve::Error err = service.open_session(c);
+  EXPECT_EQ(err.code, ErrorCode::kOverloaded);
+  EXPECT_FALSE(err.message.empty());
+
+  // A request larger than the whole queue bound can never be admitted:
+  // structural shedding, no stall.
+  util::Rng rng(5);
+  const auto scen = make_scenarios(rng, 3);
+  ASSERT_EQ(scen.size(), 3u);
+  TimingService::WhatifReply reply;
+  EXPECT_EQ(service.whatif(a, scen, reply).code, ErrorCode::kOverloaded);
+  EXPECT_GE(service.stats().shed, 2u);
+
+  // The same scenarios fit in two admitted requests.
+  ASSERT_TRUE(service
+                  .whatif(a, {scen.begin(), scen.begin() + 2}, reply)
+                  .ok());
+  ASSERT_TRUE(service.whatif(b, {scen.begin() + 2, scen.end()}, reply).ok());
+}
+
+TEST_F(ServeTest, InflightCapShedsConcurrentRequestsOnOneSession) {
+  auto engine = make_engine();
+  serve::ServiceOptions opt;
+  opt.max_inflight_per_session = 1;
+  // A long window keeps the first request collecting while the second
+  // arrives (max_batch larger than the queued scenario count, so the
+  // leader sleeps out the window).
+  opt.batch_window_us = 300'000;
+  opt.max_batch = 64;
+  opt.max_queue = 64;
+  TimingService service(*engine, opt);
+
+  serve::SessionId sid = -1;
+  ASSERT_TRUE(service.open_session(sid).ok());
+  util::Rng rng(23);
+  const auto scen = make_scenarios(rng, 1);
+  ASSERT_EQ(scen.size(), 1u);
+
+  serve::Error first_err;
+  TimingService::WhatifReply first_reply;
+  std::thread first([&] {
+    first_err = service.whatif(sid, scen, first_reply);
+  });
+  // Wait until the first request is visibly in flight, then collide.
+  serve::Error second_err;
+  TimingService::WhatifReply second_reply;
+  for (int spin = 0; spin < 200; ++spin) {
+    second_err = service.whatif(sid, scen, second_reply);
+    if (second_err.code == ErrorCode::kOverloaded) break;
+    // The first request was not queued yet (or already finished — with a
+    // 300 ms window that means we lost a race 200 times; fail below).
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(second_err.code, ErrorCode::kOverloaded);
+  first.join();
+  EXPECT_TRUE(first_err.ok()) << first_err.message;
+  EXPECT_GE(service.stats().shed, 1u);
+}
+
+/// The TSan target: concurrent snapshot readers and what-if sessions racing
+/// one exclusive edit commit. Every reply must be internally consistent —
+/// results bit-identical to the pre-commit or post-commit ground truth
+/// matching its reported version, never a mix.
+TEST_F(ServeTest, ConcurrentReadersWhatifsAndCommitStayConsistent) {
+  auto engine = make_engine();
+  util::Rng rng(29);
+  const auto scen = make_scenarios(rng, 4);
+  ASSERT_EQ(scen.size(), 4u);
+  const auto edit = make_scenarios(rng, 1);
+  ASSERT_EQ(edit.size(), 1u);
+
+  // Ground truth at both baselines, computed with the engine offline.
+  core::ScenarioBatch direct(*engine);
+  const std::vector<core::ScenarioResult> ref1 = direct.evaluate(scen);
+  const SlackSummary s1 = engine->summary(Mode::kSetup);
+  std::vector<core::ScenarioResult> ref2;
+  SlackSummary s2;
+  {
+    core::Engine::Transaction tx = engine->begin_edit();
+    tx.annotate(edit[0]);
+    engine->run_forward_incremental();
+    s2 = engine->summary(Mode::kSetup);
+    ref2 = direct.evaluate(scen);
+    tx.rollback();
+  }
+  ASSERT_EQ(engine->summary(Mode::kSetup), s1);  // rollback restored bytes
+
+  serve::ServiceOptions opt;
+  opt.batch_window_us = 100;  // small window → many leader hand-offs
+  TimingService service(*engine, opt);
+  const std::uint64_t v1 = service.snapshot()->version;
+
+  std::atomic<int> failures{0};
+  constexpr int kIters = 40;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {  // readers
+      for (int i = 0; i < kIters; ++i) {
+        const auto snap = service.snapshot();
+        const SlackSummary& want = snap->version == v1 ? s1 : s2;
+        if (!(snap->setup == want)) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {  // what-if sessions
+      serve::SessionId sid = -1;
+      if (!service.open_session(sid).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      util::Rng pick(100 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kIters; ++i) {
+        const auto which = static_cast<std::size_t>(pick() % scen.size());
+        TimingService::WhatifReply reply;
+        const serve::Error err =
+            service.whatif(sid, {scen[which]}, reply);
+        if (!err.ok() && err.code != ErrorCode::kOverloaded) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (!err.ok()) continue;  // shed under load is legal
+        const core::ScenarioResult& want =
+            reply.version == v1 ? ref1[which] : ref2[which];
+        if (!(reply.results[0].setup == want.setup)) failures.fetch_add(1);
+      }
+      if (!service.close_session(sid).ok()) failures.fetch_add(1);
+    });
+  }
+  threads.emplace_back([&] {  // one exclusive edit commit mid-flight
+    serve::SessionId sid = -1;
+    if (!service.open_session(sid).ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    TimingService::CommitReply reply;
+    if (!service.begin_edit(sid).ok() ||
+        !service.annotate(sid, edit[0]).ok() ||
+        !service.commit(sid, reply).ok() || !(reply.setup == s2)) {
+      failures.fetch_add(1);
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(service.snapshot()->setup, s2);
+  EXPECT_EQ(service.stats().commits, 1u);
+}
+
+// ---- dispatcher + socket ---------------------------------------------------
+
+TEST_F(ServeTest, DispatcherHandlesCoreOpsAndErrors) {
+  auto engine = make_engine();
+  TimingService service(*engine);
+  serve::Dispatcher dispatcher(service);
+
+  const auto parse = [](const std::string& line) {
+    telemetry::JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(telemetry::json_parse(line, doc, error)) << error << line;
+    return doc;
+  };
+
+  {
+    const auto doc = parse(dispatcher.dispatch(R"({"id": 1, "op": "ping"})"));
+    EXPECT_TRUE(doc.find("ok")->boolean);
+    EXPECT_TRUE(doc.find("result")->find("pong")->boolean);
+  }
+  {
+    const auto doc = parse(dispatcher.dispatch("{garbage"));
+    EXPECT_FALSE(doc.find("ok")->boolean);
+    EXPECT_EQ(doc.find("error")->find("code")->string, "bad-request");
+    const telemetry::JsonValue* diags = doc.find("error")->find("diagnostics");
+    ASSERT_NE(diags, nullptr);
+    EXPECT_EQ(diags->array[0].find("rule")->string, "req-json");
+  }
+  {
+    const auto doc =
+        parse(dispatcher.dispatch(R"({"id": 2, "op": "launch_missiles"})"));
+    EXPECT_FALSE(doc.find("ok")->boolean);
+    EXPECT_EQ(doc.find("error")->find("code")->string, "bad-request");
+  }
+  {
+    const auto doc = parse(dispatcher.dispatch(R"({"id": 3, "op": "info"})"));
+    EXPECT_TRUE(doc.find("ok")->boolean);
+    EXPECT_EQ(doc.find("result")->find("endpoints")->number,
+              static_cast<double>(graph_->endpoints().size()));
+    EXPECT_EQ(doc.find("result")->find("arcs")->number,
+              static_cast<double>(graph_->num_arcs()));
+  }
+  {
+    const auto doc =
+        parse(dispatcher.dispatch(R"({"id": 4, "op": "summary"})"));
+    EXPECT_TRUE(doc.find("ok")->boolean);
+    const SlackSummary s = engine->summary(Mode::kSetup);
+    EXPECT_EQ(doc.find("result")->find("setup")->find("tns")->number, s.tns);
+    EXPECT_EQ(doc.find("result")->find("setup")->find("wns")->number, s.wns);
+  }
+  {
+    const auto doc = parse(dispatcher.dispatch(
+        R"({"id": 5, "op": "endpoints", "ids": [999999]})"));
+    EXPECT_FALSE(doc.find("ok")->boolean);
+    EXPECT_EQ(doc.find("error")->find("code")->string, "bad-request");
+  }
+  {
+    // Worst-N endpoints arrive sorted ascending by snapshot slack.
+    const auto doc = parse(dispatcher.dispatch(
+        R"({"id": 6, "op": "endpoints", "worst": 4})"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    const telemetry::JsonValue& eps = *doc.find("result")->find("endpoints");
+    ASSERT_EQ(eps.array.size(), 4u);
+    const auto snap = service.snapshot();
+    double prev = -std::numeric_limits<double>::infinity();
+    for (const telemetry::JsonValue& ep : eps.array) {
+      const auto e = static_cast<std::size_t>(ep.find("ep")->number);
+      const telemetry::JsonValue* slack = ep.find("slack");
+      ASSERT_LT(e, snap->slack.size());
+      if (slack->is_number()) {
+        EXPECT_EQ(slack->number, static_cast<double>(snap->slack[e]));
+        EXPECT_GE(slack->number, prev);
+        prev = slack->number;
+      }
+    }
+  }
+  {
+    const auto doc = parse(dispatcher.dispatch(R"({"id": 7, "op": "stats"})"));
+    EXPECT_TRUE(doc.find("ok")->boolean);
+    EXPECT_GE(doc.find("result")->find("sessions_opened")->number, 0.0);
+  }
+  {
+    bool shutdown = false;
+    const auto doc = parse(dispatcher.dispatch(
+        R"({"id": 8, "op": "shutdown"})", &shutdown));
+    EXPECT_TRUE(doc.find("ok")->boolean);
+    EXPECT_TRUE(shutdown);
+  }
+}
+
+/// Minimal blocking NDJSON client for the socket tests.
+class TestClient {
+ public:
+  explicit TestClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  std::string request(const std::string& line) {
+    const std::string framed = line + "\n";
+    EXPECT_EQ(::send(fd_, framed.data(), framed.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(framed.size()));
+    return recv_line();
+  }
+
+  std::string recv_line() {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/insta_test_serve_" + std::to_string(::getpid()) + "_" + tag +
+         ".sock";
+}
+
+TEST_F(ServeTest, SocketEndToEndMatchesInProcessExactly) {
+  auto engine = make_engine();
+  util::Rng rng(31);
+  const auto scen = make_scenarios(rng, 2);
+  ASSERT_EQ(scen.size(), 2u);
+  core::ScenarioBatch direct(*engine);
+  const std::vector<core::ScenarioResult> expect = direct.evaluate(scen);
+
+  TimingService service(*engine);
+  serve::ServerOptions sopt;
+  sopt.unix_path = test_socket_path("e2e");
+  serve::Server server(service, sopt);
+  server.start();
+
+  TestClient client(sopt.unix_path);
+  ASSERT_TRUE(client.connected());
+  const auto parse = [](const std::string& line) {
+    telemetry::JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(telemetry::json_parse(line, doc, error)) << error << line;
+    return doc;
+  };
+
+  // summary over the wire is exactly the in-process snapshot.
+  {
+    const auto doc = parse(client.request(R"({"id": 1, "op": "summary"})"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    const auto snap = service.snapshot();
+    EXPECT_EQ(doc.find("result")->find("version")->number,
+              static_cast<double>(snap->version));
+    EXPECT_EQ(doc.find("result")->find("setup")->find("tns")->number,
+              snap->setup.tns);
+    EXPECT_EQ(doc.find("result")->find("setup")->find("wns")->number,
+              snap->setup.wns);
+  }
+  // every endpoint slack round-trips bit-exactly (%.17g doubles).
+  {
+    std::string ids = "[";
+    for (std::size_t e = 0; e < graph_->endpoints().size(); ++e) {
+      if (e != 0) ids += ", ";
+      ids += std::to_string(e);
+    }
+    ids += "]";
+    const auto doc = parse(client.request(
+        R"({"id": 2, "op": "endpoints", "ids": )" + ids + "}"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    const telemetry::JsonValue& eps = *doc.find("result")->find("endpoints");
+    ASSERT_EQ(eps.array.size(), graph_->endpoints().size());
+    const auto snap = service.snapshot();
+    for (std::size_t e = 0; e < eps.array.size(); ++e) {
+      const telemetry::JsonValue* slack = eps.array[e].find("slack");
+      const double local = static_cast<double>(snap->slack[e]);
+      if (std::isfinite(local)) {
+        EXPECT_EQ(slack->number, local) << "endpoint " << e;
+      } else {
+        EXPECT_EQ(slack->type, telemetry::JsonValue::Type::kNull);
+      }
+    }
+  }
+  // whatif over the wire equals direct ScenarioBatch evaluation.
+  {
+    std::string body = R"({"id": 3, "op": "whatif", "scenarios": [)";
+    for (std::size_t i = 0; i < scen.size(); ++i) {
+      if (i != 0) body += ", ";
+      body += R"({"deltas": [)";
+      for (std::size_t j = 0; j < scen[i].size(); ++j) {
+        if (j != 0) body += ", ";
+        const ArcDelta& d = scen[i][j];
+        body += "{\"arc\": " + std::to_string(d.arc) + ", \"mu\": [" +
+                telemetry::json_number(d.mu[0]) + ", " +
+                telemetry::json_number(d.mu[1]) + "], \"sigma\": [" +
+                telemetry::json_number(d.sigma[0]) + ", " +
+                telemetry::json_number(d.sigma[1]) + "]}";
+      }
+      body += "]}";
+    }
+    body += "]}";
+    const auto doc = parse(client.request(body));
+    ASSERT_TRUE(doc.find("ok")->boolean) << client.request(body);
+    const telemetry::JsonValue& results = *doc.find("result")->find("results");
+    ASSERT_EQ(results.array.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      const telemetry::JsonValue* setup = results.array[i].find("setup");
+      ASSERT_NE(setup, nullptr);
+      EXPECT_EQ(setup->find("tns")->number, expect[i].setup.tns)
+          << "scenario " << i;
+      EXPECT_EQ(setup->find("wns")->number, expect[i].setup.wns)
+          << "scenario " << i;
+      EXPECT_EQ(setup->find("violations")->number,
+                static_cast<double>(expect[i].setup.violations))
+          << "scenario " << i;
+    }
+  }
+  // A malformed line gets a structured reply, not a dropped connection.
+  {
+    const auto doc = parse(client.request("{oops"));
+    EXPECT_FALSE(doc.find("ok")->boolean);
+    EXPECT_EQ(doc.find("error")->find("code")->string, "bad-request");
+  }
+  // shutdown op unblocks wait().
+  {
+    const auto doc = parse(client.request(R"({"id": 9, "op": "shutdown"})"));
+    EXPECT_TRUE(doc.find("ok")->boolean);
+  }
+  server.wait();
+  EXPECT_TRUE(server.shutdown_requested());
+  server.stop();
+}
+
+TEST_F(ServeTest, ServerShedsConnectionsBeyondTheCap) {
+  auto engine = make_engine();
+  TimingService service(*engine);
+  serve::ServerOptions sopt;
+  sopt.unix_path = test_socket_path("cap");
+  sopt.max_connections = 1;
+  serve::Server server(service, sopt);
+  server.start();
+
+  TestClient first(sopt.unix_path);
+  ASSERT_TRUE(first.connected());
+  // A reply proves the first connection's handler thread is registered.
+  telemetry::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(telemetry::json_parse(
+      first.request(R"({"id": 1, "op": "ping"})"), doc, error));
+
+  TestClient second(sopt.unix_path);
+  ASSERT_TRUE(second.connected());
+  const std::string line = second.recv_line();
+  ASSERT_TRUE(telemetry::json_parse(line, doc, error)) << line;
+  EXPECT_FALSE(doc.find("ok")->boolean);
+  EXPECT_EQ(doc.find("error")->find("code")->string, "overloaded");
+
+  server.stop();
+}
+
+TEST_F(ServeTest, EngineGenerationCountsForwardPasses) {
+  auto engine = make_engine();
+  const std::uint64_t g0 = engine->generation();
+  engine->run_forward();
+  EXPECT_EQ(engine->generation(), g0 + 1);
+  util::Rng rng(41);
+  const auto scen = make_scenarios(rng, 1);
+  ASSERT_EQ(scen.size(), 1u);
+  engine->annotate(scen[0]);
+  engine->run_forward_incremental();
+  EXPECT_EQ(engine->generation(), g0 + 2);
+}
+
+}  // namespace
+}  // namespace insta

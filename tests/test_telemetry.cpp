@@ -363,6 +363,80 @@ TEST(Validate, WhatifSchema) {
           .ok);
 }
 
+TEST(Validate, WhatifSchemaFailureModes) {
+  // Builds a scenario with one field replaced (or dropped when the
+  // replacement is empty), so each required field is probed in isolation.
+  const auto scenario_with = [](const std::string& field,
+                                const std::string& json) {
+    std::vector<std::pair<std::string, std::string>> fields = {
+        {"label", R"("s")"},
+        {"num_deltas", "1"},
+        {"frontier_pins", "2"},
+        {"early_terminations", "0"},
+        {"endpoints_evaluated", "3"},
+        {"overlay_bytes", "64"},
+        {"setup", R"({"tns": -1.0, "wns": -0.5, "violations": 1})"},
+    };
+    std::string body = "{\"scenarios\": [{";
+    bool first = true;
+    for (const auto& [name, value] : fields) {
+      const std::string& v = name == field ? json : value;
+      if (v.empty()) continue;
+      if (!first) body += ", ";
+      first = false;
+      body += "\"" + name + "\": " + v;
+    }
+    body += "}]}";
+    return body;
+  };
+
+  // The all-defaults document is valid (sanity for the helper).
+  std::size_t n = 0;
+  EXPECT_TRUE(telemetry::validate_whatif_json(scenario_with("", ""), &n).ok);
+  EXPECT_EQ(n, 1u);
+
+  // Each required field missing is its own structural error.
+  for (const char* field :
+       {"label", "num_deltas", "frontier_pins", "early_terminations",
+        "endpoints_evaluated", "overlay_bytes", "setup"}) {
+    const telemetry::ValidationResult r =
+        telemetry::validate_whatif_json(scenario_with(field, ""));
+    EXPECT_FALSE(r.ok) << "missing " << field;
+    EXPECT_FALSE(r.errors.empty()) << "missing " << field;
+  }
+
+  // Wrong types are rejected even when the field is present.
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(scenario_with("label", "42")).ok);
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(scenario_with("num_deltas", R"("4")"))
+          .ok);
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(scenario_with("num_deltas", "-1")).ok);
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(scenario_with("overlay_bytes", "1.5"))
+          .ok);
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(scenario_with("setup", "[]")).ok);
+  EXPECT_FALSE(telemetry::validate_whatif_json(
+                   scenario_with("setup", R"({"tns": -1.0, "wns": -0.5})"))
+                   .ok);
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(
+          scenario_with(
+              "setup", R"({"tns": "x", "wns": -0.5, "violations": 1})"))
+          .ok);
+
+  // Scenario-list shape: must be an array of objects under "scenarios".
+  EXPECT_FALSE(telemetry::validate_whatif_json(R"({"scenarios": null})").ok);
+  EXPECT_FALSE(telemetry::validate_whatif_json(R"({"scenarios": {}})").ok);
+  EXPECT_FALSE(telemetry::validate_whatif_json(R"({"scenarios": [1]})").ok);
+  // Empty list is legal and reports zero scenarios.
+  n = 99;
+  EXPECT_TRUE(telemetry::validate_whatif_json(R"({"scenarios": []})", &n).ok);
+  EXPECT_EQ(n, 0u);
+}
+
 TEST(LogSink, CaptureSinkReceivesLines) {
   auto capture = std::make_shared<util::CaptureLogSink>();
   std::shared_ptr<util::LogSink> previous = util::set_log_sink(capture);
