@@ -51,18 +51,17 @@
 
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "analysis/engine_audit.hpp"
+#include "util/mutex.hpp"
 #include "analysis/linter.hpp"
 #include "core/engine.hpp"
 #include "core/scenario_batch.hpp"
@@ -673,15 +672,22 @@ int cmd_serve(const Args& args) {
   // --max-seconds arms a watchdog so unattended runs (CI smoke jobs) cannot
   // hang forever if no client ever sends the shutdown op.
   const double max_sec = args.get_num("max-seconds", 0);
-  std::mutex wd_mu;
-  std::condition_variable wd_cv;
+  util::Mutex wd_mu("cli.watchdog", util::lockrank::kCliWatchdog);
+  util::CondVar wd_cv;
   bool finished = false;
   std::thread watchdog;
   if (max_sec > 0) {
     watchdog = std::thread([&] {
-      std::unique_lock<std::mutex> lk(wd_mu);
-      if (!wd_cv.wait_for(lk, std::chrono::duration<double>(max_sec),
-                          [&] { return finished; })) {
+      bool timed_out = false;
+      {
+        util::UniqueLock lk(wd_mu);
+        timed_out = !wd_cv.wait_for(
+            lk, std::chrono::duration<double>(max_sec),
+            [&finished] { return finished; });
+      }
+      // stop() joins connection threads and takes the server's locks;
+      // never call it while holding wd_mu.
+      if (timed_out) {
         std::fprintf(stderr, "serve: --max-seconds %.1f elapsed, stopping\n",
                      max_sec);
         server.stop();
@@ -693,7 +699,7 @@ int cmd_serve(const Args& args) {
   server.stop();
   if (watchdog.joinable()) {
     {
-      const std::lock_guard<std::mutex> lk(wd_mu);
+      const util::LockGuard lk(wd_mu);
       finished = true;
     }
     wd_cv.notify_all();

@@ -83,6 +83,13 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+/// errno rendered through the single NOLINT'd strerror call site: the
+/// static buffer is copied into the returned string immediately, and this
+/// client is single-threaded.
+std::string errno_text() {
+  return std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
+}
+
 /// One blocking NDJSON connection: request() sends a line and returns the
 /// matching reply line.
 class Conn {
@@ -91,7 +98,7 @@ class Conn {
     if (endpoint.rfind("unix:", 0) == 0) {
       const std::string path = endpoint.substr(5);
       fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-      util::check(fd_ >= 0, "socket: " + std::string(std::strerror(errno)));
+      util::check(fd_ >= 0, "socket: " + errno_text());
       sockaddr_un addr{};
       addr.sun_family = AF_UNIX;
       util::check(path.size() < sizeof(addr.sun_path),
@@ -99,7 +106,7 @@ class Conn {
       std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
       util::check(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
                             sizeof(addr)) == 0,
-                  "connect " + endpoint + ": " + std::strerror(errno));
+                  "connect " + endpoint + ": " + errno_text());
     } else {
       const std::size_t colon = endpoint.rfind(':');
       util::check(colon != std::string::npos,
@@ -107,7 +114,7 @@ class Conn {
       const std::string host = endpoint.substr(0, colon);
       const int port = std::atoi(endpoint.c_str() + colon + 1);
       fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-      util::check(fd_ >= 0, "socket: " + std::string(std::strerror(errno)));
+      util::check(fd_ >= 0, "socket: " + errno_text());
       sockaddr_in addr{};
       addr.sin_family = AF_INET;
       addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -115,7 +122,7 @@ class Conn {
                   "cannot parse host address " + host);
       util::check(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
                             sizeof(addr)) == 0,
-                  "connect " + endpoint + ": " + std::strerror(errno));
+                  "connect " + endpoint + ": " + errno_text());
     }
   }
   ~Conn() {
@@ -136,7 +143,7 @@ class Conn {
       const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
                                MSG_NOSIGNAL);
       util::check(n > 0 || errno == EINTR,
-                  "send: " + std::string(std::strerror(errno)));
+                  "send: " + errno_text());
       if (n > 0) off += static_cast<std::size_t>(n);
     }
   }

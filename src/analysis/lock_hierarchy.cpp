@@ -1,0 +1,146 @@
+#include "analysis/lock_hierarchy.hpp"
+
+#if INSTA_LOCK_CHECK_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GLIBC__) || defined(__has_include)
+#if defined(__GLIBC__) || __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define INSTA_LOCK_CHECK_BACKTRACE 1
+#endif
+#endif
+
+namespace insta::analysis {
+
+namespace {
+
+constexpr int kMaxFrames = 24;
+constexpr int kMaxHeld = 32;
+
+/// One held lock on the calling thread, with the stack that acquired it.
+struct Held {
+  const LockRankInfo* info;
+  const void* lock;
+  bool shared;
+  int num_frames;
+  void* frames[kMaxFrames];
+};
+
+/// Per-thread held-lock stack. A trivially destructible POD (fixed array,
+/// no heap) so locks taken during static destruction — e.g. the global
+/// ThreadPool parking its workers after main() returns — never touch a
+/// destroyed thread_local.
+struct HeldStack {
+  Held entries[kMaxHeld];
+  int count = 0;
+};
+
+thread_local HeldStack t_held;
+
+void print_frames(void* const* frames, int n) {
+#if defined(INSTA_LOCK_CHECK_BACKTRACE)
+  if (n > 0) backtrace_symbols_fd(frames, n, 2 /* stderr */);
+#else
+  (void)frames;
+  (void)n;
+  std::fprintf(stderr, "  <backtrace unavailable on this platform>\n");
+#endif
+}
+
+/// Reports the violation with both stacks — the acquiring call site and the
+/// site that took the conflicting lock — plus every lock the thread holds,
+/// then aborts. stderr + abort (not an exception) so the report survives
+/// even when the caller is noexcept or mid-unwind.
+[[noreturn]] void die(const char* kind, const LockRankInfo* info,
+                      const void* lock, const Held* conflict) {
+  std::fprintf(stderr,
+               "\n[INSTA] lock-check: %s\n"
+               "  acquiring: '%s' (rank %d, %p)\n"
+               "  acquiring stack:\n",
+               kind, info->name, info->rank, lock);
+#if defined(INSTA_LOCK_CHECK_BACKTRACE)
+  void* frames[kMaxFrames];
+  const int n = backtrace(frames, kMaxFrames);
+  print_frames(frames, n);
+#endif
+  if (conflict != nullptr) {
+    std::fprintf(stderr, "  conflicting: '%s' (rank %d, %p, held %s)\n",
+                 conflict->info->name, conflict->info->rank, conflict->lock,
+                 conflict->shared ? "shared" : "exclusive");
+    std::fprintf(stderr, "  conflicting lock was acquired at:\n");
+    print_frames(conflict->frames, conflict->num_frames);
+  }
+  std::fprintf(stderr, "  locks held by this thread (%d):\n", t_held.count);
+  for (int i = 0; i < t_held.count; ++i) {
+    const Held& h = t_held.entries[i];
+    std::fprintf(stderr, "    [%d] '%s' (rank %d, %p, %s)\n", i, h.info->name,
+                 h.info->rank, h.lock, h.shared ? "shared" : "exclusive");
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void lock_check_acquire(const LockRankInfo* info, const void* lock,
+                        bool shared) {
+  const Held* min_held = nullptr;
+  for (int i = 0; i < t_held.count; ++i) {
+    const Held& h = t_held.entries[i];
+    if (h.lock == lock) {
+      if (h.shared && !shared) {
+        die("shared->exclusive upgrade on the same lock (self-deadlock)",
+            info, lock, &h);
+      }
+      die("re-entrant acquisition of a lock this thread already holds", info,
+          lock, &h);
+    }
+    if (min_held == nullptr || h.info->rank < min_held->info->rank) {
+      min_held = &h;
+    }
+  }
+  if (min_held != nullptr && info->rank >= min_held->info->rank) {
+    die("lock-hierarchy violation (acquired rank must be strictly below "
+        "every held rank; see util/lock_rank.hpp)",
+        info, lock, min_held);
+  }
+  if (t_held.count >= kMaxHeld) {
+    die("held-lock stack overflow (more than 32 locks held by one thread)",
+        info, lock, nullptr);
+  }
+  Held& h = t_held.entries[t_held.count++];
+  h.info = info;
+  h.lock = lock;
+  h.shared = shared;
+  h.num_frames = 0;
+#if defined(INSTA_LOCK_CHECK_BACKTRACE)
+  h.num_frames = backtrace(h.frames, kMaxFrames);
+#endif
+}
+
+void lock_check_release(const void* lock) {
+  for (int i = t_held.count - 1; i >= 0; --i) {
+    if (t_held.entries[i].lock != lock) continue;
+    for (int j = i; j + 1 < t_held.count; ++j) {
+      t_held.entries[j] = t_held.entries[j + 1];
+    }
+    --t_held.count;
+    return;
+  }
+  std::fprintf(stderr,
+               "\n[INSTA] lock-check: release of a lock (%p) this thread "
+               "does not hold\n",
+               lock);
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::size_t lock_check_held_count() {
+  return static_cast<std::size_t>(t_held.count);
+}
+
+}  // namespace insta::analysis
+
+#endif  // INSTA_LOCK_CHECK_ENABLED

@@ -1,0 +1,67 @@
+#pragma once
+
+// Debug-build lock-hierarchy validator (the runtime complement of the
+// Clang thread-safety annotations in util/thread_annotations.hpp).
+//
+// Clang's analysis is flow-insensitive and per-function: it proves guarded
+// state is touched only under its lock, but it cannot see a cross-thread
+// acquisition *order* bug (thread A takes X then Y, thread B takes Y then
+// X). This validator catches those at test time: every util::Mutex /
+// util::SharedMutex carries a declared rank (util/lock_rank.hpp), each
+// thread tracks the stack of locks it holds, and an acquisition whose rank
+// is not strictly below every held rank aborts the process printing both
+// the acquiring stack and the stack captured when the conflicting lock was
+// taken. Re-entrant acquisition and shared->exclusive upgrades on the same
+// lock (self-deadlocks no ordering rule can express) abort the same way.
+//
+// Compiled in only when INSTA_LOCK_CHECK_ENABLED is 1 (CMake option
+// INSTA_LOCK_CHECK, default ON for Debug builds, OFF for Release); with it
+// off every hook below is an empty inline and util::Mutex collapses to a
+// bare std::mutex call.
+//
+// Layering: this header is included by util/mutex.hpp, the bottom of the
+// dependency stack, so it must stay dependency-free (the .cpp builds into
+// the standalone insta_lockcheck target, not insta_analysis).
+
+#include <cstddef>
+
+#ifndef INSTA_LOCK_CHECK_ENABLED
+#define INSTA_LOCK_CHECK_ENABLED 0
+#endif
+
+namespace insta::analysis {
+
+/// Static metadata of one lock instance (name and rank live as long as the
+/// lock; the validator stores pointers to it in per-thread stacks).
+struct LockRankInfo {
+  const char* name;
+  int rank;
+};
+
+#if INSTA_LOCK_CHECK_ENABLED
+
+/// Registers an impending acquisition on the calling thread's held-lock
+/// stack. Called by the util::Mutex wrappers immediately BEFORE blocking on
+/// the underlying primitive, so ordering violations abort with clean stacks
+/// instead of deadlocking. Aborts on: rank >= any held rank, re-entrant
+/// acquisition, or a shared->exclusive upgrade of `lock`.
+void lock_check_acquire(const LockRankInfo* info, const void* lock,
+                        bool shared);
+
+/// Pops `lock` from the calling thread's held-lock stack. Aborts if the
+/// thread does not hold it (a release on the wrong thread).
+void lock_check_release(const void* lock);
+
+/// Number of locks the calling thread currently holds (test hook).
+[[nodiscard]] std::size_t lock_check_held_count();
+
+#else  // !INSTA_LOCK_CHECK_ENABLED
+
+inline void lock_check_acquire(const LockRankInfo* /*info*/,
+                               const void* /*lock*/, bool /*shared*/) {}
+inline void lock_check_release(const void* /*lock*/) {}
+[[nodiscard]] inline std::size_t lock_check_held_count() { return 0; }
+
+#endif  // INSTA_LOCK_CHECK_ENABLED
+
+}  // namespace insta::analysis

@@ -258,7 +258,7 @@ ScenarioBatch::ScenarioBatch(const Engine& engine, ScenarioBatchOptions options)
 ScenarioBatch::~ScenarioBatch() = default;
 
 ScenarioBatch::Workspace& ScenarioBatch::acquire_workspace() {
-  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  const util::LockGuard lock(pool_mutex_);
   if (!free_list_.empty()) {
     Workspace* ws = free_list_.back();
     free_list_.pop_back();
@@ -270,7 +270,7 @@ ScenarioBatch::Workspace& ScenarioBatch::acquire_workspace() {
 }
 
 void ScenarioBatch::release_workspace(Workspace& ws) {
-  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  const util::LockGuard lock(pool_mutex_);
   free_list_.push_back(&ws);
 }
 

@@ -3,12 +3,13 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "timing/types.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace insta::core {
 
@@ -114,9 +115,10 @@ class ScenarioBatch {
   ScenarioBatchOptions options_;
   /// Workspace pool: scenario workers check one out per chunk. All owned
   /// here; free_list_ holds the idle ones.
-  std::mutex pool_mutex_;
-  std::vector<std::unique_ptr<Workspace>> workspaces_;
-  std::vector<Workspace*> free_list_;
+  util::Mutex pool_mutex_{"core.scenario_pool", util::lockrank::kScenarioPool};
+  std::vector<std::unique_ptr<Workspace>> workspaces_
+      INSTA_GUARDED_BY(pool_mutex_);
+  std::vector<Workspace*> free_list_ INSTA_GUARDED_BY(pool_mutex_);
 };
 
 }  // namespace insta::core

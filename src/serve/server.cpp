@@ -22,7 +22,9 @@ using util::check;
 namespace {
 
 std::string errno_text(const std::string& what) {
-  return what + ": " + std::strerror(errno);
+  // Single-threaded use of the static strerror buffer is fine here: the
+  // result is copied into the returned string before any other call.
+  return what + ": " + std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
 }
 
 /// Sends the whole buffer, suppressing SIGPIPE; false on any failure.
@@ -151,7 +153,7 @@ void Server::accept_loop() {
       continue;
     }
     active_connections_.fetch_add(1, std::memory_order_acq_rel);
-    std::lock_guard<std::mutex> cl(conn_mu_);
+    const util::LockGuard cl(conn_mu_);
     conn_fds_.push_back(fd);
     conn_threads_.emplace_back([this, fd] { handle_connection(fd); });
   }
@@ -191,12 +193,17 @@ void Server::handle_connection(int fd) {
   ::close(fd);
   active_connections_.fetch_sub(1, std::memory_order_acq_rel);
   {
-    std::lock_guard<std::mutex> cl(conn_mu_);
+    const util::LockGuard cl(conn_mu_);
     conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
                     conn_fds_.end());
   }
   if (shutdown_op && !dead_peer) {
     shutdown_.store(true, std::memory_order_release);
+    // Lock/unlock wait_mu_ before notifying so a waiter between its
+    // predicate check and its block cannot miss the wakeup.
+    {
+      const util::LockGuard wl(wait_mu_);
+    }
     wait_cv_.notify_all();
   }
 }
@@ -213,7 +220,7 @@ void Server::stop() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   {
-    std::lock_guard<std::mutex> cl(conn_mu_);
+    const util::LockGuard cl(conn_mu_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   // Connection threads observe the shutdown via recv() returning and
@@ -221,18 +228,22 @@ void Server::stop() {
   // move it out first.
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> cl(conn_mu_);
+    const util::LockGuard cl(conn_mu_);
     threads.swap(conn_threads_);
   }
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
   }
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  {
+    const util::LockGuard wl(wait_mu_);
+  }
   wait_cv_.notify_all();
 }
 
 void Server::wait() {
-  std::unique_lock<std::mutex> wl(wait_mu_);
+  util::UniqueLock wl(wait_mu_);
+  // Predicate reads only atomics, safe for the lambda-blind analysis.
   wait_cv_.wait(wl, [this] {
     return shutdown_.load(std::memory_order_acquire) ||
            stopping_.load(std::memory_order_acquire);

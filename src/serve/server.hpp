@@ -8,14 +8,14 @@
 // matching the service's bounded-queue behaviour inside).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/service.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace insta::serve {
 
@@ -76,15 +76,15 @@ class Server {
   std::string endpoint_;
   std::thread accept_thread_;
 
-  std::mutex conn_mu_;  ///< guards conn_threads_ / conn_fds_
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;
+  util::Mutex conn_mu_{"serve.conn", util::lockrank::kServerConn};
+  std::vector<std::thread> conn_threads_ INSTA_GUARDED_BY(conn_mu_);
+  std::vector<int> conn_fds_ INSTA_GUARDED_BY(conn_mu_);
   std::atomic<int> active_connections_{0};
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_{false};
-  std::mutex wait_mu_;
-  std::condition_variable wait_cv_;
+  util::Mutex wait_mu_{"serve.wait", util::lockrank::kServerWait};
+  util::CondVar wait_cv_;
 };
 
 }  // namespace insta::serve

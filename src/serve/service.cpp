@@ -103,6 +103,10 @@ TimingService::TimingService(core::Engine& engine, ServiceOptions options)
   check(engine.timing_clean(),
         "TimingService: engine has pending annotations (run run_forward() "
         "before constructing the service)");
+  // No client can exist yet, but publish_snapshot() requires exclusive
+  // engine access by contract, so take it (uncontended) rather than carve
+  // out a constructor exemption.
+  const util::WriteLock el(engine_mu_);
   publish_snapshot();
 }
 
@@ -125,18 +129,18 @@ void TimingService::publish_snapshot() {
     }
   }
   {
-    std::lock_guard<std::mutex> sl(snap_mu_);
+    const util::LockGuard sl(snap_mu_);
     snap_ = std::move(snap);
   }
   serve_metrics().snapshots.inc();
-  std::lock_guard<std::mutex> sl(state_mu_);
+  const util::LockGuard sl(state_mu_);
   ++stats_.snapshots_published;
 }
 
 // ---- sessions ---------------------------------------------------------------
 
 Error TimingService::open_session(SessionId& out) {
-  std::lock_guard<std::mutex> sl(state_mu_);
+  const util::LockGuard sl(state_mu_);
   if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
     ++stats_.shed;
     serve_metrics().shed.inc();
@@ -152,7 +156,7 @@ Error TimingService::open_session(SessionId& out) {
 }
 
 Error TimingService::close_session(SessionId session) {
-  std::lock_guard<std::mutex> sl(state_mu_);
+  const util::LockGuard sl(state_mu_);
   const auto it = sessions_.find(session);
   if (it == sessions_.end()) {
     return Error::make(ErrorCode::kBadSession,
@@ -177,7 +181,7 @@ Error TimingService::close_session(SessionId session) {
 
 Error TimingService::validate_scenarios(
     const std::vector<std::vector<ArcDelta>>& scenarios) {
-  std::shared_lock<std::shared_mutex> el(engine_mu_);
+  const util::SharedLock el(engine_mu_);
   Error err;
   for (std::size_t s = 0; s < scenarios.size(); ++s) {
     const analysis::LintReport report = engine_->check_deltas(scenarios[s]);
@@ -200,7 +204,7 @@ Error TimingService::whatif(
     return Error::make(ErrorCode::kBadRequest, "whatif: empty scenario list");
   }
   {
-    std::lock_guard<std::mutex> sl(state_mu_);
+    const util::LockGuard sl(state_mu_);
     const auto it = sessions_.find(session);
     if (it == sessions_.end()) {
       return Error::make(ErrorCode::kBadSession,
@@ -219,7 +223,7 @@ Error TimingService::whatif(
   // The session's inflight slot is held from here on; every exit path must
   // release it.
   const auto release = [this, session] {
-    std::lock_guard<std::mutex> sl(state_mu_);
+    const util::LockGuard sl(state_mu_);
     --sessions_.find(session)->second.inflight;
   };
 
@@ -233,12 +237,12 @@ Error TimingService::whatif(
   req.scenarios = &scenarios;
   req.reply = &out;
   {
-    std::unique_lock<std::mutex> ql(queue_mu_);
+    util::UniqueLock ql(queue_mu_);
     if (queued_scenarios_ + scenarios.size() >
         static_cast<std::size_t>(options_.max_queue)) {
       ql.unlock();
       release();
-      std::lock_guard<std::mutex> sl(state_mu_);
+      const util::LockGuard sl(state_mu_);
       ++stats_.shed;
       sm.shed.inc();
       return Error::make(ErrorCode::kOverloaded,
@@ -258,7 +262,7 @@ Error TimingService::whatif(
     }
   }
   {
-    std::lock_guard<std::mutex> sl(state_mu_);
+    const util::LockGuard sl(state_mu_);
     ++stats_.whatif_requests;
   }
   sm.requests.inc();
@@ -266,7 +270,7 @@ Error TimingService::whatif(
   if (req.leader) {
     run_batch_leader(req);
   } else {
-    std::unique_lock<std::mutex> ql(queue_mu_);
+    util::UniqueLock ql(queue_mu_);
     done_cv_.wait(ql, [&req] { return req.done; });
   }
   sm.whatif_latency_us.observe(sw.elapsed_sec() * 1e6);
@@ -277,15 +281,19 @@ Error TimingService::whatif(
 void TimingService::run_batch_leader(PendingWhatif& self) {
   std::vector<PendingWhatif*> reqs;
   {
-    std::unique_lock<std::mutex> ql(queue_mu_);
+    util::UniqueLock ql(queue_mu_);
     if (options_.batch_window_us > 0) {
       const auto deadline =
           std::chrono::steady_clock::now() +
           std::chrono::microseconds(options_.batch_window_us);
-      queue_cv_.wait_until(ql, deadline, [this] {
-        return queued_scenarios_ >=
-               static_cast<std::size_t>(options_.max_batch);
-      });
+      // Manual wait loop: the condition reads queued_scenarios_, which is
+      // guarded state, and Clang's analysis cannot see through a predicate
+      // lambda (it would flag the access as unlocked).
+      while (queued_scenarios_ < static_cast<std::size_t>(options_.max_batch)) {
+        if (queue_cv_.wait_until(ql, deadline) == std::cv_status::timeout) {
+          break;
+        }
+      }
     }
     reqs.swap(queue_);
     queued_scenarios_ = 0;
@@ -297,7 +305,7 @@ void TimingService::run_batch_leader(PendingWhatif& self) {
   evaluate_requests(reqs);
 
   {
-    std::lock_guard<std::mutex> ql(queue_mu_);
+    const util::LockGuard ql(queue_mu_);
     for (PendingWhatif* r : reqs) r->done = true;
   }
   done_cv_.notify_all();
@@ -322,8 +330,8 @@ void TimingService::evaluate_requests(std::vector<PendingWhatif*>& reqs) {
     }
   }
 
-  std::lock_guard<std::mutex> evl(eval_mu_);
-  std::shared_lock<std::shared_mutex> el(engine_mu_);
+  const util::LockGuard evl(eval_mu_);
+  const util::SharedLock el(engine_mu_);
   const std::uint64_t version = engine_->generation();
   util::Stopwatch sw;
   const auto chunk_cap = static_cast<std::size_t>(options_.max_batch);
@@ -361,7 +369,7 @@ void TimingService::evaluate_requests(std::vector<PendingWhatif*>& reqs) {
   sm.batches.add(num_batches);
   sm.scenarios.add(items.size());
 
-  std::lock_guard<std::mutex> sl(state_mu_);
+  const util::LockGuard sl(state_mu_);
   stats_.batches += num_batches;
   stats_.whatif_scenarios += items.size();
   stats_.max_batch_occupancy =
@@ -371,7 +379,7 @@ void TimingService::evaluate_requests(std::vector<PendingWhatif*>& reqs) {
 // ---- exclusive edits --------------------------------------------------------
 
 Error TimingService::begin_edit(SessionId session) {
-  std::lock_guard<std::mutex> sl(state_mu_);
+  const util::LockGuard sl(state_mu_);
   const auto it = sessions_.find(session);
   if (it == sessions_.end()) {
     return Error::make(ErrorCode::kBadSession,
@@ -396,7 +404,7 @@ Error TimingService::begin_edit(SessionId session) {
 Error TimingService::annotate(SessionId session,
                               std::span<const ArcDelta> deltas) {
   {
-    std::lock_guard<std::mutex> sl(state_mu_);
+    const util::LockGuard sl(state_mu_);
     const auto it = sessions_.find(session);
     if (it == sessions_.end()) {
       return Error::make(ErrorCode::kBadSession,
@@ -409,7 +417,7 @@ Error TimingService::annotate(SessionId session,
     }
   }
   {
-    std::shared_lock<std::shared_mutex> el(engine_mu_);
+    const util::SharedLock el(engine_mu_);
     const analysis::LintReport report = engine_->check_deltas(deltas);
     if (report.has_errors()) {
       Error err = Error::make(ErrorCode::kBadRequest,
@@ -418,7 +426,7 @@ Error TimingService::annotate(SessionId session,
       return err;
     }
   }
-  std::lock_guard<std::mutex> sl(state_mu_);
+  const util::LockGuard sl(state_mu_);
   const auto it = sessions_.find(session);
   if (it == sessions_.end() || !it->second.editing) {
     return Error::make(ErrorCode::kBadSession,
@@ -432,7 +440,7 @@ Error TimingService::annotate(SessionId session,
 Error TimingService::commit(SessionId session, CommitReply& out) {
   std::vector<ArcDelta> pending;
   {
-    std::lock_guard<std::mutex> sl(state_mu_);
+    const util::LockGuard sl(state_mu_);
     const auto it = sessions_.find(session);
     if (it == sessions_.end()) {
       return Error::make(ErrorCode::kBadSession,
@@ -452,7 +460,7 @@ Error TimingService::commit(SessionId session, CommitReply& out) {
   }
 
   {
-    std::unique_lock<std::shared_mutex> el(engine_mu_);
+    const util::WriteLock el(engine_mu_);
     if (!pending.empty()) {
       try {
         core::Engine::Transaction tx = engine_->begin_edit();
@@ -473,13 +481,13 @@ Error TimingService::commit(SessionId session, CommitReply& out) {
     }
   }
   serve_metrics().commits.inc();
-  std::lock_guard<std::mutex> sl(state_mu_);
+  const util::LockGuard sl(state_mu_);
   ++stats_.commits;
   return Error::success();
 }
 
 Error TimingService::rollback(SessionId session) {
-  std::lock_guard<std::mutex> sl(state_mu_);
+  const util::LockGuard sl(state_mu_);
   const auto it = sessions_.find(session);
   if (it == sessions_.end()) {
     return Error::make(ErrorCode::kBadSession,
@@ -499,7 +507,7 @@ Error TimingService::rollback(SessionId session) {
 }
 
 ServiceStats TimingService::stats() const {
-  std::lock_guard<std::mutex> sl(state_mu_);
+  const util::LockGuard sl(state_mu_);
   return stats_;
 }
 

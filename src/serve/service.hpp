@@ -6,11 +6,13 @@
 //
 //  * Read queries (summary, endpoint slacks, worst endpoints) never touch
 //    the engine. Every commit publishes an immutable TimingSnapshot through
-//    an RCU-style pointer swap behind a dedicated micro-mutex; readers copy
-//    the current shared_ptr in one tiny critical section (never contending
-//    with the engine lock) and keep it alive for as long as they like — a
-//    reader admitted before a commit keeps seeing its own consistent
-//    pre-commit world.
+//    an RCU-style pointer swap behind the annotated snap_mu_ capability
+//    (util::Mutex; snap_ is INSTA_GUARDED_BY(snap_mu_), so the compiler —
+//    not convention — proves the pointer is swapped and copied only inside
+//    that tiny critical section, which never contends with the engine
+//    lock). Readers copy the current shared_ptr and keep it alive for as
+//    long as they like — a reader admitted before a commit keeps seeing
+//    its own consistent pre-commit world.
 //
 //  * Speculative what-if queries from any number of sessions are coalesced
 //    by a micro-batcher: the first arrival becomes the collection leader,
@@ -30,11 +32,8 @@
 // with structured Error replies (ErrorCode::kOverloaded) instead of
 // stalling or growing without bound.
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -44,6 +43,8 @@
 #include "core/engine.hpp"
 #include "core/scenario_batch.hpp"
 #include "timing/types.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace insta::serve {
 
@@ -162,7 +163,7 @@ class TimingService {
 
   /// The current snapshot. Never null; safe to hold indefinitely.
   [[nodiscard]] std::shared_ptr<const TimingSnapshot> snapshot() const {
-    std::lock_guard<std::mutex> sl(snap_mu_);
+    const util::LockGuard sl(snap_mu_);
     return snap_;
   }
 
@@ -207,7 +208,14 @@ class TimingService {
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
-  [[nodiscard]] const core::Engine& engine() const { return *engine_; }
+  /// Quiescent introspection API: callers (CLI reporting, tests) read the
+  /// engine after the concurrent phase has drained, so taking engine_mu_
+  /// here would only manufacture contention. The pointee is pt-guarded for
+  /// every internal path; this accessor is the documented opt-out.
+  [[nodiscard]] const core::Engine& engine() const
+      INSTA_NO_THREAD_SAFETY_ANALYSIS {
+    return *engine_;
+  }
 
  private:
   /// One queued what-if request, owned by the caller's stack frame for the
@@ -216,6 +224,9 @@ class TimingService {
     const std::vector<std::vector<timing::ArcDelta>>* scenarios = nullptr;
     WhatifReply* reply = nullptr;
     Error error;
+    /// Guarded by the service's queue_mu_ (a nested struct cannot name the
+    /// outer class's member in an annotation): written by the leader under
+    /// queue_mu_, read by the waiter's done_cv_ predicate under queue_mu_.
     bool done = false;
     bool leader = false;
   };
@@ -228,7 +239,7 @@ class TimingService {
 
   /// Rebuilds and atomically publishes the snapshot from the engine's
   /// current state. Caller holds exclusive engine access.
-  void publish_snapshot();
+  void publish_snapshot() INSTA_REQUIRES(engine_mu_);
   /// Leader path: collect co-travellers, drain, evaluate, distribute.
   void run_batch_leader(PendingWhatif& self);
   /// Evaluates one drained request list (chunked to max_batch) and fills
@@ -237,40 +248,42 @@ class TimingService {
   [[nodiscard]] Error validate_scenarios(
       const std::vector<std::vector<timing::ArcDelta>>& scenarios);
 
-  core::Engine* engine_;
+  /// Engine access: shared = what-if evaluation / delta validation (reads),
+  /// exclusive = commit (mutates + republishes). Declared before engine_
+  /// so the pt_guarded_by annotation can name it. core::Engine itself is
+  /// externally synchronized — this capability IS its lock; batch_ keeps a
+  /// const Engine* of its own, exercised only under a shared hold here.
+  util::SharedMutex engine_mu_{"serve.engine", util::lockrank::kServeEngine};
+  core::Engine* engine_ INSTA_PT_GUARDED_BY(engine_mu_);
   ServiceOptions options_;
   core::ScenarioBatch batch_;
 
-  /// RCU-published snapshot. The micro-mutex guards only the pointer swap
-  /// and copy (std::atomic<shared_ptr> would do, but libstdc++'s lock-bit
-  /// implementation trips ThreadSanitizer); snapshot contents are immutable
-  /// once published.
-  mutable std::mutex snap_mu_;
-  std::shared_ptr<const TimingSnapshot> snap_;
-
-  /// Engine access: shared = what-if evaluation / delta validation (reads),
-  /// exclusive = commit (mutates + republishes).
-  std::shared_mutex engine_mu_;
+  /// RCU-published snapshot. The annotated micro-mutex capability guards
+  /// only the pointer swap and copy (std::atomic<shared_ptr> would do, but
+  /// libstdc++'s lock-bit implementation trips ThreadSanitizer); snapshot
+  /// contents are immutable once published.
+  mutable util::Mutex snap_mu_{"serve.snap", util::lockrank::kServeSnap};
+  std::shared_ptr<const TimingSnapshot> snap_ INSTA_GUARDED_BY(snap_mu_);
 
   /// Session table, edit slot, and deterministic stats.
-  mutable std::mutex state_mu_;
-  std::unordered_map<SessionId, Session> sessions_;
-  SessionId next_session_ = 1;
-  SessionId editor_ = -1;
-  ServiceStats stats_;
+  mutable util::Mutex state_mu_{"serve.state", util::lockrank::kServeState};
+  std::unordered_map<SessionId, Session> sessions_ INSTA_GUARDED_BY(state_mu_);
+  SessionId next_session_ INSTA_GUARDED_BY(state_mu_) = 1;
+  SessionId editor_ INSTA_GUARDED_BY(state_mu_) = -1;
+  ServiceStats stats_ INSTA_GUARDED_BY(state_mu_);
 
   /// Micro-batcher state. queue_cv_ wakes the collecting leader early when
   /// the queue fills; done_cv_ wakes waiters whose request completed.
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::condition_variable done_cv_;
-  std::vector<PendingWhatif*> queue_;
-  std::size_t queued_scenarios_ = 0;
-  bool collecting_ = false;
+  util::Mutex queue_mu_{"serve.queue", util::lockrank::kServeQueue};
+  util::CondVar queue_cv_;
+  util::CondVar done_cv_;
+  std::vector<PendingWhatif*> queue_ INSTA_GUARDED_BY(queue_mu_);
+  std::size_t queued_scenarios_ INSTA_GUARDED_BY(queue_mu_) = 0;
+  bool collecting_ INSTA_GUARDED_BY(queue_mu_) = false;
 
   /// Serializes ScenarioBatch::evaluate calls (collection of batch N+1
   /// overlaps evaluation of batch N, evaluation itself is sequential).
-  std::mutex eval_mu_;
+  util::Mutex eval_mu_{"serve.eval", util::lockrank::kServeEval};
 };
 
 }  // namespace insta::serve

@@ -92,7 +92,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter MetricsRegistry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   Counter c;
   c.reg_ = this;
   for (std::size_t i = 0; i < counter_names_.size(); ++i) {
@@ -110,7 +110,7 @@ Counter MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge MetricsRegistry::gauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   Gauge g;
   for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
     if (gauge_names_[i] == name) {
@@ -131,7 +131,7 @@ Histogram MetricsRegistry::histogram(std::string_view name,
     throw std::runtime_error("MetricsRegistry: histogram spec requires base "
                              "> 0 and growth > 1");
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   Histogram h;
   h.reg_ = this;
   for (std::size_t i = 0; i < hist_names_.size(); ++i) {
@@ -159,7 +159,7 @@ Histogram MetricsRegistry::histogram(std::string_view name,
 }
 
 MetricsRegistry::Shard* MetricsRegistry::shard_slow() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   Shard*& s = shard_of_thread_[std::this_thread::get_id()];
   if (s == nullptr) {
     shards_.push_back(std::make_unique<Shard>());
@@ -170,7 +170,7 @@ MetricsRegistry::Shard* MetricsRegistry::shard_slow() {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   MetricsSnapshot snap;
   for (std::size_t i = 0; i < counter_names_.size(); ++i) {
     std::uint64_t total = 0;
@@ -215,7 +215,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   for (const auto& shard : shards_) shard->clear();
   for (const auto& g : gauge_bits_) {
     g->store(std::bit_cast<std::uint64_t>(0.0), std::memory_order_relaxed);

@@ -31,8 +31,10 @@
 #include <bit>
 #include <cmath>
 #include <memory>
-#include <mutex>
 #include <thread>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #endif
 
 namespace insta::telemetry {
@@ -230,15 +232,21 @@ class MetricsRegistry {
 
   inline static thread_local TlsCache tls_cache_{0, nullptr};
 
-  mutable std::mutex mutex_;
+  /// Guards registration and the shard table. The write fast paths
+  /// (counter_add/hist_observe) stay lock-free by design: they touch only
+  /// the atomics inside an already-published Shard, never the guarded
+  /// containers below.
+  mutable util::Mutex mutex_{"telemetry.registry",
+                             util::lockrank::kTelemetryRegistry};
   std::uint64_t uid_;  ///< process-unique registry id for TLS cache keying
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> gauge_names_;
-  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> gauge_bits_;
-  std::vector<std::string> hist_names_;
-  std::vector<HistogramSpec> hist_specs_;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::map<std::thread::id, Shard*> shard_of_thread_;
+  std::vector<std::string> counter_names_ INSTA_GUARDED_BY(mutex_);
+  std::vector<std::string> gauge_names_ INSTA_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> gauge_bits_
+      INSTA_GUARDED_BY(mutex_);
+  std::vector<std::string> hist_names_ INSTA_GUARDED_BY(mutex_);
+  std::vector<HistogramSpec> hist_specs_ INSTA_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Shard>> shards_ INSTA_GUARDED_BY(mutex_);
+  std::map<std::thread::id, Shard*> shard_of_thread_ INSTA_GUARDED_BY(mutex_);
 };
 
 inline void Counter::add(std::uint64_t n) {

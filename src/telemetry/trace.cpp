@@ -36,18 +36,23 @@ std::uint64_t Tracer::now_ns() {
 
 Tracer::Ring* Tracer::ring() {
   if (t_ring_ != nullptr) return t_ring_;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   rings_.push_back(std::make_unique<Ring>());
   Ring* r = rings_.back().get();
   r->tid = static_cast<int>(rings_.size());
-  r->spans.reserve(kRingCapacity);
+  {
+    // Uncontended (the ring was created one line up) but spans is guarded
+    // by the ring lock, and tracer -> ring is the documented nesting.
+    const util::LockGuard ring_lock(r->mutex);
+    r->spans.reserve(kRingCapacity);
+  }
   t_ring_ = r;
   return r;
 }
 
 void Tracer::record(const SpanRecord& rec) {
   Ring* r = ring();
-  const std::lock_guard<std::mutex> lock(r->mutex);
+  const util::LockGuard lock(r->mutex);
   if (r->spans.size() < kRingCapacity) {
     r->spans.push_back(rec);
   } else {
@@ -57,19 +62,19 @@ void Tracer::record(const SpanRecord& rec) {
 }
 
 void Tracer::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   for (const auto& r : rings_) {
-    const std::lock_guard<std::mutex> ring_lock(r->mutex);
+    const util::LockGuard ring_lock(r->mutex);
     r->spans.clear();
     r->total = 0;
   }
 }
 
 std::uint64_t Tracer::dropped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   std::uint64_t n = 0;
   for (const auto& r : rings_) {
-    const std::lock_guard<std::mutex> ring_lock(r->mutex);
+    const util::LockGuard ring_lock(r->mutex);
     if (r->total > r->spans.size()) n += r->total - r->spans.size();
   }
   return n;
@@ -102,10 +107,10 @@ std::string Tracer::chrome_trace_json() const {
   };
   std::vector<ThreadSpans> threads;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::LockGuard lock(mutex_);
     threads.reserve(rings_.size());
     for (const auto& r : rings_) {
-      const std::lock_guard<std::mutex> ring_lock(r->mutex);
+      const util::LockGuard ring_lock(r->mutex);
       threads.push_back(ThreadSpans{r->tid, r->spans});
     }
   }

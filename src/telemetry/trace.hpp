@@ -25,8 +25,10 @@
 #if INSTA_TELEMETRY_ENABLED
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #endif
 
 namespace insta::telemetry {
@@ -76,9 +78,14 @@ class Tracer {
   };
 
   struct Ring {
-    mutable std::mutex mutex;
-    std::vector<SpanRecord> spans;  ///< capacity kRingCapacity once touched
-    std::uint64_t total = 0;        ///< spans ever recorded
+    mutable util::Mutex mutex{"telemetry.ring",
+                              util::lockrank::kTelemetryRing};
+    /// Capacity kRingCapacity once touched.
+    std::vector<SpanRecord> spans INSTA_GUARDED_BY(mutex);
+    std::uint64_t total INSTA_GUARDED_BY(mutex) = 0;  ///< spans ever recorded
+    /// Written once under Tracer::mutex_ before the ring is published and
+    /// immutable afterwards (a nested struct cannot name the outer class's
+    /// mutex in an annotation, so this stays prose).
     int tid = 0;
   };
 
@@ -92,8 +99,9 @@ class Tracer {
 
   inline static thread_local Ring* t_ring_ = nullptr;
 
-  mutable std::mutex mutex_;  ///< guards rings_
-  std::vector<std::unique_ptr<Ring>> rings_;
+  mutable util::Mutex mutex_{"telemetry.tracer",
+                             util::lockrank::kTelemetryTrace};
+  std::vector<std::unique_ptr<Ring>> rings_ INSTA_GUARDED_BY(mutex_);
   std::atomic<bool> enabled_{false};
 };
 

@@ -1,0 +1,69 @@
+#pragma once
+
+// The repo-wide lock ranking (one integer per mutex; see DESIGN.md §12 for
+// the full capability map). The rule enforced by the debug-build validator
+// (analysis/lock_hierarchy.hpp) is strict descent: a thread may only
+// acquire a lock whose rank is strictly below the rank of every lock it
+// already holds. Because the relation is a total order, any program that
+// obeys it is deadlock-free by lock ordering; an acquisition that violates
+// it aborts with the acquiring and conflicting stacks.
+//
+// Ranks are spaced so a future lock can slot between two existing ones
+// without renumbering the world. When adding a mutex: pick the rank from
+// the call graph (what can be held when it is taken, what can be taken
+// while it is held), add a constant here, and extend the DESIGN.md table.
+
+namespace insta::util::lockrank {
+
+/// apps/insta_cli serve watchdog; outermost: calls Server::stop() paths.
+inline constexpr int kCliWatchdog = 110;
+
+/// serve::Server connection table (conn_mu_).
+inline constexpr int kServerConn = 100;
+
+/// serve::Server shutdown wait (wait_mu_).
+inline constexpr int kServerWait = 95;
+
+/// serve::TimingService batch-evaluation serialization (eval_mu_).
+inline constexpr int kServeEval = 80;
+
+/// serve::TimingService what-if micro-batcher queue (queue_mu_).
+inline constexpr int kServeQueue = 75;
+
+/// serve::TimingService engine access, shared/exclusive (engine_mu_).
+inline constexpr int kServeEngine = 70;
+
+/// serve::TimingService session table + stats (state_mu_).
+inline constexpr int kServeState = 60;
+
+/// serve::TimingService snapshot-pointer micro-mutex (snap_mu_).
+inline constexpr int kServeSnap = 55;
+
+/// core::ScenarioBatch workspace pool (pool_mutex_).
+inline constexpr int kScenarioPool = 50;
+
+/// util::ThreadPool worker parking (sleep_mutex_).
+inline constexpr int kPoolSleep = 40;
+
+/// util::ThreadPool first-exception slot (error_mutex_).
+inline constexpr int kPoolError = 35;
+
+/// telemetry::MetricsRegistry registration/snapshot lock (mutex_).
+inline constexpr int kTelemetryRegistry = 30;
+
+/// telemetry::Tracer ring-table lock (mutex_).
+inline constexpr int kTelemetryTrace = 29;
+
+/// telemetry::Tracer per-thread span ring (Ring::mutex).
+inline constexpr int kTelemetryRing = 25;
+
+/// util/log.cpp global sink lock (logging may run under any other lock).
+inline constexpr int kLog = 20;
+
+/// util::CaptureLogSink capture buffer (taken under the log lock).
+inline constexpr int kLogSink = 15;
+
+/// Default for ad-hoc mutexes that never nest with anything.
+inline constexpr int kLeaf = 0;
+
+}  // namespace insta::util::lockrank

@@ -6,16 +6,21 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
-#include <mutex>
 #include <string>
+
+#include "util/mutex.hpp"
 
 namespace insta::util {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;  ///< serializes sink writes and guards g_sink
-std::shared_ptr<LogSink> g_sink;  ///< null means the default stderr sink
+/// Serializes sink writes and guards g_sink. Logging may run under any
+/// other lock in the system, so its rank sits near the bottom (only the
+/// capture sink's own lock nests inside it).
+Mutex g_mutex{"log.global", lockrank::kLog};
+std::shared_ptr<LogSink> g_sink
+    INSTA_GUARDED_BY(g_mutex);  ///< null means the default stderr sink
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -50,7 +55,10 @@ std::optional<LogLevel> parse_log_level(std::string_view text) {
 
 void init_log_level_from_env() {
   static const bool applied = [] {
-    const char* env = std::getenv("INSTA_LOG_LEVEL");
+    // Read exactly once, inside a magic-static initializer, before any
+    // concurrent setenv could plausibly run; nothing here mutates the
+    // environment.
+    const char* env = std::getenv("INSTA_LOG_LEVEL");  // NOLINT(concurrency-mt-unsafe)
     if (env == nullptr) return false;
     const std::optional<LogLevel> level = parse_log_level(env);
     if (!level.has_value()) {
@@ -65,7 +73,7 @@ void init_log_level_from_env() {
 }
 
 std::shared_ptr<LogSink> set_log_sink(std::shared_ptr<LogSink> sink) {
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const LockGuard lock(g_mutex);
   std::shared_ptr<LogSink> prev = std::move(g_sink);
   g_sink = std::move(sink);
   return prev;
@@ -86,7 +94,7 @@ void log(LogLevel level, std::string_view msg) {
   std::snprintf(prefix, sizeof(prefix), "[%02d:%02d:%02d.%03d] [%s] ",
                 tm.tm_hour, tm.tm_min, tm.tm_sec, static_cast<int>(ms),
                 tag(level));
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const LockGuard lock(g_mutex);
   if (g_sink != nullptr) {
     std::string line = prefix;
     line.append(msg);

@@ -1,12 +1,14 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace insta::util {
 
@@ -48,23 +50,24 @@ std::shared_ptr<LogSink> set_log_sink(std::shared_ptr<LogSink> sink);
 class CaptureLogSink : public LogSink {
  public:
   void write(LogLevel level, std::string_view line) override {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     lines_.emplace_back(level, std::string(line));
   }
 
   [[nodiscard]] std::vector<std::pair<LogLevel, std::string>> lines() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     return lines_;
   }
 
   void clear() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     lines_.clear();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::pair<LogLevel, std::string>> lines_;
+  /// Taken while the logger holds its own lock, hence below kLog.
+  mutable Mutex mutex_{"log.sink", lockrank::kLogSink};
+  std::vector<std::pair<LogLevel, std::string>> lines_ INSTA_GUARDED_BY(mutex_);
 };
 
 /// Emits one log line (with timestamp and severity tag) to the active sink

@@ -1,0 +1,237 @@
+#pragma once
+
+// Annotated mutex wrappers: the only locking primitives the rest of the
+// codebase may use (a raw std::mutex cannot carry thread-safety
+// annotations, so it cannot participate in the -Wthread-safety contract).
+//
+// Each wrapper is a Clang "capability": data members declare the lock that
+// guards them with INSTA_GUARDED_BY(mu_), functions declare what they
+// acquire/require with INSTA_ACQUIRE / INSTA_REQUIRES, and Clang rejects
+// any access pattern that breaks the contract at compile time. On top of
+// the static layer, every Mutex/SharedMutex carries a declared rank
+// (util/lock_rank.hpp); in INSTA_LOCK_CHECK builds the runtime validator
+// (analysis/lock_hierarchy.hpp) aborts on out-of-order acquisition,
+// re-entrancy, and shared->exclusive upgrades — ordering bugs the
+// flow-insensitive static analysis cannot see. With the check off (the
+// Release default) the wrappers compile down to the bare std:: calls.
+//
+// CondVar wraps std::condition_variable (not _any) to keep the futex fast
+// path. While a thread waits, its UniqueLock keeps its validator entry:
+// the thread is blocked and acquires nothing, and the stacks are
+// per-thread, so the entry stays consistent — and is correct again the
+// moment wait() returns with the lock reacquired.
+//
+// NOTE on predicates: Clang cannot see into lambdas, so a wait predicate
+// that reads INSTA_GUARDED_BY state will be (wrongly) flagged. Use a
+// manual `while (!cond) cv.wait(lk);` loop for guarded conditions; the
+// predicate overloads below are for atomics-only predicates.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "analysis/lock_hierarchy.hpp"
+#include "util/lock_rank.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace insta::util {
+
+class CondVar;
+class UniqueLock;
+
+/// std::mutex with a capability annotation and a declared lock rank.
+class INSTA_CAPABILITY("mutex") Mutex {
+ public:
+  /// Unranked leaf mutex: never held while acquiring another lock.
+  Mutex() : Mutex("mutex", lockrank::kLeaf) {}
+
+  /// Named, ranked mutex; see util/lock_rank.hpp for the ranking.
+  explicit Mutex(const char* name, int rank) : rank_{name, rank} {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() INSTA_ACQUIRE() {
+    // Bookkeeping happens BEFORE blocking so an ordering violation aborts
+    // with a clean report instead of deadlocking first.
+    analysis::lock_check_acquire(&rank_, this, /*shared=*/false);
+    mu_.lock();
+  }
+
+  void unlock() INSTA_RELEASE() {
+    analysis::lock_check_release(this);
+    mu_.unlock();
+  }
+
+  /// Rank-checked like lock(): a successful try_lock still establishes a
+  /// hold that later acquisitions order against.
+  bool try_lock() INSTA_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    analysis::lock_check_acquire(&rank_, this, /*shared=*/false);
+    return true;
+  }
+
+ private:
+  friend class CondVar;
+  friend class UniqueLock;
+
+  std::mutex mu_;
+  analysis::LockRankInfo rank_;
+};
+
+/// std::shared_mutex with a capability annotation and a declared rank.
+/// Exclusive (writer) and shared (reader) acquisitions are both validated;
+/// upgrading shared->exclusive on the same thread aborts (self-deadlock).
+class INSTA_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() : SharedMutex("shared_mutex", lockrank::kLeaf) {}
+  explicit SharedMutex(const char* name, int rank) : rank_{name, rank} {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() INSTA_ACQUIRE() {
+    analysis::lock_check_acquire(&rank_, this, /*shared=*/false);
+    mu_.lock();
+  }
+
+  void unlock() INSTA_RELEASE() {
+    analysis::lock_check_release(this);
+    mu_.unlock();
+  }
+
+  void lock_shared() INSTA_ACQUIRE_SHARED() {
+    analysis::lock_check_acquire(&rank_, this, /*shared=*/true);
+    mu_.lock_shared();
+  }
+
+  void unlock_shared() INSTA_RELEASE_SHARED() {
+    analysis::lock_check_release(this);
+    mu_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+  analysis::LockRankInfo rank_;
+};
+
+/// RAII exclusive hold on a Mutex for the full scope (no manual unlock).
+class INSTA_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) INSTA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() INSTA_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive hold on a Mutex with manual unlock()/lock() — the form
+/// CondVar waits on. Starts locked.
+class INSTA_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) INSTA_ACQUIRE(mu)
+      : mu_(&mu), lk_(mu.mu_, std::defer_lock) {
+    analysis::lock_check_acquire(&mu.rank_, mu_, /*shared=*/false);
+    lk_.lock();
+  }
+
+  ~UniqueLock() INSTA_RELEASE() {
+    if (lk_.owns_lock()) analysis::lock_check_release(mu_);
+    // lk_'s destructor performs the actual unlock.
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() INSTA_ACQUIRE() {
+    analysis::lock_check_acquire(&mu_->rank_, mu_, /*shared=*/false);
+    lk_.lock();
+  }
+
+  void unlock() INSTA_RELEASE() {
+    analysis::lock_check_release(mu_);
+    lk_.unlock();
+  }
+
+  [[nodiscard]] bool owns_lock() const { return lk_.owns_lock(); }
+
+ private:
+  friend class CondVar;
+
+  Mutex* mu_;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// RAII shared (reader) hold on a SharedMutex for the full scope.
+class INSTA_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) INSTA_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  // Generic release: a scoped capability's destructor releases whichever
+  // mode (shared here) its constructor acquired.
+  ~SharedLock() INSTA_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) hold on a SharedMutex for the full scope.
+class INSTA_SCOPED_CAPABILITY WriteLock {
+ public:
+  explicit WriteLock(SharedMutex& mu) INSTA_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriteLock() INSTA_RELEASE() { mu_.unlock(); }
+
+  WriteLock(const WriteLock&) = delete;
+  WriteLock& operator=(const WriteLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable over util::Mutex via UniqueLock. Thin shim over
+/// std::condition_variable; see the header comment for predicate rules.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(UniqueLock& lk) { cv_.wait(lk.lk_); }
+
+  /// Predicate must read only atomics (Clang cannot check into lambdas);
+  /// use a manual wait loop for INSTA_GUARDED_BY state.
+  template <typename Pred>
+  void wait(UniqueLock& lk, Pred pred) {
+    cv_.wait(lk.lk_, std::move(pred));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lk.lk_, tp);
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(UniqueLock& lk, const std::chrono::duration<Rep, Period>& dur,
+                Pred pred) {
+    return cv_.wait_for(lk.lk_, dur, std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace insta::util

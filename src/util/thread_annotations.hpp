@@ -1,0 +1,91 @@
+#pragma once
+
+// Portable spellings of Clang's Thread Safety Analysis attributes.
+//
+// The macros attach compile-time concurrency contracts to mutexes
+// (capabilities), the data they guard (INSTA_GUARDED_BY), and the functions
+// that acquire, release, or require them. Under Clang, `-Wthread-safety`
+// turns every violation of those contracts — touching guarded state without
+// the lock, double-acquisition, forgetting to release on one path — into a
+// compiler diagnostic; CI promotes the group to an error with
+// `-Werror=thread-safety`. Under any other compiler the macros expand to
+// nothing, so the annotations are free documentation.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+// The primary annotated types are util::Mutex / util::SharedMutex and their
+// RAII guards in util/mutex.hpp; annotate new code through those, not
+// through raw std:: primitives.
+
+// NOLINTBEGIN(bugprone-macro-parentheses): the macro arguments are
+// attribute expressions (member names, capability lists), not C++
+// subexpressions; parenthesizing them is invalid inside __attribute__.
+
+#if defined(__clang__) && !defined(SWIG)
+#define INSTA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define INSTA_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
+#define INSTA_CAPABILITY(x) INSTA_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define INSTA_SCOPED_CAPABILITY INSTA_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define INSTA_GUARDED_BY(x) INSTA_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define INSTA_PT_GUARDED_BY(x) INSTA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Documents lock-ordering edges (checked under -Wthread-safety-beta).
+#define INSTA_ACQUIRED_BEFORE(...) \
+  INSTA_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define INSTA_ACQUIRED_AFTER(...) \
+  INSTA_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held exclusively (and does not release).
+#define INSTA_REQUIRES(...) \
+  INSTA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define INSTA_REQUIRES_SHARED(...) \
+  INSTA_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on return).
+#define INSTA_ACQUIRE(...) \
+  INSTA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define INSTA_ACQUIRE_SHARED(...) \
+  INSTA_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define INSTA_RELEASE(...) \
+  INSTA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define INSTA_RELEASE_SHARED(...) \
+  INSTA_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define INSTA_RELEASE_GENERIC(...) \
+  INSTA_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define INSTA_TRY_ACQUIRE(...) \
+  INSTA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define INSTA_TRY_ACQUIRE_SHARED(...) \
+  INSTA_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (anti-deadlock).
+#define INSTA_EXCLUDES(...) \
+  INSTA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (informs the analysis).
+#define INSTA_ASSERT_CAPABILITY(x) \
+  INSTA_THREAD_ANNOTATION_(assert_capability(x))
+#define INSTA_ASSERT_SHARED_CAPABILITY(x) \
+  INSTA_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// Function returns a reference to the given capability.
+#define INSTA_RETURN_CAPABILITY(x) INSTA_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opts a function out of the analysis. Every use must carry a comment
+/// justifying why the contract cannot be expressed (see DESIGN.md §12).
+#define INSTA_NO_THREAD_SAFETY_ANALYSIS \
+  INSTA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// NOLINTEND(bugprone-macro-parentheses)

@@ -55,7 +55,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 ThreadPool::~ThreadPool() {
   stop_.store(true, std::memory_order_seq_cst);
   {
-    const std::lock_guard<std::mutex> lock(sleep_mutex_);
+    const LockGuard lock(sleep_mutex_);
   }
   sleep_cv_.notify_all();
   for (auto& w : workers_) w.join();
@@ -87,8 +87,12 @@ void ThreadPool::run_one_chunk(std::size_t lo, std::size_t hi,
     }
 #endif
   } catch (...) {
-    const std::lock_guard<std::mutex> lock(error_mutex_);
-    if (!first_error_) first_error_ = std::current_exception();
+    const LockGuard lock(error_mutex_);
+    if (!first_error_) {
+      first_error_ = std::current_exception();
+      // Release pairs with the launcher's acquire load after the drain.
+      has_error_.store(true, std::memory_order_release);
+    }
   }
 }
 
@@ -122,8 +126,10 @@ void ThreadPool::worker_loop(std::size_t widx) {
       spins = 0;
       INSTA_TM(const auto wait_start = std::chrono::steady_clock::now();)
       {
-        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        UniqueLock lock(sleep_mutex_);
         sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        // Predicate reads only atomics, so Clang's lambda-blind analysis
+        // has nothing guarded to miss here.
         sleep_cv_.wait(lock, [&] {
           // seq_cst pairs with the launcher's seq_cst publish of sync_
           // followed by its seq_cst read of sleepers_: either this read sees
@@ -225,7 +231,7 @@ void ThreadPool::run_chunked(std::size_t begin, std::size_t end, ChunkFn fn,
 
   if (sleepers_.load(std::memory_order_seq_cst) > 0) {
     {
-      const std::lock_guard<std::mutex> lock(sleep_mutex_);
+      const LockGuard lock(sleep_mutex_);
     }
     sleep_cv_.notify_all();
   }
@@ -252,9 +258,15 @@ void ThreadPool::run_chunked(std::size_t begin, std::size_t end, ChunkFn fn,
 #endif
 
   // All chunk completions happen-before the remaining_ == 0 read, so the
-  // error slot is stable; take it before releasing the claim.
-  std::exception_ptr err = first_error_;
-  first_error_ = nullptr;
+  // error slot is stable; take it (under its lock, on the cold path only)
+  // before releasing the claim.
+  std::exception_ptr err;
+  if (has_error_.load(std::memory_order_acquire)) {
+    const LockGuard lock(error_mutex_);
+    err = std::move(first_error_);
+    first_error_ = nullptr;
+    has_error_.store(false, std::memory_order_relaxed);
+  }
   claim_.store(false, std::memory_order_release);
   if (err) std::rethrow_exception(err);
 }

@@ -1,15 +1,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace insta::util {
 
@@ -142,10 +143,18 @@ class ThreadPool {
   std::size_t num_chunks_ = 0;
   std::atomic<std::size_t> next_ticket_{0};
   std::atomic<std::size_t> remaining_{0};
-  /// First exception thrown by any chunk of the current launch; written
-  /// under error_mutex_, read by the launcher after the launch drains.
-  std::exception_ptr first_error_;
-  std::mutex error_mutex_;
+  // Ticket dispatch fetch-adds next_ticket_ and decrements remaining_ on
+  // every chunk; a library-lock fallback there would serialize the whole
+  // launch behind one hidden mutex.
+  static_assert(std::atomic<std::size_t>::is_always_lock_free,
+                "ticket counters must be native atomic RMWs");
+  Mutex error_mutex_{"pool.error", lockrank::kPoolError};
+  /// First exception thrown by any chunk of the current launch; read by the
+  /// launcher after the launch drains.
+  std::exception_ptr first_error_ INSTA_GUARDED_BY(error_mutex_);
+  /// Set (under error_mutex_, release order) when first_error_ is armed, so
+  /// the launcher's drain path checks one atomic instead of taking the lock.
+  std::atomic<bool> has_error_{false};
   /// Per-launch chunk-duration extremes for the imbalance histogram.
   std::atomic<std::uint64_t> launch_min_ns_{0};
   std::atomic<std::uint64_t> launch_max_ns_{0};
@@ -156,13 +165,21 @@ class ThreadPool {
   /// writer until they leave. This makes the plain launch fields data-race
   /// free without making them atomic.
   std::atomic<std::uint64_t> sync_{0};
+  // The packed word layout — epoch in bits [63:32], joiner count in bits
+  // [31:0] — only synchronizes if the CAS on the whole 64-bit word is a
+  // single hardware RMW. A non-lock-free fallback would wrap it in a
+  // library mutex, reintroducing the blocking the epoch protocol exists to
+  // avoid (and deadlocking the writer spin that waits for joiners to drain
+  // while holding that hidden lock).
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+                "epoch/joiner sync word must be a native 64-bit atomic");
   /// Serializes launchers; a failed claim falls back to inline execution.
   std::atomic<bool> claim_{false};
 
   // ---- worker parking (cold path only) ------------------------------------
   std::atomic<std::uint32_t> sleepers_{0};
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
+  Mutex sleep_mutex_{"pool.sleep", lockrank::kPoolSleep};
+  CondVar sleep_cv_;
   std::atomic<bool> stop_{false};
 };
 

@@ -533,16 +533,18 @@ TEST_F(ServeTest, InflightCapShedsConcurrentRequestsOnOneSession) {
   std::thread first([&] {
     first_err = service.whatif(sid, scen, first_reply);
   });
-  // Wait until the first request is visibly in flight, then collide.
+  // Wait until the first request is admitted (whatif_requests increments
+  // only after its inflight slot is taken and it is queued), then collide
+  // while its batch leader sleeps out the 300 ms window. Colliding before
+  // this point could win the inflight slot and shed the first request.
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (service.stats().whatif_requests >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(service.stats().whatif_requests, 1u);
   serve::Error second_err;
   TimingService::WhatifReply second_reply;
-  for (int spin = 0; spin < 200; ++spin) {
-    second_err = service.whatif(sid, scen, second_reply);
-    if (second_err.code == ErrorCode::kOverloaded) break;
-    // The first request was not queued yet (or already finished — with a
-    // 300 ms window that means we lost a race 200 times; fail below).
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  }
+  second_err = service.whatif(sid, scen, second_reply);
   EXPECT_EQ(second_err.code, ErrorCode::kOverloaded);
   first.join();
   EXPECT_TRUE(first_err.ok()) << first_err.message;
