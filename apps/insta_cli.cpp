@@ -35,20 +35,39 @@
 //                   [--hold 1] [--topk K] [--batch-window-us U]
 //                   [--max-batch N] [--max-queue N] [--max-inflight N]
 //                   [--max-sessions N] [--max-connections N] [--endpoints 1]
-//                   [--max-seconds S]
+//                   [--max-seconds S] [--slow-us U]
 //                                            run the timing-query server
 //                                            (newline-delimited JSON over a
 //                                            Unix or TCP socket) until a
 //                                            client sends {"op":"shutdown"}
-//                                            or --max-seconds elapses
+//                                            or --max-seconds elapses;
+//                                            --slow-us logs every request
+//                                            slower than U microseconds
+//                                            with its server_us breakdown
+//   insta_cli top --connect <unix:/path | host:port> [--interval-sec S]
+//                 [--iters N]
+//                                            live serve dashboard: polls the
+//                                            stats op and prints q/s, shed,
+//                                            queue depth, open sessions and
+//                                            what-if latency percentiles
+//                                            once per interval (N polls,
+//                                            0 = until the server goes away)
 //   insta_cli selftest                       end-to-end smoke test (tmpfile)
 //
 // Global options (every subcommand):
 //   --metrics-json <path>   write the telemetry metrics snapshot on exit
 //   --trace <path>          record and write a Chrome trace_event JSON
+//   --flightrec-json <path> write the flight-recorder event dump on exit
 //   --log-level <level>     debug|info|warn|error|off (overrides
 //                           INSTA_LOG_LEVEL)
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -78,6 +97,7 @@
 #include "size/baseline_sizer.hpp"
 #include "size/insta_buffer.hpp"
 #include "size/insta_size.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/validate.hpp"
@@ -154,6 +174,14 @@ void finish_telemetry(const Args& args) {
                 "cannot write " + path);
     std::printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n",
                 path.c_str());
+  }
+  if (args.has("flightrec-json")) {
+    const std::string path = args.get("flightrec-json", "");
+    std::ofstream f(path, std::ios::binary);
+    util::check(static_cast<bool>(f), "cannot write " + path);
+    f << telemetry::FlightRecorder::global().to_json();
+    util::check(f.good(), "short write to " + path);
+    std::printf("wrote flight-recorder dump to %s\n", path.c_str());
   }
 }
 
@@ -627,6 +655,9 @@ int cmd_whatif(const Args& args) {
 /// validate() gates so every bad flag is reported at once.
 int cmd_serve(const Args& args) {
   util::check(args.has("in"), "serve: --in is required");
+  // A crashing server should leave its last-N request lifecycle behind: dump
+  // the flight recorder to stderr on fatal signals.
+  telemetry::FlightRecorder::install_signal_dump();
   const bool hold = args.has("hold");
   World w(args.get("in", ""), hold);
 
@@ -648,6 +679,7 @@ int cmd_serve(const Args& args) {
   nopt.host = args.get("host", "127.0.0.1");
   nopt.port = static_cast<int>(args.get_num("port", 0));
   nopt.max_connections = static_cast<int>(args.get_num("max-connections", 32));
+  nopt.slow_us = static_cast<std::int64_t>(args.get_num("slow-us", -1));
 
   std::vector<std::string> problems = eopt.validate();
   for (const std::string& p : sopt.validate()) problems.push_back(p);
@@ -717,6 +749,145 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+/// Minimal blocking NDJSON client used by the `top` dashboard. serve_client
+/// carries the full-featured client; this one stays small enough to live in
+/// the CLI without sharing socket code across binaries.
+class StatsConn {
+ public:
+  explicit StatsConn(const std::string& target) {
+    if (target.rfind("unix:", 0) == 0) {
+      const std::string path = target.substr(5);
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      util::check(fd_ >= 0, "top: socket: " + std::string(strerror(errno)));
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      util::check(path.size() < sizeof(addr.sun_path),
+                  "top: socket path too long: " + path);
+      std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+      util::check(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr)) == 0,
+                  "top: connect " + target + ": " +
+                      std::string(strerror(errno)));
+    } else {
+      const auto colon = target.rfind(':');
+      util::check(colon != std::string::npos,
+                  "top: --connect wants unix:/path or host:port, got " +
+                      target);
+      const std::string host = target.substr(0, colon);
+      const int port = static_cast<int>(std::stod(target.substr(colon + 1)));
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      util::check(fd_ >= 0, "top: socket: " + std::string(strerror(errno)));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<std::uint16_t>(port));
+      util::check(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                  "top: bad host " + host);
+      util::check(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr)) == 0,
+                  "top: connect " + target + ": " +
+                      std::string(strerror(errno)));
+    }
+  }
+  ~StatsConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  StatsConn(const StatsConn&) = delete;
+  StatsConn& operator=(const StatsConn&) = delete;
+
+  /// Sends one request line and returns the reply line (no newline).
+  [[nodiscard]] std::string request(const std::string& line) {
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent, 0);
+      util::check(n > 0, "top: send: " + std::string(strerror(errno)));
+      sent += static_cast<std::size_t>(n);
+    }
+    std::string reply;
+    for (;;) {
+      const auto nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        reply = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return reply;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      util::check(n > 0, "top: server closed the connection");
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// Numeric field lookup with a default, for the loosely-coupled dashboard
+/// (older servers may lack newer stats fields).
+double stat_num(const telemetry::JsonValue& obj, std::string_view key,
+                double fallback = 0.0) {
+  const telemetry::JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+/// Polls the serve stats op and prints a one-line-per-interval dashboard:
+/// q/s (from whatif_requests deltas), shed, queue depth, open sessions, and
+/// what-if latency percentiles.
+int cmd_top(const Args& args) {
+  util::check(args.has("connect"), "top: --connect is required");
+  const double interval = std::max(0.05, args.get_num("interval-sec", 1.0));
+  const int iters = static_cast<int>(args.get_num("iters", 0));
+  StatsConn conn(args.get("connect", ""));
+
+  std::printf("%10s %10s %8s %8s %10s %10s %10s\n", "q/s", "reqs", "shed",
+              "queue", "sessions", "p50_us", "p99_us");
+  double prev_requests = 0.0;
+  bool have_prev = false;
+  auto prev_t = std::chrono::steady_clock::now();
+  for (int i = 0; iters == 0 || i < iters; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    }
+    const std::string reply = conn.request("{\"op\": \"stats\"}");
+    telemetry::JsonValue doc;
+    std::string err;
+    util::check(telemetry::json_parse(reply, doc, err),
+                "top: bad stats reply: " + err);
+    const telemetry::JsonValue* ok = doc.find("ok");
+    util::check(ok != nullptr && ok->boolean, "top: stats op failed");
+    const telemetry::JsonValue* result = doc.find("result");
+    util::check(result != nullptr && result->is_object(),
+                "top: stats reply lacks result");
+
+    const auto now = std::chrono::steady_clock::now();
+    const double requests = stat_num(*result, "whatif_requests");
+    double qps = 0.0;
+    if (have_prev) {
+      const double dt = std::chrono::duration<double>(now - prev_t).count();
+      if (dt > 0) qps = std::max(0.0, requests - prev_requests) / dt;
+    }
+    prev_requests = requests;
+    prev_t = now;
+    have_prev = true;
+
+    double p50 = 0.0;
+    double p99 = 0.0;
+    const telemetry::JsonValue* lat = result->find("latency_us");
+    if (lat != nullptr && lat->is_object()) {
+      p50 = stat_num(*lat, "p50");
+      p99 = stat_num(*lat, "p99");
+    }
+    std::printf("%10.1f %10.0f %8.0f %8.0f %10.0f %10.0f %10.0f\n", qps,
+                requests, stat_num(*result, "shed"),
+                stat_num(*result, "queue_depth"),
+                stat_num(*result, "open_sessions"), p50, p99);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int cmd_selftest() {
   const std::string path = "/tmp/insta_cli_selftest.inet";
   {
@@ -769,10 +940,11 @@ int cmd_selftest() {
 void usage() {
   std::fprintf(stderr,
                "usage: insta_cli "
-               "<generate|report|size|buffer|lint|profile|whatif|serve|"
+               "<generate|report|size|buffer|lint|profile|whatif|serve|top|"
                "selftest> "
                "[--option value ...]\n"
                "global: [--metrics-json m.json] [--trace t.json] "
+               "[--flightrec-json f.json] "
                "[--log-level debug|info|warn|error|off]\n");
 }
 
@@ -804,6 +976,8 @@ int main(int argc, char** argv) {
       rc = cmd_whatif(args);
     } else if (cmd == "serve") {
       rc = cmd_serve(args);
+    } else if (cmd == "top") {
+      rc = cmd_top(args);
     } else if (cmd == "selftest") {
       rc = cmd_selftest();
     } else {

@@ -529,6 +529,29 @@ int run_load(const Args& args, const std::string& endpoint) {
               percentile(all, 0.50) * 1e3, percentile(all, 0.95) * 1e3,
               percentile(all, 0.99) * 1e3, all.empty() ? 0.0 : all.back() *
                                                                    1e3);
+  if (args.has("out")) {
+    // Machine-readable run report, in the shape
+    // telemetry::validate_serve_report checks (telemetry_check
+    // --serve-report).
+    const std::string path = args.get("out", "");
+    std::ofstream f(path, std::ios::binary);
+    util::check(static_cast<bool>(f), "load: cannot write " + path);
+    f << "{\n  \"clients\": " << clients
+      << ",\n  \"requests_per_client\": " << requests << ",\n  \"ok\": " << ok
+      << ",\n  \"shed\": " << shed << ",\n  \"rejected\": " << rejected
+      << ",\n  \"failed\": " << failed << ",\n  \"commits\": " << commits
+      << ",\n  \"wall_sec\": " << telemetry::json_number(wall_sec)
+      << ",\n  \"qps\": "
+      << telemetry::json_number(static_cast<double>(all.size()) / wall_sec)
+      << ",\n  \"latency_ms\": {\"p50\": "
+      << telemetry::json_number(percentile(all, 0.50) * 1e3) << ", \"p95\": "
+      << telemetry::json_number(percentile(all, 0.95) * 1e3) << ", \"p99\": "
+      << telemetry::json_number(percentile(all, 0.99) * 1e3) << ", \"max\": "
+      << telemetry::json_number(all.empty() ? 0.0 : all.back() * 1e3)
+      << "}\n}\n";
+    util::check(f.good(), "load: short write to " + path);
+    std::printf("load: wrote report to %s\n", path.c_str());
+  }
   return failed == 0 ? 0 : 1;
 }
 
@@ -554,7 +577,10 @@ void usage() {
                "   [--samples N] [--seed S]]          exact wire-vs-local "
                "check\n"
                "  [--load 1 [--clients N] [--requests M] [--deltas D]\n"
-               "   [--seed S] [--edit 1]]             closed-loop load\n"
+               "   [--seed S] [--edit 1]\n"
+               "   [--out report.json]]               closed-loop load; --out\n"
+               "                                      writes a JSON run "
+               "report\n"
                "  [--shutdown 1]                      stop the server\n");
 }
 

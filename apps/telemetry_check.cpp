@@ -1,8 +1,10 @@
 // telemetry_check — structural validator for the JSON artifacts the
 // telemetry subsystem emits. CI runs it against the files produced by
-// `insta_cli ... --metrics-json m.json --trace t.json`.
+// `insta_cli ... --metrics-json m.json --trace t.json --flightrec-json
+// f.json` and `serve_client --load --out report.json`.
 //
 //   telemetry_check [--trace t.json] [--metrics m.json] [--whatif w.json]
+//                   [--flightrec f.json] [--serve-report r.json]
 //
 // Exit 0 when every given file validates, 1 on any violation (each is
 // printed), 2 on usage/IO errors.
@@ -16,6 +18,10 @@
 #include "telemetry/validate.hpp"
 
 namespace {
+
+constexpr const char* kUsage =
+    "usage: telemetry_check [--trace t.json] [--metrics m.json] "
+    "[--whatif w.json] [--flightrec f.json] [--serve-report r.json]\n";
 
 bool read_file(const std::string& path, std::string& out) {
   std::ifstream f(path, std::ios::binary);
@@ -52,10 +58,12 @@ int main(int argc, char** argv) {
     const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
     const bool is_metrics = std::strcmp(argv[i], "--metrics") == 0;
     const bool is_whatif = std::strcmp(argv[i], "--whatif") == 0;
-    if ((!is_trace && !is_metrics && !is_whatif) || i + 1 >= argc) {
-      std::fprintf(stderr,
-                   "usage: telemetry_check [--trace t.json] "
-                   "[--metrics m.json] [--whatif w.json]\n");
+    const bool is_flightrec = std::strcmp(argv[i], "--flightrec") == 0;
+    const bool is_report = std::strcmp(argv[i], "--serve-report") == 0;
+    if ((!is_trace && !is_metrics && !is_whatif && !is_flightrec &&
+         !is_report) ||
+        i + 1 >= argc) {
+      std::fprintf(stderr, "%s", kUsage);
       return 2;
     }
     const std::string path = argv[++i];
@@ -75,15 +83,21 @@ int main(int argc, char** argv) {
       const insta::telemetry::ValidationResult r =
           insta::telemetry::validate_whatif_json(text, &scenarios);
       rc |= report("whatif", path, r, scenarios, "scenarios");
+    } else if (is_flightrec) {
+      std::size_t events = 0;
+      const insta::telemetry::ValidationResult r =
+          insta::telemetry::validate_flightrec_json(text, &events);
+      rc |= report("flightrec", path, r, events);
+    } else if (is_report) {
+      rc |= report("serve-report", path,
+                   insta::telemetry::validate_serve_report(text), 0);
     } else {
       rc |= report("metrics", path,
                    insta::telemetry::validate_metrics_json(text), 0);
     }
   }
   if (!did_anything) {
-    std::fprintf(stderr,
-                 "usage: telemetry_check [--trace t.json] "
-                 "[--metrics m.json] [--whatif w.json]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   return rc;

@@ -2,8 +2,11 @@
 
 // Shared harness helpers for the table/figure benchmark binaries.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -23,7 +26,44 @@
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
+// Build provenance baked in by bench/CMakeLists.txt; the fallbacks keep the
+// header self-contained for ad-hoc builds.
+#ifndef INSTA_GIT_DESCRIBE
+#define INSTA_GIT_DESCRIBE "unknown"
+#endif
+#ifndef INSTA_BUILD_FLAGS
+#define INSTA_BUILD_FLAGS ""
+#endif
+
 namespace insta::bench {
+
+/// ISO-8601 UTC timestamp of the call ("2026-08-09T12:34:56Z").
+inline std::string iso8601_utc_now() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// The machine's hostname ("unknown" on failure).
+inline std::string host_name() {
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf;
+}
+
+/// Compiler id + version string of the translation unit.
+inline std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
 
 /// Wall-clock statistics of `reps` runs of one operation. Median is the
 /// headline number (robust to one-off scheduler hiccups); min approximates
@@ -118,7 +158,8 @@ class BenchReport {
     Row row;
     row.label = label;
     row.values = values;
-    row.metrics_json = telemetry::MetricsRegistry::global().snapshot().to_json();
+    row.metrics_json =
+        telemetry::MetricsRegistry::global().snapshot().to_json();
     rows_.push_back(std::move(row));
   }
 
@@ -128,8 +169,16 @@ class BenchReport {
     const std::string path = dir + "/BENCH_" + name_ + ".json";
     std::ofstream f(path, std::ios::binary);
     if (!f) return false;
+    // Provenance header: when/where/how the numbers were produced, so two
+    // BENCH_*.json files can be compared with their build context in hand.
     f << "{\n  \"bench\": \"" << telemetry::json_escape(name_)
-      << "\",\n  \"rows\": [";
+      << "\",\n  \"generated_at\": \"" << iso8601_utc_now()
+      << "\",\n  \"host\": \"" << telemetry::json_escape(host_name())
+      << "\",\n  \"build\": {\"compiler\": \""
+      << telemetry::json_escape(compiler_id()) << "\", \"flags\": \""
+      << telemetry::json_escape(INSTA_BUILD_FLAGS) << "\", \"git\": \""
+      << telemetry::json_escape(INSTA_GIT_DESCRIBE)
+      << "\"},\n  \"rows\": [";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       f << (i == 0 ? "\n" : ",\n") << "    {\"label\": \""

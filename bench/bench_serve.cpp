@@ -26,6 +26,7 @@
 #include "gen/changelist.hpp"
 #include "gen/presets.hpp"
 #include "serve/service.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -102,95 +103,111 @@ int main(int argc, char** argv) {
   bench::BenchReport report("serve");
   std::size_t total_mismatches = 0;
 
-  for (const int window : windows_us) {
-    for (const int clients : client_counts) {
-      serve::ServiceOptions sopt;
-      sopt.batch_window_us = window;
-      sopt.max_batch = 64;
-      sopt.max_queue = 256;
-      sopt.max_sessions = clients + 2;
-      serve::TimingService service(engine, sopt);
+  // One measured configuration: C closed-loop clients against a fresh
+  // service. `tag` suffixes the row label (the observability rerun below).
+  const auto run_config = [&](int clients, int window,
+                              const std::string& tag) {
+    serve::ServiceOptions sopt;
+    sopt.batch_window_us = window;
+    sopt.max_batch = 64;
+    sopt.max_queue = 256;
+    sopt.max_sessions = clients + 2;
+    serve::TimingService service(engine, sopt);
 
-      std::vector<std::vector<double>> latencies(
-          static_cast<std::size_t>(clients));
-      std::atomic<std::size_t> mismatches{0};
-      std::atomic<std::size_t> shed{0};
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(clients));
+    std::atomic<std::size_t> mismatches{0};
+    std::atomic<std::size_t> shed{0};
 
-      util::Stopwatch wall;
-      std::vector<std::thread> threads;
-      for (int c = 0; c < clients; ++c) {
-        threads.emplace_back([&, c] {
-          serve::SessionId sid = -1;
-          if (!service.open_session(sid).ok()) {
-            mismatches.fetch_add(1);
-            return;
-          }
-          util::Rng pick(7000 + static_cast<std::uint64_t>(c));
-          auto& lat = latencies[static_cast<std::size_t>(c)];
-          lat.reserve(static_cast<std::size_t>(requests_per_client));
-          for (int r = 0; r < requests_per_client; ++r) {
-            const std::size_t which =
-                static_cast<std::size_t>(pick() % pool.size());
-            serve::TimingService::WhatifReply reply;
-            util::Stopwatch sw;
-            const serve::Error err = service.whatif(sid, {pool[which]}, reply);
-            if (!err.ok()) {
-              // Shedding is legal under load but excluded from latency.
-              if (err.code == serve::ErrorCode::kOverloaded) {
-                shed.fetch_add(1);
-              } else {
-                mismatches.fetch_add(1);
-              }
-              continue;
-            }
-            lat.push_back(sw.elapsed_sec() * 1e3);
-            if (!(reply.results[0].setup == ref[which].setup)) {
+    util::Stopwatch wall;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        serve::SessionId sid = -1;
+        if (!service.open_session(sid).ok()) {
+          mismatches.fetch_add(1);
+          return;
+        }
+        util::Rng pick(7000 + static_cast<std::uint64_t>(c));
+        auto& lat = latencies[static_cast<std::size_t>(c)];
+        lat.reserve(static_cast<std::size_t>(requests_per_client));
+        for (int r = 0; r < requests_per_client; ++r) {
+          const std::size_t which =
+              static_cast<std::size_t>(pick() % pool.size());
+          serve::TimingService::WhatifReply reply;
+          util::Stopwatch sw;
+          const serve::Error err = service.whatif(sid, {pool[which]}, reply);
+          if (!err.ok()) {
+            // Shedding is legal under load but excluded from latency.
+            if (err.code == serve::ErrorCode::kOverloaded) {
+              shed.fetch_add(1);
+            } else {
               mismatches.fetch_add(1);
             }
+            continue;
           }
-          (void)service.close_session(sid);
-        });
-      }
-      for (std::thread& t : threads) t.join();
-      const double wall_sec = wall.elapsed_sec();
+          lat.push_back(sw.elapsed_sec() * 1e3);
+          if (!(reply.results[0].setup == ref[which].setup)) {
+            mismatches.fetch_add(1);
+          }
+        }
+        (void)service.close_session(sid);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall_sec = wall.elapsed_sec();
 
-      std::vector<double> all;
-      for (const auto& lat : latencies) {
-        all.insert(all.end(), lat.begin(), lat.end());
-      }
-      std::sort(all.begin(), all.end());
-      const double qps =
-          wall_sec > 0.0 ? static_cast<double>(all.size()) / wall_sec : 0.0;
-      const serve::ServiceStats st = service.stats();
-      const double mean_batch =
-          st.batches > 0 ? static_cast<double>(st.whatif_scenarios) /
-                               static_cast<double>(st.batches)
-                         : 0.0;
-      total_mismatches += mismatches.load();
+    std::vector<double> all;
+    for (const auto& lat : latencies) {
+      all.insert(all.end(), lat.begin(), lat.end());
+    }
+    std::sort(all.begin(), all.end());
+    const double qps =
+        wall_sec > 0.0 ? static_cast<double>(all.size()) / wall_sec : 0.0;
+    const serve::ServiceStats st = service.stats();
+    const double mean_batch =
+        st.batches > 0 ? static_cast<double>(st.whatif_scenarios) /
+                             static_cast<double>(st.batches)
+                       : 0.0;
+    total_mismatches += mismatches.load();
 
-      table.add_row(
-          {std::to_string(clients), std::to_string(window),
-           util::fmt("%.0f", qps), util::fmt("%.2f", percentile(all, 0.50)),
-           util::fmt("%.2f", percentile(all, 0.95)),
-           util::fmt("%.2f", percentile(all, 0.99)),
-           util::fmt("%.2f", all.empty() ? 0.0 : all.back()),
-           std::to_string(st.batches), util::fmt("%.1f", mean_batch),
-           std::to_string(mismatches.load())});
-      report.add_row(
-          "C=" + std::to_string(clients) + ",W=" + std::to_string(window),
-          {{"clients", static_cast<double>(clients)},
-           {"batch_window_us", static_cast<double>(window)},
-           {"queries_per_sec", qps},
-           {"p50_ms", percentile(all, 0.50)},
-           {"p95_ms", percentile(all, 0.95)},
-           {"p99_ms", percentile(all, 0.99)},
-           {"max_ms", all.empty() ? 0.0 : all.back()},
-           {"batches", static_cast<double>(st.batches)},
-           {"mean_batch_occupancy", mean_batch},
-           {"shed", static_cast<double>(shed.load())},
-           {"mismatches", static_cast<double>(mismatches.load())}});
+    table.add_row(
+        {std::to_string(clients) + tag, std::to_string(window),
+         util::fmt("%.0f", qps), util::fmt("%.2f", percentile(all, 0.50)),
+         util::fmt("%.2f", percentile(all, 0.95)),
+         util::fmt("%.2f", percentile(all, 0.99)),
+         util::fmt("%.2f", all.empty() ? 0.0 : all.back()),
+         std::to_string(st.batches), util::fmt("%.1f", mean_batch),
+         std::to_string(mismatches.load())});
+    report.add_row(
+        "C=" + std::to_string(clients) + ",W=" + std::to_string(window) + tag,
+        {{"clients", static_cast<double>(clients)},
+         {"batch_window_us", static_cast<double>(window)},
+         {"queries_per_sec", qps},
+         {"p50_ms", percentile(all, 0.50)},
+         {"p95_ms", percentile(all, 0.95)},
+         {"p99_ms", percentile(all, 0.99)},
+         {"max_ms", all.empty() ? 0.0 : all.back()},
+         {"batches", static_cast<double>(st.batches)},
+         {"mean_batch_occupancy", mean_batch},
+         {"shed", static_cast<double>(shed.load())},
+         {"mismatches", static_cast<double>(mismatches.load())}});
+  };
+
+  for (const int window : windows_us) {
+    for (const int clients : client_counts) {
+      run_config(clients, window, "");
     }
   }
+
+  // Observability cost row: rerun the busiest configuration with the tracer
+  // armed (the flight recorder is always on). Request-scoped spans, flow
+  // events, and ring writes must keep throughput within noise of the plain
+  // run above — this row makes a regression show up in the artifact diff.
+  const bool tracer_was_enabled = telemetry::Tracer::global().enabled();
+  telemetry::Tracer::global().set_enabled(true);
+  run_config(client_counts.back(), windows_us.back(), " +obs");
+  telemetry::Tracer::global().set_enabled(tracer_was_enabled);
 
   std::fputs(table.str().c_str(), stdout);
   std::printf("\nlarger windows trade per-request latency for batch "

@@ -2,6 +2,7 @@
 
 #if INSTA_LOCK_CHECK_ENABLED
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -38,6 +39,10 @@ struct HeldStack {
 };
 
 thread_local HeldStack t_held;
+
+/// Abort-path diagnostic hook (see lock_check_set_abort_hook). Atomic so a
+/// late registration cannot tear against a concurrent abort.
+std::atomic<LockCheckAbortHook> g_abort_hook{nullptr};
 
 void print_frames(void* const* frames, int n) {
 #if defined(INSTA_LOCK_CHECK_BACKTRACE)
@@ -79,10 +84,19 @@ void print_frames(void* const* frames, int n) {
                  h.info->rank, h.lock, h.shared ? "shared" : "exclusive");
   }
   std::fflush(stderr);
+  if (const LockCheckAbortHook hook =
+          g_abort_hook.load(std::memory_order_acquire);
+      hook != nullptr) {
+    hook();
+  }
   std::abort();
 }
 
 }  // namespace
+
+void lock_check_set_abort_hook(LockCheckAbortHook hook) {
+  g_abort_hook.store(hook, std::memory_order_release);
+}
 
 void lock_check_acquire(const LockRankInfo* info, const void* lock,
                         bool shared) {

@@ -38,7 +38,18 @@ struct LockRankInfo {
   int rank;
 };
 
+/// Hook invoked (when set) right before the validator aborts, so higher
+/// layers can dump diagnostic state — the telemetry flight recorder
+/// registers itself here. A bare function pointer keeps this header
+/// dependency-free (it sits below util/mutex.hpp in the include stack).
+/// The hook runs on the aborting thread and must not acquire locks.
+using LockCheckAbortHook = void (*)();
+
 #if INSTA_LOCK_CHECK_ENABLED
+
+/// Installs `hook` (nullptr clears it). Last writer wins; expected to be
+/// set once at process init.
+void lock_check_set_abort_hook(LockCheckAbortHook hook);
 
 /// Registers an impending acquisition on the calling thread's held-lock
 /// stack. Called by the util::Mutex wrappers immediately BEFORE blocking on
@@ -57,6 +68,7 @@ void lock_check_release(const void* lock);
 
 #else  // !INSTA_LOCK_CHECK_ENABLED
 
+inline void lock_check_set_abort_hook(LockCheckAbortHook /*hook*/) {}
 inline void lock_check_acquire(const LockRankInfo* /*info*/,
                                const void* /*lock*/, bool /*shared*/) {}
 inline void lock_check_release(const void* /*lock*/) {}

@@ -282,9 +282,11 @@ void ScenarioBatch::release_workspace(Workspace& ws) {
 /// pairing intact.
 void ScenarioBatch::run_scenario(std::span<const timing::ArcDelta> deltas,
                                  Workspace& ws, bool level_parallel,
+                                 std::uint64_t flow_id,
                                  ScenarioResult& out) const {
   INSTA_TRACE_SCOPE("scenario.run",
                     static_cast<std::int64_t>(deltas.size()));
+  if (flow_id != 0) telemetry::Tracer::global().flow(flow_id, 't');
   const Engine& e = *engine_;
   const bool hold = ws.hold;
   const std::size_t modes = ws.modes;
@@ -608,13 +610,20 @@ void ScenarioBatch::run_scenario(std::span<const timing::ArcDelta> deltas,
 }
 
 std::vector<ScenarioResult> ScenarioBatch::evaluate(
-    std::span<const std::span<const timing::ArcDelta>> scenarios) {
+    std::span<const std::span<const timing::ArcDelta>> scenarios,
+    std::span<const std::uint64_t> flow_ids) {
   INSTA_TRACE_SCOPE("scenario.batch",
                     static_cast<std::int64_t>(scenarios.size()));
   const Engine& e = *engine_;
   check(e.timing_clean(),
         "ScenarioBatch::evaluate: parent engine has pending annotations "
         "(run run_forward_incremental() first)");
+  check(flow_ids.empty() || flow_ids.size() == scenarios.size(),
+        "ScenarioBatch::evaluate: flow_ids must be empty or match the "
+        "scenario count");
+  const auto flow_of = [&flow_ids](std::size_t s) -> std::uint64_t {
+    return flow_ids.empty() ? 0 : flow_ids[s];
+  };
   for (std::size_t s = 0; s < scenarios.size(); ++s) {
     const analysis::LintReport rep = e.check_deltas(scenarios[s]);
     if (rep.has_errors()) {
@@ -659,7 +668,7 @@ std::vector<ScenarioResult> ScenarioBatch::evaluate(
           Workspace& ws = acquire_workspace();
           for (std::size_t s = lo; s < hi; ++s) {
             run_scenario(scenarios[s], ws, /*level_parallel=*/false,
-                         results[s]);
+                         flow_of(s), results[s]);
           }
           release_workspace(ws);
         },
@@ -667,7 +676,8 @@ std::vector<ScenarioResult> ScenarioBatch::evaluate(
   } else {
     Workspace& ws = acquire_workspace();
     for (std::size_t s = 0; s < num_scenarios; ++s) {
-      run_scenario(scenarios[s], ws, /*level_parallel=*/true, results[s]);
+      run_scenario(scenarios[s], ws, /*level_parallel=*/true, flow_of(s),
+                   results[s]);
     }
     release_workspace(ws);
   }

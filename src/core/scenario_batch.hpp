@@ -90,8 +90,15 @@ class ScenarioBatch {
   /// Evaluates B delta-sets; result i corresponds to scenarios[i]. Every
   /// delta-set is validated up front (Engine::check_deltas) and the first
   /// error aborts the batch with a CheckError naming the scenario.
+  ///
+  /// When `flow_ids` is non-empty it must be scenario-parallel (size B):
+  /// each scenario's "scenario.run" trace span emits a flow step with
+  /// flow_ids[i], linking the span back to the originating request in the
+  /// Chrome trace. Ids of 0 are skipped; purely observational — results are
+  /// unaffected.
   [[nodiscard]] std::vector<ScenarioResult> evaluate(
-      std::span<const std::span<const timing::ArcDelta>> scenarios);
+      std::span<const std::span<const timing::ArcDelta>> scenarios,
+      std::span<const std::uint64_t> flow_ids = {});
 
   /// Convenience overload for owning containers.
   [[nodiscard]] std::vector<ScenarioResult> evaluate(
@@ -109,7 +116,8 @@ class ScenarioBatch {
   Workspace& acquire_workspace();
   void release_workspace(Workspace& ws);
   void run_scenario(std::span<const timing::ArcDelta> deltas, Workspace& ws,
-                    bool level_parallel, ScenarioResult& out) const;
+                    bool level_parallel, std::uint64_t flow_id,
+                    ScenarioResult& out) const;
 
   const Engine* engine_;
   ScenarioBatchOptions options_;

@@ -1,9 +1,15 @@
 #include "serve/protocol.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <iterator>
 #include <numeric>
 #include <utility>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/log.hpp"
 
 namespace insta::serve {
 
@@ -14,6 +20,33 @@ using telemetry::JsonValue;
 using timing::ArcDelta;
 
 namespace {
+
+/// Steady-clock nanoseconds for the server_us reply breakdown (raw chrono:
+/// the breakdown is protocol behavior and must survive telemetry-off).
+std::int64_t proto_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Small numeric op tag for the flight recorder's kAdmit detail word.
+std::uint32_t op_tag(const std::string& op) {
+  static constexpr const char* kOps[] = {
+      "ping",     "info",   "summary",    "endpoints", "open",
+      "close",    "whatif", "begin_edit", "annotate",  "commit",
+      "rollback", "stats",  "trace",      "flightrec", "shutdown"};
+  for (std::size_t i = 0; i < std::size(kOps); ++i) {
+    if (op == kOps[i]) return static_cast<std::uint32_t>(i + 1);
+  }
+  return 0;
+}
+
+/// Strips the pretty-printer's trailing newline so a standalone telemetry
+/// document embeds cleanly as a reply body.
+std::string trim_trailing(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
+  return s;
+}
 
 void add_error(LintReport& report, const char* rule, std::string message) {
   Diagnostic d;
@@ -146,6 +179,13 @@ bool parse_request(std::string_view line, Request& out, LintReport& report) {
     return false;
   }
   out.worst = static_cast<int>(worst);
+  std::int64_t max = 0;
+  if (!get_int(doc, "max", max, kRule, report)) return false;
+  if (max < 0) {
+    add_error(report, kRule, "\"max\" must be >= 0");
+    return false;
+  }
+  out.max = static_cast<int>(max);
 
   if (const JsonValue* ids = doc.find("ids"); ids != nullptr) {
     if (!ids->is_array()) {
@@ -243,7 +283,8 @@ std::string stats_body(const ServiceStats& s) {
 
 // ---- dispatcher -------------------------------------------------------------
 
-Dispatcher::Dispatcher(TimingService& service) : service_(&service) {}
+Dispatcher::Dispatcher(TimingService& service, DispatcherOptions options)
+    : service_(&service), options_(options) {}
 
 Dispatcher::~Dispatcher() {
   // Close everything this connection opened; an in-flight request on the
@@ -270,12 +311,46 @@ bool Dispatcher::resolve_session(const Request& req, SessionId& out,
 }
 
 std::string Dispatcher::dispatch(std::string_view line, bool* shutdown) {
+  const std::int64_t t0 = proto_now_ns();
   Request req;
   LintReport report;
-  if (!parse_request(line, req, report)) {
-    return error_reply(req.id, ErrorCode::kBadRequest, "malformed request",
-                       &report);
+  const bool parsed = parse_request(line, req, report);
+  // Every request gets a traceable identity: a client-supplied nonzero id
+  // is used verbatim, anything else (absent, 0, or an unparseable line) is
+  // assigned a fresh server-generated id that the reply echoes.
+  if (req.id == 0) req.id = static_cast<std::int64_t>(next_request_id());
+  telemetry::FlightRecorder::global().record(
+      telemetry::FlightEventType::kAdmit, static_cast<std::uint64_t>(req.id),
+      0, op_tag(req.op));
+
+  ReplyTiming timing;
+  std::string reply =
+      parsed ? dispatch_op(req, shutdown, timing)
+             : error_reply(req.id, ErrorCode::kBadRequest, "malformed request",
+                           &report);
+
+  // Inject the server_us breakdown as a top-level reply member (every
+  // reply builder ends its object with '}').
+  const std::int64_t total_us = (proto_now_ns() - t0) / 1000;
+  std::string breakdown =
+      "\"queue\": " + std::to_string(timing.queue_us) +
+      ", \"batch\": " + std::to_string(timing.batch_us) +
+      ", \"eval\": " + std::to_string(timing.eval_us) +
+      ", \"serialize\": " + std::to_string(timing.serialize_us) +
+      ", \"total\": " + std::to_string(total_us);
+  reply.pop_back();
+  reply += ", \"server_us\": {" + breakdown + "}}";
+
+  if (options_.slow_us >= 0 && total_us >= options_.slow_us) {
+    util::log_warn("serve: slow request id=" + std::to_string(req.id) +
+                   " op=" + (req.op.empty() ? "?" : req.op) + " server_us={" +
+                   breakdown + "}");
   }
+  return reply;
+}
+
+std::string Dispatcher::dispatch_op(const Request& req, bool* shutdown,
+                                    ReplyTiming& timing) {
   const std::string& op = req.op;
 
   if (op == "ping") return ok_reply(req.id, "{\"pong\": true}");
@@ -380,10 +455,15 @@ std::string Dispatcher::dispatch(std::string_view line, bool* shutdown) {
       return error_reply(req.id, err.code, err.message);
     }
     TimingService::WhatifReply reply;
-    err = service_->whatif(sid, req.scenarios, reply);
+    err = service_->whatif(sid, req.scenarios, reply,
+                           static_cast<std::uint64_t>(req.id));
+    timing.queue_us = reply.timing.queue_us;
+    timing.batch_us = reply.timing.batch_us;
+    timing.eval_us = reply.timing.eval_us;
     if (!err.ok()) {
       return error_reply(req.id, err.code, err.message, &err.diagnostics);
     }
+    const std::int64_t ser0 = proto_now_ns();
     std::string body = "{\"version\": " + std::to_string(reply.version) +
                        ", \"results\": [";
     for (std::size_t i = 0; i < reply.results.size(); ++i) {
@@ -415,7 +495,9 @@ std::string Dispatcher::dispatch(std::string_view line, bool* shutdown) {
       body += "}";
     }
     body += "]}";
-    return ok_reply(req.id, body);
+    std::string out = ok_reply(req.id, body);
+    timing.serialize_us = (proto_now_ns() - ser0) / 1000;
+    return out;
   }
 
   if (op == "begin_edit" || op == "annotate" || op == "commit" ||
@@ -455,7 +537,49 @@ std::string Dispatcher::dispatch(std::string_view line, bool* shutdown) {
     return ok_reply(req.id, "{\"rolled_back\": true}");
   }
 
-  if (op == "stats") return ok_reply(req.id, stats_body(service_->stats()));
+  if (op == "stats") {
+    // stats_body plus the live fields a polling dashboard (insta_cli top)
+    // needs: instantaneous queue depth / session count and the what-if
+    // latency distribution (zeros in telemetry-off builds).
+    std::string body = stats_body(service_->stats());
+    body.pop_back();
+    body += ", \"queue_depth\": " + std::to_string(service_->queue_depth()) +
+            ", \"open_sessions\": " +
+            std::to_string(service_->open_sessions());
+    const telemetry::MetricsSnapshot snap =
+        telemetry::MetricsRegistry::global().snapshot();
+    const auto it = snap.histograms.find("serve.whatif_latency_us");
+    const telemetry::HistogramSnapshot lat =
+        it == snap.histograms.end() ? telemetry::HistogramSnapshot{}
+                                    : it->second;
+    body += ", \"latency_us\": {\"count\": " + std::to_string(lat.count) +
+            ", \"p50\": " + telemetry::json_number(lat.percentile(0.50)) +
+            ", \"p95\": " + telemetry::json_number(lat.percentile(0.95)) +
+            ", \"p99\": " + telemetry::json_number(lat.percentile(0.99)) +
+            ", \"max\": " + telemetry::json_number(lat.max) + "}}";
+    return ok_reply(req.id, body);
+  }
+
+  if (op == "trace") {
+    // Newest completed spans, embedded verbatim from Tracer::spans_json;
+    // "max" caps the span count (default 64).
+    const auto cap = static_cast<std::size_t>(req.max > 0 ? req.max : 64);
+    const telemetry::Tracer& tracer = telemetry::Tracer::global();
+    std::string body = trim_trailing(tracer.spans_json(cap));
+    body.pop_back();
+    body += std::string(", \"enabled\": ") +
+            (tracer.enabled() ? "true" : "false") + "}";
+    return ok_reply(req.id, body);
+  }
+
+  if (op == "flightrec") {
+    // Newest flight-recorder lifecycle events ("max" caps the count,
+    // default 64); the result validates as a flight-recorder document.
+    const auto cap = static_cast<std::size_t>(req.max > 0 ? req.max : 64);
+    return ok_reply(
+        req.id,
+        trim_trailing(telemetry::FlightRecorder::global().to_json(cap)));
+  }
 
   return error_reply(req.id, ErrorCode::kBadRequest, "unknown op \"" +
                                                          op + "\"");

@@ -14,9 +14,19 @@
 //        "message": "...", "diagnostics": [...]}}
 //
 // Ops: ping, info, summary, endpoints (ids | worst N), open, close, whatif,
-// begin_edit, annotate, commit, rollback, stats, shutdown. The scenarios
-// document reuses the `insta_cli whatif --scenarios` schema, so one parser
-// (parse_scenarios_json) serves both the file-based CLI path and the wire.
+// begin_edit, annotate, commit, rollback, stats, trace, flightrec,
+// shutdown. The scenarios document reuses the `insta_cli whatif
+// --scenarios` schema, so one parser (parse_scenarios_json) serves both the
+// file-based CLI path and the wire.
+//
+// Request tracing: a request that carries no "id" (or id 0) is assigned a
+// fresh positive one by the dispatcher, and the reply echoes whichever id
+// was in effect — so every request is addressable in the flight recorder
+// and trace flow events whether or not the client numbers its requests.
+// Every reply additionally carries a "server_us" object breaking the
+// server-side wall time down as {"queue", "batch", "eval", "serialize",
+// "total"} microseconds (the first three are nonzero only for whatif, whose
+// batching pipeline they describe; the parts never sum to more than total).
 //
 // Every parse/shape failure is reported as structured analysis::Diagnostic
 // entries with stable rule ids ("req-json", "req-shape", "whatif-json",
@@ -41,6 +51,7 @@ struct Request {
   std::string op;
   SessionId session = -1;  ///< -1: use the connection's implicit session
   int worst = 0;           ///< endpoints op: N worst-slack endpoints
+  int max = 0;             ///< trace/flightrec ops: entry cap (0: default)
   std::vector<std::int64_t> endpoint_ids;  ///< endpoints op: explicit ids
   std::vector<std::vector<timing::ArcDelta>> scenarios;  ///< whatif op
   std::vector<std::string> labels;                       ///< whatif op
@@ -81,13 +92,21 @@ bool parse_scenarios_json(const telemetry::JsonValue& doc,
 /// Serializes ServiceStats as a flat JSON object.
 [[nodiscard]] std::string stats_body(const ServiceStats& s);
 
+/// Per-connection dispatcher knobs (from ServerOptions / CLI flags).
+struct DispatcherOptions {
+  /// Requests whose end-to-end dispatch exceeds this many microseconds are
+  /// logged as warnings with their server_us breakdown. 0 logs every
+  /// request; negative disables the slow-request log.
+  std::int64_t slow_us = -1;
+};
+
 /// One connection's protocol state machine. dispatch() turns a request
 /// line into exactly one reply line (no trailing newline). Sessions the
 /// dispatcher opened implicitly or via the open op are closed when it is
 /// destroyed, so a dropped connection cannot leak the edit slot.
 class Dispatcher {
  public:
-  explicit Dispatcher(TimingService& service);
+  explicit Dispatcher(TimingService& service, DispatcherOptions options = {});
   ~Dispatcher();
   Dispatcher(const Dispatcher&) = delete;
   Dispatcher& operator=(const Dispatcher&) = delete;
@@ -98,11 +117,25 @@ class Dispatcher {
                                      bool* shutdown = nullptr);
 
  private:
+  /// Server-side time accounting of the request being dispatched, merged
+  /// into the reply's server_us object.
+  struct ReplyTiming {
+    std::int64_t queue_us = 0;
+    std::int64_t batch_us = 0;
+    std::int64_t eval_us = 0;
+    std::int64_t serialize_us = 0;
+  };
+
   /// The session a request addresses: its explicit one, or the
   /// connection's implicit session (opened on first use).
   bool resolve_session(const Request& req, SessionId& out, Error& err);
+  /// Routes one parsed request to its op handler; the reply lacks the
+  /// server_us object, which dispatch() injects.
+  [[nodiscard]] std::string dispatch_op(const Request& req, bool* shutdown,
+                                        ReplyTiming& timing);
 
   TimingService* service_;
+  DispatcherOptions options_;
   std::vector<SessionId> owned_;
   SessionId implicit_ = -1;
 };

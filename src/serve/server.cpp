@@ -160,7 +160,8 @@ void Server::accept_loop() {
 }
 
 void Server::handle_connection(int fd) {
-  Dispatcher dispatcher(*service_);
+  Dispatcher dispatcher(*service_,
+                        DispatcherOptions{.slow_us = options_.slow_us});
   std::string buffer;
   char chunk[4096];
   bool shutdown_op = false;

@@ -1,19 +1,31 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <utility>
 
-#include "telemetry/metrics.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace insta::serve {
 
+using telemetry::FlightEventType;
 using timing::ArcDelta;
 using util::check;
 
 namespace {
+
+/// Steady-clock nanoseconds for the WhatifTiming breakdown. Raw chrono, not
+/// Tracer::now_ns(): the breakdown is wire-protocol behavior and must work
+/// in telemetry-off builds.
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Registered-once service counters (no-op stubs when telemetry is off).
 struct ServeMetrics {
@@ -53,6 +65,11 @@ ServeMetrics& serve_metrics() {
 }
 
 }  // namespace
+
+std::uint64_t next_request_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 const char* error_code_name(ErrorCode code) {
   switch (code) {
@@ -198,21 +215,38 @@ Error TimingService::validate_scenarios(
 
 Error TimingService::whatif(
     SessionId session, const std::vector<std::vector<ArcDelta>>& scenarios,
-    WhatifReply& out) {
+    WhatifReply& out, std::uint64_t request_id) {
   ServeMetrics& sm = serve_metrics();
+  auto& fr = telemetry::FlightRecorder::global();
+  if (request_id == 0) request_id = next_request_id();
+  out.request_id = request_id;
+  const auto detail = static_cast<std::uint32_t>(scenarios.size());
+  INSTA_TRACE_SCOPE("serve.whatif",
+                    static_cast<std::int64_t>(scenarios.size()));
+  // Every exit path — shed, rejected, failed, served — observes the latency
+  // histogram: a dashboard reading p99 must see the requests the server
+  // turned away, not just the ones it liked.
+  util::Stopwatch sw;
+  const auto observe_latency = [&sm, &sw] {
+    sm.whatif_latency_us.observe(sw.elapsed_sec() * 1e6);
+  };
   if (scenarios.empty()) {
+    observe_latency();
     return Error::make(ErrorCode::kBadRequest, "whatif: empty scenario list");
   }
   {
     const util::LockGuard sl(state_mu_);
     const auto it = sessions_.find(session);
     if (it == sessions_.end()) {
+      observe_latency();
       return Error::make(ErrorCode::kBadSession,
                          "unknown session " + std::to_string(session));
     }
     if (it->second.inflight >= options_.max_inflight_per_session) {
       ++stats_.shed;
       sm.shed.inc();
+      fr.record(FlightEventType::kShed, request_id, 0, detail);
+      observe_latency();
       return Error::make(
           ErrorCode::kOverloaded,
           "session " + std::to_string(session) + " already has " +
@@ -220,6 +254,7 @@ Error TimingService::whatif(
     }
     ++it->second.inflight;
   }
+  fr.record(FlightEventType::kAdmit, request_id, 0, detail);
   // The session's inflight slot is held from here on; every exit path must
   // release it.
   const auto release = [this, session] {
@@ -229,11 +264,12 @@ Error TimingService::whatif(
 
   if (Error err = validate_scenarios(scenarios); !err.ok()) {
     release();
+    observe_latency();
     return err;
   }
 
-  util::Stopwatch sw;
   PendingWhatif req;
+  req.request_id = request_id;
   req.scenarios = &scenarios;
   req.reply = &out;
   {
@@ -242,6 +278,8 @@ Error TimingService::whatif(
         static_cast<std::size_t>(options_.max_queue)) {
       ql.unlock();
       release();
+      fr.record(FlightEventType::kShed, request_id, 0, detail);
+      observe_latency();
       const util::LockGuard sl(state_mu_);
       ++stats_.shed;
       sm.shed.inc();
@@ -250,6 +288,12 @@ Error TimingService::whatif(
                              std::to_string(options_.max_queue) +
                              " scenarios)");
     }
+    // Recorded before the queue push so the leader's kBatch event for this
+    // request can never precede its kEnqueue in ticket order; the 's' flow
+    // point parent-links the batch spans back to this request thread.
+    req.enqueue_ns = steady_now_ns();
+    fr.record(FlightEventType::kEnqueue, request_id, 0, detail);
+    telemetry::Tracer::global().flow(request_id, 's');
     queue_.push_back(&req);
     queued_scenarios_ += scenarios.size();
     sm.queue_depth.set(static_cast<double>(queued_scenarios_));
@@ -273,7 +317,17 @@ Error TimingService::whatif(
     util::UniqueLock ql(queue_mu_);
     done_cv_.wait(ql, [&req] { return req.done; });
   }
-  sm.whatif_latency_us.observe(sw.elapsed_sec() * 1e6);
+  const auto us = [](std::int64_t a, std::int64_t b) {
+    return std::max<std::int64_t>(0, (b - a) / 1000);
+  };
+  out.timing.queue_us = us(req.enqueue_ns, req.drained_ns);
+  out.timing.batch_us = us(req.drained_ns, req.eval_begin_ns);
+  out.timing.eval_us = us(req.eval_begin_ns, req.eval_end_ns);
+  telemetry::Tracer::global().flow(request_id, 'f');
+  fr.record(FlightEventType::kReply, request_id, out.version,
+            req.error.ok() ? 0
+                           : static_cast<std::uint32_t>(req.error.code));
+  observe_latency();
   release();
   return req.error;
 }
@@ -300,6 +354,20 @@ void TimingService::run_batch_leader(PendingWhatif& self) {
     serve_metrics().queue_depth.set(0.0);
     // Collection of the next batch may begin while this one evaluates.
     collecting_ = false;
+  }
+
+  // The leader span encloses the whole batch; one 't' flow point per member
+  // links every co-travelling request into it, which is what makes the
+  // coalescing visible in the Chrome trace (N arrows into one slice).
+  INSTA_TRACE_SCOPE("serve.batch", static_cast<std::int64_t>(reqs.size()));
+  const std::int64_t drained = steady_now_ns();
+  auto& tracer = telemetry::Tracer::global();
+  auto& fr = telemetry::FlightRecorder::global();
+  const auto occupancy = static_cast<std::uint32_t>(reqs.size());
+  for (PendingWhatif* r : reqs) {
+    r->drained_ns = drained;
+    tracer.flow(r->request_id, 't');
+    fr.record(FlightEventType::kBatch, r->request_id, 0, occupancy);
   }
 
   evaluate_requests(reqs);
@@ -333,19 +401,26 @@ void TimingService::evaluate_requests(std::vector<PendingWhatif*>& reqs) {
   const util::LockGuard evl(eval_mu_);
   const util::SharedLock el(engine_mu_);
   const std::uint64_t version = engine_->generation();
+  const std::int64_t eval_begin = steady_now_ns();
+  for (PendingWhatif* r : reqs) r->eval_begin_ns = eval_begin;
   util::Stopwatch sw;
   const auto chunk_cap = static_cast<std::size_t>(options_.max_batch);
   std::uint64_t num_batches = 0;
   std::uint64_t max_occupancy = 0;
   for (std::size_t lo = 0; lo < items.size(); lo += chunk_cap) {
     const std::size_t hi = std::min(items.size(), lo + chunk_cap);
+    INSTA_TRACE_SCOPE("serve.eval_chunk", static_cast<std::int64_t>(hi - lo));
     std::vector<std::span<const ArcDelta>> spans;
+    std::vector<std::uint64_t> flow_ids;
     spans.reserve(hi - lo);
+    flow_ids.reserve(hi - lo);
     for (std::size_t i = lo; i < hi; ++i) {
       spans.push_back((*items[i].req->scenarios)[items[i].index]);
+      flow_ids.push_back(items[i].req->request_id);
     }
     try {
-      std::vector<core::ScenarioResult> results = batch_.evaluate(spans);
+      std::vector<core::ScenarioResult> results =
+          batch_.evaluate(spans, flow_ids);
       for (std::size_t i = lo; i < hi; ++i) {
         items[i].req->reply->results[items[i].index] =
             std::move(results[i - lo]);
@@ -364,7 +439,14 @@ void TimingService::evaluate_requests(std::vector<PendingWhatif*>& reqs) {
         std::max(max_occupancy, static_cast<std::uint64_t>(hi - lo));
     sm.batch_occupancy.observe(static_cast<double>(hi - lo));
   }
-  for (PendingWhatif* r : reqs) r->reply->version = version;
+  const std::int64_t eval_end = steady_now_ns();
+  auto& fr = telemetry::FlightRecorder::global();
+  for (PendingWhatif* r : reqs) {
+    r->eval_end_ns = eval_end;
+    r->reply->version = version;
+    fr.record(FlightEventType::kEval, r->request_id, version,
+              static_cast<std::uint32_t>(r->scenarios->size()));
+  }
   sm.eval_us.observe(sw.elapsed_sec() * 1e6);
   sm.batches.add(num_batches);
   sm.scenarios.add(items.size());
@@ -509,6 +591,16 @@ Error TimingService::rollback(SessionId session) {
 ServiceStats TimingService::stats() const {
   const util::LockGuard sl(state_mu_);
   return stats_;
+}
+
+std::size_t TimingService::queue_depth() const {
+  const util::LockGuard ql(queue_mu_);
+  return queued_scenarios_;
+}
+
+std::size_t TimingService::open_sessions() const {
+  const util::LockGuard sl(state_mu_);
+  return sessions_.size();
 }
 
 }  // namespace insta::serve

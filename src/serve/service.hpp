@@ -67,6 +67,12 @@ enum class ErrorCode : std::uint8_t {
 /// Wire spelling of a code ("overloaded", "bad-request", ...).
 [[nodiscard]] const char* error_code_name(ErrorCode code);
 
+/// Process-wide request-id allocator: returns a fresh positive id per call.
+/// The dispatcher stamps every wire request that did not supply its own id,
+/// so each request is traceable through the flight recorder and the trace
+/// flow events even when the client does not care about ids.
+[[nodiscard]] std::uint64_t next_request_id();
+
 /// Structured failure report of one service call. Success is code kNone;
 /// everything else carries a message and, for validation failures, the
 /// per-delta diagnostics (rule ids "delta-arc-range", ...).
@@ -169,8 +175,18 @@ class TimingService {
 
   // ---- batched speculative what-ifs -----------------------------------------
 
+  /// Server-side latency breakdown of one what-if request, measured on the
+  /// service's own steady clock (filled regardless of the telemetry build).
+  struct WhatifTiming {
+    std::int64_t queue_us = 0;  ///< enqueue until the leader drained it
+    std::int64_t batch_us = 0;  ///< drained until its evaluation began
+    std::int64_t eval_us = 0;   ///< inside ScenarioBatch::evaluate
+  };
+
   struct WhatifReply {
+    std::uint64_t request_id = 0;  ///< id the batch machinery traced this as
     std::uint64_t version = 0;  ///< snapshot version the batch ran against
+    WhatifTiming timing;
     std::vector<core::ScenarioResult> results;  ///< parallel to scenarios
   };
 
@@ -179,9 +195,13 @@ class TimingService {
   /// until the batch containing the request completes. Results are
   /// bit-identical to sequentially annotating the engine and re-propagating
   /// (ScenarioBatch's structural guarantee).
+  ///
+  /// `request_id` labels the request in the flight recorder and trace flow
+  /// events; 0 allocates one internally (the effective id comes back in
+  /// out.request_id either way).
   Error whatif(SessionId session,
                const std::vector<std::vector<timing::ArcDelta>>& scenarios,
-               WhatifReply& out);
+               WhatifReply& out, std::uint64_t request_id = 0);
 
   // ---- exclusive edits ------------------------------------------------------
 
@@ -207,6 +227,11 @@ class TimingService {
   // ---- introspection --------------------------------------------------------
 
   [[nodiscard]] ServiceStats stats() const;
+  /// Scenarios queued but not yet drained by a batch leader (point-in-time,
+  /// for live introspection; races benignly with the batcher).
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Currently open sessions.
+  [[nodiscard]] std::size_t open_sessions() const;
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
   /// Quiescent introspection API: callers (CLI reporting, tests) read the
   /// engine after the concurrent phase has drained, so taking engine_mu_
@@ -224,6 +249,16 @@ class TimingService {
     const std::vector<std::vector<timing::ArcDelta>>* scenarios = nullptr;
     WhatifReply* reply = nullptr;
     Error error;
+    /// Trace/flight-recorder identity of this request (always nonzero once
+    /// queued) and its lifecycle timestamps on the steady clock. The
+    /// *_ns fields after enqueue_ns are written by the leader before it
+    /// marks the request done under queue_mu_, so the owning waiter reads
+    /// them ordered by the same release/acquire as `done`.
+    std::uint64_t request_id = 0;
+    std::int64_t enqueue_ns = 0;
+    std::int64_t drained_ns = 0;
+    std::int64_t eval_begin_ns = 0;
+    std::int64_t eval_end_ns = 0;
     /// Guarded by the service's queue_mu_ (a nested struct cannot name the
     /// outer class's member in an annotation): written by the leader under
     /// queue_mu_, read by the waiter's done_cv_ predicate under queue_mu_.
@@ -274,7 +309,8 @@ class TimingService {
 
   /// Micro-batcher state. queue_cv_ wakes the collecting leader early when
   /// the queue fills; done_cv_ wakes waiters whose request completed.
-  util::Mutex queue_mu_{"serve.queue", util::lockrank::kServeQueue};
+  /// Mutable for the const queue_depth() introspection read.
+  mutable util::Mutex queue_mu_{"serve.queue", util::lockrank::kServeQueue};
   util::CondVar queue_cv_;
   util::CondVar done_cv_;
   std::vector<PendingWhatif*> queue_ INSTA_GUARDED_BY(queue_mu_);

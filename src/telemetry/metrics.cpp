@@ -1,11 +1,36 @@
 #include "telemetry/metrics.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
 #include "telemetry/json.hpp"
 
 namespace insta::telemetry {
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += buckets[b];
+    if (static_cast<double>(cum) < target) continue;
+    // The target rank falls inside bucket b; interpolate linearly between
+    // its bounds, clamped to the observed range (bucket 0 has no lower
+    // bound and the last bucket no upper bound).
+    double lo = b == 0 ? min : bounds[b - 1];
+    double hi = b < bounds.size() ? bounds[b] : max;
+    lo = std::clamp(lo, min, max);
+    hi = std::clamp(hi, lo, max);
+    const double frac =
+        (target - before) / static_cast<double>(buckets[b]);
+    return lo + (hi - lo) * frac;
+  }
+  return max;
+}
 
 std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
                                           std::uint64_t fallback) const {
@@ -43,7 +68,10 @@ std::string MetricsSnapshot::to_json() const {
     out += "    \"" + json_escape(name) + "\": {\"count\": " +
            std::to_string(h.count) + ", \"sum\": " + json_number(h.sum) +
            ", \"min\": " + json_number(h.min) +
-           ", \"max\": " + json_number(h.max) + ", \"bounds\": [";
+           ", \"max\": " + json_number(h.max) +
+           ", \"p50\": " + json_number(h.percentile(0.50)) +
+           ", \"p95\": " + json_number(h.percentile(0.95)) +
+           ", \"p99\": " + json_number(h.percentile(0.99)) + ", \"bounds\": [";
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {
       if (i != 0) out += ", ";
       out += json_number(h.bounds[i]);

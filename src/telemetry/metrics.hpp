@@ -56,6 +56,14 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;  ///< 0 when count == 0
   double max = 0.0;  ///< 0 when count == 0
+
+  /// Estimated value at quantile q in [0, 1] (q = 0.5 is the median),
+  /// linearly interpolated inside the exponential bucket containing the
+  /// target rank. The first and last buckets are clamped to the observed
+  /// min/max, so estimates always land in [min, max]; within any other
+  /// bucket the error is bounded by the bucket width (a factor of `growth`
+  /// on the default spec). 0 when the histogram is empty.
+  [[nodiscard]] double percentile(double q) const;
 };
 
 /// A point-in-time aggregation of every registered metric.
@@ -72,8 +80,8 @@ struct MetricsSnapshot {
   }
 
   /// Serializes to the stable JSON schema consumed by telemetry_check:
-  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {bounds,
-  /// buckets, count, sum, min, max}}}.
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// sum, min, max, p50, p95, p99, bounds, buckets}}}.
   [[nodiscard]] std::string to_json() const;
 };
 

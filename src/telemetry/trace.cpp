@@ -61,6 +61,18 @@ void Tracer::record(const SpanRecord& rec) {
   ++r->total;
 }
 
+void Tracer::flow(std::uint64_t id, char phase) {
+  if (!enabled()) return;
+  SpanRecord rec;
+  rec.name = "req";  // flow events bind on (name, id); one shared name
+  rec.begin_ns = now_ns();
+  rec.end_ns = rec.begin_ns;
+  rec.depth = t_span_depth;
+  rec.flow_id = id;
+  rec.flow_phase = phase;
+  record(rec);
+}
+
 void Tracer::clear() {
   const util::LockGuard lock(mutex_);
   for (const auto& r : rings_) {
@@ -94,6 +106,22 @@ void append_event(std::string& out, char ph, const char* name, int tid,
   if (ph == 'B' && arg != kNoTraceArg) {
     out += ", \"args\": {\"v\": " + std::to_string(arg) + "}";
   }
+  out += "}";
+}
+
+/// One flow event ("s" start / "t" step / "f" finish). Viewers bind the
+/// arrow to the slice enclosing ts on this lane.
+void append_flow(std::string& out, char ph, int tid, double ts_us,
+                 std::uint64_t id, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "    {\"ph\": \"";
+  out += ph;
+  out += "\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
+         ", \"ts\": " + json_number(ts_us) +
+         ", \"name\": \"req\", \"cat\": \"req\", \"id\": " +
+         std::to_string(id);
+  if (ph == 'f') out += ", \"bp\": \"e\"";
   out += "}";
 }
 
@@ -146,6 +174,13 @@ std::string Tracer::chrome_trace_json() const {
                      kNoTraceArg, first);
         stack.pop_back();
       }
+      if (s.flow_phase != 0) {
+        // Flow points are instants: they never open a slice, so they do
+        // not join the B/E stack.
+        append_flow(out, s.flow_phase, th.tid,
+                    static_cast<double>(s.begin_ns) * 1e-3, s.flow_id, first);
+        continue;
+      }
       append_event(out, 'B', s.name, th.tid,
                    static_cast<double>(s.begin_ns) * 1e-3, s.arg, first);
       stack.push_back(&s);
@@ -158,6 +193,49 @@ std::string Tracer::chrome_trace_json() const {
     }
   }
   out += "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+  return out;
+}
+
+std::string Tracer::spans_json(std::size_t max_spans) const {
+  struct Entry {
+    SpanRecord rec;
+    int tid = 0;
+  };
+  std::vector<Entry> entries;
+  {
+    const util::LockGuard lock(mutex_);
+    for (const auto& r : rings_) {
+      const util::LockGuard ring_lock(r->mutex);
+      for (const SpanRecord& s : r->spans) {
+        if (s.flow_phase != 0) continue;
+        entries.push_back(Entry{s, r->tid});
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.rec.begin_ns < b.rec.begin_ns;
+            });
+  if (entries.size() > max_spans) {
+    entries.erase(entries.begin(),
+                  entries.end() - static_cast<std::ptrdiff_t>(max_spans));
+  }
+  std::string out = "{\"dropped\": " + std::to_string(dropped()) +
+                    ", \"spans\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const SpanRecord& s = entries[i].rec;
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"name\": \"" + json_escape(s.name) +
+           "\", \"tid\": " + std::to_string(entries[i].tid) +
+           ", \"ts_us\": " +
+           json_number(static_cast<double>(s.begin_ns) * 1e-3) +
+           ", \"dur_us\": " +
+           json_number(static_cast<double>(s.end_ns - s.begin_ns) * 1e-3) +
+           ", \"depth\": " + std::to_string(s.depth);
+    if (s.arg != kNoTraceArg) out += ", \"arg\": " + std::to_string(s.arg);
+    out += "}";
+  }
+  out += entries.empty() ? "]}\n" : "\n]}\n";
   return out;
 }
 

@@ -12,6 +12,12 @@
 // "trace_event" JSON document (balanced B/E duration events plus thread
 // metadata), loadable in chrome://tracing and https://ui.perfetto.dev.
 //
+// flow() records standalone flow points ("s"/"t"/"f" events named "req",
+// keyed by a 64-bit id — the serve layer uses request ids) that viewers
+// render as arrows between the slices enclosing them, parent-linking a
+// request's span on its session thread to the batch-leader and evaluation
+// spans that served it on other threads.
+//
 // Tracing is off until set_enabled(true); a disabled TraceSpan costs one
 // relaxed atomic load. With INSTA_TELEMETRY_ENABLED == 0 everything here is
 // an empty stub (chrome_trace_json() still returns a valid empty trace).
@@ -60,11 +66,27 @@ class Tracer {
   /// Number of spans lost to ring-buffer overwrite since the last clear().
   [[nodiscard]] std::uint64_t dropped() const;
 
+  /// Records a flow point binding the current instant (inside whatever
+  /// span is open on this thread) to flow `id`. `phase` is the Chrome flow
+  /// phase: 's' starts the flow, 't' steps it, 'f' finishes it. No-op when
+  /// tracing is disabled.
+  void flow(std::uint64_t id, char phase);
+
   /// Renders the recorded spans as a Chrome trace_event JSON document.
   [[nodiscard]] std::string chrome_trace_json() const;
 
+  /// The newest `max_spans` completed spans across all threads as a small
+  /// introspection document: {"dropped": N, "spans": [{"name", "tid",
+  /// "ts_us", "dur_us", "depth", "arg"?}, ...]} in begin order. Flow
+  /// points are omitted (they carry no duration).
+  [[nodiscard]] std::string spans_json(std::size_t max_spans) const;
+
   /// Writes chrome_trace_json() to a file; false on I/O failure.
   bool write_chrome_trace(const std::string& path) const;
+
+  /// Monotonic nanoseconds since the first use of the tracer — the shared
+  /// epoch of trace spans and flight-recorder events.
+  [[nodiscard]] static std::uint64_t now_ns();
 
  private:
   friend class TraceSpan;
@@ -75,6 +97,8 @@ class Tracer {
     std::uint64_t end_ns = 0;
     std::int64_t arg = kNoTraceArg;
     std::int32_t depth = 0;
+    std::uint64_t flow_id = 0;  ///< meaningful when flow_phase != 0
+    char flow_phase = 0;        ///< 0: span; 's'/'t'/'f': flow point
   };
 
   struct Ring {
@@ -90,9 +114,6 @@ class Tracer {
   };
 
   Tracer() = default;
-
-  /// Monotonic nanoseconds since the first use of the tracer.
-  [[nodiscard]] static std::uint64_t now_ns();
 
   Ring* ring();
   void record(const SpanRecord& rec);
@@ -134,8 +155,12 @@ class Tracer {
   [[nodiscard]] bool enabled() const { return false; }
   void clear() {}
   [[nodiscard]] std::uint64_t dropped() const { return 0; }
+  void flow(std::uint64_t, char) {}
   [[nodiscard]] std::string chrome_trace_json() const {
     return "{\"traceEvents\": []}\n";
+  }
+  [[nodiscard]] std::string spans_json(std::size_t) const {
+    return "{\"dropped\": 0, \"spans\": []}\n";
   }
   bool write_chrome_trace(const std::string& path) const;
 };

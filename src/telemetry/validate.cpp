@@ -94,6 +94,13 @@ ValidationResult validate_chrome_trace(std::string_view text,
         }
         lane.stack.pop_back();
       }
+    } else if (kind == 's' || kind == 't' || kind == 'f') {
+      // Flow events: bound to the enclosing slice at ts, keyed by id.
+      const JsonValue* id = ev.find("id");
+      if (id == nullptr || !id->is_number() ||
+          id->number != std::floor(id->number)) {
+        res.fail(where + ": flow event without an integral id");
+      }
     } else if (kind != 'X' && kind != 'i' && kind != 'C') {
       res.fail(where + ": unsupported ph '" + ph->string + "'");
     }
@@ -193,6 +200,21 @@ ValidationResult validate_metrics_json(std::string_view text) {
     if (buckets_ok && total != count->number) {
       res.fail(where + ": count does not equal the sum of buckets");
     }
+    // Percentiles are optional (older snapshots lack them) but must be
+    // ordered numbers when present.
+    double prev_p = -std::numeric_limits<double>::infinity();
+    for (const char* key : {"p50", "p95", "p99"}) {
+      const JsonValue* p = h.find(key);
+      if (p == nullptr) continue;
+      if (!p->is_number()) {
+        res.fail(where + ": " + key + " is not a number");
+        continue;
+      }
+      if (p->number < prev_p) {
+        res.fail(where + ": percentiles are not non-decreasing");
+      }
+      prev_p = p->number;
+    }
   }
   return res;
 }
@@ -274,6 +296,117 @@ ValidationResult validate_whatif_json(std::string_view text,
         res.fail(where + ": missing or malformed " + key);
       }
     }
+  }
+  return res;
+}
+
+ValidationResult validate_flightrec_json(std::string_view text,
+                                         std::size_t* num_events) {
+  ValidationResult res;
+  if (num_events != nullptr) *num_events = 0;
+
+  JsonValue doc;
+  std::string error;
+  if (!json_parse(text, doc, error)) {
+    res.fail("flight-recorder dump is not valid JSON: " + error);
+    return res;
+  }
+  if (!doc.is_object()) {
+    res.fail("top level is not an object");
+    return res;
+  }
+  const JsonValue* total = doc.find("total");
+  if (total == nullptr || !is_nonneg_integer(*total)) {
+    res.fail("missing or malformed total");
+  }
+  const JsonValue* events = doc.find("events");
+  if (events == nullptr || !events->is_array()) {
+    res.fail("missing events array");
+    return res;
+  }
+  if (num_events != nullptr) *num_events = events->array.size();
+
+  std::size_t idx = 0;
+  for (const JsonValue& e : events->array) {
+    const std::string where = "event " + std::to_string(idx++);
+    if (!e.is_object()) {
+      res.fail(where + ": not an object");
+      continue;
+    }
+    // No monotonicity check on ts_us: events are in ticket (claim) order,
+    // and a writer preempted between claiming its ticket and sampling the
+    // clock legitimately publishes a slightly later timestamp than its
+    // successor.
+    const JsonValue* ts = e.find("ts_us");
+    if (ts == nullptr || !ts->is_number() || ts->number < 0.0) {
+      res.fail(where + ": missing or negative ts_us");
+    }
+    const JsonValue* type = e.find("type");
+    bool known = false;
+    if (type != nullptr && type->is_string()) {
+      for (const char* t :
+           {"admit", "enqueue", "batch", "eval", "reply", "shed"}) {
+        if (type->string == t) known = true;
+      }
+    }
+    if (!known) res.fail(where + ": missing or unknown type");
+    const JsonValue* id = e.find("id");
+    if (id == nullptr || !id->is_number() ||
+        id->number != std::floor(id->number)) {
+      res.fail(where + ": missing or malformed id");
+    }
+    for (const char* key : {"generation", "detail"}) {
+      const JsonValue* v = e.find(key);
+      if (v == nullptr || !is_nonneg_integer(*v)) {
+        res.fail(where + ": missing or malformed " + key);
+      }
+    }
+  }
+  return res;
+}
+
+ValidationResult validate_serve_report(std::string_view text) {
+  ValidationResult res;
+
+  JsonValue doc;
+  std::string error;
+  if (!json_parse(text, doc, error)) {
+    res.fail("serve report is not valid JSON: " + error);
+    return res;
+  }
+  if (!doc.is_object()) {
+    res.fail("top level is not an object");
+    return res;
+  }
+  for (const char* key : {"clients", "requests_per_client", "ok", "shed",
+                          "rejected", "failed", "commits"}) {
+    const JsonValue* v = doc.find(key);
+    if (v == nullptr || !is_nonneg_integer(*v)) {
+      res.fail(std::string("missing or malformed ") + key);
+    }
+  }
+  for (const char* key : {"wall_sec", "qps"}) {
+    const JsonValue* v = doc.find(key);
+    if (v == nullptr || !v->is_number() || v->number < 0.0) {
+      res.fail(std::string("missing or negative ") + key);
+    }
+  }
+  const JsonValue* latency = doc.find("latency_ms");
+  if (latency == nullptr || !latency->is_object()) {
+    res.fail("missing latency_ms object");
+    return res;
+  }
+  double prev = 0.0;
+  for (const char* key : {"p50", "p95", "p99", "max"}) {
+    const JsonValue* v = latency->find(key);
+    if (v == nullptr || !v->is_number() || v->number < 0.0) {
+      res.fail(std::string("latency_ms: missing or negative ") + key);
+      continue;
+    }
+    if (v->number < prev) {
+      res.fail("latency_ms: percentiles are not non-decreasing");
+    }
+    prev = v->number;
   }
   return res;
 }

@@ -23,9 +23,10 @@ struct ValidationResult {
 };
 
 /// Checks that `text` is a valid Chrome trace_event JSON document: parses,
-/// has a traceEvents array, every event carries ph/pid/tid/ts/name, and for
+/// has a traceEvents array, every event carries ph/pid/tid/ts/name, for
 /// each (pid, tid) lane the B/E events are balanced (stack discipline) with
-/// non-decreasing timestamps. Fills `num_events` with the event count.
+/// non-decreasing timestamps, and flow events (ph "s"/"t"/"f") carry an
+/// integral id. Fills `num_events` with the event count.
 ValidationResult validate_chrome_trace(std::string_view text,
                                        std::size_t* num_events = nullptr);
 
@@ -44,5 +45,20 @@ ValidationResult validate_metrics_json(std::string_view text);
 /// Fills `num_scenarios` with the scenario count.
 ValidationResult validate_whatif_json(std::string_view text,
                                       std::size_t* num_scenarios = nullptr);
+
+/// Checks that `text` matches the FlightRecorder::to_json schema: a
+/// top-level object with a non-negative integral total and an events array
+/// whose members carry a non-negative numeric ts_us, a known type string
+/// (admit/enqueue/batch/eval/reply/shed), an integral id, and non-negative
+/// integral generation/detail. Fills `num_events` with the event count.
+ValidationResult validate_flightrec_json(std::string_view text,
+                                         std::size_t* num_events = nullptr);
+
+/// Checks that `text` matches the `serve_client --load --out` report
+/// schema: a top-level object with non-negative integral clients /
+/// requests_per_client / ok / shed / rejected / failed / commits counts,
+/// non-negative numeric wall_sec and qps, and a latency_ms object whose
+/// p50 <= p95 <= p99 <= max are all non-negative numbers.
+ValidationResult validate_serve_report(std::string_view text);
 
 }  // namespace insta::telemetry

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -29,9 +30,12 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
 #include "timing/delay_calc.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 
 namespace insta {
@@ -917,6 +921,309 @@ TEST_F(ServeTest, ServerShedsConnectionsBeyondTheCap) {
 
   server.stop();
 }
+
+// ---- observability: request ids, server_us, introspection ops --------------
+
+/// Parses one reply line into a JSON DOM (shared by the tests below).
+telemetry::JsonValue parse_reply_line(const std::string& line) {
+  telemetry::JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(telemetry::json_parse(line, doc, error)) << error << " " << line;
+  return doc;
+}
+
+/// Asserts the reply carries a server_us breakdown whose parts are
+/// non-negative and never sum to more than the total.
+void expect_server_us(const telemetry::JsonValue& doc) {
+  const telemetry::JsonValue* su = doc.find("server_us");
+  ASSERT_NE(su, nullptr) << "reply lacks server_us";
+  double parts = 0.0;
+  for (const char* key : {"queue", "batch", "eval", "serialize"}) {
+    const telemetry::JsonValue* v = su->find(key);
+    ASSERT_NE(v, nullptr) << key;
+    EXPECT_GE(v->number, 0.0) << key;
+    parts += v->number;
+  }
+  const telemetry::JsonValue* total = su->find("total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_GE(total->number, 0.0);
+  EXPECT_LE(parts, total->number);
+}
+
+TEST_F(ServeTest, ReplyIdsRoundTripAndServerUsIsSelfConsistent) {
+  auto engine = make_engine();
+  TimingService service(*engine);
+  serve::Dispatcher dispatcher(service);
+
+  // A client-numbered request echoes its id verbatim.
+  {
+    const auto doc =
+        parse_reply_line(dispatcher.dispatch(R"({"id": 41, "op": "ping"})"));
+    EXPECT_EQ(doc.find("id")->number, 41.0);
+    expect_server_us(doc);
+  }
+  // Requests without an id (or id 0) get fresh positive server-assigned
+  // ids, distinct across requests.
+  {
+    const auto a = parse_reply_line(dispatcher.dispatch(R"({"op": "ping"})"));
+    const auto b =
+        parse_reply_line(dispatcher.dispatch(R"({"id": 0, "op": "ping"})"));
+    EXPECT_GT(a.find("id")->number, 0.0);
+    EXPECT_GT(b.find("id")->number, a.find("id")->number);
+  }
+  // Error replies are timed too — a malformed line still gets an id and a
+  // breakdown.
+  {
+    const auto doc = parse_reply_line(dispatcher.dispatch("{broken"));
+    EXPECT_FALSE(doc.find("ok")->boolean);
+    EXPECT_GT(doc.find("id")->number, 0.0);
+    expect_server_us(doc);
+  }
+  // A whatif reply fills the batching-pipeline parts; queue/batch/eval and
+  // serialize must stay within the measured total.
+  {
+    util::Rng rng(43);
+    const auto scen = make_scenarios(rng, 1);
+    ASSERT_EQ(scen.size(), 1u);
+    std::string body =
+        R"({"id": 7, "op": "whatif", "scenarios": [{"deltas": [)";
+    for (std::size_t j = 0; j < scen[0].size(); ++j) {
+      if (j != 0) body += ", ";
+      body += "{\"arc\": " + std::to_string(scen[0][j].arc) + ", \"mu\": [" +
+              telemetry::json_number(scen[0][j].mu[0]) + ", " +
+              telemetry::json_number(scen[0][j].mu[1]) + "]}";
+    }
+    body += "]}]}";
+    const auto doc = parse_reply_line(dispatcher.dispatch(body));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    EXPECT_EQ(doc.find("id")->number, 7.0);
+    expect_server_us(doc);
+  }
+}
+
+TEST_F(ServeTest, TraceAndFlightrecOpsReturnValidDocuments) {
+  auto engine = make_engine();
+  TimingService service(*engine);
+  serve::Dispatcher dispatcher(service);
+
+  // trace: an introspection doc with the enablement flag and a spans list.
+  {
+    const auto doc =
+        parse_reply_line(dispatcher.dispatch(R"({"id": 1, "op": "trace"})"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    const telemetry::JsonValue* result = doc.find("result");
+    ASSERT_NE(result, nullptr);
+    ASSERT_NE(result->find("enabled"), nullptr);
+    ASSERT_NE(result->find("spans"), nullptr);
+    EXPECT_TRUE(result->find("spans")->is_array());
+    EXPECT_GE(result->find("dropped")->number, 0.0);
+  }
+  // flightrec: the recorder's own JSON schema, embedded as the result. The
+  // dispatcher records an admit event per request, so after the trace op
+  // above the ring cannot be empty (in telemetry-on builds).
+  {
+    const auto doc = parse_reply_line(
+        dispatcher.dispatch(R"({"id": 2, "op": "flightrec"})"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    const telemetry::JsonValue* result = doc.find("result");
+    ASSERT_NE(result, nullptr);
+    ASSERT_NE(result->find("total"), nullptr);
+    ASSERT_NE(result->find("events"), nullptr);
+    EXPECT_TRUE(result->find("events")->is_array());
+#if INSTA_TELEMETRY_ENABLED
+    EXPECT_GE(result->find("total")->number, 1.0);
+    ASSERT_FALSE(result->find("events")->array.empty());
+    const telemetry::JsonValue& ev = result->find("events")->array.back();
+    EXPECT_NE(ev.find("ts_us"), nullptr);
+    EXPECT_NE(ev.find("type"), nullptr);
+    EXPECT_NE(ev.find("id"), nullptr);
+#endif
+  }
+  // max caps the number of events returned.
+  {
+    const auto doc = parse_reply_line(
+        dispatcher.dispatch(R"({"id": 3, "op": "flightrec", "max": 1})"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    EXPECT_LE(doc.find("result")->find("events")->array.size(), 1u);
+  }
+}
+
+TEST_F(ServeTest, StatsOpReportsQueueDepthSessionsAndLatency) {
+  auto engine = make_engine();
+  TimingService service(*engine);
+  serve::SessionId sid = -1;
+  ASSERT_TRUE(service.open_session(sid).ok());
+  serve::Dispatcher dispatcher(service);
+
+  const auto doc =
+      parse_reply_line(dispatcher.dispatch(R"({"id": 1, "op": "stats"})"));
+  ASSERT_TRUE(doc.find("ok")->boolean);
+  const telemetry::JsonValue* result = doc.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->find("queue_depth")->number, 0.0);
+  EXPECT_GE(result->find("open_sessions")->number, 1.0);
+  const telemetry::JsonValue* lat = result->find("latency_us");
+  ASSERT_NE(lat, nullptr);
+  for (const char* key : {"count", "p50", "p95", "p99", "max"}) {
+    ASSERT_NE(lat->find(key), nullptr) << key;
+    EXPECT_GE(lat->find(key)->number, 0.0) << key;
+  }
+  EXPECT_TRUE(service.close_session(sid).ok());
+}
+
+TEST_F(ServeTest, SlowRequestLogFiresAtThresholdZero) {
+  auto engine = make_engine();
+  TimingService service(*engine);
+  serve::Dispatcher dispatcher(service, serve::DispatcherOptions{.slow_us = 0});
+
+  auto capture = std::make_shared<util::CaptureLogSink>();
+  std::shared_ptr<util::LogSink> previous = util::set_log_sink(capture);
+  const util::LogLevel old_level = util::log_level();
+  util::set_log_level(util::LogLevel::kWarn);
+
+  (void)dispatcher.dispatch(R"({"id": 5, "op": "ping"})");
+
+  util::set_log_level(old_level);
+  util::set_log_sink(std::move(previous));
+
+  bool found = false;
+  for (const auto& [level, line] : capture->lines()) {
+    if (line.find("slow request") != std::string::npos &&
+        line.find("id=5") != std::string::npos &&
+        line.find("op=ping") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+#if INSTA_TELEMETRY_ENABLED
+
+/// The acceptance criterion of the tracing tentpole: a concurrent run's
+/// Chrome trace contains a batch-leader span whose flow steps parent-link
+/// at least two distinct request ids into it.
+TEST_F(ServeTest, BatchLeaderTraceLinksMultipleRequestIds) {
+  auto engine = make_engine();
+  util::Rng rng(47);
+  const auto scen = make_scenarios(rng, 1);
+  ASSERT_EQ(scen.size(), 1u);
+
+  serve::ServiceOptions opt;
+  // A long window keeps the first request's leader collecting while the
+  // second joins the same batch (max_batch far above the queued count).
+  opt.batch_window_us = 300'000;
+  opt.max_batch = 64;
+  opt.max_queue = 64;
+  TimingService service(*engine, opt);
+
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  const bool was_enabled = tracer.enabled();
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  serve::SessionId a = -1, b = -1;
+  ASSERT_TRUE(service.open_session(a).ok());
+  ASSERT_TRUE(service.open_session(b).ok());
+  serve::Error first_err;
+  TimingService::WhatifReply first_reply;
+  std::thread first([&] {
+    first_err = service.whatif(a, scen, first_reply, /*request_id=*/101);
+  });
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (service.stats().whatif_requests >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(service.stats().whatif_requests, 1u);
+  TimingService::WhatifReply second_reply;
+  const serve::Error second_err =
+      service.whatif(b, scen, second_reply, /*request_id=*/102);
+  first.join();
+  ASSERT_TRUE(first_err.ok()) << first_err.message;
+  ASSERT_TRUE(second_err.ok()) << second_err.message;
+  EXPECT_EQ(first_reply.request_id, 101u);
+  EXPECT_EQ(second_reply.request_id, 102u);
+  // Both were served by one ScenarioBatch evaluation.
+  EXPECT_EQ(service.stats().batches, 1u);
+
+  const std::string trace = tracer.chrome_trace_json();
+  tracer.set_enabled(was_enabled);
+
+  telemetry::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(telemetry::json_parse(trace, doc, error)) << error;
+  const telemetry::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_batch_span = false;
+  std::set<std::uint64_t> step_ids;
+  for (const telemetry::JsonValue& ev : events->array) {
+    const telemetry::JsonValue* ph = ev.find("ph");
+    const telemetry::JsonValue* name = ev.find("name");
+    if (ph == nullptr || name == nullptr) continue;
+    if (ph->string == "B" && name->string == "serve.batch") {
+      saw_batch_span = true;
+    }
+    if (ph->string == "t" && name->string == "req") {
+      step_ids.insert(static_cast<std::uint64_t>(ev.find("id")->number));
+    }
+  }
+  EXPECT_TRUE(saw_batch_span);
+  EXPECT_TRUE(step_ids.count(101));
+  EXPECT_TRUE(step_ids.count(102));
+  EXPECT_GE(step_ids.size(), 2u);
+
+  // The flight recorder saw the full lifecycle of both requests.
+  bool batched_101 = false, batched_102 = false;
+  for (const telemetry::FlightEvent& ev :
+       telemetry::FlightRecorder::global().recent()) {
+    if (ev.type == telemetry::FlightEventType::kBatch) {
+      if (ev.request_id == 101) batched_101 = true;
+      if (ev.request_id == 102) batched_102 = true;
+    }
+  }
+  EXPECT_TRUE(batched_101);
+  EXPECT_TRUE(batched_102);
+}
+
+/// The shed-accounting fix: rejected replies still count into the
+/// serve.whatif_latency_us histogram and leave a shed flight event.
+TEST_F(ServeTest, ShedRepliesAreObservedInLatencyHistogramAndRecorder) {
+  auto engine = make_engine();
+  serve::ServiceOptions opt;
+  opt.max_queue = 2;
+  opt.max_batch = 2;
+  TimingService service(*engine, opt);
+  serve::SessionId sid = -1;
+  ASSERT_TRUE(service.open_session(sid).ok());
+
+  const auto latency_count = [] {
+    const telemetry::MetricsSnapshot snap =
+        telemetry::MetricsRegistry::global().snapshot();
+    const auto it = snap.histograms.find("serve.whatif_latency_us");
+    return it == snap.histograms.end() ? std::uint64_t{0} : it->second.count;
+  };
+  const std::uint64_t count_before = latency_count();
+
+  // Three single-delta scenarios can never fit the 2-deep queue: a
+  // structural shed, delivered synchronously.
+  util::Rng rng(53);
+  const auto scen = make_scenarios(rng, 3);
+  ASSERT_EQ(scen.size(), 3u);
+  TimingService::WhatifReply reply;
+  ASSERT_EQ(service.whatif(sid, scen, reply, /*request_id=*/777).code,
+            ErrorCode::kOverloaded);
+
+  EXPECT_EQ(latency_count(), count_before + 1);
+  bool shed_777 = false;
+  for (const telemetry::FlightEvent& ev :
+       telemetry::FlightRecorder::global().recent()) {
+    if (ev.type == telemetry::FlightEventType::kShed && ev.request_id == 777) {
+      shed_777 = true;
+    }
+  }
+  EXPECT_TRUE(shed_777);
+}
+
+#endif  // INSTA_TELEMETRY_ENABLED
 
 TEST_F(ServeTest, EngineGenerationCountsForwardPasses) {
   auto engine = make_engine();

@@ -1,15 +1,19 @@
 // Tests for the telemetry subsystem: metrics registry (concurrency,
-// histogram bucketing, snapshot consistency), trace export (JSON validity,
-// B/E balance, nesting across parallel_for), the JSON parser/validators,
-// and the pluggable log sink.
+// histogram bucketing, percentile estimation, snapshot consistency), trace
+// export (JSON validity, B/E balance, flow events, nesting across
+// parallel_for), the flight recorder (ring semantics, wrap, concurrent
+// writers), the JSON parser/validators, and the pluggable log sink.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/validate.hpp"
@@ -152,6 +156,220 @@ TEST(Metrics, SnapshotJsonValidates) {
   const std::string json = reg.snapshot().to_json();
   const telemetry::ValidationResult r = telemetry::validate_metrics_json(json);
   EXPECT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors.front());
+}
+
+TEST(Metrics, PercentilesMatchKnownDistributions) {
+  telemetry::MetricsRegistry reg;
+
+  // Empty histogram: all percentiles are 0.
+  telemetry::Histogram empty = reg.histogram("test.pct_empty", {1.0, 2.0});
+  (void)empty;
+  EXPECT_DOUBLE_EQ(
+      reg.snapshot().histograms.at("test.pct_empty").percentile(0.5), 0.0);
+
+  // Single value: every quantile is that value (clamping to [min, max]).
+  telemetry::Histogram one = reg.histogram("test.pct_one", {1.0, 2.0});
+  one.observe(7.0);
+  {
+    const telemetry::HistogramSnapshot hs =
+        reg.snapshot().histograms.at("test.pct_one");
+    EXPECT_DOUBLE_EQ(hs.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(hs.percentile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(hs.percentile(1.0), 7.0);
+  }
+
+  // Uniform 1..1000: the exact quantile q is ~1000q; interpolation inside
+  // an exponential bucket is off by at most the bucket width (a factor of
+  // `growth` = 2 here), so check within [exact / 2, exact * 2].
+  telemetry::Histogram uni = reg.histogram("test.pct_uniform", {1.0, 2.0});
+  for (int v = 1; v <= 1000; ++v) uni.observe(static_cast<double>(v));
+  {
+    const telemetry::HistogramSnapshot hs =
+        reg.snapshot().histograms.at("test.pct_uniform");
+    for (const double q : {0.50, 0.95, 0.99}) {
+      const double exact = 1000.0 * q;
+      const double est = hs.percentile(q);
+      EXPECT_GE(est, exact / 2.0) << "q=" << q;
+      EXPECT_LE(est, exact * 2.0) << "q=" << q;
+      EXPECT_GE(est, hs.min);
+      EXPECT_LE(est, hs.max);
+    }
+    // Monotone in q.
+    EXPECT_LE(hs.percentile(0.50), hs.percentile(0.95));
+    EXPECT_LE(hs.percentile(0.95), hs.percentile(0.99));
+  }
+
+  // Two-point mass: 90% at ~1, 10% at ~1000. p50 sits in the low bucket,
+  // p99 in the high one.
+  telemetry::Histogram bi = reg.histogram("test.pct_bimodal", {1.0, 2.0});
+  for (int i = 0; i < 90; ++i) bi.observe(1.0);
+  for (int i = 0; i < 10; ++i) bi.observe(1000.0);
+  {
+    const telemetry::HistogramSnapshot hs =
+        reg.snapshot().histograms.at("test.pct_bimodal");
+    EXPECT_LE(hs.percentile(0.50), 2.0);
+    EXPECT_GE(hs.percentile(0.99), 500.0);
+  }
+}
+
+TEST(Metrics, SnapshotJsonCarriesOrderedPercentiles) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Histogram h = reg.histogram("test.pct_json", {1.0, 2.0});
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_TRUE(telemetry::validate_metrics_json(json).ok);
+
+  telemetry::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(telemetry::json_parse(json, doc, error)) << error;
+  const telemetry::JsonValue* hist =
+      doc.find("histograms")->find("test.pct_json");
+  ASSERT_NE(hist, nullptr);
+  const telemetry::JsonValue* p50 = hist->find("p50");
+  const telemetry::JsonValue* p95 = hist->find("p95");
+  const telemetry::JsonValue* p99 = hist->find("p99");
+  ASSERT_NE(p50, nullptr);
+  ASSERT_NE(p95, nullptr);
+  ASSERT_NE(p99, nullptr);
+  EXPECT_LE(p50->number, p95->number);
+  EXPECT_LE(p95->number, p99->number);
+  EXPECT_LE(p99->number, hist->find("max")->number);
+}
+
+TEST(FlightRecorder, RecordRecentAndJsonRoundTrip) {
+  telemetry::FlightRecorder& fr = telemetry::FlightRecorder::global();
+  fr.clear();
+  EXPECT_EQ(fr.total(), 0u);
+  EXPECT_TRUE(fr.recent().empty());
+
+  fr.record(telemetry::FlightEventType::kAdmit, 11, 0, 3);
+  fr.record(telemetry::FlightEventType::kEnqueue, 11, 0, 2);
+  fr.record(telemetry::FlightEventType::kReply, 11, 5, 0);
+  EXPECT_EQ(fr.total(), 3u);
+
+  const std::vector<telemetry::FlightEvent> events = fr.recent();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, telemetry::FlightEventType::kAdmit);
+  EXPECT_EQ(events[0].request_id, 11u);
+  EXPECT_EQ(events[0].detail, 3u);
+  EXPECT_EQ(events[2].type, telemetry::FlightEventType::kReply);
+  EXPECT_EQ(events[2].generation, 5u);
+  EXPECT_LE(events[0].ts_ns, events[2].ts_ns);
+
+  // recent(max) keeps the newest events.
+  const std::vector<telemetry::FlightEvent> last = fr.recent(1);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0].type, telemetry::FlightEventType::kReply);
+
+  // The JSON dump validates against its schema and counts every event.
+  std::size_t n = 0;
+  const telemetry::ValidationResult r =
+      telemetry::validate_flightrec_json(fr.to_json(), &n);
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors.front());
+  EXPECT_EQ(n, 3u);
+
+  fr.clear();
+  EXPECT_EQ(fr.total(), 0u);
+}
+
+TEST(FlightRecorder, RingWrapsKeepingTheNewestEvents) {
+  telemetry::FlightRecorder& fr = telemetry::FlightRecorder::global();
+  fr.clear();
+  const std::size_t cap = telemetry::FlightRecorder::kCapacity;
+  const std::size_t total = cap + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    fr.record(telemetry::FlightEventType::kAdmit, i);
+  }
+  EXPECT_EQ(fr.total(), total);
+  const std::vector<telemetry::FlightEvent> events = fr.recent();
+  ASSERT_EQ(events.size(), cap);
+  // Chronological, and exactly the newest `cap` ids survive.
+  EXPECT_EQ(events.front().request_id, 100u);
+  EXPECT_EQ(events.back().request_id, total - 1);
+  fr.clear();
+}
+
+TEST(FlightRecorder, ConcurrentWritersNeverTearReads) {
+  telemetry::FlightRecorder& fr = telemetry::FlightRecorder::global();
+  fr.clear();
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fr, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        // detail encodes the writer so torn slots would show impossible
+        // (id, detail) pairs below.
+        fr.record(telemetry::FlightEventType::kEval,
+                  static_cast<std::uint64_t>(t) * kPerThread + i, 0,
+                  static_cast<std::uint32_t>(t));
+      }
+    });
+  }
+  // Concurrent reads may legitimately find few publishable slots (the
+  // hottest ones are mid-overwrite), but whatever they surface must be
+  // untorn. The post-join pass below then checks a full quiescent read.
+  for (int i = 0; i < 50; ++i) {
+    for (const telemetry::FlightEvent& ev : fr.recent(256)) {
+      EXPECT_EQ(ev.request_id / kPerThread, ev.detail);
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<telemetry::FlightEvent> settled = fr.recent();
+  EXPECT_EQ(settled.size(), telemetry::FlightRecorder::kCapacity);
+  for (const telemetry::FlightEvent& ev : settled) {
+    EXPECT_EQ(ev.request_id / kPerThread, ev.detail);
+  }
+  EXPECT_EQ(fr.total(), kThreads * kPerThread);
+  EXPECT_TRUE(telemetry::validate_flightrec_json(fr.to_json()).ok);
+  fr.clear();
+}
+
+TEST(Trace, FlowEventsExportAndValidate) {
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    telemetry::TraceSpan request("test.request");
+    tracer.flow(7, 's');
+  }
+  {
+    telemetry::TraceSpan leader("test.leader");
+    tracer.flow(7, 't');
+    tracer.flow(8, 't');
+  }
+  {
+    telemetry::TraceSpan request("test.request");
+    tracer.flow(7, 'f');
+  }
+  tracer.set_enabled(false);
+
+  const std::string json = tracer.chrome_trace_json();
+  const telemetry::ValidationResult r = telemetry::validate_chrome_trace(json);
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors.front());
+
+  telemetry::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(telemetry::json_parse(json, doc, error)) << error;
+  std::set<std::string> phases;
+  std::set<std::uint64_t> step_ids;
+  for (const telemetry::JsonValue& ev : doc.find("traceEvents")->array) {
+    const std::string& ph = ev.find("ph")->string;
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    phases.insert(ph);
+    EXPECT_EQ(ev.find("name")->string, "req");
+    if (ph == "t") {
+      step_ids.insert(static_cast<std::uint64_t>(ev.find("id")->number));
+    }
+    if (ph == "f") {
+      ASSERT_NE(ev.find("bp"), nullptr);
+      EXPECT_EQ(ev.find("bp")->string, "e");
+    }
+  }
+  EXPECT_EQ(phases.size(), 3u);
+  EXPECT_TRUE(step_ids.count(7));
+  EXPECT_TRUE(step_ids.count(8));
+  tracer.clear();
 }
 
 TEST(Trace, ExportIsValidAndBalanced) {
@@ -435,6 +653,125 @@ TEST(Validate, WhatifSchemaFailureModes) {
   n = 99;
   EXPECT_TRUE(telemetry::validate_whatif_json(R"({"scenarios": []})", &n).ok);
   EXPECT_EQ(n, 0u);
+}
+
+TEST(Validate, FlightrecSchema) {
+  const char* good =
+      R"({"total": 3, "events": [)"
+      R"({"ts_us": 1.5, "type": "admit", "id": 11, "generation": 0,)"
+      R"( "detail": 3},)"
+      R"({"ts_us": 2.0, "type": "enqueue", "id": 11, "generation": 0,)"
+      R"( "detail": 1},)"
+      R"({"ts_us": 1.9, "type": "reply", "id": 11, "generation": 5,)"
+      R"( "detail": 0}]})";
+  std::size_t n = 0;
+  const telemetry::ValidationResult r =
+      telemetry::validate_flightrec_json(good, &n);
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors.front());
+  // Note the third event's ts_us regressing: claim order is not timestamp
+  // order for a writer preempted between its ticket and its clock sample.
+  EXPECT_EQ(n, 3u);
+
+  // Empty document is legal.
+  EXPECT_TRUE(
+      telemetry::validate_flightrec_json(R"({"total": 0, "events": []})").ok);
+
+  EXPECT_FALSE(telemetry::validate_flightrec_json("not json").ok);
+  EXPECT_FALSE(telemetry::validate_flightrec_json("[]").ok);
+  EXPECT_FALSE(
+      telemetry::validate_flightrec_json(R"({"events": []})").ok);
+  EXPECT_FALSE(
+      telemetry::validate_flightrec_json(R"({"total": -1, "events": []})").ok);
+  EXPECT_FALSE(
+      telemetry::validate_flightrec_json(R"({"total": 0.5, "events": []})")
+          .ok);
+  EXPECT_FALSE(
+      telemetry::validate_flightrec_json(R"({"total": 0, "events": {}})").ok);
+  // Per-event failures: unknown type, negative ts, fractional id.
+  EXPECT_FALSE(telemetry::validate_flightrec_json(
+                   R"({"total": 1, "events": [{"ts_us": 1.0,)"
+                   R"( "type": "teleport", "id": 1, "generation": 0,)"
+                   R"( "detail": 0}]})")
+                   .ok);
+  EXPECT_FALSE(telemetry::validate_flightrec_json(
+                   R"({"total": 1, "events": [{"ts_us": -1.0,)"
+                   R"( "type": "admit", "id": 1, "generation": 0,)"
+                   R"( "detail": 0}]})")
+                   .ok);
+  EXPECT_FALSE(telemetry::validate_flightrec_json(
+                   R"({"total": 1, "events": [{"ts_us": 1.0,)"
+                   R"( "type": "admit", "id": 1.5, "generation": 0,)"
+                   R"( "detail": 0}]})")
+                   .ok);
+}
+
+TEST(Validate, ServeReportSchema) {
+  const auto report_with = [](const std::string& field,
+                              const std::string& json) {
+    std::vector<std::pair<std::string, std::string>> fields = {
+        {"clients", "4"},
+        {"requests_per_client", "50"},
+        {"ok", "198"},
+        {"shed", "2"},
+        {"rejected", "0"},
+        {"failed", "0"},
+        {"commits", "1"},
+        {"wall_sec", "1.5"},
+        {"qps", "133.3"},
+        {"latency_ms",
+         R"({"p50": 1.0, "p95": 2.0, "p99": 3.0, "max": 4.0})"},
+    };
+    std::string body = "{";
+    bool first = true;
+    for (const auto& [name, value] : fields) {
+      const std::string& v = name == field ? json : value;
+      if (v.empty()) continue;
+      if (!first) body += ", ";
+      first = false;
+      body += "\"" + name + "\": " + v;
+    }
+    body += "}";
+    return body;
+  };
+
+  // The all-defaults report is valid (sanity for the helper).
+  const telemetry::ValidationResult r =
+      telemetry::validate_serve_report(report_with("", ""));
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors.front());
+
+  EXPECT_FALSE(telemetry::validate_serve_report("not json").ok);
+  EXPECT_FALSE(telemetry::validate_serve_report("[]").ok);
+
+  // Each required field missing is a structural error.
+  for (const char* field :
+       {"clients", "requests_per_client", "ok", "shed", "rejected", "failed",
+        "commits", "wall_sec", "qps", "latency_ms"}) {
+    EXPECT_FALSE(telemetry::validate_serve_report(report_with(field, "")).ok)
+        << "missing " << field;
+  }
+
+  // Type and range violations.
+  EXPECT_FALSE(
+      telemetry::validate_serve_report(report_with("clients", "-1")).ok);
+  EXPECT_FALSE(
+      telemetry::validate_serve_report(report_with("ok", "1.5")).ok);
+  EXPECT_FALSE(
+      telemetry::validate_serve_report(report_with("qps", "-2.0")).ok);
+  EXPECT_FALSE(
+      telemetry::validate_serve_report(report_with("latency_ms", "[]")).ok);
+  // Percentiles must be non-decreasing and non-negative.
+  EXPECT_FALSE(telemetry::validate_serve_report(
+                   report_with("latency_ms", R"({"p50": 3.0, "p95": 2.0,)"
+                                             R"( "p99": 4.0, "max": 5.0})"))
+                   .ok);
+  EXPECT_FALSE(telemetry::validate_serve_report(
+                   report_with("latency_ms", R"({"p50": -1.0, "p95": 2.0,)"
+                                             R"( "p99": 3.0, "max": 4.0})"))
+                   .ok);
+  EXPECT_FALSE(telemetry::validate_serve_report(
+                   report_with("latency_ms",
+                               R"({"p50": 1.0, "p95": 2.0, "p99": 3.0})"))
+                   .ok);
 }
 
 TEST(LogSink, CaptureSinkReceivesLines) {
