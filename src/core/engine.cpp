@@ -44,6 +44,9 @@ struct EngineMetrics {
   telemetry::Counter frontier_pins;
   telemetry::Counter early_terminations;
   telemetry::Counter endpoints_skipped;
+  // Backward weight-reuse counters.
+  telemetry::Counter bw_weight_pins_recomputed;
+  telemetry::Counter bw_weight_pins_reused;
 };
 
 EngineMetrics& engine_metrics() {
@@ -63,6 +66,9 @@ EngineMetrics& engine_metrics() {
     em.frontier_pins = r.counter("engine.frontier_pins");
     em.early_terminations = r.counter("engine.early_terminations");
     em.endpoints_skipped = r.counter("engine.endpoints_skipped");
+    em.bw_weight_pins_recomputed =
+        r.counter("engine.backward_weight_pins_recomputed");
+    em.bw_weight_pins_reused = r.counter("engine.backward_weight_pins_reused");
     return em;
   }();
   return m;
@@ -104,6 +110,10 @@ std::vector<std::string> EngineOptions::validate() const {
   }
   if (parallel_grain < 1) problems.emplace_back("parallel_grain must be >= 1");
   if (endpoint_grain < 1) problems.emplace_back("endpoint_grain must be >= 1");
+  if (!std::isfinite(fast_math_tolerance) || fast_math_tolerance < 0.0f ||
+      fast_math_tolerance >= 1.0f) {
+    problems.emplace_back("fast_math_tolerance must be in [0, 1)");
+  }
   return problems;
 }
 
@@ -123,6 +133,8 @@ Engine::Engine(const ref::GoldenSta& reference, EngineOptions options)
   }
   nsigma_ = static_cast<float>(reference.constraints().nsigma);
   num_pins_ = graph_->design().num_pins();
+  simd_avx2_ = util::simd::resolve(options_.simd);
+  fast_math_ = options_.fast_math_tolerance > 0.0f && simd_avx2_;
 
   clone_structure(reference);
   clone_delays(reference);
@@ -132,17 +144,31 @@ Engine::Engine(const ref::GoldenSta& reference, EngineOptions options)
   frontier_.resize(level_start_.size() - 1);
   recompute_aggregates();
 
-  const std::size_t k = static_cast<std::size_t>(options_.top_k);
-  tk_arr_.assign(num_pins_ * 2 * k, 0.0f);
-  tk_mu_.assign(num_pins_ * 2 * k, 0.0f);
-  tk_sig_.assign(num_pins_ * 2 * k, 0.0f);
-  tk_sp_.assign(num_pins_ * 2 * k, -1);
+  // Level-contiguous SoA layout: pins take plane positions in level order
+  // (unleveled clock-network pins appended after), entries padded to the
+  // 8-lane stride so every run starts on a vector-lane boundary.
+  tk_stride_ = (static_cast<std::size_t>(options_.top_k) + 7) & ~std::size_t{7};
+  tk_pos_.assign(num_pins_, -1);
+  {
+    std::int32_t pos = 0;
+    for (const PinId pin : level_pins_) {
+      tk_pos_[static_cast<std::size_t>(pin)] = pos++;
+    }
+    for (std::size_t p = 0; p < num_pins_; ++p) {
+      if (tk_pos_[p] < 0) tk_pos_[p] = pos++;
+    }
+  }
+  const std::size_t plane = num_pins_ * 2 * tk_stride_;
+  tk_arr_.assign(plane, 0.0f);
+  tk_mu_.assign(plane, 0.0f);
+  tk_sig_.assign(plane, 0.0f);
+  tk_sp_.assign(plane, -1);
   tk_cnt_.assign(num_pins_ * 2, 0);
   if (options_.enable_hold) {
-    tk2_arr_.assign(num_pins_ * 2 * k, 0.0f);
-    tk2_mu_.assign(num_pins_ * 2 * k, 0.0f);
-    tk2_sig_.assign(num_pins_ * 2 * k, 0.0f);
-    tk2_sp_.assign(num_pins_ * 2 * k, -1);
+    tk2_arr_.assign(plane, 0.0f);
+    tk2_mu_.assign(plane, 0.0f);
+    tk2_sig_.assign(plane, 0.0f);
+    tk2_sp_.assign(plane, -1);
     tk2_cnt_.assign(num_pins_ * 2, 0);
   }
 
@@ -151,6 +177,19 @@ Engine::Engine(const ref::GoldenSta& reference, EngineOptions options)
   pin_grad_.assign(num_pins_ * 2, 0.0f);
   slot_grad_.assign(slots, 0.0f);
   arc_grad_.assign(graph_->num_arcs(), 0.0f);
+  // Backward gather table and candidate scratch (see backward_cand in
+  // topk_simd.hpp); structure-only, so built once here.
+  for (const int rf : {0, 1}) {
+    const auto rfi = static_cast<std::size_t>(rf);
+    slot_ci_[rfi].resize(slots);
+    bw_cand_[rfi].assign(slots, 0.0f);
+    for (std::size_t s = 0; s < slots; ++s) {
+      const int prf = rf ^ static_cast<int>(fi_neg_[s]);
+      slot_ci_[rfi][s] =
+          static_cast<std::int32_t>(cnt_index(fi_from_[s], prf));
+    }
+  }
+  w_stale_.assign(num_pins_, 0);
 }
 
 void Engine::clone_structure(const ref::GoldenSta& reference) {
@@ -631,12 +670,11 @@ void Engine::merge_pin_rf(PinId pin, int rf, const TopKView& dst,
 }
 
 void Engine::process_pin(PinId pin, ForwardCounters& fc) {
-  const auto p = static_cast<std::size_t>(pin);
   const auto k = static_cast<std::int32_t>(options_.top_k);
   ++fc.pins;
   for (int rf = 0; rf < 2; ++rf) {
     const std::size_t base = entry_base(pin, rf);
-    std::int32_t& cnt = tk_cnt_[p * 2 + static_cast<std::size_t>(rf)];
+    std::int32_t& cnt = tk_cnt_[cnt_index(pin, rf)];
     const TopKView view{&tk_arr_[base], &tk_mu_[base], &tk_sig_[base],
                         &tk_sp_[base], k, &cnt};
     merge_pin_rf<false>(pin, rf, view, fc);
@@ -647,12 +685,11 @@ void Engine::process_pin(PinId pin, ForwardCounters& fc) {
 }
 
 void Engine::process_pin_early(PinId pin, ForwardCounters& fc) {
-  const auto p = static_cast<std::size_t>(pin);
   const auto k = static_cast<std::int32_t>(options_.top_k);
   ++fc.pins;
   for (int rf = 0; rf < 2; ++rf) {
     const std::size_t base = entry_base(pin, rf);
-    std::int32_t& cnt = tk2_cnt_[p * 2 + static_cast<std::size_t>(rf)];
+    std::int32_t& cnt = tk2_cnt_[cnt_index(pin, rf)];
     const TopKView view{&tk2_arr_[base], &tk2_mu_[base], &tk2_sig_[base],
                         &tk2_sp_[base], k, &cnt};
     merge_pin_rf<true>(pin, rf, view, fc);
@@ -660,7 +697,6 @@ void Engine::process_pin_early(PinId pin, ForwardCounters& fc) {
 }
 
 bool Engine::reprocess_pin_sparse(PinId pin, ForwardCounters& fc) {
-  const auto p = static_cast<std::size_t>(pin);
   const auto k = static_cast<std::int32_t>(options_.top_k);
   TopKScratch& sc = tls_scratch;
   sc.ensure(k);
@@ -672,7 +708,7 @@ bool Engine::reprocess_pin_sparse(PinId pin, ForwardCounters& fc) {
   for (int rf = 0; rf < 2; ++rf) {
     merge_pin_rf<false>(pin, rf, scratch, fc);
     const std::size_t base = entry_base(pin, rf);
-    std::int32_t& cnt = tk_cnt_[p * 2 + static_cast<std::size_t>(rf)];
+    std::int32_t& cnt = tk_cnt_[cnt_index(pin, rf)];
     const TopKView live{&tk_arr_[base], &tk_mu_[base], &tk_sig_[base],
                         &tk_sp_[base], k, &cnt};
     if (!topk_equal(scratch, live)) {
@@ -685,7 +721,7 @@ bool Engine::reprocess_pin_sparse(PinId pin, ForwardCounters& fc) {
     for (int rf = 0; rf < 2; ++rf) {
       merge_pin_rf<true>(pin, rf, scratch, fc);
       const std::size_t base = entry_base(pin, rf);
-      std::int32_t& cnt = tk2_cnt_[p * 2 + static_cast<std::size_t>(rf)];
+      std::int32_t& cnt = tk2_cnt_[cnt_index(pin, rf)];
       const TopKView live{&tk2_arr_[base], &tk2_mu_[base], &tk2_sig_[base],
                           &tk2_sp_[base], k, &cnt};
       if (!topk_equal(scratch, live)) {
@@ -782,6 +818,8 @@ void Engine::forward_from(std::size_t first_level) {
   dirty_eps_.clear();
   dirty_level_ = std::numeric_limits<std::size_t>::max();
   full_dirty_ = false;
+  // A dense sweep rewrites every Top-K store: no backward weight survives.
+  invalidate_weights();
   recompute_aggregates();
   last_pass_ = SparseStats{};
   last_pass_.sparse = false;
@@ -841,6 +879,10 @@ void Engine::run_forward_sparse() {
     for (std::size_t i = 0; i < fr.size(); ++i) {
       const auto p = static_cast<std::size_t>(fr[i]);
       dirty_pin_[p] = 0;
+      // Every frontier pin's backward weights are suspect: it was queued
+      // either by an arc annotation (its fanin delays changed) or by a
+      // parent whose Top-K store changed (its candidate inputs changed).
+      mark_weights_stale(fr[i]);
       if (changed_flags_[i] == 0) {
         ++early;
         continue;
@@ -1071,69 +1113,145 @@ SlackSummary Engine::summary(Mode mode) const {
   return SlackSummary{ths(), whs(), num_hold_violations()};
 }
 
+void Engine::compute_weights_pin(std::size_t p, float tau) {
+  const std::int32_t fs = fi_start_[p];
+  const std::int32_t fe = fi_start_[p + 1];
+  if (fs == fe) return;
+  const std::int32_t n = fe - fs;
+  for (int rf = 0; rf < 2; ++rf) {
+    const auto rfi = static_cast<std::size_t>(rf);
+    const float* cand = bw_cand_[rfi].data() + fs;
+    float* w = w_[rfi].data() + fs;
+    if (fast_math_) {
+      softmax_fast_avx2(cand, n, 1.0f / tau, w);
+      continue;
+    }
+    // Default mode: scalar libm exp and strictly sequential denominator in
+    // slot order — byte-identical weights under both kernel flavors (the
+    // candidates themselves are bit-identical, see topk_simd.hpp). Empty
+    // parents carry cand = -inf, so exp contributes exactly +0.0f to the
+    // sum and the stored weight, matching a zero-filled skip.
+    float m = -kInf;
+    for (std::int32_t i = 0; i < n; ++i) m = std::max(m, cand[i]);
+    if (!std::isfinite(m)) {
+      std::fill(w, w + n, 0.0f);
+      continue;
+    }
+    float denom = 0.0f;
+    for (std::int32_t i = 0; i < n; ++i) {
+      const float e = std::exp((cand[i] - m) / tau);
+      w[i] = e;
+      denom += e;
+    }
+    if (denom <= 0.0f) continue;
+    const float inv = 1.0f / denom;
+    for (std::int32_t i = 0; i < n; ++i) w[i] *= inv;
+  }
+}
+
+void Engine::mark_weights_stale(PinId pin) {
+  if (!w_tracking_) return;
+  const auto p = static_cast<std::size_t>(pin);
+  if (w_stale_[p] != 0) return;
+  w_stale_[p] = 1;
+  w_stale_pins_.push_back(pin);
+}
+
+void Engine::invalidate_weights() {
+  w_tracking_ = false;
+  for (const PinId pin : w_stale_pins_) {
+    w_stale_[static_cast<std::size_t>(pin)] = 0;
+  }
+  w_stale_pins_.clear();
+}
+
 void Engine::run_backward(GradientMetric metric) {
   INSTA_TRACE_SCOPE("engine.backward");
   engine_metrics().backward_passes.inc();
   auto& pool = util::ThreadPool::global();
-  for (auto& w : w_) std::fill(w.begin(), w.end(), 0.0f);
   std::fill(pin_grad_.begin(), pin_grad_.end(), 0.0f);
   std::fill(slot_grad_.begin(), slot_grad_.end(), 0.0f);
   std::fill(arc_grad_.begin(), arc_grad_.end(), 0.0f);
   const float tau = std::max(options_.tau, 1e-4f);
+  const auto slots = static_cast<std::int32_t>(fi_from_.size());
 
   // Phase 1: Eq. 6 softmax weights of every merge, from the parents' top-1
-  // arrivals. Each pin owns its fanin slots; fully parallel.
-  auto weights = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const auto p = static_cast<std::size_t>(level_pins_[i]);
-      const std::int32_t fs = fi_start_[p];
-      const std::int32_t fe = fi_start_[p + 1];
-      if (fs == fe) continue;
-      for (int rf = 0; rf < 2; ++rf) {
-        float m = -kInf;
-        for (std::int32_t s = fs; s < fe; ++s) {
-          const auto si = static_cast<std::size_t>(s);
-          const int prf = rf ^ static_cast<int>(fi_neg_[si]);
-          const auto from = static_cast<std::size_t>(fi_from_[si]);
-          if (tk_cnt_[from * 2 + static_cast<std::size_t>(prf)] == 0) continue;
-          const std::size_t pbase = entry_base(static_cast<PinId>(from), prf);
-          const float as = asig_[static_cast<std::size_t>(rf)][si];
-          const float cand =
-              tk_mu_[pbase] + amu_[static_cast<std::size_t>(rf)][si] +
-              nsigma_ * std::sqrt(tk_sig_[pbase] * tk_sig_[pbase] + as * as);
-          m = std::max(m, cand);
-        }
-        if (!std::isfinite(m)) continue;
-        float denom = 0.0f;
-        for (std::int32_t s = fs; s < fe; ++s) {
-          const auto si = static_cast<std::size_t>(s);
-          const int prf = rf ^ static_cast<int>(fi_neg_[si]);
-          const auto from = static_cast<std::size_t>(fi_from_[si]);
-          if (tk_cnt_[from * 2 + static_cast<std::size_t>(prf)] == 0) continue;
-          const std::size_t pbase = entry_base(static_cast<PinId>(from), prf);
-          const float as = asig_[static_cast<std::size_t>(rf)][si];
-          const float cand =
-              tk_mu_[pbase] + amu_[static_cast<std::size_t>(rf)][si] +
-              nsigma_ * std::sqrt(tk_sig_[pbase] * tk_sig_[pbase] + as * as);
-          const float e = std::exp((cand - m) / tau);
-          w_[static_cast<std::size_t>(rf)][si] = e;
-          denom += e;
-        }
-        if (denom <= 0.0f) continue;
-        const float inv = 1.0f / denom;
-        for (std::int32_t s = fs; s < fe; ++s) {
-          w_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(s)] *= inv;
-        }
-      }
-    }
-  };
+  // arrivals. Weights depend only on parent top-1 entries and fanin arc
+  // delays, both of which the sparse-forward frontier tracks — so after an
+  // incremental forward pass only the frontier pins' weights are
+  // recomputed and clean cones keep their previous (identical) bytes.
+  // A pending annotation (timing not clean) falls back to full recompute:
+  // its frontier has not run yet, so the stale set is not trustworthy.
+  const bool reuse = w_tracking_ && timing_clean();
+  last_backward_ = BackwardStats{};
   {
     INSTA_TRACE_SCOPE("engine.backward.weights");
-    if (options_.parallel) {
-      pool.parallel_for_chunks(0, level_pins_.size(), weights, 512);
+    if (!reuse) {
+      // Vectorized candidate pass over the whole slot space, then per-pin
+      // softmax (each pin owns its fanin slot range; fully parallel).
+      for (const int rf : {0, 1}) {
+        const auto rfi = static_cast<std::size_t>(rf);
+        backward_cand(simd_avx2_, tk_mu_.data(), tk_sig_.data(),
+                      tk_cnt_.data(), slot_ci_[rfi].data(),
+                      static_cast<std::int32_t>(tk_stride_),
+                      amu_[rfi].data(), asig_[rfi].data(), slots, nsigma_,
+                      bw_cand_[rfi].data());
+      }
+      auto weights = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          compute_weights_pin(static_cast<std::size_t>(level_pins_[i]), tau);
+        }
+      };
+      if (options_.parallel) {
+        pool.parallel_for_chunks(0, level_pins_.size(), weights, 512);
+      } else {
+        weights(0, level_pins_.size());
+      }
+      last_backward_.weight_pins_recomputed = level_pins_.size();
+      for (const PinId pin : w_stale_pins_) {
+        w_stale_[static_cast<std::size_t>(pin)] = 0;
+      }
+      w_stale_pins_.clear();
+      w_tracking_ = true;
     } else {
-      weights(0, level_pins_.size());
+      auto sparse_weights = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto p = static_cast<std::size_t>(w_stale_pins_[i]);
+          const std::int32_t fs = fi_start_[p];
+          const std::int32_t fe = fi_start_[p + 1];
+          if (fs != fe) {
+            for (const int rf : {0, 1}) {
+              const auto rfi = static_cast<std::size_t>(rf);
+              backward_cand(simd_avx2_, tk_mu_.data(), tk_sig_.data(),
+                            tk_cnt_.data(), slot_ci_[rfi].data() + fs,
+                            static_cast<std::int32_t>(tk_stride_),
+                            amu_[rfi].data() + fs, asig_[rfi].data() + fs,
+                            fe - fs, nsigma_, bw_cand_[rfi].data() + fs);
+            }
+            compute_weights_pin(p, tau);
+          }
+        }
+      };
+      const std::size_t ns = w_stale_pins_.size();
+      if (options_.parallel &&
+          ns >= static_cast<std::size_t>(options_.parallel_threshold)) {
+        pool.parallel_for_chunks(std::size_t{0}, ns, sparse_weights,
+                                 static_cast<std::size_t>(
+                                     options_.parallel_grain));
+      } else {
+        sparse_weights(0, ns);
+      }
+      last_backward_.weights_reused = true;
+      last_backward_.weight_pins_recomputed = ns;
+      last_backward_.weight_pins_reused = level_pins_.size() - ns;
+      for (const PinId pin : w_stale_pins_) {
+        w_stale_[static_cast<std::size_t>(pin)] = 0;
+      }
+      w_stale_pins_.clear();
     }
+    EngineMetrics& em = engine_metrics();
+    em.bw_weight_pins_recomputed.add(last_backward_.weight_pins_recomputed);
+    em.bw_weight_pins_reused.add(last_backward_.weight_pins_reused);
   }
 
   // Phase 2: endpoint seeds of d(-metric)/d(arrival).
@@ -1233,9 +1351,7 @@ float Engine::stage_gradient(netlist::CellId cell) const {
 std::vector<Engine::TopKEntry> Engine::arrivals(PinId pin,
                                                 RiseFall rf) const {
   const std::size_t base = entry_base(pin, netlist::rf_index(rf));
-  const std::int32_t cnt =
-      tk_cnt_[static_cast<std::size_t>(pin) * 2 +
-              static_cast<std::size_t>(netlist::rf_index(rf))];
+  const std::int32_t cnt = tk_cnt_[cnt_index(pin, netlist::rf_index(rf))];
   std::vector<TopKEntry> out;
   out.reserve(static_cast<std::size_t>(cnt));
   for (std::int32_t k = 0; k < cnt; ++k) {
@@ -1252,8 +1368,7 @@ std::vector<Engine::TopKEntry> Engine::arrivals(PinId pin,
 float Engine::worst_arrival(PinId pin) const {
   float worst = -kInf;
   for (int rf = 0; rf < 2; ++rf) {
-    if (tk_cnt_[static_cast<std::size_t>(pin) * 2 + static_cast<std::size_t>(rf)] >
-        0) {
+    if (tk_cnt_[cnt_index(pin, rf)] > 0) {
       worst = std::max(worst, tk_arr_[entry_base(pin, rf)]);
     }
   }
@@ -1273,13 +1388,16 @@ std::size_t Engine::memory_bytes() const {
        sizeof(float);
   b += (fo_slot_.capacity() + fo_to_.capacity()) * sizeof(std::int32_t);
   b += (w_[0].capacity() + w_[1].capacity() + slot_grad_.capacity() +
-        pin_grad_.capacity() + arc_grad_.capacity()) *
+        pin_grad_.capacity() + arc_grad_.capacity() + bw_cand_[0].capacity() +
+        bw_cand_[1].capacity()) *
        sizeof(float);
   b += (fi_start_.capacity() + fo_start_.capacity() + slot_of_arc_.capacity() +
         sp_of_pin_.capacity() + launch_sp_of_arc_.capacity() +
-        ep_of_pin_.capacity()) *
+        ep_of_pin_.capacity() + tk_pos_.capacity() + slot_ci_[0].capacity() +
+        slot_ci_[1].capacity()) *
        sizeof(std::int32_t);
-  b += dirty_pin_.capacity() + changed_flags_.capacity();
+  b += dirty_pin_.capacity() + changed_flags_.capacity() + w_stale_.capacity();
+  b += w_stale_pins_.capacity() * sizeof(PinId);
   for (const auto& fr : frontier_) b += fr.capacity() * sizeof(PinId);
   b += dirty_eps_.capacity() * sizeof(EndpointId);
   return b;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdint>
@@ -9,10 +10,12 @@
 #include <vector>
 
 #include "core/topk.hpp"
+#include "core/topk_simd.hpp"
 #include "ref/golden_sta.hpp"
 #include "timing/constraints.hpp"
 #include "timing/graph.hpp"
 #include "timing/types.hpp"
+#include "util/simd.hpp"
 
 namespace insta::analysis {
 class LintReport;  // analysis/diagnostics.hpp
@@ -34,9 +37,20 @@ struct EngineOptions {
   float tau = 10.0f;
   /// Soft-min temperature (ps) across endpoints used for WNS gradient seeds.
   float wns_tau = 10.0f;
-  /// Use the binary-heap priority queue instead of the paper's fixed-size
-  /// sorted list (Section III-E ablation).
-  bool use_heap_queue = false;
+  /// Kernel flavor of the merge/backward hot loops. kAuto picks AVX2 when
+  /// compiled in and supported (overridable with INSTA_SIMD=off in the
+  /// environment); kScalar pins the reference flavor; kAvx2 is a hard
+  /// requirement that fails construction when unavailable. Both flavors
+  /// are bit-identical in the default numeric mode.
+  util::simd::SimdMode simd = util::simd::SimdMode::kAuto;
+  /// Documented relative error bound of the fast-math backward softmax
+  /// (vectorized polynomial exp + reassociated LSE denominator). 0 (the
+  /// default) keeps the bit-identity mode: scalar libm exp, sequential
+  /// sums, gradients byte-identical across kernel flavors. A positive
+  /// value enables the fast path (AVX2 builds only) and states the maximum
+  /// relative arc-gradient drift the caller accepts vs the default mode;
+  /// the engine's kernels stay within 1e-3 (see DESIGN.md §14).
+  float fast_math_tolerance = 0.0f;
   /// Level-parallel execution on the global thread pool.
   bool parallel = true;
   /// Minimum number of work items (level pins, frontier pins, endpoints)
@@ -307,6 +321,22 @@ class Engine {
   /// degrade TNS (or WNS).
   void run_backward(GradientMetric metric = GradientMetric::kTns);
 
+  /// Work accounting of the most recent run_backward. The Eq. 6 softmax
+  /// weights (phase 1, the exp-dominated cost of the pass) depend only on
+  /// parent top-1 arrivals and arc delays, so after an incremental forward
+  /// pass only the frontier pins' weights can have changed: the backward
+  /// pass reuses the frontier-sparse machinery and recomputes weights for
+  /// exactly those pins, skipping clean cones. Deterministic and
+  /// independent of the telemetry build.
+  struct BackwardStats {
+    bool weights_reused = false;  ///< true when the sparse reuse path ran
+    std::uint64_t weight_pins_recomputed = 0;
+    std::uint64_t weight_pins_reused = 0;
+  };
+  [[nodiscard]] const BackwardStats& last_backward_stats() const {
+    return last_backward_;
+  }
+
   /// Gradient of one arc from the last run_backward (graph arc id).
   [[nodiscard]] float arc_gradient(timing::ArcId arc) const {
     return arc_grad_[static_cast<std::size_t>(arc)];
@@ -376,10 +406,9 @@ class Engine {
       const auto& sig = early ? e.tk2_sig_ : e.tk_sig_;
       const auto& sp = early ? e.tk2_sp_ : e.tk_sp_;
       const auto& cnt = early ? e.tk2_cnt_ : e.tk_cnt_;
-      const std::size_t base =
-          e.entry_base(static_cast<netlist::PinId>(pin), rf);
-      return {&arr[base], &mu[base], &sig[base], &sp[base],
-              cnt[pin * 2 + static_cast<std::size_t>(rf)]};
+      const std::size_t ci = e.cnt_index(static_cast<netlist::PinId>(pin), rf);
+      const std::size_t base = ci * e.tk_stride_;
+      return {&arr[base], &mu[base], &sig[base], &sp[base], cnt[ci]};
     }
     [[nodiscard]] float arc_mu(std::size_t slot, int rf) const {
       return e.amu_[static_cast<std::size_t>(rf)][slot];
@@ -445,14 +474,35 @@ class Engine {
   [[nodiscard]] HoldEval evaluate_endpoint_hold_values(
       const Values& vals, timing::EndpointId ep) const;
   [[nodiscard]] float credit(std::int32_t sp_node, std::int32_t ep_node) const;
+  /// Index into the count arrays (tk_cnt_/tk2_cnt_): Top-K stores are laid
+  /// out in level order (tk_pos_ is the pin's position in level_pins_, with
+  /// unleveled pins appended after), so the pins of one level occupy one
+  /// contiguous run of every plane — the level-contiguous SoA layout the
+  /// vector kernels stream through.
+  [[nodiscard]] std::size_t cnt_index(netlist::PinId pin, int rf) const {
+    return static_cast<std::size_t>(
+               tk_pos_[static_cast<std::size_t>(pin)]) *
+               2 +
+           static_cast<std::size_t>(rf);
+  }
+  /// First slot of a pin/transition's Top-K entries in the SoA planes.
+  /// Entries are padded to tk_stride_ (top_k rounded up to 8) so every
+  /// entry run starts on a vector-lane boundary; the pad slots are never
+  /// read (tail groups are count-mask-loaded).
   [[nodiscard]] std::size_t entry_base(netlist::PinId pin, int rf) const {
-    return (static_cast<std::size_t>(pin) * 2 + static_cast<std::size_t>(rf)) *
-           static_cast<std::size_t>(options_.top_k);
+    return cnt_index(pin, rf) * tk_stride_;
   }
 
   const timing::TimingGraph* graph_;
   EngineOptions options_;
   float nsigma_ = 3.0f;
+
+  /// Resolved kernel dispatch (util::simd::resolve on options_.simd): true
+  /// selects the AVX2 flavors for every merge/backward kernel call.
+  bool simd_avx2_ = false;
+  /// True when fast_math_tolerance > 0 and the AVX2 flavor is active: the
+  /// backward softmax runs the vectorized-exp path.
+  bool fast_math_ = false;
 
   std::size_t num_pins_ = 0;
 
@@ -497,12 +547,17 @@ class Engine {
   std::vector<std::int32_t> ck_depth_;
   std::vector<float> ck_sig2_;
 
-  // Top-K stores.
+  // Top-K stores: level-contiguous SoA planes. A pin/transition's entries
+  // live at [entry_base(pin, rf), +count) with capacity top_k inside a
+  // tk_stride_-sized run; runs are ordered by tk_pos_ (level order), so a
+  // level's stores are one contiguous streamable block per plane.
+  std::vector<std::int32_t> tk_pos_;  // per pin: position in level order
+  std::size_t tk_stride_ = 0;         // top_k rounded up to 8 (lane width)
   std::vector<float> tk_arr_;
   std::vector<float> tk_mu_;
   std::vector<float> tk_sig_;
   std::vector<std::int32_t> tk_sp_;
-  std::vector<std::int32_t> tk_cnt_;  // per pin*2
+  std::vector<std::int32_t> tk_cnt_;  // per cnt_index (position*2 + rf)
 
   // Early (min-mode) Top-K stores; tk2_arr_ holds *negated* early corners
   // so the same descending-list kernel keeps the smallest arrivals.
@@ -558,6 +613,29 @@ class Engine {
   std::vector<float> pin_grad_;          // per pin*2
   std::vector<float> slot_grad_;         // per slot
   std::vector<float> arc_grad_;          // per graph arc
+  /// Per-slot parent count index (tk_pos_[from]*2 + prf), the gather table
+  /// of the backward candidate kernel. Structure-only; built once.
+  std::array<std::vector<std::int32_t>, 2> slot_ci_;
+  /// Per-slot LSE candidate scratch of backward phase 1.
+  std::array<std::vector<float>, 2> bw_cand_;
+  /// Weight-reuse tracking: false until the first backward pass (or after
+  /// any dense forward), meaning every pin's weights must be recomputed.
+  /// While true, w_stale_/w_stale_pins_ name exactly the pins whose weight
+  /// inputs may have changed (the sparse-forward frontier).
+  bool w_tracking_ = false;
+  std::vector<std::uint8_t> w_stale_;        // per pin
+  std::vector<netlist::PinId> w_stale_pins_;
+  BackwardStats last_backward_;
+
+  /// Recomputes the Eq. 6 weights of one pin (both transitions) from the
+  /// bw_cand_ scratch, writing w_[rf][fs, fe). Default mode: scalar libm
+  /// exp + sequential denominator (bit-identical across kernel flavors);
+  /// fast_math_ mode: vectorized exp + reassociated sums.
+  void compute_weights_pin(std::size_t p, float tau);
+  /// Marks one pin's weights stale (no-op unless tracking).
+  void mark_weights_stale(netlist::PinId pin);
+  /// Invalidates all weight reuse (dense pass, structural uncertainty).
+  void invalidate_weights();
 };
 
 // ---- shared value-parameterized kernels -------------------------------------
@@ -594,34 +672,31 @@ void Engine::merge_pin_values(const Values& vals, netlist::PinId pin, int rf,
     return;
   }
 
-  for (std::int32_t s = fs; s < fe; ++s) {
-    const auto si = static_cast<std::size_t>(s);
-    const int prf = rf ^ static_cast<int>(fi_neg_[si]);
-    const auto from = static_cast<std::size_t>(fi_from_[si]);
-    const TopKConstView par = vals.parent(from, prf, kEarly);
-    const float am = vals.arc_mu(si, rf);
-    const float as = vals.arc_sig(si, rf);
-    const float as2 = as * as;
-    ++fc.arcs;
-    fc.merges += static_cast<std::uint64_t>(par.cnt);
-    for (std::int32_t kk = 0; kk < par.cnt; ++kk) {
-      const float pmu = par.mu[kk];
-      const float psig = par.sig[kk];
-      const float mu = pmu + am;
-      const float sig = std::sqrt(psig * psig + as2);
-      const float arrival =
-          kEarly ? -(mu - nsigma_ * sig) : (mu + nsigma_ * sig);
-      const std::int32_t sp = par.sp[kk];
-      if (options_.use_heap_queue) {
-        fc.prunes += static_cast<std::uint64_t>(
-            topk_insert_heap(dst, arrival, mu, sig, sp));
-      } else {
-        fc.prunes += static_cast<std::uint64_t>(
-            topk_insert(dst, arrival, mu, sig, sp));
-      }
+  // Materialize the fanin candidate lists in chunks, then hand each batch
+  // to the dispatched merge kernel (topk_simd.cpp). The chunk bounds the
+  // stack footprint on high-fanin pins; within a batch the kernel
+  // prefetches the next arc's parent planes (the CSR-indirect reads) while
+  // merging the current one.
+  constexpr std::int32_t kChunk = 16;
+  MergeArc batch[kChunk];
+  MergeCounters mc;
+  for (std::int32_t s = fs; s < fe; s += kChunk) {
+    const std::int32_t n = std::min<std::int32_t>(kChunk, fe - s);
+    for (std::int32_t j = 0; j < n; ++j) {
+      const auto si = static_cast<std::size_t>(s + j);
+      const int prf = rf ^ static_cast<int>(fi_neg_[si]);
+      const auto from = static_cast<std::size_t>(fi_from_[si]);
+      batch[j].par = vals.parent(from, prf, kEarly);
+      batch[j].am = vals.arc_mu(si, rf);
+      const float as = vals.arc_sig(si, rf);
+      batch[j].as2 = as * as;
     }
+    fc.arcs += static_cast<std::uint64_t>(n);
+    merge_arcs(simd_avx2_, dst, batch, static_cast<int>(n), nsigma_, kEarly,
+               mc);
   }
-  if (options_.use_heap_queue) topk_heap_finalize(dst);
+  fc.merges += mc.merges;
+  fc.prunes += mc.prunes;
 }
 
 /// Setup slack of one endpoint over the visible Top-K store (live or

@@ -214,9 +214,9 @@ struct ScenarioBatch::OverlayValues {
     const auto& sig = early ? e.tk2_sig_ : e.tk_sig_;
     const auto& sp = early ? e.tk2_sp_ : e.tk_sp_;
     const auto& cnt = early ? e.tk2_cnt_ : e.tk_cnt_;
-    const std::size_t base = e.entry_base(static_cast<PinId>(pin), rf);
-    return {&arr[base], &mu[base], &sig[base], &sp[base],
-            cnt[pin * 2 + static_cast<std::size_t>(rf)]};
+    const std::size_t ci = e.cnt_index(static_cast<PinId>(pin), rf);
+    const std::size_t base = ci * e.tk_stride_;
+    return {&arr[base], &mu[base], &sig[base], &sp[base], cnt[ci]};
   }
   [[nodiscard]] float arc_mu(std::size_t slot, int rf) const {
     const std::int32_t idx = w.slot_ov[slot];

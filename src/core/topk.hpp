@@ -44,10 +44,26 @@ inline bool topk_equal_const(const TopKView& a, const TopKConstView& b) {
          std::memcmp(a.sp, b.sp, ib) == 0;
 }
 
-/// Algorithm 2 of the paper: inserts a startpoint-tagged arrival into a
-/// fixed-size descending list while keeping startpoints unique.
+/// Algorithm 2 of the paper — the one maintained insert kernel (a
+/// binary-heap variant used to exist for the Section III-E ablation; it
+/// lost that ablation and was removed when the merge loop was vectorized).
+/// Inserts a startpoint-tagged arrival into a fixed-size descending list
+/// while keeping startpoints unique.
 ///
-/// Step 1 — if `new_sp` is already present, update it when the new arrival
+/// Startpoint-uniqueness invariant: at most one entry per startpoint tag
+/// may exist in the list at any time. CPPR credit is a function of the
+/// (startpoint, endpoint) pair, so two entries with the same tag would
+/// describe the same credited path family and the smaller one could never
+/// win a slack query — keeping only the per-startpoint maximum is what
+/// makes K slots cover K *distinct* credit scenarios (the paper's core
+/// trick). The scan of step 1 preserves the invariant on every insert;
+/// callers (and the vectorized group pre-filter in topk_simd.cpp) may
+/// drop candidates early only when the drop provably cannot violate the
+/// per-startpoint maximum — e.g. a candidate at or below a full list's
+/// minimum kept arrival loses against every entry, including one with its
+/// own tag.
+///
+/// Step 1 — if `sp` is already present, update it when the new arrival
 /// is larger (then bubble it up to restore descending order).
 /// Step 2 — otherwise insert in sorted position, shifting entries down and
 /// dropping the smallest when the list is full.
@@ -102,93 +118,6 @@ inline bool topk_insert(const TopKView& v, float arr, float mu, float sig,
   v.sig[pos] = sig;
   v.sp[pos] = sp;
   return false;
-}
-
-/// Binary-min-heap variant of the Top-K store for the Section III-E
-/// "why not heaps?" ablation. The heap is keyed on the arrival time (root =
-/// smallest kept arrival); startpoint uniqueness still needs a linear scan.
-/// After propagation the list must be sorted with topk_heap_finalize before
-/// slack evaluation. Same prune-hit return convention as topk_insert.
-inline bool topk_insert_heap(const TopKView& v, float arr, float mu, float sig,
-                             std::int32_t sp) {
-  auto swap_at = [&](std::int32_t a, std::int32_t b) {
-    std::swap(v.arr[a], v.arr[b]);
-    std::swap(v.mu[a], v.mu[b]);
-    std::swap(v.sig[a], v.sig[b]);
-    std::swap(v.sp[a], v.sp[b]);
-  };
-  auto sift_down = [&](std::int32_t i, std::int32_t n) {
-    for (;;) {
-      const std::int32_t l = 2 * i + 1;
-      const std::int32_t r = 2 * i + 2;
-      std::int32_t smallest = i;
-      if (l < n && v.arr[l] < v.arr[smallest]) smallest = l;
-      if (r < n && v.arr[r] < v.arr[smallest]) smallest = r;
-      if (smallest == i) return;
-      swap_at(i, smallest);
-      i = smallest;
-    }
-  };
-  auto sift_up = [&](std::int32_t i) {
-    while (i > 0) {
-      const std::int32_t parent = (i - 1) / 2;
-      if (v.arr[parent] <= v.arr[i]) return;
-      swap_at(i, parent);
-      i = parent;
-    }
-  };
-
-  const std::int32_t n = *v.count;
-  for (std::int32_t j = 0; j < n; ++j) {
-    if (v.sp[j] != sp) continue;
-    if (arr > v.arr[j]) {
-      v.arr[j] = arr;
-      v.mu[j] = mu;
-      v.sig[j] = sig;
-      sift_down(j, n);  // key increased in a min-heap
-    }
-    return false;
-  }
-  if (n < v.k) {
-    v.arr[n] = arr;
-    v.mu[n] = mu;
-    v.sig[n] = sig;
-    v.sp[n] = sp;
-    *v.count = n + 1;
-    sift_up(n);
-    return false;
-  }
-  if (arr <= v.arr[0]) return true;  // not better than the heap minimum
-  v.arr[0] = arr;
-  v.mu[0] = mu;
-  v.sig[0] = sig;
-  v.sp[0] = sp;
-  sift_down(0, n);
-  return false;
-}
-
-/// Sorts a heap-ordered Top-K store into the descending order the list
-/// variant maintains (insertion sort; K is small).
-inline void topk_heap_finalize(const TopKView& v) {
-  const std::int32_t n = *v.count;
-  for (std::int32_t i = 1; i < n; ++i) {
-    const float a = v.arr[i];
-    const float m = v.mu[i];
-    const float s = v.sig[i];
-    const std::int32_t p = v.sp[i];
-    std::int32_t j = i;
-    while (j > 0 && v.arr[j - 1] < a) {
-      v.arr[j] = v.arr[j - 1];
-      v.mu[j] = v.mu[j - 1];
-      v.sig[j] = v.sig[j - 1];
-      v.sp[j] = v.sp[j - 1];
-      --j;
-    }
-    v.arr[j] = a;
-    v.mu[j] = m;
-    v.sig[j] = s;
-    v.sp[j] = p;
-  }
 }
 
 /// Bitwise equality of two Top-K stores: same count and byte-identical

@@ -1,0 +1,68 @@
+#include "util/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace insta::util::simd {
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__)
+  static const bool has = [] {
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("avx2") != 0;
+  }();
+  return has;
+#else
+  return false;
+#endif
+}
+
+SimdMode env_mode() {
+  static const SimdMode mode = [] {
+    const char* v = std::getenv("INSTA_SIMD");
+    if (v == nullptr) return SimdMode::kAuto;
+    if (std::strcmp(v, "off") == 0 || std::strcmp(v, "OFF") == 0 ||
+        std::strcmp(v, "scalar") == 0 || std::strcmp(v, "0") == 0) {
+      return SimdMode::kScalar;
+    }
+    if (std::strcmp(v, "avx2") == 0 || std::strcmp(v, "AVX2") == 0) {
+      return SimdMode::kAvx2;
+    }
+    return SimdMode::kAuto;
+  }();
+  return mode;
+}
+
+bool resolve(SimdMode requested) {
+  SimdMode mode = requested;
+  if (mode == SimdMode::kAuto) mode = env_mode();
+  if (mode == SimdMode::kScalar) return false;
+  const bool available = compiled_avx2() && cpu_has_avx2();
+  if (mode == SimdMode::kAvx2) {
+    // Hard requirement: a CI runner asked for AVX2 must not silently bench
+    // the scalar fallback.
+    check(compiled_avx2(),
+          "simd::resolve: AVX2 requested but this build was configured with "
+          "INSTA_SIMD=OFF");
+    check(cpu_has_avx2(),
+          "simd::resolve: AVX2 requested but the CPU does not support it");
+    return true;
+  }
+  return available;  // kAuto
+}
+
+const char* mode_name(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAuto:
+      return "auto";
+    case SimdMode::kScalar:
+      return "scalar";
+    case SimdMode::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace insta::util::simd

@@ -55,29 +55,6 @@ TEST_P(EngineVsGolden, ExactWithLargeK) {
   EXPECT_NEAR(f.sta->wns(), engine.wns(), 2e-2);
 }
 
-/// The heap-queue ablation variant must produce identical evaluation results
-/// to the sorted-list kernel.
-TEST_P(EngineVsGolden, HeapVariantMatchesList) {
-  Fixture f(GetParam());
-  core::EngineOptions a;
-  a.top_k = 8;
-  core::EngineOptions b = a;
-  b.use_heap_queue = true;
-  core::Engine ea(*f.sta, a);
-  core::Engine eb(*f.sta, b);
-  ea.run_forward();
-  eb.run_forward();
-  for (std::size_t e = 0; e < f.graph->endpoints().size(); ++e) {
-    const float sa = ea.endpoint_slack(static_cast<timing::EndpointId>(e));
-    const float sb = eb.endpoint_slack(static_cast<timing::EndpointId>(e));
-    if (!std::isfinite(sa)) {
-      EXPECT_FALSE(std::isfinite(sb));
-      continue;
-    }
-    EXPECT_EQ(sa, sb) << "endpoint " << e;
-  }
-}
-
 /// K=1 (no CPPR handling) must be pessimistic-or-equal against full K:
 /// dropping startpoint diversity can only lose CPPR credit at an endpoint.
 TEST_P(EngineVsGolden, TopK1IsConservativeOnCredit) {

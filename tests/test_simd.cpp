@@ -1,0 +1,329 @@
+// The SIMD dispatch contract (DESIGN.md §14): in default numeric mode the
+// scalar and AVX2 kernel flavors are bit-identical — same Top-K bytes, same
+// counters, same gradients — across ragged list sizes, empty lists, and
+// every K; tolerance mode (fast_math_tolerance > 0) may drift only within
+// the documented bound, and only in the backward softmax.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/topk.hpp"
+#include "core/topk_simd.hpp"
+#include "gen/changelist.hpp"
+#include "gen/logic_block.hpp"
+#include "gen/presets.hpp"
+#include "gen/tune.hpp"
+#include "ref/golden_sta.hpp"
+#include "timing/delay_calc.hpp"
+#include "util/simd.hpp"
+
+namespace insta {
+namespace {
+
+bool avx2_available() {
+  return util::simd::compiled_avx2() && util::simd::cpu_has_avx2();
+}
+
+// ---- kernel-level property tests --------------------------------------------
+
+/// One randomized merge workload: parents with ragged counts (including
+/// empty lists) in stride-padded SoA planes, merged through both flavors
+/// into separate destinations that must come out byte-identical.
+class MergeFlavors : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(MergeFlavors, ScalarAndAvx2AreBitIdentical) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 unavailable";
+  const std::int32_t k = GetParam();
+  const std::size_t stride = (static_cast<std::size_t>(k) + 7) & ~std::size_t{7};
+  std::mt19937 rng(1234u + static_cast<unsigned>(k));
+  std::uniform_real_distribution<float> val(-500.0f, 500.0f);
+  std::uniform_real_distribution<float> dly(1.0f, 40.0f);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const int num_arcs = 1 + static_cast<int>(rng() % 12);
+    std::vector<float> parr, pmu, psig;
+    std::vector<std::int32_t> psp;
+    std::vector<core::MergeArc> arcs(static_cast<std::size_t>(num_arcs));
+    parr.assign(static_cast<std::size_t>(num_arcs) * stride, 0.0f);
+    pmu = parr;
+    psig = parr;
+    psp.assign(parr.size(), -1);
+    for (int a = 0; a < num_arcs; ++a) {
+      // Ragged counts: empty, partial, and full lists all occur.
+      const auto cnt = static_cast<std::int32_t>(rng() % (k + 1));
+      std::vector<float> vs(static_cast<std::size_t>(cnt));
+      for (auto& v : vs) v = val(rng);
+      std::sort(vs.begin(), vs.end(), std::greater<>());
+      const std::size_t b = static_cast<std::size_t>(a) * stride;
+      for (std::int32_t j = 0; j < cnt; ++j) {
+        parr[b + static_cast<std::size_t>(j)] = vs[static_cast<std::size_t>(j)];
+        pmu[b + static_cast<std::size_t>(j)] =
+            vs[static_cast<std::size_t>(j)] - 3.0f;
+        psig[b + static_cast<std::size_t>(j)] = 0.5f + 0.1f * dly(rng);
+        // Overlapping tags across arcs exercise the in-list update path.
+        psp[b + static_cast<std::size_t>(j)] = static_cast<std::int32_t>(
+            rng() % static_cast<unsigned>(2 * k + 1));
+      }
+      arcs[static_cast<std::size_t>(a)].par = {&parr[b], &pmu[b], &psig[b],
+                                               &psp[b], cnt};
+      arcs[static_cast<std::size_t>(a)].am = dly(rng);
+      const float s = 0.1f * dly(rng);
+      arcs[static_cast<std::size_t>(a)].as2 = s * s;
+    }
+
+    for (const bool early : {false, true}) {
+      std::vector<float> a1(static_cast<std::size_t>(k)), m1 = a1, s1 = a1;
+      std::vector<float> a2 = a1, m2 = a1, s2 = a1;
+      std::vector<std::int32_t> p1(static_cast<std::size_t>(k), -1), p2 = p1;
+      std::int32_t c1 = 0, c2 = 0;
+      const core::TopKView d1{a1.data(), m1.data(), s1.data(), p1.data(), k,
+                              &c1};
+      const core::TopKView d2{a2.data(), m2.data(), s2.data(), p2.data(), k,
+                              &c2};
+      core::MergeCounters mc1, mc2;
+      core::merge_arcs_scalar(d1, arcs.data(), num_arcs, 3.0f, early, mc1);
+      core::merge_arcs_avx2(d2, arcs.data(), num_arcs, 3.0f, early, mc2);
+      ASSERT_EQ(c1, c2) << "trial " << trial << " early " << early;
+      for (std::int32_t j = 0; j < c1; ++j) {
+        const auto ji = static_cast<std::size_t>(j);
+        EXPECT_EQ(a1[ji], a2[ji]) << "trial " << trial << " slot " << j;
+        EXPECT_EQ(m1[ji], m2[ji]);
+        EXPECT_EQ(s1[ji], s2[ji]);
+        EXPECT_EQ(p1[ji], p2[ji]);
+      }
+      // The flavors share the group structure, so the counters agree too.
+      EXPECT_EQ(mc1.merges, mc2.merges);
+      EXPECT_EQ(mc1.prunes, mc2.prunes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, MergeFlavors,
+                         ::testing::Values(1, 2, 4, 8, 13));
+
+TEST(BackwardCandFlavors, ScalarAndAvx2AreBitIdentical) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 unavailable";
+  const std::int32_t stride = 8;
+  const std::int32_t parents = 257;  // odd count: gather tail coverage
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<float> val(-100.0f, 900.0f);
+  std::vector<float> tk_mu(static_cast<std::size_t>(parents * stride));
+  std::vector<float> tk_sig(tk_mu.size());
+  std::vector<std::int32_t> tk_cnt(static_cast<std::size_t>(parents));
+  for (auto& v : tk_mu) v = val(rng);
+  for (auto& v : tk_sig) v = 0.5f + 0.001f * val(rng);
+  for (std::size_t p = 0; p < tk_cnt.size(); ++p) {
+    tk_cnt[p] = (p % 7 == 0) ? 0 : static_cast<std::int32_t>(1 + p % 4);
+  }
+  const std::int32_t slots = 1003;  // non-multiple of 8: vector tail
+  std::vector<std::int32_t> ci(static_cast<std::size_t>(slots));
+  std::vector<float> amu(ci.size()), asig(ci.size());
+  for (auto& c : ci) {
+    c = static_cast<std::int32_t>(rng() % static_cast<unsigned>(parents));
+  }
+  for (auto& x : amu) x = 0.1f * val(rng);
+  for (auto& x : asig) x = 0.001f * std::abs(val(rng));
+  std::vector<float> out1(ci.size(), -1.0f), out2(ci.size(), -2.0f);
+  core::backward_cand_scalar(tk_mu.data(), tk_sig.data(), tk_cnt.data(),
+                             ci.data(), stride, amu.data(), asig.data(), slots,
+                             3.0f, out1.data());
+  core::backward_cand_avx2(tk_mu.data(), tk_sig.data(), tk_cnt.data(),
+                           ci.data(), stride, amu.data(), asig.data(), slots,
+                           3.0f, out2.data());
+  for (std::size_t s = 0; s < out1.size(); ++s) {
+    if (tk_cnt[static_cast<std::size_t>(ci[s])] == 0) {
+      EXPECT_EQ(out1[s], -std::numeric_limits<float>::infinity());
+    }
+    EXPECT_EQ(out1[s], out2[s]) << "slot " << s;
+  }
+}
+
+// ---- engine-level property tests --------------------------------------------
+
+struct Fixture {
+  gen::GeneratedDesign gd;
+  std::unique_ptr<timing::TimingGraph> graph;
+  std::unique_ptr<timing::DelayCalculator> calc;
+  timing::ArcDelays delays;
+  std::unique_ptr<ref::GoldenSta> sta;
+
+  explicit Fixture(std::uint64_t seed) {
+    gd = gen::build_logic_block(gen::tiny_spec(seed));
+    graph = std::make_unique<timing::TimingGraph>(*gd.design,
+                                                  gd.constraints.clock_root);
+    calc = std::make_unique<timing::DelayCalculator>(*gd.design, *graph);
+    calc->compute_all(delays);
+    gen::tune_clock_period(*graph, gd.constraints, delays, 0.1);
+    sta = std::make_unique<ref::GoldenSta>(*graph, gd.constraints, delays);
+    sta->update_full();
+  }
+};
+
+void expect_same_forward_state(const core::Engine& a, const core::Engine& b,
+                               const netlist::Design& d) {
+  for (std::size_t p = 0; p < d.num_pins(); ++p) {
+    const auto pin = static_cast<netlist::PinId>(p);
+    for (const auto rf : {netlist::RiseFall::kRise, netlist::RiseFall::kFall}) {
+      const auto ea = a.arrivals(pin, rf);
+      const auto eb = b.arrivals(pin, rf);
+      ASSERT_EQ(ea.size(), eb.size()) << "pin " << p;
+      for (std::size_t j = 0; j < ea.size(); ++j) {
+        EXPECT_EQ(ea[j].arr, eb[j].arr) << "pin " << p << " slot " << j;
+        EXPECT_EQ(ea[j].mu, eb[j].mu);
+        EXPECT_EQ(ea[j].sig, eb[j].sig);
+        EXPECT_EQ(ea[j].sp, eb[j].sp);
+      }
+    }
+  }
+  const auto sa = a.endpoint_slacks();
+  const auto sb = b.endpoint_slacks();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t e = 0; e < sa.size(); ++e) {
+    if (std::isnan(sa[e])) {
+      EXPECT_TRUE(std::isnan(sb[e]));
+    } else {
+      EXPECT_EQ(sa[e], sb[e]) << "endpoint " << e;
+    }
+  }
+}
+
+class SimdEngine
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+/// Forward propagation through the scalar and AVX2 flavors must leave
+/// byte-identical Top-K stores and slacks at every K.
+TEST_P(SimdEngine, ForwardIsBitIdenticalAcrossFlavors) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 unavailable";
+  const auto [seed, k] = GetParam();
+  Fixture f(seed);
+  core::EngineOptions so;
+  so.top_k = k;
+  so.simd = util::simd::SimdMode::kScalar;
+  core::EngineOptions vo = so;
+  vo.simd = util::simd::SimdMode::kAvx2;
+  core::Engine es(*f.sta, so);
+  core::Engine ev(*f.sta, vo);
+  es.run_forward();
+  ev.run_forward();
+  expect_same_forward_state(es, ev, *f.gd.design);
+}
+
+/// Backward gradients from the vectorized candidate pass must match the
+/// scalar reference bit-for-bit in default numeric mode.
+TEST_P(SimdEngine, BackwardGradientsAreBitIdenticalAcrossFlavors) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 unavailable";
+  const auto [seed, k] = GetParam();
+  Fixture f(seed);
+  core::EngineOptions so;
+  so.top_k = k;
+  so.simd = util::simd::SimdMode::kScalar;
+  core::EngineOptions vo = so;
+  vo.simd = util::simd::SimdMode::kAvx2;
+  core::Engine es(*f.sta, so);
+  core::Engine ev(*f.sta, vo);
+  es.run_forward();
+  ev.run_forward();
+  for (const auto metric :
+       {core::GradientMetric::kTns, core::GradientMetric::kWns}) {
+    es.run_backward(metric);
+    ev.run_backward(metric);
+    const auto ga = es.arc_gradients();
+    const auto gb = ev.arc_gradients();
+    ASSERT_EQ(ga.size(), gb.size());
+    for (std::size_t i = 0; i < ga.size(); ++i) {
+      EXPECT_EQ(ga[i], gb[i]) << "arc " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimdEngine,
+    ::testing::Combine(::testing::Values(21u, 22u, 23u),
+                       ::testing::Values(1, 2, 4, 8)));
+
+/// After an ECO the incremental backward pass reuses clean softmax weights
+/// (BackwardStats says so) and must still produce gradients bitwise equal
+/// to a dense forward + full backward on identical annotations.
+TEST(SimdEngine, IncrementalBackwardReuseMatchesFullRecompute) {
+  Fixture f(31u);
+  core::EngineOptions opt;
+  opt.top_k = 8;
+  core::Engine inc(*f.sta, opt);
+  core::Engine full(*f.sta, opt);
+  inc.run_forward();
+  full.run_forward();
+  inc.run_backward(core::GradientMetric::kTns);
+
+  util::Rng rng(7);
+  const auto changes = gen::random_changelist(*f.gd.design, *f.graph, rng, 10);
+  bool saw_reuse = false;
+  for (const auto& ch : changes) {
+    const auto deltas = f.calc->estimate_eco(ch.cell, ch.new_libcell);
+    inc.annotate(deltas);
+    full.annotate(deltas);
+    inc.run_forward_incremental();
+    full.run_forward();
+    inc.run_backward(core::GradientMetric::kTns);
+    saw_reuse = saw_reuse || inc.last_backward_stats().weights_reused;
+    full.run_backward(core::GradientMetric::kTns);
+    const auto ga = inc.arc_gradients();
+    const auto gb = full.arc_gradients();
+    ASSERT_EQ(ga.size(), gb.size());
+    for (std::size_t i = 0; i < ga.size(); ++i) {
+      EXPECT_EQ(ga[i], gb[i]) << "arc " << i;
+    }
+  }
+  EXPECT_TRUE(saw_reuse) << "no incremental backward exercised weight reuse";
+}
+
+/// Tolerance mode (fast_math_tolerance > 0): forward stays bit-exact (the
+/// merge kernel never reassociates), and backward gradients stay within
+/// the documented 1e-3 bound of the default-mode reference.
+TEST(SimdEngine, ToleranceModeBoundsGradientDrift) {
+  if (!avx2_available()) {
+    GTEST_SKIP() << "fast-math softmax requires AVX2";
+  }
+  Fixture f(41u);
+  core::EngineOptions exact;
+  exact.top_k = 8;
+  core::EngineOptions fast = exact;
+  fast.fast_math_tolerance = 1e-3f;
+  core::Engine ee(*f.sta, exact);
+  core::Engine ef(*f.sta, fast);
+  ee.run_forward();
+  ef.run_forward();
+  expect_same_forward_state(ee, ef, *f.gd.design);
+
+  ee.run_backward(core::GradientMetric::kTns);
+  ef.run_backward(core::GradientMetric::kTns);
+  const auto ga = ee.arc_gradients();
+  const auto gb = ef.arc_gradients();
+  ASSERT_EQ(ga.size(), gb.size());
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    const float scale = std::max(1.0f, std::abs(ga[i]));
+    const float rel = std::abs(ga[i] - gb[i]) / scale;
+    worst = std::max(worst, rel);
+    EXPECT_LE(rel, fast.fast_math_tolerance) << "arc " << i;
+  }
+  // The polynomial exp is ~2 ulp; drift should be far inside the bound.
+  EXPECT_LT(worst, fast.fast_math_tolerance);
+}
+
+/// INSTA_SIMD=off / SimdMode::kScalar must be honored even on AVX2 hosts:
+/// the dispatcher resolves to the scalar flavor and the engine still
+/// produces a valid timing state.
+TEST(SimdDispatch, ScalarModeAlwaysResolves) {
+  EXPECT_FALSE(util::simd::resolve(util::simd::SimdMode::kScalar));
+  if (avx2_available()) {
+    EXPECT_TRUE(util::simd::resolve(util::simd::SimdMode::kAvx2));
+  }
+}
+
+}  // namespace
+}  // namespace insta

@@ -105,17 +105,14 @@ TEST_P(TopKOracle, MatchesMapOracle) {
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     util::Rng rng(seed);
     Store list(k);
-    Store heap(k);
     std::map<std::int32_t, float> oracle;
     for (int i = 0; i < 500; ++i) {
       const auto sp = static_cast<std::int32_t>(rng.uniform_int(0, num_sps - 1));
       const auto a = static_cast<float>(rng.uniform(0.0, 100.0));
       list.insert(a, sp);
-      core::topk_insert_heap(heap.view(), a, a - 1.0f, 1.0f, sp);
       auto [it, inserted] = oracle.try_emplace(sp, a);
       if (!inserted && a > it->second) it->second = a;
     }
-    core::topk_heap_finalize(heap.view());
 
     std::vector<std::pair<float, std::int32_t>> expect;
     for (const auto& [sp, a] : oracle) expect.emplace_back(a, sp);
@@ -125,12 +122,9 @@ TEST_P(TopKOracle, MatchesMapOracle) {
     }
 
     ASSERT_EQ(list.count, static_cast<std::int32_t>(expect.size()));
-    ASSERT_EQ(heap.count, static_cast<std::int32_t>(expect.size()));
     for (std::size_t i = 0; i < expect.size(); ++i) {
       EXPECT_EQ(list.arr[i], expect[i].first) << "seed " << seed << " i " << i;
       EXPECT_EQ(list.sp[i], expect[i].second);
-      EXPECT_EQ(heap.arr[i], expect[i].first);
-      EXPECT_EQ(heap.sp[i], expect[i].second);
     }
     // The auxiliary mu/sig payloads travel with their entry.
     for (std::int32_t i = 0; i < list.count; ++i) {
