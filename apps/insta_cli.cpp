@@ -3,7 +3,7 @@
 //   insta_cli generate --out d.inet [--gates N] [--ffs N] [--seed S]
 //                      [--violate F]        generate + tune + save a design
 //   insta_cli report --in d.inet [--paths N] [--hold] [--topk K]
-//                                            golden + INSTA timing summary
+//                    [--corner list]         golden + INSTA timing summary
 //   insta_cli size --in d.inet --out o.inet [--method insta|baseline]
 //                                            run a sizer and save the result
 //   insta_cli buffer --in d.inet --out o.inet
@@ -15,11 +15,12 @@
 //                                            the engines and audit Top-K
 //                                            invariants post-propagation)
 //   insta_cli profile [--preset tiny|block-1..5|fig7] [--iters N]
-//                     [--topk K] [--resizes N]
+//                     [--topk K] [--resizes N] [--corner list]
 //                                            timed end-to-end run with a
 //                                            per-phase breakdown table
 //   insta_cli whatif --in d.inet [--scenarios s.json | --sample N]
-//                    [--seed S] [--hold 1] [--topk K] [--out results.json]
+//                    [--seed S] [--hold 1] [--topk K] [--corner list]
+//                    [--out results.json]
 //                                            batch-evaluate what-if delta
 //                                            scenarios without mutating the
 //                                            engine; prints one summary row
@@ -32,7 +33,8 @@
 //                                            --sample N random resizes are
 //                                            evaluated instead
 //   insta_cli serve --in d.inet [--socket /path.sock | --host H --port P]
-//                   [--hold 1] [--topk K] [--batch-window-us U]
+//                   [--hold 1] [--topk K] [--corner list]
+//                   [--batch-window-us U]
 //                   [--max-batch N] [--max-queue N] [--max-inflight N]
 //                   [--max-sessions N] [--max-connections N] [--endpoints 1]
 //                   [--max-seconds S] [--slow-us U]
@@ -53,6 +55,13 @@
 //                                            once per interval (N polls,
 //                                            0 = until the server goes away)
 //   insta_cli selftest                       end-to-end smoke test (tmpfile)
+//
+// Corners: report/profile/whatif/serve accept --corner with a
+// comma-separated analysis-corner list, each entry
+// name[:delay_scale[:sigma_scale]] (e.g.
+// --corner typ,fast:0.9:0.95,slow:1.12:1.05); all corners propagate in one
+// engine and reports show the cross-corner merged view plus per-corner
+// breakdowns. Without the flag the engine runs its single default corner.
 //
 // Global options (every subcommand):
 //   --metrics-json <path>   write the telemetry metrics snapshot on exit
@@ -82,6 +91,7 @@
 #include "analysis/engine_audit.hpp"
 #include "util/mutex.hpp"
 #include "analysis/linter.hpp"
+#include "analysis/rules.hpp"
 #include "core/engine.hpp"
 #include "core/scenario_batch.hpp"
 #include "gen/changelist.hpp"
@@ -140,6 +150,73 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Parses the --corner flag — a comma-separated corner list, each entry
+/// "name[:delay_scale[:sigma_scale]]" (e.g. "typ,fast:0.9:0.95,slow:1.12")
+/// — into engine corner specs. Omitted scales default to 1.0. The list
+/// crosses the CLI trust boundary, so it runs through the structured
+/// analysis corner rules and every diagnostic is reported before failing.
+/// An absent flag returns the empty list (the engine's implicit single
+/// default corner).
+std::vector<core::CornerSpec> parse_corner_flag(const Args& args,
+                                                const char* cmd) {
+  std::vector<core::CornerSpec> specs;
+  if (!args.has("corner")) return specs;
+  const std::string text = args.get("corner", "");
+  std::size_t start = 0;
+  for (;;) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = text.substr(start, end - start);
+    util::check(!entry.empty(),
+                std::string(cmd) + ": empty entry in --corner list");
+    core::CornerSpec spec;
+    const std::size_t c1 = entry.find(':');
+    spec.name = entry.substr(0, c1);
+    try {
+      if (c1 != std::string::npos) {
+        const std::size_t c2 = entry.find(':', c1 + 1);
+        spec.delay_scale = std::stof(entry.substr(c1 + 1, c2 - c1 - 1));
+        if (c2 != std::string::npos) {
+          spec.sigma_scale = std::stof(entry.substr(c2 + 1));
+        }
+      }
+    } catch (const std::exception&) {
+      throw util::CheckError(std::string(cmd) +
+                             ": cannot parse --corner entry \"" + entry +
+                             "\" (want name[:delay_scale[:sigma_scale]])");
+    }
+    specs.push_back(std::move(spec));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  std::vector<analysis::CornerSetup> setup;
+  setup.reserve(specs.size());
+  for (const core::CornerSpec& s : specs) {
+    setup.push_back({s.name, s.delay_scale, s.sigma_scale});
+  }
+  const analysis::LintReport report = analysis::check_corner_setup(setup);
+  if (!report.empty()) std::printf("%s", report.str().c_str());
+  util::check(!report.has_errors(),
+              std::string(cmd) + ": invalid --corner list");
+  return specs;
+}
+
+/// Prints one per-corner summary line per corner (report/whatif verbose
+/// views; skipped on single-corner engines, whose merged view says it all).
+void print_corner_summaries(const core::Engine& engine) {
+  if (engine.num_corners() <= 1) return;
+  for (std::size_t c = 0; c < engine.num_corners(); ++c) {
+    const core::CornerSpec& spec = engine.corners()[c];
+    const core::SlackSummary cs = engine.summary(
+        core::Mode::kSetup, static_cast<core::CornerId>(c));
+    std::printf("  corner %s (delay x%.3f, sigma x%.3f): TNS %.2f ps, "
+                "WNS %.2f ps, %d violations\n",
+                spec.name.c_str(), static_cast<double>(spec.delay_scale),
+                static_cast<double>(spec.sigma_scale), cs.tns, cs.wns,
+                cs.violations);
+  }
+}
 
 /// Applies the global flags every subcommand honours: --log-level (falls
 /// back to INSTA_LOG_LEVEL) and --trace (arms the tracer before the
@@ -246,6 +323,7 @@ int cmd_report(const Args& args) {
   core::EngineOptions eopt;
   eopt.top_k = static_cast<int>(args.get_num("topk", 32));
   eopt.enable_hold = hold;
+  eopt.corners = parse_corner_flag(args, "report");
   core::Engine engine(*w.sta, eopt);
   engine.run_forward();
   std::vector<double> a, b;
@@ -257,9 +335,10 @@ int cmd_report(const Args& args) {
       b.push_back(static_cast<double>(m));
     }
   }
-  const core::SlackSummary s = engine.summary(core::Mode::kSetup);
+  const core::SlackSummary s = engine.merged_summary(core::Mode::kSetup);
   std::printf("INSTA (TopK=%d): TNS %.2f ps, correlation %s\n", eopt.top_k,
               s.tns, util::format_correlation(util::pearson(a, b)).c_str());
+  print_corner_summaries(engine);
 
   const int num_paths = static_cast<int>(args.get_num("paths", 1));
   for (const auto& path : ref::worst_paths(*w.sta, num_paths)) {
@@ -443,6 +522,7 @@ int cmd_profile(const Args& args) {
 
   core::EngineOptions eopt;
   eopt.top_k = static_cast<int>(args.get_num("topk", 8));
+  eopt.corners = parse_corner_flag(args, "profile");
   std::unique_ptr<core::Engine> engine;
   time_phase("profile.engine_init", 1,
              [&] { engine = std::make_unique<core::Engine>(*sta, eopt); });
@@ -488,9 +568,9 @@ int cmd_profile(const Args& args) {
                  util::fmt("%.1f", 100.0 * accounted / wall_sec)});
   table.add_row({"(wall)", "", util::fmt("%.2f", wall_sec * 1e3), "", "100.0"});
   std::fputs(table.str().c_str(), stdout);
-  const core::SlackSummary s = engine->summary(core::Mode::kSetup);
-  std::printf("TNS %.2f ps, WNS %.2f ps (TopK=%d)\n", s.tns, s.wns,
-              eopt.top_k);
+  const core::SlackSummary s = engine->merged_summary(core::Mode::kSetup);
+  std::printf("TNS %.2f ps, WNS %.2f ps (TopK=%d, %zu corners)\n", s.tns,
+              s.wns, eopt.top_k, engine->num_corners());
   return 0;
 }
 
@@ -542,6 +622,7 @@ int cmd_whatif(const Args& args) {
   core::EngineOptions eopt;
   eopt.top_k = static_cast<int>(args.get_num("topk", 32));
   eopt.enable_hold = hold;
+  eopt.corners = parse_corner_flag(args, "whatif");
   // CLI-sourced options go through the validation gate so every problem is
   // reported at once instead of dying on the first constructor check.
   const std::vector<std::string> problems = eopt.validate();
@@ -587,19 +668,29 @@ int cmd_whatif(const Args& args) {
   }
   if (report.has_errors()) return 1;
 
-  const core::SlackSummary base = engine.summary(core::Mode::kSetup);
+  const core::SlackSummary base = engine.merged_summary(core::Mode::kSetup);
   std::printf("baseline: TNS %.2f ps, WNS %.2f ps, %d violations\n", base.tns,
               base.wns, base.violations);
+  print_corner_summaries(engine);
 
   core::ScenarioBatch batch(engine);
   util::Stopwatch sw;
   const std::vector<core::ScenarioResult> results = batch.evaluate(scenarios);
   const double sec = sw.elapsed_sec();
 
+  // Multi-corner runs append one merged-contribution column per corner
+  // (the merged TNS/WNS columns stay first — they answer "is this scenario
+  // safe across all corners").
+  const std::size_t num_corners = engine.num_corners();
   std::vector<std::string> cols = {"scenario", "deltas",   "TNS (ps)",
                                    "WNS (ps)", "viol",     "frontier",
                                    "overlay (B)"};
   if (hold) cols.insert(cols.begin() + 5, {"THS (ps)", "hold viol"});
+  if (num_corners > 1) {
+    for (std::size_t c = 0; c < num_corners; ++c) {
+      cols.push_back("TNS@" + engine.corners()[c].name);
+    }
+  }
   util::Table table(cols);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const core::ScenarioResult& r = results[i];
@@ -616,6 +707,11 @@ int cmd_whatif(const Args& args) {
                  {util::fmt("%.2f", r.hold.tns),
                   std::to_string(r.hold.violations)});
     }
+    if (num_corners > 1) {
+      for (std::size_t c = 0; c < num_corners; ++c) {
+        row.push_back(util::fmt("%.2f", r.setup_by_corner[c].tns));
+      }
+    }
     table.add_row(row);
   }
   std::fputs(table.str().c_str(), stdout);
@@ -625,7 +721,20 @@ int cmd_whatif(const Args& args) {
 
   if (args.has("out")) {
     std::ostringstream out;
-    out << "{\n  \"scenarios\": [";
+    // The report is stamped with the producing engine's generation and
+    // corner set so a consumer can tell which timing state and which
+    // corner definitions the summaries were evaluated against.
+    out << "{\n  \"generation\": " << engine.generation()
+        << ",\n  \"corners\": [";
+    for (std::size_t c = 0; c < num_corners; ++c) {
+      const core::CornerSpec& spec = engine.corners()[c];
+      out << (c == 0 ? "" : ", ") << "{\"name\": \""
+          << telemetry::json_escape(spec.name) << "\", \"delay_scale\": "
+          << telemetry::json_number(spec.delay_scale)
+          << ", \"sigma_scale\": " << telemetry::json_number(spec.sigma_scale)
+          << "}";
+    }
+    out << "],\n  \"scenarios\": [";
     for (std::size_t i = 0; i < results.size(); ++i) {
       const core::ScenarioResult& r = results[i];
       out << (i == 0 ? "\n" : ",\n");
@@ -633,6 +742,20 @@ int cmd_whatif(const Args& args) {
           << "\", \"num_deltas\": " << scenarios[i].size()
           << ", \"setup\": " << summary_json(r.setup);
       if (hold) out << ", \"hold\": " << summary_json(r.hold);
+      if (num_corners > 1) {
+        out << ", \"setup_by_corner\": [";
+        for (std::size_t c = 0; c < num_corners; ++c) {
+          out << (c == 0 ? "" : ", ") << summary_json(r.setup_by_corner[c]);
+        }
+        out << "]";
+        if (hold) {
+          out << ", \"hold_by_corner\": [";
+          for (std::size_t c = 0; c < num_corners; ++c) {
+            out << (c == 0 ? "" : ", ") << summary_json(r.hold_by_corner[c]);
+          }
+          out << "]";
+        }
+      }
       out << ", \"frontier_pins\": " << r.frontier_pins
           << ", \"early_terminations\": " << r.early_terminations
           << ", \"endpoints_evaluated\": " << r.endpoints_evaluated
@@ -664,6 +787,7 @@ int cmd_serve(const Args& args) {
   core::EngineOptions eopt;
   eopt.top_k = static_cast<int>(args.get_num("topk", 32));
   eopt.enable_hold = hold;
+  eopt.corners = parse_corner_flag(args, "serve");
 
   serve::ServiceOptions sopt;
   sopt.batch_window_us = static_cast<int>(args.get_num("batch-window-us", 200));
@@ -696,8 +820,9 @@ int cmd_serve(const Args& args) {
   server.start();
   // The endpoint line is the startup handshake scripts wait for; flush so a
   // pipe-reading supervisor sees it before the first client connects.
-  std::printf("serving on %s (%zu endpoints, snapshot v%llu)\n",
+  std::printf("serving on %s (%zu endpoints, %zu corners, snapshot v%llu)\n",
               server.endpoint().c_str(), w.graph->endpoints().size(),
+              engine.num_corners(),
               static_cast<unsigned long long>(service.snapshot()->version));
   std::fflush(stdout);
 
@@ -919,9 +1044,12 @@ int cmd_selftest() {
   }
   {
     const std::string out = "/tmp/insta_cli_selftest_whatif.json";
+    // Three corners so the selftest covers the multi-corner cross product
+    // and the per-corner report schema end to end.
     const char* argv[] = {"--in",   path.c_str(), "--sample", "4",
-                          "--hold", "1",          "--out",    out.c_str()};
-    Args args(8, const_cast<char**>(argv), 0);
+                          "--hold", "1",          "--out",    out.c_str(),
+                          "--corner", "typ,fast:0.9:0.95,slow:1.08:1.04"};
+    Args args(10, const_cast<char**>(argv), 0);
     util::check(cmd_whatif(args) == 0, "selftest: whatif failed");
     std::ifstream f(out, std::ios::binary);
     std::ostringstream ss;

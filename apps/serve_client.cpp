@@ -280,7 +280,9 @@ int run_verify(Conn& conn, const Args& args) {
     const auto reply =
         parse_reply(conn.request("{\"id\": 1, \"op\": \"summary\"}"));
     util::check(reply_ok(reply), "verify: summary failed on the wire");
-    const core::SlackSummary s = engine.summary(core::Mode::kSetup);
+    // The wire summary is the cross-corner merged view (== corner 0 on
+    // single-corner engines), so compare against merged_summary.
+    const core::SlackSummary s = engine.merged_summary(core::Mode::kSetup);
     if (!wire_equals(result_field(reply, {"setup", "tns"}), s.tns)) {
       failures += mismatch("summary.setup.tns", s.tns,
                            result_field(reply, {"setup", "tns"}));
@@ -290,7 +292,7 @@ int run_verify(Conn& conn, const Args& args) {
                            result_field(reply, {"setup", "wns"}));
     }
     if (hold) {
-      const core::SlackSummary h = engine.summary(core::Mode::kHold);
+      const core::SlackSummary h = engine.merged_summary(core::Mode::kHold);
       if (!wire_equals(result_field(reply, {"hold", "tns"}), h.tns)) {
         failures += mismatch("summary.hold.tns", h.tns,
                              result_field(reply, {"hold", "tns"}));

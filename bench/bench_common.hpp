@@ -5,6 +5,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
@@ -14,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "gen/logic_block.hpp"
 #include "gen/tune.hpp"
 #include "ref/golden_sta.hpp"
@@ -205,6 +208,39 @@ class BenchReport {
   std::string name_;
   std::vector<Row> rows_;
 };
+
+/// The corner sets of the MCMM benchmark axis (C in {1, 2, 4}): corner 0
+/// is the byte-exact default scale set, the others bracket it. Every
+/// harness uses this one list so C-corner runs are comparable across
+/// bench binaries and bit-identity checks can rebuild the same solo
+/// engines.
+inline std::vector<core::CornerSpec> mcmm_corners(int c) {
+  static const std::vector<core::CornerSpec> all = {
+      {"typ", 1.0f, 1.0f},
+      {"fast", 0.92f, 0.95f},
+      {"slow", 1.08f, 1.05f},
+      {"cold", 1.15f, 1.10f},
+  };
+  return {all.begin(), all.begin() + std::min<std::size_t>(
+                                         static_cast<std::size_t>(c),
+                                         all.size())};
+}
+
+/// Bitwise comparison of one corner of `multi` against a single-corner
+/// engine built from the same spec. Returns mismatching endpoint count.
+inline std::size_t count_corner_mismatches(const core::Engine& multi,
+                                           std::int32_t corner,
+                                           const core::Engine& solo) {
+  const auto sm = multi.endpoint_slacks(corner);
+  const auto ss = solo.endpoint_slacks();
+  std::size_t bad = 0;
+  for (std::size_t e = 0; e < ss.size(); ++e) {
+    const bool fm = std::isfinite(sm[e]);
+    const bool fs = std::isfinite(ss[e]);
+    if (fm != fs || (fm && sm[e] != ss[e])) ++bad;
+  }
+  return bad;
+}
 
 /// "4M cells, 15M pins" style size string with k/M suffixes.
 inline std::string size_str(std::size_t n) {

@@ -285,6 +285,75 @@ int main(int argc, char** argv) {
                   {"mean_early_terminations", total_early / n_runs},
                   {"mean_endpoints_evaluated", total_eps / n_runs},
                   {"mean_endpoints_skipped", total_skipped / n_runs}});
+
+  // ---- phase 3: MCMM corners axis ------------------------------------------
+  // One C-corner engine replaying single-arc ECOs (broadcast annotate +
+  // frontier-sparse refresh of every corner) for C in {1, 2, 4}. The
+  // per-corner median is the number the corner-major layout amortizes;
+  // every multi-corner run is gated bitwise against C independently built
+  // single-corner engines replaying the same edits, feeding the same
+  // non-zero-exit mismatch counter as the dense/sparse gate above.
+  bench::print_header(
+      "MCMM corners axis: C-corner sparse incremental per single-arc ECO");
+  const int kCornerReps = small ? 8 : 16;
+  double corners_c1_ms = 0.0;
+  for (const int c : {1, 2, 4}) {
+    core::EngineOptions copt;
+    copt.top_k = 8;
+    copt.corners = bench::mcmm_corners(c);
+    core::Engine multi(*full.sta, copt);
+    multi.run_forward();
+    std::vector<core::Engine> solos;
+    for (int ci = 0; ci < c; ++ci) {
+      core::EngineOptions sopt;
+      sopt.top_k = 8;
+      sopt.corners = {copt.corners[static_cast<std::size_t>(ci)]};
+      solos.emplace_back(*full.sta, sopt);
+      solos.back().run_forward();
+    }
+    std::vector<double> corner_ms;
+    std::size_t corner_bad = 0;
+    for (int r = 0; r < kCornerReps; ++r) {
+      const auto& ch = eco_batch[r % kResizesPerIter];
+      const auto deltas = full.calc->estimate_eco(ch.cell, ch.new_libcell);
+      if (deltas.empty()) continue;
+      const std::span<const timing::ArcDelta> one(&deltas[r % deltas.size()],
+                                                  1);
+      multi.annotate(one);
+      util::Stopwatch sw;
+      multi.run_forward_incremental();
+      corner_ms.push_back(sw.elapsed_sec() * 1e3);
+      for (int ci = 0; ci < c; ++ci) {
+        auto& solo = solos[static_cast<std::size_t>(ci)];
+        solo.annotate(one);
+        solo.run_forward_incremental();
+        corner_bad += bench::count_corner_mismatches(multi, ci, solo);
+      }
+    }
+    if (corner_bad != 0) {
+      std::printf("ERROR: corners c=%d: %zu endpoint slacks differ from "
+                  "independent single-corner engines\n", c, corner_bad);
+      mismatches += corner_bad;
+    }
+    const double med = median(corner_ms);
+    if (c == 1) corners_c1_ms = med;
+    const double per_corner = med / c;
+    std::printf("  C=%d: median sparse incremental %8.3f ms "
+                "(%.3f ms/corner, %.1f corner-ECOs/s, %s)\n",
+                c, med, per_corner,
+                per_corner > 0.0 ? 1e3 / per_corner : 0.0,
+                corner_bad == 0 ? "bit-identical" : "MISMATCH");
+    report.add_row("corners_c" + std::to_string(c),
+                   {{"runs", static_cast<double>(corner_ms.size())},
+                    {"corners", static_cast<double>(c)},
+                    {"median_sparse_incremental_ms", med},
+                    {"per_corner_ms", per_corner},
+                    {"corner_ecos_per_sec",
+                     per_corner > 0.0 ? 1e3 / per_corner : 0.0},
+                    {"ratio_vs_c1",
+                     corners_c1_ms > 0.0 ? med / corners_c1_ms : 0.0},
+                    {"bit_identical", corner_bad == 0 ? 1.0 : 0.0}});
+  }
   report.write();
 
   if (mismatches != 0) {

@@ -536,6 +536,55 @@ void BM_ForwardGrainSweep(benchmark::State& state) {
 BENCHMARK(BM_ForwardGrainSweep)->Arg(32)->Arg(128)->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
+// ---- MCMM corners axis ------------------------------------------------------
+
+void BM_ForwardCorners(benchmark::State& state) {
+  // One C-corner engine propagating every corner per level sweep vs C
+  // independent single-corner passes: the MCMM scaling claim. Items
+  // processed are corner-endpoint evaluations, so items/s is directly the
+  // per-corner throughput whatever C is.
+  bench::Bundle& b = shared_bundle();
+  const int c = static_cast<int>(state.range(0));
+  core::EngineOptions opt;
+  opt.top_k = 16;
+  opt.corners = bench::mcmm_corners(c);
+  core::Engine engine(*b.sta, opt);
+  for (auto _ : state) {
+    engine.run_forward();
+    benchmark::DoNotOptimize(engine.endpoint_slacks().data());
+  }
+  const auto eps = static_cast<std::int64_t>(b.graph->endpoints().size());
+  state.SetItemsProcessed(state.iterations() * c * eps);
+  state.counters["corners"] = static_cast<double>(c);
+}
+BENCHMARK(BM_ForwardCorners)->Arg(1)->Arg(2)->Arg(4)
+    ->ArgNames({"corners"})->Unit(benchmark::kMillisecond);
+
+void BM_ForwardIncrementalCorners(benchmark::State& state) {
+  // The ECO inner loop on a C-corner engine: broadcast annotate + the
+  // per-corner frontier-sparse passes.
+  bench::Bundle& b = shared_bundle();
+  const int c = static_cast<int>(state.range(0));
+  core::EngineOptions opt;
+  opt.top_k = 16;
+  opt.corners = bench::mcmm_corners(c);
+  core::Engine engine(*b.sta, opt);
+  engine.run_forward();
+  util::Rng rng(4);
+  const auto changes = gen::random_changelist(*b.gd.design, *b.graph, rng, 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& ch = changes[i++ % changes.size()];
+    const auto deltas = b.calc->estimate_eco(ch.cell, ch.new_libcell);
+    engine.annotate(deltas);
+    engine.run_forward_incremental();
+    benchmark::DoNotOptimize(engine.endpoint_slacks().data());
+  }
+  state.counters["corners"] = static_cast<double>(c);
+}
+BENCHMARK(BM_ForwardIncrementalCorners)->Arg(1)->Arg(2)->Arg(4)
+    ->ArgNames({"corners"})->Unit(benchmark::kMillisecond);
+
 // ---- thread-pool dispatch ---------------------------------------------------
 
 void BM_PoolLaunchOverhead(benchmark::State& state) {
@@ -602,7 +651,10 @@ BENCHMARK(BM_EngineInitialization)->Unit(benchmark::kMillisecond);
 
 /// Median-of-reps timings of the hot kernels, written through BenchReport
 /// so CI archives scalar/AVX2 throughput (and their ratio) per commit.
-void write_kernel_report() {
+/// Returns false when the MCMM bit-identity gate fails (a C-corner engine
+/// must reproduce C independent single-corner engines byte for byte).
+bool write_kernel_report() {
+  bool ok = true;
   bench::BenchReport report("kernels");
   const int reps = 15;
 
@@ -730,6 +782,58 @@ void write_kernel_report() {
                    {{"avx2_over_scalar", bw_scalar / bw_avx2}});
   }
 
+  // MCMM corners axis: one C-corner forward vs C times the C=1 cost. The
+  // per_corner_sec column is the number the corner-major layout is supposed
+  // to improve (shared level sweep, frontier bookkeeping and structure
+  // reads amortized across corners), and each multi-corner engine is gated
+  // bit-identical against independently built single-corner engines before
+  // its timing is trusted.
+  {
+    bench::Bundle& b = shared_bundle();
+    const int fwd_reps = 7;
+    const auto eps = static_cast<double>(b.graph->endpoints().size());
+    double c1_sec = 0.0;
+    for (const int c : {1, 2, 4}) {
+      core::EngineOptions opt;
+      opt.top_k = 16;
+      opt.corners = bench::mcmm_corners(c);
+      core::Engine engine(*b.sta, opt);
+      engine.run_forward();
+      std::size_t bad = 0;
+      for (int ci = 0; ci < c; ++ci) {
+        core::EngineOptions sopt;
+        sopt.top_k = 16;
+        sopt.corners = {bench::mcmm_corners(c)[static_cast<std::size_t>(ci)]};
+        core::Engine solo(*b.sta, sopt);
+        solo.run_forward();
+        bad += bench::count_corner_mismatches(engine, ci, solo);
+      }
+      if (bad != 0) {
+        std::printf("ERROR: forward_corners c=%d: %zu endpoint slacks differ "
+                    "from independent single-corner engines\n", c, bad);
+        ok = false;
+      }
+      const bench::TimingStats ts = bench::time_repeated(fwd_reps, [&] {
+        engine.run_forward();
+        benchmark::DoNotOptimize(engine.endpoint_slacks().data());
+      });
+      if (c == 1) c1_sec = ts.median_sec;
+      report.add_row("forward_corners_c" + std::to_string(c),
+                     {{"median_sec", ts.median_sec},
+                      {"corners", static_cast<double>(c)},
+                      {"per_corner_sec", ts.median_sec / c},
+                      {"corner_endpoints_per_sec",
+                       c * eps / ts.median_sec},
+                      {"ratio_vs_c1",
+                       c1_sec > 0.0 ? ts.median_sec / c1_sec : 0.0},
+                      {"bit_identical", bad == 0 ? 1.0 : 0.0},
+                      {"reps", static_cast<double>(ts.reps)}});
+      std::printf("forward corners c=%d: %.3f ms (%.3f ms/corner, %s)\n", c,
+                  ts.median_sec * 1e3, ts.median_sec / c * 1e3,
+                  bad == 0 ? "bit-identical" : "MISMATCH");
+    }
+  }
+
   report.add_row("dispatch",
                  {{"compiled_avx2", util::simd::compiled_avx2() ? 1.0 : 0.0},
                   {"cpu_avx2", util::simd::cpu_has_avx2() ? 1.0 : 0.0},
@@ -737,6 +841,7 @@ void write_kernel_report() {
                    util::simd::resolve(util::simd::SimdMode::kAuto) ? 1.0
                                                                     : 0.0}});
   report.write();
+  return ok;
 }
 
 }  // namespace
@@ -746,6 +851,5 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  write_kernel_report();
-  return 0;
+  return write_kernel_report() ? 0 : 1;
 }

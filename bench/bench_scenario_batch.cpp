@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
       auto tx = engine.begin_edit();
       tx.annotate(deltas);
       engine.run_forward_incremental();
-      ref.push_back(engine.summary(core::Mode::kSetup));
+      ref.push_back(engine.summary(core::Mode::kSetup, 0));
       tx.rollback();
     }
     std::size_t mismatches = 0;
@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
         auto tx = engine.begin_edit();
         tx.annotate(deltas);
         engine.run_forward_incremental();
-        (void)engine.summary(core::Mode::kSetup);
+        (void)engine.summary(core::Mode::kSetup, 0);
         tx.rollback();
       }
     });

@@ -458,6 +458,77 @@ void DelayValuesRule::run(const LintContext& ctx, LintReport& out) const {
   }
 }
 
+// ---- corner-setup checks ----------------------------------------------------
+
+LintReport check_corner_setup(std::span<const CornerSetup> corners,
+                              std::size_t expected_corners,
+                              std::size_t max_reports_per_rule) {
+  LintReport out;
+  {
+    RuleEmitter e("corner-scale", max_reports_per_rule, out);
+    for (std::size_t c = 0; c < corners.size(); ++c) {
+      const CornerSetup& spec = corners[c];
+      const std::string where =
+          spec.name.empty() ? "corner " + std::to_string(c) : spec.name;
+      if (!std::isfinite(spec.delay_scale) || spec.delay_scale <= 0.0) {
+        e.emit(Severity::kError, ObjectKind::kNone,
+               static_cast<std::int32_t>(c), where,
+               "delay scale " + std::to_string(spec.delay_scale) +
+                   " is not a finite positive number");
+      }
+      if (!std::isfinite(spec.sigma_scale) || spec.sigma_scale <= 0.0) {
+        e.emit(Severity::kError, ObjectKind::kNone,
+               static_cast<std::int32_t>(c), where,
+               "sigma scale " + std::to_string(spec.sigma_scale) +
+                   " is not a finite positive number");
+      }
+    }
+  }
+  {
+    RuleEmitter e("corner-name", max_reports_per_rule, out);
+    for (std::size_t c = 0; c < corners.size(); ++c) {
+      if (corners[c].name.empty()) {
+        e.emit(Severity::kError, ObjectKind::kNone,
+               static_cast<std::int32_t>(c), "corner " + std::to_string(c),
+               "corner name is empty");
+        continue;
+      }
+      // Quadratic duplicate scan: corner lists are user-typed and tiny.
+      for (std::size_t prev = 0; prev < c; ++prev) {
+        if (corners[prev].name != corners[c].name) continue;
+        e.emit(Severity::kError, ObjectKind::kNone,
+               static_cast<std::int32_t>(c), corners[c].name,
+               "duplicate corner name (first defined as corner " +
+                   std::to_string(prev) + ")");
+        break;
+      }
+    }
+  }
+  if (expected_corners != 0 && corners.size() != expected_corners) {
+    RuleEmitter e("corner-count", max_reports_per_rule, out);
+    e.emit(Severity::kError, ObjectKind::kNone, -1, "corner set",
+           "corner count mismatch: this set defines " +
+               std::to_string(corners.size()) + " corners, expected " +
+               std::to_string(expected_corners));
+  }
+  return out;
+}
+
+LintReport check_corner_reference(std::int32_t corner,
+                                  std::size_t num_corners) {
+  LintReport out;
+  if (corner >= -1 && corner < static_cast<std::int32_t>(num_corners)) {
+    return out;
+  }
+  RuleEmitter e("corner-reference", 1, out);
+  e.emit(Severity::kError, ObjectKind::kNone, corner,
+         "corner " + std::to_string(corner),
+         "delta set references unknown corner " + std::to_string(corner) +
+             " (engine propagates " + std::to_string(num_corners) +
+             " corners; -1 broadcasts)");
+  return out;
+}
+
 std::vector<std::unique_ptr<Rule>> default_rules() {
   std::vector<std::unique_ptr<Rule>> rules;
   rules.push_back(std::make_unique<LibertyValuesRule>());

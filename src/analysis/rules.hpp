@@ -179,6 +179,34 @@ class DelayValuesRule final : public Rule {
 [[nodiscard]] std::vector<std::size_t> find_level_inversions(
     std::span<const std::pair<int, int>> edges);
 
+// ---- corner-setup checks ----------------------------------------------------
+
+/// One named analysis corner as configuration surfaces (CLI flags, JSON)
+/// see it. Mirrors core::CornerSpec without pulling core/ into analysis/.
+struct CornerSetup {
+  std::string name;
+  double delay_scale = 1.0;
+  double sigma_scale = 1.0;
+};
+
+/// Validates a corner list before it reaches EngineOptions. Rule ids:
+///   "corner-scale" — NaN/Inf or non-positive delay/sigma scale (errors;
+///                    matches what EngineOptions::validate rejects);
+///   "corner-name"  — empty or duplicate corner names (errors);
+///   "corner-count" — the list size disagrees with `expected_corners`, the
+///                    corner count of an already-built engine or of a
+///                    companion per-corner artifact (error; 0 skips the
+///                    check — there is nothing to be consistent with).
+[[nodiscard]] LintReport check_corner_setup(
+    std::span<const CornerSetup> corners, std::size_t expected_corners = 0,
+    std::size_t max_reports_per_rule = 20);
+
+/// Validates a delta-set's target corner against an engine propagating
+/// `num_corners` corners. Rule id "corner-reference": ids must be -1
+/// (broadcast to every corner) or in [0, num_corners).
+[[nodiscard]] LintReport check_corner_reference(std::int32_t corner,
+                                                std::size_t num_corners);
+
 /// The default rule set, design-stage rules first.
 [[nodiscard]] std::vector<std::unique_ptr<Rule>> default_rules();
 

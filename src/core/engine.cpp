@@ -114,12 +114,35 @@ std::vector<std::string> EngineOptions::validate() const {
       fast_math_tolerance >= 1.0f) {
     problems.emplace_back("fast_math_tolerance must be in [0, 1)");
   }
+  // Corner-consistency checks mirror the analysis::check_corner_setup lint
+  // rules; having them here too means no constructor path can accept a
+  // corner set the linter would flag.
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    const CornerSpec& cs = corners[c];
+    const std::string tag = "corner[" + std::to_string(c) + "]";
+    if (cs.name.empty()) problems.emplace_back(tag + " has an empty name");
+    if (!std::isfinite(cs.delay_scale) || cs.delay_scale <= 0.0f) {
+      problems.emplace_back(tag + " (" + cs.name +
+                            "): delay_scale must be finite and > 0");
+    }
+    if (!std::isfinite(cs.sigma_scale) || cs.sigma_scale <= 0.0f) {
+      problems.emplace_back(tag + " (" + cs.name +
+                            "): sigma_scale must be finite and > 0");
+    }
+    for (std::size_t o = 0; o < c; ++o) {
+      if (corners[o].name == cs.name) {
+        problems.emplace_back(tag + ": duplicate corner name '" + cs.name +
+                              "'");
+        break;
+      }
+    }
+  }
   return problems;
 }
 
 Engine::Engine(const ref::GoldenSta& reference, EngineOptions options)
     : graph_(&reference.graph()),
-      options_(options),
+      options_(std::move(options)),
       exceptions_(reference.exceptions()) {
   if (const std::vector<std::string> problems = options_.validate();
       !problems.empty()) {
@@ -131,6 +154,9 @@ Engine::Engine(const ref::GoldenSta& reference, EngineOptions options)
     }
     check(false, msg);
   }
+  corners_ = options_.corners;
+  if (corners_.empty()) corners_.push_back(CornerSpec{});
+  C_ = corners_.size();
   nsigma_ = static_cast<float>(reference.constraints().nsigma);
   num_pins_ = graph_->design().num_pins();
   simd_avx2_ = util::simd::resolve(options_.simd);
@@ -140,13 +166,17 @@ Engine::Engine(const ref::GoldenSta& reference, EngineOptions options)
   clone_delays(reference);
   clone_sp_ep_attributes(reference);
 
-  dirty_pin_.assign(num_pins_, 0);
-  frontier_.resize(level_start_.size() - 1);
+  dirty_pin_.assign(C_ * num_pins_, 0);
+  frontier_.resize(C_ * (level_start_.size() - 1));
+  dirty_level_.assign(C_, std::numeric_limits<std::size_t>::max());
+  dirty_eps_.resize(C_);
   recompute_aggregates();
 
   // Level-contiguous SoA layout: pins take plane positions in level order
   // (unleveled clock-network pins appended after), entries padded to the
-  // 8-lane stride so every run starts on a vector-lane boundary.
+  // 8-lane stride so every run starts on a vector-lane boundary. Corners
+  // are the outermost (major) axis: plane c of every store is
+  // byte-compatible with the whole store of a single-corner engine.
   tk_stride_ = (static_cast<std::size_t>(options_.top_k) + 7) & ~std::size_t{7};
   tk_pos_.assign(num_pins_, -1);
   {
@@ -158,38 +188,49 @@ Engine::Engine(const ref::GoldenSta& reference, EngineOptions options)
       if (tk_pos_[p] < 0) tk_pos_[p] = pos++;
     }
   }
-  const std::size_t plane = num_pins_ * 2 * tk_stride_;
-  tk_arr_.assign(plane, 0.0f);
-  tk_mu_.assign(plane, 0.0f);
-  tk_sig_.assign(plane, 0.0f);
-  tk_sp_.assign(plane, -1);
-  tk_cnt_.assign(num_pins_ * 2, 0);
+  corner_stride_ = num_pins_ * 2 * tk_stride_;
+  const std::size_t planes = C_ * corner_stride_;
+  tk_arr_.assign(planes, 0.0f);
+  tk_mu_.assign(planes, 0.0f);
+  tk_sig_.assign(planes, 0.0f);
+  tk_sp_.assign(planes, -1);
+  tk_cnt_.assign(C_ * num_pins_ * 2, 0);
   if (options_.enable_hold) {
-    tk2_arr_.assign(plane, 0.0f);
-    tk2_mu_.assign(plane, 0.0f);
-    tk2_sig_.assign(plane, 0.0f);
-    tk2_sp_.assign(plane, -1);
-    tk2_cnt_.assign(num_pins_ * 2, 0);
+    tk2_arr_.assign(planes, 0.0f);
+    tk2_mu_.assign(planes, 0.0f);
+    tk2_sig_.assign(planes, 0.0f);
+    tk2_sp_.assign(planes, -1);
+    tk2_cnt_.assign(C_ * num_pins_ * 2, 0);
   }
 
-  const std::size_t slots = fi_from_.size();
-  for (auto& w : w_) w.assign(slots, 0.0f);
-  pin_grad_.assign(num_pins_ * 2, 0.0f);
-  slot_grad_.assign(slots, 0.0f);
-  arc_grad_.assign(graph_->num_arcs(), 0.0f);
+  const std::size_t slots = num_slots_;
+  for (auto& w : w_) w.assign(C_ * slots, 0.0f);
+  pin_grad_.assign(C_ * num_pins_ * 2, 0.0f);
+  slot_grad_.assign(C_ * slots, 0.0f);
+  arc_grad_.assign(C_ * graph_->num_arcs(), 0.0f);
   // Backward gather table and candidate scratch (see backward_cand in
-  // topk_simd.hpp); structure-only, so built once here.
+  // topk_simd.hpp). The gather table is structure-only and corner-relative
+  // (the kernel's base pointers carry the corner offset), so one copy
+  // serves every corner; the candidate scratch is per-corner.
   for (const int rf : {0, 1}) {
     const auto rfi = static_cast<std::size_t>(rf);
     slot_ci_[rfi].resize(slots);
-    bw_cand_[rfi].assign(slots, 0.0f);
+    bw_cand_[rfi].assign(C_ * slots, 0.0f);
     for (std::size_t s = 0; s < slots; ++s) {
       const int prf = rf ^ static_cast<int>(fi_neg_[s]);
       slot_ci_[rfi][s] =
           static_cast<std::int32_t>(cnt_index(fi_from_[s], prf));
     }
   }
-  w_stale_.assign(num_pins_, 0);
+  w_stale_.assign(C_ * num_pins_, 0);
+  w_stale_pins_.resize(C_);
+}
+
+CornerId Engine::corner_id(std::string_view name) const {
+  for (std::size_t c = 0; c < C_; ++c) {
+    if (corners_[c].name == name) return static_cast<CornerId>(c);
+  }
+  return kAllCorners;
 }
 
 void Engine::clone_structure(const ref::GoldenSta& reference) {
@@ -211,6 +252,7 @@ void Engine::clone_structure(const ref::GoldenSta& reference) {
         static_cast<std::int32_t>(g.fanin(static_cast<PinId>(p)).size());
   }
   const std::size_t slots = static_cast<std::size_t>(fi_start_[num_pins_]);
+  num_slots_ = slots;
   fi_from_.resize(slots);
   fi_neg_.resize(slots);
   fi_arc_.resize(slots);
@@ -256,15 +298,22 @@ void Engine::clone_structure(const ref::GoldenSta& reference) {
 
 void Engine::clone_delays(const ref::GoldenSta& reference) {
   const timing::ArcDelays& d = reference.delays();
-  const std::size_t slots = fi_from_.size();
+  const std::size_t slots = num_slots_;
   for (const int rf : {0, 1}) {
-    amu_[static_cast<std::size_t>(rf)].resize(slots);
-    asig_[static_cast<std::size_t>(rf)].resize(slots);
-    for (std::size_t s = 0; s < slots; ++s) {
-      const auto arc = static_cast<std::size_t>(fi_arc_[s]);
-      amu_[static_cast<std::size_t>(rf)][s] = static_cast<float>(d.mu[rf][arc]);
-      asig_[static_cast<std::size_t>(rf)][s] =
-          static_cast<float>(d.sigma[rf][arc]);
+    amu_[static_cast<std::size_t>(rf)].resize(C_ * slots);
+    asig_[static_cast<std::size_t>(rf)].resize(C_ * slots);
+  }
+  for (std::size_t c = 0; c < C_; ++c) {
+    const float ds = corners_[c].delay_scale;
+    const float ss = corners_[c].sigma_scale;
+    const std::size_t soff = slot_off(static_cast<CornerId>(c));
+    for (const int rf : {0, 1}) {
+      const auto rfi = static_cast<std::size_t>(rf);
+      for (std::size_t s = 0; s < slots; ++s) {
+        const auto arc = static_cast<std::size_t>(fi_arc_[s]);
+        amu_[rfi][soff + s] = scaled(d.mu[rf][arc], ds);
+        asig_[rfi][soff + s] = scaled(d.sigma[rf][arc], ss);
+      }
     }
   }
 }
@@ -274,9 +323,10 @@ void Engine::clone_sp_ep_attributes(const ref::GoldenSta& reference) {
   const timing::ClockAnalysis& clock = reference.clock();
 
   const std::size_t num_sps = g.startpoints().size();
+  num_sps_ = num_sps;
   for (const int rf : {0, 1}) {
-    sp_mu_[static_cast<std::size_t>(rf)].resize(num_sps);
-    sp_sig_[static_cast<std::size_t>(rf)].resize(num_sps);
+    sp_mu_[static_cast<std::size_t>(rf)].resize(C_ * num_sps);
+    sp_sig_[static_cast<std::size_t>(rf)].resize(C_ * num_sps);
   }
   sp_ck_mu_.assign(num_sps, 0.0f);
   sp_ck_sig2_.assign(num_sps, 0.0f);
@@ -286,12 +336,6 @@ void Engine::clone_sp_ep_attributes(const ref::GoldenSta& reference) {
     const timing::Startpoint& sp = g.startpoints()[s];
     const ref::GoldenSta::SpInit init =
         reference.sp_init(static_cast<StartpointId>(s));
-    for (const int rf : {0, 1}) {
-      sp_mu_[static_cast<std::size_t>(rf)][s] =
-          static_cast<float>(init.mu[static_cast<std::size_t>(rf)]);
-      sp_sig_[static_cast<std::size_t>(rf)][s] =
-          static_cast<float>(init.sigma[static_cast<std::size_t>(rf)]);
-    }
     if (sp.clocked) {
       sp_node_[s] = clock.node_of_ff(sp.cell);
       sp_ck_mu_[s] = static_cast<float>(clock.ck_mu(sp.cell));
@@ -301,6 +345,30 @@ void Engine::clone_sp_ep_attributes(const ref::GoldenSta& reference) {
       launch_sp_of_arc_[static_cast<std::size_t>(first)] =
           static_cast<std::int32_t>(s);
     }
+    // The corner scales apply to the *launch* portion of the initial
+    // arrival, not the shared clock-network part: mu splits additively
+    // (ck + launch), sigma by variance (ck_sig2 + launch_sig2). At scale
+    // 1.0f both branches reduce to the exact pre-scaling floats.
+    for (std::size_t c = 0; c < C_; ++c) {
+      const float ds = corners_[c].delay_scale;
+      const float ss = corners_[c].sigma_scale;
+      const std::size_t spoff = sp_off(static_cast<CornerId>(c));
+      for (const int rf : {0, 1}) {
+        const auto rfi = static_cast<std::size_t>(rf);
+        const auto base_mu = static_cast<float>(init.mu[rfi]);
+        const auto base_sig = static_cast<float>(init.sigma[rfi]);
+        sp_mu_[rfi][spoff + s] =
+            ds == 1.0f ? base_mu
+                       : sp_ck_mu_[s] + (base_mu - sp_ck_mu_[s]) * ds;
+        sp_sig_[rfi][spoff + s] =
+            ss == 1.0f
+                ? base_sig
+                : std::sqrt(sp_ck_sig2_[s] +
+                            std::max(0.0f,
+                                     base_sig * base_sig - sp_ck_sig2_[s]) *
+                                ss * ss);
+      }
+    }
   }
 
   const std::size_t num_eps = g.endpoints().size();
@@ -308,11 +376,11 @@ void Engine::clone_sp_ep_attributes(const ref::GoldenSta& reference) {
   ep_base_req_.resize(num_eps);
   ep_period_.resize(num_eps);
   ep_node_.assign(num_eps, -1);
-  slack_.assign(num_eps, kInf);
-  ep_worst_rf_.assign(num_eps, 0);
+  slack_.assign(C_ * num_eps, kInf);
+  ep_worst_rf_.assign(C_ * num_eps, 0);
   if (options_.enable_hold) {
     ep_hold_base_.assign(num_eps, std::numeric_limits<float>::quiet_NaN());
-    hold_slack_.assign(num_eps, kInf);
+    hold_slack_.assign(C_ * num_eps, kInf);
   }
   ep_of_pin_.assign(num_pins_, -1);
   for (std::size_t e = 0; e < num_eps; ++e) {
@@ -343,7 +411,15 @@ void Engine::clone_sp_ep_attributes(const ref::GoldenSta& reference) {
   }
 }
 
-void Engine::annotate(std::span<const timing::ArcDelta> deltas) {
+void Engine::annotate(std::span<const timing::ArcDelta> deltas,
+                      CornerId corner) {
+  INSTA_CHECK(corner == kAllCorners ||
+                  (corner >= 0 && static_cast<std::size_t>(corner) < C_),
+              "Engine::annotate: corner id " + std::to_string(corner) +
+                  " out of range [0, " + std::to_string(C_) + ")");
+  const CornerId c0 = corner == kAllCorners ? 0 : corner;
+  const CornerId c1 = corner == kAllCorners ? static_cast<CornerId>(C_)
+                                            : corner + 1;
   for (const timing::ArcDelta& d : deltas) {
     // Always-on range check: an out-of-range arc id would scribble over the
     // flat stores in Release. Full structured validation (clock-network
@@ -359,18 +435,25 @@ void Engine::annotate(std::span<const timing::ArcDelta> deltas) {
     const auto arc = static_cast<std::size_t>(d.arc);
     const std::int32_t slot = slot_of_arc_[arc];
     {
-      // Seed the sparse frontier at the arc's sink pin. For launch arcs the
-      // sink is the FF output pin, whose fanin-less merge re-reads the
-      // startpoint attributes updated below.
+      // Seed the sparse frontier at the arc's sink pin in every targeted
+      // corner. For launch arcs the sink is the FF output pin, whose
+      // fanin-less merge re-reads the startpoint attributes updated below.
       const PinId to = graph_->arc(d.arc).to;
-      mark_dirty(to, graph_->level_of(to));
+      const int lvl = graph_->level_of(to);
+      for (CornerId c = c0; c < c1; ++c) mark_dirty(to, lvl, c);
     }
     if (slot >= 0) {
-      for (const int rf : {0, 1}) {
-        amu_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(slot)] =
-            static_cast<float>(d.mu[static_cast<std::size_t>(rf)]);
-        asig_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(slot)] =
-            static_cast<float>(d.sigma[static_cast<std::size_t>(rf)]);
+      for (CornerId c = c0; c < c1; ++c) {
+        const float ds = corners_[static_cast<std::size_t>(c)].delay_scale;
+        const float ss = corners_[static_cast<std::size_t>(c)].sigma_scale;
+        const std::size_t soff = slot_off(c);
+        for (const int rf : {0, 1}) {
+          const auto rfi = static_cast<std::size_t>(rf);
+          amu_[rfi][soff + static_cast<std::size_t>(slot)] =
+              scaled(d.mu[rfi], ds);
+          asig_[rfi][soff + static_cast<std::size_t>(slot)] =
+              scaled(d.sigma[rfi], ss);
+        }
       }
       continue;
     }
@@ -378,39 +461,53 @@ void Engine::annotate(std::span<const timing::ArcDelta> deltas) {
     check(sp >= 0,
           "Engine::annotate: arc is neither a data arc nor a launch arc "
           "(clock-network arcs require re-initialization)");
-    for (const int rf : {0, 1}) {
-      const auto rfi = static_cast<std::size_t>(rf);
-      const auto spi = static_cast<std::size_t>(sp);
-      const auto dsig = static_cast<float>(d.sigma[rfi]);
-      sp_mu_[rfi][spi] = sp_ck_mu_[spi] + static_cast<float>(d.mu[rfi]);
-      sp_sig_[rfi][spi] = std::sqrt(sp_ck_sig2_[spi] + dsig * dsig);
+    const auto spi = static_cast<std::size_t>(sp);
+    for (CornerId c = c0; c < c1; ++c) {
+      const float ds = corners_[static_cast<std::size_t>(c)].delay_scale;
+      const float ss = corners_[static_cast<std::size_t>(c)].sigma_scale;
+      const std::size_t spoff = sp_off(c);
+      for (const int rf : {0, 1}) {
+        const auto rfi = static_cast<std::size_t>(rf);
+        const float dsig = scaled(d.sigma[rfi], ss);
+        sp_mu_[rfi][spoff + spi] = sp_ck_mu_[spi] + scaled(d.mu[rfi], ds);
+        sp_sig_[rfi][spoff + spi] =
+            std::sqrt(sp_ck_sig2_[spi] + dsig * dsig);
+      }
     }
   }
 }
 
-timing::ArcDelta Engine::read_annotation(ArcId arc) const {
+timing::ArcDelta Engine::read_annotation(ArcId arc, CornerId corner) const {
+  INSTA_CHECK(corner >= 0 && static_cast<std::size_t>(corner) < C_,
+              "Engine::read_annotation: corner id " + std::to_string(corner) +
+                  " out of range [0, " + std::to_string(C_) + ")");
   const std::int32_t slot = slot_of_arc_[static_cast<std::size_t>(arc)];
   timing::ArcDelta d;
   d.arc = arc;
   if (slot >= 0) {
+    const std::size_t soff = slot_off(corner);
     for (const int rf : {0, 1}) {
-      d.mu[static_cast<std::size_t>(rf)] = static_cast<double>(
-          amu_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(slot)]);
-      d.sigma[static_cast<std::size_t>(rf)] = static_cast<double>(
-          asig_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(slot)]);
+      const auto rfi = static_cast<std::size_t>(rf);
+      d.mu[rfi] = static_cast<double>(
+          amu_[rfi][soff + static_cast<std::size_t>(slot)]);
+      d.sigma[rfi] = static_cast<double>(
+          asig_[rfi][soff + static_cast<std::size_t>(slot)]);
     }
     return d;
   }
   const std::int32_t sp = launch_sp_of_arc_[static_cast<std::size_t>(arc)];
   check(sp >= 0, "read_annotation: arc is neither a data arc nor a launch arc");
   // Launch arcs are folded into the startpoint's initial arrival; undo that
-  // fold: mu = sp_mu - ck_mu, sigma^2 = sp_sigma^2 - ck_sigma^2.
+  // fold: mu = sp_mu - ck_mu, sigma^2 = sp_sigma^2 - ck_sigma^2. The result
+  // is the corner-local (scaled) launch delay.
   const auto spi = static_cast<std::size_t>(sp);
+  const std::size_t spoff = sp_off(corner);
   for (const int rf : {0, 1}) {
     const auto rfi = static_cast<std::size_t>(rf);
-    d.mu[rfi] = static_cast<double>(sp_mu_[rfi][spi] - sp_ck_mu_[spi]);
-    const float var =
-        sp_sig_[rfi][spi] * sp_sig_[rfi][spi] - sp_ck_sig2_[spi];
+    d.mu[rfi] =
+        static_cast<double>(sp_mu_[rfi][spoff + spi] - sp_ck_mu_[spi]);
+    const float var = sp_sig_[rfi][spoff + spi] * sp_sig_[rfi][spoff + spi] -
+                      sp_ck_sig2_[spi];
     d.sigma[rfi] = std::sqrt(std::max(0.0, static_cast<double>(var)));
   }
   return d;
@@ -437,8 +534,19 @@ bool delta_is_error_free(const timing::ArcDelta& d, std::size_t num_arcs,
 }  // namespace
 
 analysis::LintReport Engine::check_deltas(
-    std::span<const timing::ArcDelta> deltas) const {
+    std::span<const timing::ArcDelta> deltas, CornerId corner) const {
   analysis::LintReport report;
+  if (corner != kAllCorners &&
+      (corner < 0 || static_cast<std::size_t>(corner) >= C_)) {
+    analysis::Diagnostic d;
+    d.rule = "corner-unknown";
+    d.severity = analysis::Severity::kError;
+    d.kind = analysis::ObjectKind::kNone;
+    d.where = "corner " + std::to_string(corner);
+    d.message = "corner id out of range [0, " + std::to_string(C_) +
+                ") (use kAllCorners to broadcast)";
+    report.add(std::move(d));
+  }
   // Per-rule reporting cap, linter-style: a garbage input file should not
   // produce a million diagnostics, but the counts stay exact.
   constexpr std::size_t kCap = 32;
@@ -500,10 +608,16 @@ analysis::LintReport Engine::check_deltas(
 }
 
 analysis::LintReport Engine::annotate_checked(
-    std::span<const timing::ArcDelta> deltas) {
-  analysis::LintReport report = check_deltas(deltas);
+    std::span<const timing::ArcDelta> deltas, CornerId corner) {
+  analysis::LintReport report = check_deltas(deltas, corner);
+  // An unknown corner poisons the whole set: there is no plane to apply
+  // even the clean deltas to.
+  if (corner != kAllCorners &&
+      (corner < 0 || static_cast<std::size_t>(corner) >= C_)) {
+    return report;
+  }
   if (!report.has_errors()) {
-    annotate(deltas);
+    annotate(deltas, corner);
     return report;
   }
   // Apply the clean subset in input order; erroneous entries are skipped so
@@ -516,7 +630,7 @@ analysis::LintReport Engine::annotate_checked(
       valid.push_back(d);
     }
   }
-  annotate(valid);
+  annotate(valid, corner);
   return report;
 }
 
@@ -538,16 +652,16 @@ Engine::Transaction::Transaction(Engine& engine) : engine_(&engine) {
 Engine::Transaction::Transaction(Transaction&& other) noexcept
     : engine_(other.engine_),
       undo_(std::move(other.undo_)),
-      tns_(other.tns_),
-      nviol_(other.nviol_),
-      ths_(other.ths_),
-      nhold_viol_(other.nhold_viol_),
-      wns_(other.wns_),
-      wns_any_(other.wns_any_),
-      wns_valid_(other.wns_valid_),
-      whs_(other.whs_),
-      whs_any_(other.whs_any_),
-      whs_valid_(other.whs_valid_) {
+      tns_(std::move(other.tns_)),
+      nviol_(std::move(other.nviol_)),
+      ths_(std::move(other.ths_)),
+      nhold_viol_(std::move(other.nhold_viol_)),
+      wns_(std::move(other.wns_)),
+      wns_any_(std::move(other.wns_any_)),
+      wns_valid_(std::move(other.wns_valid_)),
+      whs_(std::move(other.whs_)),
+      whs_any_(std::move(other.whs_any_)),
+      whs_valid_(std::move(other.whs_valid_)) {
   other.engine_ = nullptr;
 }
 
@@ -557,6 +671,7 @@ Engine::Transaction::~Transaction() {
 
 void Engine::Transaction::record(std::span<const timing::ArcDelta> deltas) {
   Engine& e = *engine_;
+  const std::size_t C = e.C_;
   for (const timing::ArcDelta& d : deltas) {
     // Entries annotate() will reject are not recorded; delta-sets are small
     // (ECO-sized), so the first-touch dedup is a linear scan.
@@ -575,33 +690,49 @@ void Engine::Transaction::record(std::span<const timing::ArcDelta> deltas) {
     Undo u;
     u.arc = d.arc;
     u.sink = e.graph_->arc(d.arc).to;
+    u.mu.resize(C * 2);
+    u.sig.resize(C * 2);
     const std::int32_t slot = e.slot_of_arc_[arc];
+    // All corners are snapshotted regardless of which corner the caller
+    // targets: rollback is then exact whatever mix of targeted and
+    // broadcast annotations follows the first touch.
     if (slot >= 0) {
       u.slot = slot;
-      for (const int rf : {0, 1}) {
-        const auto rfi = static_cast<std::size_t>(rf);
-        u.mu[rfi] = e.amu_[rfi][static_cast<std::size_t>(slot)];
-        u.sig[rfi] = e.asig_[rfi][static_cast<std::size_t>(slot)];
+      for (std::size_t c = 0; c < C; ++c) {
+        const std::size_t soff = e.slot_off(static_cast<CornerId>(c));
+        for (const int rf : {0, 1}) {
+          const auto rfi = static_cast<std::size_t>(rf);
+          u.mu[c * 2 + rfi] =
+              e.amu_[rfi][soff + static_cast<std::size_t>(slot)];
+          u.sig[c * 2 + rfi] =
+              e.asig_[rfi][soff + static_cast<std::size_t>(slot)];
+        }
       }
     } else {
       const std::int32_t sp = e.launch_sp_of_arc_[arc];
       if (sp < 0) continue;  // clock-network arc: annotate() throws below
       u.sp = sp;
-      for (const int rf : {0, 1}) {
-        const auto rfi = static_cast<std::size_t>(rf);
-        u.mu[rfi] = e.sp_mu_[rfi][static_cast<std::size_t>(sp)];
-        u.sig[rfi] = e.sp_sig_[rfi][static_cast<std::size_t>(sp)];
+      for (std::size_t c = 0; c < C; ++c) {
+        const std::size_t spoff = e.sp_off(static_cast<CornerId>(c));
+        for (const int rf : {0, 1}) {
+          const auto rfi = static_cast<std::size_t>(rf);
+          u.mu[c * 2 + rfi] =
+              e.sp_mu_[rfi][spoff + static_cast<std::size_t>(sp)];
+          u.sig[c * 2 + rfi] =
+              e.sp_sig_[rfi][spoff + static_cast<std::size_t>(sp)];
+        }
       }
     }
-    undo_.push_back(u);
+    undo_.push_back(std::move(u));
   }
 }
 
-void Engine::Transaction::annotate(std::span<const timing::ArcDelta> deltas) {
+void Engine::Transaction::annotate(std::span<const timing::ArcDelta> deltas,
+                                   CornerId corner) {
   check(engine_ != nullptr,
         "Transaction::annotate: transaction already committed or rolled back");
   record(deltas);
-  engine_->annotate(deltas);
+  engine_->annotate(deltas, corner);
 }
 
 void Engine::Transaction::commit() {
@@ -619,19 +750,28 @@ void Engine::Transaction::rollback() {
   if (!undo_.empty()) {
     // Restore the raw delay floats (not read_annotation round-trips: the
     // launch-arc sigma fold does not invert exactly in float) and seed the
-    // frontier at each touched sink, exactly as annotate() would.
+    // frontier at each touched sink in every corner, exactly as a broadcast
+    // annotate() would. Corners the edits never touched restore identical
+    // bytes, so their sparse re-merge early-terminates at the first pin.
     for (const Undo& u : undo_) {
-      for (const int rf : {0, 1}) {
-        const auto rfi = static_cast<std::size_t>(rf);
-        if (u.slot >= 0) {
-          e.amu_[rfi][static_cast<std::size_t>(u.slot)] = u.mu[rfi];
-          e.asig_[rfi][static_cast<std::size_t>(u.slot)] = u.sig[rfi];
-        } else {
-          e.sp_mu_[rfi][static_cast<std::size_t>(u.sp)] = u.mu[rfi];
-          e.sp_sig_[rfi][static_cast<std::size_t>(u.sp)] = u.sig[rfi];
+      for (std::size_t c = 0; c < e.C_; ++c) {
+        for (const int rf : {0, 1}) {
+          const auto rfi = static_cast<std::size_t>(rf);
+          if (u.slot >= 0) {
+            e.amu_[rfi][e.slot_off(static_cast<CornerId>(c)) +
+                        static_cast<std::size_t>(u.slot)] = u.mu[c * 2 + rfi];
+            e.asig_[rfi][e.slot_off(static_cast<CornerId>(c)) +
+                         static_cast<std::size_t>(u.slot)] = u.sig[c * 2 + rfi];
+          } else {
+            e.sp_mu_[rfi][e.sp_off(static_cast<CornerId>(c)) +
+                          static_cast<std::size_t>(u.sp)] = u.mu[c * 2 + rfi];
+            e.sp_sig_[rfi][e.sp_off(static_cast<CornerId>(c)) +
+                           static_cast<std::size_t>(u.sp)] = u.sig[c * 2 + rfi];
+          }
         }
+        e.mark_dirty(u.sink, e.graph_->level_of(u.sink),
+                     static_cast<CornerId>(c));
       }
-      e.mark_dirty(u.sink, e.graph_->level_of(u.sink));
     }
     e.run_forward_incremental();
     // The sparse pass restored every slack bitwise; restoring the cache
@@ -664,40 +804,48 @@ Engine::Transaction Engine::begin_edit() {
 }
 
 template <bool kEarly>
-void Engine::merge_pin_rf(PinId pin, int rf, const TopKView& dst,
-                          ForwardCounters& fc) {
-  merge_pin_values<kEarly>(LiveValues{*this}, pin, rf, dst, fc);
+void Engine::merge_pin_rf(PinId pin, int rf, CornerId corner,
+                          const TopKView& dst, ForwardCounters& fc) {
+  merge_pin_values<kEarly>(LiveValues(*this, corner), pin, rf, dst, fc);
 }
 
-void Engine::process_pin(PinId pin, ForwardCounters& fc) {
+void Engine::process_pin(PinId pin, CornerId corner, ForwardCounters& fc) {
   const auto k = static_cast<std::int32_t>(options_.top_k);
+  const std::size_t tkoff = tk_off(corner);
+  const std::size_t cntoff = cnt_off(corner);
   ++fc.pins;
   for (int rf = 0; rf < 2; ++rf) {
-    const std::size_t base = entry_base(pin, rf);
-    std::int32_t& cnt = tk_cnt_[cnt_index(pin, rf)];
+    const std::size_t base = tkoff + entry_base(pin, rf);
+    std::int32_t& cnt = tk_cnt_[cntoff + cnt_index(pin, rf)];
     const TopKView view{&tk_arr_[base], &tk_mu_[base], &tk_sig_[base],
                         &tk_sp_[base], k, &cnt};
-    merge_pin_rf<false>(pin, rf, view, fc);
+    merge_pin_rf<false>(pin, rf, corner, view, fc);
     INSTA_DCHECK(cnt <= k, "process_pin: Top-K count exceeds capacity");
     INSTA_DCHECK(cnt == 0 || std::isfinite(tk_arr_[base]),
                  "process_pin: non-finite worst arrival");
   }
 }
 
-void Engine::process_pin_early(PinId pin, ForwardCounters& fc) {
+void Engine::process_pin_early(PinId pin, CornerId corner,
+                               ForwardCounters& fc) {
   const auto k = static_cast<std::int32_t>(options_.top_k);
+  const std::size_t tkoff = tk_off(corner);
+  const std::size_t cntoff = cnt_off(corner);
   ++fc.pins;
   for (int rf = 0; rf < 2; ++rf) {
-    const std::size_t base = entry_base(pin, rf);
-    std::int32_t& cnt = tk2_cnt_[cnt_index(pin, rf)];
+    const std::size_t base = tkoff + entry_base(pin, rf);
+    std::int32_t& cnt = tk2_cnt_[cntoff + cnt_index(pin, rf)];
     const TopKView view{&tk2_arr_[base], &tk2_mu_[base], &tk2_sig_[base],
                         &tk2_sp_[base], k, &cnt};
-    merge_pin_rf<true>(pin, rf, view, fc);
+    merge_pin_rf<true>(pin, rf, corner, view, fc);
   }
 }
 
-bool Engine::reprocess_pin_sparse(PinId pin, ForwardCounters& fc) {
+bool Engine::reprocess_pin_sparse(PinId pin, CornerId corner,
+                                  ForwardCounters& fc) {
   const auto k = static_cast<std::int32_t>(options_.top_k);
+  const std::size_t tkoff = tk_off(corner);
+  const std::size_t cntoff = cnt_off(corner);
   TopKScratch& sc = tls_scratch;
   sc.ensure(k);
   const TopKView scratch{sc.arr.data(), sc.mu.data(), sc.sig.data(),
@@ -706,9 +854,9 @@ bool Engine::reprocess_pin_sparse(PinId pin, ForwardCounters& fc) {
 
   ++fc.pins;
   for (int rf = 0; rf < 2; ++rf) {
-    merge_pin_rf<false>(pin, rf, scratch, fc);
-    const std::size_t base = entry_base(pin, rf);
-    std::int32_t& cnt = tk_cnt_[cnt_index(pin, rf)];
+    merge_pin_rf<false>(pin, rf, corner, scratch, fc);
+    const std::size_t base = tkoff + entry_base(pin, rf);
+    std::int32_t& cnt = tk_cnt_[cntoff + cnt_index(pin, rf)];
     const TopKView live{&tk_arr_[base], &tk_mu_[base], &tk_sig_[base],
                         &tk_sp_[base], k, &cnt};
     if (!topk_equal(scratch, live)) {
@@ -719,9 +867,9 @@ bool Engine::reprocess_pin_sparse(PinId pin, ForwardCounters& fc) {
   if (options_.enable_hold) {
     ++fc.pins;
     for (int rf = 0; rf < 2; ++rf) {
-      merge_pin_rf<true>(pin, rf, scratch, fc);
-      const std::size_t base = entry_base(pin, rf);
-      std::int32_t& cnt = tk2_cnt_[cnt_index(pin, rf)];
+      merge_pin_rf<true>(pin, rf, corner, scratch, fc);
+      const std::size_t base = tkoff + entry_base(pin, rf);
+      std::int32_t& cnt = tk2_cnt_[cntoff + cnt_index(pin, rf)];
       const TopKView live{&tk2_arr_[base], &tk2_mu_[base], &tk2_sig_[base],
                           &tk2_sp_[base], k, &cnt};
       if (!topk_equal(scratch, live)) {
@@ -733,13 +881,17 @@ bool Engine::reprocess_pin_sparse(PinId pin, ForwardCounters& fc) {
   return changed;
 }
 
-void Engine::mark_dirty(PinId pin, int lvl) {
+void Engine::mark_dirty(PinId pin, int lvl, CornerId corner) {
   if (lvl < 0) return;
-  const auto p = static_cast<std::size_t>(pin);
+  const std::size_t p = pin_off(corner) + static_cast<std::size_t>(pin);
   if (dirty_pin_[p] != 0) return;
   dirty_pin_[p] = 1;
-  frontier_[static_cast<std::size_t>(lvl)].push_back(pin);
-  dirty_level_ = std::min(dirty_level_, static_cast<std::size_t>(lvl));
+  const std::size_t num_levels = level_start_.size() - 1;
+  frontier_[static_cast<std::size_t>(corner) * num_levels +
+            static_cast<std::size_t>(lvl)]
+      .push_back(pin);
+  auto& dl = dirty_level_[static_cast<std::size_t>(corner)];
+  dl = std::min(dl, static_cast<std::size_t>(lvl));
 }
 
 void Engine::forward_from(std::size_t first_level) {
@@ -751,6 +903,7 @@ void Engine::forward_from(std::size_t first_level) {
   const std::size_t num_levels = level_start_.size() - 1;
   const auto threshold = static_cast<std::size_t>(options_.parallel_threshold);
   const auto grain = static_cast<std::size_t>(options_.parallel_grain);
+  const auto C = static_cast<CornerId>(C_);
   // Level-synchronous independence invariant (Algorithm 1): a pin's fanin
   // sources must all sit at strictly lower levels, otherwise the parallel
   // per-level kernel below reads a Top-K store while another worker writes
@@ -770,11 +923,16 @@ void Engine::forward_from(std::size_t first_level) {
     em.levels.inc();
     const std::size_t lo = static_cast<std::size_t>(level_start_[l]);
     const std::size_t hi = static_cast<std::size_t>(level_start_[l + 1]);
+    // One traversal amortizes across corners: each pin's CSR walk stays in
+    // cache while all C corner planes merge through it.
     auto run = [&](std::size_t a, std::size_t b) {
       ForwardCounters fc;
       for (std::size_t i = a; i < b; ++i) {
-        process_pin(level_pins_[i], fc);
-        if (options_.enable_hold) process_pin_early(level_pins_[i], fc);
+        const PinId pin = level_pins_[i];
+        for (CornerId c = 0; c < C; ++c) {
+          process_pin(pin, c, fc);
+          if (options_.enable_hold) process_pin_early(pin, c, fc);
+        }
       }
       em.pins.add(fc.pins);
       em.arcs.add(fc.arcs);
@@ -793,12 +951,14 @@ void Engine::forward_from(std::size_t first_level) {
   auto eval = [&](std::size_t a, std::size_t b) {
     std::uint64_t lookups = 0;
     for (std::size_t e = a; e < b; ++e) {
-      lookups += evaluate_endpoint(static_cast<EndpointId>(e));
-      if (options_.enable_hold) {
-        lookups += evaluate_endpoint_hold(static_cast<EndpointId>(e));
+      for (CornerId c = 0; c < C; ++c) {
+        lookups += evaluate_endpoint(static_cast<EndpointId>(e), c);
+        if (options_.enable_hold) {
+          lookups += evaluate_endpoint_hold(static_cast<EndpointId>(e), c);
+        }
       }
     }
-    em.endpoints.add(b - a);
+    em.endpoints.add((b - a) * C_);
     em.cppr_lookups.add(lookups);
   };
   if (options_.parallel && num_eps >= threshold) {
@@ -808,43 +968,67 @@ void Engine::forward_from(std::size_t first_level) {
     eval(0, num_eps);
   }
 
-  // Everything is now fresh: drop any queued frontier state and rebuild the
-  // delta-maintained aggregates from scratch, so a full pass always resets
-  // accumulated floating-point drift exactly.
-  for (std::vector<PinId>& fr : frontier_) {
-    for (const PinId pin : fr) dirty_pin_[static_cast<std::size_t>(pin)] = 0;
-    fr.clear();
+  // Everything is now fresh: drop any queued frontier state in every corner
+  // and rebuild the delta-maintained aggregates from scratch, so a full
+  // pass always resets accumulated floating-point drift exactly.
+  for (CornerId c = 0; c < C; ++c) {
+    const std::size_t poff = pin_off(c);
+    for (std::size_t l = 0; l < num_levels; ++l) {
+      std::vector<PinId>& fr =
+          frontier_[static_cast<std::size_t>(c) * num_levels + l];
+      for (const PinId pin : fr) {
+        dirty_pin_[poff + static_cast<std::size_t>(pin)] = 0;
+      }
+      fr.clear();
+    }
+    dirty_eps_[static_cast<std::size_t>(c)].clear();
   }
-  dirty_eps_.clear();
-  dirty_level_ = std::numeric_limits<std::size_t>::max();
+  dirty_level_.assign(C_, std::numeric_limits<std::size_t>::max());
   full_dirty_ = false;
   // A dense sweep rewrites every Top-K store: no backward weight survives.
   invalidate_weights();
   recompute_aggregates();
   last_pass_ = SparseStats{};
   last_pass_.sparse = false;
-  last_pass_.levels_touched = num_levels - std::min(first_level, num_levels);
-  last_pass_.frontier_pins = level_pins_.size();
-  last_pass_.endpoints_evaluated = num_eps;
+  last_pass_.levels_touched =
+      (num_levels - std::min(first_level, num_levels)) * C_;
+  last_pass_.frontier_pins = level_pins_.size() * C_;
+  last_pass_.endpoints_evaluated = num_eps * C_;
 }
 
 void Engine::run_forward_sparse() {
-  INSTA_TRACE_SCOPE("engine.forward_sparse",
-                    static_cast<std::int64_t>(dirty_level_));
   EngineMetrics& em = engine_metrics();
   em.incremental_passes.inc();
+  last_pass_ = SparseStats{};
+  last_pass_.sparse = true;
+  // Corners run back-to-back over fully independent frontier state: each
+  // corner's walk is then exactly the operation sequence of an independent
+  // single-corner engine, which keeps the order-sensitive double-precision
+  // TNS delta folds bit-identical to C separate engines. The thread-local
+  // scratch and changed_flags_ are safely shared because corners are
+  // serial with respect to each other.
+  for (CornerId c = 0; c < static_cast<CornerId>(C_); ++c) {
+    run_forward_sparse_corner(c);
+  }
+}
+
+void Engine::run_forward_sparse_corner(CornerId corner) {
+  INSTA_TRACE_SCOPE("engine.forward_sparse",
+                    static_cast<std::int64_t>(corner));
+  EngineMetrics& em = engine_metrics();
   auto& pool = util::ThreadPool::global();
   const std::size_t num_levels = level_start_.size() - 1;
   const auto threshold = static_cast<std::size_t>(options_.parallel_threshold);
   const auto grain = static_cast<std::size_t>(options_.parallel_grain);
+  const std::size_t cc = static_cast<std::size_t>(corner);
+  const std::size_t poff = pin_off(corner);
+  const std::size_t eoff = ep_off(corner);
+  std::vector<EndpointId>& deps = dirty_eps_[cc];
+  deps.clear();
 
-  last_pass_ = SparseStats{};
-  last_pass_.sparse = true;
-  dirty_eps_.clear();
-
-  for (std::size_t l = std::min(dirty_level_, num_levels); l < num_levels;
+  for (std::size_t l = std::min(dirty_level_[cc], num_levels); l < num_levels;
        ++l) {
-    std::vector<PinId>& fr = frontier_[l];
+    std::vector<PinId>& fr = frontier_[cc * num_levels + l];
     if (fr.empty()) continue;
     INSTA_TRACE_SCOPE("engine.sparse_level",
                       static_cast<std::int64_t>(fr.size()));
@@ -858,7 +1042,7 @@ void Engine::run_forward_sparse() {
     auto run = [&](std::size_t a, std::size_t b) {
       ForwardCounters fc;
       for (std::size_t i = a; i < b; ++i) {
-        changed_flags_[i] = reprocess_pin_sparse(fr[i], fc) ? 1 : 0;
+        changed_flags_[i] = reprocess_pin_sparse(fr[i], corner, fc) ? 1 : 0;
       }
       em.pins.add(fc.pins);
       em.arcs.add(fc.arcs);
@@ -878,24 +1062,24 @@ void Engine::run_forward_sparse() {
     std::uint64_t early = 0;
     for (std::size_t i = 0; i < fr.size(); ++i) {
       const auto p = static_cast<std::size_t>(fr[i]);
-      dirty_pin_[p] = 0;
+      dirty_pin_[poff + p] = 0;
       // Every frontier pin's backward weights are suspect: it was queued
       // either by an arc annotation (its fanin delays changed) or by a
       // parent whose Top-K store changed (its candidate inputs changed).
-      mark_weights_stale(fr[i]);
+      mark_weights_stale(fr[i], corner);
       if (changed_flags_[i] == 0) {
         ++early;
         continue;
       }
       if (ep_of_pin_[p] >= 0) {
-        dirty_eps_.push_back(static_cast<EndpointId>(ep_of_pin_[p]));
+        deps.push_back(static_cast<EndpointId>(ep_of_pin_[p]));
       }
       const std::int32_t os = fo_start_[p];
       const std::int32_t oe = fo_start_[p + 1];
       for (std::int32_t o = os; o < oe; ++o) {
         const PinId child = fo_to_[static_cast<std::size_t>(o)];
-        if (dirty_pin_[static_cast<std::size_t>(child)] != 0) continue;
-        mark_dirty(child, graph_->level_of(child));
+        if (dirty_pin_[poff + static_cast<std::size_t>(child)] != 0) continue;
+        mark_dirty(child, graph_->level_of(child), corner);
       }
     }
     last_pass_.frontier_pins += fr.size();
@@ -904,12 +1088,12 @@ void Engine::run_forward_sparse() {
     em.early_terminations.add(early);
     fr.clear();
   }
-  dirty_level_ = std::numeric_limits<std::size_t>::max();
+  dirty_level_[cc] = std::numeric_limits<std::size_t>::max();
 
-  // Phase 3: delta endpoint evaluation — only the endpoints the frontier
-  // actually reached. Old slacks are snapshotted so the change can be
-  // folded into the TNS/WNS caches.
-  const std::size_t nd = dirty_eps_.size();
+  // Phase 3: delta endpoint evaluation — only the endpoints this corner's
+  // frontier actually reached. Old slacks are snapshotted so the change can
+  // be folded into the corner's TNS/WNS caches.
+  const std::size_t nd = deps.size();
   const std::size_t num_eps = ep_pin_.size();
   INSTA_TRACE_SCOPE("engine.sparse_endpoints",
                     static_cast<std::int64_t>(nd));
@@ -917,16 +1101,16 @@ void Engine::run_forward_sparse() {
     old_slack_scratch_.resize(nd);
     if (options_.enable_hold) old_hold_scratch_.resize(nd);
     for (std::size_t i = 0; i < nd; ++i) {
-      const auto e = static_cast<std::size_t>(dirty_eps_[i]);
-      old_slack_scratch_[i] = slack_[e];
-      if (options_.enable_hold) old_hold_scratch_[i] = hold_slack_[e];
+      const auto e = static_cast<std::size_t>(deps[i]);
+      old_slack_scratch_[i] = slack_[eoff + e];
+      if (options_.enable_hold) old_hold_scratch_[i] = hold_slack_[eoff + e];
     }
     auto eval = [&](std::size_t a, std::size_t b) {
       std::uint64_t lookups = 0;
       for (std::size_t i = a; i < b; ++i) {
-        lookups += evaluate_endpoint(dirty_eps_[i]);
+        lookups += evaluate_endpoint(deps[i], corner);
         if (options_.enable_hold) {
-          lookups += evaluate_endpoint_hold(dirty_eps_[i]);
+          lookups += evaluate_endpoint_hold(deps[i], corner);
         }
       }
       em.endpoints.add(b - a);
@@ -940,16 +1124,16 @@ void Engine::run_forward_sparse() {
       eval(0, nd);
     }
     for (std::size_t i = 0; i < nd; ++i) {
-      const auto e = static_cast<std::size_t>(dirty_eps_[i]);
-      apply_setup_delta(old_slack_scratch_[i], slack_[e]);
+      const auto e = static_cast<std::size_t>(deps[i]);
+      apply_setup_delta(corner, old_slack_scratch_[i], slack_[eoff + e]);
       if (options_.enable_hold) {
-        apply_hold_delta(old_hold_scratch_[i], hold_slack_[e]);
+        apply_hold_delta(corner, old_hold_scratch_[i], hold_slack_[eoff + e]);
       }
     }
   }
-  dirty_eps_.clear();
-  last_pass_.endpoints_evaluated = nd;
-  last_pass_.endpoints_skipped = num_eps - nd;
+  deps.clear();
+  last_pass_.endpoints_evaluated += nd;
+  last_pass_.endpoints_skipped += num_eps - nd;
   em.endpoints_skipped.add(num_eps - nd);
 }
 
@@ -987,24 +1171,26 @@ float Engine::credit(std::int32_t a, std::int32_t b) const {
   return 2.0f * nsigma_ * std::sqrt(ck_sig2_[static_cast<std::size_t>(a)]);
 }
 
-std::uint64_t Engine::evaluate_endpoint(EndpointId ep) {
-  const SetupEval ev = evaluate_endpoint_values(LiveValues{*this}, ep);
-  const auto e = static_cast<std::size_t>(ep);
+std::uint64_t Engine::evaluate_endpoint(EndpointId ep, CornerId corner) {
+  const SetupEval ev =
+      evaluate_endpoint_values(LiveValues(*this, corner), ep);
+  const std::size_t e = ep_off(corner) + static_cast<std::size_t>(ep);
   slack_[e] = ev.slack;
   ep_worst_rf_[e] = ev.worst_rf;
   return ev.lookups;
 }
 
-std::uint64_t Engine::evaluate_endpoint_hold(EndpointId ep) {
-  const HoldEval ev = evaluate_endpoint_hold_values(LiveValues{*this}, ep);
-  hold_slack_[static_cast<std::size_t>(ep)] = ev.slack;
+std::uint64_t Engine::evaluate_endpoint_hold(EndpointId ep, CornerId corner) {
+  const HoldEval ev =
+      evaluate_endpoint_hold_values(LiveValues(*this, corner), ep);
+  hold_slack_[ep_off(corner) + static_cast<std::size_t>(ep)] = ev.slack;
   return ev.lookups;
 }
 
 namespace {
-/// Scans a slack array into (worst, any) — shared by the lazy wns/whs
-/// rebuilds and recompute_aggregates.
-std::pair<float, bool> worst_of(const std::vector<float>& slacks) {
+/// Scans one corner's slack plane into (worst, any) — shared by the lazy
+/// wns/whs rebuilds and recompute_aggregates.
+std::pair<float, bool> worst_of(std::span<const float> slacks) {
   float w = 0.0f;
   bool any = false;
   for (const float s : slacks) {
@@ -1019,109 +1205,202 @@ std::pair<float, bool> worst_of(const std::vector<float>& slacks) {
 }  // namespace
 
 void Engine::recompute_aggregates() {
-  tns_cache_ = 0.0;
-  nviol_cache_ = 0;
-  for (const float s : slack_) {
-    if (std::isfinite(s) && s < 0.0f) {
-      tns_cache_ += static_cast<double>(s);
-      ++nviol_cache_;
+  const std::size_t num_eps = ep_pin_.size();
+  tns_cache_.assign(C_, 0.0);
+  nviol_cache_.assign(C_, 0);
+  wns_cache_.assign(C_, 0.0f);
+  wns_any_.assign(C_, 0);
+  wns_valid_.assign(C_, 1);
+  ths_cache_.assign(C_, 0.0);
+  nhold_viol_cache_.assign(C_, 0);
+  whs_cache_.assign(C_, 0.0f);
+  whs_any_.assign(C_, 0);
+  whs_valid_.assign(C_, 1);
+  for (std::size_t c = 0; c < C_; ++c) {
+    const std::size_t eoff = ep_off(static_cast<CornerId>(c));
+    for (std::size_t e = 0; e < num_eps; ++e) {
+      const float s = slack_[eoff + e];
+      if (std::isfinite(s) && s < 0.0f) {
+        tns_cache_[c] += static_cast<double>(s);
+        ++nviol_cache_[c];
+      }
+    }
+    const auto [w, any] =
+        worst_of(std::span<const float>(slack_.data() + eoff, num_eps));
+    wns_cache_[c] = w;
+    wns_any_[c] = any ? 1 : 0;
+    if (!hold_slack_.empty()) {
+      for (std::size_t e = 0; e < num_eps; ++e) {
+        const float s = hold_slack_[eoff + e];
+        if (std::isfinite(s) && s < 0.0f) {
+          ths_cache_[c] += static_cast<double>(s);
+          ++nhold_viol_cache_[c];
+        }
+      }
+      const auto [hw, hany] = worst_of(
+          std::span<const float>(hold_slack_.data() + eoff, num_eps));
+      whs_cache_[c] = hw;
+      whs_any_[c] = hany ? 1 : 0;
     }
   }
-  std::tie(wns_cache_, wns_any_) = worst_of(slack_);
-  wns_valid_ = true;
-  ths_cache_ = 0.0;
-  nhold_viol_cache_ = 0;
-  for (const float s : hold_slack_) {
-    if (std::isfinite(s) && s < 0.0f) {
-      ths_cache_ += static_cast<double>(s);
-      ++nhold_viol_cache_;
-    }
-  }
-  std::tie(whs_cache_, whs_any_) = worst_of(hold_slack_);
-  whs_valid_ = true;
 }
 
-void Engine::apply_setup_delta(float oldv, float newv) {
+void Engine::apply_setup_delta(CornerId corner, float oldv, float newv) {
   if (oldv == newv) return;
+  const auto c = static_cast<std::size_t>(corner);
   if (std::isfinite(oldv) && oldv < 0.0f) {
-    tns_cache_ -= static_cast<double>(oldv);
-    --nviol_cache_;
+    tns_cache_[c] -= static_cast<double>(oldv);
+    --nviol_cache_[c];
   }
   if (std::isfinite(newv) && newv < 0.0f) {
-    tns_cache_ += static_cast<double>(newv);
-    ++nviol_cache_;
+    tns_cache_[c] += static_cast<double>(newv);
+    ++nviol_cache_[c];
   }
-  if (!wns_valid_) return;
-  if (std::isfinite(newv) && (!wns_any_ || newv <= wns_cache_)) {
-    wns_cache_ = newv;
-    wns_any_ = true;
-  } else if (wns_any_ && std::isfinite(oldv) && oldv <= wns_cache_) {
+  if (wns_valid_[c] == 0) return;
+  if (std::isfinite(newv) && (wns_any_[c] == 0 || newv <= wns_cache_[c])) {
+    wns_cache_[c] = newv;
+    wns_any_[c] = 1;
+  } else if (wns_any_[c] != 0 && std::isfinite(oldv) &&
+             oldv <= wns_cache_[c]) {
     // The cached minimum may have just improved; rebuild lazily on read.
-    wns_valid_ = false;
+    wns_valid_[c] = 0;
   }
 }
 
-void Engine::apply_hold_delta(float oldv, float newv) {
+void Engine::apply_hold_delta(CornerId corner, float oldv, float newv) {
   if (oldv == newv) return;
+  const auto c = static_cast<std::size_t>(corner);
   if (std::isfinite(oldv) && oldv < 0.0f) {
-    ths_cache_ -= static_cast<double>(oldv);
-    --nhold_viol_cache_;
+    ths_cache_[c] -= static_cast<double>(oldv);
+    --nhold_viol_cache_[c];
   }
   if (std::isfinite(newv) && newv < 0.0f) {
-    ths_cache_ += static_cast<double>(newv);
-    ++nhold_viol_cache_;
+    ths_cache_[c] += static_cast<double>(newv);
+    ++nhold_viol_cache_[c];
   }
-  if (!whs_valid_) return;
-  if (std::isfinite(newv) && (!whs_any_ || newv <= whs_cache_)) {
-    whs_cache_ = newv;
-    whs_any_ = true;
-  } else if (whs_any_ && std::isfinite(oldv) && oldv <= whs_cache_) {
-    whs_valid_ = false;
+  if (whs_valid_[c] == 0) return;
+  if (std::isfinite(newv) && (whs_any_[c] == 0 || newv <= whs_cache_[c])) {
+    whs_cache_[c] = newv;
+    whs_any_[c] = 1;
+  } else if (whs_any_[c] != 0 && std::isfinite(oldv) &&
+             oldv <= whs_cache_[c]) {
+    whs_valid_[c] = 0;
   }
 }
 
-double Engine::ths() const { return ths_cache_; }
-
-double Engine::whs() const {
-  if (!whs_valid_) {
-    std::tie(whs_cache_, whs_any_) = worst_of(hold_slack_);
-    whs_valid_ = true;
-  }
-  return whs_any_ ? static_cast<double>(whs_cache_) : 0.0;
+double Engine::ths(CornerId corner) const {
+  return ths_cache_[static_cast<std::size_t>(corner)];
 }
 
-int Engine::num_hold_violations() const { return nhold_viol_cache_; }
-
-double Engine::tns() const { return tns_cache_; }
-
-double Engine::wns() const {
-  if (!wns_valid_) {
-    std::tie(wns_cache_, wns_any_) = worst_of(slack_);
-    wns_valid_ = true;
+double Engine::whs(CornerId corner) const {
+  const auto c = static_cast<std::size_t>(corner);
+  if (whs_valid_[c] == 0) {
+    const auto [w, any] = worst_of(std::span<const float>(
+        hold_slack_.data() + ep_off(corner), ep_pin_.size()));
+    whs_cache_[c] = w;
+    whs_any_[c] = any ? 1 : 0;
+    whs_valid_[c] = 1;
   }
-  return wns_any_ ? static_cast<double>(wns_cache_) : 0.0;
+  return whs_any_[c] != 0 ? static_cast<double>(whs_cache_[c]) : 0.0;
 }
 
-int Engine::num_violations() const { return nviol_cache_; }
+int Engine::num_hold_violations(CornerId corner) const {
+  return nhold_viol_cache_[static_cast<std::size_t>(corner)];
+}
 
-SlackSummary Engine::summary(Mode mode) const {
+double Engine::tns(CornerId corner) const {
+  return tns_cache_[static_cast<std::size_t>(corner)];
+}
+
+double Engine::wns(CornerId corner) const {
+  const auto c = static_cast<std::size_t>(corner);
+  if (wns_valid_[c] == 0) {
+    const auto [w, any] = worst_of(std::span<const float>(
+        slack_.data() + ep_off(corner), ep_pin_.size()));
+    wns_cache_[c] = w;
+    wns_any_[c] = any ? 1 : 0;
+    wns_valid_[c] = 1;
+  }
+  return wns_any_[c] != 0 ? static_cast<double>(wns_cache_[c]) : 0.0;
+}
+
+int Engine::num_violations(CornerId corner) const {
+  return nviol_cache_[static_cast<std::size_t>(corner)];
+}
+
+SlackSummary Engine::summary(Mode mode, CornerId corner) const {
+  check(corner >= 0 && static_cast<std::size_t>(corner) < C_,
+        "Engine::summary: corner id " + std::to_string(corner) +
+            " out of range [0, " + std::to_string(C_) + ")");
   if (mode == Mode::kSetup) {
-    return SlackSummary{tns(), wns(), num_violations()};
+    return SlackSummary{tns(corner), wns(corner), num_violations(corner)};
   }
   check(options_.enable_hold,
         "Engine::summary(Mode::kHold): engine was built without enable_hold");
-  return SlackSummary{ths(), whs(), num_hold_violations()};
+  return SlackSummary{ths(corner), whs(corner), num_hold_violations(corner)};
 }
 
-void Engine::compute_weights_pin(std::size_t p, float tau) {
+SlackSummary Engine::merged_summary(Mode mode) const {
+  if (mode == Mode::kHold) {
+    check(options_.enable_hold,
+          "Engine::merged_summary(Mode::kHold): engine was built without "
+          "enable_hold");
+  }
+  std::uint64_t& cached_gen =
+      mode == Mode::kSetup ? merged_setup_gen_ : merged_hold_gen_;
+  SlackSummary& cached =
+      mode == Mode::kSetup ? merged_setup_cache_ : merged_hold_cache_;
+  if (cached_gen == generation_) return cached;
+  if (C_ == 1) {
+    cached = summary(mode, 0);
+    cached_gen = generation_;
+    return cached;
+  }
+  const float* base =
+      mode == Mode::kSetup ? slack_.data() : hold_slack_.data();
+  const std::size_t num_eps = ep_pin_.size();
+  double tns = 0.0;
+  float worst = 0.0f;
+  bool any = false;
+  int violations = 0;
+  // Deterministic endpoint-major scan: the merged slack of an endpoint is
+  // its worst finite slack over every corner (a corner where the endpoint
+  // is unconstrained contributes nothing).
+  for (std::size_t e = 0; e < num_eps; ++e) {
+    float m = kInf;
+    bool finite = false;
+    for (std::size_t c = 0; c < C_; ++c) {
+      const float s = base[c * num_eps + e];
+      if (!std::isfinite(s)) continue;
+      if (!finite || s < m) m = s;
+      finite = true;
+    }
+    if (!finite) continue;
+    if (m < 0.0f) {
+      tns += static_cast<double>(m);
+      ++violations;
+    }
+    if (!any || m < worst) {
+      worst = m;
+      any = true;
+    }
+  }
+  cached = SlackSummary{tns, any ? static_cast<double>(worst) : 0.0,
+                        violations};
+  cached_gen = generation_;
+  return cached;
+}
+
+void Engine::compute_weights_pin(std::size_t p, float tau, CornerId corner) {
   const std::int32_t fs = fi_start_[p];
   const std::int32_t fe = fi_start_[p + 1];
   if (fs == fe) return;
   const std::int32_t n = fe - fs;
+  const std::size_t soff = slot_off(corner);
   for (int rf = 0; rf < 2; ++rf) {
     const auto rfi = static_cast<std::size_t>(rf);
-    const float* cand = bw_cand_[rfi].data() + fs;
-    float* w = w_[rfi].data() + fs;
+    const float* cand = bw_cand_[rfi].data() + soff + fs;
+    float* w = w_[rfi].data() + soff + fs;
     if (fast_math_) {
       softmax_fast_avx2(cand, n, 1.0f / tau, w);
       continue;
@@ -1149,20 +1428,23 @@ void Engine::compute_weights_pin(std::size_t p, float tau) {
   }
 }
 
-void Engine::mark_weights_stale(PinId pin) {
+void Engine::mark_weights_stale(PinId pin, CornerId corner) {
   if (!w_tracking_) return;
-  const auto p = static_cast<std::size_t>(pin);
+  const std::size_t p = pin_off(corner) + static_cast<std::size_t>(pin);
   if (w_stale_[p] != 0) return;
   w_stale_[p] = 1;
-  w_stale_pins_.push_back(pin);
+  w_stale_pins_[static_cast<std::size_t>(corner)].push_back(pin);
 }
 
 void Engine::invalidate_weights() {
   w_tracking_ = false;
-  for (const PinId pin : w_stale_pins_) {
-    w_stale_[static_cast<std::size_t>(pin)] = 0;
+  for (std::size_t c = 0; c < C_; ++c) {
+    const std::size_t poff = pin_off(static_cast<CornerId>(c));
+    for (const PinId pin : w_stale_pins_[c]) {
+      w_stale_[poff + static_cast<std::size_t>(pin)] = 0;
+    }
+    w_stale_pins_[c].clear();
   }
-  w_stale_pins_.clear();
 }
 
 void Engine::run_backward(GradientMetric metric) {
@@ -1173,185 +1455,225 @@ void Engine::run_backward(GradientMetric metric) {
   std::fill(slot_grad_.begin(), slot_grad_.end(), 0.0f);
   std::fill(arc_grad_.begin(), arc_grad_.end(), 0.0f);
   const float tau = std::max(options_.tau, 1e-4f);
-  const auto slots = static_cast<std::int32_t>(fi_from_.size());
+  const auto slots = static_cast<std::int32_t>(num_slots_);
+  const auto C = static_cast<CornerId>(C_);
+  const std::size_t num_eps = ep_pin_.size();
 
-  // Phase 1: Eq. 6 softmax weights of every merge, from the parents' top-1
-  // arrivals. Weights depend only on parent top-1 entries and fanin arc
-  // delays, both of which the sparse-forward frontier tracks — so after an
-  // incremental forward pass only the frontier pins' weights are
-  // recomputed and clean cones keep their previous (identical) bytes.
-  // A pending annotation (timing not clean) falls back to full recompute:
-  // its frontier has not run yet, so the stale set is not trustworthy.
+  // Phase 1: Eq. 6 softmax weights of every merge in every corner, from the
+  // parents' top-1 arrivals. Weights depend only on parent top-1 entries
+  // and fanin arc delays, both of which each corner's sparse-forward
+  // frontier tracks — so after an incremental forward pass only that
+  // corner's frontier pins' weights are recomputed and clean cones keep
+  // their previous (identical) bytes. A pending annotation (timing not
+  // clean) falls back to full recompute: its frontier has not run yet, so
+  // the stale sets are not trustworthy.
   const bool reuse = w_tracking_ && timing_clean();
   last_backward_ = BackwardStats{};
   {
     INSTA_TRACE_SCOPE("engine.backward.weights");
     if (!reuse) {
-      // Vectorized candidate pass over the whole slot space, then per-pin
-      // softmax (each pin owns its fanin slot range; fully parallel).
-      for (const int rf : {0, 1}) {
-        const auto rfi = static_cast<std::size_t>(rf);
-        backward_cand(simd_avx2_, tk_mu_.data(), tk_sig_.data(),
-                      tk_cnt_.data(), slot_ci_[rfi].data(),
-                      static_cast<std::int32_t>(tk_stride_),
-                      amu_[rfi].data(), asig_[rfi].data(), slots, nsigma_,
-                      bw_cand_[rfi].data());
-      }
-      auto weights = [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          compute_weights_pin(static_cast<std::size_t>(level_pins_[i]), tau);
+      // Vectorized candidate pass over each corner's whole slot plane, then
+      // per-pin softmax (each pin owns its fanin slot range; fully
+      // parallel). The gather table slot_ci_ is corner-relative; the base
+      // pointers carry the corner offsets.
+      for (CornerId c = 0; c < C; ++c) {
+        const std::size_t soff = slot_off(c);
+        for (const int rf : {0, 1}) {
+          const auto rfi = static_cast<std::size_t>(rf);
+          backward_cand(simd_avx2_, tk_mu_.data() + tk_off(c),
+                        tk_sig_.data() + tk_off(c),
+                        tk_cnt_.data() + cnt_off(c), slot_ci_[rfi].data(),
+                        static_cast<std::int32_t>(tk_stride_),
+                        amu_[rfi].data() + soff, asig_[rfi].data() + soff,
+                        slots, nsigma_, bw_cand_[rfi].data() + soff);
         }
-      };
-      if (options_.parallel) {
-        pool.parallel_for_chunks(0, level_pins_.size(), weights, 512);
-      } else {
-        weights(0, level_pins_.size());
+        auto weights = [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            compute_weights_pin(static_cast<std::size_t>(level_pins_[i]), tau,
+                                c);
+          }
+        };
+        if (options_.parallel) {
+          pool.parallel_for_chunks(0, level_pins_.size(), weights, 512);
+        } else {
+          weights(0, level_pins_.size());
+        }
       }
-      last_backward_.weight_pins_recomputed = level_pins_.size();
-      for (const PinId pin : w_stale_pins_) {
-        w_stale_[static_cast<std::size_t>(pin)] = 0;
+      last_backward_.weight_pins_recomputed = level_pins_.size() * C_;
+      for (std::size_t c = 0; c < C_; ++c) {
+        const std::size_t poff = pin_off(static_cast<CornerId>(c));
+        for (const PinId pin : w_stale_pins_[c]) {
+          w_stale_[poff + static_cast<std::size_t>(pin)] = 0;
+        }
+        w_stale_pins_[c].clear();
       }
-      w_stale_pins_.clear();
       w_tracking_ = true;
     } else {
-      auto sparse_weights = [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          const auto p = static_cast<std::size_t>(w_stale_pins_[i]);
-          const std::int32_t fs = fi_start_[p];
-          const std::int32_t fe = fi_start_[p + 1];
-          if (fs != fe) {
-            for (const int rf : {0, 1}) {
-              const auto rfi = static_cast<std::size_t>(rf);
-              backward_cand(simd_avx2_, tk_mu_.data(), tk_sig_.data(),
-                            tk_cnt_.data(), slot_ci_[rfi].data() + fs,
-                            static_cast<std::int32_t>(tk_stride_),
-                            amu_[rfi].data() + fs, asig_[rfi].data() + fs,
-                            fe - fs, nsigma_, bw_cand_[rfi].data() + fs);
+      for (CornerId c = 0; c < C; ++c) {
+        const std::size_t cc = static_cast<std::size_t>(c);
+        const std::size_t soff = slot_off(c);
+        std::vector<PinId>& stale = w_stale_pins_[cc];
+        auto sparse_weights = [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const auto p = static_cast<std::size_t>(stale[i]);
+            const std::int32_t fs = fi_start_[p];
+            const std::int32_t fe = fi_start_[p + 1];
+            if (fs != fe) {
+              for (const int rf : {0, 1}) {
+                const auto rfi = static_cast<std::size_t>(rf);
+                backward_cand(simd_avx2_, tk_mu_.data() + tk_off(c),
+                              tk_sig_.data() + tk_off(c),
+                              tk_cnt_.data() + cnt_off(c),
+                              slot_ci_[rfi].data() + fs,
+                              static_cast<std::int32_t>(tk_stride_),
+                              amu_[rfi].data() + soff + fs,
+                              asig_[rfi].data() + soff + fs, fe - fs, nsigma_,
+                              bw_cand_[rfi].data() + soff + fs);
+              }
+              compute_weights_pin(p, tau, c);
             }
-            compute_weights_pin(p, tau);
           }
+        };
+        const std::size_t ns = stale.size();
+        if (options_.parallel &&
+            ns >= static_cast<std::size_t>(options_.parallel_threshold)) {
+          pool.parallel_for_chunks(std::size_t{0}, ns, sparse_weights,
+                                   static_cast<std::size_t>(
+                                       options_.parallel_grain));
+        } else {
+          sparse_weights(0, ns);
         }
-      };
-      const std::size_t ns = w_stale_pins_.size();
-      if (options_.parallel &&
-          ns >= static_cast<std::size_t>(options_.parallel_threshold)) {
-        pool.parallel_for_chunks(std::size_t{0}, ns, sparse_weights,
-                                 static_cast<std::size_t>(
-                                     options_.parallel_grain));
-      } else {
-        sparse_weights(0, ns);
+        last_backward_.weight_pins_recomputed += ns;
+        last_backward_.weight_pins_reused += level_pins_.size() - ns;
+        const std::size_t poff = pin_off(c);
+        for (const PinId pin : stale) {
+          w_stale_[poff + static_cast<std::size_t>(pin)] = 0;
+        }
+        stale.clear();
       }
       last_backward_.weights_reused = true;
-      last_backward_.weight_pins_recomputed = ns;
-      last_backward_.weight_pins_reused = level_pins_.size() - ns;
-      for (const PinId pin : w_stale_pins_) {
-        w_stale_[static_cast<std::size_t>(pin)] = 0;
-      }
-      w_stale_pins_.clear();
     }
     EngineMetrics& em = engine_metrics();
     em.bw_weight_pins_recomputed.add(last_backward_.weight_pins_recomputed);
     em.bw_weight_pins_reused.add(last_backward_.weight_pins_reused);
   }
 
-  // Phase 2: endpoint seeds of d(-metric)/d(arrival).
-  if (metric == GradientMetric::kTns) {
-    for (std::size_t e = 0; e < slack_.size(); ++e) {
-      const float s = slack_[e];
-      if (!std::isfinite(s) || s >= 0.0f) continue;
-      pin_grad_[static_cast<std::size_t>(ep_pin_[e]) * 2 + ep_worst_rf_[e]] +=
-          1.0f;
-    }
-  } else {
-    float smin = 0.0f;
-    bool any = false;
-    for (const float s : slack_) {
-      if (std::isfinite(s) && s < 0.0f && (!any || s < smin)) {
-        smin = s;
-        any = true;
+  for (CornerId c = 0; c < C; ++c) {
+    const std::size_t eoff = ep_off(c);
+    const std::size_t poff2 = pin_off(c) * 2;
+    const std::size_t soff = slot_off(c);
+
+    // Phase 2: endpoint seeds of d(-metric_c)/d(arrival) from this corner's
+    // slack plane. Each corner's kWns softmin is over its own slacks.
+    if (metric == GradientMetric::kTns) {
+      for (std::size_t e = 0; e < num_eps; ++e) {
+        const float s = slack_[eoff + e];
+        if (!std::isfinite(s) || s >= 0.0f) continue;
+        pin_grad_[poff2 + static_cast<std::size_t>(ep_pin_[e]) * 2 +
+                  ep_worst_rf_[eoff + e]] += 1.0f;
       }
-    }
-    if (any) {
-      const float wtau = std::max(options_.wns_tau, 1e-4f);
-      double denom = 0.0;
-      for (const float s : slack_) {
-        if (std::isfinite(s) && s < 0.0f) {
-          denom += std::exp(static_cast<double>((smin - s) / wtau));
+    } else {
+      float smin = 0.0f;
+      bool any = false;
+      for (std::size_t e = 0; e < num_eps; ++e) {
+        const float s = slack_[eoff + e];
+        if (std::isfinite(s) && s < 0.0f && (!any || s < smin)) {
+          smin = s;
+          any = true;
         }
       }
-      for (std::size_t e = 0; e < slack_.size(); ++e) {
-        const float s = slack_[e];
-        if (!std::isfinite(s) || s >= 0.0f) continue;
-        const float seed = static_cast<float>(
-            std::exp(static_cast<double>((smin - s) / wtau)) / denom);
-        pin_grad_[static_cast<std::size_t>(ep_pin_[e]) * 2 + ep_worst_rf_[e]] +=
-            seed;
-      }
-    }
-  }
-
-  // Phase 3: reverse level-synchronous pull. Each pin gathers the weighted
-  // gradients of its fanout (already-final deeper levels) into itself and
-  // into the fanout arcs it owns.
-  INSTA_TRACE_SCOPE("engine.backward.pull");
-  const std::size_t num_levels = level_start_.size() - 1;
-  for (std::size_t l = num_levels; l-- > 0;) {
-    const std::size_t lo = static_cast<std::size_t>(level_start_[l]);
-    const std::size_t hi = static_cast<std::size_t>(level_start_[l + 1]);
-    auto pull = [&](std::size_t a, std::size_t b) {
-      for (std::size_t i = a; i < b; ++i) {
-        const auto p = static_cast<std::size_t>(level_pins_[i]);
-        const std::int32_t os = fo_start_[p];
-        const std::int32_t oe = fo_start_[p + 1];
-        for (std::int32_t o = os; o < oe; ++o) {
-          const auto slot = static_cast<std::size_t>(fo_slot_[o]);
-          const auto to = static_cast<std::size_t>(fo_to_[static_cast<std::size_t>(o)]);
-          for (int crf = 0; crf < 2; ++crf) {
-            const float wv = w_[static_cast<std::size_t>(crf)][slot];
-            if (wv == 0.0f) continue;
-            const float g = pin_grad_[to * 2 + static_cast<std::size_t>(crf)];
-            if (g == 0.0f) continue;
-            const float c = wv * g;
-            const int prf = crf ^ static_cast<int>(fi_neg_[slot]);
-            pin_grad_[p * 2 + static_cast<std::size_t>(prf)] += c;
-            slot_grad_[slot] += c;
+      if (any) {
+        const float wtau = std::max(options_.wns_tau, 1e-4f);
+        double denom = 0.0;
+        for (std::size_t e = 0; e < num_eps; ++e) {
+          const float s = slack_[eoff + e];
+          if (std::isfinite(s) && s < 0.0f) {
+            denom += std::exp(static_cast<double>((smin - s) / wtau));
           }
         }
+        for (std::size_t e = 0; e < num_eps; ++e) {
+          const float s = slack_[eoff + e];
+          if (!std::isfinite(s) || s >= 0.0f) continue;
+          const float seed = static_cast<float>(
+              std::exp(static_cast<double>((smin - s) / wtau)) / denom);
+          pin_grad_[poff2 + static_cast<std::size_t>(ep_pin_[e]) * 2 +
+                    ep_worst_rf_[eoff + e]] += seed;
+        }
       }
-    };
-    if (options_.parallel && hi - lo >= 512) {
-      pool.parallel_for_chunks(lo, hi, pull, 256);
-    } else {
-      pull(lo, hi);
     }
-  }
 
-  // Phase 4: scatter slot gradients onto graph arc ids.
-  for (std::size_t s = 0; s < slot_grad_.size(); ++s) {
-    arc_grad_[static_cast<std::size_t>(fi_arc_[s])] += slot_grad_[s];
+    // Phase 3: reverse level-synchronous pull. Each pin gathers the
+    // weighted gradients of its fanout (already-final deeper levels) into
+    // itself and into the fanout arcs it owns.
+    INSTA_TRACE_SCOPE("engine.backward.pull");
+    const std::size_t num_levels = level_start_.size() - 1;
+    for (std::size_t l = num_levels; l-- > 0;) {
+      const std::size_t lo = static_cast<std::size_t>(level_start_[l]);
+      const std::size_t hi = static_cast<std::size_t>(level_start_[l + 1]);
+      auto pull = [&](std::size_t a, std::size_t b) {
+        for (std::size_t i = a; i < b; ++i) {
+          const auto p = static_cast<std::size_t>(level_pins_[i]);
+          const std::int32_t os = fo_start_[p];
+          const std::int32_t oe = fo_start_[p + 1];
+          for (std::int32_t o = os; o < oe; ++o) {
+            const auto slot = static_cast<std::size_t>(fo_slot_[o]);
+            const auto to =
+                static_cast<std::size_t>(fo_to_[static_cast<std::size_t>(o)]);
+            for (int crf = 0; crf < 2; ++crf) {
+              const float wv =
+                  w_[static_cast<std::size_t>(crf)][soff + slot];
+              if (wv == 0.0f) continue;
+              const float g =
+                  pin_grad_[poff2 + to * 2 + static_cast<std::size_t>(crf)];
+              if (g == 0.0f) continue;
+              const float contrib = wv * g;
+              const int prf = crf ^ static_cast<int>(fi_neg_[slot]);
+              pin_grad_[poff2 + p * 2 + static_cast<std::size_t>(prf)] +=
+                  contrib;
+              slot_grad_[soff + slot] += contrib;
+            }
+          }
+        }
+      };
+      if (options_.parallel && hi - lo >= 512) {
+        pool.parallel_for_chunks(lo, hi, pull, 256);
+      } else {
+        pull(lo, hi);
+      }
+    }
+
+    // Phase 4: scatter slot gradients onto graph arc ids.
+    const std::size_t aoff = arc_off(c);
+    for (std::size_t s = 0; s < num_slots_; ++s) {
+      arc_grad_[aoff + static_cast<std::size_t>(fi_arc_[s])] +=
+          slot_grad_[soff + s];
+    }
   }
 }
 
-float Engine::stage_gradient(netlist::CellId cell) const {
+float Engine::stage_gradient(netlist::CellId cell, CornerId corner) const {
+  const std::size_t aoff = arc_off(corner);
   float g = 0.0f;
   const auto [cfirst, clast] = graph_->cell_arcs(cell);
   for (ArcId a = cfirst; a < clast; ++a) {
-    g += arc_grad_[static_cast<std::size_t>(a)];
+    g += arc_grad_[aoff + static_cast<std::size_t>(a)];
   }
   const netlist::LibCell& lc = graph_->design().libcell_of(cell);
   for (int i = 0; i < netlist::num_data_inputs(lc.func); ++i) {
     const PinId pin = graph_->design().input_pin(cell, i);
     for (const ArcId a : graph_->fanin(pin)) {
-      g += arc_grad_[static_cast<std::size_t>(a)];
+      g += arc_grad_[aoff + static_cast<std::size_t>(a)];
     }
   }
   return g;
 }
 
-std::vector<Engine::TopKEntry> Engine::arrivals(PinId pin,
-                                                RiseFall rf) const {
-  const std::size_t base = entry_base(pin, netlist::rf_index(rf));
-  const std::int32_t cnt = tk_cnt_[cnt_index(pin, netlist::rf_index(rf))];
+std::vector<Engine::TopKEntry> Engine::arrivals(PinId pin, RiseFall rf,
+                                                CornerId corner) const {
+  const std::size_t base =
+      tk_off(corner) + entry_base(pin, netlist::rf_index(rf));
+  const std::int32_t cnt =
+      tk_cnt_[cnt_off(corner) + cnt_index(pin, netlist::rf_index(rf))];
   std::vector<TopKEntry> out;
   out.reserve(static_cast<std::size_t>(cnt));
   for (std::int32_t k = 0; k < cnt; ++k) {
@@ -1365,11 +1687,11 @@ std::vector<Engine::TopKEntry> Engine::arrivals(PinId pin,
   return out;
 }
 
-float Engine::worst_arrival(PinId pin) const {
+float Engine::worst_arrival(PinId pin, CornerId corner) const {
   float worst = -kInf;
   for (int rf = 0; rf < 2; ++rf) {
-    if (tk_cnt_[cnt_index(pin, rf)] > 0) {
-      worst = std::max(worst, tk_arr_[entry_base(pin, rf)]);
+    if (tk_cnt_[cnt_off(corner) + cnt_index(pin, rf)] > 0) {
+      worst = std::max(worst, tk_arr_[tk_off(corner) + entry_base(pin, rf)]);
     }
   }
   return worst;
@@ -1380,6 +1702,9 @@ std::size_t Engine::memory_bytes() const {
   b += tk_arr_.capacity() * sizeof(float) * 3;  // arr, mu, sig
   b += tk_sp_.capacity() * sizeof(std::int32_t);
   b += tk_cnt_.capacity() * sizeof(std::int32_t);
+  b += tk2_arr_.capacity() * sizeof(float) * 3;
+  b += tk2_sp_.capacity() * sizeof(std::int32_t);
+  b += tk2_cnt_.capacity() * sizeof(std::int32_t);
   b += fi_from_.capacity() * sizeof(PinId);
   b += fi_neg_.capacity();
   b += fi_arc_.capacity() * sizeof(ArcId);
@@ -1396,10 +1721,12 @@ std::size_t Engine::memory_bytes() const {
         ep_of_pin_.capacity() + tk_pos_.capacity() + slot_ci_[0].capacity() +
         slot_ci_[1].capacity()) *
        sizeof(std::int32_t);
+  b += (slack_.capacity() + hold_slack_.capacity()) * sizeof(float);
+  b += ep_worst_rf_.capacity();
   b += dirty_pin_.capacity() + changed_flags_.capacity() + w_stale_.capacity();
-  b += w_stale_pins_.capacity() * sizeof(PinId);
+  for (const auto& ws : w_stale_pins_) b += ws.capacity() * sizeof(PinId);
   for (const auto& fr : frontier_) b += fr.capacity() * sizeof(PinId);
-  b += dirty_eps_.capacity() * sizeof(EndpointId);
+  for (const auto& de : dirty_eps_) b += de.capacity() * sizeof(EndpointId);
   return b;
 }
 

@@ -7,6 +7,7 @@
 #include <limits>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/topk.hpp"
@@ -24,6 +25,24 @@ class LintReport;  // analysis/diagnostics.hpp
 namespace insta::core {
 
 class ScenarioBatch;  // core/scenario_batch.hpp
+
+/// Index of one analysis corner within an engine. Valid ids are
+/// [0, num_corners()); kAllCorners broadcasts an annotation to every corner.
+using CornerId = std::int32_t;
+inline constexpr CornerId kAllCorners = -1;
+
+/// One named analysis corner: a (liberty, POCV) scale set applied to every
+/// data-arc delay and startpoint launch arrival cloned from the reference or
+/// re-annotated later. delay_scale multiplies arc/launch means, sigma_scale
+/// multiplies POCV sigmas; clock-network arrivals, CPPR tables, and
+/// endpoint required times are shared across corners (one clock tree, many
+/// data-path corners). A scale of exactly 1.0f is a byte-exact passthrough,
+/// so the default corner reproduces the single-corner engine bit for bit.
+struct CornerSpec {
+  std::string name = "default";
+  float delay_scale = 1.0f;
+  float sigma_scale = 1.0f;
+};
 
 /// Configuration of the INSTA engine.
 struct EngineOptions {
@@ -66,6 +85,12 @@ struct EngineOptions {
   /// with the matching GoldenOptions::enable_hold. Off by default: the
   /// paper's experiments are setup-only.
   bool enable_hold = false;
+  /// The analysis corners to propagate. Empty (the default) means one
+  /// implicit corner {"default", 1.0, 1.0}. All corners propagate in one
+  /// level sweep over corner-major Top-K planes; each corner's result is
+  /// bit-identical to an independent single-corner engine built with only
+  /// that corner. Names must be unique and non-empty; scales finite > 0.
+  std::vector<CornerSpec> corners;
 
   /// Returns one message per invalid field (empty when the options are
   /// usable). Engine's constructor rejects invalid options with the same
@@ -103,59 +128,86 @@ struct SlackSummary {
 /// analogue of uploading initialization tensors to the GPU.
 ///
 /// After initialization the engine is independent of the reference: it owns
-/// forward Top-K statistical propagation (Algorithms 1 + 2), endpoint slack
-/// evaluation with CPPR credits, incremental arc re-annotation, and the
-/// backward "timing gradient" pass (Eq. 6).
+/// forward Top-K statistical propagation (Algorithms 1 + 2) across every
+/// configured corner, endpoint slack evaluation with CPPR credits,
+/// incremental arc re-annotation, and the backward "timing gradient" pass
+/// (Eq. 6).
+///
+/// MCMM: all value stores are corner-major (corner plane = one single-corner
+/// engine image), so one graph traversal propagates C corners through the
+/// same vectorized kernels. Per-corner queries take a CornerId; merged
+/// (cross-corner worst-case) summaries come from merged_summary().
 class Engine {
  public:
   /// One-time initialization from a golden reference engine on which
   /// update_full() has been run.
   explicit Engine(const ref::GoldenSta& reference, EngineOptions options = {});
 
+  // ---- corners --------------------------------------------------------------
+
+  /// Number of propagated corners (>= 1).
+  [[nodiscard]] std::size_t num_corners() const { return C_; }
+
+  /// The resolved corner list ([0] is the implicit default when
+  /// EngineOptions::corners was empty).
+  [[nodiscard]] std::span<const CornerSpec> corners() const { return corners_; }
+
+  /// Id of a corner by name, or kAllCorners (-1) when unknown.
+  [[nodiscard]] CornerId corner_id(std::string_view name) const;
+
   // ---- incremental re-annotation ------------------------------------------
 
   /// Overwrites the delay distributions of the given arcs (e.g. with
-  /// estimate_eco output after a gate resize). Launch-arc deltas update the
-  /// corresponding startpoint's initial arrival. Cheap; call run_forward()
-  /// afterwards to refresh timing. Arc ids are range-checked even in
-  /// Release (out-of-range would corrupt the flat stores); full structured
-  /// validation is annotate_checked()'s job.
-  void annotate(std::span<const timing::ArcDelta> deltas);
+  /// estimate_eco output after a gate resize) in one corner, or broadcast
+  /// to every corner (the default; each corner applies its own scale set).
+  /// Launch-arc deltas update the corresponding startpoint's initial
+  /// arrival. Cheap; call run_forward() afterwards to refresh timing. Arc
+  /// and corner ids are range-checked even in Release (out-of-range would
+  /// corrupt the flat stores); full structured validation is
+  /// annotate_checked()'s job.
+  void annotate(std::span<const timing::ArcDelta> deltas,
+                CornerId corner = kAllCorners);
 
   /// Validating annotate for trust boundaries (CLI flags, JSON what-if
   /// input): runs check_deltas(), applies every clean delta, skips the
   /// erroneous ones, and returns the diagnostics. Prefer the raw
   /// annotate() inside optimization loops that generate their own deltas.
-  analysis::LintReport annotate_checked(std::span<const timing::ArcDelta> deltas);
+  analysis::LintReport annotate_checked(std::span<const timing::ArcDelta> deltas,
+                                        CornerId corner = kAllCorners);
 
   /// Validates a delta-set without applying it. Errors (rule ids
-  /// "delta-arc-range", "delta-clock-arc", "delta-bad-value") mark deltas
-  /// annotate() would reject or corrupt on; duplicates within the span are
-  /// reported as warnings ("delta-duplicate-arc") since annotate() applies
-  /// them last-wins. Reuses the analysis diagnostic types so reports can
-  /// be rendered and merged like linter output.
+  /// "delta-arc-range", "delta-clock-arc", "delta-bad-value",
+  /// "corner-unknown") mark deltas annotate() would reject or corrupt on;
+  /// duplicates within the span are reported as warnings
+  /// ("delta-duplicate-arc") since annotate() applies them last-wins.
+  /// Reuses the analysis diagnostic types so reports can be rendered and
+  /// merged like linter output.
   [[nodiscard]] analysis::LintReport check_deltas(
-      std::span<const timing::ArcDelta> deltas) const;
+      std::span<const timing::ArcDelta> deltas,
+      CornerId corner = kAllCorners) const;
 
-  /// Reads back the engine's current annotation of a data arc (used by
-  /// optimization loops to snapshot state before a tentative annotate() so
-  /// a rejected move can be rolled back exactly).
-  [[nodiscard]] timing::ArcDelta read_annotation(timing::ArcId arc) const;
+  /// Reads back the engine's current annotation of a data arc in one
+  /// corner (used by optimization loops to snapshot state before a
+  /// tentative annotate() so a rejected move can be rolled back exactly).
+  /// The returned values are corner-local, i.e. with that corner's scale
+  /// set already applied.
+  [[nodiscard]] timing::ArcDelta read_annotation(timing::ArcId arc,
+                                                 CornerId corner = 0) const;
 
   // ---- transactional editing ----------------------------------------------
 
   /// RAII speculative-edit scope: the first-class replacement for the
   /// checkpoint/annotate/restore dance. A Transaction records the raw
-  /// pre-edit stores of every arc it touches (first touch wins), so
-  /// rollback() restores delays, Top-K stores, endpoint slacks, and the
-  /// delta-maintained TNS/WNS caches to their exact pre-transaction bytes —
-  /// including launch arcs, whose startpoint fold does not round-trip
-  /// through read_annotation()/annotate() exactly.
+  /// pre-edit stores of every arc it touches in every corner (first touch
+  /// wins), so rollback() restores delays, Top-K stores, endpoint slacks,
+  /// and the delta-maintained TNS/WNS caches to their exact
+  /// pre-transaction bytes — including launch arcs, whose startpoint fold
+  /// does not round-trip through read_annotation()/annotate() exactly.
   ///
   ///   auto tx = engine.begin_edit();
-  ///   tx.annotate(deltas);
+  ///   tx.annotate(deltas);                  // broadcast to all corners
   ///   engine.run_forward_incremental();
-  ///   if (engine.summary(Mode::kSetup).tns >= floor) tx.commit();
+  ///   if (engine.merged_summary(Mode::kSetup).tns >= floor) tx.commit();
   ///   else tx.rollback();   // also implied by ~Transaction
   ///
   /// One Transaction may be active per engine at a time; mutating the
@@ -170,18 +222,21 @@ class Engine {
     /// Rolls back if neither commit() nor rollback() was called.
     ~Transaction();
 
-    /// annotate() on the parent engine, snapshotting first-touched arcs.
-    void annotate(std::span<const timing::ArcDelta> deltas);
+    /// annotate() on the parent engine, snapshotting first-touched arcs
+    /// (all corners, regardless of the targeted corner — rollback is then
+    /// correct whatever mix of targeted and broadcast edits follows).
+    void annotate(std::span<const timing::ArcDelta> deltas,
+                  CornerId corner = kAllCorners);
 
     /// Keeps the edits; the transaction becomes inactive. Timing refresh
     /// (run_forward_incremental) stays the caller's responsibility, same
     /// as after a plain annotate().
     void commit();
 
-    /// Restores every touched arc's raw delay floats, re-propagates
-    /// incrementally (bit-identical slack restoration), and restores the
-    /// aggregate caches from the begin_edit() snapshot. The engine is
-    /// timing-clean afterwards.
+    /// Restores every touched arc's raw delay floats in every corner,
+    /// re-propagates incrementally (bit-identical slack restoration), and
+    /// restores the aggregate caches from the begin_edit() snapshot. The
+    /// engine is timing-clean afterwards.
     void rollback();
 
     /// False once commit()/rollback() ran (or the transaction was moved).
@@ -191,33 +246,35 @@ class Engine {
     friend class Engine;
     explicit Transaction(Engine& engine);
 
-    /// Raw first-touch snapshot of one arc's delay storage: either a data
-    /// arc's amu_/asig_ slot or a launch arc's folded startpoint floats.
+    /// Raw first-touch snapshot of one arc's delay storage across every
+    /// corner: either a data arc's amu_/asig_ slots or a launch arc's
+    /// folded startpoint floats. mu/sig are laid out [corner*2 + rf].
     struct Undo {
       timing::ArcId arc = timing::kNullArc;
       std::int32_t slot = -1;  ///< data-arc slot; -1 for launch arcs
       std::int32_t sp = -1;    ///< startpoint id for launch arcs
       netlist::PinId sink = netlist::kNullPin;  ///< rollback frontier seed
-      std::array<float, 2> mu{};
-      std::array<float, 2> sig{};
+      std::vector<float> mu;
+      std::vector<float> sig;
     };
     void record(std::span<const timing::ArcDelta> deltas);
 
     Engine* engine_ = nullptr;
     std::vector<Undo> undo_;
-    // Aggregate-cache snapshot taken at begin_edit(); restored verbatim on
-    // rollback (the slack stores themselves restore bit-identically through
-    // the sparse pass, so the snapshot stays consistent with them).
-    double tns_ = 0.0;
-    int nviol_ = 0;
-    double ths_ = 0.0;
-    int nhold_viol_ = 0;
-    float wns_ = 0.0f;
-    bool wns_any_ = false;
-    bool wns_valid_ = true;
-    float whs_ = 0.0f;
-    bool whs_any_ = false;
-    bool whs_valid_ = true;
+    // Per-corner aggregate-cache snapshot taken at begin_edit(); restored
+    // verbatim on rollback (the slack stores themselves restore
+    // bit-identically through the sparse pass, so the snapshot stays
+    // consistent with them).
+    std::vector<double> tns_;
+    std::vector<int> nviol_;
+    std::vector<double> ths_;
+    std::vector<int> nhold_viol_;
+    std::vector<float> wns_;
+    std::vector<std::uint8_t> wns_any_;
+    std::vector<std::uint8_t> wns_valid_;
+    std::vector<float> whs_;
+    std::vector<std::uint8_t> whs_any_;
+    std::vector<std::uint8_t> whs_valid_;
   };
 
   /// Opens a Transaction. Requires clean timing (run a forward pass first)
@@ -228,22 +285,26 @@ class Engine {
   // ---- forward: Top-K statistical propagation -------------------------------
 
   /// Full-graph forward propagation: level-synchronous Top-K unique-
-  /// startpoint arrival merging, then endpoint slack evaluation.
+  /// startpoint arrival merging of every corner in one sweep, then
+  /// endpoint slack evaluation.
   void run_forward();
 
-  /// Frontier-sparse forward propagation: annotate() seeds a dirty-pin
-  /// worklist; each level re-merges only its dirty pins, and a pin whose
-  /// Top-K list is bit-identical after the re-merge does not dirty its
-  /// fanout (value-change early termination), so ECO ripples die out
-  /// instead of sweeping the whole cone. Only the endpoints actually
+  /// Frontier-sparse forward propagation: annotate() seeds a per-corner
+  /// dirty-pin worklist; each level re-merges only its dirty pins, and a
+  /// pin whose Top-K list is bit-identical after the re-merge does not
+  /// dirty its fanout (value-change early termination), so ECO ripples die
+  /// out instead of sweeping the whole cone. Only the endpoints actually
   /// reached by the frontier are re-evaluated, with TNS/WNS maintained by
-  /// delta. Results are bit-identical to run_forward(); falls back to a
-  /// full pass on the first call after initialization.
+  /// delta. Corners run back-to-back with fully independent frontier
+  /// state, so every corner's operation order — and therefore every
+  /// float — exactly matches an independent single-corner engine's.
+  /// Results are bit-identical to run_forward(); falls back to a full pass
+  /// on the first call after initialization.
   void run_forward_incremental();
 
-  /// Work accounting of the most recent forward pass (full or sparse).
-  /// Deterministic and independent of the telemetry build — used by the
-  /// equivalence tests and the Fig. 7 bench.
+  /// Work accounting of the most recent forward pass (full or sparse),
+  /// summed over corners. Deterministic and independent of the telemetry
+  /// build — used by the equivalence tests and the Fig. 7 bench.
   struct SparseStats {
     bool sparse = false;  ///< false when the pass ran (or fell back to) dense
     std::uint64_t levels_touched = 0;
@@ -256,11 +317,14 @@ class Engine {
     return last_pass_;
   }
 
-  /// True when no annotation is pending (an incremental pass would be a
-  /// no-op). Exposed for dirty-bookkeeping tests.
+  /// True when no annotation is pending in any corner (an incremental pass
+  /// would be a no-op). Exposed for dirty-bookkeeping tests.
   [[nodiscard]] bool timing_clean() const {
-    return !full_dirty_ &&
-           dirty_level_ == std::numeric_limits<std::size_t>::max();
+    if (full_dirty_) return false;
+    for (const std::size_t dl : dirty_level_) {
+      if (dl != std::numeric_limits<std::size_t>::max()) return false;
+    }
+    return true;
   }
 
   /// Monotonic count of completed forward passes (full or sparse). Two
@@ -271,63 +335,78 @@ class Engine {
 
   // ---- evaluation results ---------------------------------------------------
 
-  /// Aggregate slack metrics of one analysis mode — the primary reporting
-  /// accessor. Mode::kHold requires EngineOptions::enable_hold.
-  [[nodiscard]] SlackSummary summary(Mode mode) const;
+  /// Aggregate slack metrics of one analysis mode in one corner — the
+  /// primary reporting accessor. The corner is an explicit parameter (the
+  /// MCMM API migration point); use merged_summary() for the cross-corner
+  /// worst-case view. Mode::kHold requires EngineOptions::enable_hold.
+  [[nodiscard]] SlackSummary summary(Mode mode, CornerId corner) const;
 
-  /// Slack of one endpoint, ps (+infinity if unconstrained).
-  [[nodiscard]] float endpoint_slack(timing::EndpointId ep) const {
-    return slack_[static_cast<std::size_t>(ep)];
+  /// Cross-corner merged metrics: per endpoint, the worst slack over every
+  /// corner; TNS/WNS/violations over those merged slacks. With one corner
+  /// this is exactly summary(mode, 0). Computed by a deterministic
+  /// endpoint-major scan and cached per generation.
+  [[nodiscard]] SlackSummary merged_summary(Mode mode) const;
+
+  /// Slack of one endpoint in one corner, ps (+infinity if unconstrained).
+  [[nodiscard]] float endpoint_slack(timing::EndpointId ep,
+                                     CornerId corner = 0) const {
+    return slack_[ep_off(corner) + static_cast<std::size_t>(ep)];
   }
 
-  /// All endpoint slacks, indexed by endpoint id.
-  [[nodiscard]] std::span<const float> endpoint_slacks() const { return slack_; }
+  /// One corner's endpoint slacks, indexed by endpoint id.
+  [[nodiscard]] std::span<const float> endpoint_slacks(
+      CornerId corner = 0) const {
+    return {slack_.data() + ep_off(corner), ep_pin_.size()};
+  }
 
-  // Single-field aggregate reads. summary(Mode) is the preferred reporting
-  // call; these remain for hot loops that want one field without settling
-  // the lazy WNS cache.
+  // Single-field per-corner aggregate reads. summary(Mode, CornerId) is the
+  // preferred reporting call; these remain for hot loops that want one
+  // field without settling the lazy WNS cache. The corner defaults to 0
+  // (the first configured corner) for single-corner callers.
 
-  /// Total negative slack, ps.
-  [[nodiscard]] double tns() const;
+  /// Total negative slack of one corner, ps.
+  [[nodiscard]] double tns(CornerId corner = 0) const;
 
-  /// Worst negative slack, ps (0 if no endpoint violates).
-  [[nodiscard]] double wns() const;
+  /// Worst negative slack of one corner, ps (0 if no endpoint violates).
+  [[nodiscard]] double wns(CornerId corner = 0) const;
 
-  /// Number of endpoints with negative slack.
-  [[nodiscard]] int num_violations() const;
+  /// Number of endpoints with negative slack in one corner.
+  [[nodiscard]] int num_violations(CornerId corner = 0) const;
 
   // ---- hold (min-mode) results; valid when options.enable_hold -------------
 
-  /// Hold slack of one endpoint, ps (+infinity if unconstrained).
-  [[nodiscard]] float endpoint_hold_slack(timing::EndpointId ep) const {
-    return hold_slack_[static_cast<std::size_t>(ep)];
+  /// Hold slack of one endpoint in one corner, ps (+infinity if
+  /// unconstrained).
+  [[nodiscard]] float endpoint_hold_slack(timing::EndpointId ep,
+                                          CornerId corner = 0) const {
+    return hold_slack_[ep_off(corner) + static_cast<std::size_t>(ep)];
   }
 
-  /// Total negative hold slack, ps.
-  [[nodiscard]] double ths() const;
+  /// Total negative hold slack of one corner, ps.
+  [[nodiscard]] double ths(CornerId corner = 0) const;
 
-  /// Worst hold slack, ps (0 if nothing violates).
-  [[nodiscard]] double whs() const;
+  /// Worst hold slack of one corner, ps (0 if nothing violates).
+  [[nodiscard]] double whs(CornerId corner = 0) const;
 
-  /// Number of endpoints with negative hold slack.
-  [[nodiscard]] int num_hold_violations() const;
+  /// Number of endpoints with negative hold slack in one corner.
+  [[nodiscard]] int num_hold_violations(CornerId corner = 0) const;
 
   // ---- backward: timing gradients -------------------------------------------
 
-  /// Backpropagates the chosen metric from the endpoints to every arc,
-  /// assigning each candidate path the softmax weight of Eq. 6. After the
-  /// call, arc_gradient(a) holds d(-metric)/d(mu_a) >= 0: the arc's
-  /// criticality, i.e. how much one ps of added delay on the arc would
-  /// degrade TNS (or WNS).
+  /// Backpropagates the chosen metric from the endpoints to every arc in
+  /// every corner, assigning each candidate path the softmax weight of
+  /// Eq. 6. After the call, arc_gradient(a, c) holds d(-metric_c)/d(mu_a)
+  /// >= 0: the arc's criticality in corner c, i.e. how much one ps of
+  /// added delay on the arc would degrade that corner's TNS (or WNS).
   void run_backward(GradientMetric metric = GradientMetric::kTns);
 
-  /// Work accounting of the most recent run_backward. The Eq. 6 softmax
-  /// weights (phase 1, the exp-dominated cost of the pass) depend only on
-  /// parent top-1 arrivals and arc delays, so after an incremental forward
-  /// pass only the frontier pins' weights can have changed: the backward
-  /// pass reuses the frontier-sparse machinery and recomputes weights for
-  /// exactly those pins, skipping clean cones. Deterministic and
-  /// independent of the telemetry build.
+  /// Work accounting of the most recent run_backward, summed over corners.
+  /// The Eq. 6 softmax weights (phase 1, the exp-dominated cost of the
+  /// pass) depend only on parent top-1 arrivals and arc delays, so after
+  /// an incremental forward pass only the frontier pins' weights can have
+  /// changed: the backward pass reuses the frontier-sparse machinery and
+  /// recomputes weights for exactly those pins, skipping clean cones.
+  /// Deterministic and independent of the telemetry build.
   struct BackwardStats {
     bool weights_reused = false;  ///< true when the sparse reuse path ran
     std::uint64_t weight_pins_recomputed = 0;
@@ -337,17 +416,24 @@ class Engine {
     return last_backward_;
   }
 
-  /// Gradient of one arc from the last run_backward (graph arc id).
-  [[nodiscard]] float arc_gradient(timing::ArcId arc) const {
-    return arc_grad_[static_cast<std::size_t>(arc)];
+  /// Gradient of one arc in one corner from the last run_backward (graph
+  /// arc id).
+  [[nodiscard]] float arc_gradient(timing::ArcId arc,
+                                   CornerId corner = 0) const {
+    return arc_grad_[arc_off(corner) + static_cast<std::size_t>(arc)];
   }
 
-  /// All arc gradients, indexed by graph arc id.
-  [[nodiscard]] std::span<const float> arc_gradients() const { return arc_grad_; }
+  /// One corner's arc gradients, indexed by graph arc id.
+  [[nodiscard]] std::span<const float> arc_gradients(
+      CornerId corner = 0) const {
+    return {arc_grad_.data() + arc_off(corner), graph_->num_arcs()};
+  }
 
-  /// Stage gradient of a cell: the sum of its cell-arc gradients and its
-  /// driving net-arc gradients (Section III-H's sizing stage metric).
-  [[nodiscard]] float stage_gradient(netlist::CellId cell) const;
+  /// Stage gradient of a cell in one corner: the sum of its cell-arc
+  /// gradients and its driving net-arc gradients (Section III-H's sizing
+  /// stage metric).
+  [[nodiscard]] float stage_gradient(netlist::CellId cell,
+                                     CornerId corner = 0) const;
 
   // ---- introspection ---------------------------------------------------------
 
@@ -359,13 +445,16 @@ class Engine {
     std::int32_t sp = -1;
   };
 
-  /// Current Top-K arrivals at a pin/transition, descending by arrival.
+  /// Current Top-K arrivals at a pin/transition in one corner, descending
+  /// by arrival.
   [[nodiscard]] std::vector<TopKEntry> arrivals(netlist::PinId pin,
-                                                netlist::RiseFall rf) const;
+                                                netlist::RiseFall rf,
+                                                CornerId corner = 0) const;
 
-  /// The worst arrival corner at a pin over both transitions (-infinity if
-  /// nothing arrives).
-  [[nodiscard]] float worst_arrival(netlist::PinId pin) const;
+  /// The worst arrival corner-value at a pin over both transitions in one
+  /// analysis corner (-infinity if nothing arrives).
+  [[nodiscard]] float worst_arrival(netlist::PinId pin,
+                                    CornerId corner = 0) const;
 
   /// Bytes held by the engine's flat arrays (the Table I memory column).
   [[nodiscard]] std::size_t memory_bytes() const;
@@ -383,6 +472,17 @@ class Engine {
   void clone_structure(const ref::GoldenSta& reference);
   void clone_delays(const ref::GoldenSta& reference);
   void clone_sp_ep_attributes(const ref::GoldenSta& reference);
+
+  /// Corner-scale application with a byte-exact passthrough at 1.0f: the
+  /// default corner must reproduce the pre-MCMM engine (and corner c of a
+  /// multi-corner engine must reproduce an independent single-corner
+  /// engine) bit for bit, so the no-scaling path performs the exact same
+  /// double->float conversion as before, with no multiply.
+  [[nodiscard]] static float scaled(double v, float scale) {
+    const float f = static_cast<float>(v);
+    return scale == 1.0f ? f : f * scale;
+  }
+
   /// Per-chunk instrumentation accumulator: plain integers bumped inline in
   /// the merge kernels, flushed to the metrics registry once per chunk.
   struct ForwardCounters {
@@ -392,13 +492,25 @@ class Engine {
     std::uint64_t prunes = 0;  ///< inserts rejected by the full-list filter
   };
 
-  /// Value-access adapter of the shared kernels below, reading the engine's
-  /// live stores. ScenarioBatch supplies an overlay-first twin with the
-  /// same interface; the kernels' instruction sequences are identical under
-  /// both, which is what makes scenario results bit-identical to sequential
-  /// passes.
+  /// Value-access adapter of the shared kernels below, reading one
+  /// corner's plane of the engine's live stores. ScenarioBatch supplies an
+  /// overlay-first twin with the same interface; the kernels' instruction
+  /// sequences are identical under both, which is what makes scenario
+  /// results bit-identical to sequential passes. The corner offsets are
+  /// resolved once at construction so the hot-loop reads stay one indexed
+  /// load each.
   struct LiveValues {
     const Engine& e;
+    std::size_t tkoff;    ///< corner offset into the Top-K entry planes
+    std::size_t cntoff;   ///< corner offset into the count planes
+    std::size_t slotoff;  ///< corner offset into amu_/asig_
+    std::size_t spoff;    ///< corner offset into sp_mu_/sp_sig_
+    LiveValues(const Engine& eng, CornerId corner)
+        : e(eng),
+          tkoff(eng.tk_off(corner)),
+          cntoff(eng.cnt_off(corner)),
+          slotoff(eng.slot_off(corner)),
+          spoff(eng.sp_off(corner)) {}
     [[nodiscard]] TopKConstView parent(std::size_t pin, int rf,
                                        bool early) const {
       const auto& arr = early ? e.tk2_arr_ : e.tk_arr_;
@@ -407,20 +519,22 @@ class Engine {
       const auto& sp = early ? e.tk2_sp_ : e.tk_sp_;
       const auto& cnt = early ? e.tk2_cnt_ : e.tk_cnt_;
       const std::size_t ci = e.cnt_index(static_cast<netlist::PinId>(pin), rf);
-      const std::size_t base = ci * e.tk_stride_;
-      return {&arr[base], &mu[base], &sig[base], &sp[base], cnt[ci]};
+      const std::size_t base = tkoff + ci * e.tk_stride_;
+      return {&arr[base], &mu[base], &sig[base], &sp[base], cnt[cntoff + ci]};
     }
     [[nodiscard]] float arc_mu(std::size_t slot, int rf) const {
-      return e.amu_[static_cast<std::size_t>(rf)][slot];
+      return e.amu_[static_cast<std::size_t>(rf)][slotoff + slot];
     }
     [[nodiscard]] float arc_sig(std::size_t slot, int rf) const {
-      return e.asig_[static_cast<std::size_t>(rf)][slot];
+      return e.asig_[static_cast<std::size_t>(rf)][slotoff + slot];
     }
     [[nodiscard]] float sp_mu(std::int32_t sp, int rf) const {
-      return e.sp_mu_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(sp)];
+      return e.sp_mu_[static_cast<std::size_t>(rf)]
+                     [spoff + static_cast<std::size_t>(sp)];
     }
     [[nodiscard]] float sp_sig(std::int32_t sp, int rf) const {
-      return e.sp_sig_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(sp)];
+      return e.sp_sig_[static_cast<std::size_t>(rf)]
+                      [spoff + static_cast<std::size_t>(sp)];
     }
   };
 
@@ -436,36 +550,42 @@ class Engine {
   };
 
   void forward_from(std::size_t first_level);
-  /// The sparse worklist pass behind run_forward_incremental().
+  /// The sparse worklist pass behind run_forward_incremental(): corners run
+  /// back-to-back, each over its own frontier state.
   void run_forward_sparse();
-  /// Re-merges one pin of both modes into thread-local scratch and commits
-  /// the result only when it differs bitwise from the live store. Returns
-  /// true when anything changed (the pin's fanout must be dirtied).
-  bool reprocess_pin_sparse(netlist::PinId pin, ForwardCounters& fc);
-  /// Queues `pin` (at graph level `lvl`) on the dirty frontier.
-  void mark_dirty(netlist::PinId pin, int lvl);
-  /// Rebuilds the TNS/WNS/violation caches from slack_ / hold_slack_.
+  void run_forward_sparse_corner(CornerId corner);
+  /// Re-merges one pin of both modes in one corner into thread-local
+  /// scratch and commits the result only when it differs bitwise from the
+  /// live store. Returns true when anything changed (the pin's fanout must
+  /// be dirtied in that corner).
+  bool reprocess_pin_sparse(netlist::PinId pin, CornerId corner,
+                            ForwardCounters& fc);
+  /// Queues `pin` (at graph level `lvl`) on one corner's dirty frontier.
+  void mark_dirty(netlist::PinId pin, int lvl, CornerId corner);
+  /// Rebuilds every corner's TNS/WNS/violation caches from slack_ /
+  /// hold_slack_.
   void recompute_aggregates();
-  /// Folds one endpoint's setup-slack change into the delta-maintained
-  /// aggregates (and similarly for hold).
-  void apply_setup_delta(float oldv, float newv);
-  void apply_hold_delta(float oldv, float newv);
-  void process_pin(netlist::PinId pin, ForwardCounters& fc);
-  void process_pin_early(netlist::PinId pin, ForwardCounters& fc);
-  /// The Algorithm 1+2 merge kernel of one pin/transition into `dst`
-  /// (either the live store or sparse scratch). kEarly selects the
+  /// Folds one endpoint's setup-slack change into one corner's
+  /// delta-maintained aggregates (and similarly for hold).
+  void apply_setup_delta(CornerId corner, float oldv, float newv);
+  void apply_hold_delta(CornerId corner, float oldv, float newv);
+  void process_pin(netlist::PinId pin, CornerId corner, ForwardCounters& fc);
+  void process_pin_early(netlist::PinId pin, CornerId corner,
+                         ForwardCounters& fc);
+  /// The Algorithm 1+2 merge kernel of one pin/transition/corner into
+  /// `dst` (either the live store or sparse scratch). kEarly selects the
   /// min-mode (negated-corner) stores. Thin wrapper over merge_pin_values
   /// with LiveValues.
   template <bool kEarly>
-  void merge_pin_rf(netlist::PinId pin, int rf, const TopKView& dst,
-                    ForwardCounters& fc);
+  void merge_pin_rf(netlist::PinId pin, int rf, CornerId corner,
+                    const TopKView& dst, ForwardCounters& fc);
   /// Value-parameterized Algorithm 1+2 merge; defined below the class.
   template <bool kEarly, typename Values>
   void merge_pin_values(const Values& vals, netlist::PinId pin, int rf,
                         const TopKView& dst, ForwardCounters& fc) const;
   /// Returns the number of CPPR credit lookups performed.
-  std::uint64_t evaluate_endpoint(timing::EndpointId ep);
-  std::uint64_t evaluate_endpoint_hold(timing::EndpointId ep);
+  std::uint64_t evaluate_endpoint(timing::EndpointId ep, CornerId corner);
+  std::uint64_t evaluate_endpoint_hold(timing::EndpointId ep, CornerId corner);
   /// Value-parameterized endpoint evaluations; defined below the class.
   template <typename Values>
   [[nodiscard]] SetupEval evaluate_endpoint_values(const Values& vals,
@@ -474,28 +594,58 @@ class Engine {
   [[nodiscard]] HoldEval evaluate_endpoint_hold_values(
       const Values& vals, timing::EndpointId ep) const;
   [[nodiscard]] float credit(std::int32_t sp_node, std::int32_t ep_node) const;
-  /// Index into the count arrays (tk_cnt_/tk2_cnt_): Top-K stores are laid
-  /// out in level order (tk_pos_ is the pin's position in level_pins_, with
-  /// unleveled pins appended after), so the pins of one level occupy one
-  /// contiguous run of every plane — the level-contiguous SoA layout the
-  /// vector kernels stream through.
+  /// Index into one corner's count plane (tk_cnt_/tk2_cnt_): Top-K stores
+  /// are laid out in level order (tk_pos_ is the pin's position in
+  /// level_pins_, with unleveled pins appended after), so the pins of one
+  /// level occupy one contiguous run of every plane — the level-contiguous
+  /// SoA layout the vector kernels stream through.
   [[nodiscard]] std::size_t cnt_index(netlist::PinId pin, int rf) const {
     return static_cast<std::size_t>(
                tk_pos_[static_cast<std::size_t>(pin)]) *
                2 +
            static_cast<std::size_t>(rf);
   }
-  /// First slot of a pin/transition's Top-K entries in the SoA planes.
-  /// Entries are padded to tk_stride_ (top_k rounded up to 8) so every
-  /// entry run starts on a vector-lane boundary; the pad slots are never
-  /// read (tail groups are count-mask-loaded).
+  /// First slot of a pin/transition's Top-K entries within one corner's
+  /// plane. Entries are padded to tk_stride_ (top_k rounded up to 8) so
+  /// every entry run starts on a vector-lane boundary; the pad slots are
+  /// never read (tail groups are count-mask-loaded).
   [[nodiscard]] std::size_t entry_base(netlist::PinId pin, int rf) const {
     return cnt_index(pin, rf) * tk_stride_;
+  }
+
+  // Corner-major plane offsets. Every per-value store is C consecutive
+  // single-corner planes; plane c of any array is byte-compatible with the
+  // whole array of a single-corner engine.
+  [[nodiscard]] std::size_t tk_off(CornerId c) const {
+    return static_cast<std::size_t>(c) * corner_stride_;
+  }
+  [[nodiscard]] std::size_t cnt_off(CornerId c) const {
+    return static_cast<std::size_t>(c) * num_pins_ * 2;
+  }
+  [[nodiscard]] std::size_t slot_off(CornerId c) const {
+    return static_cast<std::size_t>(c) * num_slots_;
+  }
+  [[nodiscard]] std::size_t sp_off(CornerId c) const {
+    return static_cast<std::size_t>(c) * num_sps_;
+  }
+  [[nodiscard]] std::size_t ep_off(CornerId c) const {
+    return static_cast<std::size_t>(c) * ep_pin_.size();
+  }
+  [[nodiscard]] std::size_t arc_off(CornerId c) const {
+    return static_cast<std::size_t>(c) * graph_->num_arcs();
+  }
+  [[nodiscard]] std::size_t pin_off(CornerId c) const {
+    return static_cast<std::size_t>(c) * num_pins_;
   }
 
   const timing::TimingGraph* graph_;
   EngineOptions options_;
   float nsigma_ = 3.0f;
+
+  /// Resolved corner list (never empty; [0] is the implicit default corner
+  /// when the options named none) and its size.
+  std::vector<CornerSpec> corners_;
+  std::size_t C_ = 1;
 
   /// Resolved kernel dispatch (util::simd::resolve on options_.simd): true
   /// selects the AVX2 flavors for every merge/backward kernel call.
@@ -505,18 +655,21 @@ class Engine {
   bool fast_math_ = false;
 
   std::size_t num_pins_ = 0;
+  std::size_t num_slots_ = 0;  ///< fanin slots (fi_from_.size())
+  std::size_t num_sps_ = 0;    ///< startpoints
 
-  // Levelized structure (cloned).
+  // Levelized structure (cloned; corner-independent).
   std::vector<std::int32_t> level_start_;
   std::vector<netlist::PinId> level_pins_;
 
-  // Fanin CSR over data arcs; `slot` indexes all per-arc-instance arrays.
+  // Fanin CSR over data arcs; `slot` indexes all per-arc-instance arrays
+  // within one corner plane.
   std::vector<std::int32_t> fi_start_;      // per pin, size P+1
   std::vector<netlist::PinId> fi_from_;     // per slot
   std::vector<std::uint8_t> fi_neg_;        // per slot: 1 if negative sense
   std::vector<timing::ArcId> fi_arc_;       // per slot: graph arc id
-  std::array<std::vector<float>, 2> amu_;   // per slot, [rf]
-  std::array<std::vector<float>, 2> asig_;  // per slot, [rf]
+  std::array<std::vector<float>, 2> amu_;   // per corner*slot, [rf]
+  std::array<std::vector<float>, 2> asig_;  // per corner*slot, [rf]
   std::vector<std::int32_t> slot_of_arc_;   // per graph arc, -1 if none
 
   // Fanout CSR referencing the same slots (for the backward pull).
@@ -524,40 +677,46 @@ class Engine {
   std::vector<std::int32_t> fo_slot_;    // per entry: fanin slot id
   std::vector<netlist::PinId> fo_to_;    // per entry: child pin
 
-  // Startpoints.
+  // Startpoints. The init arrays are per-corner (each corner scales the
+  // launch portion); the clock attributes are shared.
   std::vector<std::int32_t> sp_of_pin_;      // per pin, -1 if none
-  std::array<std::vector<float>, 2> sp_mu_;  // init arrival mean per sp
-  std::array<std::vector<float>, 2> sp_sig_; // init arrival sigma per sp
+  std::array<std::vector<float>, 2> sp_mu_;  // init arrival mean, corner*sp
+  std::array<std::vector<float>, 2> sp_sig_; // init arrival sigma, corner*sp
   std::vector<float> sp_ck_mu_;              // clock arrival mean (clocked SPs)
   std::vector<float> sp_ck_sig2_;            // clock arrival variance
   std::vector<std::int32_t> sp_node_;        // clock-tree node, -1 for PIs
   std::vector<std::int32_t> launch_sp_of_arc_;  // per graph arc, -1 default
 
-  // Endpoints.
+  // Endpoints. Required-time attributes are shared across corners; the
+  // slack results are per-corner planes.
   std::vector<netlist::PinId> ep_pin_;
   std::vector<float> ep_base_req_;
   std::vector<float> ep_period_;  ///< capture domain period per endpoint
   std::vector<std::int32_t> ep_node_;     // capture clock-tree node, -1 at POs
-  std::vector<float> slack_;
-  std::vector<std::uint8_t> ep_worst_rf_;
+  std::vector<float> slack_;              // per corner*endpoint
+  std::vector<std::uint8_t> ep_worst_rf_; // per corner*endpoint
   timing::ExceptionTable exceptions_;
 
-  // Clock-tree CPPR tables (cloned).
+  // Clock-tree CPPR tables (cloned; shared across corners).
   std::vector<std::int32_t> ck_parent_;
   std::vector<std::int32_t> ck_depth_;
   std::vector<float> ck_sig2_;
 
-  // Top-K stores: level-contiguous SoA planes. A pin/transition's entries
-  // live at [entry_base(pin, rf), +count) with capacity top_k inside a
-  // tk_stride_-sized run; runs are ordered by tk_pos_ (level order), so a
-  // level's stores are one contiguous streamable block per plane.
+  // Top-K stores: corner-major, level-contiguous SoA planes. A corner owns
+  // one contiguous plane of corner_stride_ floats per array; within it, a
+  // pin/transition's entries live at [entry_base(pin, rf), +count) with
+  // capacity top_k inside a tk_stride_-sized run, runs ordered by tk_pos_
+  // (level order) — so a (corner, level) pair's stores are one contiguous
+  // streamable block per plane and the PR 8 kernels run unchanged off a
+  // corner-offset base pointer.
   std::vector<std::int32_t> tk_pos_;  // per pin: position in level order
   std::size_t tk_stride_ = 0;         // top_k rounded up to 8 (lane width)
+  std::size_t corner_stride_ = 0;     // num_pins * 2 * tk_stride_
   std::vector<float> tk_arr_;
   std::vector<float> tk_mu_;
   std::vector<float> tk_sig_;
   std::vector<std::int32_t> tk_sp_;
-  std::vector<std::int32_t> tk_cnt_;  // per cnt_index (position*2 + rf)
+  std::vector<std::int32_t> tk_cnt_;  // per corner*(position*2 + rf)
 
   // Early (min-mode) Top-K stores; tk2_arr_ holds *negated* early corners
   // so the same descending-list kernel keeps the smallest arrivals.
@@ -567,21 +726,31 @@ class Engine {
   std::vector<std::int32_t> tk2_sp_;
   std::vector<std::int32_t> tk2_cnt_;
   std::vector<float> ep_hold_base_;  ///< late capture clock + hold, per ep
-  std::vector<float> hold_slack_;
+  std::vector<float> hold_slack_;    ///< per corner*endpoint
 
-  // ---- frontier-sparse incremental state -----------------------------------
+  // ---- frontier-sparse incremental state (all per-corner) -------------------
+  //
+  // Fully independent per-corner frontier state is a correctness decision,
+  // not a convenience: folding corners into one shared worklist would
+  // interleave each corner's dirty-endpoint order with the others', and
+  // the double-precision TNS delta folds are order-sensitive — the merged
+  // engine would drift from C independent engines in the last bit. With
+  // per-corner state walked corner-by-corner, every corner replays exactly
+  // the operation sequence of its independent twin.
 
-  /// Shallowest level with a queued dirty pin (SIZE_MAX when clean).
-  std::size_t dirty_level_ = std::numeric_limits<std::size_t>::max();
+  /// Per corner: shallowest level with a queued dirty pin (SIZE_MAX clean).
+  std::vector<std::size_t> dirty_level_;
   /// True until the first full forward pass: every pin is implicitly dirty
   /// and run_forward_incremental() falls back to the dense sweep.
   bool full_dirty_ = true;
   std::vector<std::int32_t> ep_of_pin_;  ///< per pin: endpoint id or -1
-  std::vector<std::uint8_t> dirty_pin_;  ///< per pin: queued on the frontier
-  /// Per-level compact worklists of dirty pins. Vectors keep their capacity
-  /// across passes, so steady-state sparse passes allocate nothing.
+  std::vector<std::uint8_t> dirty_pin_;  ///< per corner*pin: queued flag
+  /// Per-(corner, level) compact worklists of dirty pins, indexed
+  /// corner*num_levels + level. Vectors keep their capacity across passes,
+  /// so steady-state sparse passes allocate nothing.
   std::vector<std::vector<netlist::PinId>> frontier_;
-  std::vector<timing::EndpointId> dirty_eps_;   ///< endpoints to re-evaluate
+  /// Per corner: endpoints to re-evaluate this pass.
+  std::vector<std::vector<timing::EndpointId>> dirty_eps_;
   std::vector<std::uint8_t> changed_flags_;     ///< per frontier slot scratch
   std::vector<float> old_slack_scratch_;        ///< pre-eval setup slacks
   std::vector<float> old_hold_scratch_;         ///< pre-eval hold slacks
@@ -594,46 +763,58 @@ class Engine {
   /// Completed forward passes (see generation()).
   std::uint64_t generation_ = 0;
 
-  // Delta-maintained global metrics (exactly rebuilt by every full pass).
-  double tns_cache_ = 0.0;
-  int nviol_cache_ = 0;
-  double ths_cache_ = 0.0;
-  int nhold_viol_cache_ = 0;
-  /// wns/whs caches are lazily rebuilt when the endpoint holding the
-  /// minimum may have improved (wns_valid_ == false).
-  mutable float wns_cache_ = 0.0f;
-  mutable bool wns_any_ = false;
-  mutable bool wns_valid_ = true;
-  mutable float whs_cache_ = 0.0f;
-  mutable bool whs_any_ = false;
-  mutable bool whs_valid_ = true;
+  // Per-corner delta-maintained global metrics (exactly rebuilt by every
+  // full pass).
+  std::vector<double> tns_cache_;
+  std::vector<int> nviol_cache_;
+  std::vector<double> ths_cache_;
+  std::vector<int> nhold_viol_cache_;
+  /// wns/whs caches are lazily rebuilt per corner when the endpoint holding
+  /// the minimum may have improved (wns_valid_[c] == 0).
+  mutable std::vector<float> wns_cache_;
+  mutable std::vector<std::uint8_t> wns_any_;
+  mutable std::vector<std::uint8_t> wns_valid_;
+  mutable std::vector<float> whs_cache_;
+  mutable std::vector<std::uint8_t> whs_any_;
+  mutable std::vector<std::uint8_t> whs_valid_;
 
-  // Backward state.
-  std::array<std::vector<float>, 2> w_;  // per slot, [rf]: Eq. 6 weights
-  std::vector<float> pin_grad_;          // per pin*2
-  std::vector<float> slot_grad_;         // per slot
-  std::vector<float> arc_grad_;          // per graph arc
+  /// Generation-stamped merged_summary() caches (recomputed on demand by an
+  /// endpoint-major scan; never delta-maintained, so they cannot drift).
+  mutable SlackSummary merged_setup_cache_;
+  mutable SlackSummary merged_hold_cache_;
+  mutable std::uint64_t merged_setup_gen_ =
+      std::numeric_limits<std::uint64_t>::max();
+  mutable std::uint64_t merged_hold_gen_ =
+      std::numeric_limits<std::uint64_t>::max();
+
+  // Backward state (per-corner planes over the single-corner layouts).
+  std::array<std::vector<float>, 2> w_;  // per corner*slot, [rf]: Eq. 6 weights
+  std::vector<float> pin_grad_;          // per corner*pin*2
+  std::vector<float> slot_grad_;         // per corner*slot
+  std::vector<float> arc_grad_;          // per corner*graph arc
   /// Per-slot parent count index (tk_pos_[from]*2 + prf), the gather table
-  /// of the backward candidate kernel. Structure-only; built once.
+  /// of the backward candidate kernel. Structure-only and corner-relative
+  /// (the kernel's base pointers carry the corner offset); built once.
   std::array<std::vector<std::int32_t>, 2> slot_ci_;
-  /// Per-slot LSE candidate scratch of backward phase 1.
+  /// Per-corner*slot LSE candidate scratch of backward phase 1.
   std::array<std::vector<float>, 2> bw_cand_;
   /// Weight-reuse tracking: false until the first backward pass (or after
   /// any dense forward), meaning every pin's weights must be recomputed.
   /// While true, w_stale_/w_stale_pins_ name exactly the pins whose weight
-  /// inputs may have changed (the sparse-forward frontier).
+  /// inputs may have changed (each corner's sparse-forward frontier).
   bool w_tracking_ = false;
-  std::vector<std::uint8_t> w_stale_;        // per pin
-  std::vector<netlist::PinId> w_stale_pins_;
+  std::vector<std::uint8_t> w_stale_;                   // per corner*pin
+  std::vector<std::vector<netlist::PinId>> w_stale_pins_;  // per corner
   BackwardStats last_backward_;
 
-  /// Recomputes the Eq. 6 weights of one pin (both transitions) from the
-  /// bw_cand_ scratch, writing w_[rf][fs, fe). Default mode: scalar libm
-  /// exp + sequential denominator (bit-identical across kernel flavors);
-  /// fast_math_ mode: vectorized exp + reassociated sums.
-  void compute_weights_pin(std::size_t p, float tau);
-  /// Marks one pin's weights stale (no-op unless tracking).
-  void mark_weights_stale(netlist::PinId pin);
+  /// Recomputes the Eq. 6 weights of one pin (both transitions) in one
+  /// corner from the bw_cand_ scratch, writing w_[rf][slot_off(c)+fs, +fe).
+  /// Default mode: scalar libm exp + sequential denominator (bit-identical
+  /// across kernel flavors); fast_math_ mode: vectorized exp +
+  /// reassociated sums.
+  void compute_weights_pin(std::size_t p, float tau, CornerId corner);
+  /// Marks one pin's weights stale in one corner (no-op unless tracking).
+  void mark_weights_stale(netlist::PinId pin, CornerId corner);
   /// Invalidates all weight reuse (dense pass, structural uncertainty).
   void invalidate_weights();
 };
@@ -642,9 +823,10 @@ class Engine {
 //
 // The dense pass, the frontier-sparse pass, and ScenarioBatch's copy-on-write
 // overlays all execute these exact instruction sequences; only the Values
-// adapter differs (live stores vs overlay-first reads). A single body is what
-// turns "scenario results are bit-identical to sequential passes" from a
-// testing aspiration into a structural property.
+// adapter differs (live stores vs overlay-first reads, and which corner's
+// plane the adapter is bound to). A single body is what turns "scenario and
+// multi-corner results are bit-identical to sequential single-corner passes"
+// from a testing aspiration into a structural property.
 
 /// The Algorithm 1+2 merge of one pin/transition, writing into `dst` —
 /// the pin's live Top-K slice (dense pass), thread-local scratch (sparse

@@ -104,6 +104,11 @@ struct ScenarioBatch::Workspace {
   std::vector<float> new_setup, new_hold;
   std::vector<std::int32_t> ep_ov;  // per endpoint, -1 = baseline slack
 
+  // Cross-corner merged endpoint slacks (multi-corner engines only):
+  // running per-endpoint minimum folded corner by corner, scanned once at
+  // the end in the same endpoint-major order as Engine::merged_summary.
+  std::vector<float> merged_setup, merged_hold;
+
   void init(const Engine& e) {
     k = e.options_.top_k;
     hold = e.options_.enable_hold;
@@ -111,8 +116,10 @@ struct ScenarioBatch::Workspace {
     pin_ov.assign(e.num_pins_, -1);
     dirty.assign(e.num_pins_, 0);
     frontier.resize(e.level_start_.size() - 1);
-    slot_ov.assign(e.amu_[0].size(), -1);
-    sp_ov.assign(e.sp_mu_[0].size(), -1);
+    // Overlay maps are corner-relative (one scenario corner in flight at a
+    // time), so they size to the single-corner plane, not the C× stores.
+    slot_ov.assign(e.num_slots_, -1);
+    sp_ov.assign(e.num_sps_, -1);
     ep_ov.assign(e.ep_pin_.size(), -1);
   }
 
@@ -188,12 +195,25 @@ struct ScenarioBatch::Workspace {
 
 /// Overlay-first Values adapter of the engine's shared kernels: every read
 /// checks the workspace's copy-on-write maps before falling back to the
-/// parent's baseline arrays. The fallback expressions match Engine::
-/// LiveValues exactly, so a scenario and a sequential pass execute the same
+/// parent's baseline arrays. The adapter is bound to one corner; its
+/// fallback expressions match Engine::LiveValues (corner offsets included)
+/// exactly, so a scenario and a sequential pass execute the same
 /// instruction stream over the same bytes.
 struct ScenarioBatch::OverlayValues {
   const Engine& e;
   const Workspace& w;
+  std::size_t tkoff;    ///< corner offset into the Top-K entry planes
+  std::size_t cntoff;   ///< corner offset into the count planes
+  std::size_t slotoff;  ///< corner offset into amu_/asig_
+  std::size_t spoff;    ///< corner offset into sp_mu_/sp_sig_
+
+  OverlayValues(const Engine& eng, const Workspace& ws, CornerId corner)
+      : e(eng),
+        w(ws),
+        tkoff(eng.tk_off(corner)),
+        cntoff(eng.cnt_off(corner)),
+        slotoff(eng.slot_off(corner)),
+        spoff(eng.sp_off(corner)) {}
 
   [[nodiscard]] TopKConstView parent(std::size_t pin, int rf,
                                      bool early) const {
@@ -215,8 +235,8 @@ struct ScenarioBatch::OverlayValues {
     const auto& sp = early ? e.tk2_sp_ : e.tk_sp_;
     const auto& cnt = early ? e.tk2_cnt_ : e.tk_cnt_;
     const std::size_t ci = e.cnt_index(static_cast<PinId>(pin), rf);
-    const std::size_t base = ci * e.tk_stride_;
-    return {&arr[base], &mu[base], &sig[base], &sp[base], cnt[ci]};
+    const std::size_t base = tkoff + ci * e.tk_stride_;
+    return {&arr[base], &mu[base], &sig[base], &sp[base], cnt[cntoff + ci]};
   }
   [[nodiscard]] float arc_mu(std::size_t slot, int rf) const {
     const std::int32_t idx = w.slot_ov[slot];
@@ -224,7 +244,7 @@ struct ScenarioBatch::OverlayValues {
       return w.ov_amu[static_cast<std::size_t>(idx) * 2 +
                       static_cast<std::size_t>(rf)];
     }
-    return e.amu_[static_cast<std::size_t>(rf)][slot];
+    return e.amu_[static_cast<std::size_t>(rf)][slotoff + slot];
   }
   [[nodiscard]] float arc_sig(std::size_t slot, int rf) const {
     const std::int32_t idx = w.slot_ov[slot];
@@ -232,7 +252,7 @@ struct ScenarioBatch::OverlayValues {
       return w.ov_asig[static_cast<std::size_t>(idx) * 2 +
                        static_cast<std::size_t>(rf)];
     }
-    return e.asig_[static_cast<std::size_t>(rf)][slot];
+    return e.asig_[static_cast<std::size_t>(rf)][slotoff + slot];
   }
   [[nodiscard]] float sp_mu(std::int32_t sp, int rf) const {
     const std::int32_t idx = w.sp_ov[static_cast<std::size_t>(sp)];
@@ -240,7 +260,8 @@ struct ScenarioBatch::OverlayValues {
       return w.ov_spmu[static_cast<std::size_t>(idx) * 2 +
                        static_cast<std::size_t>(rf)];
     }
-    return e.sp_mu_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(sp)];
+    return e.sp_mu_[static_cast<std::size_t>(rf)]
+                   [spoff + static_cast<std::size_t>(sp)];
   }
   [[nodiscard]] float sp_sig(std::int32_t sp, int rf) const {
     const std::int32_t idx = w.sp_ov[static_cast<std::size_t>(sp)];
@@ -248,7 +269,8 @@ struct ScenarioBatch::OverlayValues {
       return w.ov_spsig[static_cast<std::size_t>(idx) * 2 +
                         static_cast<std::size_t>(rf)];
     }
-    return e.sp_sig_[static_cast<std::size_t>(rf)][static_cast<std::size_t>(sp)];
+    return e.sp_sig_[static_cast<std::size_t>(rf)]
+                    [spoff + static_cast<std::size_t>(sp)];
   }
 };
 
@@ -274,12 +296,12 @@ void ScenarioBatch::release_workspace(Workspace& ws) {
   free_list_.push_back(&ws);
 }
 
-/// One scenario end-to-end: overlay-annotate, frontier-sparse level walk,
-/// delta endpoint evaluation, aggregate replay. Every phase mirrors the
-/// corresponding stretch of Engine::annotate / Engine::run_forward_sparse
-/// in both operation order and float expressions — that (plus the shared
-/// kernels) is the bit-identity argument, so any edit here must keep the
-/// pairing intact.
+/// One scenario end-to-end across every corner: the delta-set is broadcast
+/// (the corner × delta-set cross product), one corner at a time through the
+/// same workspace. Per-corner summaries fill setup_by_corner/hold_by_corner;
+/// multi-corner engines additionally fold a running per-endpoint minimum
+/// that a final endpoint-major scan turns into the merged summary — the same
+/// semantics (and float comparisons) as Engine::merged_summary.
 void ScenarioBatch::run_scenario(std::span<const timing::ArcDelta> deltas,
                                  Workspace& ws, bool level_parallel,
                                  std::uint64_t flow_id,
@@ -288,6 +310,70 @@ void ScenarioBatch::run_scenario(std::span<const timing::ArcDelta> deltas,
                     static_cast<std::int64_t>(deltas.size()));
   if (flow_id != 0) telemetry::Tracer::global().flow(flow_id, 't');
   const Engine& e = *engine_;
+  const auto num_corners = static_cast<CornerId>(e.C_);
+  const bool hold = ws.hold;
+  const bool multi = num_corners > 1;
+  const std::size_t num_eps = e.ep_pin_.size();
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  out.setup_by_corner.assign(static_cast<std::size_t>(num_corners), {});
+  if (hold) {
+    out.hold_by_corner.assign(static_cast<std::size_t>(num_corners), {});
+  }
+  if (multi) {
+    ws.merged_setup.assign(num_eps, kInf);
+    if (hold) ws.merged_hold.assign(num_eps, kInf);
+  }
+  for (CornerId corner = 0; corner < num_corners; ++corner) {
+    run_scenario_corner(deltas, ws, level_parallel, corner, out);
+    ws.reset();
+  }
+  if (!multi) {
+    out.setup = out.setup_by_corner[0];
+    if (hold) out.hold = out.hold_by_corner[0];
+    return;
+  }
+  // Endpoint-major merged scan, same order and comparisons as
+  // Engine::merged_summary (merged_setup already holds each endpoint's
+  // worst-over-corners value; unconstrained-everywhere endpoints stayed
+  // +inf and are skipped).
+  const auto merge_scan = [num_eps](const std::vector<float>& m) {
+    double tns = 0.0;
+    float worst = 0.0f;
+    bool any = false;
+    int violations = 0;
+    for (std::size_t ep = 0; ep < num_eps; ++ep) {
+      const float s = m[ep];
+      if (!std::isfinite(s)) continue;
+      if (s < 0.0f) {
+        tns += static_cast<double>(s);
+        ++violations;
+      }
+      if (!any || s < worst) {
+        worst = s;
+        any = true;
+      }
+    }
+    return SlackSummary{tns, any ? static_cast<double>(worst) : 0.0,
+                        violations};
+  };
+  out.setup = merge_scan(ws.merged_setup);
+  if (hold) out.hold = merge_scan(ws.merged_hold);
+}
+
+/// One (scenario, corner) cell: overlay-annotate, frontier-sparse level
+/// walk, delta endpoint evaluation, aggregate replay — all against one
+/// corner's baseline planes. Every phase mirrors the corresponding stretch
+/// of Engine::annotate / Engine::run_forward_sparse_corner in both
+/// operation order and float expressions — that (plus the shared kernels)
+/// is the bit-identity argument, so any edit here must keep the pairing
+/// intact.
+void ScenarioBatch::run_scenario_corner(
+    std::span<const timing::ArcDelta> deltas, Workspace& ws,
+    bool level_parallel, CornerId corner, ScenarioResult& out) const {
+  const Engine& e = *engine_;
+  const auto cc = static_cast<std::size_t>(corner);
+  const float dscale = e.corners_[cc].delay_scale;
+  const float sscale = e.corners_[cc].sigma_scale;
   const bool hold = ws.hold;
   const std::size_t modes = ws.modes;
   const auto k = static_cast<std::int32_t>(ws.k);
@@ -321,9 +407,11 @@ void ScenarioBatch::run_scenario(std::span<const timing::ArcDelta> deltas,
       for (const int rf : {0, 1}) {
         const auto at = static_cast<std::size_t>(idx) * 2 +
                         static_cast<std::size_t>(rf);
-        ws.ov_amu[at] = static_cast<float>(d.mu[static_cast<std::size_t>(rf)]);
+        // Same corner-scale fold as Engine::annotate, term for term.
+        ws.ov_amu[at] =
+            Engine::scaled(d.mu[static_cast<std::size_t>(rf)], dscale);
         ws.ov_asig[at] =
-            static_cast<float>(d.sigma[static_cast<std::size_t>(rf)]);
+            Engine::scaled(d.sigma[static_cast<std::size_t>(rf)], sscale);
       }
       continue;
     }
@@ -346,15 +434,15 @@ void ScenarioBatch::run_scenario(std::span<const timing::ArcDelta> deltas,
       const auto rfi = static_cast<std::size_t>(rf);
       const auto spi = static_cast<std::size_t>(sp);
       const auto at = static_cast<std::size_t>(idx) * 2 + rfi;
-      const auto dsig = static_cast<float>(d.sigma[rfi]);
+      const float dsig = Engine::scaled(d.sigma[rfi], sscale);
       // Same fold as Engine::annotate, term for term.
-      ws.ov_spmu[at] = e.sp_ck_mu_[spi] + static_cast<float>(d.mu[rfi]);
+      ws.ov_spmu[at] = e.sp_ck_mu_[spi] + Engine::scaled(d.mu[rfi], dscale);
       ws.ov_spsig[at] = std::sqrt(e.sp_ck_sig2_[spi] + dsig * dsig);
     }
   }
 
-  // ---- frontier-sparse level walk: Engine::run_forward_sparse ------------
-  const OverlayValues vals{e, ws};
+  // ---- frontier-sparse level walk: Engine::run_forward_sparse_corner -----
+  const OverlayValues vals(e, ws, corner);
   const std::size_t num_levels = e.level_start_.size() - 1;
   for (std::size_t l = std::min(ws.dirty_level, num_levels); l < num_levels;
        ++l) {
@@ -486,22 +574,23 @@ void ScenarioBatch::run_scenario(std::span<const timing::ArcDelta> deltas,
   } else {
     eval(0, nd);
   }
-  out.endpoints_evaluated = nd;
+  out.endpoints_evaluated += nd;
 
   // ---- aggregate replay: apply_setup_delta/apply_hold_delta on locals ----
-  // Starts from the parent's settled caches (evaluate() reads tns()/wns()
-  // up front) and folds deltas in dirty_eps order — the same order a
-  // sequential pass folds them.
-  double tns = e.tns_cache_;
-  int nviol = e.nviol_cache_;
-  float wns_c = e.wns_cache_;
-  bool wns_any = e.wns_any_;
-  bool wns_valid = e.wns_valid_;
-  double ths = e.ths_cache_;
-  int nhviol = e.nhold_viol_cache_;
-  float whs_c = e.whs_cache_;
-  bool whs_any = e.whs_any_;
-  bool whs_valid = e.whs_valid_;
+  // Starts from this corner's settled parent caches (evaluate() reads
+  // tns(c)/wns(c) up front) and folds deltas in dirty_eps order — the same
+  // order a sequential pass folds them.
+  const std::size_t eoff = e.ep_off(corner);
+  double tns = e.tns_cache_[cc];
+  int nviol = e.nviol_cache_[cc];
+  float wns_c = e.wns_cache_[cc];
+  bool wns_any = e.wns_any_[cc] != 0;
+  bool wns_valid = e.wns_valid_[cc] != 0;
+  double ths = hold ? e.ths_cache_[cc] : 0.0;
+  int nhviol = hold ? e.nhold_viol_cache_[cc] : 0;
+  float whs_c = hold ? e.whs_cache_[cc] : 0.0f;
+  bool whs_any = hold && e.whs_any_[cc] != 0;
+  bool whs_valid = hold && e.whs_valid_[cc] != 0;
   for (std::size_t i = 0; i < nd; ++i) {
     const auto epi = static_cast<std::size_t>(ws.dirty_eps[i]);
     // Recorded before the equality skip so the lazy rescan substitutes the
@@ -509,7 +598,7 @@ void ScenarioBatch::run_scenario(std::span<const timing::ArcDelta> deltas,
     // endpoints reached twice — they are not: fanout climbs levels, so each
     // endpoint appears at most once in dirty_eps).
     ws.ep_ov[epi] = static_cast<std::int32_t>(i);
-    const float oldv = e.slack_[epi];
+    const float oldv = e.slack_[eoff + epi];
     const float newv = ws.new_setup[i];
     if (oldv != newv) {
       if (std::isfinite(oldv) && oldv < 0.0f) {
@@ -530,7 +619,7 @@ void ScenarioBatch::run_scenario(std::span<const timing::ArcDelta> deltas,
       }
     }
     if (hold) {
-      const float holdo = e.hold_slack_[epi];
+      const float holdo = e.hold_slack_[eoff + epi];
       const float holdn = ws.new_hold[i];
       if (holdo != holdn) {
         if (std::isfinite(holdo) && holdo < 0.0f) {
@@ -562,7 +651,7 @@ void ScenarioBatch::run_scenario(std::span<const timing::ArcDelta> deltas,
     for (std::size_t ep = 0; ep < num_eps; ++ep) {
       const std::int32_t oi = ws.ep_ov[ep];
       const float s = oi >= 0 ? ws.new_setup[static_cast<std::size_t>(oi)]
-                              : e.slack_[ep];
+                              : e.slack_[eoff + ep];
       if (!std::isfinite(s)) continue;
       if (!any || s < w) {
         w = s;
@@ -578,7 +667,7 @@ void ScenarioBatch::run_scenario(std::span<const timing::ArcDelta> deltas,
     for (std::size_t ep = 0; ep < num_eps; ++ep) {
       const std::int32_t oi = ws.ep_ov[ep];
       const float s = oi >= 0 ? ws.new_hold[static_cast<std::size_t>(oi)]
-                              : e.hold_slack_[ep];
+                              : e.hold_slack_[eoff + ep];
       if (!std::isfinite(s)) continue;
       if (!any || s < w) {
         w = s;
@@ -589,13 +678,29 @@ void ScenarioBatch::run_scenario(std::span<const timing::ArcDelta> deltas,
     whs_any = any;
   }
 
-  out.setup = SlackSummary{tns, wns_any ? static_cast<double>(wns_c) : 0.0,
-                           nviol};
+  out.setup_by_corner[cc] =
+      SlackSummary{tns, wns_any ? static_cast<double>(wns_c) : 0.0, nviol};
   if (hold) {
-    out.hold = SlackSummary{ths, whs_any ? static_cast<double>(whs_c) : 0.0,
-                            nhviol};
+    out.hold_by_corner[cc] =
+        SlackSummary{ths, whs_any ? static_cast<double>(whs_c) : 0.0, nhviol};
   }
-  if (options_.collect_endpoints) {
+  // Fold this corner's substituted endpoint slacks into the running
+  // cross-corner minimum (the caller's final scan mirrors
+  // Engine::merged_summary); baseline reads stay on this corner's plane.
+  if (e.C_ > 1) {
+    for (std::size_t ep = 0; ep < num_eps; ++ep) {
+      const std::int32_t oi = ws.ep_ov[ep];
+      const float s = oi >= 0 ? ws.new_setup[static_cast<std::size_t>(oi)]
+                              : e.slack_[eoff + ep];
+      if (s < ws.merged_setup[ep]) ws.merged_setup[ep] = s;
+      if (hold) {
+        const float h = oi >= 0 ? ws.new_hold[static_cast<std::size_t>(oi)]
+                                : e.hold_slack_[eoff + ep];
+        if (h < ws.merged_hold[ep]) ws.merged_hold[ep] = h;
+      }
+    }
+  }
+  if (corner == 0 && options_.collect_endpoints) {
     out.endpoint_changes.reserve(nd);
     for (std::size_t i = 0; i < nd; ++i) {
       EndpointSlackChange ch;
@@ -605,8 +710,7 @@ void ScenarioBatch::run_scenario(std::span<const timing::ArcDelta> deltas,
       out.endpoint_changes.push_back(ch);
     }
   }
-  out.overlay_bytes = ws.overlay_bytes();
-  ws.reset();
+  out.overlay_bytes += ws.overlay_bytes();
 }
 
 std::vector<ScenarioResult> ScenarioBatch::evaluate(
@@ -631,13 +735,16 @@ std::vector<ScenarioResult> ScenarioBatch::evaluate(
                        " has invalid deltas:\n" + rep.str());
     }
   }
-  // Settle the lazy WNS/WHS caches so every scenario replays its deltas
-  // from the same aggregate state a sequential pass would start from.
-  (void)e.tns();
-  (void)e.wns();
-  if (e.options_.enable_hold) {
-    (void)e.ths();
-    (void)e.whs();
+  // Settle every corner's lazy WNS/WHS caches so every (scenario, corner)
+  // cell replays its deltas from the same aggregate state a sequential
+  // pass would start from.
+  for (CornerId c = 0; c < static_cast<CornerId>(e.C_); ++c) {
+    (void)e.tns(c);
+    (void)e.wns(c);
+    if (e.options_.enable_hold) {
+      (void)e.ths(c);
+      (void)e.whs(c);
+    }
   }
 
   const std::size_t num_scenarios = scenarios.size();

@@ -44,18 +44,30 @@ struct EndpointSlackChange {
   float hold = std::numeric_limits<float>::infinity();
 };
 
-/// Everything evaluate() reports about one scenario.
+/// Everything evaluate() reports about one scenario. A scenario's delta-set
+/// is broadcast across every engine corner (the corner × delta-set cross
+/// product): per-corner summaries land in setup_by_corner/hold_by_corner,
+/// and setup/hold hold the cross-corner merged view (with one corner the
+/// merged view IS corner 0, so single-corner callers read setup/hold
+/// unchanged).
 struct ScenarioResult {
+  /// Cross-corner merged setup metrics (see Engine::merged_summary).
   SlackSummary setup;
   /// Zeros when the engine was built without enable_hold.
   SlackSummary hold;
+  /// Per-corner summaries, indexed by CornerId.
+  std::vector<SlackSummary> setup_by_corner;
+  /// Empty when the engine was built without enable_hold.
+  std::vector<SlackSummary> hold_by_corner;
   std::uint64_t frontier_pins = 0;       ///< pins re-merged on overlays
   std::uint64_t early_terminations = 0;  ///< re-merged pins left unchanged
   std::uint64_t endpoints_evaluated = 0;
-  /// Copy-on-write overlay footprint of this scenario: private Top-K
-  /// slots, delay overrides, startpoint overrides.
+  /// Copy-on-write overlay footprint of this scenario, summed over
+  /// corners: private Top-K slots, delay overrides, startpoint overrides.
   std::size_t overlay_bytes = 0;
-  /// Filled when ScenarioBatchOptions::collect_endpoints.
+  /// Filled when ScenarioBatchOptions::collect_endpoints. Corner 0's view
+  /// (the overlay frontier is corner-independent; per-corner endpoint
+  /// slacks beyond corner 0 are a summary-level feature).
   std::vector<EndpointSlackChange> endpoint_changes;
 };
 
@@ -118,6 +130,13 @@ class ScenarioBatch {
   void run_scenario(std::span<const timing::ArcDelta> deltas, Workspace& ws,
                     bool level_parallel, std::uint64_t flow_id,
                     ScenarioResult& out) const;
+  /// One (scenario, corner) cell of the cross product: the whole
+  /// annotate/walk/evaluate/replay pipeline against one corner's planes.
+  /// Corners run back-to-back through the same workspace (reset between),
+  /// so each cell replays exactly an independent single-corner pass.
+  void run_scenario_corner(std::span<const timing::ArcDelta> deltas,
+                           Workspace& ws, bool level_parallel, CornerId corner,
+                           ScenarioResult& out) const;
 
   const Engine* engine_;
   ScenarioBatchOptions options_;

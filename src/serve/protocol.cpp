@@ -99,6 +99,27 @@ bool parse_delta(const JsonValue& d, const std::string& where, ArcDelta& out,
   return rf_pair("mu", out.mu) && rf_pair("sigma", out.sigma);
 }
 
+/// Resolves a request's corner selection against the published corner-name
+/// list: the integer form indexes it, the name form scans it. -1 = unknown.
+std::int64_t find_corner(const std::vector<std::string>& names,
+                         const Request& req) {
+  if (req.corner_index >= 0) {
+    return req.corner_index < static_cast<std::int64_t>(names.size())
+               ? req.corner_index
+               : -1;
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == req.corner) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
+/// Wire spelling of the corner the client asked for, for error messages.
+std::string corner_spelling(const Request& req) {
+  return req.corner.empty() ? std::to_string(req.corner_index)
+                            : "\"" + req.corner + "\"";
+}
+
 }  // namespace
 
 bool parse_scenarios_json(const JsonValue& doc,
@@ -186,6 +207,29 @@ bool parse_request(std::string_view line, Request& out, LintReport& report) {
     return false;
   }
   out.max = static_cast<int>(max);
+  std::int64_t protocol = 0;
+  if (!get_int(doc, "protocol", protocol, kRule, report)) return false;
+  if (doc.find("protocol") != nullptr && protocol < 1) {
+    add_error(report, kRule, "\"protocol\" must be >= 1");
+    return false;
+  }
+  out.protocol = static_cast<int>(protocol);
+
+  if (const JsonValue* corner = doc.find("corner"); corner != nullptr) {
+    if (corner->is_string()) {
+      out.has_corner = true;
+      out.corner = corner->string;
+    } else if (corner->is_number() &&
+               corner->number == std::floor(corner->number) &&
+               corner->number >= 0) {
+      out.has_corner = true;
+      out.corner_index = static_cast<std::int64_t>(corner->number);
+    } else {
+      add_error(report, kRule,
+                "\"corner\" must be a corner name or a corner id >= 0");
+      return false;
+    }
+  }
 
   if (const JsonValue* ids = doc.find("ids"); ids != nullptr) {
     if (!ids->is_array()) {
@@ -353,6 +397,35 @@ std::string Dispatcher::dispatch_op(const Request& req, bool* shutdown,
                                     ReplyTiming& timing) {
   const std::string& op = req.op;
 
+  // Version negotiation: a request carrying "protocol" pins the connection
+  // to min(requested, kProtocolVersion) from this request on (a client
+  // asking for a newer version than the server speaks gets the server's).
+  if (req.protocol > 0) {
+    proto_version_ = std::min(req.protocol, kProtocolVersion);
+  }
+  // Corner selection is a version-2 feature; resolve it once for the ops
+  // that accept it. ci stays -1 for the merged view.
+  std::int64_t ci = -1;
+  if (req.has_corner &&
+      (op == "summary" || op == "endpoints" || op == "whatif" ||
+       op == "info")) {
+    if (proto_version_ < 2) {
+      return error_reply(req.id, ErrorCode::kBadRequest,
+                         "\"corner\" requires protocol >= 2 (connection "
+                         "negotiated " +
+                             std::to_string(proto_version_) + ")");
+    }
+    const auto snap = service_->snapshot();
+    ci = find_corner(snap->corners, req);
+    if (ci < 0) {
+      return error_reply(req.id, ErrorCode::kUnknownCorner,
+                         "unknown corner " + corner_spelling(req) +
+                             " (engine has " +
+                             std::to_string(snap->corners.size()) +
+                             " corners)");
+    }
+  }
+
   if (op == "ping") return ok_reply(req.id, "{\"pong\": true}");
 
   if (op == "shutdown") {
@@ -363,62 +436,104 @@ std::string Dispatcher::dispatch_op(const Request& req, bool* shutdown,
   if (op == "info") {
     const core::Engine& e = service_->engine();
     const auto snap = service_->snapshot();
-    return ok_reply(
-        req.id,
+    std::string body =
         "{\"version\": " + std::to_string(snap->version) +
-            ", \"endpoints\": " + std::to_string(snap->slack.size()) +
-            ", \"arcs\": " + std::to_string(e.graph().num_arcs()) +
-            ", \"hold\": " + (snap->has_hold ? "true" : "false") + "}");
+        ", \"endpoints\": " + std::to_string(snap->slack.size()) +
+        ", \"arcs\": " + std::to_string(e.graph().num_arcs()) +
+        ", \"hold\": " + (snap->has_hold ? "true" : "false") +
+        ", \"protocol\": " + std::to_string(proto_version_);
+    if (proto_version_ >= 2) {
+      body += ", \"corners\": [";
+      for (std::size_t c = 0; c < snap->corners.size(); ++c) {
+        if (c != 0) body += ", ";
+        body += "\"" + telemetry::json_escape(snap->corners[c]) + "\"";
+      }
+      body += "]";
+    }
+    body += "}";
+    return ok_reply(req.id, body);
   }
 
   if (op == "summary") {
     const auto snap = service_->snapshot();
-    std::string body = "{\"version\": " + std::to_string(snap->version) +
-                       ", \"setup\": " + summary_body(snap->setup);
-    if (snap->has_hold) body += ", \"hold\": " + summary_body(snap->hold);
+    const core::SlackSummary& setup =
+        ci >= 0 ? snap->setup_by_corner[static_cast<std::size_t>(ci)]
+                : snap->setup;
+    std::string body = "{\"version\": " + std::to_string(snap->version);
+    if (ci >= 0) {
+      body += ", \"corner\": \"" +
+              telemetry::json_escape(
+                  snap->corners[static_cast<std::size_t>(ci)]) +
+              "\"";
+    }
+    body += ", \"setup\": " + summary_body(setup);
+    if (snap->has_hold) {
+      const core::SlackSummary& hold =
+          ci >= 0 ? snap->hold_by_corner[static_cast<std::size_t>(ci)]
+                  : snap->hold;
+      body += ", \"hold\": " + summary_body(hold);
+    }
     body += "}";
     return ok_reply(req.id, body);
   }
 
   if (op == "endpoints") {
     const auto snap = service_->snapshot();
+    // The merged plane, or the selected corner's slice of the corner-major
+    // per-endpoint arrays.
+    const std::size_t n = snap->slack.size();
+    const float* slack = snap->slack.data();
+    const float* hold_slack =
+        snap->has_hold ? snap->hold_slack.data() : nullptr;
+    if (ci >= 0) {
+      const auto off = static_cast<std::size_t>(ci) * n;
+      slack = snap->slack_by_corner.data() + off;
+      if (snap->has_hold) {
+        hold_slack = snap->hold_slack_by_corner.data() + off;
+      }
+    }
     std::vector<std::int64_t> ids;
     if (req.worst > 0) {
-      // N worst-slack endpoints of the snapshot (ascending slack).
-      std::vector<std::int64_t> order(snap->slack.size());
+      // N worst-slack endpoints of the selected view (ascending slack).
+      std::vector<std::int64_t> order(n);
       std::iota(order.begin(), order.end(), std::int64_t{0});
-      const auto n = std::min<std::size_t>(
+      const auto cap = std::min<std::size_t>(
           static_cast<std::size_t>(req.worst), order.size());
       std::partial_sort(order.begin(),
-                        order.begin() + static_cast<std::ptrdiff_t>(n),
+                        order.begin() + static_cast<std::ptrdiff_t>(cap),
                         order.end(), [&](std::int64_t a, std::int64_t b) {
-                          return snap->slack[static_cast<std::size_t>(a)] <
-                                 snap->slack[static_cast<std::size_t>(b)];
+                          return slack[static_cast<std::size_t>(a)] <
+                                 slack[static_cast<std::size_t>(b)];
                         });
-      order.resize(n);
+      order.resize(cap);
       ids = std::move(order);
     } else {
       for (const std::int64_t id : req.endpoint_ids) {
-        if (id < 0 || static_cast<std::size_t>(id) >= snap->slack.size()) {
+        if (id < 0 || static_cast<std::size_t>(id) >= n) {
           return error_reply(req.id, ErrorCode::kBadRequest,
                              "endpoint id " + std::to_string(id) +
-                                 " out of range [0, " +
-                                 std::to_string(snap->slack.size()) + ")");
+                                 " out of range [0, " + std::to_string(n) +
+                                 ")");
         }
         ids.push_back(id);
       }
     }
-    std::string body = "{\"version\": " + std::to_string(snap->version) +
-                       ", \"endpoints\": [";
+    std::string body = "{\"version\": " + std::to_string(snap->version);
+    if (ci >= 0) {
+      body += ", \"corner\": \"" +
+              telemetry::json_escape(
+                  snap->corners[static_cast<std::size_t>(ci)]) +
+              "\"";
+    }
+    body += ", \"endpoints\": [";
     for (std::size_t i = 0; i < ids.size(); ++i) {
       const auto e = static_cast<std::size_t>(ids[i]);
       if (i != 0) body += ", ";
       body += "{\"ep\": " + std::to_string(ids[i]) + ", \"slack\": " +
-              telemetry::json_number(static_cast<double>(snap->slack[e]));
+              telemetry::json_number(static_cast<double>(slack[e]));
       if (snap->has_hold) {
         body += ", \"hold_slack\": " +
-                telemetry::json_number(
-                    static_cast<double>(snap->hold_slack[e]));
+                telemetry::json_number(static_cast<double>(hold_slack[e]));
       }
       body += "}";
     }
@@ -464,15 +579,29 @@ std::string Dispatcher::dispatch_op(const Request& req, bool* shutdown,
       return error_reply(req.id, err.code, err.message, &err.diagnostics);
     }
     const std::int64_t ser0 = proto_now_ns();
-    std::string body = "{\"version\": " + std::to_string(reply.version) +
-                       ", \"results\": [";
+    std::string body = "{\"version\": " + std::to_string(reply.version);
+    if (ci >= 0) {
+      body += ", \"corner\": \"" +
+              telemetry::json_escape(service_->engine()
+                                         .corners()[static_cast<std::size_t>(
+                                             ci)]
+                                         .name) +
+              "\"";
+    }
+    body += ", \"results\": [";
     for (std::size_t i = 0; i < reply.results.size(); ++i) {
       const core::ScenarioResult& r = reply.results[i];
       if (i != 0) body += ", ";
+      const core::SlackSummary& setup =
+          ci >= 0 ? r.setup_by_corner[static_cast<std::size_t>(ci)]
+                  : r.setup;
       body += "{\"label\": \"" + telemetry::json_escape(req.labels[i]) +
-              "\", \"setup\": " + summary_body(r.setup);
+              "\", \"setup\": " + summary_body(setup);
       if (service_->engine().options().enable_hold) {
-        body += ", \"hold\": " + summary_body(r.hold);
+        const core::SlackSummary& hold =
+            ci >= 0 ? r.hold_by_corner[static_cast<std::size_t>(ci)]
+                    : r.hold;
+        body += ", \"hold\": " + summary_body(hold);
       }
       body += ", \"frontier_pins\": " + std::to_string(r.frontier_pins) +
               ", \"early_terminations\": " +

@@ -19,6 +19,14 @@
 // --scenarios` schema, so one parser (parse_scenarios_json) serves both the
 // file-based CLI path and the wire.
 //
+// Corners (protocol 2): summary, endpoints, and whatif accept an optional
+// "corner" member — a corner name or integer id — selecting one corner's
+// view; absent means the cross-corner merged view. An unknown corner is
+// rejected with code "unknown-corner". info reports the negotiated
+// "protocol" version and the engine's "corners" name list; a client may pin
+// an older version with {"protocol": 1}, which suppresses the corner
+// features for the rest of the connection.
+//
 // Request tracing: a request that carries no "id" (or id 0) is assigned a
 // fresh positive one by the dispatcher, and the reply echoes whichever id
 // was in effect — so every request is addressable in the flight recorder
@@ -45,6 +53,14 @@
 
 namespace insta::serve {
 
+/// Wire protocol version. Version 2 added the corner dimension: the
+/// optional "corner" request field on summary/endpoints/whatif (absent =
+/// cross-corner merged view), the "corners"/"protocol" members of info, and
+/// the "protocol" request field for version negotiation (a client may pin
+/// any version in [1, kProtocolVersion]; version-1 connections are served
+/// the pre-corner protocol and corner selections are rejected).
+inline constexpr int kProtocolVersion = 2;
+
 /// One decoded request line.
 struct Request {
   std::int64_t id = 0;
@@ -52,6 +68,12 @@ struct Request {
   SessionId session = -1;  ///< -1: use the connection's implicit session
   int worst = 0;           ///< endpoints op: N worst-slack endpoints
   int max = 0;             ///< trace/flightrec ops: entry cap (0: default)
+  int protocol = 0;        ///< "protocol" negotiation field (0: not present)
+  /// Corner selection ("corner" field): a corner name or an integer corner
+  /// id. Absent (has_corner false) selects the merged view.
+  bool has_corner = false;
+  std::int64_t corner_index = -1;  ///< integer form (-1 when named)
+  std::string corner;              ///< name form (empty when integer)
   std::vector<std::int64_t> endpoint_ids;  ///< endpoints op: explicit ids
   std::vector<std::vector<timing::ArcDelta>> scenarios;  ///< whatif op
   std::vector<std::string> labels;                       ///< whatif op
@@ -138,6 +160,9 @@ class Dispatcher {
   DispatcherOptions options_;
   std::vector<SessionId> owned_;
   SessionId implicit_ = -1;
+  /// Negotiated protocol version of this connection: kProtocolVersion until
+  /// a request carries "protocol", then min(requested, kProtocolVersion).
+  int proto_version_ = kProtocolVersion;
 };
 
 }  // namespace insta::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <utility>
 
 #include "telemetry/flight_recorder.hpp"
@@ -79,6 +80,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kEditConflict: return "edit-conflict";
     case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kUnknownCorner: return "unknown-corner";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";
@@ -133,16 +135,56 @@ void TimingService::publish_snapshot() {
   auto snap = std::make_shared<TimingSnapshot>();
   snap->version = engine_->generation();
   snap->has_hold = engine_->options().enable_hold;
-  snap->setup = engine_->summary(core::Mode::kSetup);
-  snap->slack.assign(engine_->endpoint_slacks().begin(),
-                     engine_->endpoint_slacks().end());
+  const std::size_t num_corners = engine_->num_corners();
+  const std::size_t n = engine_->graph().endpoints().size();
+  snap->corners.reserve(num_corners);
+  for (const core::CornerSpec& cs : engine_->corners()) {
+    snap->corners.push_back(cs.name);
+  }
+  snap->setup = engine_->merged_summary(core::Mode::kSetup);
+  snap->setup_by_corner.reserve(num_corners);
+  snap->slack_by_corner.reserve(num_corners * n);
+  for (std::size_t c = 0; c < num_corners; ++c) {
+    const auto corner = static_cast<core::CornerId>(c);
+    snap->setup_by_corner.push_back(
+        engine_->summary(core::Mode::kSetup, corner));
+    const std::span<const float> s = engine_->endpoint_slacks(corner);
+    snap->slack_by_corner.insert(snap->slack_by_corner.end(), s.begin(),
+                                 s.end());
+  }
+  if (num_corners == 1) {
+    snap->slack.assign(engine_->endpoint_slacks().begin(),
+                       engine_->endpoint_slacks().end());
+  } else {
+    // Merged per-endpoint slack: worst finite value over the corners (the
+    // per-endpoint analogue of Engine::merged_summary).
+    snap->slack.assign(n, std::numeric_limits<float>::infinity());
+    for (std::size_t c = 0; c < num_corners; ++c) {
+      for (std::size_t e = 0; e < n; ++e) {
+        const float s = snap->slack_by_corner[c * n + e];
+        if (s < snap->slack[e]) snap->slack[e] = s;
+      }
+    }
+  }
   if (snap->has_hold) {
-    snap->hold = engine_->summary(core::Mode::kHold);
-    const std::size_t n = engine_->graph().endpoints().size();
-    snap->hold_slack.reserve(n);
-    for (std::size_t e = 0; e < n; ++e) {
-      snap->hold_slack.push_back(
-          engine_->endpoint_hold_slack(static_cast<timing::EndpointId>(e)));
+    snap->hold = engine_->merged_summary(core::Mode::kHold);
+    snap->hold_by_corner.reserve(num_corners);
+    snap->hold_slack_by_corner.reserve(num_corners * n);
+    for (std::size_t c = 0; c < num_corners; ++c) {
+      const auto corner = static_cast<core::CornerId>(c);
+      snap->hold_by_corner.push_back(
+          engine_->summary(core::Mode::kHold, corner));
+      for (std::size_t e = 0; e < n; ++e) {
+        snap->hold_slack_by_corner.push_back(engine_->endpoint_hold_slack(
+            static_cast<timing::EndpointId>(e), corner));
+      }
+    }
+    snap->hold_slack.assign(n, std::numeric_limits<float>::infinity());
+    for (std::size_t c = 0; c < num_corners; ++c) {
+      for (std::size_t e = 0; e < n; ++e) {
+        const float s = snap->hold_slack_by_corner[c * n + e];
+        if (s < snap->hold_slack[e]) snap->hold_slack[e] = s;
+      }
     }
   }
   {
@@ -557,9 +599,9 @@ Error TimingService::commit(SessionId session, CommitReply& out) {
       publish_snapshot();
     }
     out.version = engine_->generation();
-    out.setup = engine_->summary(core::Mode::kSetup);
+    out.setup = engine_->merged_summary(core::Mode::kSetup);
     if (engine_->options().enable_hold) {
-      out.hold = engine_->summary(core::Mode::kHold);
+      out.hold = engine_->merged_summary(core::Mode::kHold);
     }
   }
   serve_metrics().commits.inc();

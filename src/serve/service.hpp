@@ -61,6 +61,7 @@ enum class ErrorCode : std::uint8_t {
   kOverloaded,    ///< shed by admission control; retry later
   kEditConflict,  ///< another session holds the edit lock
   kUnsupported,   ///< known op not available (e.g. hold on a setup-only engine)
+  kUnknownCorner, ///< request named a corner the engine was not built with
   kInternal,      ///< engine-side failure; request-independent
 };
 
@@ -121,6 +122,11 @@ struct ServiceOptions {
 /// Immutable published view of the engine's committed timing. version is
 /// Engine::generation() at publication; slack vectors are indexed by
 /// endpoint id (hold_slack empty unless has_hold).
+///
+/// setup/hold/slack/hold_slack are the cross-corner MERGED view (identical
+/// to corner 0 on a single-corner engine, so pre-MCMM readers are
+/// unaffected); the *_by_corner twins carry every corner's data,
+/// corner-major (corner c's endpoint e at [c * slack.size() + e]).
 struct TimingSnapshot {
   std::uint64_t version = 0;
   bool has_hold = false;
@@ -128,6 +134,15 @@ struct TimingSnapshot {
   core::SlackSummary hold;
   std::vector<float> slack;
   std::vector<float> hold_slack;
+  /// Corner names, indexed by CornerId (size >= 1).
+  std::vector<std::string> corners;
+  std::vector<core::SlackSummary> setup_by_corner;
+  /// Empty unless has_hold.
+  std::vector<core::SlackSummary> hold_by_corner;
+  /// Corner-major per-endpoint slacks, size corners.size() * slack.size().
+  std::vector<float> slack_by_corner;
+  /// Empty unless has_hold.
+  std::vector<float> hold_slack_by_corner;
 };
 
 /// Deterministic service counters, independent of the telemetry build
@@ -207,6 +222,7 @@ class TimingService {
 
   struct CommitReply {
     std::uint64_t version = 0;  ///< version of the newly published snapshot
+    /// Cross-corner merged summaries (== corner 0 on single-corner engines).
     core::SlackSummary setup;
     core::SlackSummary hold;  ///< zeros unless the engine runs with hold
   };

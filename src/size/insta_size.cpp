@@ -70,8 +70,19 @@ SizerResult InstaSizer::run() {
   core::EngineOptions eopt;
   eopt.tau = options_.tau;
   eopt.top_k = 16;
+  eopt.corners = options_.corners;
   core::Engine engine(*sta_, eopt);
   engine.run_forward();
+  // Cross-corner stage score: a cell is critical if it carries gradient in
+  // any corner. At C=1 this is exactly the pre-MCMM stage_gradient.
+  const auto num_corners = static_cast<core::CornerId>(engine.num_corners());
+  const auto stage_grad = [&](CellId cell) {
+    float g = 0.0f;
+    for (core::CornerId c = 0; c < num_corners; ++c) {
+      g += engine.stage_gradient(cell, c);
+    }
+    return g;
+  };
   // Candidate sizes are scored through batched what-if scenarios: one
   // evaluator reused across all passes, so workspaces amortize.
   core::ScenarioBatch batch(engine);
@@ -90,7 +101,7 @@ SizerResult InstaSizer::run() {
     for (std::size_t c = 0; c < design_->num_cells(); ++c) {
       const auto cell = static_cast<CellId>(c);
       if (!resizable(cell)) continue;
-      gmax = std::max(gmax, engine.stage_gradient(cell));
+      gmax = std::max(gmax, stage_grad(cell));
     }
     const float threshold =
         std::max(options_.grad_threshold, 0.03f * gmax);
@@ -98,7 +109,7 @@ SizerResult InstaSizer::run() {
     for (std::size_t c = 0; c < design_->num_cells(); ++c) {
       const auto cell = static_cast<CellId>(c);
       if (!resizable(cell)) continue;
-      const float g = engine.stage_gradient(cell);
+      const float g = stage_grad(cell);
       if (g > threshold) ranked.emplace_back(g, cell);
     }
     std::sort(ranked.begin(), ranked.end(),
@@ -106,7 +117,10 @@ SizerResult InstaSizer::run() {
 
     std::vector<char> blocked(design_->num_cells(), 0);
     int commits = 0;
-    double cur_tns = engine.tns();
+    // Acceptance tracks the cross-corner merged TNS: ScenarioResult::setup
+    // is the merged summary, so candidate scores and the commit floor live
+    // on the same scale (== corner 0 on single-corner engines).
+    double cur_tns = engine.merged_summary(core::Mode::kSetup).tns;
     std::vector<std::vector<ArcDelta>> cand_deltas;
     std::vector<LibCellId> cand_libcells;
     for (const auto& [grad, cell] : ranked) {

@@ -27,6 +27,12 @@ struct InstaSizeOptions {
   /// violating endpoint; kWns focuses the soft-min on the worst path.
   /// Commit acceptance always checks TNS (so WNS mode cannot wreck TNS).
   core::GradientMetric metric = core::GradientMetric::kTns;
+  /// Analysis corners the scoring engine propagates. Stage ranking sums
+  /// each cell's gradient across corners and commit acceptance checks the
+  /// cross-corner merged TNS, so a fix for one corner cannot silently
+  /// wreck another. Empty: the single default corner (the pre-MCMM
+  /// behavior, bit for bit).
+  std::vector<core::CornerSpec> corners;
 };
 
 /// INSTA-Size (Section III-H): a gradient-based gate sizer.

@@ -40,8 +40,18 @@ PowerRecoveryResult PowerRecovery::run() {
   core::EngineOptions eopt;
   eopt.top_k = 16;
   eopt.tau = options_.tau;
+  eopt.corners = options_.corners;
   core::Engine engine(*sta_, eopt);
   engine.run_forward();
+  const auto num_corners = static_cast<core::CornerId>(engine.num_corners());
+  // A stage is frozen when any corner's gradient marks it critical.
+  const auto max_stage_grad = [&](CellId cell) {
+    float g = 0.0f;
+    for (core::CornerId c = 0; c < num_corners; ++c) {
+      g = std::max(g, engine.stage_gradient(cell, c));
+    }
+    return g;
+  };
 
   int downsized = 0;
   std::vector<timing::ArcId> pass_changed;
@@ -59,7 +69,7 @@ PowerRecoveryResult PowerRecovery::run() {
     for (std::size_t c = 0; c < design_->num_cells(); ++c) {
       const auto cell = static_cast<CellId>(c);
       if (!resizable(cell)) continue;
-      if (engine.stage_gradient(cell) > options_.grad_epsilon) continue;
+      if (max_stage_grad(cell) > options_.grad_epsilon) continue;
       const netlist::LibCell& lc = design_->libcell_of(cell);
       const auto family = design_->library().family(lc.func);
       LibCellId smaller = netlist::kNullLibCell;
@@ -78,8 +88,12 @@ PowerRecoveryResult PowerRecovery::run() {
                 return a.saving > b.saving;
               });
 
-    const double tns_floor = engine.tns() - options_.tns_tolerance;
-    const double wns_floor = engine.wns() - options_.wns_tolerance;
+    // Floors guard the cross-corner merged summaries: a downsize has to be
+    // safe in every corner, not just the default one.
+    const core::SlackSummary floor0 =
+        engine.merged_summary(core::Mode::kSetup);
+    const double tns_floor = floor0.tns - options_.tns_tolerance;
+    const double wns_floor = floor0.wns - options_.wns_tolerance;
     int commits = 0;
     for (const Candidate& cand : cands) {
       if (commits >= options_.max_commits_per_pass) break;
@@ -89,7 +103,9 @@ PowerRecoveryResult PowerRecovery::run() {
       auto tx = engine.begin_edit();
       tx.annotate(deltas);
       engine.run_forward_incremental();
-      if (engine.tns() < tns_floor || engine.wns() < wns_floor) {
+      const core::SlackSummary now =
+          engine.merged_summary(core::Mode::kSetup);
+      if (now.tns < tns_floor || now.wns < wns_floor) {
         tx.rollback();
         continue;
       }

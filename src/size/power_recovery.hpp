@@ -21,6 +21,11 @@ struct PowerRecoveryOptions {
   /// LSE temperature of the backward pass; larger values mark near-critical
   /// stages as unsafe too.
   float tau = 25.0f;
+  /// Analysis corners the scoring engine propagates. A stage is frozen if
+  /// its gradient in ANY corner exceeds grad_epsilon, and the TNS/WNS
+  /// floors guard the cross-corner merged summaries — a downsize must be
+  /// safe in every corner. Empty: the single default corner.
+  std::vector<core::CornerSpec> corners;
 };
 
 /// Result of one power-recovery run.

@@ -261,6 +261,40 @@ ValidationResult validate_whatif_json(std::string_view text,
     res.fail("top level is not an object");
     return res;
   }
+  if (const JsonValue* gen = doc.find("generation");
+      gen == nullptr || !is_nonneg_integer(*gen)) {
+    res.fail("missing or malformed generation stamp");
+  }
+  // The corner-set stamp ties per-corner summaries to the engine setup
+  // that produced them; its length bounds every *_by_corner array below.
+  std::size_t num_corners = 0;
+  const JsonValue* corners = doc.find("corners");
+  if (corners == nullptr || !corners->is_array()) {
+    res.fail("missing corners array");
+  } else {
+    num_corners = corners->array.size();
+    if (num_corners == 0) res.fail("corners array is empty");
+    std::size_t cidx = 0;
+    for (const JsonValue& c : corners->array) {
+      const std::string cw = "corner " + std::to_string(cidx++);
+      if (!c.is_object()) {
+        res.fail(cw + ": not an object");
+        continue;
+      }
+      const JsonValue* name = c.find("name");
+      if (name == nullptr || !name->is_string() || name->string.empty()) {
+        res.fail(cw + ": missing or empty name");
+      }
+      const JsonValue* ds = c.find("delay_scale");
+      if (ds == nullptr || !ds->is_number() || !(ds->number > 0.0)) {
+        res.fail(cw + ": delay_scale is not a finite positive number");
+      }
+      const JsonValue* ss = c.find("sigma_scale");
+      if (ss == nullptr || !ss->is_number() || !(ss->number > 0.0)) {
+        res.fail(cw + ": sigma_scale is not a finite positive number");
+      }
+    }
+  }
   const JsonValue* scenarios = doc.find("scenarios");
   if (scenarios == nullptr || !scenarios->is_array()) {
     res.fail("missing scenarios array");
@@ -287,6 +321,24 @@ ValidationResult validate_whatif_json(std::string_view text,
     }
     if (const JsonValue* hold = s.find("hold"); hold != nullptr) {
       check_summary(*hold, where + ".hold", res);
+    }
+    for (const char* key : {"setup_by_corner", "hold_by_corner"}) {
+      const JsonValue* per = s.find(key);
+      if (per == nullptr) continue;
+      if (!per->is_array()) {
+        res.fail(where + "." + key + ": not an array");
+        continue;
+      }
+      if (num_corners != 0 && per->array.size() != num_corners) {
+        res.fail(where + "." + key + ": has " +
+                 std::to_string(per->array.size()) + " entries, expected " +
+                 std::to_string(num_corners) + " (one per corner)");
+      }
+      std::size_t pc = 0;
+      for (const JsonValue& v : per->array) {
+        check_summary(v, where + "." + key + "[" + std::to_string(pc++) + "]",
+                      res);
+      }
     }
     for (const char* key : {"num_deltas", "frontier_pins",
                             "early_terminations", "endpoints_evaluated",

@@ -37,10 +37,14 @@ ValidationResult validate_chrome_trace(std::string_view text,
 ValidationResult validate_metrics_json(std::string_view text);
 
 /// Checks that `text` matches the `insta_cli whatif --out` schema: a
-/// top-level object with a scenarios array; each scenario carries a string
-/// label, a non-negative integral num_deltas, a setup summary object
-/// (numeric tns <= 0, numeric wns, non-negative integral violations), an
-/// optional hold summary of the same shape, and non-negative integral
+/// top-level object stamped with the producing engine's generation
+/// (non-negative integral) and corner set (array of {name, delay_scale,
+/// sigma_scale} objects with valid scales), plus a scenarios array; each
+/// scenario carries a string label, a non-negative integral num_deltas, a
+/// setup summary object (numeric tns <= 0, numeric wns, non-negative
+/// integral violations), an optional hold summary of the same shape,
+/// optional setup_by_corner / hold_by_corner arrays of such summaries
+/// whose length must equal the corner count, and non-negative integral
 /// frontier_pins / early_terminations / endpoints_evaluated / overlay_bytes.
 /// Fills `num_scenarios` with the scenario count.
 ValidationResult validate_whatif_json(std::string_view text,

@@ -1,0 +1,383 @@
+// Multi-corner/multi-mode propagation: a C-corner engine must be
+// bit-identical, corner for corner, to C independent single-corner engines
+// built with the same scale sets — through the dense forward pass, the
+// frontier-sparse incremental pass, endpoint evaluation (setup and hold),
+// the aggregate caches, and ScenarioBatch's corner × delta-set cross
+// product. Also covers the corner-aware API surface (corner_id, targeted
+// vs broadcast annotate, merged_summary semantics) and the analysis-layer
+// corner lint rules.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "analysis/rules.hpp"
+#include "core/engine.hpp"
+#include "core/scenario_batch.hpp"
+#include "gen/changelist.hpp"
+#include "gen/logic_block.hpp"
+#include "gen/presets.hpp"
+#include "gen/tune.hpp"
+#include "ref/golden_sta.hpp"
+#include "timing/delay_calc.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace insta {
+namespace {
+
+using core::CornerId;
+using core::CornerSpec;
+using core::Mode;
+using core::SlackSummary;
+
+/// The corner set all multi-corner tests use: a byte-exact default corner
+/// plus a faster and a slower scale set.
+std::vector<CornerSpec> three_corners() {
+  return {CornerSpec{"typ", 1.0f, 1.0f}, CornerSpec{"fast", 0.9f, 0.95f},
+          CornerSpec{"slow", 1.12f, 1.05f}};
+}
+
+struct Fixture {
+  gen::GeneratedDesign gd;
+  std::unique_ptr<timing::TimingGraph> graph;
+  std::unique_ptr<timing::DelayCalculator> calc;
+  timing::ArcDelays delays;
+  std::unique_ptr<ref::GoldenSta> sta;
+
+  explicit Fixture(std::uint64_t seed, bool hold = false) {
+    gd = gen::build_logic_block(gen::tiny_spec(seed));
+    graph = std::make_unique<timing::TimingGraph>(*gd.design,
+                                                  gd.constraints.clock_root);
+    calc = std::make_unique<timing::DelayCalculator>(*gd.design, *graph);
+    calc->compute_all(delays);
+    gen::tune_clock_period(*graph, gd.constraints, delays, 0.1);
+    ref::GoldenOptions gopt;
+    gopt.enable_hold = hold;
+    sta = std::make_unique<ref::GoldenSta>(*graph, gd.constraints, delays,
+                                           gopt);
+    sta->update_full();
+  }
+
+  [[nodiscard]] core::Engine make_engine(std::vector<CornerSpec> corners,
+                                         bool hold = false) const {
+    core::EngineOptions opt;
+    opt.top_k = 8;
+    opt.enable_hold = hold;
+    opt.corners = std::move(corners);
+    return core::Engine(*sta, opt);
+  }
+};
+
+/// Bitwise float equality that also matches non-finite pairs.
+::testing::AssertionResult same_bits(float a, float b) {
+  if (a == b || (std::isnan(a) && std::isnan(b)) ||
+      (std::isinf(a) && std::isinf(b) && std::signbit(a) == std::signbit(b))) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bitwise)";
+}
+
+/// Asserts corner `c` of `multi` matches the single-corner `solo` exactly:
+/// every endpoint slack (setup and, when enabled, hold) and every
+/// aggregate cache, bit for bit.
+void expect_corner_identical(const core::Engine& multi, CornerId c,
+                             const core::Engine& solo, bool hold) {
+  const auto multi_slacks = multi.endpoint_slacks(c);
+  const auto solo_slacks = solo.endpoint_slacks();
+  ASSERT_EQ(multi_slacks.size(), solo_slacks.size());
+  for (std::size_t e = 0; e < solo_slacks.size(); ++e) {
+    EXPECT_TRUE(same_bits(multi_slacks[e], solo_slacks[e]))
+        << "corner " << c << " endpoint " << e;
+  }
+  EXPECT_EQ(multi.tns(c), solo.tns());
+  EXPECT_EQ(multi.wns(c), solo.wns());
+  EXPECT_EQ(multi.num_violations(c), solo.num_violations());
+  EXPECT_EQ(multi.summary(Mode::kSetup, c), solo.summary(Mode::kSetup, 0));
+  if (!hold) return;
+  for (std::size_t e = 0; e < solo_slacks.size(); ++e) {
+    const auto ep = static_cast<timing::EndpointId>(e);
+    EXPECT_TRUE(
+        same_bits(multi.endpoint_hold_slack(ep, c), solo.endpoint_hold_slack(ep)))
+        << "corner " << c << " hold endpoint " << e;
+  }
+  EXPECT_EQ(multi.ths(c), solo.ths());
+  EXPECT_EQ(multi.whs(c), solo.whs());
+  EXPECT_EQ(multi.num_hold_violations(c), solo.num_hold_violations());
+  EXPECT_EQ(multi.summary(Mode::kHold, c), solo.summary(Mode::kHold, 0));
+}
+
+class Mcmm : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Dense forward: C corners in one engine == C independent engines.
+TEST_P(Mcmm, DenseForwardMatchesIndependentEngines) {
+  const Fixture f(GetParam());
+  const auto corners = three_corners();
+  core::Engine multi = f.make_engine(corners);
+  multi.run_forward();
+  ASSERT_EQ(multi.num_corners(), corners.size());
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    core::Engine solo = f.make_engine({corners[c]});
+    solo.run_forward();
+    expect_corner_identical(multi, static_cast<CornerId>(c), solo, false);
+  }
+}
+
+/// Same bit-identity through the hold (early/min) planes.
+TEST_P(Mcmm, HoldPlanesMatchIndependentEngines) {
+  const Fixture f(GetParam(), /*hold=*/true);
+  const auto corners = three_corners();
+  core::Engine multi = f.make_engine(corners, /*hold=*/true);
+  multi.run_forward();
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    core::Engine solo = f.make_engine({corners[c]}, /*hold=*/true);
+    solo.run_forward();
+    expect_corner_identical(multi, static_cast<CornerId>(c), solo, true);
+  }
+}
+
+/// Frontier-sparse incremental: a randomized sequence of broadcast
+/// annotates + run_forward_incremental keeps every corner bit-identical to
+/// its independent twin replaying the same sequence.
+TEST_P(Mcmm, IncrementalSparseMatchesIndependentEngines) {
+  const Fixture f(GetParam(), /*hold=*/true);
+  const auto corners = three_corners();
+  core::Engine multi = f.make_engine(corners, /*hold=*/true);
+  multi.run_forward();
+  std::vector<core::Engine> solos;
+  for (const CornerSpec& spec : corners) {
+    solos.push_back(f.make_engine({spec}, /*hold=*/true));
+    solos.back().run_forward();
+  }
+
+  util::Rng rng(GetParam() * 31 + 5);
+  const std::vector<gen::Resize> changes =
+      gen::random_changelist(*f.gd.design, *f.graph, rng, 6);
+  for (const gen::Resize& rz : changes) {
+    const auto deltas = f.calc->estimate_eco(rz.cell, rz.new_libcell);
+    multi.annotate(deltas);
+    multi.run_forward_incremental();
+    for (std::size_t c = 0; c < corners.size(); ++c) {
+      solos[c].annotate(deltas);
+      solos[c].run_forward_incremental();
+      expect_corner_identical(multi, static_cast<CornerId>(c), solos[c],
+                              true);
+    }
+  }
+}
+
+/// Targeted annotate touches exactly its corner: the others keep their
+/// bytes, the target matches an independent engine given the same edit.
+TEST_P(Mcmm, TargetedAnnotateIsolatesCorners) {
+  const Fixture f(GetParam());
+  const auto corners = three_corners();
+  core::Engine multi = f.make_engine(corners);
+  multi.run_forward();
+  std::vector<core::Engine> solos;
+  for (const CornerSpec& spec : corners) {
+    solos.push_back(f.make_engine({spec}));
+    solos.back().run_forward();
+  }
+
+  util::Rng rng(GetParam() * 13 + 2);
+  const std::vector<gen::Resize> changes =
+      gen::random_changelist(*f.gd.design, *f.graph, rng, 3);
+  const CornerId target = 1;  // "fast"
+  for (const gen::Resize& rz : changes) {
+    const auto deltas = f.calc->estimate_eco(rz.cell, rz.new_libcell);
+    multi.annotate(deltas, target);
+    solos[static_cast<std::size_t>(target)].annotate(deltas);
+  }
+  multi.run_forward_incremental();
+  solos[static_cast<std::size_t>(target)].run_forward_incremental();
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    expect_corner_identical(multi, static_cast<CornerId>(c), solos[c], false);
+  }
+}
+
+/// merged_summary is the endpoint-major worst-case fold across corners.
+TEST_P(Mcmm, MergedSummaryIsPerEndpointWorstCase) {
+  const Fixture f(GetParam());
+  core::Engine multi = f.make_engine(three_corners());
+  multi.run_forward();
+
+  const std::size_t num_eps = f.graph->endpoints().size();
+  double tns = 0.0;
+  double wns = 0.0;
+  bool any = false;
+  int violations = 0;
+  for (std::size_t e = 0; e < num_eps; ++e) {
+    float m = std::numeric_limits<float>::infinity();
+    for (std::size_t c = 0; c < multi.num_corners(); ++c) {
+      const float s = multi.endpoint_slacks(static_cast<CornerId>(c))[e];
+      if (std::isfinite(s) && s < m) m = s;
+    }
+    if (!std::isfinite(m)) continue;
+    if (!any || m < wns) wns = m;
+    any = true;
+    if (m < 0.0f) {
+      tns += m;
+      ++violations;
+    }
+  }
+  const SlackSummary merged = multi.merged_summary(Mode::kSetup);
+  EXPECT_EQ(merged.tns, tns);
+  EXPECT_EQ(merged.wns, any ? wns : 0.0);
+  EXPECT_EQ(merged.violations, violations);
+
+  // On a single-corner engine the merged view IS corner 0.
+  core::Engine solo = f.make_engine({});
+  solo.run_forward();
+  EXPECT_EQ(solo.merged_summary(Mode::kSetup), solo.summary(Mode::kSetup, 0));
+}
+
+/// ScenarioBatch broadcasts each delta-set across the corners; per-corner
+/// summaries must be bit-identical to single-corner batches, and the
+/// merged scenario summary must follow the same worst-case fold.
+TEST_P(Mcmm, ScenarioBatchCrossProductMatchesSingleCornerBatches) {
+  const Fixture f(GetParam(), /*hold=*/true);
+  const auto corners = three_corners();
+  core::Engine multi = f.make_engine(corners, /*hold=*/true);
+  multi.run_forward();
+
+  util::Rng rng(GetParam() * 97 + 3);
+  const std::vector<gen::Resize> changes =
+      gen::random_changelist(*f.gd.design, *f.graph, rng, 4);
+  std::vector<std::vector<timing::ArcDelta>> scenarios;
+  for (const gen::Resize& rz : changes) {
+    scenarios.push_back(f.calc->estimate_eco(rz.cell, rz.new_libcell));
+  }
+
+  core::ScenarioBatch batch(multi);
+  const std::vector<core::ScenarioResult> results = batch.evaluate(scenarios);
+  ASSERT_EQ(results.size(), scenarios.size());
+
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    core::Engine solo = f.make_engine({corners[c]}, /*hold=*/true);
+    solo.run_forward();
+    core::ScenarioBatch solo_batch(solo);
+    const auto solo_results = solo_batch.evaluate(scenarios);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].setup_by_corner.size(), corners.size());
+      EXPECT_EQ(results[i].setup_by_corner[c], solo_results[i].setup)
+          << "scenario " << i << " corner " << c;
+      EXPECT_EQ(results[i].hold_by_corner[c], solo_results[i].hold)
+          << "scenario " << i << " corner " << c;
+    }
+  }
+
+  // Merged == what Engine reports after actually committing the deltas.
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    core::Engine committed = f.make_engine(corners, /*hold=*/true);
+    committed.run_forward();
+    committed.annotate(scenarios[i]);
+    committed.run_forward_incremental();
+    EXPECT_EQ(results[i].setup, committed.merged_summary(Mode::kSetup))
+        << "scenario " << i;
+    EXPECT_EQ(results[i].hold, committed.merged_summary(Mode::kHold))
+        << "scenario " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Mcmm, ::testing::Values(3u, 11u, 29u));
+
+/// corner_id resolves names; unknown names map to kAllCorners.
+TEST(McmmApi, CornerIdLookup) {
+  const Fixture f(5);
+  core::Engine engine = f.make_engine(three_corners());
+  EXPECT_EQ(engine.corner_id("typ"), 0);
+  EXPECT_EQ(engine.corner_id("fast"), 1);
+  EXPECT_EQ(engine.corner_id("slow"), 2);
+  EXPECT_EQ(engine.corner_id("nope"), core::kAllCorners);
+
+  core::Engine dflt = f.make_engine({});
+  EXPECT_EQ(dflt.num_corners(), 1u);
+  EXPECT_EQ(dflt.corners()[0].name, "default");
+}
+
+/// Invalid corner sets are rejected by EngineOptions::validate (and hence
+/// the Engine constructor), matching the analysis lint rules.
+TEST(McmmApi, EngineOptionsRejectBadCorners) {
+  core::EngineOptions opt;
+  opt.corners = {CornerSpec{"a", 1.0f, 1.0f}, CornerSpec{"a", 1.1f, 1.0f}};
+  EXPECT_FALSE(opt.validate().empty());  // duplicate name
+  opt.corners = {CornerSpec{"", 1.0f, 1.0f}};
+  EXPECT_FALSE(opt.validate().empty());  // empty name
+  opt.corners = {CornerSpec{"x", -1.0f, 1.0f}};
+  EXPECT_FALSE(opt.validate().empty());  // negative delay scale
+  opt.corners = {CornerSpec{"x", 1.0f, 0.0f}};
+  EXPECT_FALSE(opt.validate().empty());  // zero sigma scale
+  opt.corners = {CornerSpec{"x", std::numeric_limits<float>::quiet_NaN(),
+                            1.0f}};
+  EXPECT_FALSE(opt.validate().empty());  // NaN delay scale
+  opt.corners = three_corners();
+  EXPECT_TRUE(opt.validate().empty());
+}
+
+/// annotate() rejects out-of-range target corners.
+TEST(McmmApi, AnnotateRejectsUnknownCorner) {
+  const Fixture f(7);
+  core::Engine engine = f.make_engine(three_corners());
+  engine.run_forward();
+  timing::ArcDelta d;
+  d.arc = 0;
+  d.mu = {1.0, 1.0};
+  d.sigma = {0.0, 0.0};
+  const std::vector<timing::ArcDelta> deltas{d};
+  EXPECT_THROW(engine.annotate(deltas, 3), util::CheckError);
+  EXPECT_THROW(engine.annotate(deltas, -2), util::CheckError);
+}
+
+// ---- analysis corner rules --------------------------------------------------
+
+TEST(McmmLint, CheckCornerSetupFlagsBadScales) {
+  using analysis::CornerSetup;
+  const std::vector<CornerSetup> bad = {
+      {"ok", 1.0, 1.0},
+      {"nan", std::numeric_limits<double>::quiet_NaN(), 1.0},
+      {"neg", 1.0, -0.5},
+      {"zero", 0.0, 1.0},
+  };
+  const analysis::LintReport r = analysis::check_corner_setup(bad);
+  EXPECT_TRUE(r.has_errors());
+  EXPECT_EQ(r.count_rule("corner-scale"), 3u);
+  EXPECT_EQ(r.count_rule("corner-name"), 0u);
+}
+
+TEST(McmmLint, CheckCornerSetupFlagsNameProblems) {
+  using analysis::CornerSetup;
+  const std::vector<CornerSetup> bad = {
+      {"a", 1.0, 1.0}, {"", 1.0, 1.0}, {"a", 1.1, 1.0}};
+  const analysis::LintReport r = analysis::check_corner_setup(bad);
+  EXPECT_EQ(r.count_rule("corner-name"), 2u);  // one empty, one duplicate
+  EXPECT_EQ(r.count_rule("corner-scale"), 0u);
+}
+
+TEST(McmmLint, CheckCornerSetupFlagsCountMismatch) {
+  using analysis::CornerSetup;
+  const std::vector<CornerSetup> two = {{"a", 1.0, 1.0}, {"b", 1.1, 1.0}};
+  EXPECT_FALSE(analysis::check_corner_setup(two, 2).has_errors());
+  EXPECT_FALSE(analysis::check_corner_setup(two, 0).has_errors());
+  const analysis::LintReport r = analysis::check_corner_setup(two, 3);
+  EXPECT_TRUE(r.has_errors());
+  EXPECT_EQ(r.count_rule("corner-count"), 1u);
+}
+
+TEST(McmmLint, CheckCornerReference) {
+  EXPECT_FALSE(analysis::check_corner_reference(-1, 3).has_errors());
+  EXPECT_FALSE(analysis::check_corner_reference(0, 3).has_errors());
+  EXPECT_FALSE(analysis::check_corner_reference(2, 3).has_errors());
+  EXPECT_TRUE(analysis::check_corner_reference(3, 3).has_errors());
+  EXPECT_TRUE(analysis::check_corner_reference(-2, 3).has_errors());
+  EXPECT_EQ(
+      analysis::check_corner_reference(5, 3).count_rule("corner-reference"),
+      1u);
+}
+
+}  // namespace
+}  // namespace insta

@@ -44,11 +44,11 @@ SequentialRef sequential_reference(core::Engine& engine,
   tx.annotate(deltas);
   engine.run_forward_incremental();
   SequentialRef ref;
-  ref.setup = engine.summary(Mode::kSetup);
+  ref.setup = engine.summary(Mode::kSetup, 0);
   ref.slack.assign(engine.endpoint_slacks().begin(),
                    engine.endpoint_slacks().end());
   if (engine.options().enable_hold) {
-    ref.hold = engine.summary(Mode::kHold);
+    ref.hold = engine.summary(Mode::kHold, 0);
     const std::size_t n = engine.graph().endpoints().size();
     ref.hold_slack.reserve(n);
     for (std::size_t e = 0; e < n; ++e) {
@@ -213,7 +213,7 @@ TEST_P(ScenarioBatchTest, OverlappingDeltaSetsStayIndependent) {
 TEST_P(ScenarioBatchTest, ParentEngineUntouched) {
   core::Engine engine(*sta_, {});
   engine.run_forward();
-  const SlackSummary before = engine.summary(Mode::kSetup);
+  const SlackSummary before = engine.summary(Mode::kSetup, 0);
   const std::vector<float> slack_before(engine.endpoint_slacks().begin(),
                                         engine.endpoint_slacks().end());
   std::vector<std::vector<core::Engine::TopKEntry>> stores_before;
@@ -230,7 +230,7 @@ TEST_P(ScenarioBatchTest, ParentEngineUntouched) {
   ASSERT_FALSE(results.empty());
 
   EXPECT_TRUE(engine.timing_clean());
-  EXPECT_EQ(engine.summary(Mode::kSetup), before);
+  EXPECT_EQ(engine.summary(Mode::kSetup, 0), before);
   for (std::size_t e = 0; e < slack_before.size(); ++e) {
     const float after = engine.endpoint_slack(static_cast<timing::EndpointId>(e));
     if (std::isfinite(slack_before[e])) {
@@ -267,7 +267,7 @@ TEST_P(ScenarioBatchTest, EmptyDeltaSetIsBaseline) {
   const auto results =
       batch.evaluate(std::vector<std::vector<ArcDelta>>{{}});
   ASSERT_EQ(results.size(), 1u);
-  EXPECT_EQ(results[0].setup, engine.summary(Mode::kSetup));
+  EXPECT_EQ(results[0].setup, engine.summary(Mode::kSetup, 0));
   EXPECT_EQ(results[0].frontier_pins, 0u);
   EXPECT_EQ(results[0].endpoints_evaluated, 0u);
   EXPECT_EQ(results[0].overlay_bytes, 0u);
@@ -302,7 +302,7 @@ TEST_P(ScenarioBatchTest, StatsAndOverlayAccounting) {
 TEST_P(ScenarioBatchTest, SummaryMatchesSingleFieldGetters) {
   core::Engine engine(*sta_, {});
   engine.run_forward();
-  const SlackSummary s = engine.summary(Mode::kSetup);
+  const SlackSummary s = engine.summary(Mode::kSetup, 0);
   EXPECT_EQ(s.tns, engine.tns());
   EXPECT_EQ(s.wns, engine.wns());
   EXPECT_EQ(s.violations, engine.num_violations());
@@ -315,7 +315,7 @@ TEST_P(ScenarioBatchTest, SummaryMatchesSingleFieldGetters) {
 TEST_P(ScenarioBatchTest, TransactionRollbackRestoresExactState) {
   core::Engine engine(*sta_, {});
   engine.run_forward();
-  const SlackSummary before = engine.summary(Mode::kSetup);
+  const SlackSummary before = engine.summary(Mode::kSetup, 0);
   const std::vector<float> slack_before(engine.endpoint_slacks().begin(),
                                         engine.endpoint_slacks().end());
 
@@ -330,7 +330,7 @@ TEST_P(ScenarioBatchTest, TransactionRollbackRestoresExactState) {
     tx.rollback();
     EXPECT_FALSE(tx.active());
     EXPECT_TRUE(engine.timing_clean());
-    EXPECT_EQ(engine.summary(Mode::kSetup), before);
+    EXPECT_EQ(engine.summary(Mode::kSetup, 0), before);
     for (std::size_t e = 0; e < slack_before.size(); ++e) {
       const float after =
           engine.endpoint_slack(static_cast<timing::EndpointId>(e));
@@ -359,14 +359,14 @@ TEST_P(ScenarioBatchTest, TransactionCommitMatchesWhatIf) {
   engine.run_forward_incremental();
   tx.commit();
   EXPECT_FALSE(tx.active());
-  EXPECT_EQ(engine.summary(Mode::kSetup), predicted[0].setup);
+  EXPECT_EQ(engine.summary(Mode::kSetup, 0), predicted[0].setup);
 }
 
 /// Destroying an active Transaction rolls it back.
 TEST_P(ScenarioBatchTest, TransactionDtorRollsBack) {
   core::Engine engine(*sta_, {});
   engine.run_forward();
-  const SlackSummary before = engine.summary(Mode::kSetup);
+  const SlackSummary before = engine.summary(Mode::kSetup, 0);
   util::Rng rng(GetParam() * 43 + 19);
   const auto scen = make_scenarios(rng, 1);
   ASSERT_EQ(scen.size(), 1u);
@@ -376,7 +376,7 @@ TEST_P(ScenarioBatchTest, TransactionDtorRollsBack) {
     engine.run_forward_incremental();
   }  // ~Transaction
   EXPECT_TRUE(engine.timing_clean());
-  EXPECT_EQ(engine.summary(Mode::kSetup), before);
+  EXPECT_EQ(engine.summary(Mode::kSetup, 0), before);
 }
 
 /// One Transaction per engine, and only on clean timing.

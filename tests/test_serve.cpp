@@ -322,8 +322,10 @@ TEST_F(ServeTest, SnapshotMatchesEngineStateAndVersion) {
   ASSERT_NE(snap, nullptr);
   EXPECT_EQ(snap->version, engine->generation());
   EXPECT_TRUE(snap->has_hold);
-  EXPECT_EQ(snap->setup, engine->summary(Mode::kSetup));
-  EXPECT_EQ(snap->hold, engine->summary(Mode::kHold));
+  // The snapshot's headline summaries are the cross-corner merged view
+  // (identical to corner 0 on this single-corner engine).
+  EXPECT_EQ(snap->setup, engine->merged_summary(Mode::kSetup));
+  EXPECT_EQ(snap->hold, engine->merged_summary(Mode::kHold));
   ASSERT_EQ(snap->slack.size(), graph_->endpoints().size());
   ASSERT_EQ(snap->hold_slack.size(), graph_->endpoints().size());
   for (std::size_t e = 0; e < snap->slack.size(); ++e) {
@@ -414,10 +416,10 @@ TEST_F(ServeTest, CommitPublishesNewSnapshotAndOldOneStaysIsolated) {
     core::Engine::Transaction tx = engine->begin_edit();
     tx.annotate(scen[0]);
     engine->run_forward_incremental();
-    committed_setup = engine->summary(Mode::kSetup);
+    committed_setup = engine->summary(Mode::kSetup, 0);
     tx.rollback();
   }
-  const SlackSummary baseline_setup = engine->summary(Mode::kSetup);
+  const SlackSummary baseline_setup = engine->summary(Mode::kSetup, 0);
 
   TimingService service(*engine);
   const auto before = service.snapshot();
@@ -570,18 +572,18 @@ TEST_F(ServeTest, ConcurrentReadersWhatifsAndCommitStayConsistent) {
   // Ground truth at both baselines, computed with the engine offline.
   core::ScenarioBatch direct(*engine);
   const std::vector<core::ScenarioResult> ref1 = direct.evaluate(scen);
-  const SlackSummary s1 = engine->summary(Mode::kSetup);
+  const SlackSummary s1 = engine->summary(Mode::kSetup, 0);
   std::vector<core::ScenarioResult> ref2;
   SlackSummary s2;
   {
     core::Engine::Transaction tx = engine->begin_edit();
     tx.annotate(edit[0]);
     engine->run_forward_incremental();
-    s2 = engine->summary(Mode::kSetup);
+    s2 = engine->summary(Mode::kSetup, 0);
     ref2 = direct.evaluate(scen);
     tx.rollback();
   }
-  ASSERT_EQ(engine->summary(Mode::kSetup), s1);  // rollback restored bytes
+  ASSERT_EQ(engine->summary(Mode::kSetup, 0), s1);  // rollback restored bytes
 
   serve::ServiceOptions opt;
   opt.batch_window_us = 100;  // small window → many leader hand-offs
@@ -692,7 +694,7 @@ TEST_F(ServeTest, DispatcherHandlesCoreOpsAndErrors) {
     const auto doc =
         parse(dispatcher.dispatch(R"({"id": 4, "op": "summary"})"));
     EXPECT_TRUE(doc.find("ok")->boolean);
-    const SlackSummary s = engine->summary(Mode::kSetup);
+    const SlackSummary s = engine->summary(Mode::kSetup, 0);
     EXPECT_EQ(doc.find("result")->find("setup")->find("tns")->number, s.tns);
     EXPECT_EQ(doc.find("result")->find("setup")->find("wns")->number, s.wns);
   }
@@ -733,6 +735,148 @@ TEST_F(ServeTest, DispatcherHandlesCoreOpsAndErrors) {
         R"({"id": 8, "op": "shutdown"})", &shutdown));
     EXPECT_TRUE(doc.find("ok")->boolean);
     EXPECT_TRUE(shutdown);
+  }
+}
+
+/// Protocol 2: the optional "corner" field selects one corner's view on
+/// summary/endpoints/whatif; absent means merged; unknown names/ids are
+/// "unknown-corner"; a {"protocol": 1} pin suppresses the feature for the
+/// rest of the connection.
+TEST_F(ServeTest, CornerSelectionAndProtocolNegotiation) {
+  core::EngineOptions eopt;
+  eopt.enable_hold = true;
+  eopt.corners = {core::CornerSpec{"typ", 1.0f, 1.0f},
+                  core::CornerSpec{"fast", 0.9f, 0.95f},
+                  core::CornerSpec{"slow", 1.12f, 1.05f}};
+  core::Engine engine(*sta_, eopt);
+  engine.run_forward();
+  TimingService service(engine);
+  serve::Dispatcher dispatcher(service);
+
+  const auto parse = [](const std::string& line) {
+    telemetry::JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(telemetry::json_parse(line, doc, error)) << error << line;
+    return doc;
+  };
+
+  {
+    // info advertises the negotiated protocol and the corner-name list.
+    const auto doc = parse(dispatcher.dispatch(R"({"id": 1, "op": "info"})"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    EXPECT_EQ(doc.find("result")->find("protocol")->number,
+              static_cast<double>(serve::kProtocolVersion));
+    const telemetry::JsonValue* corners = doc.find("result")->find("corners");
+    ASSERT_NE(corners, nullptr);
+    ASSERT_EQ(corners->array.size(), 3u);
+    EXPECT_EQ(corners->array[0].string, "typ");
+    EXPECT_EQ(corners->array[1].string, "fast");
+    EXPECT_EQ(corners->array[2].string, "slow");
+  }
+  {
+    // No corner field: the merged cross-corner view.
+    const auto doc =
+        parse(dispatcher.dispatch(R"({"id": 2, "op": "summary"})"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    const SlackSummary merged = engine.merged_summary(Mode::kSetup);
+    EXPECT_EQ(doc.find("result")->find("setup")->find("tns")->number,
+              merged.tns);
+    EXPECT_EQ(doc.find("result")->find("corner"), nullptr);
+  }
+  {
+    // Corner by name.
+    const auto doc = parse(dispatcher.dispatch(
+        R"({"id": 3, "op": "summary", "corner": "fast"})"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    EXPECT_EQ(doc.find("result")->find("corner")->string, "fast");
+    const SlackSummary s = engine.summary(Mode::kSetup, 1);
+    EXPECT_EQ(doc.find("result")->find("setup")->find("tns")->number, s.tns);
+    EXPECT_EQ(doc.find("result")->find("setup")->find("wns")->number, s.wns);
+    const SlackSummary h = engine.summary(Mode::kHold, 1);
+    EXPECT_EQ(doc.find("result")->find("hold")->find("tns")->number, h.tns);
+  }
+  {
+    // Corner by integer id.
+    const auto doc = parse(
+        dispatcher.dispatch(R"({"id": 4, "op": "summary", "corner": 2})"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    EXPECT_EQ(doc.find("result")->find("corner")->string, "slow");
+    EXPECT_EQ(doc.find("result")->find("setup")->find("tns")->number,
+              engine.summary(Mode::kSetup, 2).tns);
+  }
+  {
+    // endpoints: the selected corner's slack plane, not the merged one.
+    const auto doc = parse(dispatcher.dispatch(
+        R"({"id": 5, "op": "endpoints", "ids": [0, 1], "corner": "slow"})"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    const telemetry::JsonValue& eps = *doc.find("result")->find("endpoints");
+    ASSERT_EQ(eps.array.size(), 2u);
+    const auto slow = engine.endpoint_slacks(2);
+    for (const telemetry::JsonValue& ep : eps.array) {
+      const auto e = static_cast<std::size_t>(ep.find("ep")->number);
+      const telemetry::JsonValue* slack = ep.find("slack");
+      if (slack->is_number()) {
+        EXPECT_EQ(slack->number, static_cast<double>(slow[e]));
+      } else {
+        EXPECT_FALSE(std::isfinite(slow[e]));
+      }
+    }
+  }
+  {
+    // whatif with a corner returns that corner's per-scenario summaries.
+    util::Rng rng(17);
+    const auto scen = make_scenarios(rng, 1);
+    ASSERT_FALSE(scen.empty());
+    core::ScenarioBatch direct(engine);
+    const auto expect = direct.evaluate({scen[0]});
+    std::string req = R"({"id": 6, "op": "whatif", "corner": "fast", )";
+    req += R"("scenarios": [{"deltas": [)";
+    for (std::size_t i = 0; i < scen[0].size(); ++i) {
+      if (i) req += ", ";
+      const auto& d = scen[0][i];
+      req += "{\"arc\": " + std::to_string(d.arc) + ", \"mu\": [" +
+             std::to_string(d.mu[0]) + ", " + std::to_string(d.mu[1]) +
+             "], \"sigma\": [" + std::to_string(d.sigma[0]) + ", " +
+             std::to_string(d.sigma[1]) + "]}";
+    }
+    req += "]}]}";
+    const auto doc = parse(dispatcher.dispatch(req));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    const telemetry::JsonValue& results = *doc.find("result")->find("results");
+    ASSERT_EQ(results.array.size(), 1u);
+    EXPECT_EQ(results.array[0].find("setup")->find("tns")->number,
+              expect[0].setup_by_corner[1].tns);
+  }
+  {
+    // Unknown corner name and out-of-range id → "unknown-corner".
+    const auto doc = parse(dispatcher.dispatch(
+        R"({"id": 7, "op": "summary", "corner": "ss0p72vn40c"})"));
+    EXPECT_FALSE(doc.find("ok")->boolean);
+    EXPECT_EQ(doc.find("error")->find("code")->string, "unknown-corner");
+    const auto doc2 = parse(
+        dispatcher.dispatch(R"({"id": 8, "op": "summary", "corner": 3})"));
+    EXPECT_FALSE(doc2.find("ok")->boolean);
+    EXPECT_EQ(doc2.find("error")->find("code")->string, "unknown-corner");
+  }
+  {
+    // Pinning protocol 1 suppresses corner selection for the connection.
+    const auto doc = parse(dispatcher.dispatch(
+        R"({"id": 9, "op": "ping", "protocol": 1})"));
+    EXPECT_TRUE(doc.find("ok")->boolean);
+    const auto rejected = parse(dispatcher.dispatch(
+        R"({"id": 10, "op": "summary", "corner": "fast"})"));
+    EXPECT_FALSE(rejected.find("ok")->boolean);
+    EXPECT_EQ(rejected.find("error")->find("code")->string, "bad-request");
+    // A version-1 info reply omits the corner members entirely.
+    const auto info = parse(dispatcher.dispatch(R"({"id": 11, "op": "info"})"));
+    ASSERT_TRUE(info.find("ok")->boolean);
+    EXPECT_EQ(info.find("result")->find("corners"), nullptr);
+    EXPECT_EQ(info.find("result")->find("protocol")->number, 1.0);
+    // Renegotiating back up restores them.
+    const auto info2 = parse(dispatcher.dispatch(
+        R"({"id": 12, "op": "info", "protocol": 2})"));
+    ASSERT_TRUE(info2.find("ok")->boolean);
+    ASSERT_NE(info2.find("result")->find("corners"), nullptr);
   }
 }
 

@@ -539,9 +539,14 @@ TEST(Validate, RejectsMalformedMetrics) {
 }
 
 TEST(Validate, WhatifSchema) {
+  // The generation/corner-set stamp every whatif report must carry.
+  const std::string stamp =
+      R"("generation": 7, "corners": [{"name": "default",)"
+      R"( "delay_scale": 1.0, "sigma_scale": 1.0}], )";
   // A complete scenario with setup + hold summaries validates.
-  const char* good =
-      R"({"scenarios": [{"label": "resize-0", "num_deltas": 4,)"
+  const std::string good =
+      "{" + stamp +
+      R"("scenarios": [{"label": "resize-0", "num_deltas": 4,)"
       R"( "frontier_pins": 12, "early_terminations": 3,)"
       R"( "endpoints_evaluated": 5, "overlay_bytes": 2048,)"
       R"( "setup": {"tns": -12.5, "wns": -3.25, "violations": 4},)"
@@ -552,16 +557,39 @@ TEST(Validate, WhatifSchema) {
 
   // Hold is optional; an empty batch is legal.
   EXPECT_TRUE(
-      telemetry::validate_whatif_json(R"({"scenarios": []})", &n).ok);
+      telemetry::validate_whatif_json("{" + stamp + R"("scenarios": []})", &n)
+          .ok);
   EXPECT_EQ(n, 0u);
 
   EXPECT_FALSE(telemetry::validate_whatif_json("not json").ok);
   EXPECT_FALSE(telemetry::validate_whatif_json("[]").ok);
   EXPECT_FALSE(telemetry::validate_whatif_json(R"({"x": 1})").ok);
+  // The stamps themselves are required; an unstamped report is rejected.
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(R"({"scenarios": []})").ok);
+  EXPECT_FALSE(telemetry::validate_whatif_json(
+                   R"({"generation": 7, "scenarios": []})")
+                   .ok);
+  // Bad corner entries are structural errors.
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(
+          R"({"generation": 1, "corners": [], "scenarios": []})")
+          .ok);
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(
+          R"({"generation": 1, "corners": [{"name": "",)"
+          R"( "delay_scale": 1.0, "sigma_scale": 1.0}], "scenarios": []})")
+          .ok);
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(
+          R"({"generation": 1, "corners": [{"name": "bad",)"
+          R"( "delay_scale": -1.0, "sigma_scale": 1.0}], "scenarios": []})")
+          .ok);
   // Positive TNS contradicts "sum of negative slacks".
   EXPECT_FALSE(
       telemetry::validate_whatif_json(
-          R"({"scenarios": [{"label": "s", "num_deltas": 0,)"
+          "{" + stamp +
+          R"("scenarios": [{"label": "s", "num_deltas": 0,)"
           R"( "frontier_pins": 0, "early_terminations": 0,)"
           R"( "endpoints_evaluated": 0, "overlay_bytes": 0,)"
           R"( "setup": {"tns": 5.0, "wns": 0.0, "violations": 0}}]})")
@@ -569,15 +597,52 @@ TEST(Validate, WhatifSchema) {
   // Missing counters and fractional violation counts are structural errors.
   EXPECT_FALSE(
       telemetry::validate_whatif_json(
-          R"({"scenarios": [{"label": "s",)"
+          "{" + stamp +
+          R"("scenarios": [{"label": "s",)"
           R"( "setup": {"tns": 0.0, "wns": 0.0, "violations": 0}}]})")
           .ok);
   EXPECT_FALSE(
       telemetry::validate_whatif_json(
-          R"({"scenarios": [{"label": "s", "num_deltas": 0,)"
+          "{" + stamp +
+          R"("scenarios": [{"label": "s", "num_deltas": 0,)"
           R"( "frontier_pins": 0, "early_terminations": 0,)"
           R"( "endpoints_evaluated": 0, "overlay_bytes": 0,)"
           R"( "setup": {"tns": 0.0, "wns": 0.0, "violations": 1.5}}]})")
+          .ok);
+}
+
+TEST(Validate, WhatifSchemaPerCornerSummaries) {
+  // Two stamped corners; per-corner summary arrays must match their count
+  // and every element must be a well-formed summary.
+  const std::string stamp =
+      R"("generation": 3, "corners": [)"
+      R"({"name": "fast", "delay_scale": 0.9, "sigma_scale": 0.95},)"
+      R"( {"name": "slow", "delay_scale": 1.1, "sigma_scale": 1.05}], )";
+  const auto doc = [&](const std::string& by_corner) {
+    return "{" + stamp +
+           R"("scenarios": [{"label": "s", "num_deltas": 1,)"
+           R"( "frontier_pins": 0, "early_terminations": 0,)"
+           R"( "endpoints_evaluated": 0, "overlay_bytes": 0,)"
+           R"( "setup": {"tns": -2.0, "wns": -1.0, "violations": 1})" +
+           by_corner + "}]}";
+  };
+  EXPECT_TRUE(telemetry::validate_whatif_json(doc("")).ok);
+  EXPECT_TRUE(
+      telemetry::validate_whatif_json(
+          doc(R"(, "setup_by_corner": [)"
+              R"({"tns": -1.0, "wns": -1.0, "violations": 1},)"
+              R"( {"tns": -2.0, "wns": -1.5, "violations": 1}])"))
+          .ok);
+  // Wrong cardinality: one summary for two corners.
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(
+          doc(R"(, "setup_by_corner": [)"
+              R"({"tns": -1.0, "wns": -1.0, "violations": 1}])"))
+          .ok);
+  // Malformed element inside the per-corner array.
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(
+          doc(R"(, "hold_by_corner": [{"tns": -1.0}, 42])"))
           .ok);
 }
 
@@ -595,7 +660,9 @@ TEST(Validate, WhatifSchemaFailureModes) {
         {"overlay_bytes", "64"},
         {"setup", R"({"tns": -1.0, "wns": -0.5, "violations": 1})"},
     };
-    std::string body = "{\"scenarios\": [{";
+    std::string body =
+        R"({"generation": 1, "corners": [{"name": "default",)"
+        R"( "delay_scale": 1.0, "sigma_scale": 1.0}], "scenarios": [{)";
     bool first = true;
     for (const auto& [name, value] : fields) {
       const std::string& v = name == field ? json : value;
@@ -646,12 +713,19 @@ TEST(Validate, WhatifSchemaFailureModes) {
           .ok);
 
   // Scenario-list shape: must be an array of objects under "scenarios".
-  EXPECT_FALSE(telemetry::validate_whatif_json(R"({"scenarios": null})").ok);
-  EXPECT_FALSE(telemetry::validate_whatif_json(R"({"scenarios": {}})").ok);
-  EXPECT_FALSE(telemetry::validate_whatif_json(R"({"scenarios": [1]})").ok);
+  const std::string stamp =
+      R"({"generation": 1, "corners": [{"name": "default",)"
+      R"( "delay_scale": 1.0, "sigma_scale": 1.0}], )";
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(stamp + R"("scenarios": null})").ok);
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(stamp + R"("scenarios": {}})").ok);
+  EXPECT_FALSE(
+      telemetry::validate_whatif_json(stamp + R"("scenarios": [1]})").ok);
   // Empty list is legal and reports zero scenarios.
   n = 99;
-  EXPECT_TRUE(telemetry::validate_whatif_json(R"({"scenarios": []})", &n).ok);
+  EXPECT_TRUE(
+      telemetry::validate_whatif_json(stamp + R"("scenarios": []})", &n).ok);
   EXPECT_EQ(n, 0u);
 }
 
