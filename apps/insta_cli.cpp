@@ -38,6 +38,9 @@
 //                   [--max-batch N] [--max-queue N] [--max-inflight N]
 //                   [--max-sessions N] [--max-connections N] [--endpoints 1]
 //                   [--max-seconds S] [--slow-us U]
+//                   [--cache-entries N] [--delta-log N]
+//                   [--replica-of <unix:/path | host:port>] [--poll-ms M]
+//                   [--bootstrap-seconds S]
 //                                            run the timing-query server
 //                                            (newline-delimited JSON over a
 //                                            Unix or TCP socket) until a
@@ -45,7 +48,13 @@
 //                                            or --max-seconds elapses;
 //                                            --slow-us logs every request
 //                                            slower than U microseconds
-//                                            with its server_us breakdown
+//                                            with its server_us breakdown.
+//                                            --replica-of makes this server
+//                                            a read-only replica converging
+//                                            onto the given writer (same
+//                                            --in design) via delta
+//                                            replication; --poll-ms sets the
+//                                            catch-up cadence
 //   insta_cli top --connect <unix:/path | host:port> [--interval-sec S]
 //                 [--iters N]
 //                                            live serve dashboard: polls the
@@ -83,6 +92,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -101,6 +111,7 @@
 #include "io/design_io.hpp"
 #include "ref/golden_sta.hpp"
 #include "ref/report.hpp"
+#include "replica/replica.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -797,6 +808,13 @@ int cmd_serve(const Args& args) {
       static_cast<int>(args.get_num("max-inflight", 8));
   sopt.max_sessions = static_cast<int>(args.get_num("max-sessions", 64));
   sopt.collect_endpoints = args.has("endpoints");
+  sopt.whatif_cache_entries =
+      static_cast<int>(args.get_num("cache-entries", 256));
+  sopt.delta_log_capacity = static_cast<int>(args.get_num("delta-log", 1024));
+  const std::string replica_of = args.get("replica-of", "");
+  // A replica serves reads only; every edit goes to the writer and arrives
+  // here as a replicated commit delta.
+  sopt.read_only = !replica_of.empty();
 
   serve::ServerOptions nopt;
   nopt.unix_path = args.get("socket", "");
@@ -816,6 +834,34 @@ int cmd_serve(const Args& args) {
   core::Engine engine(*w.sta, eopt);
   engine.run_forward();
   serve::TimingService service(engine, sopt);
+
+  std::unique_ptr<replica::Replicator> replicator;
+  if (!replica_of.empty()) {
+    replica::ReplicatorOptions ropt;
+    ropt.upstream = replica_of;
+    ropt.poll_ms = static_cast<int>(args.get_num("poll-ms", 50));
+    replicator = std::make_unique<replica::Replicator>(service, ropt);
+    // Converge before accepting clients. The writer may still be starting
+    // (CI launches both at once), so retry the bootstrap for a while.
+    const double bootstrap_sec = args.get_num("bootstrap-seconds", 10);
+    util::Stopwatch bsw;
+    for (;;) {
+      try {
+        replicator->bootstrap();
+        break;
+      } catch (const util::CheckError& e) {
+        util::check(bsw.elapsed_sec() < bootstrap_sec,
+                    std::string("serve: replica bootstrap failed: ") +
+                        e.what());
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+    }
+    service.set_replication_info(&replicator->info());
+    replicator->start();
+    std::printf("replicating from %s (generation %llu)\n", replica_of.c_str(),
+                static_cast<unsigned long long>(service.snapshot()->version));
+  }
+
   serve::Server server(service, nopt);
   server.start();
   // The endpoint line is the startup handshake scripts wait for; flush so a
@@ -854,6 +900,7 @@ int cmd_serve(const Args& args) {
 
   server.wait();
   server.stop();
+  if (replicator != nullptr) replicator->stop();
   if (watchdog.joinable()) {
     {
       const util::LockGuard lk(wd_mu);

@@ -14,11 +14,24 @@
 //                                  N concurrent connections (plus one edit
 //                                  commit when --edit); prints queries/sec
 //                                  and latency percentiles
+//   serve_client --connect ... --commit N --in d.inet [--deltas D]
+//                [--seed S]
+//                                  send N edit commits (begin_edit /
+//                                  annotate / commit) built from random
+//                                  design changelists — the writer-side
+//                                  driver for replication tests
+//   serve_client --connect <A> --compare <B> [--in d.inet]
+//                [--timeout-sec T] [--samples N] [--seed S]
+//                                  wait until A and B report the same
+//                                  generation, then replay identical
+//                                  summary / endpoints / whatif requests to
+//                                  both and require byte-identical result
+//                                  payloads; exit 1 on any drift
 //   serve_client --connect ... --shutdown 1
 //                                  ask the server to shut down
 //
 // Modes combine left to right in one run: --script, then --verify, then
-// --load, then --shutdown.
+// --load, then --commit, then --compare, then --shutdown.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -557,6 +570,149 @@ int run_load(const Args& args, const std::string& endpoint) {
   return failed == 0 ? 0 : 1;
 }
 
+/// Sends N edit commits built from random design changelists — the
+/// writer-side driver the replication smoke test uses to advance the
+/// generation chain.
+int run_commit(Conn& conn, const Args& args) {
+  util::check(args.has("in"), "commit: --in is required");
+  const int commits = std::max(1, static_cast<int>(args.get_num("commit", 1)));
+  const int resizes = std::max(1, static_cast<int>(args.get_num("deltas", 4)));
+  io::LoadedDesign loaded = io::load_design_file(args.get("in", ""));
+  timing::TimingGraph graph(*loaded.design, loaded.constraints.clock_root);
+  timing::DelayCalculator calc(*loaded.design, graph);
+  timing::ArcDelays delays;
+  calc.compute_all(delays);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 19)));
+
+  for (int i = 0; i < commits; ++i) {
+    util::check(reply_ok(parse_reply(conn.request(
+                    "{\"id\": 70, \"op\": \"begin_edit\"}"))),
+                "commit: begin_edit failed");
+    const std::vector<gen::Resize> changes =
+        gen::random_changelist(*loaded.design, graph, rng, resizes);
+    for (const gen::Resize& rz : changes) {
+      const std::vector<timing::ArcDelta> deltas =
+          calc.estimate_eco(rz.cell, rz.new_libcell);
+      if (deltas.empty()) continue;
+      std::string ds = "[";
+      for (std::size_t j = 0; j < deltas.size(); ++j) {
+        if (j != 0) ds += ", ";
+        ds += delta_json(deltas[j]);
+      }
+      ds += "]";
+      util::check(
+          reply_ok(parse_reply(conn.request(
+              "{\"id\": 71, \"op\": \"annotate\", \"deltas\": " + ds + "}"))),
+          "commit: annotate failed");
+    }
+    const auto reply =
+        parse_reply(conn.request("{\"id\": 72, \"op\": \"commit\"}"));
+    util::check(reply_ok(reply), "commit: commit failed");
+    std::printf("commit %d/%d: version %.0f\n", i + 1, commits,
+                result_field(reply, {"version"}).number);
+  }
+  return 0;
+}
+
+/// The reply's result payload as raw bytes, with the per-server
+/// "server_us" timing object (the one legitimately deployment-variant
+/// member) stripped: the unit of the replication bit-identity gate.
+std::string result_bytes(const std::string& reply, const char* what) {
+  const std::size_t lo = reply.find("\"result\": ");
+  util::check(lo != std::string::npos,
+              std::string("compare: ") + what + " reply has no result");
+  const std::size_t hi = reply.rfind(", \"server_us\": ");
+  util::check(hi != std::string::npos && hi > lo,
+              std::string("compare: ") + what + " reply has no server_us");
+  return reply.substr(lo, hi - lo);
+}
+
+/// Waits until two servers report the same generation, then requires
+/// byte-identical result payloads for identical requests on both.
+int run_compare(const Args& args, const std::string& a_ep) {
+  const std::string b_ep = args.get("compare", "");
+  Conn a(a_ep);
+  Conn b(b_ep);
+  const double timeout_sec = args.get_num("timeout-sec", 30);
+
+  // Convergence gate: a replica is allowed to lag, not to drift, so poll
+  // until both sides sit at one generation before comparing bytes.
+  util::Stopwatch sw;
+  double gen_a = -1.0;
+  double gen_b = -2.0;
+  for (;;) {
+    const auto ra = parse_reply(a.request("{\"id\": 1, \"op\": \"stats\"}"));
+    const auto rb = parse_reply(b.request("{\"id\": 1, \"op\": \"stats\"}"));
+    util::check(reply_ok(ra) && reply_ok(rb), "compare: stats failed");
+    gen_a = result_field(ra, {"generation"}).number;
+    gen_b = result_field(rb, {"generation"}).number;
+    if (gen_a == gen_b) break;
+    util::check(sw.elapsed_sec() < timeout_sec,
+                "compare: servers did not converge within " +
+                    std::to_string(timeout_sec) + " s (generations " +
+                    std::to_string(gen_a) + " vs " + std::to_string(gen_b) +
+                    ")");
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("compare: both servers at generation %.0f\n", gen_a);
+
+  int failures = 0;
+  const auto compare_req = [&](const std::string& req, const std::string&
+                                                           what) {
+    const std::string la = a.request(req);
+    const std::string lb = b.request(req);
+    util::check(reply_ok(parse_reply(la)) && reply_ok(parse_reply(lb)),
+                "compare: " + what + " failed on the wire");
+    if (result_bytes(la, what.c_str()) != result_bytes(lb, what.c_str())) {
+      std::fprintf(stderr, "compare: MISMATCH %s\n  A: %s\n  B: %s\n",
+                   what.c_str(), la.c_str(), lb.c_str());
+      ++failures;
+    }
+  };
+
+  compare_req("{\"id\": 2, \"op\": \"summary\"}", "summary");
+  compare_req("{\"id\": 3, \"op\": \"endpoints\", \"worst\": 64}",
+              "endpoints");
+  // Per-corner views, from the corner list both sides advertise.
+  {
+    const auto info = parse_reply(a.request("{\"id\": 4, \"op\": \"info\"}"));
+    util::check(reply_ok(info), "compare: info failed");
+    const telemetry::JsonValue& corners = result_field(info, {"corners"});
+    for (std::size_t c = 0; c < corners.array.size(); ++c) {
+      compare_req("{\"id\": 5, \"op\": \"summary\", \"corner\": " +
+                      std::to_string(c) + "}",
+                  "summary[corner " + std::to_string(c) + "]");
+    }
+  }
+  // What-if equivalence needs real deltas, which need the design file.
+  if (args.has("in")) {
+    const int samples =
+        std::max(1, static_cast<int>(args.get_num("samples", 4)));
+    io::LoadedDesign loaded = io::load_design_file(args.get("in", ""));
+    timing::TimingGraph graph(*loaded.design, loaded.constraints.clock_root);
+    timing::DelayCalculator calc(*loaded.design, graph);
+    timing::ArcDelays delays;
+    calc.compute_all(delays);
+    util::Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 23)));
+    const std::vector<gen::Resize> changes =
+        gen::random_changelist(*loaded.design, graph, rng, samples);
+    std::vector<std::vector<timing::ArcDelta>> scenarios;
+    for (const gen::Resize& rz : changes) {
+      scenarios.push_back(calc.estimate_eco(rz.cell, rz.new_libcell));
+    }
+    compare_req("{\"id\": 6, \"op\": \"whatif\", \"scenarios\": " +
+                    scenarios_json(scenarios) + "}",
+                "whatif");
+  }
+
+  if (failures == 0) {
+    std::printf("compare: result payloads are byte-identical\n");
+    return 0;
+  }
+  std::fprintf(stderr, "compare: %d mismatches\n", failures);
+  return 1;
+}
+
 int run_script(Conn& conn, const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   util::check(static_cast<bool>(f), "script: cannot read " + path);
@@ -583,6 +739,13 @@ void usage() {
                "   [--out report.json]]               closed-loop load; --out\n"
                "                                      writes a JSON run "
                "report\n"
+               "  [--commit N --in d.inet [--deltas D] [--seed S]]\n"
+               "                                      send N random edit "
+               "commits\n"
+               "  [--compare <unix:/path | host:port> [--in d.inet]\n"
+               "   [--timeout-sec T] [--samples N] [--seed S]]\n"
+               "                                      byte-compare two "
+               "servers\n"
                "  [--shutdown 1]                      stop the server\n");
 }
 
@@ -608,6 +771,13 @@ int main(int argc, char** argv) {
     if (args.has("load")) {
       rc = std::max(rc, run_load(args, endpoint));
     }
+    if (args.has("commit")) {
+      Conn conn(endpoint);
+      rc = std::max(rc, run_commit(conn, args));
+    }
+    if (args.has("compare")) {
+      rc = std::max(rc, run_compare(args, endpoint));
+    }
     if (args.has("shutdown")) {
       Conn conn(endpoint);
       const auto reply = parse_reply(
@@ -616,7 +786,7 @@ int main(int argc, char** argv) {
       std::printf("server shutting down\n");
     }
     if (!args.has("script") && !args.has("verify") && !args.has("load") &&
-        !args.has("shutdown")) {
+        !args.has("commit") && !args.has("compare") && !args.has("shutdown")) {
       usage();
       return 2;
     }

@@ -12,10 +12,13 @@
 // ScenarioBatch evaluation of the same scenario, and the binary exits
 // non-zero on any mismatch. CI runs it with --small.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +28,8 @@
 #include "core/scenario_batch.hpp"
 #include "gen/changelist.hpp"
 #include "gen/presets.hpp"
+#include "replica/replica.hpp"
+#include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
@@ -212,6 +217,211 @@ int main(int argc, char** argv) {
   std::fputs(table.str().c_str(), stdout);
   std::printf("\nlarger windows trade per-request latency for batch "
               "occupancy; window 0 dispatches near one batch per request\n");
+
+  // ---- replication: delta shipping, convergence lag, fleet read scaling ----
+  //
+  // One writer service behind a Unix socket, two replica stacks (own engine
+  // over the same design) converging through the Replicator's delta path.
+  // Every commit measures per-replica catch-up lag; after convergence the
+  // replicas must be byte-identical to the writer (hard gate); the what-if
+  // cache must show hits on a repeated-query workload (hard gate); and a
+  // round-robin read fleet reports aggregate q/s at 0/1/2 replicas.
+  {
+    std::printf("\nreplication: 1 writer + 2 replicas over a Unix socket\n");
+    const std::string sock =
+        "/tmp/bench_serve_repl_" + std::to_string(::getpid()) + ".sock";
+
+    core::Engine writer_engine(*world.sta, eopt);
+    writer_engine.run_forward();
+    serve::ServiceOptions wopt;
+    wopt.whatif_cache_entries = 256;
+    serve::TimingService writer(writer_engine, wopt);
+    serve::ServerOptions nopt;
+    nopt.unix_path = sock;
+    serve::Server server(writer, nopt);
+    server.start();
+
+    struct ReplicaStack {
+      std::unique_ptr<core::Engine> engine;
+      std::unique_ptr<serve::TimingService> service;
+      std::unique_ptr<replica::Replicator> replicator;
+    };
+    constexpr int kReplicas = 2;
+    std::vector<ReplicaStack> replicas;
+    for (int i = 0; i < kReplicas; ++i) {
+      ReplicaStack rs;
+      rs.engine = std::make_unique<core::Engine>(*world.sta, eopt);
+      rs.engine->run_forward();
+      serve::ServiceOptions ropt;
+      ropt.read_only = true;
+      ropt.whatif_cache_entries = 256;
+      rs.service = std::make_unique<serve::TimingService>(*rs.engine, ropt);
+      replica::ReplicatorOptions rro;
+      rro.upstream = "unix:" + sock;
+      rro.poll_ms = 2;
+      rs.replicator =
+          std::make_unique<replica::Replicator>(*rs.service, rro);
+      rs.replicator->bootstrap();
+      rs.replicator->start();
+      replicas.push_back(std::move(rs));
+    }
+
+    // Scripted commits; per-replica convergence lag (commit return to
+    // version match, so it includes the poll cadence).
+    std::size_t repl_mismatches = 0;
+    const int commits = small ? 4 : 10;
+    std::vector<double> lag_ms;
+    serve::SessionId wsid = -1;
+    (void)writer.open_session(wsid);
+    for (int k = 0; k < commits; ++k) {
+      (void)writer.begin_edit(wsid);
+      (void)writer.annotate(wsid, pool[static_cast<std::size_t>(k) %
+                                       pool.size()]);
+      serve::TimingService::CommitReply cr;
+      if (!writer.commit(wsid, cr).ok()) {
+        ++repl_mismatches;
+        continue;
+      }
+      for (auto& rs : replicas) {
+        util::Stopwatch lsw;
+        while (rs.service->snapshot()->version < cr.version) {
+          if (lsw.elapsed_sec() > 15.0) break;
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        if (rs.service->snapshot()->version < cr.version) {
+          ++repl_mismatches;  // replica never converged
+        } else {
+          lag_ms.push_back(lsw.elapsed_sec() * 1e3);
+        }
+      }
+    }
+
+    // Bit-identity gate: converged replicas must match the writer to the
+    // byte — merged summaries, every per-corner endpoint slack plane, and a
+    // live what-if — or the whole benchmark fails.
+    const auto wsnap = writer.snapshot();
+    serve::TimingService::WhatifReply wref;
+    (void)writer.whatif(wsid, {pool[0]}, wref);
+    for (auto& rs : replicas) {
+      const auto rsnap = rs.service->snapshot();
+      if (rsnap->version != wsnap->version ||
+          rsnap->slack.size() != wsnap->slack.size() ||
+          std::memcmp(rsnap->slack.data(), wsnap->slack.data(),
+                      wsnap->slack.size() * sizeof(float)) != 0 ||
+          std::memcmp(rsnap->slack_by_corner.data(),
+                      wsnap->slack_by_corner.data(),
+                      wsnap->slack_by_corner.size() * sizeof(float)) != 0 ||
+          !(rsnap->setup == wsnap->setup)) {
+        ++repl_mismatches;
+      }
+      serve::SessionId rsid = -1;
+      (void)rs.service->open_session(rsid);
+      serve::TimingService::WhatifReply rrep;
+      if (!rs.service->whatif(rsid, {pool[0]}, rrep).ok() ||
+          !(rrep.results[0].setup == wref.results[0].setup)) {
+        ++repl_mismatches;
+      }
+      (void)rs.service->close_session(rsid);
+    }
+
+    // Cache gate: a repeated query on the writer must hit.
+    serve::TimingService::WhatifReply again;
+    (void)writer.whatif(wsid, {pool[0]}, again);
+    const replica::WhatifCacheStats cs = writer.cache_stats();
+    if (cs.hits == 0) ++repl_mismatches;
+    const double hit_rate =
+        cs.hits + cs.misses > 0
+            ? static_cast<double>(cs.hits) /
+                  static_cast<double>(cs.hits + cs.misses)
+            : 0.0;
+
+    std::sort(lag_ms.begin(), lag_ms.end());
+    std::uint64_t applied = 0;
+    std::uint64_t full_syncs = 0;
+    for (const auto& rs : replicas) {
+      applied += rs.replicator->info().applied_deltas.load();
+      full_syncs += rs.replicator->info().full_syncs.load();
+    }
+    std::printf(
+        "replication: %d commits, lag p50 %.2f ms p95 %.2f ms max %.2f ms, "
+        "%llu deltas applied, %llu full syncs, cache hit rate %.2f, "
+        "%zu mismatches\n",
+        commits, percentile(lag_ms, 0.50), percentile(lag_ms, 0.95),
+        lag_ms.empty() ? 0.0 : lag_ms.back(),
+        static_cast<unsigned long long>(applied),
+        static_cast<unsigned long long>(full_syncs), hit_rate,
+        repl_mismatches);
+    report.add_row("replication,lag",
+                   {{"replicas", static_cast<double>(kReplicas)},
+                    {"commits", static_cast<double>(commits)},
+                    {"lag_p50_ms", percentile(lag_ms, 0.50)},
+                    {"lag_p95_ms", percentile(lag_ms, 0.95)},
+                    {"lag_max_ms", lag_ms.empty() ? 0.0 : lag_ms.back()},
+                    {"applied_deltas", static_cast<double>(applied)},
+                    {"full_syncs", static_cast<double>(full_syncs)},
+                    {"cache_hit_rate", hit_rate},
+                    {"mismatches", static_cast<double>(repl_mismatches)}});
+
+    // Read scaling: closed-loop what-if clients round-robined across the
+    // writer plus the first N replicas (all converged, so every stack
+    // answers from identical state).
+    const auto run_fleet = [&](int nrep) {
+      std::vector<serve::TimingService*> targets{&writer};
+      for (int i = 0; i < nrep; ++i) {
+        targets.push_back(replicas[static_cast<std::size_t>(i)].service.get());
+      }
+      const int clients = small ? 4 : 8;
+      const int per_client = small ? 30 : 100;
+      std::atomic<std::size_t> ok{0};
+      std::atomic<std::size_t> errors{0};
+      util::Stopwatch wall;
+      std::vector<std::thread> threads;
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          serve::TimingService& svc =
+              *targets[static_cast<std::size_t>(c) % targets.size()];
+          serve::SessionId sid = -1;
+          if (!svc.open_session(sid).ok()) {
+            errors.fetch_add(1);
+            return;
+          }
+          util::Rng pick(9100 + static_cast<std::uint64_t>(c));
+          for (int r = 0; r < per_client; ++r) {
+            const std::size_t which =
+                static_cast<std::size_t>(pick() % pool.size());
+            serve::TimingService::WhatifReply reply;
+            if (svc.whatif(sid, {pool[which]}, reply).ok()) {
+              ok.fetch_add(1);
+            } else {
+              errors.fetch_add(1);
+            }
+          }
+          (void)svc.close_session(sid);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const double qps = ok.load() > 0
+                             ? static_cast<double>(ok.load()) /
+                                   wall.elapsed_sec()
+                             : 0.0;
+      std::printf("replication: fleet of 1+%d: %.0f q/s aggregate "
+                  "(%zu ok, %zu errors)\n",
+                  nrep, qps, ok.load(), errors.load());
+      report.add_row("replication,fleet,N=" + std::to_string(nrep),
+                     {{"replicas", static_cast<double>(nrep)},
+                      {"queries_per_sec", qps},
+                      {"errors", static_cast<double>(errors.load())}});
+      if (errors.load() != 0) ++repl_mismatches;
+    };
+    for (int nrep = 0; nrep <= kReplicas; ++nrep) run_fleet(nrep);
+
+    (void)writer.close_session(wsid);
+    for (auto& rs : replicas) rs.replicator->stop();
+    server.stop();
+    ::unlink(sock.c_str());
+    total_mismatches += repl_mismatches;
+  }
+
   report.write();
 
   if (total_mismatches != 0) {

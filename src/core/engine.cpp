@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <tuple>
-#include <unordered_set>
 #include <utility>
 
 #include "analysis/diagnostics.hpp"
 #include "core/topk.hpp"
 #include "telemetry/telemetry.hpp"
+#include "timing/delta_canon.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -571,18 +572,22 @@ analysis::LintReport Engine::check_deltas(
     report.add(std::move(d));
   };
 
-  std::unordered_set<timing::ArcId> seen;
-  seen.reserve(deltas.size());
   const std::size_t num_arcs = slot_of_arc_.size();
+  // Duplicate detection is delegated to the shared canonicalizer — the
+  // same helper that keys the serve layer's what-if cache — so "what
+  // counts as the same delta-set" has exactly one definition.
+  std::vector<timing::ArcId> dup_arcs;
+  static_cast<void>(timing::canonicalize_deltas(deltas, &dup_arcs));
+  for (const timing::ArcId a : dup_arcs) {
+    if (a < 0 || static_cast<std::size_t>(a) >= num_arcs) continue;
+    add(dup, analysis::Severity::kWarning, a,
+        "arc annotated more than once in this delta-set (last write wins)");
+  }
   for (const timing::ArcDelta& d : deltas) {
     if (d.arc < 0 || static_cast<std::size_t>(d.arc) >= num_arcs) {
       add(range, analysis::Severity::kError, d.arc,
           "arc id out of range [0, " + std::to_string(num_arcs) + ")");
       continue;
-    }
-    if (!seen.insert(d.arc).second) {
-      add(dup, analysis::Severity::kWarning, d.arc,
-          "arc annotated more than once in this delta-set (last write wins)");
     }
     const auto arc = static_cast<std::size_t>(d.arc);
     if (slot_of_arc_[arc] < 0 && launch_sp_of_arc_[arc] < 0) {
@@ -652,6 +657,7 @@ Engine::Transaction::Transaction(Engine& engine) : engine_(&engine) {
 Engine::Transaction::Transaction(Transaction&& other) noexcept
     : engine_(other.engine_),
       undo_(std::move(other.undo_)),
+      applied_(std::move(other.applied_)),
       tns_(std::move(other.tns_)),
       nviol_(std::move(other.nviol_)),
       ths_(std::move(other.ths_)),
@@ -732,6 +738,7 @@ void Engine::Transaction::annotate(std::span<const timing::ArcDelta> deltas,
   check(engine_ != nullptr,
         "Transaction::annotate: transaction already committed or rolled back");
   record(deltas);
+  applied_.push_back({corner, {deltas.begin(), deltas.end()}});
   engine_->annotate(deltas, corner);
 }
 
@@ -740,6 +747,8 @@ void Engine::Transaction::commit() {
         "Transaction::commit: transaction already committed or rolled back");
   engine_->txn_active_ = false;
   engine_ = nullptr;
+  // applied_ is intentionally kept: a committed transaction's records are
+  // its replication payload (see applied()).
   undo_.clear();
 }
 
@@ -789,6 +798,7 @@ void Engine::Transaction::rollback() {
     e.whs_valid_ = whs_valid_;
     undo_.clear();
   }
+  applied_.clear();  // the edits no longer exist; there is nothing to replay
   e.txn_active_ = false;
   engine_ = nullptr;
 }
@@ -801,6 +811,188 @@ Engine::Transaction Engine::begin_edit() {
         "run_forward_incremental() first)");
   txn_active_ = true;
   return Transaction(*this);
+}
+
+// ---- state export / import (replication) -------------------------------------
+
+EngineState Engine::export_state() const {
+  check(!txn_active_,
+        "Engine::export_state: a Transaction is active (commit or roll back "
+        "first so the image is a committed generation)");
+  check(timing_clean(),
+        "Engine::export_state: timing must be clean (run a forward pass "
+        "first)");
+  EngineState s;
+  s.generation = generation_;
+  s.num_corners = static_cast<std::uint32_t>(C_);
+  s.num_pins = num_pins_;
+  s.num_slots = num_slots_;
+  s.num_sps = num_sps_;
+  s.num_eps = ep_pin_.size();
+  s.num_arcs = slot_of_arc_.size();
+  s.top_k = static_cast<std::int32_t>(options_.top_k);
+  s.tk_stride = static_cast<std::uint32_t>(tk_stride_);
+  s.enable_hold = options_.enable_hold ? 1 : 0;
+  s.corners = corners_;
+  s.amu = amu_;
+  s.asig = asig_;
+  s.sp_mu = sp_mu_;
+  s.sp_sig = sp_sig_;
+  s.tk_arr = tk_arr_;
+  s.tk_mu = tk_mu_;
+  s.tk_sig = tk_sig_;
+  s.tk_sp = tk_sp_;
+  s.tk_cnt = tk_cnt_;
+  s.tk2_arr = tk2_arr_;
+  s.tk2_mu = tk2_mu_;
+  s.tk2_sig = tk2_sig_;
+  s.tk2_sp = tk2_sp_;
+  s.tk2_cnt = tk2_cnt_;
+  s.slack = slack_;
+  s.hold_slack = hold_slack_;
+  s.ep_worst_rf = ep_worst_rf_;
+  s.ep_base_req = ep_base_req_;
+  s.ep_hold_base = ep_hold_base_;
+  s.tns = tns_cache_;
+  s.nviol = nviol_cache_;
+  s.ths = ths_cache_;
+  s.nhold_viol = nhold_viol_cache_;
+  s.wns = wns_cache_;
+  s.wns_any = wns_any_;
+  s.wns_valid = wns_valid_;
+  s.whs = whs_cache_;
+  s.whs_any = whs_any_;
+  s.whs_valid = whs_valid_;
+  return s;
+}
+
+void Engine::import_state(const EngineState& s) {
+  check(!txn_active_,
+        "Engine::import_state: a Transaction is active on this engine");
+  auto require = [](bool ok, std::string_view what) {
+    INSTA_CHECK(ok, "Engine::import_state: snapshot does not match this "
+                    "engine's design/options: " +
+                        std::string(what));
+  };
+  require(s.num_corners == C_, "corner count");
+  require(s.num_pins == num_pins_, "pin count");
+  require(s.num_slots == num_slots_, "fanin slot count");
+  require(s.num_sps == num_sps_, "startpoint count");
+  require(s.num_eps == ep_pin_.size(), "endpoint count");
+  require(s.num_arcs == slot_of_arc_.size(), "arc count");
+  require(s.top_k == static_cast<std::int32_t>(options_.top_k), "top_k");
+  require(s.tk_stride == tk_stride_, "tk_stride");
+  require(s.enable_hold == (options_.enable_hold ? 1 : 0), "enable_hold");
+  require(s.corners.size() == corners_.size(), "corner list size");
+  for (std::size_t c = 0; c < corners_.size(); ++c) {
+    require(s.corners[c].name == corners_[c].name &&
+                s.corners[c].delay_scale == corners_[c].delay_scale &&
+                s.corners[c].sigma_scale == corners_[c].sigma_scale,
+            "corner spec \"" + corners_[c].name + "\"");
+  }
+  auto same_floats = [](const std::vector<float>& a,
+                        const std::vector<float>& b) {
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+  };
+  // Required-time attributes are the design/constraints fingerprint: a
+  // byte-for-byte match here (together with the shape checks above) is
+  // what makes "same design file on both ends" an enforced contract
+  // instead of an operator convention.
+  require(same_floats(s.ep_base_req, ep_base_req_),
+          "endpoint required times (different constraints?)");
+  require(same_floats(s.ep_hold_base, ep_hold_base_),
+          "endpoint hold required times");
+  auto sized = [&require](const auto& v, const auto& live, const char* what) {
+    require(v.size() == live.size(), what);
+  };
+  for (const int rf : {0, 1}) {
+    const auto rfi = static_cast<std::size_t>(rf);
+    sized(s.amu[rfi], amu_[rfi], "amu plane size");
+    sized(s.asig[rfi], asig_[rfi], "asig plane size");
+    sized(s.sp_mu[rfi], sp_mu_[rfi], "sp_mu plane size");
+    sized(s.sp_sig[rfi], sp_sig_[rfi], "sp_sig plane size");
+  }
+  sized(s.tk_arr, tk_arr_, "tk_arr plane size");
+  sized(s.tk_mu, tk_mu_, "tk_mu plane size");
+  sized(s.tk_sig, tk_sig_, "tk_sig plane size");
+  sized(s.tk_sp, tk_sp_, "tk_sp plane size");
+  sized(s.tk_cnt, tk_cnt_, "tk_cnt plane size");
+  sized(s.tk2_arr, tk2_arr_, "tk2_arr plane size");
+  sized(s.tk2_mu, tk2_mu_, "tk2_mu plane size");
+  sized(s.tk2_sig, tk2_sig_, "tk2_sig plane size");
+  sized(s.tk2_sp, tk2_sp_, "tk2_sp plane size");
+  sized(s.tk2_cnt, tk2_cnt_, "tk2_cnt plane size");
+  sized(s.slack, slack_, "slack plane size");
+  sized(s.hold_slack, hold_slack_, "hold_slack plane size");
+  sized(s.ep_worst_rf, ep_worst_rf_, "ep_worst_rf plane size");
+  sized(s.tns, tns_cache_, "tns cache size");
+  sized(s.nviol, nviol_cache_, "violation cache size");
+  sized(s.ths, ths_cache_, "ths cache size");
+  sized(s.nhold_viol, nhold_viol_cache_, "hold-violation cache size");
+  sized(s.wns, wns_cache_, "wns cache size");
+  sized(s.wns_any, wns_any_, "wns_any cache size");
+  sized(s.wns_valid, wns_valid_, "wns_valid cache size");
+  sized(s.whs, whs_cache_, "whs cache size");
+  sized(s.whs_any, whs_any_, "whs_any cache size");
+  sized(s.whs_valid, whs_valid_, "whs_valid cache size");
+
+  amu_ = s.amu;
+  asig_ = s.asig;
+  sp_mu_ = s.sp_mu;
+  sp_sig_ = s.sp_sig;
+  tk_arr_ = s.tk_arr;
+  tk_mu_ = s.tk_mu;
+  tk_sig_ = s.tk_sig;
+  tk_sp_ = s.tk_sp;
+  tk_cnt_ = s.tk_cnt;
+  tk2_arr_ = s.tk2_arr;
+  tk2_mu_ = s.tk2_mu;
+  tk2_sig_ = s.tk2_sig;
+  tk2_sp_ = s.tk2_sp;
+  tk2_cnt_ = s.tk2_cnt;
+  slack_ = s.slack;
+  hold_slack_ = s.hold_slack;
+  ep_worst_rf_ = s.ep_worst_rf;
+  tns_cache_ = s.tns;
+  nviol_cache_ = s.nviol;
+  ths_cache_ = s.ths;
+  nhold_viol_cache_ = s.nhold_viol;
+  wns_cache_ = s.wns;
+  wns_any_ = s.wns_any;
+  wns_valid_ = s.wns_valid;
+  whs_cache_ = s.whs;
+  whs_any_ = s.whs_any;
+  whs_valid_ = s.whs_valid;
+
+  // The image replaced whatever was pending: drop any queued frontier state
+  // so the engine is clean at the imported generation.
+  const std::size_t num_levels = level_start_.size() - 1;
+  for (CornerId c = 0; c < static_cast<CornerId>(C_); ++c) {
+    const std::size_t poff = pin_off(c);
+    for (std::size_t l = 0; l < num_levels; ++l) {
+      std::vector<PinId>& fr =
+          frontier_[static_cast<std::size_t>(c) * num_levels + l];
+      for (const PinId pin : fr) {
+        dirty_pin_[poff + static_cast<std::size_t>(pin)] = 0;
+      }
+      fr.clear();
+    }
+    dirty_eps_[static_cast<std::size_t>(c)].clear();
+  }
+  dirty_level_.assign(C_, std::numeric_limits<std::size_t>::max());
+  full_dirty_ = false;
+  generation_ = s.generation;
+  // Every Top-K store may have changed: no backward weight survives, and
+  // the generation-stamped merged caches must not survive either — the
+  // imported generation number can collide with one this engine already
+  // cached under different state (e.g. a replica that diverged and is
+  // being resynced).
+  invalidate_weights();
+  merged_setup_gen_ = std::numeric_limits<std::uint64_t>::max();
+  merged_hold_gen_ = std::numeric_limits<std::uint64_t>::max();
+  last_pass_ = SparseStats{};
 }
 
 template <bool kEarly>

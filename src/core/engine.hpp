@@ -100,6 +100,71 @@ struct EngineOptions {
   [[nodiscard]] std::vector<std::string> validate() const;
 };
 
+/// One annotate() call's payload as applied through a Transaction: the
+/// targeted corner (kAllCorners for broadcast) and the caller's deltas in
+/// the caller's order. Replaying the records of a committed transaction via
+/// annotate(deltas, corner) + run_forward_incremental() on an engine in the
+/// pre-transaction state reproduces the post-commit state bit for bit —
+/// the unit the replication layer ships as a commit delta.
+struct AppliedDeltas {
+  CornerId corner = kAllCorners;
+  std::vector<timing::ArcDelta> deltas;
+};
+
+/// A complete image of the mutable timing state of a clean engine — the
+/// export/import unit behind the replication snapshot codec. Covers every
+/// store that annotate()/forward passes mutate (delay planes, startpoint
+/// arrivals, Top-K planes, slack planes) plus the delta-maintained
+/// aggregate caches, which are copied bitwise because their
+/// order-sensitive double folds drift from an exact recompute: a replica
+/// recomputing them locally would not match the writer byte for byte.
+/// Structural stores (graph CSR, CPPR tables, exceptions) are not
+/// included: both sides build them deterministically from the same design,
+/// and the shape/corner/required-time checks in import_state() reject a
+/// mismatched design.
+struct EngineState {
+  std::uint64_t generation = 0;
+
+  // Shape: must match the importing engine exactly.
+  std::uint32_t num_corners = 0;
+  std::uint64_t num_pins = 0;
+  std::uint64_t num_slots = 0;
+  std::uint64_t num_sps = 0;
+  std::uint64_t num_eps = 0;
+  std::uint64_t num_arcs = 0;
+  std::int32_t top_k = 0;
+  std::uint32_t tk_stride = 0;
+  std::uint8_t enable_hold = 0;
+  std::vector<CornerSpec> corners;
+
+  // Mutable value planes (corner-major layouts identical to the engine's).
+  std::array<std::vector<float>, 2> amu;
+  std::array<std::vector<float>, 2> asig;
+  std::array<std::vector<float>, 2> sp_mu;
+  std::array<std::vector<float>, 2> sp_sig;
+  std::vector<float> tk_arr, tk_mu, tk_sig;
+  std::vector<std::int32_t> tk_sp, tk_cnt;
+  std::vector<float> tk2_arr, tk2_mu, tk2_sig;
+  std::vector<std::int32_t> tk2_sp, tk2_cnt;
+  std::vector<float> slack, hold_slack;
+  std::vector<std::uint8_t> ep_worst_rf;
+
+  // Endpoint required-time attributes. Structural (never mutated), shipped
+  // so import can verify byte-equality — the cheapest "same design, same
+  // constraints" fingerprint.
+  std::vector<float> ep_base_req, ep_hold_base;
+
+  // Aggregate caches, bitwise (see struct comment).
+  std::vector<double> tns;
+  std::vector<int> nviol;
+  std::vector<double> ths;
+  std::vector<int> nhold_viol;
+  std::vector<float> wns;
+  std::vector<std::uint8_t> wns_any, wns_valid;
+  std::vector<float> whs;
+  std::vector<std::uint8_t> whs_any, whs_valid;
+};
+
 /// Global timing metric whose gradient run_backward computes.
 enum class GradientMetric { kTns, kWns };
 
@@ -233,6 +298,16 @@ class Engine {
     /// as after a plain annotate().
     void commit();
 
+    /// Every annotate() call made through this transaction, in call order
+    /// with the caller's delta ordering preserved (replaying them on a
+    /// pre-transaction twin is bit-identical — ordering matters because
+    /// the TNS delta folds are float-order-sensitive). Survives commit()
+    /// so the serve layer can capture a commit's replication record;
+    /// cleared by rollback(), which erased the edits.
+    [[nodiscard]] const std::vector<AppliedDeltas>& applied() const {
+      return applied_;
+    }
+
     /// Restores every touched arc's raw delay floats in every corner,
     /// re-propagates incrementally (bit-identical slack restoration), and
     /// restores the aggregate caches from the begin_edit() snapshot. The
@@ -261,6 +336,7 @@ class Engine {
 
     Engine* engine_ = nullptr;
     std::vector<Undo> undo_;
+    std::vector<AppliedDeltas> applied_;
     // Per-corner aggregate-cache snapshot taken at begin_edit(); restored
     // verbatim on rollback (the slack stores themselves restore
     // bit-identically through the sparse pass, so the snapshot stays
@@ -332,6 +408,25 @@ class Engine {
   /// timing_clean() are guaranteed to describe the same committed timing;
   /// the serve layer uses it as the published-snapshot version.
   [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  // ---- state export / import (replication) ----------------------------------
+
+  /// Copies the complete mutable timing state (see EngineState) out of a
+  /// clean engine. Requires timing_clean() and no active Transaction so
+  /// the image is a committed generation, not a half-applied edit.
+  [[nodiscard]] EngineState export_state() const;
+
+  /// Overwrites this engine's mutable timing state with an exported image
+  /// from an engine built on the same design with the same options.
+  /// Validates every shape field, the corner list, and the endpoint
+  /// required-time attributes (byte-equality) before touching anything,
+  /// throwing util::CheckError on mismatch. After import the engine is
+  /// timing-clean at state.generation and every accessor returns the
+  /// exporting engine's bytes; backward-weight reuse and the
+  /// generation-stamped merged_summary() caches are force-invalidated
+  /// (the incoming generation number may collide with one this engine
+  /// already cached under different state).
+  void import_state(const EngineState& state);
 
   // ---- evaluation results ---------------------------------------------------
 

@@ -1,0 +1,60 @@
+#include "replica/delta_log.hpp"
+
+#include "util/check.hpp"
+
+namespace insta::replica {
+
+DeltaLog::DeltaLog(std::size_t capacity) : capacity_(capacity) {
+  util::check(capacity_ > 0, "DeltaLog: capacity must be positive");
+}
+
+void DeltaLog::seed(std::uint64_t generation) {
+  util::LockGuard lk(mu_);
+  records_.clear();
+  base_ = generation;
+}
+
+void DeltaLog::append(CommitRecord rec) {
+  util::LockGuard lk(mu_);
+  const std::uint64_t head =
+      records_.empty() ? base_ : records_.back().generation;
+  INSTA_CHECK(rec.parent_generation == head,
+              "DeltaLog::append: record parent generation " +
+                  std::to_string(rec.parent_generation) +
+                  " does not extend the chain head " + std::to_string(head));
+  records_.push_back(std::move(rec));
+  if (records_.size() > capacity_) {
+    base_ = records_.front().generation;
+    records_.pop_front();
+  }
+}
+
+bool DeltaLog::since(std::uint64_t from,
+                     std::vector<CommitRecord>& out) const {
+  util::LockGuard lk(mu_);
+  if (from < base_) return false;  // predates the window: full resync
+  const std::uint64_t head =
+      records_.empty() ? base_ : records_.back().generation;
+  if (from > head) return false;  // from a future/diverged chain
+  for (const CommitRecord& rec : records_) {
+    if (rec.generation > from) out.push_back(rec);
+  }
+  return true;
+}
+
+std::uint64_t DeltaLog::latest() const {
+  util::LockGuard lk(mu_);
+  return records_.empty() ? base_ : records_.back().generation;
+}
+
+std::uint64_t DeltaLog::base() const {
+  util::LockGuard lk(mu_);
+  return base_;
+}
+
+std::size_t DeltaLog::size() const {
+  util::LockGuard lk(mu_);
+  return records_.size();
+}
+
+}  // namespace insta::replica

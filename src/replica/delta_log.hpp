@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "replica/codec.hpp"
+#include "util/lock_rank.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace insta::replica {
+
+/// Bounded in-memory history of the writer's commit deltas — the source of
+/// the `delta_stream` protocol verb. Records form a contiguous generation
+/// chain (each record's parent_generation is the previous record's
+/// generation); when the ring is full the oldest record is dropped and the
+/// retained window's base generation advances, at which point replicas
+/// older than the window must full-resync.
+///
+/// Thread safety: appended by the service's commit path (which holds
+/// engine_mu_ exclusively, rank 70) and read by protocol threads with no
+/// serve lock held; its own mutex ranks below engine_mu_ (kReplicaLog, 65).
+class DeltaLog {
+ public:
+  explicit DeltaLog(std::size_t capacity = 1024);
+
+  /// Seeds the chain base: the generation of the initial full forward pass
+  /// (nothing earlier ever existed, so `since(base)` is an empty catch-up,
+  /// not a gap). Also drops any recorded history — used on snapshot import,
+  /// which invalidates whatever chain a replica had.
+  void seed(std::uint64_t generation);
+
+  /// Appends one commit record. Requires rec.parent_generation to extend
+  /// the current chain head (checked; a misordered append would silently
+  /// corrupt every replica).
+  void append(CommitRecord rec);
+
+  /// All records with generation > from, in chain order. Returns false —
+  /// and fills nothing — when `from` predates the retained window (the
+  /// caller must full-resync). `from == latest()` yields an empty, true
+  /// catch-up.
+  [[nodiscard]] bool since(std::uint64_t from,
+                           std::vector<CommitRecord>& out) const;
+
+  /// Generation of the chain head (the newest record, or the seed base).
+  [[nodiscard]] std::uint64_t latest() const;
+
+  /// Oldest generation a delta catch-up can start from (the window base).
+  [[nodiscard]] std::uint64_t base() const;
+
+  /// Number of retained records.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable util::Mutex mu_{"replica.log", util::lockrank::kReplicaLog};
+  std::deque<CommitRecord> records_ INSTA_GUARDED_BY(mu_);
+  /// Generation just before the oldest retained record (== latest when
+  /// empty).
+  std::uint64_t base_ INSTA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace insta::replica

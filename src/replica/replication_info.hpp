@@ -1,0 +1,29 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace insta::replica {
+
+/// Live replication telemetry a Replicator publishes and the serve layer's
+/// `stats` verb reads. All fields are atomics: the poll thread writes while
+/// protocol threads read, with no lock shared between them.
+struct ReplicationInfo {
+  /// Commit deltas applied since this process started.
+  std::atomic<std::uint64_t> applied_deltas{0};
+  /// Full snapshot transfers (bootstrap or gap recovery). A replica that
+  /// only ever catches up through deltas keeps this at 0 after the initial
+  /// start — the CI smoke asserts exactly that for a restarted replica.
+  std::atomic<std::uint64_t> full_syncs{0};
+  /// Microseconds between the writer's commit stamp and this replica's
+  /// apply completion, for the most recently applied delta (-1 before the
+  /// first apply). Wall-clock based: meaningful on one machine / NTP-sync'd
+  /// fleets, which is what the bench and CI measure.
+  std::atomic<std::int64_t> last_lag_us{-1};
+  /// The writer generation reported by the last delta_stream reply.
+  std::atomic<std::uint64_t> upstream_generation{0};
+  /// True while the poll loop holds a healthy upstream connection.
+  std::atomic<bool> connected{false};
+};
+
+}  // namespace insta::replica

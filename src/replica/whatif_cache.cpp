@@ -1,0 +1,90 @@
+#include "replica/whatif_cache.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+namespace insta::replica {
+
+namespace {
+struct CacheMetrics {
+  telemetry::Counter hits;
+  telemetry::Counter misses;
+  telemetry::Counter evictions;
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m = [] {
+    auto& r = telemetry::MetricsRegistry::global();
+    CacheMetrics cm;
+    cm.hits = r.counter("serve.cache_hits");
+    cm.misses = r.counter("serve.cache_misses");
+    cm.evictions = r.counter("serve.cache_evictions");
+    return cm;
+  }();
+  return m;
+}
+}  // namespace
+
+WhatifCache::WhatifCache(std::size_t max_entries)
+    : max_entries_(max_entries) {}
+
+WhatifCache::CanonicalScenario WhatifCache::canonicalize(
+    std::span<const timing::ArcDelta> scenario) {
+  CanonicalScenario c;
+  c.deltas = timing::canonicalize_deltas(scenario);
+  c.hash = timing::delta_set_hash(c.deltas);
+  return c;
+}
+
+bool WhatifCache::lookup(std::uint64_t generation, std::int32_t corner,
+                         const CanonicalScenario& scenario,
+                         core::ScenarioResult& out) {
+  if (!enabled()) return false;
+  const Key key{generation, corner, scenario.hash};
+  util::LockGuard lk(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end() ||
+      !timing::deltas_equal(it->second->canonical, scenario.deltas)) {
+    ++stats_.misses;
+    cache_metrics().misses.inc();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  out = it->second->result;
+  ++stats_.hits;
+  cache_metrics().hits.inc();
+  return true;
+}
+
+void WhatifCache::insert(std::uint64_t generation, std::int32_t corner,
+                         CanonicalScenario scenario,
+                         const core::ScenarioResult& result) {
+  if (!enabled()) return;
+  const Key key{generation, corner, scenario.hash};
+  util::LockGuard lk(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // Same key: refresh the value (identical for byte-identical replays;
+    // see the FP-ordering caveat in the class comment) and the recency.
+    it->second->canonical = std::move(scenario.deltas);
+    it->second->result = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= max_entries_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    cache_metrics().evictions.inc();
+  }
+  lru_.push_front(Entry{key, std::move(scenario.deltas), result});
+  index_.emplace(key, lru_.begin());
+  stats_.entries = lru_.size();
+}
+
+WhatifCacheStats WhatifCache::stats() const {
+  util::LockGuard lk(mu_);
+  WhatifCacheStats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace insta::replica

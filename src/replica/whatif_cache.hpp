@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scenario_batch.hpp"
+#include "timing/delta_canon.hpp"
+#include "timing/types.hpp"
+#include "util/lock_rank.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace insta::replica {
+
+/// Cumulative cache counters (also published as serve.cache_* telemetry).
+struct WhatifCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+};
+
+/// Bounded LRU cache of what-if results, keyed by
+/// (engine generation, resolved query corner, canonical delta-set hash).
+/// Placement/sizing loops re-ask near-identical questions against the same
+/// committed state; a hit returns the stored ScenarioResult without
+/// touching the engine or the micro-batcher.
+///
+/// Keying uses the canonical delta-set form (timing/delta_canon.hpp): two
+/// requests whose delta-sets differ only in ordering or duplicate-arc
+/// shadowing share one entry. The canonical set itself is stored and
+/// compared exactly on lookup, so a 64-bit hash collision degrades to a
+/// miss, never to a wrong answer. Entries are generation-stamped, which
+/// makes invalidation free: a commit bumps the generation and old entries
+/// simply stop matching (and age out of the LRU).
+///
+/// FP caveat, documented rather than hidden: ScenarioBatch's TNS fold is
+/// floating-point order-sensitive in the caller's delta ordering, so two
+/// orderings of one logical delta-set can differ in the last bits. The
+/// cache returns the first-seen ordering's result for all of them —
+/// logically the same answer, bit-exact only for byte-identical replays
+/// (which is what the repeated-query benchmarks and CI replay).
+///
+/// Thread safety: internally locked (kReplicaCache); safe to probe/insert
+/// from concurrent request threads. Callers must hold no serve lock.
+class WhatifCache {
+ public:
+  /// One scenario's cache identity, computed once per request and reused
+  /// for the probe and the post-evaluation insert.
+  struct CanonicalScenario {
+    std::vector<timing::ArcDelta> deltas;  ///< canonical form
+    std::uint64_t hash = 0;
+  };
+
+  /// max_entries == 0 disables the cache (lookup always misses without
+  /// counting, insert is a no-op).
+  explicit WhatifCache(std::size_t max_entries);
+
+  [[nodiscard]] bool enabled() const { return max_entries_ > 0; }
+
+  [[nodiscard]] static CanonicalScenario canonicalize(
+      std::span<const timing::ArcDelta> scenario);
+
+  /// Probes (generation, corner, scenario). On a hit copies the stored
+  /// result into `out`, refreshes LRU recency, and returns true.
+  [[nodiscard]] bool lookup(std::uint64_t generation, std::int32_t corner,
+                            const CanonicalScenario& scenario,
+                            core::ScenarioResult& out);
+
+  /// Stores a result, evicting the least-recently-used entry when full.
+  /// Re-inserting an existing key refreshes its value and recency.
+  void insert(std::uint64_t generation, std::int32_t corner,
+              CanonicalScenario scenario, const core::ScenarioResult& result);
+
+  [[nodiscard]] WhatifCacheStats stats() const;
+
+ private:
+  struct Key {
+    std::uint64_t generation = 0;
+    std::int32_t corner = -1;
+    std::uint64_t hash = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // The delta-set hash is already well-mixed; fold in the stamp fields.
+      return static_cast<std::size_t>(k.hash ^ (k.generation * 0x9e3779b97f4a7c15ull) ^
+                                      (static_cast<std::uint64_t>(
+                                           static_cast<std::uint32_t>(k.corner))
+                                       << 32));
+    }
+  };
+  struct Entry {
+    Key key;
+    std::vector<timing::ArcDelta> canonical;
+    core::ScenarioResult result;
+  };
+
+  const std::size_t max_entries_;
+  mutable util::Mutex mu_{"replica.cache", util::lockrank::kReplicaCache};
+  /// Front = most recently used.
+  std::list<Entry> lru_ INSTA_GUARDED_BY(mu_);
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
+      INSTA_GUARDED_BY(mu_);
+  WhatifCacheStats stats_ INSTA_GUARDED_BY(mu_);
+};
+
+}  // namespace insta::replica

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <utility>
 
+#include "replica/codec.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
@@ -34,7 +35,8 @@ std::uint32_t op_tag(const std::string& op) {
   static constexpr const char* kOps[] = {
       "ping",     "info",   "summary",    "endpoints", "open",
       "close",    "whatif", "begin_edit", "annotate",  "commit",
-      "rollback", "stats",  "trace",      "flightrec", "shutdown"};
+      "rollback", "stats",  "trace",      "flightrec", "shutdown",
+      "sync",     "delta_stream"};
   for (std::size_t i = 0; i < std::size(kOps); ++i) {
     if (op == kOps[i]) return static_cast<std::uint32_t>(i + 1);
   }
@@ -214,6 +216,13 @@ bool parse_request(std::string_view line, Request& out, LintReport& report) {
     return false;
   }
   out.protocol = static_cast<int>(protocol);
+  std::int64_t from = 0;
+  if (!get_int(doc, "from", from, kRule, report)) return false;
+  if (from < 0) {
+    add_error(report, kRule, "\"from\" must be >= 0");
+    return false;
+  }
+  out.from = static_cast<std::uint64_t>(from);
 
   if (const JsonValue* corner = doc.find("corner"); corner != nullptr) {
     if (corner->is_string()) {
@@ -570,8 +579,12 @@ std::string Dispatcher::dispatch_op(const Request& req, bool* shutdown,
       return error_reply(req.id, err.code, err.message);
     }
     TimingService::WhatifReply reply;
+    // The resolved corner shapes only the reply view and the cache key; it
+    // never changes what the evaluator computes.
     err = service_->whatif(sid, req.scenarios, reply,
-                           static_cast<std::uint64_t>(req.id));
+                           static_cast<std::uint64_t>(req.id),
+                           ci >= 0 ? static_cast<core::CornerId>(ci)
+                                   : core::kAllCorners);
     timing.queue_us = reply.timing.queue_us;
     timing.batch_us = reply.timing.batch_us;
     timing.eval_us = reply.timing.eval_us;
@@ -685,8 +698,84 @@ std::string Dispatcher::dispatch_op(const Request& req, bool* shutdown,
             ", \"p50\": " + telemetry::json_number(lat.percentile(0.50)) +
             ", \"p95\": " + telemetry::json_number(lat.percentile(0.95)) +
             ", \"p99\": " + telemetry::json_number(lat.percentile(0.99)) +
-            ", \"max\": " + telemetry::json_number(lat.max) + "}}";
+            ", \"max\": " + telemetry::json_number(lat.max) + "}";
+    // Deployment identity: the negotiated protocol, the committed engine
+    // generation, and the corner list, so a fleet orchestrator can tell
+    // from one stats poll whether a replica has converged.
+    const auto ssnap = service_->snapshot();
+    body += ", \"protocol\": " + std::to_string(proto_version_) +
+            ", \"generation\": " + std::to_string(ssnap->version) +
+            ", \"corners\": [";
+    for (std::size_t c = 0; c < ssnap->corners.size(); ++c) {
+      if (c != 0) body += ", ";
+      body += "\"" + telemetry::json_escape(ssnap->corners[c]) + "\"";
+    }
+    body += std::string("], \"read_only\": ") +
+            (service_->options().read_only ? "true" : "false");
+    const replica::WhatifCacheStats cs = service_->cache_stats();
+    body += ", \"whatif_cache\": {\"hits\": " + std::to_string(cs.hits) +
+            ", \"misses\": " + std::to_string(cs.misses) +
+            ", \"evictions\": " + std::to_string(cs.evictions) +
+            ", \"entries\": " + std::to_string(cs.entries) + "}";
+    if (const replica::ReplicationInfo* ri = service_->replication_info();
+        ri != nullptr) {
+      body += ", \"replication\": {\"applied_deltas\": " +
+              std::to_string(ri->applied_deltas.load()) +
+              ", \"full_syncs\": " + std::to_string(ri->full_syncs.load()) +
+              ", \"last_lag_us\": " + std::to_string(ri->last_lag_us.load()) +
+              ", \"upstream_generation\": " +
+              std::to_string(ri->upstream_generation.load()) +
+              std::string(", \"connected\": ") +
+              (ri->connected.load() ? "true" : "false") + "}";
+    }
+    body += "}";
     return ok_reply(req.id, body);
+  }
+
+  if (op == "sync") {
+    // Full-state bootstrap: the complete timing state at one committed
+    // generation, as one base64-wrapped binary frame.
+    if (proto_version_ < 3) {
+      return error_reply(req.id, ErrorCode::kBadRequest,
+                         "\"sync\" requires protocol >= 3 (connection "
+                         "negotiated " +
+                             std::to_string(proto_version_) + ")");
+    }
+    const std::int64_t ser0 = proto_now_ns();
+    const core::EngineState st = service_->export_state();
+    const std::string frame = replica::encode_snapshot(st);
+    std::string body = "{\"generation\": " + std::to_string(st.generation) +
+                       ", \"snapshot\": \"" + replica::base64_encode(frame) +
+                       "\"}";
+    std::string out = ok_reply(req.id, body);
+    timing.serialize_us = (proto_now_ns() - ser0) / 1000;
+    return out;
+  }
+
+  if (op == "delta_stream") {
+    if (proto_version_ < 3) {
+      return error_reply(req.id, ErrorCode::kBadRequest,
+                         "\"delta_stream\" requires protocol >= 3 "
+                         "(connection negotiated " +
+                             std::to_string(proto_version_) + ")");
+    }
+    const std::int64_t ser0 = proto_now_ns();
+    std::vector<replica::CommitRecord> recs;
+    const bool in_window = service_->delta_log().since(req.from, recs);
+    std::string body =
+        "{\"from\": " + std::to_string(req.from) + ", \"generation\": " +
+        std::to_string(service_->delta_log().latest()) +
+        std::string(", \"resync\": ") + (in_window ? "false" : "true") +
+        ", \"deltas\": [";
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      if (i != 0) body += ", ";
+      body += "\"" + replica::base64_encode(replica::encode_delta(recs[i])) +
+              "\"";
+    }
+    body += "]}";
+    std::string out = ok_reply(req.id, body);
+    timing.serialize_us = (proto_now_ns() - ser0) / 1000;
+    return out;
   }
 
   if (op == "trace") {

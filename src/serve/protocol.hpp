@@ -14,10 +14,10 @@
 //        "message": "...", "diagnostics": [...]}}
 //
 // Ops: ping, info, summary, endpoints (ids | worst N), open, close, whatif,
-// begin_edit, annotate, commit, rollback, stats, trace, flightrec,
-// shutdown. The scenarios document reuses the `insta_cli whatif
-// --scenarios` schema, so one parser (parse_scenarios_json) serves both the
-// file-based CLI path and the wire.
+// begin_edit, annotate, commit, rollback, stats, trace, flightrec, sync,
+// delta_stream, shutdown. The scenarios document reuses the `insta_cli
+// whatif --scenarios` schema, so one parser (parse_scenarios_json) serves
+// both the file-based CLI path and the wire.
 //
 // Corners (protocol 2): summary, endpoints, and whatif accept an optional
 // "corner" member — a corner name or integer id — selecting one corner's
@@ -26,6 +26,15 @@
 // "protocol" version and the engine's "corners" name list; a client may pin
 // an older version with {"protocol": 1}, which suppresses the corner
 // features for the rest of the connection.
+//
+// Replication (protocol 3): "sync" returns the engine's full timing state
+// as {"generation": G, "snapshot": "<base64 frame>"} (the versioned binary
+// codec of src/replica/codec.hpp); "delta_stream" with {"from": F} returns
+// the commit deltas after generation F as {"from": F, "generation": G,
+// "resync": bool, "deltas": ["<base64 frame>", ...]} — resync true means F
+// has fallen out of the retained window (or is ahead of the writer) and the
+// client must take a fresh snapshot. stats gains "protocol", "generation",
+// "corners", "read_only", "whatif_cache", and (on replicas) "replication".
 //
 // Request tracing: a request that carries no "id" (or id 0) is assigned a
 // fresh positive one by the dispatcher, and the reply echoes whichever id
@@ -58,8 +67,11 @@ namespace insta::serve {
 /// cross-corner merged view), the "corners"/"protocol" members of info, and
 /// the "protocol" request field for version negotiation (a client may pin
 /// any version in [1, kProtocolVersion]; version-1 connections are served
-/// the pre-corner protocol and corner selections are rejected).
-inline constexpr int kProtocolVersion = 2;
+/// the pre-corner protocol and corner selections are rejected). Version 3
+/// added replication: the "sync" and "delta_stream" ops and the extended
+/// stats reply (protocol/generation/corners/read_only/whatif_cache/
+/// replication members).
+inline constexpr int kProtocolVersion = 3;
 
 /// One decoded request line.
 struct Request {
@@ -69,6 +81,8 @@ struct Request {
   int worst = 0;           ///< endpoints op: N worst-slack endpoints
   int max = 0;             ///< trace/flightrec ops: entry cap (0: default)
   int protocol = 0;        ///< "protocol" negotiation field (0: not present)
+  /// delta_stream op: resume after this applied generation ("from" field).
+  std::uint64_t from = 0;
   /// Corner selection ("corner" field): a corner name or an integer corner
   /// id. Absent (has_corner false) selects the merged view.
   bool has_corner = false;

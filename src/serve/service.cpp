@@ -100,6 +100,12 @@ std::vector<std::string> ServiceOptions::validate() const {
     problems.emplace_back("max_inflight_per_session must be >= 1");
   }
   if (max_sessions < 1) problems.emplace_back("max_sessions must be >= 1");
+  if (whatif_cache_entries < 0) {
+    problems.emplace_back("whatif_cache_entries must be >= 0");
+  }
+  if (delta_log_capacity < 1) {
+    problems.emplace_back("delta_log_capacity must be >= 1");
+  }
   return problems;
 }
 
@@ -108,7 +114,14 @@ TimingService::TimingService(core::Engine& engine, ServiceOptions options)
       options_(options),
       batch_(engine, core::ScenarioBatchOptions{
                          .strategy = core::ScenarioStrategy::kAuto,
-                         .collect_endpoints = options.collect_endpoints}) {
+                         .collect_endpoints = options.collect_endpoints}),
+      delta_log_(options.delta_log_capacity < 1
+                     ? 1
+                     : static_cast<std::size_t>(options.delta_log_capacity)),
+      whatif_cache_(options.whatif_cache_entries < 0
+                        ? 0
+                        : static_cast<std::size_t>(
+                              options.whatif_cache_entries)) {
   if (const std::vector<std::string> problems = options_.validate();
       !problems.empty()) {
     std::string msg = "TimingService: invalid ServiceOptions:";
@@ -122,6 +135,9 @@ TimingService::TimingService(core::Engine& engine, ServiceOptions options)
   check(engine.timing_clean(),
         "TimingService: engine has pending annotations (run run_forward() "
         "before constructing the service)");
+  // The delta chain starts at the engine's current committed generation:
+  // a replica at this generation needs zero deltas, not a resync.
+  delta_log_.seed(engine.generation());
   // No client can exist yet, but publish_snapshot() requires exclusive
   // engine access by contract, so take it (uncontended) rather than carve
   // out a constructor exemption.
@@ -257,7 +273,7 @@ Error TimingService::validate_scenarios(
 
 Error TimingService::whatif(
     SessionId session, const std::vector<std::vector<ArcDelta>>& scenarios,
-    WhatifReply& out, std::uint64_t request_id) {
+    WhatifReply& out, std::uint64_t request_id, core::CornerId corner) {
   ServeMetrics& sm = serve_metrics();
   auto& fr = telemetry::FlightRecorder::global();
   if (request_id == 0) request_id = next_request_id();
@@ -308,6 +324,40 @@ Error TimingService::whatif(
     release();
     observe_latency();
     return err;
+  }
+
+  // Cache consult, before the micro-batcher: optimization loops re-ask
+  // near-identical questions against the same committed generation, and an
+  // all-hit request is answered from the published snapshot's version
+  // without touching the engine, the queue, or the evaluator. A partial
+  // hit evaluates the whole request (results must share one baseline
+  // version) and refreshes every entry afterwards.
+  std::vector<replica::WhatifCache::CanonicalScenario> canon;
+  if (whatif_cache_.enabled()) {
+    const std::uint64_t cache_version = snapshot()->version;
+    canon.reserve(scenarios.size());
+    std::vector<core::ScenarioResult> cached(scenarios.size());
+    bool all_hit = true;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      canon.push_back(replica::WhatifCache::canonicalize(scenarios[i]));
+      if (!whatif_cache_.lookup(cache_version, corner, canon[i], cached[i])) {
+        all_hit = false;
+      }
+    }
+    if (all_hit) {
+      out.version = cache_version;
+      out.results = std::move(cached);
+      out.timing = WhatifTiming{};
+      {
+        const util::LockGuard sl(state_mu_);
+        ++stats_.whatif_requests;
+      }
+      sm.requests.inc();
+      fr.record(FlightEventType::kReply, request_id, out.version, 0);
+      observe_latency();
+      release();
+      return Error::success();
+    }
   }
 
   PendingWhatif req;
@@ -369,6 +419,14 @@ Error TimingService::whatif(
   fr.record(FlightEventType::kReply, request_id, out.version,
             req.error.ok() ? 0
                            : static_cast<std::uint32_t>(req.error.code));
+  if (req.error.ok() && !canon.empty()) {
+    // Populate the cache at the version the batch actually evaluated
+    // against (a commit may have landed between the probe and the drain).
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      whatif_cache_.insert(out.version, corner, std::move(canon[i]),
+                           out.results[i]);
+    }
+  }
   observe_latency();
   release();
   return req.error;
@@ -503,6 +561,11 @@ void TimingService::evaluate_requests(std::vector<PendingWhatif*>& reqs) {
 // ---- exclusive edits --------------------------------------------------------
 
 Error TimingService::begin_edit(SessionId session) {
+  if (options_.read_only) {
+    return Error::make(ErrorCode::kUnsupported,
+                       "server is a read-only replica (edits go to the "
+                       "writer; replication applies them here)");
+  }
   const util::LockGuard sl(state_mu_);
   const auto it = sessions_.find(session);
   if (it == sessions_.end()) {
@@ -586,11 +649,24 @@ Error TimingService::commit(SessionId session, CommitReply& out) {
   {
     const util::WriteLock el(engine_mu_);
     if (!pending.empty()) {
+      const std::uint64_t parent_gen = engine_->generation();
       try {
         core::Engine::Transaction tx = engine_->begin_edit();
         tx.annotate(pending);
         engine_->run_forward_incremental();
         tx.commit();
+        // Capture the commit for delta replication: the exact annotate
+        // calls, in order (TNS folds are float-order-sensitive, so a
+        // replica must replay them verbatim to stay byte-identical).
+        replica::CommitRecord rec;
+        rec.parent_generation = parent_gen;
+        rec.generation = engine_->generation();
+        rec.commit_unix_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count();
+        rec.sets = tx.applied();
+        delta_log_.append(std::move(rec));
       } catch (const util::CheckError& e) {
         // ~Transaction rolled the engine back to its pre-edit bytes.
         return Error::make(ErrorCode::kInternal,
@@ -627,6 +703,73 @@ Error TimingService::rollback(SessionId session) {
   editor_ = -1;
   ++stats_.rollbacks;
   serve_metrics().rollbacks.inc();
+  return Error::success();
+}
+
+// ---- replication ------------------------------------------------------------
+
+core::EngineState TimingService::export_state() {
+  // Shared: exporting only reads committed planes; concurrent what-if
+  // evaluation (also shared) never mutates them.
+  const util::SharedLock el(engine_mu_);
+  return engine_->export_state();
+}
+
+Error TimingService::import_state(const core::EngineState& state) {
+  {
+    const util::WriteLock el(engine_mu_);
+    try {
+      engine_->import_state(state);
+    } catch (const util::CheckError& e) {
+      return Error::make(ErrorCode::kInternal,
+                         std::string("import_state failed: ") + e.what());
+    }
+    publish_snapshot();
+  }
+  // The imported generation is the new chain base: anyone replicating from
+  // this service resumes from here.
+  delta_log_.seed(state.generation);
+  return Error::success();
+}
+
+Error TimingService::apply_commit(const replica::CommitRecord& rec) {
+  {
+    const util::WriteLock el(engine_mu_);
+    if (engine_->generation() != rec.parent_generation) {
+      return Error::make(
+          ErrorCode::kInternal,
+          "delta for generation " + std::to_string(rec.generation) +
+              " does not chain onto local generation " +
+              std::to_string(engine_->generation()) + " (resync required)");
+    }
+    try {
+      // The same Transaction + incremental path the writer took, with the
+      // writer's annotate calls replayed in order, so the replica's planes
+      // and order-sensitive aggregate folds land on identical bytes.
+      core::Engine::Transaction tx = engine_->begin_edit();
+      for (const core::AppliedDeltas& set : rec.sets) {
+        tx.annotate(set.deltas, set.corner);
+      }
+      engine_->run_forward_incremental();
+      tx.commit();
+    } catch (const util::CheckError& e) {
+      return Error::make(ErrorCode::kInternal,
+                         std::string("apply_commit failed: ") + e.what());
+    }
+    if (engine_->generation() != rec.generation) {
+      return Error::make(
+          ErrorCode::kInternal,
+          "apply_commit: generation diverged (expected " +
+              std::to_string(rec.generation) + ", got " +
+              std::to_string(engine_->generation()) +
+              "); writer and replica disagree on commit semantics");
+    }
+    delta_log_.append(rec);  // chain continues: replicas can fan out
+    publish_snapshot();
+  }
+  serve_metrics().commits.inc();
+  const util::LockGuard sl(state_mu_);
+  ++stats_.commits;
   return Error::success();
 }
 

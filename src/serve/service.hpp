@@ -32,6 +32,7 @@
 // with structured Error replies (ErrorCode::kOverloaded) instead of
 // stalling or growing without bound.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -42,6 +43,9 @@
 #include "analysis/diagnostics.hpp"
 #include "core/engine.hpp"
 #include "core/scenario_batch.hpp"
+#include "replica/delta_log.hpp"
+#include "replica/replication_info.hpp"
+#include "replica/whatif_cache.hpp"
 #include "timing/types.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
@@ -113,6 +117,17 @@ struct ServiceOptions {
   int max_sessions = 64;
   /// Also report per-endpoint scenario slacks in what-if replies.
   bool collect_endpoints = false;
+  /// Replica mode: begin_edit is rejected with kUnsupported, so clients
+  /// cannot mutate a copy that replication would immediately diverge from.
+  /// The internal replication apply/import paths are unaffected.
+  bool read_only = false;
+  /// Capacity of the what-if result cache keyed by (generation, corner,
+  /// canonical delta-set hash), consulted before micro-batching. 0 disables
+  /// caching.
+  int whatif_cache_entries = 256;
+  /// Commit-delta history retained for replica catch-up; a replica lagging
+  /// more than this many commits falls back to a full snapshot resync.
+  int delta_log_capacity = 1024;
 
   /// One message per invalid field; empty when usable (the TimingService
   /// constructor rejects invalid options with the same messages).
@@ -214,9 +229,15 @@ class TimingService {
   /// `request_id` labels the request in the flight recorder and trace flow
   /// events; 0 allocates one internally (the effective id comes back in
   /// out.request_id either way).
+  ///
+  /// `corner` is the request's resolved corner selector and participates
+  /// only in the what-if cache key (evaluation always covers every corner;
+  /// per-corner extraction is the protocol layer's job). kAllCorners (-1)
+  /// is the merged/no-selector identity.
   Error whatif(SessionId session,
                const std::vector<std::vector<timing::ArcDelta>>& scenarios,
-               WhatifReply& out, std::uint64_t request_id = 0);
+               WhatifReply& out, std::uint64_t request_id = 0,
+               core::CornerId corner = core::kAllCorners);
 
   // ---- exclusive edits ------------------------------------------------------
 
@@ -239,6 +260,46 @@ class TimingService {
   Error commit(SessionId session, CommitReply& out);
   /// Discards the buffered deltas and releases the edit slot.
   Error rollback(SessionId session);
+
+  // ---- replication ----------------------------------------------------------
+
+  /// Full mutable-state image of the engine at its committed generation,
+  /// taken under shared engine access — the payload of the `sync` verb.
+  [[nodiscard]] core::EngineState export_state();
+
+  /// Replica bootstrap / gap recovery: overwrites the engine's timing state
+  /// with a writer-exported image and republishes the snapshot. The delta
+  /// log is re-seeded at the imported generation. kInternal on a
+  /// design/options mismatch.
+  Error import_state(const core::EngineState& state);
+
+  /// Replica steady state: applies one writer commit record through the
+  /// same Transaction + incremental-pass path the writer ran, so the
+  /// replica's post-apply state is byte-identical to the writer's at
+  /// rec.generation. Fails with kInternal — without touching the engine —
+  /// when rec does not chain onto the current generation (the caller
+  /// should full-resync). Permitted on read_only services: this is the
+  /// replication channel, not a client edit.
+  Error apply_commit(const replica::CommitRecord& rec);
+
+  /// Commit-delta history backing the `delta_stream` verb. Internally
+  /// locked; safe from any thread.
+  [[nodiscard]] replica::DeltaLog& delta_log() { return delta_log_; }
+
+  /// What-if cache counters (zeros when the cache is disabled).
+  [[nodiscard]] replica::WhatifCacheStats cache_stats() const {
+    return whatif_cache_.stats();
+  }
+
+  /// Wires a Replicator's live telemetry into the `stats` verb; pass the
+  /// pointer before serving traffic starts and keep it alive for the
+  /// service's lifetime. Null when this process is not a replica.
+  void set_replication_info(const replica::ReplicationInfo* info) {
+    repl_info_.store(info, std::memory_order_release);
+  }
+  [[nodiscard]] const replica::ReplicationInfo* replication_info() const {
+    return repl_info_.load(std::memory_order_acquire);
+  }
 
   // ---- introspection --------------------------------------------------------
 
@@ -336,6 +397,13 @@ class TimingService {
   /// Serializes ScenarioBatch::evaluate calls (collection of batch N+1
   /// overlaps evaluation of batch N, evaluation itself is sequential).
   util::Mutex eval_mu_{"serve.eval", util::lockrank::kServeEval};
+
+  /// Replication state. delta_log_ is appended under exclusive engine_mu_
+  /// (its own mutex ranks below, kReplicaLog); whatif_cache_ is internally
+  /// locked and only ever touched with no serve lock held.
+  replica::DeltaLog delta_log_;
+  replica::WhatifCache whatif_cache_;
+  std::atomic<const replica::ReplicationInfo*> repl_info_{nullptr};
 };
 
 }  // namespace insta::serve

@@ -1,0 +1,64 @@
+#include "timing/delta_canon.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "util/hash.hpp"
+
+namespace insta::timing {
+
+std::vector<ArcDelta> canonicalize_deltas(std::span<const ArcDelta> deltas,
+                                          std::vector<ArcId>* duplicates) {
+  std::vector<ArcDelta> out;
+  out.reserve(deltas.size());
+  // First-seen slot per arc; later occurrences overwrite it (annotate() is
+  // assignment, so the last write is the one that sticks).
+  std::unordered_map<ArcId, std::size_t> slot;
+  slot.reserve(deltas.size());
+  for (const ArcDelta& d : deltas) {
+    const auto [it, inserted] = slot.try_emplace(d.arc, out.size());
+    if (inserted) {
+      out.push_back(d);
+    } else {
+      out[it->second] = d;
+      if (duplicates != nullptr) duplicates->push_back(d.arc);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ArcDelta& a, const ArcDelta& b) { return a.arc < b.arc; });
+  return out;
+}
+
+std::uint64_t delta_set_hash(std::span<const ArcDelta> deltas) {
+  const std::vector<ArcDelta> canon = canonicalize_deltas(deltas);
+  std::uint64_t h = util::fnv1a_64(nullptr, 0);
+  h = util::fnv1a_value(static_cast<std::uint64_t>(canon.size()), h);
+  for (const ArcDelta& d : canon) {
+    h = util::fnv1a_value(d.arc, h);
+    for (int rf = 0; rf < 2; ++rf) {
+      h = util::fnv1a_value(d.mu[static_cast<std::size_t>(rf)], h);
+      h = util::fnv1a_value(d.sigma[static_cast<std::size_t>(rf)], h);
+    }
+  }
+  return h;
+}
+
+bool deltas_equal(std::span<const ArcDelta> a, std::span<const ArcDelta> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].arc != b[i].arc) return false;
+    // Bitwise, not ==: NaNs compare unequal under == but are the same
+    // annotation bytes, and -0.0 == 0.0 under == but annotates differently.
+    if (std::memcmp(a[i].mu.data(), b[i].mu.data(), sizeof(a[i].mu)) != 0) {
+      return false;
+    }
+    if (std::memcmp(a[i].sigma.data(), b[i].sigma.data(),
+                    sizeof(a[i].sigma)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace insta::timing

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "timing/types.hpp"
+
+namespace insta::timing {
+
+/// Canonical form of a what-if delta-set: sorted ascending by arc id, with
+/// duplicate-arc entries merged last-write-wins — exactly the net effect of
+/// Engine::annotate(), whose writes are assignments. Two delta-sets that
+/// annotate identical final values to identical arcs canonicalize to the
+/// same vector, whatever order or duplication the caller used.
+///
+/// When `duplicates` is non-null, the arc id of every *extra* occurrence is
+/// appended in input-encounter order (one entry per re-occurrence, matching
+/// the "delta-duplicate-arc" diagnostics Engine::check_deltas emits).
+///
+/// Canonicalization is a keying/validation tool, not an evaluation rewrite:
+/// ScenarioBatch's TNS fold is floating-point order-sensitive in delta input
+/// order, so evaluation must keep the caller's ordering — only hashes and
+/// equality comparisons should look at the canonical form.
+[[nodiscard]] std::vector<ArcDelta> canonicalize_deltas(
+    std::span<const ArcDelta> deltas,
+    std::vector<ArcId>* duplicates = nullptr);
+
+/// Order- and duplication-insensitive FNV-1a-64 digest of a delta-set:
+/// hashes the canonical form's (arc id, mu/sigma double bit patterns)
+/// stream. Logically identical delta-sets — same final per-arc values —
+/// hash identically; values hash by bit pattern, so the digest separates
+/// anything the engine would treat as a different annotation.
+[[nodiscard]] std::uint64_t delta_set_hash(std::span<const ArcDelta> deltas);
+
+/// Exact (bitwise on mu/sigma) element-wise equality of two delta lists.
+/// Pass two canonical forms to ask "are these logically the same delta-set"
+/// — the hash-collision confirmation the what-if cache relies on.
+[[nodiscard]] bool deltas_equal(std::span<const ArcDelta> a,
+                                std::span<const ArcDelta> b);
+
+}  // namespace insta::timing

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace insta::util {
+
+/// FNV-1a 64-bit offset basis / prime.
+inline constexpr std::uint64_t kFnv1aBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1aPrime = 0x00000100000001b3ull;
+
+/// FNV-1a 64-bit over a byte range. Deterministic, seed-chainable (pass a
+/// previous digest as `seed`), and dependency-free — the shared hash of the
+/// delta-set canonicalizer (timing/delta_canon.hpp) and the replication
+/// codec's frame checksum (replica/codec.hpp). Not cryptographic: it guards
+/// against transport corruption and keys caches, not adversaries.
+[[nodiscard]] inline std::uint64_t fnv1a_64(const void* data, std::size_t n,
+                                            std::uint64_t seed = kFnv1aBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(p[i]);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// Folds one trivially-copyable value (by object representation) into a
+/// running FNV-1a digest. Floats hash by bit pattern, so two values hash
+/// equal iff they are byte-identical — the same equivalence the engine's
+/// bit-identity guarantees speak about.
+template <typename T>
+[[nodiscard]] std::uint64_t fnv1a_value(const T& v,
+                                        std::uint64_t seed = kFnv1aBasis) {
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  return fnv1a_64(bytes, sizeof(T), seed);
+}
+
+}  // namespace insta::util

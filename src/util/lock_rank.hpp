@@ -33,11 +33,20 @@ inline constexpr int kServeQueue = 75;
 /// serve::TimingService engine access, shared/exclusive (engine_mu_).
 inline constexpr int kServeEngine = 70;
 
+/// replica::DeltaLog record ring (mu_): appended by the service's commit
+/// path while engine_mu_ is held exclusively, read lock-free of the serve
+/// locks by the sync/delta_stream protocol verbs.
+inline constexpr int kReplicaLog = 65;
+
 /// serve::TimingService session table + stats (state_mu_).
 inline constexpr int kServeState = 60;
 
 /// serve::TimingService snapshot-pointer micro-mutex (snap_mu_).
 inline constexpr int kServeSnap = 55;
+
+/// replica::WhatifCache LRU table (mu_): probed/updated by what-if request
+/// threads with no serve lock held; never taken while holding anything.
+inline constexpr int kReplicaCache = 52;
 
 /// core::ScenarioBatch workspace pool (pool_mutex_).
 inline constexpr int kScenarioPool = 50;

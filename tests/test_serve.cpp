@@ -27,6 +27,7 @@
 #include "gen/presets.hpp"
 #include "gen/tune.hpp"
 #include "ref/golden_sta.hpp"
+#include "replica/codec.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -735,6 +736,119 @@ TEST_F(ServeTest, DispatcherHandlesCoreOpsAndErrors) {
         R"({"id": 8, "op": "shutdown"})", &shutdown));
     EXPECT_TRUE(doc.find("ok")->boolean);
     EXPECT_TRUE(shutdown);
+  }
+}
+
+/// Protocol 3: the replication verbs (sync, delta_stream) and the extended
+/// stats identity block (protocol, generation, corners, read_only,
+/// whatif_cache) — and their protocol gate on downgraded connections.
+TEST_F(ServeTest, ReplicationProtocolSyncDeltaStreamAndStats) {
+  auto engine = make_engine();
+  TimingService service(*engine);
+  serve::Dispatcher dispatcher(service);
+
+  const auto parse = [](const std::string& line) {
+    telemetry::JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(telemetry::json_parse(line, doc, error)) << error << line;
+    return doc;
+  };
+  const std::uint64_t base = service.snapshot()->version;
+
+  {
+    const auto doc = parse(dispatcher.dispatch(R"({"id": 1, "op": "stats"})"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    const telemetry::JsonValue& r = *doc.find("result");
+    EXPECT_EQ(r.find("protocol")->number,
+              static_cast<double>(serve::kProtocolVersion));
+    EXPECT_EQ(r.find("generation")->number, static_cast<double>(base));
+    ASSERT_TRUE(r.find("corners")->is_array());
+    ASSERT_EQ(r.find("corners")->array.size(), 1u);
+    EXPECT_EQ(r.find("corners")->array[0].string,
+              service.snapshot()->corners[0]);
+    EXPECT_FALSE(r.find("read_only")->boolean);
+    ASSERT_NE(r.find("whatif_cache"), nullptr);
+    EXPECT_EQ(r.find("whatif_cache")->find("hits")->number, 0.0);
+    // Not a replica: no replication block.
+    EXPECT_EQ(r.find("replication"), nullptr);
+  }
+  {
+    // sync ships the full engine state as one base64 binary frame.
+    const auto doc = parse(dispatcher.dispatch(R"({"id": 2, "op": "sync"})"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    const telemetry::JsonValue& r = *doc.find("result");
+    EXPECT_EQ(r.find("generation")->number, static_cast<double>(base));
+    std::string frame;
+    ASSERT_TRUE(replica::base64_decode(r.find("snapshot")->string, frame));
+    core::EngineState st;
+    ASSERT_TRUE(replica::decode_snapshot(frame, st).empty());
+    EXPECT_EQ(st.generation, base);
+  }
+  {
+    // Up to date: an empty, non-resync delta stream.
+    const auto doc = parse(dispatcher.dispatch(
+        R"({"id": 3, "op": "delta_stream", "from": )" + std::to_string(base) +
+        "}"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    const telemetry::JsonValue& r = *doc.find("result");
+    EXPECT_FALSE(r.find("resync")->boolean);
+    EXPECT_TRUE(r.find("deltas")->array.empty());
+    EXPECT_EQ(r.find("generation")->number, static_cast<double>(base));
+  }
+
+  // One committed edit becomes one decodable, chaining delta.
+  util::Rng rng(17);
+  const auto scen = make_scenarios(rng, 1);
+  ASSERT_FALSE(scen.empty());
+  serve::SessionId sid = -1;
+  ASSERT_TRUE(service.open_session(sid).ok());
+  ASSERT_TRUE(service.begin_edit(sid).ok());
+  ASSERT_TRUE(service.annotate(sid, scen[0]).ok());
+  TimingService::CommitReply cr;
+  ASSERT_TRUE(service.commit(sid, cr).ok());
+
+  {
+    const auto doc = parse(dispatcher.dispatch(
+        R"({"id": 4, "op": "delta_stream", "from": )" + std::to_string(base) +
+        "}"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    const telemetry::JsonValue& r = *doc.find("result");
+    EXPECT_FALSE(r.find("resync")->boolean);
+    EXPECT_EQ(r.find("generation")->number, static_cast<double>(cr.version));
+    ASSERT_EQ(r.find("deltas")->array.size(), 1u);
+    std::string frame;
+    ASSERT_TRUE(
+        replica::base64_decode(r.find("deltas")->array[0].string, frame));
+    replica::CommitRecord rec;
+    ASSERT_TRUE(replica::decode_delta(frame, rec).empty());
+    EXPECT_EQ(rec.parent_generation, base);
+    EXPECT_EQ(rec.generation, cr.version);
+    ASSERT_EQ(rec.sets.size(), 1u);
+    EXPECT_TRUE(timing::deltas_equal(rec.sets[0].deltas, scen[0]));
+  }
+  {
+    // A generation below the retained window demands a full resync.
+    const auto doc = parse(dispatcher.dispatch(
+        R"({"id": 5, "op": "delta_stream", "from": 0})"));
+    ASSERT_TRUE(doc.find("ok")->boolean);
+    EXPECT_TRUE(doc.find("result")->find("resync")->boolean);
+    EXPECT_TRUE(doc.find("result")->find("deltas")->array.empty());
+  }
+  {
+    // Downgraded connections (protocol < 3) cannot reach the replication
+    // verbs; the stats identity block still reports the negotiated version.
+    const auto pin = parse(dispatcher.dispatch(
+        R"({"id": 6, "op": "ping", "protocol": 2})"));
+    EXPECT_TRUE(pin.find("ok")->boolean);
+    const auto sync = parse(dispatcher.dispatch(R"({"id": 7, "op": "sync"})"));
+    EXPECT_FALSE(sync.find("ok")->boolean);
+    EXPECT_EQ(sync.find("error")->find("code")->string, "bad-request");
+    const auto ds = parse(dispatcher.dispatch(
+        R"({"id": 8, "op": "delta_stream", "from": 0})"));
+    EXPECT_FALSE(ds.find("ok")->boolean);
+    const auto stats =
+        parse(dispatcher.dispatch(R"({"id": 9, "op": "stats"})"));
+    EXPECT_EQ(stats.find("result")->find("protocol")->number, 2.0);
   }
 }
 
